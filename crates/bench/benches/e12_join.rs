@@ -1,0 +1,51 @@
+//! E12 (Table 7): join-strategy execution time over bookstore × reviews.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csqp_core::join::{JoinConfig, JoinMediator, JoinQuery, JoinStrategy};
+use csqp_core::types::TargetQuery;
+use csqp_expr::Value;
+use csqp_relation::datagen::{books, reviews, BookGenConfig};
+use csqp_source::{CostParams, Source};
+use csqp_ssdl::templates;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let book_rel = books(7, &BookGenConfig { n_books: 5_000, ..Default::default() });
+    let isbn_idx = book_rel.schema().col_index("isbn").unwrap();
+    let isbns: Vec<Value> =
+        book_rel.tuples().iter().map(|t| t.get(isbn_idx).unwrap().clone()).collect();
+    let review_rel = reviews(11, &isbns, 3);
+    let bookstore =
+        Arc::new(Source::new(book_rel, templates::bookstore(), CostParams::default()));
+    let review_site =
+        Arc::new(Source::new(review_rel, templates::reviews(), CostParams::default()));
+    let q = JoinQuery {
+        left: TargetQuery::parse(
+            r#"author = "Sigmund Freud" ^ title contains "dreams""#,
+            &["isbn", "title"],
+        )
+        .unwrap(),
+        right: TargetQuery::parse(
+            r#"rating >= 4"#,
+            &["review_id", "isbn", "rating"],
+        )
+        .unwrap(),
+        left_key: "isbn".into(),
+        right_key: "isbn".into(),
+    };
+    let mut g = c.benchmark_group("e12_join");
+    g.sample_size(10);
+    for (name, force) in [
+        ("bind", Some(JoinStrategy::BindLeftIntoRight)),
+        ("hash", Some(JoinStrategy::Hash)),
+    ] {
+        let jm = JoinMediator::new(bookstore.clone(), review_site.clone())
+            .with_config(JoinConfig { force, ..Default::default() });
+        g.bench_function(name, |b| b.iter(|| black_box(jm.run(&q).unwrap().rows.len())));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

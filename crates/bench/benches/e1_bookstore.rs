@@ -1,0 +1,40 @@
+//! E1 (Table 1): planning + executing Example 1.1 per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csqp_bench::workload;
+use csqp_core::mediator::{Mediator, Scheme};
+use csqp_core::types::TargetQuery;
+use csqp_relation::datagen::{books, BookGenConfig};
+use csqp_source::{CostParams, Source};
+use csqp_ssdl::templates;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let _ = workload::exp_relation(1, 1); // keep the workload module linked
+    let source = Arc::new(Source::new(
+        books(7, &BookGenConfig { n_books: 10_000, ..Default::default() }),
+        templates::bookstore(),
+        CostParams::default(),
+    ));
+    let q = TargetQuery::parse(
+        r#"(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams""#,
+        &["isbn", "author", "title"],
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("e1_bookstore");
+    g.sample_size(10);
+    for scheme in [Scheme::GenCompact, Scheme::Cnf, Scheme::Dnf] {
+        let m = Mediator::new(source.clone()).with_scheme(scheme);
+        g.bench_function(format!("plan/{scheme}"), |b| {
+            b.iter(|| black_box(m.plan(&q).unwrap()))
+        });
+        g.bench_function(format!("run/{scheme}"), |b| {
+            b.iter(|| black_box(m.run(&q).unwrap().rows.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

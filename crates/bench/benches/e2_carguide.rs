@@ -1,0 +1,39 @@
+//! E2 (Table 2): planning + executing Example 1.2 per scheme.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csqp_core::mediator::{Mediator, Scheme};
+use csqp_core::types::TargetQuery;
+use csqp_relation::datagen::{car_listings, CarGenConfig};
+use csqp_source::{CostParams, Source};
+use csqp_ssdl::templates;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let source = Arc::new(Source::new(
+        car_listings(11, &CarGenConfig { n_listings: 5_000 }),
+        templates::car_guide(),
+        CostParams::default(),
+    ));
+    let q = TargetQuery::parse(
+        r#"style = "sedan" ^ (size = "compact" _ size = "midsize") ^
+           ((make = "Toyota" ^ price <= 20000) _ (make = "BMW" ^ price <= 40000))"#,
+        &["listing_id", "make", "model", "price", "size"],
+    )
+    .unwrap();
+    let mut g = c.benchmark_group("e2_carguide");
+    g.sample_size(10);
+    for scheme in [Scheme::GenCompact, Scheme::Cnf, Scheme::Dnf] {
+        let m = Mediator::new(source.clone()).with_scheme(scheme);
+        g.bench_function(format!("plan/{scheme}"), |b| {
+            b.iter(|| black_box(m.plan(&q).unwrap()))
+        });
+        g.bench_function(format!("run/{scheme}"), |b| {
+            b.iter(|| black_box(m.run(&q).unwrap().rows.len()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E3 (Fig. A): plan-generation time vs query size, GenModular vs
+//! GenCompact on the structured scaling family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csqp_bench::workload::{scaling_query, scaling_source};
+use csqp_core::genmodular::GenModularConfig;
+use csqp_core::mediator::{Mediator, Scheme};
+use csqp_core::types::TargetQuery;
+use csqp_expr::rewrite::RewriteBudget;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let source = scaling_source(5, 500);
+    let mut g = c.benchmark_group("e3_gen_time");
+    g.sample_size(10);
+    for n in [2usize, 3, 4, 5] {
+        let cond = scaling_query(101, n);
+        let q = TargetQuery::new(cond.clone(), csqp_plan::attrs(["k"]));
+        let compact = Mediator::new(source.clone());
+        g.bench_with_input(BenchmarkId::new("GenCompact", n), &q, |b, q| {
+            b.iter(|| black_box(compact.plan(q).ok()))
+        });
+        // GenModular only up to n=4: the whole point is that it explodes.
+        if n <= 4 {
+            let cfg = GenModularConfig {
+                rewrite_budget: RewriteBudget {
+                    max_cts: 20_000,
+                    max_atoms: cond.n_atoms() + 2,
+                    max_depth: 6,
+                },
+                ..Default::default()
+            };
+            let modular = Mediator::new(source.clone())
+                .with_scheme(Scheme::GenModular)
+                .with_modular_config(cfg);
+            g.bench_with_input(BenchmarkId::new("GenModular", n), &q, |b, q| {
+                b.iter(|| black_box(modular.plan(q).ok()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

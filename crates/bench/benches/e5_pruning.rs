@@ -1,0 +1,32 @@
+//! E5 (Table 3): IPG pruning-rule ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csqp_bench::workload::{scaling_query, scaling_source};
+use csqp_core::mediator::Mediator;
+use csqp_core::types::TargetQuery;
+use csqp_core::{GenCompactConfig, IpgConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let source = scaling_source(5, 500);
+    let cond = scaling_query(303, 6);
+    let q = TargetQuery::new(cond, csqp_plan::attrs(["k"]));
+    let mut g = c.benchmark_group("e5_pruning");
+    g.sample_size(10);
+    let configs: [(&str, IpgConfig); 5] = [
+        ("all", IpgConfig::default()),
+        ("no_pr1", IpgConfig { pr1: false, ..IpgConfig::default() }),
+        ("no_pr2", IpgConfig { pr2: false, ..IpgConfig::default() }),
+        ("no_pr3", IpgConfig { pr3: false, ..IpgConfig::default() }),
+        ("none", IpgConfig { pr1: false, pr2: false, pr3: false, ..IpgConfig::default() }),
+    ];
+    for (name, ipg) in configs {
+        let m = Mediator::new(source.clone())
+            .with_compact_config(GenCompactConfig { ipg, ..Default::default() });
+        g.bench_function(name, |b| b.iter(|| black_box(m.plan(&q).unwrap().est_cost)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

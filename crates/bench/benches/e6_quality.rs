@@ -1,0 +1,35 @@
+//! E6 (Fig. C): end-to-end plan+run over random capability/query pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csqp_bench::workload::{random_query_shaped, random_source, CapabilityParams};
+use csqp_core::mediator::{Mediator, Scheme};
+use csqp_core::types::TargetQuery;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let params = CapabilityParams {
+        n_forms: 10,
+        max_form_atoms: 2,
+        list_prob: 0.5,
+        download_prob: 0.25,
+        ..Default::default()
+    };
+    // A fixed plannable pair (seed probed in the experiment harness).
+    let source = random_source(42, 1_500, &params);
+    let cond = random_query_shaped(7_042, 4, 3, 0.7);
+    let q = TargetQuery::new(cond, csqp_plan::attrs(["k"]));
+    let mut g = c.benchmark_group("e6_quality");
+    g.sample_size(10);
+    for scheme in [Scheme::GenCompact, Scheme::Cnf, Scheme::Dnf, Scheme::Disco] {
+        let m = Mediator::new(source.clone()).with_scheme(scheme);
+        if m.plan(&q).is_ok() {
+            g.bench_function(format!("{scheme}"), |b| {
+                b.iter(|| black_box(m.run(&q).unwrap().measured_cost))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

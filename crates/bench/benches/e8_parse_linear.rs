@@ -1,0 +1,35 @@
+//! E8 (Fig. D): Check() scaling in condition size (Earley + Leo).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csqp_expr::{Atom, CondTree};
+use csqp_relation::datagen::{car_listings, CarGenConfig};
+use csqp_source::{CostParams, Source};
+use csqp_ssdl::linearize::linearize;
+use csqp_ssdl::templates;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let source = Source::new(
+        car_listings(11, &CarGenConfig { n_listings: 100 }),
+        templates::car_guide(),
+        CostParams::default(),
+    );
+    let mut g = c.benchmark_group("e8_parse_linear");
+    for len in [8usize, 32, 128] {
+        let cond = CondTree::or(
+            (0..len).map(|i| CondTree::leaf(Atom::eq("size", format!("v{i}")))).collect(),
+        );
+        let tokens = linearize(Some(&cond)).len() as u64;
+        g.throughput(Throughput::Elements(tokens));
+        g.bench_with_input(BenchmarkId::new("gate", len), &cond, |b, cond| {
+            b.iter(|| black_box(source.gate_view().check(Some(cond))))
+        });
+        g.bench_with_input(BenchmarkId::new("closed", len), &cond, |b, cond| {
+            b.iter(|| black_box(source.planning_view().check(Some(cond))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E9 (Table 5): exact vs greedy Minimum-Cost Set Cover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csqp_core::mcsc::{solve_exact, solve_greedy, CoverItem};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn instance(seed: u64, q: usize, universe: u64) -> Vec<CoverItem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..q)
+        .map(|_| CoverItem {
+            set: rng.random_range(1..=universe),
+            cost: rng.random_range(1..100) as f64,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let universe = (1u64 << 8) - 1;
+    let mut g = c.benchmark_group("e9_mcsc");
+    for q in [5usize, 10, 20] {
+        let items = instance(42, q, universe);
+        g.bench_with_input(BenchmarkId::new("exact", q), &items, |b, items| {
+            b.iter(|| black_box(solve_exact(items, universe).0))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", q), &items, |b, items| {
+            b.iter(|| black_box(solve_greedy(items, universe).0))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Experiment harness CLI: regenerates every table/figure of the
+//! reproduction (DESIGN.md §2, EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p csqp-bench --bin experiments              # all, full scale
+//! cargo run --release -p csqp-bench --bin experiments -- --quick   # reduced scale
+//! cargo run --release -p csqp-bench --bin experiments -- --exp e3  # one experiment
+//! cargo run --release -p csqp-bench --bin experiments -- --csv     # CSV output
+//! ```
+
+use csqp_bench::experiments::{self, RunScale};
+use csqp_bench::table::Table;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = RunScale::Full;
+    let mut csv = false;
+    let mut which: Option<String> = None;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = RunScale::Quick,
+            "--csv" => csv = true,
+            "--exp" => {
+                i += 1;
+                which = args.get(i).cloned();
+                if which.is_none() {
+                    eprintln!("--exp needs an argument (e1..e10)");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--seed" => {
+                i += 1;
+                seed = match args.get(i).map(|s| s.parse()) {
+                    Some(Ok(s)) => s,
+                    _ => {
+                        eprintln!("--seed needs a u64 argument");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [--quick] [--csv] [--seed N] [--exp e1..e13]\n\
+                     Regenerates the paper's evaluation tables (see EXPERIMENTS.md)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+
+    let tables: Vec<Table> = match which.as_deref() {
+        None => experiments::run_all(scale, seed),
+        Some("e1") => vec![experiments::e1_bookstore(scale)],
+        Some("e2") => vec![experiments::e2_carguide(scale)],
+        Some("e3") => vec![experiments::e3_gen_time(scale)],
+        Some("e4") => vec![experiments::e4_search_space(scale)],
+        Some("e5") => vec![experiments::e5_pruning(scale)],
+        Some("e6") => vec![experiments::e6_quality(scale, seed)],
+        Some("e7") => vec![experiments::e7_optimality(scale, seed)],
+        Some("e8") => vec![experiments::e8_parse_linear(scale)],
+        Some("e9") => vec![experiments::e9_mcsc(scale, seed)],
+        Some("e10") => vec![experiments::e10_cost_model(scale, seed)],
+        Some("e11") => vec![experiments::e11_closure_ablation(scale, seed)],
+        Some("e12") => vec![experiments::e12_join(scale)],
+        Some("e13") => vec![experiments::e13_cost_models(scale, seed)],
+        Some(other) => {
+            eprintln!("unknown experiment {other:?} (expected e1..e13)");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut mismatches = 0usize;
+    for t in &tables {
+        if csv {
+            println!("# {}", t.title);
+            print!("{}", t.to_csv());
+        } else {
+            println!("{t}");
+        }
+        mismatches += t.notes.iter().filter(|n| n.contains("[MISMATCH]")).count();
+    }
+    if mismatches > 0 {
+        eprintln!("{mismatches} claim check(s) FAILED — see [MISMATCH] notes above");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

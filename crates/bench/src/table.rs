@@ -1,0 +1,135 @@
+//! Minimal aligned-text/CSV tables for the experiment harness output.
+
+use std::fmt;
+
+/// A result table: title, headers, rows of rendered cells, and notes.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Experiment id + description (e.g. "E1 (Table 1): Example 1.1 …").
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (rendered).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (claims checked, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch in {}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders as CSV (headers first; commas in cells replaced by `;`).
+    pub fn to_csv(&self) -> String {
+        let clean = |s: &str| s.replace(',', ";");
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| clean(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| clean(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let n = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:<width$}", c, width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  * {note}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with sensible precision for table cells.
+pub fn fnum(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new("E0: demo", &["scheme", "cost"]);
+        t.row(vec!["GenCompact".into(), "12.5".into()]);
+        t.row(vec!["CNF".into(), "2750".into()]);
+        t.note("lower is better");
+        let text = t.to_string();
+        assert!(text.contains("## E0: demo"));
+        assert!(text.contains("GenCompact"));
+        assert!(text.contains("* lower is better"));
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("scheme,cost\n"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(2750.0), "2750");
+        assert_eq!(fnum(64.25), "64.2");
+        assert_eq!(fnum(1.5), "1.500");
+    }
+}

@@ -1,0 +1,342 @@
+//! Workload generation for the experiment harness: random capability
+//! descriptions, matching synthetic relations, and query families of
+//! controlled shape (the testbed substituting for the extended version's
+//! experiments — see DESIGN.md §3).
+
+use csqp_expr::gen::{CondGen, CondGenConfig, GenAttr};
+use csqp_expr::{CmpOp, CondTree, Value, ValueType};
+use csqp_relation::{Relation, Schema};
+use csqp_source::{CostParams, Source};
+use csqp_ssdl::ast::{sym, DescBuilder, SsdlDesc, Sym};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// The generic experiment schema: a key `k` plus six condition attributes.
+pub const EXP_ATTRS: [(&str, ValueType); 6] = [
+    ("a", ValueType::Int),
+    ("b", ValueType::Int),
+    ("c", ValueType::Int),
+    ("d", ValueType::Str),
+    ("e", ValueType::Str),
+    ("f", ValueType::Int),
+];
+
+/// Value-pool moduli / sizes per attribute (selectivity knobs).
+const POOL: [usize; 6] = [7, 5, 3, 4, 6, 9];
+
+/// Builds the experiment relation: `n` rows over `(k, a..f)`.
+pub fn exp_relation(seed: u64, n: usize) -> Relation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cols: Vec<(&str, ValueType)> = vec![("k", ValueType::Int)];
+    cols.extend(EXP_ATTRS);
+    let schema = Schema::new("exp", cols, &["k"]).expect("exp schema is valid");
+    let rows: Vec<Vec<Value>> = (0..n as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(rng.random_range(0..POOL[0] as i64)),
+                Value::Int(rng.random_range(0..POOL[1] as i64)),
+                Value::Int(rng.random_range(0..POOL[2] as i64)),
+                Value::str(format!("d{}", rng.random_range(0..POOL[3]))),
+                Value::str(format!("e{}", rng.random_range(0..POOL[4]))),
+                Value::Int(rng.random_range(0..POOL[5] as i64)),
+            ]
+        })
+        .collect();
+    Relation::from_rows(schema, rows)
+}
+
+/// Condition-generator attribute pools matching [`exp_relation`].
+pub fn exp_gen_attrs() -> Vec<GenAttr> {
+    vec![
+        GenAttr::ints("a", 0, POOL[0] as i64 - 1, 1),
+        GenAttr::ints("b", 0, POOL[1] as i64 - 1, 1),
+        GenAttr::ints("c", 0, POOL[2] as i64 - 1, 1),
+        GenAttr::strings("d", &["d0", "d1", "d2", "d3"]),
+        GenAttr::strings("e", &["e0", "e1", "e2", "e3", "e4", "e5"]),
+        GenAttr::ints("f", 0, POOL[5] as i64 - 1, 1),
+    ]
+}
+
+/// Parameters for [`random_capability`].
+#[derive(Debug, Clone)]
+pub struct CapabilityParams {
+    /// Number of conjunctive form rules.
+    pub n_forms: usize,
+    /// Maximum atoms per form.
+    pub max_form_atoms: usize,
+    /// Probability a form gets a value-list field appended.
+    pub list_prob: f64,
+    /// Probability the source allows downloads (`true` rule).
+    pub download_prob: f64,
+    /// Probability a non-key attribute is dropped from a form's exports.
+    pub export_drop_prob: f64,
+}
+
+impl Default for CapabilityParams {
+    fn default() -> Self {
+        CapabilityParams {
+            n_forms: 5,
+            max_form_atoms: 3,
+            list_prob: 0.3,
+            download_prob: 0.15,
+            export_drop_prob: 0.25,
+        }
+    }
+}
+
+/// Generates a random capability description over the experiment schema:
+/// conjunctive forms on random attribute subsets, occasional value lists,
+/// occasional downloadability — the capability variety of §4.
+pub fn random_capability(seed: u64, params: &CapabilityParams) -> SsdlDesc {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = DescBuilder::new(format!("rand{seed}"));
+    let mut listed: Vec<&str> = Vec::new();
+
+    for form in 0..params.n_forms {
+        let nt = format!("s{form}");
+        let n_atoms = 1 + rng.random_range(0..params.max_form_atoms);
+        // Pick a random attribute subset (without replacement).
+        let mut pool: Vec<usize> = (0..EXP_ATTRS.len()).collect();
+        let mut body: Vec<Sym> = Vec::new();
+        for i in 0..n_atoms.min(pool.len()) {
+            let pick = rng.random_range(0..pool.len());
+            let (name, ty) = EXP_ATTRS[pool.swap_remove(pick)];
+            if i > 0 {
+                body.push(sym::and());
+            }
+            let op = match ty {
+                ValueType::Int => {
+                    if rng.random_bool(0.5) {
+                        CmpOp::Eq
+                    } else if rng.random_bool(0.5) {
+                        CmpOp::Le
+                    } else {
+                        CmpOp::Ge
+                    }
+                }
+                _ => CmpOp::Eq,
+            };
+            body.extend(sym::atom(name, op, ty));
+        }
+        // Occasionally append a value-list field on a remaining attribute.
+        if rng.random_bool(params.list_prob) && !pool.is_empty() {
+            let pick = rng.random_range(0..pool.len());
+            let (name, ty) = EXP_ATTRS[pool.swap_remove(pick)];
+            // The item idiom (see docs/SSDL.md and FormBuilder): a single
+            // bare value or a parenthesized list — a checkbox group with
+            // one box ticked must still parse.
+            let list_nt = format!("list_{name}");
+            let item_nt = format!("item_{name}");
+            if !listed.contains(&name) {
+                listed.push(name);
+                b = b.rule(&list_nt, sym::atom(name, CmpOp::Eq, ty));
+                let mut rec = sym::atom(name, CmpOp::Eq, ty);
+                rec.push(sym::or());
+                rec.push(sym::nt(&list_nt));
+                b = b.rule(&list_nt, rec);
+                b = b.rule(&item_nt, sym::atom(name, CmpOp::Eq, ty));
+                b = b.rule(
+                    &item_nt,
+                    vec![sym::lparen(), sym::nt(&list_nt), sym::rparen()],
+                );
+            }
+            if !body.is_empty() {
+                body.push(sym::and());
+            }
+            body.push(sym::nt(&item_nt));
+        }
+        // Exports: key always; each attr kept with probability.
+        let mut exports: Vec<&str> = vec!["k"];
+        for (name, _) in EXP_ATTRS {
+            if !rng.random_bool(params.export_drop_prob) {
+                exports.push(name);
+            }
+        }
+        b = b.rule(&nt, body).exports(&nt, &exports);
+    }
+    if rng.random_bool(params.download_prob) {
+        let all: Vec<&str> =
+            std::iter::once("k").chain(EXP_ATTRS.iter().map(|(n, _)| *n)).collect();
+        b = b.rule("s_dl", vec![sym::tru()]).exports("s_dl", &all);
+    }
+    b.build().expect("random capability is valid")
+}
+
+/// A random experiment source: random capability over [`exp_relation`].
+pub fn random_source(seed: u64, rows: usize, params: &CapabilityParams) -> Arc<Source> {
+    let desc = random_capability(seed, params);
+    Arc::new(Source::new(
+        exp_relation(seed.wrapping_mul(31).wrapping_add(7), rows),
+        desc,
+        CostParams::new(50.0, 1.0),
+    ))
+}
+
+/// A random query condition over the experiment schema.
+pub fn random_query(seed: u64, n_atoms: usize, depth: usize) -> CondTree {
+    random_query_shaped(seed, n_atoms, depth, 0.6)
+}
+
+/// As [`random_query`] with an explicit And-bias (lower = more disjunctive
+/// queries, where the schemes differentiate most — Example 1.1's shape).
+pub fn random_query_shaped(seed: u64, n_atoms: usize, depth: usize, and_bias: f64) -> CondTree {
+    let mut g = CondGen::new(seed, exp_gen_attrs());
+    g.tree(&CondGenConfig { n_atoms, max_depth: depth, and_bias, eq_bias: 0.8 })
+}
+
+/// The structured scaling family used by E3/E4/E5: `n` atoms arranged as a
+/// conjunction of small same-attribute disjunctions
+/// (`(a=1 _ a=3) ^ b=2 ^ (d="d0" _ d="d2") ^ …`) — the shape where
+/// capability-sensitive splitting matters most. Atoms draw only from the
+/// attributes the [`scaling_source`] capability supports individually
+/// (`a`, `b`, `d`), so the family stays plannable as it grows.
+pub fn scaling_query(seed: u64, n_atoms: usize) -> CondTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let atom = |rng: &mut StdRng, attr_idx: usize| -> CondTree {
+        match attr_idx {
+            0 => CondTree::leaf(csqp_expr::Atom::eq(
+                "a",
+                rng.random_range(0..POOL[0] as i64),
+            )),
+            1 => CondTree::leaf(csqp_expr::Atom::eq(
+                "b",
+                rng.random_range(0..POOL[1] as i64),
+            )),
+            _ => CondTree::leaf(csqp_expr::Atom::eq(
+                "d",
+                format!("d{}", rng.random_range(0..POOL[3])),
+            )),
+        }
+    };
+    let mut groups: Vec<CondTree> = Vec::new();
+    let mut left = n_atoms;
+    while left > 0 {
+        let attr_idx = rng.random_range(0..3);
+        let take = left.min(2);
+        left -= take;
+        if take == 1 {
+            groups.push(atom(&mut rng, attr_idx));
+        } else {
+            // Same-attribute disjunction: exercises the value-list forms.
+            groups.push(CondTree::or(vec![
+                atom(&mut rng, attr_idx),
+                atom(&mut rng, attr_idx),
+            ]));
+        }
+    }
+    if groups.len() == 1 {
+        groups.pop().expect("len checked")
+    } else {
+        CondTree::and(groups)
+    }
+}
+
+/// The fixed limited source used by the scaling experiments (capability
+/// shaped like the mixed source of the integration tests).
+pub fn scaling_source(seed: u64, rows: usize) -> Arc<Source> {
+    let desc = csqp_ssdl::parse_ssdl(
+        r#"
+        source scaling {
+          s1 -> a = $int ;
+          s2 -> b = $int ;
+          s3 -> a = $int ^ b = $int ;
+          s4 -> c = $int ^ a = $int ;
+          s5 -> d = $str ;
+          s6 -> e = $str ^ f = $int ;
+          s7 -> alist ;
+          alist -> a = $int | a = $int _ alist ;
+          s8 -> dlist ;
+          dlist -> d = $str | d = $str _ dlist ;
+          attributes :: s1 : { k, a, b, c, d, e, f } ;
+          attributes :: s2 : { k, b, c, d } ;
+          attributes :: s3 : { k, a, b, e, f } ;
+          attributes :: s4 : { k, a, c } ;
+          attributes :: s5 : { k, d, e, f } ;
+          attributes :: s6 : { k, e, f, a } ;
+          attributes :: s7 : { k, a } ;
+          attributes :: s8 : { k, d, b } ;
+        }
+        "#,
+    )
+    .expect("scaling capability is valid");
+    Arc::new(Source::new(exp_relation(seed, rows), desc, CostParams::new(50.0, 1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_core::mediator::Mediator;
+    use csqp_core::types::TargetQuery;
+    use csqp_plan::attrs;
+
+    #[test]
+    fn exp_relation_is_deterministic_and_keyed() {
+        let r1 = exp_relation(3, 200);
+        let r2 = exp_relation(3, 200);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.len(), 200);
+        assert_eq!(r1.schema().key, vec!["k".to_string()]);
+    }
+
+    #[test]
+    fn random_capabilities_validate_and_vary() {
+        let params = CapabilityParams::default();
+        let d1 = random_capability(1, &params);
+        let d2 = random_capability(2, &params);
+        assert!(d1.validate().is_ok());
+        assert!(d2.validate().is_ok());
+        assert_ne!(d1, d2, "different seeds give different capabilities");
+        assert_eq!(random_capability(1, &params), d1, "same seed reproduces");
+    }
+
+    #[test]
+    fn random_sources_answer_some_queries() {
+        // Across seeds, a decent fraction of random (source, query) pairs is
+        // plannable — the workload is not degenerate.
+        let params = CapabilityParams::default();
+        let mut feasible = 0;
+        let total = 30;
+        for seed in 0..total {
+            let source = random_source(seed, 300, &params);
+            let cond = random_query(seed + 1000, 3, 3);
+            let q = TargetQuery::new(cond, attrs(["k"]));
+            if Mediator::new(source).plan(&q).is_ok() {
+                feasible += 1;
+            }
+        }
+        assert!(
+            feasible >= total / 5,
+            "only {feasible}/{total} random pairs feasible — workload degenerate"
+        );
+        assert!(
+            feasible < total,
+            "every pair feasible — capability restrictions not biting"
+        );
+    }
+
+    #[test]
+    fn scaling_queries_have_requested_size() {
+        for n in 1..=10 {
+            let q = scaling_query(7, n);
+            assert_eq!(q.n_atoms(), n);
+        }
+    }
+
+    #[test]
+    fn scaling_source_plans_the_family() {
+        let source = scaling_source(5, 400);
+        for n in 2..=7 {
+            for seed in [101u64, 202, 303] {
+                let cond = scaling_query(seed + n as u64, n);
+                let q = TargetQuery::new(cond, attrs(["k"]));
+                // The family is built from individually supported attributes
+                // so every member must be plannable.
+                Mediator::new(source.clone())
+                    .plan(&q)
+                    .unwrap_or_else(|e| panic!("n={n} seed={seed}: {e}"));
+            }
+        }
+    }
+}

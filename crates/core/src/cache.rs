@@ -1,0 +1,110 @@
+//! A memoizing wrapper around `Check(C, R)`.
+//!
+//! The mark module calls `Check` on *every* node of *every* rewritten CT
+//! (§5.2), and IPG calls it on every child subset; identical conditions
+//! recur constantly across rewritings. The cache keys on the linearized
+//! token stream, so structurally identical conditions share one parse.
+
+use csqp_expr::CondTree;
+use csqp_ssdl::check::{CompiledSource, ExportSet};
+use csqp_ssdl::linearize::linearize;
+use csqp_ssdl::token::CondToken;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+/// A memoizing `Check` front-end with call counters.
+#[derive(Debug)]
+pub struct CheckCache<'a> {
+    source: &'a CompiledSource,
+    map: RefCell<HashMap<Vec<CondToken>, ExportSet>>,
+    calls: Cell<usize>,
+    parses: Cell<usize>,
+}
+
+impl<'a> CheckCache<'a> {
+    /// Wraps a compiled source.
+    pub fn new(source: &'a CompiledSource) -> Self {
+        CheckCache {
+            source,
+            map: RefCell::new(HashMap::new()),
+            calls: Cell::new(0),
+            parses: Cell::new(0),
+        }
+    }
+
+    /// The wrapped source.
+    pub fn source(&self) -> &'a CompiledSource {
+        self.source
+    }
+
+    /// `Check(C, R)` (memoized). `None` is the trivially-true condition.
+    pub fn check(&self, cond: Option<&CondTree>) -> ExportSet {
+        self.calls.set(self.calls.get() + 1);
+        let toks = linearize(cond);
+        if let Some(hit) = self.map.borrow().get(&toks) {
+            return hit.clone();
+        }
+        self.parses.set(self.parses.get() + 1);
+        let result = self.source.check_tokens(&toks);
+        self.map.borrow_mut().insert(toks, result.clone());
+        result
+    }
+
+    /// Is `SP(C, A, R)` supported?
+    pub fn supports<S: Ord + AsRef<str>>(
+        &self,
+        cond: Option<&CondTree>,
+        attrs: &std::collections::BTreeSet<S>,
+    ) -> bool {
+        self.check(cond).covers(attrs)
+    }
+
+    /// Total `check` calls (the paper's "Check invocations" measure).
+    pub fn calls(&self) -> usize {
+        self.calls.get()
+    }
+
+    /// Cache misses (actual parses).
+    pub fn parses(&self) -> usize {
+        self.parses.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::parse::parse_condition;
+    use csqp_ssdl::templates;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn caches_identical_conditions() {
+        let compiled = CompiledSource::new(templates::car_dealer());
+        let cache = CheckCache::new(&compiled);
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        let e1 = cache.check(Some(&c));
+        let e2 = cache.check(Some(&c));
+        assert_eq!(e1, e2);
+        assert_eq!(cache.calls(), 2);
+        assert_eq!(cache.parses(), 1);
+        // A different condition misses.
+        let c2 = parse_condition("make = \"BMW\" ^ color = \"red\"").unwrap();
+        cache.check(Some(&c2));
+        assert_eq!(cache.parses(), 2);
+        // The true condition caches too.
+        cache.check(None);
+        cache.check(None);
+        assert_eq!(cache.parses(), 3);
+    }
+
+    #[test]
+    fn supports_delegates() {
+        let compiled = CompiledSource::new(templates::car_dealer());
+        let cache = CheckCache::new(&compiled);
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        let attrs: BTreeSet<String> = ["model".to_string()].into_iter().collect();
+        assert!(cache.supports(Some(&c), &attrs));
+        let bad: BTreeSet<String> = ["price".to_string()].into_iter().collect();
+        assert!(!cache.supports(Some(&c), &bad));
+    }
+}

@@ -1,0 +1,299 @@
+//! EPG — the Exhaustive Plan Generator of GenModular (Algorithm 5.1,
+//! Figure 3).
+//!
+//! Each call generates the set of feasible plans for `SP(n, A, R)`,
+//! represented compactly with the `Choice` operator (§5.3). `None` is the
+//! paper's φ ("cannot be evaluated in any way"); combinations using φ are
+//! eliminated by construction.
+//!
+//! **Documented deviation:** Figure 3 lists the download option (lines
+//! 11–12) only under the `_`-node branch. IPG (Fig. 4) considers downloading
+//! for *every* node, and GenCompact is proven to find the same best plans as
+//! GenModular — so we read the placement as an exposition artifact and
+//! generate the download plan for every node type. Experiment E7 (GenCompact
+//! ≡ GenModular optimality) depends on this reading.
+
+use crate::cache::CheckCache;
+use crate::mark::Marked;
+use csqp_expr::{CondTree, Connector};
+use csqp_plan::{AttrSet, Plan};
+
+/// Children cap for the subset enumeration of lines 6–8 (2^12 subsets).
+pub const MAX_SUBSET_CHILDREN: usize = 12;
+
+/// Mutable search context threaded through EPG calls.
+#[derive(Debug)]
+pub struct EpgContext<'a, 'b> {
+    /// Memoizing Check wrapper.
+    pub cache: &'a CheckCache<'b>,
+    /// Number of EPG invocations.
+    pub calls: usize,
+    /// Set when the children cap truncated subset exploration.
+    pub truncated: bool,
+}
+
+impl<'a, 'b> EpgContext<'a, 'b> {
+    /// Fresh context.
+    pub fn new(cache: &'a CheckCache<'b>) -> Self {
+        EpgContext { cache, calls: 0, truncated: false }
+    }
+}
+
+/// The conjunction of a set of marked children (`AND(Local)` in the paper);
+/// a singleton collapses to the child's own condition.
+fn and_of(children: &[&Marked]) -> CondTree {
+    if children.len() == 1 {
+        children[0].cond.clone()
+    } else {
+        CondTree::and(children.iter().map(|m| m.cond.clone()).collect())
+    }
+}
+
+/// Attributes appearing in a set of children's conditions.
+fn attrs_of(children: &[&Marked]) -> AttrSet {
+    children.iter().flat_map(|m| m.cond.attrs()).collect()
+}
+
+/// Algorithm 5.1. Returns the feasible-plan space for `SP(n, A, R)`, or
+/// `None` (φ).
+pub fn epg(n: &Marked, a: &AttrSet, ctx: &mut EpgContext<'_, '_>) -> Option<Plan> {
+    ctx.calls += 1;
+    let mut plans: Vec<Plan> = Vec::new();
+
+    // Lines 2–3: the pure plan.
+    if n.export.covers(a) {
+        plans.push(Plan::source(Some(n.cond.clone()), a.clone()));
+    }
+
+    match n.connector {
+        Some(Connector::And) => {
+            // Line 5: all children evaluated as separate source-side plans,
+            // intersected at the mediator.
+            let subs: Option<Vec<Plan>> =
+                n.children.iter().map(|c| epg(c, a, ctx)).collect();
+            if let Some(subs) = subs {
+                plans.push(Plan::intersect(subs));
+            }
+            // Lines 6–8: a strict subset X of children is planned (each child
+            // separately), the rest (Local) is evaluated at the mediator on
+            // the intersection of X's results.
+            let k = n.children.len();
+            if k > MAX_SUBSET_CHILDREN {
+                ctx.truncated = true;
+            } else {
+                let full: u32 = (1u32 << k) - 1;
+                for mask in 1..full {
+                    // X = set bits; Local = complement (non-empty since
+                    // mask < full).
+                    let x: Vec<&Marked> = (0..k)
+                        .filter(|i| mask & (1 << i) != 0)
+                        .map(|i| &n.children[i])
+                        .collect();
+                    let local: Vec<&Marked> = (0..k)
+                        .filter(|i| mask & (1 << i) == 0)
+                        .map(|i| &n.children[i])
+                        .collect();
+                    let local_cond = and_of(&local);
+                    let mut widened = a.clone();
+                    widened.extend(attrs_of(&local));
+                    let subs: Option<Vec<Plan>> =
+                        x.iter().map(|c| epg(c, &widened, ctx)).collect();
+                    if let Some(subs) = subs {
+                        plans.push(Plan::local(
+                            Some(local_cond),
+                            a.clone(),
+                            Plan::intersect(subs),
+                        ));
+                    }
+                }
+            }
+        }
+        Some(Connector::Or) => {
+            // Line 10: union of per-child plans. (No opportunity to evaluate
+            // parts of a disjunction on the results of other parts.)
+            let subs: Option<Vec<Plan>> =
+                n.children.iter().map(|c| epg(c, a, ctx)).collect();
+            if let Some(subs) = subs {
+                plans.push(Plan::union(subs));
+            }
+        }
+        None => {}
+    }
+
+    // Lines 11–12 (applied to every node; see module docs): download the
+    // relevant portion of the source and evaluate Cond(n) at the mediator.
+    let mut needed = a.clone();
+    needed.extend(n.cond.attrs());
+    if ctx.cache.check(None).covers(&needed) {
+        plans.push(Plan::local(
+            Some(n.cond.clone()),
+            a.clone(),
+            Plan::source(None, needed),
+        ));
+    }
+
+    // Lines 13–14.
+    if plans.is_empty() {
+        None
+    } else {
+        Some(Plan::choice(plans))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mark::mark;
+    use csqp_expr::parse::parse_condition;
+    use csqp_ssdl::check::CompiledSource;
+    use csqp_ssdl::templates;
+    use csqp_plan::attrs;
+
+    fn plan_space(desc: csqp_ssdl::SsdlDesc, cond: &str, a: &[&str]) -> Option<Plan> {
+        let compiled = CompiledSource::new(desc);
+        let cache = CheckCache::new(&compiled);
+        let ct = parse_condition(cond).unwrap();
+        let marked = mark(&ct, &cache);
+        let mut ctx = EpgContext::new(&cache);
+        epg(&marked, &attrs(a.iter().copied()), &mut ctx)
+    }
+
+    /// Example 5.2: from t1, EPG finds the intersect plan and the nested
+    /// local-evaluation plan; from t0, nothing.
+    #[test]
+    fn example_5_2_t1_has_plans() {
+        let space = plan_space(
+            templates::car_dealer(),
+            "(make = \"BMW\" ^ price < 40000) ^ (make = \"BMW\" ^ color = \"red\")",
+            &["model", "year"],
+        )
+        .expect("t1 yields feasible plans");
+        // The space must contain the intersect plan...
+        let intersect = Plan::intersect(vec![
+            Plan::source(
+                Some(parse_condition("make = \"BMW\" ^ price < 40000").unwrap()),
+                attrs(["model", "year"]),
+            ),
+            Plan::source(
+                Some(parse_condition("make = \"BMW\" ^ color = \"red\"").unwrap()),
+                attrs(["model", "year"]),
+            ),
+        ]);
+        // ...and the local-evaluation plan of Example 5.2:
+        // SP(n2, A, SP(n1, A ∪ Attr(n2), R)).
+        let local = Plan::local(
+            Some(parse_condition("make = \"BMW\" ^ color = \"red\"").unwrap()),
+            attrs(["model", "year"]),
+            Plan::source(
+                Some(parse_condition("make = \"BMW\" ^ price < 40000").unwrap()),
+                attrs(["color", "make", "model", "year"]),
+            ),
+        );
+        let rendered = space.to_string();
+        assert!(rendered.contains(&intersect.to_string()), "missing intersect in {rendered}");
+        assert!(rendered.contains(&local.to_string()), "missing local plan in {rendered}");
+    }
+
+    #[test]
+    fn example_5_2_t0_is_phi() {
+        assert!(plan_space(
+            templates::car_dealer(),
+            "price < 40000 ^ color = \"red\" ^ make = \"BMW\"",
+            &["model", "year"],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn or_node_unions_children() {
+        // Bookstore: per-author plans unioned (Example 1.1's good plan).
+        let space = plan_space(
+            templates::bookstore(),
+            "(author = \"Sigmund Freud\" ^ title contains \"dreams\") _ \
+             (author = \"Carl Jung\" ^ title contains \"dreams\")",
+            &["isbn", "title"],
+        )
+        .expect("the union plan is feasible");
+        let rendered = space.to_string();
+        assert!(rendered.contains("∪"), "expected a union plan in {rendered}");
+    }
+
+    #[test]
+    fn unsupported_disjunct_kills_union() {
+        // Second disjunct unsupported (publisher is not a form field) and no
+        // download: φ.
+        assert!(plan_space(
+            templates::bookstore(),
+            "author = \"Sigmund Freud\" _ publisher = \"Norton\"",
+            &["isbn"],
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn download_plan_generated_when_true_supported() {
+        let space = plan_space(
+            templates::download_only(
+                "dl",
+                &[("a", csqp_expr::ValueType::Int), ("b", csqp_expr::ValueType::Int)],
+            ),
+            "a = 1 ^ b = 2",
+            &["a"],
+        )
+        .expect("download plan exists");
+        let rendered = space.to_string();
+        assert!(rendered.contains("SP(true"), "{rendered}");
+    }
+
+    #[test]
+    fn pure_plan_for_fully_capable_source() {
+        let space = plan_space(
+            templates::full_relational(
+                "full",
+                &[("a", csqp_expr::ValueType::Int), ("b", csqp_expr::ValueType::Int)],
+            ),
+            "a = 1 ^ (a = 2 _ b = 3)",
+            &["a", "b"],
+        )
+        .expect("everything feasible");
+        // Space contains the pure whole-condition pushdown.
+        let rendered = space.to_string();
+        assert!(rendered.contains("SP(a = 1 ^ (a = 2 _ b = 3), {a, b}, R)"), "{rendered}");
+        // And it is large: line 5 + subset plans + download all present.
+        assert!(space.n_alternatives() >= 4, "got {}", space.n_alternatives());
+    }
+
+    #[test]
+    fn subset_local_evaluation_widens_attrs() {
+        // car dealer, target (n1 ^ color-atom): color atom alone unsupported;
+        // X = {n1}, Local = {color=red} needs color exported by n1's form.
+        let space = plan_space(
+            templates::car_dealer(),
+            "(make = \"BMW\" ^ price < 40000) ^ color = \"red\"",
+            &["model"],
+        )
+        .expect("local evaluation of the color atom is feasible");
+        let rendered = space.to_string();
+        assert!(
+            rendered.contains("SP(color = \"red\", {model}, SP(make = \"BMW\" ^ price < 40000, {color, model}, R))"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn counts_calls() {
+        let compiled = CompiledSource::new(templates::car_dealer());
+        let cache = CheckCache::new(&compiled);
+        let ct = parse_condition(
+            "(make = \"BMW\" ^ price < 40000) ^ (make = \"BMW\" ^ color = \"red\")",
+        )
+        .unwrap();
+        let marked = mark(&ct, &cache);
+        let mut ctx = EpgContext::new(&cache);
+        let _ = epg(&marked, &attrs(["model"]), &mut ctx);
+        // Root + recursive calls on children (each visited multiple times
+        // with different attribute sets).
+        assert!(ctx.calls >= 3, "calls = {}", ctx.calls);
+        assert!(!ctx.truncated);
+    }
+}

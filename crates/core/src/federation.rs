@@ -1,0 +1,213 @@
+//! Source selection across mirrors: the same logical data offered by
+//! several Internet sources with *different* capabilities and cost
+//! constants (e.g. two bookstores, one searchable by author only, one
+//! downloadable but slow).
+//!
+//! The federation plans the target query against every member and executes
+//! the cheapest feasible plan — capability-sensitivity applied one level up
+//! from [`crate::mediator::Mediator`].
+
+use crate::mediator::{CardKind, Mediator, MediatorError, RunOutcome};
+use crate::types::{PlanError, PlannedQuery, TargetQuery};
+use csqp_source::Source;
+use std::sync::Arc;
+
+/// A set of interchangeable sources for one logical relation.
+#[derive(Debug)]
+pub struct Federation {
+    members: Vec<Arc<Source>>,
+    card: CardKind,
+}
+
+impl Default for Federation {
+    fn default() -> Self {
+        Federation::new()
+    }
+}
+
+/// A federation planning decision.
+#[derive(Debug)]
+pub struct FederatedPlan {
+    /// The chosen source.
+    pub source: Arc<Source>,
+    /// Its plan.
+    pub planned: PlannedQuery,
+    /// Per-member outcomes (member name, estimated cost or the error),
+    /// for explainability.
+    pub considered: Vec<(String, Result<f64, PlanError>)>,
+}
+
+impl Federation {
+    /// An empty federation.
+    pub fn new() -> Self {
+        Federation { members: Vec::new(), card: CardKind::Stats }
+    }
+
+    /// Adds a member source.
+    pub fn with_member(mut self, source: Arc<Source>) -> Self {
+        self.members.push(source);
+        self
+    }
+
+    /// Selects the cardinality estimator used for every member.
+    pub fn with_cardinality(mut self, card: CardKind) -> Self {
+        self.card = card;
+        self
+    }
+
+    /// The member sources.
+    pub fn members(&self) -> &[Arc<Source>] {
+        &self.members
+    }
+
+    /// Plans `query` against every member and picks the cheapest feasible
+    /// plan (estimated cost under each member's own cost constants).
+    pub fn plan(&self, query: &TargetQuery) -> Result<FederatedPlan, PlanError> {
+        let mut best: Option<(Arc<Source>, PlannedQuery)> = None;
+        let mut considered = Vec::with_capacity(self.members.len());
+        for member in &self.members {
+            let mediator = Mediator::new(member.clone()).with_cardinality(self.card);
+            match mediator.plan(query) {
+                Ok(planned) => {
+                    considered.push((member.name.clone(), Ok(planned.est_cost)));
+                    if best.as_ref().is_none_or(|(_, b)| planned.est_cost < b.est_cost) {
+                        best = Some((member.clone(), planned));
+                    }
+                }
+                Err(e) => considered.push((member.name.clone(), Err(e))),
+            }
+        }
+        match best {
+            Some((source, planned)) => Ok(FederatedPlan { source, planned, considered }),
+            None => Err(PlanError::NoFeasiblePlan {
+                query: query.to_string(),
+                scheme: "Federation",
+            }),
+        }
+    }
+
+    /// Plans and executes on the chosen member.
+    pub fn run(&self, query: &TargetQuery) -> Result<(FederatedPlan, RunOutcome), MediatorError> {
+        let fp = self.plan(query)?;
+        let mediator = Mediator::new(fp.source.clone()).with_cardinality(self.card);
+        let outcome = mediator.run(query)?;
+        Ok((fp, outcome))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::ValueType;
+    use csqp_relation::datagen;
+    use csqp_source::CostParams;
+    use csqp_ssdl::{parse_ssdl, templates};
+
+    /// Three mirrors of the same car data: a form-limited fast one, a
+    /// download-only slow one, and one that cannot answer price queries at
+    /// all.
+    fn mirrors() -> Federation {
+        let data = datagen::cars(3, 400);
+        let fast_form = Arc::new(Source::new(
+            data.clone(),
+            templates::car_dealer(), // make+price / make+color forms
+            CostParams::new(10.0, 1.0),
+        ));
+        let slow_dump = Arc::new(Source::new(
+            data.clone(),
+            templates::download_only(
+                "dump",
+                &[
+                    ("make", ValueType::Str),
+                    ("model", ValueType::Str),
+                    ("year", ValueType::Int),
+                    ("color", ValueType::Str),
+                    ("price", ValueType::Int),
+                ],
+            ),
+            CostParams::new(200.0, 5.0),
+        ));
+        let color_only = Arc::new(Source::new(
+            data,
+            parse_ssdl(
+                "source color_only {\n\
+                 s1 -> color = $str ;\n\
+                 attributes :: s1 : { make, model, year, color } ;\n}",
+            )
+            .unwrap(),
+            CostParams::new(10.0, 1.0),
+        ));
+        Federation::new()
+            .with_member(fast_form)
+            .with_member(slow_dump)
+            .with_member(color_only)
+    }
+
+    #[test]
+    fn picks_the_cheapest_capable_member() {
+        let f = mirrors();
+        // Form query: the fast form source wins over the expensive dump.
+        let q = TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"])
+            .unwrap();
+        let fp = f.plan(&q).unwrap();
+        assert_eq!(fp.source.name, "car_dealer");
+        assert_eq!(fp.considered.len(), 3);
+        // The dump could also answer (download + filter) but at higher cost.
+        let dump = fp.considered.iter().find(|(n, _)| n == "dump").unwrap();
+        assert!(matches!(&dump.1, Ok(c) if *c > fp.planned.est_cost));
+        // color_only cannot answer a price query.
+        let co = fp.considered.iter().find(|(n, _)| n == "color_only").unwrap();
+        assert!(co.1.is_err());
+    }
+
+    #[test]
+    fn routes_queries_by_capability() {
+        let f = mirrors();
+        // A bare color query: only color_only answers it natively; the form
+        // source has no color-only form, the dump can but costs more.
+        let q = TargetQuery::parse("color = \"red\"", &["make", "model"]).unwrap();
+        let fp = f.plan(&q).unwrap();
+        assert_eq!(fp.source.name, "color_only", "{:?}", fp.considered);
+    }
+
+    #[test]
+    fn download_only_member_is_the_last_resort() {
+        let f = mirrors();
+        // year-only queries: no form anywhere — only the dump survives.
+        let q = TargetQuery::parse("year = 1995", &["make", "model"]).unwrap();
+        let fp = f.plan(&q).unwrap();
+        assert_eq!(fp.source.name, "dump");
+        // Executing it returns the exact answer.
+        let (fp2, out) = f.run(&q).unwrap();
+        assert_eq!(fp2.source.name, "dump");
+        let want = csqp_relation::ops::project(
+            &csqp_relation::ops::select(fp2.source.relation(), Some(&q.cond)),
+            &["make", "model"],
+        )
+        .unwrap();
+        assert_eq!(out.rows, want);
+    }
+
+    #[test]
+    fn all_infeasible_reports_federation_error() {
+        let f = Federation::new().with_member(Arc::new(Source::new(
+            datagen::cars(3, 50),
+            templates::car_dealer(),
+            CostParams::default(),
+        )));
+        let q = TargetQuery::parse("year = 1995", &["model"]).unwrap();
+        match f.plan(&q) {
+            Err(PlanError::NoFeasiblePlan { scheme, .. }) => {
+                assert_eq!(scheme, "Federation")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_federation_is_infeasible() {
+        let f = Federation::new();
+        let q = TargetQuery::parse("a = 1", &["k"]).unwrap();
+        assert!(f.plan(&q).is_err());
+    }
+}

@@ -1,0 +1,668 @@
+//! IPG — the Integrated Plan Generator of GenCompact (Algorithm 6.1,
+//! Figures 4, 5 and 6).
+//!
+//! IPG integrates GenModular's mark, generate and cost modules: it returns a
+//! single best plan per canonical CT, using the pruning rules of §6.3:
+//!
+//! - **PR1** — return the pure plan immediately when feasible;
+//! - **PR2** — keep only the cheapest sub-plan per children subset;
+//! - **PR3** — prune dominated sub-plans (a sub-plan covering a superset of
+//!   children at no greater cost dominates).
+//!
+//! Each rule can be disabled individually (experiment E5 measures the
+//! dividends). Sub-plan combination is Minimum-Cost Set Cover, solved
+//! exactly (`O(2^Q)`) or greedily ([`crate::mcsc`]; experiment E9).
+
+use crate::cache::CheckCache;
+use crate::maxeval::max_eval;
+use crate::mcsc::{solve_exact, solve_greedy, CoverItem};
+use csqp_expr::canonical::canonicalize;
+use csqp_expr::{CondTree, Connector};
+use csqp_plan::cost::Cardinality;
+use csqp_plan::model::CostModel;
+use csqp_plan::{AttrSet, Plan};
+use std::collections::HashMap;
+
+/// IPG configuration: pruning-rule toggles and MCSC solver choice.
+#[derive(Debug, Clone, Copy)]
+pub struct IpgConfig {
+    /// PR1: prune impure plans when a pure plan exists.
+    pub pr1: bool,
+    /// PR2: prune locally sub-optimal plans (cheapest per subset).
+    pub pr2: bool,
+    /// PR3: prune dominated sub-plans.
+    pub pr3: bool,
+    /// Solve MCSC exactly (branch-and-bound) or greedily.
+    pub exact_mcsc: bool,
+    /// Cap on a node's children for subset enumeration (2^k subsets).
+    pub max_children: usize,
+}
+
+impl Default for IpgConfig {
+    fn default() -> Self {
+        IpgConfig { pr1: true, pr2: true, pr3: true, exact_mcsc: true, max_children: 14 }
+    }
+}
+
+/// Search statistics from IPG (E4/E5/E9 measurements).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IpgStats {
+    /// IPG invocations (including memo hits).
+    pub calls: usize,
+    /// Largest sub-plan array `Q` handed to MCSC after pruning.
+    pub max_q: usize,
+    /// Candidate sub-plans generated (before pruning).
+    pub subplans_considered: usize,
+    /// MCSC search nodes expanded.
+    pub mcsc_nodes: usize,
+    /// Set when a fan-out cap truncated subset enumeration.
+    pub truncated: bool,
+}
+
+/// A candidate sub-plan for a subset of a node's children.
+#[derive(Debug, Clone)]
+struct SubPlan {
+    plan: Plan,
+    cost: f64,
+    pure: bool,
+}
+
+/// The IPG search context.
+pub struct IpgContext<'a, 'b> {
+    cache: &'a CheckCache<'b>,
+    model: &'a dyn CostModel,
+    card: &'a dyn Cardinality,
+    cfg: IpgConfig,
+    /// Mutable statistics.
+    pub stats: IpgStats,
+    memo: HashMap<(CondTree, AttrSet), Option<(Plan, f64)>>,
+}
+
+impl<'a, 'b> IpgContext<'a, 'b> {
+    /// Creates a context.
+    pub fn new(
+        cache: &'a CheckCache<'b>,
+        model: &'a dyn CostModel,
+        card: &'a dyn Cardinality,
+        cfg: IpgConfig,
+    ) -> Self {
+        IpgContext { cache, model, card, cfg, stats: IpgStats::default(), memo: HashMap::new() }
+    }
+
+    fn source_query_cost(&self, cond: Option<&CondTree>, attrs: &AttrSet) -> f64 {
+        self.model.source_query_cost(cond, attrs, self.card.estimate(cond))
+    }
+}
+
+/// Runs IPG on a condition tree (canonicalized first, per §6.4) and
+/// requested attributes. Returns the best feasible plan and its cost, or
+/// `None` (φ).
+pub fn ipg_entry(
+    cond: &CondTree,
+    attrs: &AttrSet,
+    ctx: &mut IpgContext<'_, '_>,
+) -> Option<(Plan, f64)> {
+    let canon = canonicalize(cond);
+    ipg(&canon, attrs, ctx)
+}
+
+/// Algorithm 6.1 (expects canonical input).
+fn ipg(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Plan, f64)> {
+    ctx.stats.calls += 1;
+    let key = (n.clone(), a.clone());
+    if let Some(hit) = ctx.memo.get(&key) {
+        return hit.clone();
+    }
+
+    // Pure plan (Fig. 4, first check).
+    let pure: Option<(Plan, f64)> = if ctx.cache.check(Some(n)).covers(a) {
+        let cost = ctx.source_query_cost(Some(n), a);
+        Some((Plan::source(Some(n.clone()), a.clone()), cost))
+    } else {
+        None
+    };
+    if ctx.cfg.pr1 {
+        if let Some(p) = pure {
+            ctx.memo.insert(key, Some(p.clone()));
+            return Some(p);
+        }
+    }
+
+    // Download-based impure plan.
+    let mut needed: AttrSet = a.clone();
+    needed.extend(n.attrs());
+    let mut plan_impure: Option<(Plan, f64)> = if ctx.cache.check(None).covers(&needed) {
+        let cost = ctx.source_query_cost(None, &needed);
+        Some((
+            Plan::local(Some(n.clone()), a.clone(), Plan::source(None, needed)),
+            cost,
+        ))
+    } else {
+        None
+    };
+
+    match n.connector() {
+        None => {} // leaf: no further impure plans
+        Some(Connector::Or) => {
+            if let Some(candidate) = or_node(n, a, ctx) {
+                plan_impure = min_plan(plan_impure, Some(candidate));
+            }
+        }
+        Some(Connector::And) => {
+            if let Some(candidate) = and_node(n, a, ctx) {
+                plan_impure = min_plan(plan_impure, Some(candidate));
+            }
+        }
+    }
+
+    // With PR1 disabled, the pure plan competes as an ordinary candidate.
+    let result = min_plan(pure, plan_impure);
+    ctx.memo.insert(key, result.clone());
+    result
+}
+
+fn min_plan(a: Option<(Plan, f64)>, b: Option<(Plan, f64)>) -> Option<(Plan, f64)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.1 <= y.1 { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// `OR(N)` / `AND(N)`: the sub-condition of a children subset (bitmask),
+/// order-preserving; singletons collapse to the child itself.
+fn sub_cond(conn: Connector, children: &[CondTree], mask: u64) -> CondTree {
+    let picked: Vec<CondTree> = children
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, c)| c.clone())
+        .collect();
+    if picked.len() == 1 {
+        picked.into_iter().next().expect("len checked")
+    } else {
+        CondTree::Node(conn, picked)
+    }
+}
+
+fn attrs_of_mask(children: &[CondTree], mask: u64) -> AttrSet {
+    children
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .flat_map(|(_, c)| c.attrs())
+        .collect()
+}
+
+/// Inserts a candidate into the sub-plan array, honoring PR2.
+fn push_subplan(
+    p: &mut HashMap<u64, Vec<SubPlan>>,
+    mask: u64,
+    sub: SubPlan,
+    ctx: &mut IpgContext<'_, '_>,
+) {
+    ctx.stats.subplans_considered += 1;
+    let entry = p.entry(mask).or_default();
+    if ctx.cfg.pr2 {
+        match entry.first() {
+            Some(existing) if existing.cost <= sub.cost => {
+                // Keep pureness information even when costs tie, so the
+                // line-12 guard of Fig. 6 stays sound.
+                if sub.pure && !existing.pure && sub.cost <= existing.cost {
+                    entry[0] = sub;
+                }
+            }
+            _ => {
+                entry.clear();
+                entry.push(sub);
+            }
+        }
+    } else {
+        entry.push(sub);
+    }
+}
+
+/// PR3: removes sub-plans dominated by another entry covering a superset of
+/// children at no greater cost.
+fn prune_dominated(p: &mut HashMap<u64, Vec<SubPlan>>) {
+    let snapshot: Vec<(u64, f64)> = p
+        .iter()
+        .flat_map(|(m, subs)| subs.iter().map(move |s| (*m, s.cost)))
+        .collect();
+    p.retain(|mask, subs| {
+        subs.retain(|s| {
+            !snapshot.iter().any(|(m2, c2)| {
+                // (m2, c2) dominates s?
+                (*m2 != *mask || *c2 < s.cost)
+                    && (*mask & *m2) == *mask // mask ⊆ m2
+                    && *c2 <= s.cost
+            })
+        });
+        !subs.is_empty()
+    });
+}
+
+/// Runs MCSC over the sub-plan array and builds the combined plan.
+fn combine(
+    p: &HashMap<u64, Vec<SubPlan>>,
+    universe: u64,
+    conn: Connector,
+    ctx: &mut IpgContext<'_, '_>,
+) -> Option<(Plan, f64)> {
+    let mut items: Vec<CoverItem> = Vec::new();
+    let mut plans: Vec<&SubPlan> = Vec::new();
+    for (mask, subs) in p {
+        for s in subs {
+            items.push(CoverItem { set: *mask, cost: s.cost });
+            plans.push(s);
+        }
+    }
+    ctx.stats.max_q = ctx.stats.max_q.max(items.len());
+    let (solution, mstats) = if ctx.cfg.exact_mcsc {
+        solve_exact(&items, universe)
+    } else {
+        solve_greedy(&items, universe)
+    };
+    ctx.stats.mcsc_nodes += mstats.nodes;
+    let chosen = solution?;
+    let chosen_plans: Vec<Plan> = chosen.iter().map(|&i| plans[i].plan.clone()).collect();
+    let total: f64 = chosen.iter().map(|&i| plans[i].cost).sum();
+    let combined = match conn {
+        Connector::And => Plan::intersect(chosen_plans),
+        Connector::Or => Plan::union(chosen_plans),
+    };
+    Some((combined, total))
+}
+
+/// Figure 5: the best impure plan for an `_` node.
+fn or_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Plan, f64)> {
+    let children = n.children();
+    let k = children.len();
+    if k > ctx.cfg.max_children {
+        ctx.stats.truncated = true;
+        return None;
+    }
+    let full: u64 = (1u64 << k) - 1;
+    let mut p: HashMap<u64, Vec<SubPlan>> = HashMap::new();
+
+    // Step 1a (lines 3–5): pure sub-plans for every non-empty subset.
+    for mask in 1..=full {
+        let cond = sub_cond(Connector::Or, children, mask);
+        if ctx.cache.check(Some(&cond)).covers(a) {
+            let cost = ctx.source_query_cost(Some(&cond), a);
+            push_subplan(
+                &mut p,
+                mask,
+                SubPlan { plan: Plan::source(Some(cond), a.clone()), cost, pure: true },
+                ctx,
+            );
+        }
+    }
+
+    // Step 1b (lines 6–7): impure sub-plans for single children, only where
+    // no pure singleton exists (PR1).
+    for (i, child) in children.iter().enumerate() {
+        let mask = 1u64 << i;
+        let has_pure = p.get(&mask).is_some_and(|subs| subs.iter().any(|s| s.pure));
+        if ctx.cfg.pr1 && has_pure {
+            continue;
+        }
+        if let Some((plan, cost)) = ipg(child, a, ctx) {
+            push_subplan(&mut p, mask, SubPlan { plan, cost, pure: false }, ctx);
+        }
+    }
+
+    // Step 2 (lines 8–14): prune dominated, then MCSC with ∪ combination.
+    if ctx.cfg.pr3 {
+        prune_dominated(&mut p);
+    }
+    combine(&p, full, Connector::Or, ctx)
+}
+
+/// Figure 6: the best impure plan for an `^` node.
+fn and_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Plan, f64)> {
+    let children = n.children().to_vec();
+    let k = children.len();
+    if k > ctx.cfg.max_children {
+        ctx.stats.truncated = true;
+        return None;
+    }
+    let full: u64 = (1u64 << k) - 1;
+    let mut p: HashMap<u64, Vec<SubPlan>> = HashMap::new();
+
+    // Lines 3–9: pure sub-plans, plus mediator-side evaluation of additional
+    // children on a supported query's exports (MaxEval).
+    for mask in 1..=full {
+        let cond_n = sub_cond(Connector::And, &children, mask);
+        let export = ctx.cache.check(Some(&cond_n));
+        if export.is_empty() {
+            continue;
+        }
+        if export.covers(a) {
+            let cost = ctx.source_query_cost(Some(&cond_n), a);
+            push_subplan(
+                &mut p,
+                mask,
+                SubPlan { plan: Plan::source(Some(cond_n.clone()), a.clone()), cost, pure: true },
+                ctx,
+            );
+        }
+        // For each maximal exported attribute set AN (antichain element):
+        for an in export.sets() {
+            if !a.iter().all(|x| an.contains(x)) {
+                continue; // the nested query must still deliver A
+            }
+            let evaluable = max_eval(an, &children);
+            let nadd: Vec<usize> =
+                evaluable.into_iter().filter(|i| mask & (1 << i) == 0).collect();
+            if nadd.is_empty() {
+                continue;
+            }
+            let m_count = nadd.len();
+            for m_bits in 1u64..(1 << m_count) {
+                let m_mask: u64 = nadd
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| m_bits & (1 << j) != 0)
+                    .map(|(_, &i)| 1u64 << i)
+                    .sum();
+                let cond_m = sub_cond(Connector::And, &children, m_mask);
+                let mut fetched: AttrSet = a.clone();
+                fetched.extend(attrs_of_mask(&children, m_mask));
+                // Attr(AND(M)) ⊆ AN by MaxEval; A ⊆ AN checked above.
+                let cost = ctx.source_query_cost(Some(&cond_n), &fetched);
+                let plan = Plan::local(
+                    Some(cond_m),
+                    a.clone(),
+                    Plan::source(Some(cond_n.clone()), fetched),
+                );
+                push_subplan(
+                    &mut p,
+                    mask | m_mask,
+                    SubPlan { plan, cost, pure: false },
+                    ctx,
+                );
+            }
+        }
+    }
+
+    // Lines 10–13: recursive sub-plans — evaluate one child via IPG, the
+    // rest of N' locally on its result.
+    for i in 0..k {
+        let child_bit = 1u64 << i;
+        for mask in 1..=full {
+            if mask & child_bit == 0 {
+                continue;
+            }
+            // Line 12 guard: skip when a pure plan exists for N' (PR1) or a
+            // superset of N' (PR3).
+            let skip = p.iter().any(|(m2, subs)| {
+                let is_superset = (mask & *m2) == mask;
+                let relevant = if *m2 == mask { ctx.cfg.pr1 } else { ctx.cfg.pr3 };
+                relevant && is_superset && subs.iter().any(|s| s.pure)
+            });
+            if skip {
+                continue;
+            }
+            let rest_mask = mask & !child_bit;
+            let (widened, rest_cond) = if rest_mask == 0 {
+                (a.clone(), None)
+            } else {
+                let mut w = a.clone();
+                w.extend(attrs_of_mask(&children, rest_mask));
+                (w, Some(sub_cond(Connector::And, &children, rest_mask)))
+            };
+            let Some((sub_plan, sub_cost)) = ipg(&children[i], &widened, ctx) else {
+                continue;
+            };
+            let plan = match rest_cond {
+                None => sub_plan,
+                Some(rc) => Plan::local(Some(rc), a.clone(), sub_plan),
+            };
+            push_subplan(&mut p, mask, SubPlan { plan, cost: sub_cost, pure: false }, ctx);
+        }
+    }
+
+    // Lines 14–20.
+    if ctx.cfg.pr3 {
+        prune_dominated(&mut p);
+    }
+    combine(&p, full, Connector::And, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::parse::parse_condition;
+    use csqp_plan::cost::UniformCard;
+    use csqp_plan::attrs;
+    use csqp_ssdl::check::CompiledSource;
+    use csqp_ssdl::closure::permutation_closure;
+    use csqp_ssdl::{parse_ssdl, templates};
+
+    fn run_ipg(
+        desc: csqp_ssdl::SsdlDesc,
+        cond: &str,
+        a: &[&str],
+        cfg: IpgConfig,
+    ) -> (Option<(Plan, f64)>, IpgStats) {
+        let closed = permutation_closure(&desc, 5).desc;
+        let compiled = CompiledSource::new(closed);
+        let cache = CheckCache::new(&compiled);
+        let params = csqp_source::CostParams::new(10.0, 1.0);
+        let card = UniformCard { rows: 1000.0, atom_selectivity: 0.1 };
+        let mut ctx = IpgContext::new(&cache, &params, &card, cfg);
+        let ct = parse_condition(cond).unwrap();
+        let result = ipg_entry(&ct, &attrs(a.iter().copied()), &mut ctx);
+        let stats = ctx.stats;
+        (result, stats)
+    }
+
+    #[test]
+    fn pure_plan_short_circuits_with_pr1() {
+        let (res, stats) = run_ipg(
+            templates::car_dealer(),
+            "make = \"BMW\" ^ price < 40000",
+            &["model", "year"],
+            IpgConfig::default(),
+        );
+        let (plan, _) = res.unwrap();
+        assert!(matches!(plan, Plan::SourceQuery { .. }));
+        // PR1 stops the traversal after the root check.
+        assert_eq!(stats.calls, 1);
+    }
+
+    #[test]
+    fn example_4_1_nested_plan_found() {
+        // Target: (make=BMW ^ price<40000) ^ (color=red _ color=black),
+        // A = {model, year}. The intersect plan is infeasible (n2
+        // unsupported); IPG must find the nested local-evaluation plan.
+        let (res, _) = run_ipg(
+            templates::car_dealer(),
+            "(make = \"BMW\" ^ price < 40000) ^ (color = \"red\" _ color = \"black\")",
+            &["model", "year"],
+            IpgConfig::default(),
+        );
+        let (plan, _) = res.unwrap();
+        match &plan {
+            Plan::LocalSp { cond, input, .. } => {
+                assert!(cond.as_ref().unwrap().to_string().contains("color"));
+                assert!(matches!(**input, Plan::SourceQuery { .. }));
+            }
+            other => panic!("expected nested local plan, got {other}"),
+        }
+    }
+
+    /// Example 6.1: the ∧-node machinery explores the MaxEval-based nested
+    /// sub-plans and picks the cheaper combination.
+    #[test]
+    fn example_6_1_subplan_combination() {
+        // R supports SP(c1,A,R), SP(c2, A∪Attr(c3), R), SP(c3, A∪Attr(c2), R)
+        // where c1: a=.., c2: b=.., c3: c=.. and A={k}.
+        let desc = parse_ssdl(
+            "source ex61 {\n\
+             s1 -> a = $int ;\n\
+             s2 -> b = $int ;\n\
+             s3 -> c = $int ;\n\
+             attributes :: s1 : { k } ;\n\
+             attributes :: s2 : { k, c } ;\n\
+             attributes :: s3 : { k, b } ;\n}",
+        )
+        .unwrap();
+        let (res, stats) = run_ipg(
+            desc,
+            "a = 1 ^ b = 2 ^ c = 3",
+            &["k"],
+            IpgConfig::default(),
+        );
+        let (plan, _) = res.unwrap();
+        // Best plan intersects SP(c1) with a nested plan covering {c2, c3}
+        // via one source query (Plan 3 of the example), beating the
+        // three-query Plan 2 under k1=10.
+        let rendered = plan.to_string();
+        assert!(rendered.contains("∩"), "{rendered}");
+        let sqs = plan.source_queries();
+        assert_eq!(sqs.len(), 2, "two source queries, not three: {rendered}");
+        assert!(stats.max_q >= 2);
+    }
+
+    #[test]
+    fn or_node_set_cover_groups_disjuncts() {
+        // Source supports the two-disjunct form only pairwise (via the list
+        // rule); a 3-way disjunction must be covered by supported subsets.
+        let desc = parse_ssdl(
+            "source lists {\n\
+             s1 -> sizes ;\n\
+             sizes -> size = $str | size = $str _ sizes ;\n\
+             attributes :: s1 : { k, size } ;\n}",
+        )
+        .unwrap();
+        let (res, _) = run_ipg(
+            desc,
+            "size = \"a\" _ size = \"b\" _ size = \"c\"",
+            &["k"],
+            IpgConfig::default(),
+        );
+        let (plan, _) = res.unwrap();
+        // The whole disjunction is supported by the recursive list rule —
+        // pure plan wins.
+        assert!(matches!(plan, Plan::SourceQuery { .. }));
+    }
+
+    #[test]
+    fn or_node_unsupported_disjunct_recursion() {
+        // Only author-equality is supported; the second disjunct needs its
+        // own recursive plan (which exists), union-combined.
+        let (res, _) = run_ipg(
+            templates::bookstore(),
+            "author = \"Sigmund Freud\" _ (author = \"Carl Jung\" ^ title contains \"dreams\")",
+            &["isbn"],
+            IpgConfig::default(),
+        );
+        let (plan, _) = res.unwrap();
+        assert!(matches!(plan, Plan::Union(_)), "{plan}");
+        assert_eq!(plan.source_queries().len(), 2);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let (res, _) = run_ipg(
+            templates::car_dealer(),
+            "year = 1995",
+            &["model"],
+            IpgConfig::default(),
+        );
+        assert!(res.is_none());
+    }
+
+    #[test]
+    fn disabling_pr1_still_finds_optimal() {
+        let cond = "(make = \"BMW\" ^ price < 40000) ^ (color = \"red\" _ color = \"black\")";
+        let cfg_on = IpgConfig::default();
+        let cfg_off = IpgConfig { pr1: false, ..IpgConfig::default() };
+        let (res_on, stats_on) =
+            run_ipg(templates::car_dealer(), cond, &["model", "year"], cfg_on);
+        let (res_off, stats_off) =
+            run_ipg(templates::car_dealer(), cond, &["model", "year"], cfg_off);
+        assert_eq!(res_on.unwrap().1, res_off.unwrap().1, "same optimal cost");
+        assert!(
+            stats_off.subplans_considered >= stats_on.subplans_considered,
+            "PR1 never increases work"
+        );
+    }
+
+    #[test]
+    fn disabling_pr2_pr3_still_finds_optimal() {
+        let cond = "a = 1 ^ b = 2 ^ c = 3";
+        let desc = || {
+            parse_ssdl(
+                "source ex61 {\n\
+                 s1 -> a = $int ;\n\
+                 s2 -> b = $int ;\n\
+                 s3 -> c = $int ;\n\
+                 s4 -> a = $int ^ b = $int ;\n\
+                 attributes :: s1 : { k } ;\n\
+                 attributes :: s2 : { k, c } ;\n\
+                 attributes :: s3 : { k, b } ;\n\
+                 attributes :: s4 : { k } ;\n}",
+            )
+            .unwrap()
+        };
+        let (res_full, stats_full) = run_ipg(desc(), cond, &["k"], IpgConfig::default());
+        let cfg_bare = IpgConfig { pr2: false, pr3: false, ..IpgConfig::default() };
+        let (res_bare, stats_bare) = run_ipg(desc(), cond, &["k"], cfg_bare);
+        assert_eq!(res_full.unwrap().1, res_bare.unwrap().1);
+        assert!(stats_bare.max_q >= stats_full.max_q, "pruning keeps Q small");
+    }
+
+    #[test]
+    fn greedy_mcsc_is_feasible_but_may_cost_more() {
+        let desc = || {
+            parse_ssdl(
+                "source g {\n\
+                 s1 -> a = $int ;\ns2 -> b = $int ;\ns3 -> c = $int ;\n\
+                 s4 -> a = $int ^ b = $int ^ c = $int ;\n\
+                 attributes :: s1 : { k } ;\nattributes :: s2 : { k } ;\n\
+                 attributes :: s3 : { k } ;\nattributes :: s4 : { k } ;\n}",
+            )
+            .unwrap()
+        };
+        // Note: the full conjunction is supported (s4) so the pure plan
+        // wins under PR1; disable PR1 to exercise MCSC.
+        let cfg_exact = IpgConfig { pr1: false, ..IpgConfig::default() };
+        let cfg_greedy = IpgConfig { pr1: false, exact_mcsc: false, ..IpgConfig::default() };
+        let (res_e, _) = run_ipg(desc(), "a = 1 ^ b = 2 ^ c = 3", &["k"], cfg_exact);
+        let (res_g, _) = run_ipg(desc(), "a = 1 ^ b = 2 ^ c = 3", &["k"], cfg_greedy);
+        let (_, ce) = res_e.unwrap();
+        let (_, cg) = res_g.unwrap();
+        assert!(cg >= ce);
+    }
+
+    #[test]
+    fn fan_out_cap_reports_truncation() {
+        let desc = parse_ssdl(
+            "source t {\ns1 -> a = $int ;\nattributes :: s1 : { k } ;\n}",
+        )
+        .unwrap();
+        let parts: Vec<String> = (0..16).map(|i| format!("a = {i}")).collect();
+        let cond = parts.join(" _ ");
+        let cfg = IpgConfig { max_children: 8, ..IpgConfig::default() };
+        let (_, stats) = run_ipg(desc, &cond, &["k"], cfg);
+        assert!(stats.truncated);
+    }
+
+    #[test]
+    fn download_fallback_when_nothing_else_works() {
+        let (res, _) = run_ipg(
+            templates::download_only(
+                "dl",
+                &[("a", csqp_expr::ValueType::Int), ("k", csqp_expr::ValueType::Int)],
+            ),
+            "a = 1",
+            &["k"],
+            IpgConfig::default(),
+        );
+        let (plan, _) = res.unwrap();
+        assert!(plan.to_string().contains("SP(true"), "{plan}");
+    }
+}

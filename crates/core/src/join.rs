@@ -1,0 +1,602 @@
+//! Capability-sensitive join processing across two sources — the "complex
+//! queries" extension the paper defers to its extended version ("selection
+//! queries … form the building blocks of more complex queries", §1).
+//!
+//! Two strategies, both built from GenCompact-planned selection queries:
+//!
+//! - **Hash join**: plan and execute each side independently, join at the
+//!   mediator.
+//! - **Bind join**: execute the (estimated) smaller side first, then push
+//!   its distinct join-key values into the other side's condition as a
+//!   value-list disjunction `key = v1 _ key = v2 _ …`. This is only
+//!   *feasible when the bound side's capability accepts value lists* — the
+//!   planner probes the SSDL description before committing, which is
+//!   exactly the kind of decision capability-blind optimizers cannot make.
+//!
+//! Strategy choice is cost-based (estimated §6.2 cost of all source
+//! queries), with a runtime fallback to hash join if the bind side turns
+//! out to produce more keys than [`JoinConfig::max_bind_values`].
+
+use crate::gencompact::{plan_compact, GenCompactConfig};
+use crate::mediator::MediatorError;
+use crate::types::{PlanError, TargetQuery};
+use csqp_expr::{Atom, CondTree, Value};
+use csqp_plan::cost::StatsCard;
+use csqp_plan::exec::execute_measured;
+use csqp_source::{Meter, Source};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A two-source equi-join of selection queries.
+#[derive(Debug, Clone)]
+pub struct JoinQuery {
+    /// Selection over the left source (the join key is added to its
+    /// projection automatically).
+    pub left: TargetQuery,
+    /// Selection over the right source.
+    pub right: TargetQuery,
+    /// Join attribute on the left source.
+    pub left_key: String,
+    /// Join attribute on the right source.
+    pub right_key: String,
+}
+
+/// How the join was (or must be) executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Both sides fetched independently; joined at the mediator.
+    Hash,
+    /// Left side fetched first; its keys bound into the right side's
+    /// condition.
+    BindLeftIntoRight,
+    /// Right side fetched first; its keys bound into the left side's
+    /// condition.
+    BindRightIntoLeft,
+}
+
+impl fmt::Display for JoinStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinStrategy::Hash => write!(f, "hash join"),
+            JoinStrategy::BindLeftIntoRight => write!(f, "bind join (left → right)"),
+            JoinStrategy::BindRightIntoLeft => write!(f, "bind join (right → left)"),
+        }
+    }
+}
+
+/// Join-processing configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinConfig {
+    /// Maximum distinct key values pushed in a bind join (web forms and
+    /// URLs bound the practical list length).
+    pub max_bind_values: usize,
+    /// Force a specific strategy instead of choosing by cost.
+    pub force: Option<JoinStrategy>,
+    /// GenCompact settings used for every selection sub-plan.
+    pub compact: GenCompactConfig,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        JoinConfig { max_bind_values: 64, force: None, compact: GenCompactConfig::default() }
+    }
+}
+
+/// The result of a join run.
+#[derive(Debug)]
+pub struct JoinOutcome {
+    /// Joined rows: left attributes then right attributes (right columns
+    /// that collide with a left name are prefixed `r_`).
+    pub rows: csqp_relation::Relation,
+    /// The strategy actually executed.
+    pub strategy: JoinStrategy,
+    /// Transfer from the left source.
+    pub left_meter: Meter,
+    /// Transfer from the right source.
+    pub right_meter: Meter,
+    /// Measured §6.2 cost across both sources.
+    pub measured_cost: f64,
+}
+
+/// A mediator joining two capability-limited sources.
+#[derive(Debug)]
+pub struct JoinMediator {
+    left: Arc<Source>,
+    right: Arc<Source>,
+    cfg: JoinConfig,
+}
+
+impl JoinMediator {
+    /// Builds a join mediator with default configuration.
+    pub fn new(left: Arc<Source>, right: Arc<Source>) -> Self {
+        JoinMediator { left, right, cfg: JoinConfig::default() }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, cfg: JoinConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Augments a side's query so the join key is fetched.
+    fn keyed(q: &TargetQuery, key: &str) -> TargetQuery {
+        let mut attrs = q.attrs.clone();
+        attrs.insert(key.to_string());
+        TargetQuery::new(q.cond.clone(), attrs)
+    }
+
+    /// The value-list disjunction `key = v1 _ … _ key = vk`.
+    fn key_list(key: &str, values: &[Value]) -> CondTree {
+        if values.len() == 1 {
+            CondTree::leaf(Atom::eq(key, values[0].clone()))
+        } else {
+            CondTree::or(
+                values.iter().map(|v| CondTree::leaf(Atom::eq(key, v.clone()))).collect(),
+            )
+        }
+    }
+
+    /// A side's condition augmented with a bound key list (canonical shape:
+    /// the list joins the existing conjunction).
+    fn bound_condition(base: &CondTree, key: &str, values: &[Value]) -> CondTree {
+        CondTree::and(vec![base.clone(), Self::key_list(key, values)])
+    }
+
+    /// Can `source` answer `base ∧ key ∈ {2 probe values}` fetching `attrs`?
+    /// Probes capability with representative constants (grammar acceptance
+    /// depends on types and shape, not the specific values — except for
+    /// literal-constant grammars, which the probe then correctly rejects).
+    fn bind_feasible(&self, source: &Source, q: &TargetQuery, key: &str) -> bool {
+        let keyed = Self::keyed(q, key);
+        let probe_values = self.probe_values(source, key);
+        let cond = Self::bound_condition(&keyed.cond, key, &probe_values);
+        let card = StatsCard::new(source.stats());
+        plan_compact(
+            &TargetQuery::new(cond, keyed.attrs),
+            source,
+            &card,
+            &self.cfg.compact,
+        )
+        .is_ok()
+    }
+
+    /// Two representative key constants: real values when statistics carry
+    /// exact frequencies, typed placeholders otherwise.
+    fn probe_values(&self, source: &Source, key: &str) -> Vec<Value> {
+        if let Some(col) = source.stats().column(key) {
+            if let Some(freqs) = &col.freqs {
+                let vs: Vec<Value> = freqs.keys().take(2).cloned().collect();
+                if vs.len() == 2 {
+                    return vs;
+                }
+            }
+        }
+        match source.relation().schema().column(key).map(|c| c.ty) {
+            Some(csqp_expr::ValueType::Int) => vec![Value::Int(0), Value::Int(1)],
+            Some(csqp_expr::ValueType::Float) => vec![Value::Float(0.0), Value::Float(1.0)],
+            _ => vec![Value::str("?a"), Value::str("?b")],
+        }
+    }
+
+    /// Plans + runs the join.
+    pub fn run(&self, q: &JoinQuery) -> Result<JoinOutcome, MediatorError> {
+        let left_q = Self::keyed(&q.left, &q.left_key);
+        let right_q = Self::keyed(&q.right, &q.right_key);
+
+        // Estimated base costs (for strategy choice).
+        let lcard = StatsCard::new(self.left.stats());
+        let rcard = StatsCard::new(self.right.stats());
+        let left_plan = plan_compact(&left_q, &self.left, &lcard, &self.cfg.compact);
+        let right_plan = plan_compact(&right_q, &self.right, &rcard, &self.cfg.compact);
+
+        let left_rows_est = self.left.stats().estimate_rows(Some(&left_q.cond));
+        let right_rows_est = self.right.stats().estimate_rows(Some(&right_q.cond));
+
+        let strategy = match self.cfg.force {
+            Some(s) => s,
+            None => {
+                // Prefer binding the side with the smaller estimated result
+                // into the other, when the list capability exists and the
+                // estimate fits the bind cap. Otherwise hash.
+                let bind_r2l = right_rows_est <= self.cfg.max_bind_values as f64
+                    && right_plan.is_ok()
+                    && self.bind_feasible(&self.left, &q.left, &q.left_key);
+                let bind_l2r = left_rows_est <= self.cfg.max_bind_values as f64
+                    && left_plan.is_ok()
+                    && self.bind_feasible(&self.right, &q.right, &q.right_key);
+                if bind_r2l && (!bind_l2r || right_rows_est <= left_rows_est) {
+                    JoinStrategy::BindRightIntoLeft
+                } else if bind_l2r {
+                    JoinStrategy::BindLeftIntoRight
+                } else {
+                    JoinStrategy::Hash
+                }
+            }
+        };
+
+        match strategy {
+            JoinStrategy::Hash => {
+                let lp = left_plan.map_err(MediatorError::Plan)?;
+                let rp = right_plan.map_err(MediatorError::Plan)?;
+                let (lrows, lmeter) = execute_measured(&lp.plan, &self.left)?;
+                let (rrows, rmeter) = execute_measured(&rp.plan, &self.right)?;
+                self.finish(q, lrows, rrows, JoinStrategy::Hash, lmeter, rmeter)
+            }
+            JoinStrategy::BindRightIntoLeft => {
+                let rp = right_plan.map_err(MediatorError::Plan)?;
+                let (rrows, rmeter) = execute_measured(&rp.plan, &self.right)?;
+                match self.bound_fetch(&left_q, &q.left_key, &rrows, &q.right_key)? {
+                    Some((lrows, lmeter)) => self.finish(
+                        q,
+                        lrows,
+                        rrows,
+                        JoinStrategy::BindRightIntoLeft,
+                        lmeter,
+                        rmeter,
+                    ),
+                    None => {
+                        // Runtime fallback: too many keys — hash join.
+                        let lp = left_plan.map_err(MediatorError::Plan)?;
+                        let (lrows, lmeter) = execute_measured(&lp.plan, &self.left)?;
+                        self.finish(q, lrows, rrows, JoinStrategy::Hash, lmeter, rmeter)
+                    }
+                }
+            }
+            JoinStrategy::BindLeftIntoRight => {
+                let lp = left_plan.map_err(MediatorError::Plan)?;
+                let (lrows, lmeter) = execute_measured(&lp.plan, &self.left)?;
+                match self.bound_fetch_right(&right_q, &q.right_key, &lrows, &q.left_key)? {
+                    Some((rrows, rmeter)) => self.finish(
+                        q,
+                        lrows,
+                        rrows,
+                        JoinStrategy::BindLeftIntoRight,
+                        lmeter,
+                        rmeter,
+                    ),
+                    None => {
+                        let rp = right_plan.map_err(MediatorError::Plan)?;
+                        let (rrows, rmeter) = execute_measured(&rp.plan, &self.right)?;
+                        self.finish(q, lrows, rrows, JoinStrategy::Hash, lmeter, rmeter)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Distinct key values of `rows[key]` (None = over the bind cap).
+    fn distinct_keys(
+        &self,
+        rows: &csqp_relation::Relation,
+        key: &str,
+    ) -> Option<Vec<Value>> {
+        let idx = rows.schema().col_index(key)?;
+        let mut seen: Vec<Value> = Vec::new();
+        for t in rows.tuples() {
+            let v = t.get(idx)?.clone();
+            if !seen.contains(&v) {
+                seen.push(v);
+                if seen.len() > self.cfg.max_bind_values {
+                    return None;
+                }
+            }
+        }
+        Some(seen)
+    }
+
+    fn bound_fetch(
+        &self,
+        left_q: &TargetQuery,
+        left_key: &str,
+        driver_rows: &csqp_relation::Relation,
+        driver_key: &str,
+    ) -> Result<Option<(csqp_relation::Relation, Meter)>, MediatorError> {
+        let Some(keys) = self.distinct_keys(driver_rows, driver_key) else {
+            return Ok(None);
+        };
+        if keys.is_empty() {
+            // Empty driver side: empty join; synthesize an empty result by
+            // selecting nothing.
+            let empty = csqp_relation::Relation::empty(
+                self.left
+                    .relation()
+                    .schema()
+                    .project(
+                        &left_q.attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+                    )
+                    .map_err(|e| {
+                        MediatorError::Plan(PlanError::MalformedQuery(e.to_string()))
+                    })?,
+            );
+            return Ok(Some((empty, Meter::default())));
+        }
+        let cond = Self::bound_condition(&left_q.cond, left_key, &keys);
+        let card = StatsCard::new(self.left.stats());
+        let bound = TargetQuery::new(cond, left_q.attrs.clone());
+        let plan = plan_compact(&bound, &self.left, &card, &self.cfg.compact)
+            .map_err(MediatorError::Plan)?;
+        let (rows, meter) = execute_measured(&plan.plan, &self.left)?;
+        Ok(Some((rows, meter)))
+    }
+
+    fn bound_fetch_right(
+        &self,
+        right_q: &TargetQuery,
+        right_key: &str,
+        driver_rows: &csqp_relation::Relation,
+        driver_key: &str,
+    ) -> Result<Option<(csqp_relation::Relation, Meter)>, MediatorError> {
+        // Same as bound_fetch, against the right source.
+        let Some(keys) = self.distinct_keys(driver_rows, driver_key) else {
+            return Ok(None);
+        };
+        if keys.is_empty() {
+            let empty = csqp_relation::Relation::empty(
+                self.right
+                    .relation()
+                    .schema()
+                    .project(
+                        &right_q.attrs.iter().map(String::as_str).collect::<Vec<_>>(),
+                    )
+                    .map_err(|e| {
+                        MediatorError::Plan(PlanError::MalformedQuery(e.to_string()))
+                    })?,
+            );
+            return Ok(Some((empty, Meter::default())));
+        }
+        let cond = Self::bound_condition(&right_q.cond, right_key, &keys);
+        let card = StatsCard::new(self.right.stats());
+        let bound = TargetQuery::new(cond, right_q.attrs.clone());
+        let plan = plan_compact(&bound, &self.right, &card, &self.cfg.compact)
+            .map_err(MediatorError::Plan)?;
+        let (rows, meter) = execute_measured(&plan.plan, &self.right)?;
+        Ok(Some((rows, meter)))
+    }
+
+    /// Hash-joins the two fetched sides and assembles the outcome.
+    fn finish(
+        &self,
+        q: &JoinQuery,
+        left_rows: csqp_relation::Relation,
+        right_rows: csqp_relation::Relation,
+        strategy: JoinStrategy,
+        left_meter: Meter,
+        right_meter: Meter,
+    ) -> Result<JoinOutcome, MediatorError> {
+        use csqp_relation::{Schema, Tuple};
+        let ls = left_rows.schema().clone();
+        let rs = right_rows.schema().clone();
+        // Output schema: left columns, then right columns (collisions
+        // prefixed `r_`).
+        let mut columns: Vec<(String, csqp_expr::ValueType)> =
+            ls.columns.iter().map(|c| (c.name.clone(), c.ty)).collect();
+        for c in &rs.columns {
+            let name = if ls.col_index(&c.name).is_some() {
+                format!("r_{}", c.name)
+            } else {
+                c.name.clone()
+            };
+            columns.push((name, c.ty));
+        }
+        let col_refs: Vec<(&str, csqp_expr::ValueType)> =
+            columns.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        let schema = Schema::new(format!("{}_join_{}", ls.name, rs.name), col_refs, &[])
+            .map_err(|e| MediatorError::Plan(PlanError::MalformedQuery(e.to_string())))?;
+
+        let lkey = ls.col_index(&q.left_key).ok_or_else(|| {
+            MediatorError::Plan(PlanError::MalformedQuery(format!(
+                "left key {} missing from fetched columns",
+                q.left_key
+            )))
+        })?;
+        let rkey = rs.col_index(&q.right_key).ok_or_else(|| {
+            MediatorError::Plan(PlanError::MalformedQuery(format!(
+                "right key {} missing from fetched columns",
+                q.right_key
+            )))
+        })?;
+
+        // Hash the smaller side.
+        let mut table: HashMap<&Value, Vec<&Tuple>> = HashMap::new();
+        for t in right_rows.tuples() {
+            table.entry(t.get(rkey).expect("arity checked")).or_default().push(t);
+        }
+        let mut out = csqp_relation::Relation::empty(schema);
+        for lt in left_rows.tuples() {
+            let key = lt.get(lkey).expect("arity checked");
+            if let Some(matches) = table.get(key) {
+                for rt in matches {
+                    let mut vals = lt.values().to_vec();
+                    vals.extend(rt.values().iter().cloned());
+                    out.insert(Tuple::new(vals));
+                }
+            }
+        }
+        let measured_cost = left_meter.cost(self.left.cost_params())
+            + right_meter.cost(self.right.cost_params());
+        Ok(JoinOutcome { rows: out, strategy, left_meter, right_meter, measured_cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_relation::datagen::{books, reviews, BookGenConfig};
+    use csqp_source::CostParams;
+    use csqp_ssdl::templates;
+
+    fn setup() -> (Arc<Source>, Arc<Source>) {
+        let book_rel = books(7, &BookGenConfig { n_books: 1_000, ..Default::default() });
+        let isbn_idx = book_rel.schema().col_index("isbn").unwrap();
+        let isbns: Vec<Value> =
+            book_rel.tuples().iter().map(|t| t.get(isbn_idx).unwrap().clone()).collect();
+        let review_rel = reviews(11, &isbns, 3);
+        let bookstore = Arc::new(Source::new(
+            book_rel,
+            templates::bookstore(),
+            CostParams::default(),
+        ));
+        let review_site = Arc::new(Source::new(
+            review_rel,
+            templates::reviews(),
+            CostParams::default(),
+        ));
+        (bookstore, review_site)
+    }
+
+    fn the_join() -> JoinQuery {
+        JoinQuery {
+            left: TargetQuery::parse(
+                r#"author = "Sigmund Freud" ^ title contains "dreams""#,
+                &["isbn", "title"],
+            )
+            .unwrap(),
+            right: TargetQuery::parse(
+                r#"rating >= 4"#,
+                &["review_id", "isbn", "rating", "reviewer"],
+            )
+            .unwrap(),
+            left_key: "isbn".into(),
+            right_key: "isbn".into(),
+        }
+    }
+
+    /// Oracle: nested loops over the raw relations.
+    fn oracle_count(
+        left: &Source,
+        right: &Source,
+        q: &JoinQuery,
+    ) -> usize {
+        use csqp_relation::ops::select;
+        let l = select(left.relation(), Some(&q.left.cond));
+        let r = select(right.relation(), Some(&q.right.cond));
+        let li = l.schema().col_index(&q.left_key).unwrap();
+        let ri = r.schema().col_index(&q.right_key).unwrap();
+        let mut n = 0;
+        for lt in l.tuples() {
+            for rt in r.tuples() {
+                if lt.get(li) == rt.get(ri) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn bind_join_chosen_and_exact() {
+        let (bookstore, review_site) = setup();
+        let q = the_join();
+        let jm = JoinMediator::new(bookstore.clone(), review_site.clone());
+        let out = jm.run(&q).unwrap();
+        // The left side (Freud's dream books) is tiny; its keys bind into
+        // the review site's isbn-list capability.
+        assert_eq!(out.strategy, JoinStrategy::BindLeftIntoRight, "{}", out.strategy);
+        assert_eq!(out.rows.len(), oracle_count(&bookstore, &review_site, &q));
+        assert!(!out.rows.is_empty(), "test data must produce matches");
+        // The bind join never downloads all high-rated reviews.
+        let all_high = csqp_relation::ops::select(
+            review_site.relation(),
+            Some(&q.right.cond),
+        )
+        .len() as u64;
+        assert!(out.right_meter.tuples_shipped < all_high / 2);
+    }
+
+    #[test]
+    fn forced_hash_join_matches_bind_join() {
+        let (bookstore, review_site) = setup();
+        let q = the_join();
+        let hash = JoinMediator::new(bookstore.clone(), review_site.clone())
+            .with_config(JoinConfig { force: Some(JoinStrategy::Hash), ..Default::default() })
+            .run(&q)
+            .unwrap();
+        let bind = JoinMediator::new(bookstore.clone(), review_site.clone()).run(&q).unwrap();
+        assert_eq!(hash.strategy, JoinStrategy::Hash);
+        assert_eq!(hash.rows, bind.rows, "strategies agree on the answer");
+        assert!(
+            bind.measured_cost <= hash.measured_cost,
+            "bind {} vs hash {}",
+            bind.measured_cost,
+            hash.measured_cost
+        );
+    }
+
+    #[test]
+    fn runtime_fallback_when_bind_cap_exceeded() {
+        let (bookstore, review_site) = setup();
+        // A broad left side (keyword only): far more than 4 keys.
+        let q = JoinQuery {
+            left: TargetQuery::parse(r#"title contains "the""#, &["isbn"]).unwrap(),
+            right: TargetQuery::parse(r#"rating >= 1"#, &["review_id", "isbn", "rating"])
+                .unwrap(),
+            left_key: "isbn".into(),
+            right_key: "isbn".into(),
+        };
+        let jm = JoinMediator::new(bookstore.clone(), review_site.clone()).with_config(
+            JoinConfig {
+                max_bind_values: 4,
+                force: Some(JoinStrategy::BindLeftIntoRight),
+                ..Default::default()
+            },
+        );
+        let out = jm.run(&q).unwrap();
+        assert_eq!(out.strategy, JoinStrategy::Hash, "fell back at runtime");
+        assert_eq!(out.rows.len(), oracle_count(&bookstore, &review_site, &q));
+    }
+
+    #[test]
+    fn bind_into_listless_side_degrades_to_local_filtering() {
+        // Reverse direction: the bookstore form has no isbn field, so the
+        // pushed key list cannot reach the source — but GenCompact still
+        // plans the bound query by filtering the list LOCALLY on the
+        // author+keyword fetch. Correct, just not cheaper than hash.
+        let (bookstore, review_site) = setup();
+        let q = the_join();
+        let forced = JoinMediator::new(bookstore.clone(), review_site.clone())
+            .with_config(JoinConfig {
+                force: Some(JoinStrategy::BindRightIntoLeft),
+                max_bind_values: 100_000,
+                ..Default::default()
+            })
+            .run(&q)
+            .unwrap();
+        assert_eq!(forced.rows.len(), oracle_count(&bookstore, &review_site, &q));
+        // The automatic chooser never picks this direction (the right side
+        // exceeds the bind cap and binding buys nothing).
+        let auto = JoinMediator::new(bookstore, review_site).run(&q).unwrap();
+        assert_ne!(auto.strategy, JoinStrategy::BindRightIntoLeft);
+    }
+
+    #[test]
+    fn empty_driver_side_gives_empty_join() {
+        let (bookstore, review_site) = setup();
+        let q = JoinQuery {
+            left: TargetQuery::parse(r#"author = "Nobody Nowhere""#, &["isbn"]).unwrap(),
+            right: TargetQuery::parse(r#"rating >= 4"#, &["isbn", "rating"]).unwrap(),
+            left_key: "isbn".into(),
+            right_key: "isbn".into(),
+        };
+        let out = JoinMediator::new(bookstore, review_site)
+            .with_config(JoinConfig {
+                force: Some(JoinStrategy::BindLeftIntoRight),
+                ..Default::default()
+            })
+            .run(&q)
+            .unwrap();
+        assert!(out.rows.is_empty());
+        assert_eq!(out.right_meter.queries, 0, "no query sent for an empty key set");
+    }
+
+    #[test]
+    fn column_collisions_are_prefixed() {
+        let (bookstore, review_site) = setup();
+        let out = JoinMediator::new(bookstore, review_site).run(&the_join()).unwrap();
+        let names: Vec<&str> = out.rows.schema().column_names().collect();
+        // `isbn` appears on both sides: the right one is prefixed.
+        assert!(names.contains(&"isbn"));
+        assert!(names.contains(&"r_isbn"));
+        assert!(names.contains(&"rating"));
+    }
+}

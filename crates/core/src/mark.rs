@@ -1,0 +1,138 @@
+//! The mark module of GenModular (§5.2).
+//!
+//! For each CT the rewrite module produces, the mark module computes, for
+//! *every* node `n`, the `n.export` field: the attributes the source exports
+//! when asked to evaluate `Cond(n)`. Every node is processed "because we
+//! need to explore the possibility of evaluating any part of the CT at R".
+//!
+//! With antichain exports (DESIGN.md §5) the field is an [`ExportSet`]
+//! rather than a single attribute set.
+
+use crate::cache::CheckCache;
+use csqp_expr::{Atom, CondTree, Connector};
+use csqp_ssdl::check::ExportSet;
+
+/// A CT node annotated with its export field (a parallel tree to the
+/// original [`CondTree`]).
+#[derive(Debug, Clone)]
+pub struct Marked {
+    /// The condition this subtree represents (`Cond(n)`).
+    pub cond: CondTree,
+    /// `n.export` — what the source exports when evaluating `Cond(n)`.
+    pub export: ExportSet,
+    /// The node's connector, `None` for a leaf.
+    pub connector: Option<Connector>,
+    /// Marked children (empty for leaves).
+    pub children: Vec<Marked>,
+}
+
+impl Marked {
+    /// Is this a leaf (atomic condition)?
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// The atom, if a leaf.
+    pub fn atom(&self) -> Option<&Atom> {
+        match &self.cond {
+            CondTree::Leaf(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Total marked nodes.
+    pub fn n_nodes(&self) -> usize {
+        1 + self.children.iter().map(Marked::n_nodes).sum::<usize>()
+    }
+}
+
+/// Marks every node of `ct` using (cached) `Check` calls.
+pub fn mark(ct: &CondTree, cache: &CheckCache<'_>) -> Marked {
+    let export = cache.check(Some(ct));
+    match ct {
+        CondTree::Leaf(_) => {
+            Marked { cond: ct.clone(), export, connector: None, children: Vec::new() }
+        }
+        CondTree::Node(conn, children) => Marked {
+            cond: ct.clone(),
+            export,
+            connector: Some(*conn),
+            children: children.iter().map(|c| mark(c, cache)).collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::parse::parse_condition;
+    use csqp_ssdl::check::CompiledSource;
+    use csqp_ssdl::templates;
+    use std::collections::BTreeSet;
+
+    fn attrs(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Example 5.1: marking t1 = ((make=BMW ^ price<40000) ^ (make=BMW ^
+    /// color=red)) against the Example 4.1 description.
+    #[test]
+    fn example_5_1_marking() {
+        let compiled = CompiledSource::new(templates::car_dealer());
+        let cache = CheckCache::new(&compiled);
+        let t1 = parse_condition(
+            "(make = \"BMW\" ^ price < 40000) ^ (make = \"BMW\" ^ color = \"red\")",
+        )
+        .unwrap();
+        let m = mark(&t1, &cache);
+        // Root n0: R cannot evaluate Cond(n0) — export empty.
+        assert!(m.export.is_empty());
+        assert_eq!(m.children.len(), 2);
+        // n1 exports {make, model, year, color}.
+        let n1 = &m.children[0];
+        assert!(n1.export.covers(&attrs(&["make", "model", "year", "color"])));
+        // n2 exports {make, model, year}.
+        let n2 = &m.children[1];
+        assert!(n2.export.covers(&attrs(&["make", "model", "year"])));
+        assert!(!n2.export.covers(&attrs(&["color"])));
+        // All *grand*children (bare atoms) have empty exports — no rule
+        // accepts a single atom in Example 4.1.
+        for child in &m.children {
+            for grandchild in &child.children {
+                assert!(grandchild.export.is_empty(), "{}", grandchild.cond);
+            }
+        }
+    }
+
+    /// Example 5.1 continued: every node of t0 (the flat conjunction of all
+    /// three atoms) is unevaluable.
+    #[test]
+    fn example_5_1_t0_all_empty() {
+        let compiled = CompiledSource::new(templates::car_dealer());
+        let cache = CheckCache::new(&compiled);
+        let t0 = parse_condition(
+            "price < 40000 ^ color = \"red\" ^ make = \"BMW\"",
+        )
+        .unwrap();
+        let m = mark(&t0, &cache);
+        fn all_empty(m: &Marked) -> bool {
+            m.export.is_empty() && m.children.iter().all(all_empty)
+        }
+        assert!(all_empty(&m), "no part of t0 is evaluable at R");
+        assert_eq!(m.n_nodes(), 4);
+    }
+
+    #[test]
+    fn mark_counts_every_node() {
+        let compiled = CompiledSource::new(templates::car_dealer());
+        let cache = CheckCache::new(&compiled);
+        let t = parse_condition(
+            "(make = \"BMW\" ^ price < 40000) ^ (color = \"red\" _ color = \"black\")",
+        )
+        .unwrap();
+        let before = cache.calls();
+        let m = mark(&t, &cache);
+        assert_eq!(cache.calls() - before, m.n_nodes());
+        assert_eq!(m.n_nodes(), 7);
+    }
+}

@@ -1,0 +1,50 @@
+//! `MaxEval(AN, n)` — §6.4.3.
+//!
+//! Given the attribute set `AN` a source query exports, returns the children
+//! of `n` whose conditions the *mediator* can evaluate locally on the
+//! query's result: those with `Attr(child) ⊆ AN`.
+
+use csqp_expr::CondTree;
+use std::collections::BTreeSet;
+
+/// Indices of `children` evaluable from the exported attributes `an`.
+pub fn max_eval(an: &BTreeSet<String>, children: &[CondTree]) -> Vec<usize> {
+    children
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.attrs().iter().all(|a| an.contains(a)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::parse::parse_condition;
+
+    fn attrs(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn selects_evaluable_children() {
+        let ct = parse_condition(
+            "make = \"BMW\" ^ (color = \"red\" _ color = \"black\") ^ price < 40000",
+        )
+        .unwrap();
+        let children = ct.children().to_vec();
+        assert_eq!(max_eval(&attrs(&["color"]), &children), vec![1]);
+        assert_eq!(max_eval(&attrs(&["make", "color"]), &children), vec![0, 1]);
+        assert_eq!(
+            max_eval(&attrs(&["make", "color", "price"]), &children),
+            vec![0, 1, 2]
+        );
+        assert!(max_eval(&attrs(&["year"]), &children).is_empty());
+    }
+
+    #[test]
+    fn empty_attr_set_evaluates_nothing() {
+        let ct = parse_condition("a = 1 ^ b = 2").unwrap();
+        assert!(max_eval(&BTreeSet::new(), ct.children()).is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! Minimum-Cost Set Cover — the combination step of IPG (§6.4.2).
+//!
+//! Choosing the cheapest set of sub-plans that together evaluate all of a
+//! node's children is MCSC, which is NP-complete [Hochbaum 82]; the paper's
+//! IPG solves it exactly in `O(2^Q)` after pruning keeps `Q` small. We
+//! provide the exact solver (branch-and-bound over the pruned sub-plan
+//! array) plus the classic greedy `ln(n)`-approximation as a planner option
+//! and ablation (experiment E9).
+
+/// One candidate sub-plan: which children it covers (bitmask) and its cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoverItem {
+    /// Bitmask of covered children.
+    pub set: u64,
+    /// Cost of the sub-plan.
+    pub cost: f64,
+}
+
+/// Statistics from one MCSC solve.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct McscStats {
+    /// Branch-and-bound nodes expanded (or greedy iterations).
+    pub nodes: usize,
+}
+
+/// Exact MCSC via branch-and-bound: returns indices of the chosen items
+/// (minimal total cost whose union is `universe`), or `None` if `universe`
+/// cannot be covered.
+pub fn solve_exact(items: &[CoverItem], universe: u64) -> (Option<Vec<usize>>, McscStats) {
+    let stats = McscStats::default();
+    if universe == 0 {
+        return (Some(Vec::new()), stats);
+    }
+    // Reachability check: the union of all items must cover the universe.
+    let all: u64 = items.iter().fold(0, |acc, it| acc | it.set);
+    if all & universe != universe {
+        return (None, stats);
+    }
+    // Order by cost ascending — good upper bounds early.
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| items[a].cost.partial_cmp(&items[b].cost).expect("finite costs"));
+
+    // Suffix masks: what the items from position i onward can still cover.
+    let mut suffix_cover = vec![0u64; order.len() + 1];
+    for i in (0..order.len()).rev() {
+        suffix_cover[i] = suffix_cover[i + 1] | items[order[i]].set;
+    }
+
+    struct Search<'a> {
+        items: &'a [CoverItem],
+        order: &'a [usize],
+        suffix_cover: &'a [u64],
+        universe: u64,
+        chosen: Vec<usize>,
+        best_cost: f64,
+        best: Option<Vec<usize>>,
+        stats: McscStats,
+    }
+
+    impl Search<'_> {
+        fn dfs(&mut self, pos: usize, covered: u64, cost: f64) {
+            self.stats.nodes += 1;
+            if covered & self.universe == self.universe {
+                if cost < self.best_cost {
+                    self.best_cost = cost;
+                    self.best = Some(self.chosen.clone());
+                }
+                return;
+            }
+            if pos >= self.order.len() || cost >= self.best_cost {
+                return;
+            }
+            // Bound: remaining items cannot complete the cover.
+            if (covered | self.suffix_cover[pos]) & self.universe != self.universe {
+                return;
+            }
+            let idx = self.order[pos];
+            let item = self.items[idx];
+            // Branch 1: take it (only if it adds coverage).
+            if item.set & self.universe & !covered != 0 {
+                self.chosen.push(idx);
+                self.dfs(pos + 1, covered | item.set, cost + item.cost);
+                self.chosen.pop();
+            }
+            // Branch 2: skip it.
+            self.dfs(pos + 1, covered, cost);
+        }
+    }
+
+    let mut search = Search {
+        items,
+        order: &order,
+        suffix_cover: &suffix_cover,
+        universe,
+        chosen: Vec::new(),
+        best_cost: f64::INFINITY,
+        best: None,
+        stats,
+    };
+    search.dfs(0, 0, 0.0);
+    (search.best, search.stats)
+}
+
+/// Greedy MCSC (Hochbaum/Chvátal): repeatedly take the item minimizing
+/// cost per newly covered element. `ln(n)`-approximate, near-linear time.
+pub fn solve_greedy(items: &[CoverItem], universe: u64) -> (Option<Vec<usize>>, McscStats) {
+    let mut stats = McscStats::default();
+    if universe == 0 {
+        return (Some(Vec::new()), stats);
+    }
+    let mut covered = 0u64;
+    let mut chosen: Vec<usize> = Vec::new();
+    while covered & universe != universe {
+        stats.nodes += 1;
+        let mut best_idx = None;
+        let mut best_ratio = f64::INFINITY;
+        for (i, it) in items.iter().enumerate() {
+            let new = (it.set & universe & !covered).count_ones();
+            if new == 0 {
+                continue;
+            }
+            let ratio = it.cost / new as f64;
+            if ratio < best_ratio {
+                best_ratio = ratio;
+                best_idx = Some(i);
+            }
+        }
+        match best_idx {
+            Some(i) => {
+                covered |= items[i].set;
+                chosen.push(i);
+            }
+            None => return (None, stats),
+        }
+    }
+    (Some(chosen), stats)
+}
+
+/// Total cost of a chosen item set.
+pub fn cover_cost(items: &[CoverItem], chosen: &[usize]) -> f64 {
+    chosen.iter().map(|&i| items[i].cost).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(set: u64, cost: f64) -> CoverItem {
+        CoverItem { set, cost }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let (sol, _) = solve_exact(&[], 0);
+        assert_eq!(sol, Some(vec![]));
+        let (sol, _) = solve_exact(&[], 0b1);
+        assert_eq!(sol, None);
+        let (sol, _) = solve_greedy(&[item(0b1, 1.0)], 0b1);
+        assert_eq!(sol, Some(vec![0]));
+    }
+
+    #[test]
+    fn exact_prefers_cheap_combined_cover() {
+        // Example 6.1's shape: {c1}, {c2}, {c3}, {c2,c3}.
+        let items = [
+            item(0b001, 10.0), // c1
+            item(0b010, 10.0), // c2
+            item(0b100, 10.0), // c3
+            item(0b110, 12.0), // c2,c3 (nested plan)
+        ];
+        let (sol, _) = solve_exact(&items, 0b111);
+        let mut chosen = sol.unwrap();
+        chosen.sort_unstable();
+        assert_eq!(chosen, vec![0, 3]); // c1 + {c2,c3}: cost 22 < 30
+        assert!((cover_cost(&items, &chosen) - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_beats_greedy_on_adversarial_input() {
+        // Classic greedy trap: one big slightly-pricier set vs chained
+        // cheap-ratio picks.
+        let items = [
+            item(0b1111, 4.1),
+            item(0b0011, 2.0),
+            item(0b1100, 2.0),
+            item(0b0001, 0.9),
+        ];
+        let (ex, _) = solve_exact(&items, 0b1111);
+        let ex_cost = cover_cost(&items, &ex.unwrap());
+        assert!((ex_cost - 4.0).abs() < 1e-9, "exact picks the two pairs: {ex_cost}");
+        let (gr, _) = solve_greedy(&items, 0b1111);
+        let gr_cost = cover_cost(&items, &gr.unwrap());
+        assert!(gr_cost >= ex_cost, "greedy never beats exact");
+    }
+
+    #[test]
+    fn uncoverable_universe() {
+        let items = [item(0b001, 1.0), item(0b010, 1.0)];
+        assert_eq!(solve_exact(&items, 0b111).0, None);
+        assert_eq!(solve_greedy(&items, 0b111).0, None);
+    }
+
+    #[test]
+    fn overlapping_covers_allowed() {
+        // Overlap is fine for both ∧ (intersection) and ∨ (union)
+        // combination.
+        let items = [item(0b011, 3.0), item(0b110, 3.0), item(0b101, 3.0)];
+        let (sol, _) = solve_exact(&items, 0b111);
+        assert_eq!(sol.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn exact_matches_brute_force_on_random_instances() {
+        // Deterministic pseudo-random instances; compare against 2^n brute
+        // force.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let n_items = 3 + (next() % 6) as usize;
+            let universe_bits = 2 + (next() % 5) as u32;
+            let universe = (1u64 << universe_bits) - 1;
+            let items: Vec<CoverItem> = (0..n_items)
+                .map(|_| item(next() % (universe + 1), ((next() % 100) + 1) as f64))
+                .collect();
+            let (sol, _) = solve_exact(&items, universe);
+            // Brute force.
+            let mut brute: Option<f64> = None;
+            for mask in 0u32..(1 << n_items) {
+                let mut cov = 0u64;
+                let mut cost = 0.0;
+                for (i, it) in items.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        cov |= it.set;
+                        cost += it.cost;
+                    }
+                }
+                if cov & universe == universe && brute.is_none_or(|b| cost < b) {
+                    brute = Some(cost);
+                }
+            }
+            match (sol, brute) {
+                (Some(chosen), Some(bcost)) => {
+                    let c = cover_cost(&items, &chosen);
+                    assert!((c - bcost).abs() < 1e-9, "trial {trial}: {c} vs {bcost}");
+                }
+                (None, None) => {}
+                (a, b) => panic!("trial {trial}: exact={a:?} brute={b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_is_fast_and_feasible_on_large_instances() {
+        let items: Vec<CoverItem> =
+            (0..40).map(|i| item(0b11 << (i % 32), 1.0 + (i % 7) as f64)).collect();
+        let universe = (1u64 << 33) - 1;
+        let (sol, stats) = solve_greedy(&items, universe);
+        assert!(sol.is_some());
+        assert!(stats.nodes <= 40);
+    }
+}

@@ -1,0 +1,410 @@
+//! The mediator façade: pick a scheme, plan a target query, execute it.
+//!
+//! This is also the wrapper-construction recipe of §2/§6: "if wrappers are
+//! to provide generic relational capabilities for Internet sources, then
+//! they need to implement a scheme like the one we describe" — a
+//! [`Mediator`] over a single source *is* such a wrapper.
+
+use crate::baselines::{
+    plan_cnf_with_model, plan_disco_with_model, plan_dnf_with_model, plan_naive_with_model,
+};
+use crate::gencompact::{plan_compact_with_model, GenCompactConfig};
+use crate::genmodular::{plan_modular_with_model, GenModularConfig};
+use crate::types::{PlanError, PlannedQuery, TargetQuery};
+use csqp_plan::cost::{OracleCard, StatsCard, UniformCard};
+use csqp_plan::model::CostModel;
+use csqp_plan::exec::{execute_measured, ExecError};
+use csqp_relation::Relation;
+use csqp_source::{Meter, Source};
+use std::fmt;
+use std::sync::Arc;
+
+/// The planning scheme to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// GenCompact (§6) — the paper's contribution.
+    GenCompact,
+    /// GenModular (§5) — the naive exhaustive scheme.
+    GenModular,
+    /// Garlic-style CNF clause pushdown.
+    Cnf,
+    /// DNF term pushdown.
+    Dnf,
+    /// DISCO all-or-nothing.
+    Disco,
+    /// Naive full-relational pushdown.
+    NaivePush,
+}
+
+impl Scheme {
+    /// All schemes, GenCompact first (experiment table order).
+    pub const ALL: [Scheme; 6] = [
+        Scheme::GenCompact,
+        Scheme::GenModular,
+        Scheme::Cnf,
+        Scheme::Dnf,
+        Scheme::Disco,
+        Scheme::NaivePush,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::GenCompact => "GenCompact",
+            Scheme::GenModular => "GenModular",
+            Scheme::Cnf => "CNF (Garlic)",
+            Scheme::Dnf => "DNF",
+            Scheme::Disco => "DISCO",
+            Scheme::NaivePush => "NaivePush",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which cardinality estimator the cost model uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CardKind {
+    /// Single-column statistics with independence (default).
+    Stats,
+    /// Exact sizes by executing selections against the relation (experiment
+    /// oracle).
+    Oracle,
+    /// Fixed per-atom selectivity.
+    Uniform {
+        /// Assumed per-atom selectivity.
+        atom_selectivity: f64,
+    },
+}
+
+/// The outcome of planning + executing a target query.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The chosen plan and its estimated cost.
+    pub planned: PlannedQuery,
+    /// The query answer.
+    pub rows: Relation,
+    /// Transfer caused by this run (meter delta).
+    pub meter: Meter,
+    /// Measured cost of the run under the source's §6.2 constants.
+    pub measured_cost: f64,
+}
+
+/// Execution-stage errors surfaced by [`Mediator::run`].
+#[derive(Debug)]
+pub enum MediatorError {
+    /// Planning failed.
+    Plan(PlanError),
+    /// Execution failed (should not happen for feasible plans).
+    Exec(ExecError),
+}
+
+impl fmt::Display for MediatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MediatorError::Plan(e) => write!(f, "{e}"),
+            MediatorError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MediatorError {}
+
+impl From<PlanError> for MediatorError {
+    fn from(e: PlanError) -> Self {
+        MediatorError::Plan(e)
+    }
+}
+
+impl From<ExecError> for MediatorError {
+    fn from(e: ExecError) -> Self {
+        MediatorError::Exec(e)
+    }
+}
+
+/// A mediator over one capability-limited source.
+pub struct Mediator {
+    source: Arc<Source>,
+    scheme: Scheme,
+    card: CardKind,
+    compact_cfg: GenCompactConfig,
+    modular_cfg: GenModularConfig,
+    model: Option<Arc<dyn CostModel + Send + Sync>>,
+}
+
+impl fmt::Debug for Mediator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mediator")
+            .field("source", &self.source.name)
+            .field("scheme", &self.scheme)
+            .field("card", &self.card)
+            .field("custom_model", &self.model.is_some())
+            .finish()
+    }
+}
+
+impl Mediator {
+    /// A GenCompact mediator with statistics-based costing.
+    pub fn new(source: Arc<Source>) -> Self {
+        Mediator {
+            source,
+            scheme: Scheme::GenCompact,
+            card: CardKind::Stats,
+            compact_cfg: GenCompactConfig::default(),
+            modular_cfg: GenModularConfig::default(),
+            model: None,
+        }
+    }
+
+    /// Overrides the cost model used for planning (§7 flexibility). The
+    /// default is the source's §6.2 affine constants. Note that
+    /// [`RunOutcome::measured_cost`] always reports in the §6.2 affine units
+    /// (the meter records queries and tuples, not byte widths).
+    pub fn with_cost_model(mut self, model: Arc<dyn CostModel + Send + Sync>) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// Selects the planning scheme.
+    pub fn with_scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Selects the cardinality estimator.
+    pub fn with_cardinality(mut self, card: CardKind) -> Self {
+        self.card = card;
+        self
+    }
+
+    /// Overrides the GenCompact configuration.
+    pub fn with_compact_config(mut self, cfg: GenCompactConfig) -> Self {
+        self.compact_cfg = cfg;
+        self
+    }
+
+    /// Overrides the GenModular configuration.
+    pub fn with_modular_config(mut self, cfg: GenModularConfig) -> Self {
+        self.modular_cfg = cfg;
+        self
+    }
+
+    /// The source this mediator fronts.
+    pub fn source(&self) -> &Arc<Source> {
+        &self.source
+    }
+
+    /// The active scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Plans a target query without executing it.
+    pub fn plan(&self, query: &TargetQuery) -> Result<PlannedQuery, PlanError> {
+        let s = &self.source;
+        match self.card {
+            CardKind::Stats => {
+                let card = StatsCard::new(s.stats());
+                self.dispatch(query, &card)
+            }
+            CardKind::Oracle => {
+                let card = OracleCard::new(s.relation());
+                self.dispatch(query, &card)
+            }
+            CardKind::Uniform { atom_selectivity } => {
+                let card = UniformCard {
+                    rows: s.relation().len() as f64,
+                    atom_selectivity,
+                };
+                self.dispatch(query, &card)
+            }
+        }
+    }
+
+    fn dispatch(
+        &self,
+        query: &TargetQuery,
+        card: &dyn csqp_plan::cost::Cardinality,
+    ) -> Result<PlannedQuery, PlanError> {
+        let s = &self.source;
+        let default_model = s.cost_params();
+        let model: &dyn CostModel = match &self.model {
+            Some(m) => m.as_ref(),
+            None => default_model,
+        };
+        match self.scheme {
+            Scheme::GenCompact => {
+                plan_compact_with_model(query, s, card, &self.compact_cfg, model)
+            }
+            Scheme::GenModular => {
+                plan_modular_with_model(query, s, card, &self.modular_cfg, model)
+            }
+            Scheme::Cnf => plan_cnf_with_model(query, s, card, model),
+            Scheme::Dnf => plan_dnf_with_model(query, s, card, model),
+            Scheme::Disco => plan_disco_with_model(query, s, card, model),
+            Scheme::NaivePush => plan_naive_with_model(query, s, card, model),
+        }
+    }
+
+    /// Plans and executes a target query, reporting the answer and the
+    /// transfer it caused.
+    pub fn run(&self, query: &TargetQuery) -> Result<RunOutcome, MediatorError> {
+        let planned = self.plan(query)?;
+        let (rows, meter) = execute_measured(&planned.plan, &self.source)?;
+        let measured_cost = meter.cost(self.source.cost_params());
+        Ok(RunOutcome { planned, rows, meter, measured_cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_relation::ops::{project, select};
+    use csqp_source::Catalog;
+
+    const EX11: &str = "(author = \"Sigmund Freud\" _ author = \"Carl Jung\") ^ \
+                        title contains \"dreams\"";
+
+    #[test]
+    fn run_example_1_1_across_schemes() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("bookstore").unwrap().clone();
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let want = project(
+            &select(source.relation(), Some(&q.cond)),
+            &["isbn", "author", "title"],
+        )
+        .unwrap();
+
+        let mut costs = std::collections::HashMap::new();
+        for scheme in [Scheme::GenCompact, Scheme::Dnf, Scheme::Cnf] {
+            let m = Mediator::new(source.clone()).with_scheme(scheme);
+            let out = m.run(&q).unwrap();
+            assert_eq!(out.rows, want, "{scheme} returned a wrong answer");
+            costs.insert(scheme, out.measured_cost);
+        }
+        // GenCompact ≤ DNF < CNF in measured cost on Example 1.1.
+        assert!(costs[&Scheme::GenCompact] <= costs[&Scheme::Dnf] + 1e-9);
+        assert!(costs[&Scheme::Dnf] < costs[&Scheme::Cnf]);
+        // DISCO and naive pushdown are infeasible.
+        for scheme in [Scheme::Disco, Scheme::NaivePush] {
+            let m = Mediator::new(source.clone()).with_scheme(scheme);
+            assert!(matches!(m.run(&q), Err(MediatorError::Plan(_))), "{scheme}");
+        }
+    }
+
+    #[test]
+    fn gencompact_and_genmodular_agree_on_cost() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("car_dealer").unwrap().clone();
+        let q = TargetQuery::parse(
+            "(make = \"BMW\" ^ price < 40000) ^ (color = \"red\" _ color = \"black\")",
+            &["model", "year"],
+        )
+        .unwrap();
+        let compact = Mediator::new(source.clone()).plan(&q).unwrap();
+        let modular = Mediator::new(source.clone())
+            .with_scheme(Scheme::GenModular)
+            .plan(&q)
+            .unwrap();
+        assert!(
+            (compact.est_cost - modular.est_cost).abs() < 1e-6,
+            "optimality preserved: compact {} vs modular {}",
+            compact.est_cost,
+            modular.est_cost
+        );
+    }
+
+    #[test]
+    fn cardinality_kinds_all_plan() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("car_guide").unwrap().clone();
+        let q = TargetQuery::parse(
+            "style = \"sedan\" ^ make = \"Toyota\" ^ price <= 20000",
+            &["listing_id", "model"],
+        )
+        .unwrap();
+        for kind in [
+            CardKind::Stats,
+            CardKind::Oracle,
+            CardKind::Uniform { atom_selectivity: 0.2 },
+        ] {
+            let m = Mediator::new(source.clone()).with_cardinality(kind);
+            let planned = m.plan(&q).unwrap();
+            assert!(planned.plan.is_concrete());
+        }
+    }
+
+    #[test]
+    fn custom_cost_model_planning() {
+        use csqp_plan::model::LatencyBandwidthCost;
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("car_dealer").unwrap().clone();
+        let q = TargetQuery::parse(
+            "(make = \"BMW\" ^ price < 40000) ^ (color = \"red\" _ color = \"black\")",
+            &["model", "year"],
+        )
+        .unwrap();
+        let affine = Mediator::new(source.clone()).plan(&q).unwrap();
+        let lbc = Mediator::new(source.clone())
+            .with_cost_model(Arc::new(LatencyBandwidthCost::default()))
+            .plan(&q)
+            .unwrap();
+        // Same feasibility, different units; both concrete and executable.
+        assert!(lbc.plan.is_concrete());
+        assert!((lbc.est_cost - affine.est_cost).abs() > 1e-9, "models differ in units");
+        let out = Mediator::new(source.clone())
+            .with_cost_model(Arc::new(LatencyBandwidthCost::default()))
+            .run(&q)
+            .unwrap();
+        assert!(!out.rows.is_empty());
+    }
+
+    #[test]
+    fn width_aware_model_prefers_narrow_fetches() {
+        use csqp_plan::model::LatencyBandwidthCost;
+        use csqp_plan::resolve::resolve;
+        use csqp_plan::{attrs, Plan, UniformCard};
+        // Two alternatives with identical row counts: a narrow direct query
+        // vs a wide over-fetching nested plan. The width-aware model must
+        // pick the narrow one when the width penalty exceeds the round trip.
+        let cond = |s: &str| Some(csqp_expr::parse::parse_condition(s).unwrap());
+        let wide = Plan::local(
+            cond("b = 2"),
+            attrs(["k"]),
+            Plan::source(cond("a = 1"), attrs(["k", "b", "x", "y", "z", "w", "v", "u"])),
+        );
+        let narrow = Plan::source(cond("a = 1 ^ b = 2"), attrs(["k"]));
+        let space = Plan::Choice(vec![wide.clone(), narrow.clone()]);
+        let card = UniformCard { rows: 1000.0, atom_selectivity: 0.5 };
+        let model = LatencyBandwidthCost {
+            latency: 1.0,
+            bytes_per_attr: 16.0,
+            tuple_overhead: 0.0,
+            bandwidth: 16.0,
+        };
+        let picked = resolve(&space, &model, &card);
+        assert_eq!(picked, narrow, "width-aware model avoids the 8-attribute fetch");
+    }
+
+    #[test]
+    fn wrapper_usage_shape() {
+        // A mediator as a per-source wrapper: callers just ask SP queries.
+        let catalog = Catalog::demo_small(7);
+        let bank = catalog.get("bank").unwrap().clone();
+        let wrapper = Mediator::new(bank);
+        let q = TargetQuery::parse(
+            "acct_no = \"acct-00007\" ^ pin = \"pin-00007\"",
+            &["owner", "balance"],
+        )
+        .unwrap();
+        let out = wrapper.run(&q).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(out.meter.queries >= 1);
+        assert!(out.measured_cost > 0.0);
+    }
+}

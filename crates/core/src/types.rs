@@ -1,0 +1,126 @@
+//! Shared planner types: target queries, planner outputs, search reports,
+//! and errors.
+
+use csqp_expr::parse::{parse_condition, ParseError};
+use csqp_expr::CondTree;
+use csqp_plan::{AttrSet, Plan};
+use std::fmt;
+use std::time::Duration;
+
+/// A target query `SP(C, A, R)` (§3): select by condition `C`, project to
+/// attributes `A`, on source relation `R` (bound at planning time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetQuery {
+    /// The condition expression.
+    pub cond: CondTree,
+    /// The requested (projected) attributes.
+    pub attrs: AttrSet,
+}
+
+impl TargetQuery {
+    /// Builds a target query.
+    pub fn new(cond: CondTree, attrs: AttrSet) -> Self {
+        TargetQuery { cond, attrs }
+    }
+
+    /// Parses the condition from text syntax.
+    pub fn parse(cond_text: &str, attrs: &[&str]) -> Result<Self, ParseError> {
+        Ok(TargetQuery {
+            cond: parse_condition(cond_text)?,
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+        })
+    }
+}
+
+impl fmt::Display for TargetQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SP({}, {{{}}}, R)",
+            self.cond,
+            self.attrs.iter().cloned().collect::<Vec<_>>().join(", ")
+        )
+    }
+}
+
+/// Search statistics reported by every planner (the measurements behind
+/// experiments E3–E5).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PlannerReport {
+    /// Condition trees processed (rewrite-module output consumed).
+    pub cts_processed: usize,
+    /// `Check` invocations (before caching).
+    pub checks: usize,
+    /// Distinct concrete plans represented/considered across the search.
+    pub plans_considered: u64,
+    /// Recursive plan-generator invocations (EPG or IPG calls).
+    pub generator_calls: usize,
+    /// Largest sub-plan array `Q` handed to MCSC (IPG only; §6.4.2).
+    pub max_q: usize,
+    /// Whether any budget truncated the search (GenModular rewrite budgets).
+    pub truncated: bool,
+    /// Wall-clock planning time.
+    pub elapsed: Duration,
+}
+
+/// A successfully planned target query.
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    /// The chosen concrete plan (no `Choice` operators).
+    pub plan: Plan,
+    /// Its estimated cost under the §6.2 model.
+    pub est_cost: f64,
+    /// Search statistics.
+    pub report: PlannerReport,
+}
+
+/// Planner errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// No feasible plan exists for the query on this source (or within the
+    /// strategy's limits, for baselines).
+    NoFeasiblePlan {
+        /// The query, rendered.
+        query: String,
+        /// Which planning scheme gave up.
+        scheme: &'static str,
+    },
+    /// The query's condition tree is malformed (e.g. an empty connective).
+    MalformedQuery(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoFeasiblePlan { query, scheme } => {
+                write!(f, "{scheme}: no feasible plan for {query}")
+            }
+            PlanError::MalformedQuery(msg) => write!(f, "malformed query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let q = TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"])
+            .unwrap();
+        assert_eq!(q.attrs.len(), 2);
+        assert_eq!(
+            q.to_string(),
+            "SP(make = \"BMW\" ^ price < 40000, {model, year}, R)"
+        );
+        assert!(TargetQuery::parse("make = ", &["model"]).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PlanError::NoFeasiblePlan { query: "SP(...)".into(), scheme: "disco" };
+        assert!(e.to_string().contains("disco"));
+    }
+}

@@ -1,0 +1,233 @@
+//! `csqp` — capability-sensitive query planning from the command line.
+//!
+//! Point it at an SSDL description and a CSV file, give it a target query,
+//! and it plans (and optionally runs) the query capability-sensitively:
+//!
+//! ```sh
+//! csqp --ssdl dealer.ssdl --csv cars.csv --key vin \
+//!      --query 'price < 40000 ^ make = "BMW"' --attrs model,year --run
+//! ```
+//!
+//! With `--scheme` you can compare the baselines the paper criticizes, and
+//! `--explain` prints the plan tree and search statistics.
+
+use csqp::core::mediator::{Mediator, Scheme};
+use csqp::core::types::TargetQuery;
+use csqp::plan::explain::explain;
+use csqp::prelude::*;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    ssdl_path: String,
+    csv_path: String,
+    key: Vec<String>,
+    query: String,
+    attrs: Vec<String>,
+    scheme: Scheme,
+    run: bool,
+    explain: bool,
+    k1: f64,
+    k2: f64,
+}
+
+const USAGE: &str = "\
+usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
+            [--key <col[,col]>] [--scheme <name>] [--run] [--explain]
+            [--k1 <f64>] [--k2 <f64>]
+
+  --ssdl     SSDL source description (see README for the syntax)
+  --csv      data file; header row names the columns, types are inferred
+  --query    target condition, e.g. 'price < 40000 ^ make = \"BMW\"'
+  --attrs    projected attributes, comma-separated
+  --key      key column(s) of the data (recommended: makes ∩-plans exact)
+  --scheme   gencompact (default) | genmodular | cnf | dnf | disco | naive
+  --run      execute the plan and print the rows
+  --explain  print the plan tree and planner statistics
+  --k1/--k2  cost-model constants (default 50 / 1)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ssdl_path: String::new(),
+        csv_path: String::new(),
+        key: Vec::new(),
+        query: String::new(),
+        attrs: Vec::new(),
+        scheme: Scheme::GenCompact,
+        run: false,
+        explain: false,
+        k1: 50.0,
+        k2: 1.0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i).cloned().ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--ssdl" => args.ssdl_path = value(&mut i)?,
+            "--csv" => args.csv_path = value(&mut i)?,
+            "--query" => args.query = value(&mut i)?,
+            "--attrs" => {
+                args.attrs = value(&mut i)?.split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--key" => {
+                args.key = value(&mut i)?.split(',').map(|s| s.trim().to_string()).collect()
+            }
+            "--scheme" => {
+                args.scheme = match value(&mut i)?.to_ascii_lowercase().as_str() {
+                    "gencompact" => Scheme::GenCompact,
+                    "genmodular" => Scheme::GenModular,
+                    "cnf" | "garlic" => Scheme::Cnf,
+                    "dnf" => Scheme::Dnf,
+                    "disco" => Scheme::Disco,
+                    "naive" | "naivepush" => Scheme::NaivePush,
+                    other => return Err(format!("unknown scheme {other:?}")),
+                }
+            }
+            "--run" => args.run = true,
+            "--explain" => args.explain = true,
+            "--k1" => args.k1 = value(&mut i)?.parse().map_err(|e| format!("--k1: {e}"))?,
+            "--k2" => args.k2 = value(&mut i)?.parse().map_err(|e| format!("--k2: {e}"))?,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    for (flag, val) in [
+        ("--ssdl", &args.ssdl_path),
+        ("--csv", &args.csv_path),
+        ("--query", &args.query),
+    ] {
+        if val.is_empty() {
+            return Err(format!("{flag} is required"));
+        }
+    }
+    if args.attrs.is_empty() {
+        return Err("--attrs is required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+        }
+    };
+
+    // Load inputs.
+    let ssdl_text = match std::fs::read_to_string(&args.ssdl_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.ssdl_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let desc = match parse_ssdl(&ssdl_text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.ssdl_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let csv_text = match std::fs::read_to_string(&args.csv_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", args.csv_path);
+            return ExitCode::FAILURE;
+        }
+    };
+    let key_refs: Vec<&str> = args.key.iter().map(String::as_str).collect();
+    let relation =
+        match csqp::relation::csv::load_csv(&desc.name.clone(), &csv_text, &key_refs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: {e}", args.csv_path);
+                return ExitCode::FAILURE;
+            }
+        };
+    eprintln!(
+        "loaded {} rows into {} ({} supported query forms)",
+        relation.len(),
+        relation.schema(),
+        desc.exports.len()
+    );
+
+    let cost = match std::panic::catch_unwind(|| CostParams::new(args.k1, args.k2)) {
+        Ok(c) => c,
+        Err(_) => {
+            eprintln!("error: cost constants must be finite and non-negative");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = Arc::new(Source::new(relation, desc, cost));
+
+    let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
+    let query = match TargetQuery::parse(&args.query, &attr_refs) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: --query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mediator = Mediator::new(source.clone()).with_scheme(args.scheme);
+    let planned = match mediator.plan(&query) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            // Show what the source CAN do, to help the user reformulate.
+            eprintln!("\nthe source supports these query forms:");
+            for rule in &source.gate_view().desc.rules {
+                eprintln!("  {rule}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!("plan ({}, est. cost {:.1}):", args.scheme.name(), planned.est_cost);
+    println!("  {}", planned.plan);
+    if args.explain {
+        print!("\nplan tree:\n{}", explain(&planned.plan));
+        let r = planned.report;
+        println!(
+            "planner stats: {} CTs, {} generator calls, {} Check calls, max Q {}, {:?}{}",
+            r.cts_processed,
+            r.generator_calls,
+            r.checks,
+            r.max_q,
+            r.elapsed,
+            if r.truncated { " (budget-truncated)" } else { "" }
+        );
+    }
+
+    if args.run {
+        match mediator.run(&query) {
+            Ok(out) => {
+                println!(
+                    "\n{} rows ({} source queries, {} tuples shipped, measured cost {:.1}):",
+                    out.rows.len(),
+                    out.meter.queries,
+                    out.meter.tuples_shipped,
+                    out.measured_cost
+                );
+                for row in out.rows.rows() {
+                    println!("  {row}");
+                }
+            }
+            Err(e) => {
+                eprintln!("execution error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

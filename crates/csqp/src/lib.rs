@@ -1,0 +1,57 @@
+//! # csqp — capability-sensitive query processing on Internet sources
+//!
+//! Umbrella crate re-exporting the full stack of this reproduction of
+//! *"Capability-Sensitive Query Processing on Internet Sources"*
+//! (H. Garcia-Molina, W. Labio, R. Yerneni; ICDE 1999):
+//!
+//! | layer | crate | contents |
+//! |-------|-------|----------|
+//! | conditions | [`expr`] | condition trees, rewrites, canonical form |
+//! | capabilities | [`ssdl`] | SSDL descriptions, Earley `Check`, closure |
+//! | storage | [`relation`] | in-memory relations, operators, statistics |
+//! | sources | [`source`] | capability-gated simulated Internet sources |
+//! | plans | [`plan`] | plan ADT, §6.2 cost model, executor |
+//! | planners | [`core`] | GenModular, GenCompact, CNF/DNF/DISCO baselines |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use csqp::prelude::*;
+//!
+//! // Five demo sources with the paper's capability profiles.
+//! let catalog = Catalog::demo_small(7);
+//! let bookstore = catalog.get("bookstore").unwrap().clone();
+//!
+//! // Example 1.1: two authors, one keyword — unsupported as a single query.
+//! let query = TargetQuery::parse(
+//!     r#"(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams""#,
+//!     &["isbn", "title", "author"],
+//! ).unwrap();
+//!
+//! let mediator = Mediator::new(bookstore);
+//! let outcome = mediator.run(&query).unwrap();
+//! assert_eq!(outcome.meter.queries, 2); // the paper's two-query plan
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use csqp_core as core;
+pub use csqp_expr as expr;
+pub use csqp_plan as plan;
+pub use csqp_relation as relation;
+pub use csqp_source as source;
+pub use csqp_ssdl as ssdl;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use csqp_core::mediator::{CardKind, Mediator, MediatorError, RunOutcome, Scheme};
+    pub use csqp_core::types::{PlanError, PlannedQuery, PlannerReport, TargetQuery};
+    pub use csqp_core::{GenCompactConfig, GenModularConfig, IpgConfig};
+    pub use csqp_expr::parse::parse_condition;
+    pub use csqp_expr::{Atom, CmpOp, CondTree, Connector, Value, ValueType};
+    pub use csqp_plan::{attrs, execute, execute_measured, AttrSet, CostModel, LatencyBandwidthCost, Plan};
+    pub use csqp_relation::{Relation, Schema, TableStats};
+    pub use csqp_source::{Catalog, CostParams, Meter, Source};
+    pub use csqp_ssdl::{parse_ssdl, CompiledSource, SsdlDesc};
+}

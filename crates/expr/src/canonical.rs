@@ -1,0 +1,191 @@
+//! Canonical condition trees — §6.4 of the paper.
+//!
+//! > "A CT is in canonical form if the children of every `^` node are either
+//! > leaf or `_` nodes and the children of every `_` node are either leaf or
+//! > `^` nodes."
+//!
+//! Canonicalization flattens nested same-connector nodes and collapses
+//! single-child nodes, in time linear in the size of the input CT (as the
+//! paper requires). Child *order is preserved* — commutativity is handled by
+//! the SSDL permutation closure (§6.1), not here.
+
+use crate::tree::CondTree;
+
+/// Returns the canonical form of `t`.
+///
+/// Properties (tested below and by property tests):
+/// - output is canonical per [`is_canonical`];
+/// - atom multiset and left-to-right atom order are preserved;
+/// - logically equivalent to the input (associativity / unary-collapse only).
+pub fn canonicalize(t: &CondTree) -> CondTree {
+    match t {
+        CondTree::Leaf(a) => CondTree::Leaf(a.clone()),
+        CondTree::Node(conn, children) => {
+            let mut flat: Vec<CondTree> = Vec::with_capacity(children.len());
+            for child in children {
+                let c = canonicalize(child);
+                // Flatten same-connector children into this node
+                // (associativity).
+                match c {
+                    CondTree::Node(cc, grandchildren) if cc == *conn => {
+                        flat.extend(grandchildren);
+                    }
+                    other => flat.push(other),
+                }
+            }
+            if flat.len() == 1 {
+                // Collapse unary nodes: And([x]) == x.
+                flat.pop().expect("len checked")
+            } else {
+                CondTree::Node(*conn, flat)
+            }
+        }
+    }
+}
+
+/// Is `t` in canonical form? (Children of every node are leaves or nodes of
+/// the dual connector; no node has fewer than two children.)
+pub fn is_canonical(t: &CondTree) -> bool {
+    match t {
+        CondTree::Leaf(_) => true,
+        CondTree::Node(conn, children) => {
+            children.len() >= 2
+                && children.iter().all(|c| match c {
+                    CondTree::Leaf(_) => true,
+                    CondTree::Node(cc, _) => cc == &conn.dual() && is_canonical(c),
+                })
+        }
+    }
+}
+
+/// Flattens exactly one level: if the root and a child share a connector the
+/// child's children are spliced in. Used by rewrite steps that need
+/// single-step associativity rather than full canonicalization.
+pub fn flatten_root(t: &CondTree) -> CondTree {
+    match t {
+        CondTree::Leaf(_) => t.clone(),
+        CondTree::Node(conn, children) => {
+            let mut flat = Vec::with_capacity(children.len());
+            for c in children {
+                match c {
+                    CondTree::Node(cc, gs) if cc == conn => flat.extend(gs.iter().cloned()),
+                    other => flat.push(other.clone()),
+                }
+            }
+            if flat.len() == 1 {
+                flat.pop().expect("len checked")
+            } else {
+                CondTree::Node(*conn, flat)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    fn a(n: &str) -> CondTree {
+        CondTree::leaf(Atom::eq(n, 1i64))
+    }
+
+    #[test]
+    fn paper_example_already_canonical() {
+        // (price < 40000 ^ color = "red" ^ make = "BMW"): root ^ with three
+        // leaf children is canonical.
+        let t = CondTree::and(vec![a("price"), a("color"), a("make")]);
+        assert!(is_canonical(&t));
+        assert_eq!(canonicalize(&t), t);
+    }
+
+    #[test]
+    fn paper_example_non_canonical() {
+        // (price < 40000 ^ (color = "red" ^ make = "BMW")) is NOT canonical
+        // (an ^ node has an ^ child); canonicalization flattens it.
+        let t = CondTree::and(vec![a("price"), CondTree::and(vec![a("color"), a("make")])]);
+        assert!(!is_canonical(&t));
+        let c = canonicalize(&t);
+        assert!(is_canonical(&c));
+        assert_eq!(c, CondTree::and(vec![a("price"), a("color"), a("make")]));
+    }
+
+    #[test]
+    fn preserves_atom_order() {
+        let t = CondTree::or(vec![
+            CondTree::or(vec![a("x"), a("y")]),
+            CondTree::or(vec![a("z"), a("w")]),
+        ]);
+        let c = canonicalize(&t);
+        let names: Vec<_> = c.atoms().iter().map(|at| at.attr.clone()).collect();
+        assert_eq!(names, vec!["x", "y", "z", "w"]);
+    }
+
+    #[test]
+    fn collapses_unary_chains() {
+        let t = CondTree::and(vec![CondTree::or(vec![CondTree::and(vec![a("x")])])]);
+        assert_eq!(canonicalize(&t), a("x"));
+    }
+
+    #[test]
+    fn alternation_is_preserved_across_levels() {
+        // ^( _( ^(a,b), c ), d ) is canonical already.
+        let t = CondTree::and(vec![
+            CondTree::or(vec![CondTree::and(vec![a("a"), a("b")]), a("c")]),
+            a("d"),
+        ]);
+        assert!(is_canonical(&t));
+        assert_eq!(canonicalize(&t), t);
+    }
+
+    #[test]
+    fn deep_mixed_tree() {
+        // ^( ^(a, _(b, _(c, d))), e )  ->  ^( a, _(b, c, d), e )
+        let t = CondTree::and(vec![
+            CondTree::and(vec![
+                a("a"),
+                CondTree::or(vec![a("b"), CondTree::or(vec![a("c"), a("d")])]),
+            ]),
+            a("e"),
+        ]);
+        let c = canonicalize(&t);
+        assert!(is_canonical(&c));
+        assert_eq!(
+            c,
+            CondTree::and(vec![a("a"), CondTree::or(vec![a("b"), a("c"), a("d")]), a("e")])
+        );
+    }
+
+    #[test]
+    fn empty_node_children_need_two() {
+        let t = CondTree::and(vec![a("x"), a("y")]);
+        assert!(is_canonical(&t));
+        let unary = CondTree::and(vec![a("x")]);
+        assert!(!is_canonical(&unary));
+    }
+
+    #[test]
+    fn flatten_root_is_single_level() {
+        let t = CondTree::and(vec![
+            CondTree::and(vec![a("a"), CondTree::and(vec![a("b"), a("c")])]),
+            a("d"),
+        ]);
+        let f = flatten_root(&t);
+        // One level flattened; the inner ^(b,c) remains nested.
+        assert_eq!(
+            f,
+            CondTree::and(vec![a("a"), CondTree::and(vec![a("b"), a("c")]), a("d")])
+        );
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent() {
+        let t = CondTree::or(vec![
+            CondTree::or(vec![a("a"), CondTree::and(vec![a("b"), a("c")])]),
+            CondTree::and(vec![a("d"), CondTree::and(vec![a("e"), a("f")])]),
+        ]);
+        let once = canonicalize(&t);
+        assert_eq!(canonicalize(&once), once);
+        assert!(is_canonical(&once));
+    }
+}

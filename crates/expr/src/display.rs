@@ -1,0 +1,85 @@
+//! Text rendering of condition trees, round-trippable via [`crate::parse`].
+//!
+//! Syntax follows the paper: `^` for And, `_` for Or, atoms as
+//! `attr op constant`. Non-leaf children are parenthesized, so the rendering
+//! is unambiguous and mirrors the SSDL linearization contract.
+
+use crate::tree::CondTree;
+use std::fmt;
+
+impl fmt::Display for CondTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondTree::Leaf(a) => write!(f, "{a}"),
+            CondTree::Node(conn, children) => {
+                if children.is_empty() {
+                    // Render degenerate nodes distinctly so they are visible
+                    // in debug output; they never appear in valid plans.
+                    return write!(f, "{}()", conn.symbol());
+                }
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " {} ", conn.symbol())?;
+                    }
+                    if c.is_leaf() {
+                        write!(f, "{c}")?;
+                    } else {
+                        write!(f, "({c})")?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::atom::{Atom, CmpOp};
+    use crate::tree::CondTree;
+
+    #[test]
+    fn renders_paper_examples() {
+        // Example 1.2's condition.
+        let t = CondTree::and(vec![
+            CondTree::leaf(Atom::eq("style", "sedan")),
+            CondTree::or(vec![
+                CondTree::leaf(Atom::eq("size", "compact")),
+                CondTree::leaf(Atom::eq("size", "midsize")),
+            ]),
+            CondTree::or(vec![
+                CondTree::and(vec![
+                    CondTree::leaf(Atom::eq("make", "Toyota")),
+                    CondTree::leaf(Atom::new("price", CmpOp::Le, 20000i64)),
+                ]),
+                CondTree::and(vec![
+                    CondTree::leaf(Atom::eq("make", "BMW")),
+                    CondTree::leaf(Atom::new("price", CmpOp::Le, 40000i64)),
+                ]),
+            ]),
+        ]);
+        assert_eq!(
+            t.to_string(),
+            "style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\") ^ \
+             ((make = \"Toyota\" ^ price <= 20000) _ (make = \"BMW\" ^ price <= 40000))"
+        );
+    }
+
+    #[test]
+    fn leaf_renders_bare() {
+        let t = CondTree::leaf(Atom::new("title", CmpOp::Contains, "dreams"));
+        assert_eq!(t.to_string(), "title contains \"dreams\"");
+    }
+
+    #[test]
+    fn nested_same_connector_parenthesized() {
+        let t = CondTree::and(vec![
+            CondTree::leaf(Atom::eq("a", 1i64)),
+            CondTree::and(vec![
+                CondTree::leaf(Atom::eq("b", 2i64)),
+                CondTree::leaf(Atom::eq("c", 3i64)),
+            ]),
+        ]);
+        assert_eq!(t.to_string(), "a = 1 ^ (b = 2 ^ c = 3)");
+    }
+}

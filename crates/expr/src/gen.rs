@@ -1,0 +1,231 @@
+//! Seeded random condition generation for workloads and property tests.
+//!
+//! The experiment harness (E3–E7) needs families of target-query conditions
+//! with controlled shape: number of atoms, depth, connector mix, and the
+//! attribute/constant vocabulary the capability templates understand.
+
+use crate::atom::{Atom, CmpOp};
+use crate::tree::{CondTree, Connector};
+use crate::value::{Value, ValueType};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// An attribute the generator may reference, with its type and value pool.
+#[derive(Debug, Clone)]
+pub struct GenAttr {
+    /// Attribute name.
+    pub name: String,
+    /// Value type.
+    pub ty: ValueType,
+    /// Pool of constants to compare against. Must be non-empty.
+    pub pool: Vec<Value>,
+}
+
+impl GenAttr {
+    /// A string attribute with the given constant pool.
+    pub fn strings(name: &str, pool: &[&str]) -> Self {
+        GenAttr {
+            name: name.to_string(),
+            ty: ValueType::Str,
+            pool: pool.iter().map(|s| Value::str(*s)).collect(),
+        }
+    }
+
+    /// An integer attribute with constants sampled from `lo..=hi` at `step`
+    /// intervals.
+    pub fn ints(name: &str, lo: i64, hi: i64, step: i64) -> Self {
+        assert!(step > 0 && hi >= lo, "invalid int pool spec");
+        GenAttr {
+            name: name.to_string(),
+            ty: ValueType::Int,
+            pool: (lo..=hi).step_by(step as usize).map(Value::Int).collect(),
+        }
+    }
+}
+
+/// Shape parameters for random condition trees.
+#[derive(Debug, Clone)]
+pub struct CondGenConfig {
+    /// Exact number of atoms in the generated tree.
+    pub n_atoms: usize,
+    /// Maximum nesting depth (1 = a bare atom or flat node).
+    pub max_depth: usize,
+    /// Probability that an internal node is `And` (vs `Or`).
+    pub and_bias: f64,
+    /// Probability an equality (vs range) operator is chosen for numeric
+    /// attributes.
+    pub eq_bias: f64,
+}
+
+impl Default for CondGenConfig {
+    fn default() -> Self {
+        CondGenConfig { n_atoms: 4, max_depth: 3, and_bias: 0.6, eq_bias: 0.6 }
+    }
+}
+
+/// Seeded random condition generator.
+#[derive(Debug)]
+pub struct CondGen {
+    rng: StdRng,
+    attrs: Vec<GenAttr>,
+}
+
+impl CondGen {
+    /// Creates a generator over `attrs` with the given seed.
+    ///
+    /// # Panics
+    /// Panics if `attrs` is empty or any attribute's pool is empty.
+    pub fn new(seed: u64, attrs: Vec<GenAttr>) -> Self {
+        assert!(!attrs.is_empty(), "need at least one attribute");
+        assert!(attrs.iter().all(|a| !a.pool.is_empty()), "empty value pool");
+        CondGen { rng: StdRng::seed_from_u64(seed), attrs }
+    }
+
+    /// Generates a random atom.
+    pub fn atom(&mut self) -> Atom {
+        let eq_bias = 0.6;
+        self.atom_with_bias(eq_bias)
+    }
+
+    fn atom_with_bias(&mut self, eq_bias: f64) -> Atom {
+        let ai = self.rng.random_range(0..self.attrs.len());
+        let attr = &self.attrs[ai];
+        let vi = self.rng.random_range(0..attr.pool.len());
+        let value = attr.pool[vi].clone();
+        let op = match attr.ty {
+            ValueType::Str | ValueType::Bool => CmpOp::Eq,
+            ValueType::Int | ValueType::Float => {
+                if self.rng.random_bool(eq_bias) {
+                    CmpOp::Eq
+                } else if self.rng.random_bool(0.5) {
+                    CmpOp::Le
+                } else {
+                    CmpOp::Ge
+                }
+            }
+        };
+        Atom { attr: attr.name.clone(), op, value }
+    }
+
+    /// Generates a random condition tree with the given shape.
+    pub fn tree(&mut self, cfg: &CondGenConfig) -> CondTree {
+        assert!(cfg.n_atoms >= 1, "need at least one atom");
+        let root_conn =
+            if self.rng.random_bool(cfg.and_bias) { Connector::And } else { Connector::Or };
+        self.build(cfg.n_atoms, cfg.max_depth.max(1), root_conn, cfg)
+    }
+
+    fn build(
+        &mut self,
+        n_atoms: usize,
+        depth_left: usize,
+        conn: Connector,
+        cfg: &CondGenConfig,
+    ) -> CondTree {
+        if n_atoms == 1 || depth_left <= 1 {
+            if n_atoms == 1 {
+                return CondTree::leaf(self.atom_with_bias(cfg.eq_bias));
+            }
+            // Flat node with n_atoms leaves.
+            let leaves =
+                (0..n_atoms).map(|_| CondTree::leaf(self.atom_with_bias(cfg.eq_bias))).collect();
+            return CondTree::Node(conn, leaves);
+        }
+        // Split atoms among 2..=min(n_atoms, 3) children.
+        let n_children = 2 + self.rng.random_range(0..=(n_atoms.min(3) - 2));
+        let mut sizes = vec![1usize; n_children];
+        for _ in 0..(n_atoms - n_children) {
+            let i = self.rng.random_range(0..n_children);
+            sizes[i] += 1;
+        }
+        let children = sizes
+            .into_iter()
+            .map(|sz| {
+                if sz == 1 {
+                    CondTree::leaf(self.atom_with_bias(cfg.eq_bias))
+                } else {
+                    self.build(sz, depth_left - 1, conn.dual(), cfg)
+                }
+            })
+            .collect();
+        CondTree::Node(conn, children)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{canonicalize, is_canonical};
+
+    fn attrs() -> Vec<GenAttr> {
+        vec![
+            GenAttr::strings("make", &["BMW", "Toyota", "Honda"]),
+            GenAttr::strings("color", &["red", "black", "blue"]),
+            GenAttr::ints("price", 10_000, 50_000, 10_000),
+        ]
+    }
+
+    #[test]
+    fn respects_atom_count() {
+        let mut g = CondGen::new(7, attrs());
+        for n in 1..=10 {
+            let t = g.tree(&CondGenConfig { n_atoms: n, ..Default::default() });
+            assert_eq!(t.n_atoms(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn respects_depth_bound() {
+        let mut g = CondGen::new(11, attrs());
+        for _ in 0..50 {
+            let t = g.tree(&CondGenConfig { n_atoms: 8, max_depth: 2, ..Default::default() });
+            assert!(t.depth() <= 3, "flat node + leaves is depth 2; got {}", t.depth());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut g1 = CondGen::new(42, attrs());
+        let mut g2 = CondGen::new(42, attrs());
+        let cfg = CondGenConfig::default();
+        for _ in 0..20 {
+            assert_eq!(g1.tree(&cfg), g2.tree(&cfg));
+        }
+        let mut g3 = CondGen::new(43, attrs());
+        let differs = (0..20).any(|_| g1.tree(&cfg) != g3.tree(&cfg));
+        assert!(differs, "different seeds should differ");
+    }
+
+    #[test]
+    fn generated_trees_alternate_connectors() {
+        // build() alternates connectors, so canonicalization only collapses
+        // unary/flat artifacts.
+        let mut g = CondGen::new(3, attrs());
+        for _ in 0..50 {
+            let t = g.tree(&CondGenConfig { n_atoms: 6, max_depth: 4, ..Default::default() });
+            assert!(is_canonical(&canonicalize(&t)));
+        }
+    }
+
+    #[test]
+    fn atoms_draw_from_pools() {
+        let mut g = CondGen::new(5, attrs());
+        for _ in 0..100 {
+            let a = g.atom();
+            match a.attr.as_str() {
+                "make" | "color" => assert_eq!(a.op, CmpOp::Eq),
+                "price" => assert!(matches!(a.op, CmpOp::Eq | CmpOp::Le | CmpOp::Ge)),
+                other => panic!("unknown attr {other}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty value pool")]
+    fn rejects_empty_pool() {
+        CondGen::new(
+            1,
+            vec![GenAttr { name: "x".into(), ty: ValueType::Int, pool: vec![] }],
+        );
+    }
+}

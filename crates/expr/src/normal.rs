@@ -1,0 +1,223 @@
+//! CNF / DNF conversion — used by the Garlic-style and DNF baseline planners
+//! (§1, §2 of the paper).
+//!
+//! Since condition trees contain no negation, conversion is pure
+//! distribution. Results are canonical CTs: a CNF is an `And` of clauses,
+//! each clause a leaf or an `Or` of leaves; DNF dually.
+
+use crate::canonical::canonicalize;
+use crate::tree::{CondTree, Connector};
+
+/// Cap on the number of clauses/terms a conversion may produce before it is
+/// abandoned (distribution is worst-case exponential).
+pub const MAX_NORMAL_TERMS: usize = 4_096;
+
+/// Error returned when normal-form conversion exceeds [`MAX_NORMAL_TERMS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NormalFormOverflow {
+    /// The connector of the attempted normal form (`And` = CNF, `Or` = DNF).
+    pub outer: Connector,
+}
+
+impl std::fmt::Display for NormalFormOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} conversion exceeded {MAX_NORMAL_TERMS} terms",
+            if self.outer == Connector::And { "CNF" } else { "DNF" }
+        )
+    }
+}
+
+impl std::error::Error for NormalFormOverflow {}
+
+/// Converts to conjunctive normal form: an `And` of `Or`-of-leaf clauses
+/// (possibly a single clause / single leaf after canonicalization).
+pub fn to_cnf(t: &CondTree) -> Result<CondTree, NormalFormOverflow> {
+    let clauses = nf_lists(t, Connector::And)?;
+    Ok(rebuild(clauses, Connector::And))
+}
+
+/// Converts to disjunctive normal form: an `Or` of `And`-of-leaf terms.
+pub fn to_dnf(t: &CondTree) -> Result<CondTree, NormalFormOverflow> {
+    let terms = nf_lists(t, Connector::Or)?;
+    Ok(rebuild(terms, Connector::Or))
+}
+
+/// The clauses of the CNF of `t`, each as a vector of leaves.
+pub fn cnf_clauses(t: &CondTree) -> Result<Vec<Vec<CondTree>>, NormalFormOverflow> {
+    nf_lists(t, Connector::And)
+}
+
+/// The terms of the DNF of `t`, each as a vector of leaves.
+pub fn dnf_terms(t: &CondTree) -> Result<Vec<Vec<CondTree>>, NormalFormOverflow> {
+    nf_lists(t, Connector::Or)
+}
+
+/// Computes the normal form with outer connector `outer` as a list of
+/// lists of leaves (outer list joined by `outer`, inner by its dual).
+fn nf_lists(t: &CondTree, outer: Connector) -> Result<Vec<Vec<CondTree>>, NormalFormOverflow> {
+    let overflow = || NormalFormOverflow { outer };
+    match t {
+        CondTree::Leaf(_) => Ok(vec![vec![t.clone()]]),
+        CondTree::Node(conn, children) => {
+            let child_forms: Vec<Vec<Vec<CondTree>>> = children
+                .iter()
+                .map(|c| nf_lists(c, outer))
+                .collect::<Result<_, _>>()?;
+            if *conn == outer {
+                // Outer connector: concatenate the children's groups.
+                let mut out = Vec::new();
+                for f in child_forms {
+                    out.extend(f);
+                    if out.len() > MAX_NORMAL_TERMS {
+                        return Err(overflow());
+                    }
+                }
+                Ok(out)
+            } else {
+                // Dual connector: cross-product of the children's groups,
+                // merging inner lists.
+                let mut acc: Vec<Vec<CondTree>> = vec![vec![]];
+                for f in child_forms {
+                    let mut next = Vec::with_capacity(acc.len() * f.len());
+                    for base in &acc {
+                        for group in &f {
+                            let mut merged = base.clone();
+                            merged.extend(group.iter().cloned());
+                            next.push(merged);
+                            if next.len() > MAX_NORMAL_TERMS {
+                                return Err(overflow());
+                            }
+                        }
+                    }
+                    acc = next;
+                }
+                Ok(acc)
+            }
+        }
+    }
+}
+
+/// Rebuilds a canonical CT from normal-form lists.
+fn rebuild(groups: Vec<Vec<CondTree>>, outer: Connector) -> CondTree {
+    let inner = outer.dual();
+    let parts: Vec<CondTree> = groups
+        .into_iter()
+        .map(|g| {
+            if g.len() == 1 {
+                g.into_iter().next().expect("len checked")
+            } else {
+                CondTree::Node(inner, g)
+            }
+        })
+        .collect();
+    let t = if parts.len() == 1 {
+        parts.into_iter().next().expect("len checked")
+    } else {
+        CondTree::Node(outer, parts)
+    };
+    canonicalize(&t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::canonical::is_canonical;
+    use crate::semantics::prop_equivalent;
+
+    fn a(n: &str) -> CondTree {
+        CondTree::leaf(Atom::eq(n, 1i64))
+    }
+
+    /// Example 1.1's condition: (author=F _ author=J) is how Garlic's CNF
+    /// sees (F ^ t) _ (J ^ t) after conversion.
+    #[test]
+    fn bookstore_cnf() {
+        // (freud ^ dreams) _ (jung ^ dreams)
+        let t = CondTree::or(vec![
+            CondTree::and(vec![a("freud"), a("dreams")]),
+            CondTree::and(vec![a("jung"), a("dreams")]),
+        ]);
+        let cnf = to_cnf(&t).unwrap();
+        assert!(is_canonical(&cnf));
+        assert_eq!(prop_equivalent(&t, &cnf), Some(true));
+        // CNF clauses: (freud _ jung) ^ (freud _ dreams) ^ (dreams _ jung) ^ (dreams _ dreams→dreams)
+        let clauses = cnf_clauses(&t).unwrap();
+        assert_eq!(clauses.len(), 4);
+    }
+
+    #[test]
+    fn carguide_dnf_has_four_terms() {
+        // Example 1.2: style ^ (compact _ midsize) ^ ((toyota^p20) _ (bmw^p40))
+        let t = CondTree::and(vec![
+            a("style"),
+            CondTree::or(vec![a("compact"), a("midsize")]),
+            CondTree::or(vec![
+                CondTree::and(vec![a("toyota"), a("p20")]),
+                CondTree::and(vec![a("bmw"), a("p40")]),
+            ]),
+        ]);
+        let terms = dnf_terms(&t).unwrap();
+        // The paper: "the user query is transformed into one with four terms".
+        assert_eq!(terms.len(), 4);
+        let dnf = to_dnf(&t).unwrap();
+        assert!(is_canonical(&dnf));
+        assert_eq!(prop_equivalent(&t, &dnf), Some(true));
+    }
+
+    #[test]
+    fn carguide_cnf_has_six_clauses() {
+        // The paper: "A CNF system converts the query to one with six clauses".
+        let t = CondTree::and(vec![
+            a("style"),
+            CondTree::or(vec![a("compact"), a("midsize")]),
+            CondTree::or(vec![
+                CondTree::and(vec![a("toyota"), a("p20")]),
+                CondTree::and(vec![a("bmw"), a("p40")]),
+            ]),
+        ]);
+        let clauses = cnf_clauses(&t).unwrap();
+        assert_eq!(clauses.len(), 6);
+    }
+
+    #[test]
+    fn leaf_is_its_own_normal_form() {
+        let t = a("x");
+        assert_eq!(to_cnf(&t).unwrap(), t);
+        assert_eq!(to_dnf(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn cnf_of_conjunction_is_itself() {
+        let t = CondTree::and(vec![a("x"), a("y"), a("z")]);
+        assert_eq!(to_cnf(&t).unwrap(), t);
+        // DNF of a conjunction is a single term.
+        assert_eq!(to_dnf(&t).unwrap(), t);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // (a1 _ b1) ^ (a2 _ b2) ^ ... DNF doubles per factor: 2^13 > 4096.
+        let factors: Vec<CondTree> = (0..13)
+            .map(|i| CondTree::or(vec![a(&format!("a{i}")), a(&format!("b{i}"))]))
+            .collect();
+        let t = CondTree::and(factors);
+        assert!(to_dnf(&t).is_err());
+        assert!(to_cnf(&t).is_ok());
+    }
+
+    #[test]
+    fn nested_form_equivalence() {
+        let t = CondTree::or(vec![
+            CondTree::and(vec![a("a"), CondTree::or(vec![a("b"), a("c")])]),
+            a("d"),
+        ]);
+        let cnf = to_cnf(&t).unwrap();
+        let dnf = to_dnf(&t).unwrap();
+        assert_eq!(prop_equivalent(&t, &cnf), Some(true));
+        assert_eq!(prop_equivalent(&t, &dnf), Some(true));
+        assert!(is_canonical(&cnf) && is_canonical(&dnf));
+    }
+}

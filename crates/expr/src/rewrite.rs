@@ -1,0 +1,621 @@
+//! Condition-tree rewrite rules — §5.1 and §6.1 of the paper.
+//!
+//! GenModular's rewrite module fires **commutative, associative,
+//! distributive and copy** rules to enumerate equivalent CTs. GenCompact
+//! drops commutativity (handled by SSDL permutation closure), associativity
+//! and copy (subsumed by IPG on canonical trees), keeping only the
+//! distributive transformations.
+//!
+//! Every rule is a propositional identity; property tests verify that each
+//! single step preserves [`prop_equivalent`](crate::semantics::prop_equivalent).
+
+use crate::canonical::canonicalize;
+use crate::tree::CondTree;
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+/// The rewrite rules of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RewriteRule {
+    /// Swap two adjacent children: `C1 ^ C2 ≡ C2 ^ C1`.
+    Commute,
+    /// Group two adjacent children into a nested node:
+    /// `C1 ^ C2 ^ C3 ≡ (C1 ^ C2) ^ C3`.
+    Associate,
+    /// Splice a same-connector child into its parent (inverse of Associate).
+    Flatten,
+    /// Distribute over a dual-connector child:
+    /// `C1 ^ (C2 _ C3) ≡ (C1 ^ C2) _ (C1 ^ C3)` (and the dual).
+    Distribute,
+    /// Factor out a common term (inverse of Distribute):
+    /// `(C1 ^ C2) _ (C1 ^ C3) ≡ C1 ^ (C2 _ C3)`.
+    Factor,
+    /// Copy rule `C ≡ C ^ C`.
+    CopyAnd,
+    /// Copy rule `C ≡ C _ C`.
+    CopyOr,
+}
+
+impl RewriteRule {
+    /// The full GenModular rule set (§5.1).
+    pub const MODULAR: [RewriteRule; 7] = [
+        RewriteRule::Commute,
+        RewriteRule::Associate,
+        RewriteRule::Flatten,
+        RewriteRule::Distribute,
+        RewriteRule::Factor,
+        RewriteRule::CopyAnd,
+        RewriteRule::CopyOr,
+    ];
+
+    /// GenCompact's reduced rule set (§6.1): distributive transformations
+    /// only.
+    pub const COMPACT: [RewriteRule; 2] = [RewriteRule::Distribute, RewriteRule::Factor];
+}
+
+/// Budget limiting rewrite enumeration. GenModular is the paper's *naive*
+/// scheme; without budgets the copy rule alone makes the space infinite,
+/// and even the distributive rules alone blow up combinatorially (Or-over-
+/// And distribution duplicates subtrees that can then be re-factored in
+/// many ways).
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteBudget {
+    /// Maximum number of distinct CTs to produce (including the start CT).
+    pub max_cts: usize,
+    /// Maximum atom occurrences allowed in any produced CT (bounds the copy
+    /// rule and CNF/DNF-ward expansion).
+    pub max_atoms: usize,
+    /// Maximum BFS depth (rewrite steps from the start CT).
+    pub max_depth: usize,
+}
+
+impl Default for RewriteBudget {
+    fn default() -> Self {
+        RewriteBudget { max_cts: 2_000, max_atoms: 24, max_depth: 4 }
+    }
+}
+
+impl RewriteBudget {
+    /// The default budget for GenCompact's reduced rewrite module: shallow
+    /// (factoring reaches form-shaped CTs in one step per group; see
+    /// [`RewriteRule::Factor`]) but wide enough for full DNF/CNF-ward
+    /// expansion of moderate queries.
+    pub fn compact() -> Self {
+        RewriteBudget { max_cts: 500, max_atoms: 32, max_depth: 3 }
+    }
+}
+
+/// Result of a rewrite enumeration.
+#[derive(Debug, Clone)]
+pub struct RewriteResult {
+    /// Distinct CTs reachable from the start (start first, BFS order).
+    pub cts: Vec<CondTree>,
+    /// `true` if enumeration stopped because a budget was hit (so `cts` may
+    /// be incomplete).
+    pub truncated: bool,
+    /// Number of single-step rule applications performed.
+    pub steps: usize,
+}
+
+/// Applies every rule in `rules` at every node position of `t`, returning
+/// all distinct single-step rewrites.
+pub fn single_steps(t: &CondTree, rules: &[RewriteRule]) -> Vec<CondTree> {
+    let mut out = Vec::new();
+    for rule in rules {
+        rewrites_at_each_node(t, *rule, &mut out);
+    }
+    out
+}
+
+/// BFS closure of `start` under `rules`, deduplicated structurally,
+/// respecting `budget`. When `canonical` is set every produced CT is
+/// canonicalized before dedup (GenCompact mode, §6.4).
+fn enumerate_bfs(
+    start: &CondTree,
+    rules: &[RewriteRule],
+    budget: RewriteBudget,
+    canonical: bool,
+) -> RewriteResult {
+    let start = if canonical { canonicalize(start) } else { start.clone() };
+    let mut seen: HashSet<CondTree> = HashSet::new();
+    let mut order: Vec<CondTree> = Vec::new();
+    let mut queue: VecDeque<(CondTree, usize)> = VecDeque::new();
+    let mut steps = 0usize;
+    let mut truncated = false;
+
+    seen.insert(start.clone());
+    order.push(start.clone());
+    queue.push_back((start, 0));
+
+    'outer: while let Some((t, depth)) = queue.pop_front() {
+        // The depth bound is part of the search definition (like the rule
+        // set), not a truncation: only the count/size caps set `truncated`.
+        if depth >= budget.max_depth {
+            continue;
+        }
+        for next in single_steps(&t, rules) {
+            steps += 1;
+            let next = if canonical { canonicalize(&next) } else { next };
+            // The atom cap is definitional too: the copy rule grows CTs
+            // without bound, so hitting it is expected, not a truncation.
+            if next.n_atoms() > budget.max_atoms {
+                continue;
+            }
+            if seen.contains(&next) {
+                continue;
+            }
+            if order.len() >= budget.max_cts {
+                truncated = true;
+                break 'outer;
+            }
+            seen.insert(next.clone());
+            order.push(next.clone());
+            queue.push_back((next, depth + 1));
+        }
+    }
+    RewriteResult { cts: order, truncated, steps }
+}
+
+/// GenModular's rewrite module (§5.1): BFS closure of `start` under `rules`.
+pub fn enumerate(start: &CondTree, rules: &[RewriteRule], budget: RewriteBudget) -> RewriteResult {
+    enumerate_bfs(start, rules, budget, false)
+}
+
+/// GenCompact's rewrite module (§6.1): closure under distribute/factor only,
+/// with every produced CT canonicalized (§6.4). The start CT's canonical
+/// form is always first.
+pub fn enumerate_compact(start: &CondTree, budget: RewriteBudget) -> RewriteResult {
+    enumerate_bfs(start, &RewriteRule::COMPACT, budget, true)
+}
+
+/// Applies `rule` at every node of `t` (the root and every descendant),
+/// appending each resulting whole tree to `out`.
+fn rewrites_at_each_node(t: &CondTree, rule: RewriteRule, out: &mut Vec<CondTree>) {
+    // Variants produced by applying the rule at the root of `t`.
+    for v in apply_at_root(t, rule) {
+        out.push(v);
+    }
+    // Recurse into children, rebuilding the spine.
+    if let CondTree::Node(conn, children) = t {
+        for (i, child) in children.iter().enumerate() {
+            let mut sub = Vec::new();
+            rewrites_at_each_node(child, rule, &mut sub);
+            for variant in sub {
+                let mut new_children = children.clone();
+                new_children[i] = variant;
+                out.push(CondTree::Node(*conn, new_children));
+            }
+        }
+    }
+}
+
+/// Applies `rule` at the root of `t` only.
+fn apply_at_root(t: &CondTree, rule: RewriteRule) -> Vec<CondTree> {
+    match rule {
+        RewriteRule::Commute => commute_root(t),
+        RewriteRule::Associate => associate_root(t),
+        RewriteRule::Flatten => flatten_steps_root(t),
+        RewriteRule::Distribute => distribute_root(t),
+        RewriteRule::Factor => factor_root(t),
+        RewriteRule::CopyAnd => vec![CondTree::and(vec![t.clone(), t.clone()])],
+        RewriteRule::CopyOr => vec![CondTree::or(vec![t.clone(), t.clone()])],
+    }
+}
+
+/// All adjacent transpositions of children (their closure generates every
+/// permutation).
+fn commute_root(t: &CondTree) -> Vec<CondTree> {
+    let CondTree::Node(conn, children) = t else { return vec![] };
+    let mut out = Vec::new();
+    for i in 0..children.len().saturating_sub(1) {
+        let mut cs = children.clone();
+        cs.swap(i, i + 1);
+        out.push(CondTree::Node(*conn, cs));
+    }
+    out
+}
+
+/// Groups each adjacent child pair into a nested same-connector node.
+fn associate_root(t: &CondTree) -> Vec<CondTree> {
+    let CondTree::Node(conn, children) = t else { return vec![] };
+    if children.len() < 3 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for i in 0..children.len() - 1 {
+        let mut cs: Vec<CondTree> = Vec::with_capacity(children.len() - 1);
+        cs.extend(children[..i].iter().cloned());
+        cs.push(CondTree::Node(*conn, vec![children[i].clone(), children[i + 1].clone()]));
+        cs.extend(children[i + 2..].iter().cloned());
+        out.push(CondTree::Node(*conn, cs));
+    }
+    out
+}
+
+/// Splices one same-connector child into the parent (one variant per such
+/// child).
+fn flatten_steps_root(t: &CondTree) -> Vec<CondTree> {
+    let CondTree::Node(conn, children) = t else { return vec![] };
+    let mut out = Vec::new();
+    for (i, c) in children.iter().enumerate() {
+        if let CondTree::Node(cc, gs) = c {
+            if cc == conn {
+                let mut cs: Vec<CondTree> = Vec::with_capacity(children.len() + gs.len());
+                cs.extend(children[..i].iter().cloned());
+                cs.extend(gs.iter().cloned());
+                cs.extend(children[i + 1..].iter().cloned());
+                out.push(if cs.len() == 1 {
+                    cs.pop().expect("len checked")
+                } else {
+                    CondTree::Node(*conn, cs)
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Distributes the other children over one dual-connector child:
+/// `^(X.., _(d1..dk), Y..)  →  _( ^(X..,d1,Y..), …, ^(X..,dk,Y..) )`.
+fn distribute_root(t: &CondTree) -> Vec<CondTree> {
+    let CondTree::Node(conn, children) = t else { return vec![] };
+    if children.len() < 2 {
+        return vec![];
+    }
+    let mut out = Vec::new();
+    for (i, c) in children.iter().enumerate() {
+        let CondTree::Node(cc, ds) = c else { continue };
+        if *cc != conn.dual() || ds.len() < 2 {
+            continue;
+        }
+        let branches: Vec<CondTree> = ds
+            .iter()
+            .map(|d| {
+                let mut cs: Vec<CondTree> = Vec::with_capacity(children.len());
+                cs.extend(children[..i].iter().cloned());
+                cs.push(d.clone());
+                cs.extend(children[i + 1..].iter().cloned());
+                CondTree::Node(*conn, cs)
+            })
+            .collect();
+        out.push(CondTree::Node(conn.dual(), branches));
+    }
+    out
+}
+
+/// Factors common terms out of a *group* of children sharing them:
+/// `_( ^(a,b,x), ^(a,b,y), ^(c,z) )  →  _( ^(a, b, _(x,y)), ^(c,z) )`.
+///
+/// For each term `t` occurring (as a dual-connector operand) in at least two
+/// children, the group is *all* children containing `t`, and the factored
+/// prefix is the group's **full common operand set** — so one step reaches
+/// the maximally-factored, web-form-shaped CT. Absorption
+/// (`a _ (a ^ y) ≡ a`) is applied when a group member equals the common
+/// prefix. Whole-node single-term factoring is the special case where every
+/// child contains `t`.
+fn factor_root(t: &CondTree) -> Vec<CondTree> {
+    let CondTree::Node(conn, children) = t else { return vec![] };
+    if children.len() < 2 {
+        return vec![];
+    }
+    // View each child as a list of dual-connector operands.
+    let lists: Vec<Vec<&CondTree>> = children
+        .iter()
+        .map(|c| match c {
+            CondTree::Node(cc, gs) if *cc == conn.dual() => gs.iter().collect(),
+            other => vec![other],
+        })
+        .collect();
+    let mut out = Vec::new();
+    let mut tried_groups: HashSet<Vec<usize>> = HashSet::new();
+    let mut tried_terms: HashSet<&CondTree> = HashSet::new();
+    for list in &lists {
+        for candidate in list {
+            if !tried_terms.insert(candidate) {
+                continue;
+            }
+            let group: Vec<usize> = (0..lists.len())
+                .filter(|&i| lists[i].contains(candidate))
+                .collect();
+            if group.len() < 2 || !tried_groups.insert(group.clone()) {
+                continue;
+            }
+            // Full common operand set of the group (order from the first
+            // member; structural identity).
+            let first = &lists[group[0]];
+            let common: Vec<&CondTree> = first
+                .iter()
+                .enumerate()
+                .filter(|(j, x)| {
+                    // Dedup repeated operands within the first member.
+                    first[..*j].iter().all(|y| y != *x)
+                        && group[1..].iter().all(|&i| lists[i].contains(*x))
+                })
+                .map(|(_, x)| *x)
+                .collect();
+            debug_assert!(!common.is_empty(), "candidate term is common");
+            // Remainders; an empty remainder means that member IS the common
+            // prefix — absorption collapses the whole group to the prefix.
+            let mut remainders: Vec<CondTree> = Vec::with_capacity(group.len());
+            let mut absorbed = false;
+            for &i in &group {
+                let rest: Vec<CondTree> = lists[i]
+                    .iter()
+                    .filter(|x| !common.contains(*x))
+                    .map(|x| (*x).clone())
+                    .collect();
+                if rest.is_empty() {
+                    absorbed = true;
+                    break;
+                }
+                remainders.push(if rest.len() == 1 {
+                    rest.into_iter().next().expect("len checked")
+                } else {
+                    CondTree::Node(conn.dual(), rest)
+                });
+            }
+            let mut prefix: Vec<CondTree> = common.iter().map(|x| (*x).clone()).collect();
+            let grouped = if absorbed {
+                // a _ (a ^ y) ≡ a: the group collapses to the prefix.
+                if prefix.len() == 1 {
+                    prefix.pop().expect("len checked")
+                } else {
+                    CondTree::Node(conn.dual(), prefix)
+                }
+            } else {
+                prefix.push(CondTree::Node(*conn, remainders));
+                CondTree::Node(conn.dual(), prefix)
+            };
+            // Rebuild: grouped member replaces the group (at the first
+            // member's position), other children unchanged.
+            let mut new_children: Vec<CondTree> = Vec::with_capacity(children.len());
+            for (i, c) in children.iter().enumerate() {
+                if i == group[0] {
+                    new_children.push(grouped.clone());
+                } else if !group.contains(&i) {
+                    new_children.push(c.clone());
+                }
+            }
+            out.push(if new_children.len() == 1 {
+                new_children.pop().expect("len checked")
+            } else {
+                CondTree::Node(*conn, new_children)
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+    use crate::semantics::prop_equivalent;
+
+    fn a(n: &str) -> CondTree {
+        CondTree::leaf(Atom::eq(n, 1i64))
+    }
+
+    #[test]
+    fn commute_generates_transpositions() {
+        let t = CondTree::and(vec![a("x"), a("y"), a("z")]);
+        let vs = commute_root(&t);
+        assert_eq!(vs.len(), 2);
+        assert!(vs.contains(&CondTree::and(vec![a("y"), a("x"), a("z")])));
+        assert!(vs.contains(&CondTree::and(vec![a("x"), a("z"), a("y")])));
+    }
+
+    #[test]
+    fn associate_groups_pairs() {
+        let t = CondTree::and(vec![a("x"), a("y"), a("z")]);
+        let vs = associate_root(&t);
+        assert_eq!(vs.len(), 2);
+        assert!(vs
+            .contains(&CondTree::and(vec![CondTree::and(vec![a("x"), a("y")]), a("z")])));
+    }
+
+    #[test]
+    fn flatten_inverts_associate() {
+        let t = CondTree::and(vec![CondTree::and(vec![a("x"), a("y")]), a("z")]);
+        let vs = flatten_steps_root(&t);
+        assert_eq!(vs, vec![CondTree::and(vec![a("x"), a("y"), a("z")])]);
+    }
+
+    #[test]
+    fn distribute_and_over_or() {
+        // x ^ (y _ z)  →  (x^y) _ (x^z)
+        let t = CondTree::and(vec![a("x"), CondTree::or(vec![a("y"), a("z")])]);
+        let vs = distribute_root(&t);
+        assert_eq!(
+            vs,
+            vec![CondTree::or(vec![
+                CondTree::and(vec![a("x"), a("y")]),
+                CondTree::and(vec![a("x"), a("z")]),
+            ])]
+        );
+    }
+
+    #[test]
+    fn factor_inverts_distribute() {
+        let t = CondTree::or(vec![
+            CondTree::and(vec![a("x"), a("y")]),
+            CondTree::and(vec![a("x"), a("z")]),
+        ]);
+        let vs = factor_root(&t);
+        assert!(vs
+            .contains(&CondTree::and(vec![a("x"), CondTree::or(vec![a("y"), a("z")])])));
+    }
+
+    #[test]
+    fn factor_applies_absorption() {
+        // x _ (x ^ y) ≡ x: the group collapses to the common prefix.
+        let t = CondTree::or(vec![a("x"), CondTree::and(vec![a("x"), a("y")])]);
+        assert_eq!(factor_root(&t), vec![a("x")]);
+    }
+
+    #[test]
+    fn factor_groups_subset_of_children() {
+        // (a^b^x) _ (a^b^y) _ (c^z)  →  (a ^ b ^ (x_y)) _ (c^z)
+        let t = CondTree::or(vec![
+            CondTree::and(vec![a("a"), a("b"), a("x")]),
+            CondTree::and(vec![a("a"), a("b"), a("y")]),
+            CondTree::and(vec![a("c"), a("z")]),
+        ]);
+        let vs = factor_root(&t);
+        let want = CondTree::or(vec![
+            CondTree::and(vec![a("a"), a("b"), CondTree::or(vec![a("x"), a("y")])]),
+            CondTree::and(vec![a("c"), a("z")]),
+        ]);
+        assert!(vs.contains(&want), "{vs:?}");
+        // Equivalence preserved for every variant.
+        for v in &vs {
+            assert_eq!(prop_equivalent(&t, v), Some(true));
+        }
+    }
+
+    #[test]
+    fn factor_reaches_example_1_2_form_in_two_steps() {
+        // The four-term DNF of Example 1.2 factors into the two-query form
+        // (one group per make) in two steps.
+        let term = |size: &str, make: &str| {
+            CondTree::and(vec![
+                CondTree::leaf(Atom::eq("style", "sedan")),
+                CondTree::leaf(Atom::eq("size", size)),
+                CondTree::leaf(Atom::eq("make", make)),
+            ])
+        };
+        let dnf = CondTree::or(vec![
+            term("compact", "Toyota"),
+            term("midsize", "Toyota"),
+            term("compact", "BMW"),
+            term("midsize", "BMW"),
+        ]);
+        let r = enumerate_compact(&dnf, RewriteBudget::compact());
+        let sizes = CondTree::or(vec![
+            CondTree::leaf(Atom::eq("size", "compact")),
+            CondTree::leaf(Atom::eq("size", "midsize")),
+        ]);
+        let target = CondTree::or(vec![
+            CondTree::and(vec![
+                CondTree::leaf(Atom::eq("style", "sedan")),
+                CondTree::leaf(Atom::eq("make", "Toyota")),
+                sizes.clone(),
+            ]),
+            CondTree::and(vec![
+                CondTree::leaf(Atom::eq("style", "sedan")),
+                CondTree::leaf(Atom::eq("make", "BMW")),
+                sizes,
+            ]),
+        ]);
+        assert!(
+            r.cts.iter().any(|ct| ct.commutative_key() == target.commutative_key()),
+            "two-query form not reached; got {} CTs",
+            r.cts.len()
+        );
+    }
+
+    #[test]
+    fn single_steps_reach_nested_nodes() {
+        // Distribution is applicable only in the nested node here.
+        let t = CondTree::or(vec![
+            a("w"),
+            CondTree::and(vec![a("x"), CondTree::or(vec![a("y"), a("z")])]),
+        ]);
+        let vs = single_steps(&t, &[RewriteRule::Distribute]);
+        // Two variants: the root Or distributes over its And child, and the
+        // nested And distributes over its Or child.
+        assert_eq!(vs.len(), 2);
+        assert!(vs.contains(&CondTree::or(vec![
+            a("w"),
+            CondTree::or(vec![
+                CondTree::and(vec![a("x"), a("y")]),
+                CondTree::and(vec![a("x"), a("z")]),
+            ]),
+        ])));
+        assert!(vs.contains(&CondTree::and(vec![
+            CondTree::or(vec![a("w"), a("x")]),
+            CondTree::or(vec![a("w"), CondTree::or(vec![a("y"), a("z")])]),
+        ])));
+    }
+
+    #[test]
+    fn every_modular_step_preserves_equivalence() {
+        let t = CondTree::and(vec![
+            CondTree::and(vec![a("c1"), a("c2")]),
+            CondTree::or(vec![a("c3"), a("c4")]),
+        ]);
+        for next in single_steps(&t, &RewriteRule::MODULAR) {
+            assert_eq!(
+                prop_equivalent(&t, &next),
+                Some(true),
+                "rewrite changed semantics: {next:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumerate_closure_contains_permutations() {
+        let t = CondTree::and(vec![a("x"), a("y"), a("z")]);
+        let r = enumerate(&t, &[RewriteRule::Commute], RewriteBudget::default());
+        assert!(!r.truncated);
+        assert_eq!(r.cts.len(), 6); // 3! permutations
+    }
+
+    #[test]
+    fn enumerate_respects_ct_budget() {
+        let t = CondTree::and(vec![a("x"), a("y"), a("z"), a("w")]);
+        let r = enumerate(
+            &t,
+            &RewriteRule::MODULAR,
+            RewriteBudget { max_cts: 10, max_atoms: 8, max_depth: 8 },
+        );
+        assert!(r.truncated);
+        assert_eq!(r.cts.len(), 10);
+    }
+
+    #[test]
+    fn copy_rule_bounded_by_atom_budget() {
+        let t = a("x");
+        let r = enumerate(
+            &t,
+            &[RewriteRule::CopyAnd],
+            RewriteBudget { max_cts: 10_000, max_atoms: 4, max_depth: 8 },
+        );
+        // x, x^x, (x^x)^(x^x), x^(x^x) wait — copy applies at every node.
+        // All CTs have ≤ 4 atoms; enumeration terminates.
+        assert!(r.cts.iter().all(|c| c.n_atoms() <= 4));
+        assert!(r.cts.len() > 1);
+    }
+
+    #[test]
+    fn compact_enumeration_yields_canonical_cts() {
+        use crate::canonical::is_canonical;
+        // Example 1.2-shaped condition.
+        let t = CondTree::and(vec![
+            a("style"),
+            CondTree::or(vec![a("compact"), a("midsize")]),
+            CondTree::or(vec![
+                CondTree::and(vec![a("toyota"), a("p20")]),
+                CondTree::and(vec![a("bmw"), a("p40")]),
+            ]),
+        ]);
+        let r = enumerate_compact(&t, RewriteBudget::default());
+        assert!(r.cts.iter().all(is_canonical), "all compact CTs canonical");
+        assert!(r.cts.len() > 1, "distribution should produce alternatives");
+        for ct in &r.cts {
+            assert_eq!(prop_equivalent(&t, ct), Some(true));
+        }
+    }
+
+    #[test]
+    fn compact_enumeration_of_dnf_can_refactor() {
+        // DNF input can be factored back: (a^b) _ (a^c).
+        let t = CondTree::or(vec![
+            CondTree::and(vec![a("a"), a("b")]),
+            CondTree::and(vec![a("a"), a("c")]),
+        ]);
+        let r = enumerate_compact(&t, RewriteBudget::default());
+        let factored = CondTree::and(vec![a("a"), CondTree::or(vec![a("b"), a("c")])]);
+        assert!(r.cts.contains(&factored));
+    }
+}

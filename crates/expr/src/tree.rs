@@ -1,0 +1,259 @@
+//! Condition trees (CTs) — §3 of the paper.
+//!
+//! A CT's leaves are [`Atom`]s; non-leaf nodes are the Boolean connectors
+//! `^` (And) and `_` (Or). Nodes are n-ary: `c1 ^ c2 ^ c3` is a single
+//! `And` with three children (matching the paper's canonical-form treatment
+//! in §6.4, where associativity is absorbed by flattening).
+
+use crate::atom::Atom;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The Boolean connector of a non-leaf CT node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Connector {
+    /// Conjunction, written `^`.
+    And,
+    /// Disjunction, written `_`.
+    Or,
+}
+
+impl Connector {
+    /// The opposite connector.
+    pub fn dual(self) -> Connector {
+        match self {
+            Connector::And => Connector::Or,
+            Connector::Or => Connector::And,
+        }
+    }
+
+    /// The token used in the text syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Connector::And => "^",
+            Connector::Or => "_",
+        }
+    }
+}
+
+impl fmt::Display for Connector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A condition tree.
+///
+/// Invariants are *not* enforced by construction (rewrite rules need to build
+/// arbitrary shapes); [`CondTree::canonicalize`](crate::canonical) produces
+/// the canonical form of §6.4. `And`/`Or` nodes with zero or one child are
+/// permitted transiently but collapsed by canonicalization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CondTree {
+    /// An atomic condition.
+    Leaf(Atom),
+    /// An internal node with a connector and ordered children.
+    Node(Connector, Vec<CondTree>),
+}
+
+impl CondTree {
+    /// Builds a leaf.
+    pub fn leaf(atom: Atom) -> Self {
+        CondTree::Leaf(atom)
+    }
+
+    /// Builds an `And` node.
+    pub fn and(children: Vec<CondTree>) -> Self {
+        CondTree::Node(Connector::And, children)
+    }
+
+    /// Builds an `Or` node.
+    pub fn or(children: Vec<CondTree>) -> Self {
+        CondTree::Node(Connector::Or, children)
+    }
+
+    /// The connector of this node, or `None` for a leaf.
+    pub fn connector(&self) -> Option<Connector> {
+        match self {
+            CondTree::Leaf(_) => None,
+            CondTree::Node(c, _) => Some(*c),
+        }
+    }
+
+    /// Children of this node (empty slice for a leaf).
+    pub fn children(&self) -> &[CondTree] {
+        match self {
+            CondTree::Leaf(_) => &[],
+            CondTree::Node(_, cs) => cs,
+        }
+    }
+
+    /// Is this a leaf?
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, CondTree::Leaf(_))
+    }
+
+    /// `Attr(C)`: the set of attribute names appearing in the condition (§3).
+    pub fn attrs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut BTreeSet<String>) {
+        match self {
+            CondTree::Leaf(a) => {
+                out.insert(a.attr.clone());
+            }
+            CondTree::Node(_, cs) => {
+                for c in cs {
+                    c.collect_attrs(out);
+                }
+            }
+        }
+    }
+
+    /// All atoms, left-to-right.
+    pub fn atoms(&self) -> Vec<&Atom> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Atom>) {
+        match self {
+            CondTree::Leaf(a) => out.push(a),
+            CondTree::Node(_, cs) => {
+                for c in cs {
+                    c.collect_atoms(out);
+                }
+            }
+        }
+    }
+
+    /// Number of atom occurrences (leaf count).
+    pub fn n_atoms(&self) -> usize {
+        match self {
+            CondTree::Leaf(_) => 1,
+            CondTree::Node(_, cs) => cs.iter().map(CondTree::n_atoms).sum(),
+        }
+    }
+
+    /// Total node count (leaves + internal nodes).
+    pub fn n_nodes(&self) -> usize {
+        match self {
+            CondTree::Leaf(_) => 1,
+            CondTree::Node(_, cs) => 1 + cs.iter().map(CondTree::n_nodes).sum::<usize>(),
+        }
+    }
+
+    /// Tree depth (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            CondTree::Leaf(_) => 1,
+            CondTree::Node(_, cs) => 1 + cs.iter().map(CondTree::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// An order-insensitive structural key: children of every node are
+    /// rendered sorted. Two trees with the same key are equal up to
+    /// commutativity (but *not* associativity/distributivity).
+    ///
+    /// Used to deduplicate rewrite frontiers without collapsing trees whose
+    /// grammar-relevant structure differs.
+    pub fn commutative_key(&self) -> String {
+        match self {
+            CondTree::Leaf(a) => a.to_string(),
+            CondTree::Node(c, cs) => {
+                let mut keys: Vec<String> = cs.iter().map(CondTree::commutative_key).collect();
+                keys.sort();
+                format!("{}({})", c.symbol(), keys.join(","))
+            }
+        }
+    }
+
+    /// Pre-order traversal visiting every node.
+    pub fn walk<'a>(&'a self, visit: &mut impl FnMut(&'a CondTree)) {
+        visit(self);
+        for c in self.children() {
+            c.walk(visit);
+        }
+    }
+}
+
+impl From<Atom> for CondTree {
+    fn from(a: Atom) -> Self {
+        CondTree::Leaf(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::CmpOp;
+
+    fn a(n: &str) -> CondTree {
+        CondTree::leaf(Atom::eq(n, 1i64))
+    }
+
+    /// The Figure 1 tree: (c1 ^ c2) ^ (c3 _ c4).
+    fn fig1() -> CondTree {
+        CondTree::and(vec![
+            CondTree::and(vec![a("c1"), a("c2")]),
+            CondTree::or(vec![a("c3"), a("c4")]),
+        ])
+    }
+
+    #[test]
+    fn metrics() {
+        let t = fig1();
+        assert_eq!(t.n_atoms(), 4);
+        assert_eq!(t.n_nodes(), 7);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.connector(), Some(Connector::And));
+        assert_eq!(t.children().len(), 2);
+    }
+
+    #[test]
+    fn attrs_collects_all_attribute_names() {
+        let t = CondTree::and(vec![
+            CondTree::leaf(Atom::eq("make", "BMW")),
+            CondTree::leaf(Atom::new("price", CmpOp::Lt, 40000i64)),
+            CondTree::leaf(Atom::eq("make", "Toyota")),
+        ]);
+        let attrs: Vec<_> = t.attrs().into_iter().collect();
+        assert_eq!(attrs, vec!["make".to_string(), "price".to_string()]);
+    }
+
+    #[test]
+    fn atoms_in_order() {
+        let t = fig1();
+        let names: Vec<_> = t.atoms().iter().map(|a| a.attr.clone()).collect();
+        assert_eq!(names, vec!["c1", "c2", "c3", "c4"]);
+    }
+
+    #[test]
+    fn commutative_key_ignores_child_order() {
+        let t1 = CondTree::and(vec![a("x"), a("y")]);
+        let t2 = CondTree::and(vec![a("y"), a("x")]);
+        assert_ne!(t1, t2);
+        assert_eq!(t1.commutative_key(), t2.commutative_key());
+        // ... but not associativity:
+        let t3 = CondTree::and(vec![a("x"), CondTree::and(vec![a("y")])]);
+        assert_ne!(t1.commutative_key(), t3.commutative_key());
+    }
+
+    #[test]
+    fn dual_connector() {
+        assert_eq!(Connector::And.dual(), Connector::Or);
+        assert_eq!(Connector::Or.dual(), Connector::And);
+    }
+
+    #[test]
+    fn walk_visits_preorder() {
+        let t = fig1();
+        let mut count = 0;
+        t.walk(&mut |_| count += 1);
+        assert_eq!(count, t.n_nodes());
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the condition-expression substrate: text round-trips,
+//! canonicalization, normal forms, rewrite-rule soundness, and semantic
+//! consistency between a tree and its normal forms.
+
+use csqp_expr::canonical::{canonicalize, is_canonical};
+use csqp_expr::gen::{CondGen, CondGenConfig, GenAttr};
+use csqp_expr::normal::{to_cnf, to_dnf};
+use csqp_expr::parse::parse_condition;
+use csqp_expr::rewrite::{single_steps, RewriteRule};
+use csqp_expr::semantics::{eval, prop_equivalent};
+use csqp_expr::{CondTree, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn attrs() -> Vec<GenAttr> {
+    vec![
+        GenAttr::ints("alpha", 0, 5, 1),
+        GenAttr::ints("beta", 0, 3, 1),
+        GenAttr::strings("gamma", &["g0", "g1", "g2"]),
+        GenAttr::strings("delta", &["left", "right"]),
+    ]
+}
+
+fn tree(seed: u64, n_atoms: usize, depth: usize) -> CondTree {
+    let mut g = CondGen::new(seed, attrs());
+    g.tree(&CondGenConfig { n_atoms, max_depth: depth, and_bias: 0.5, eq_bias: 0.7 })
+}
+
+/// A deterministic row for semantic evaluation.
+fn row(seed: u64) -> BTreeMap<String, Value> {
+    let mut m = BTreeMap::new();
+    m.insert("alpha".into(), Value::Int((seed % 6) as i64));
+    m.insert("beta".into(), Value::Int((seed / 6 % 4) as i64));
+    m.insert("gamma".into(), Value::str(format!("g{}", seed / 24 % 3)));
+    m.insert(
+        "delta".into(),
+        Value::str(if seed.is_multiple_of(2) { "left" } else { "right" }),
+    );
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Rendered trees re-parse to the identical tree.
+    #[test]
+    fn display_parse_round_trip(seed in 0u64..100_000, n in 1usize..9) {
+        let t = tree(seed, n, 4);
+        let text = t.to_string();
+        let back = parse_condition(&text).unwrap();
+        prop_assert_eq!(t, back, "{}", text);
+    }
+
+    /// Canonicalization: idempotent, canonical output, equivalence kept,
+    /// atom multiset preserved.
+    #[test]
+    fn canonicalize_contract(seed in 0u64..100_000, n in 1usize..10) {
+        let t = tree(seed, n, 5);
+        let c = canonicalize(&t);
+        prop_assert!(is_canonical(&c));
+        prop_assert_eq!(&canonicalize(&c), &c);
+        prop_assert_eq!(prop_equivalent(&t, &c), Some(true));
+        prop_assert_eq!(t.n_atoms(), c.n_atoms());
+    }
+
+    /// Every single rewrite step of every GenModular rule preserves
+    /// propositional equivalence.
+    #[test]
+    fn rewrite_steps_sound(seed in 0u64..100_000, n in 2usize..7) {
+        let t = tree(seed, n, 3);
+        for next in single_steps(&t, &RewriteRule::MODULAR) {
+            prop_assert_eq!(
+                prop_equivalent(&t, &next),
+                Some(true),
+                "{} => {}",
+                t,
+                next
+            );
+        }
+    }
+
+    /// CNF/DNF conversions are equivalent and correctly shaped.
+    #[test]
+    fn normal_forms_contract(seed in 0u64..100_000, n in 1usize..7) {
+        let t = tree(seed, n, 3);
+        let cnf = to_cnf(&t).unwrap();
+        let dnf = to_dnf(&t).unwrap();
+        prop_assert_eq!(prop_equivalent(&t, &cnf), Some(true));
+        prop_assert_eq!(prop_equivalent(&t, &dnf), Some(true));
+        prop_assert!(is_canonical(&cnf));
+        prop_assert!(is_canonical(&dnf));
+        // CNF: depth ≤ 2 with ^ at the root (if a node at all); dually DNF.
+        prop_assert!(cnf.depth() <= 3);
+        prop_assert!(dnf.depth() <= 3);
+    }
+
+    /// Tree evaluation agrees with its normal forms on concrete rows
+    /// (a *semantic* check — prop_equivalent treats atoms opaquely, this
+    /// exercises real comparisons).
+    #[test]
+    fn eval_agrees_with_normal_forms(seed in 0u64..100_000, n in 1usize..7, rowseed in 0u64..144) {
+        let t = tree(seed, n, 3);
+        let r = row(rowseed);
+        let want = eval(&t, &r);
+        prop_assert_eq!(eval(&to_cnf(&t).unwrap(), &r), want);
+        prop_assert_eq!(eval(&to_dnf(&t).unwrap(), &r), want);
+        prop_assert_eq!(eval(&canonicalize(&t), &r), want);
+    }
+
+    /// Rewrite steps also agree semantically on concrete rows.
+    #[test]
+    fn rewrite_steps_agree_semantically(seed in 0u64..50_000, n in 2usize..6, rowseed in 0u64..144) {
+        let t = tree(seed, n, 3);
+        let r = row(rowseed);
+        let want = eval(&t, &r);
+        for next in single_steps(&t, &RewriteRule::MODULAR) {
+            prop_assert_eq!(eval(&next, &r), want, "{}", next);
+        }
+    }
+
+    /// commutative_key is invariant under child shuffles (single swap).
+    #[test]
+    fn commutative_key_swap_invariant(seed in 0u64..100_000, n in 2usize..8) {
+        let t = tree(seed, n, 3);
+        if let CondTree::Node(conn, mut children) = t.clone() {
+            if children.len() >= 2 {
+                children.swap(0, 1);
+                let swapped = CondTree::Node(conn, children);
+                prop_assert_eq!(t.commutative_key(), swapped.commutative_key());
+            }
+        }
+    }
+}

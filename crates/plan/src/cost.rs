@@ -1,0 +1,233 @@
+//! The §6.2 cost model over plans, with pluggable cardinality estimation.
+//!
+//! `cost(plan) = Σ_{sq ∈ SQ} k1 + k2 · |result(sq)|` — only source queries
+//! are charged; mediator postprocessing is folded into `k2` (the paper:
+//! "the cost of such operations may be adequately modeled by a linear
+//! function of the size of the data being operated upon").
+//!
+//! The paper notes GenCompact "can be easily adapted to … cost models that
+//! are different": cardinality estimation is a trait with three
+//! implementations (statistics-based, oracle, uniform).
+
+use crate::plan::Plan;
+use csqp_expr::{CondTree, Connector};
+use csqp_relation::ops::select;
+use csqp_relation::{Relation, TableStats};
+
+/// Result-size estimation for source queries.
+pub trait Cardinality {
+    /// Estimated number of tuples `σ_cond(R)` returns (`None` = true).
+    fn estimate(&self, cond: Option<&CondTree>) -> f64;
+}
+
+/// Statistics-based estimation (the realistic choice).
+#[derive(Debug, Clone, Copy)]
+pub struct StatsCard<'a> {
+    stats: &'a TableStats,
+}
+
+impl<'a> StatsCard<'a> {
+    /// Wraps table statistics.
+    pub fn new(stats: &'a TableStats) -> Self {
+        StatsCard { stats }
+    }
+}
+
+impl Cardinality for StatsCard<'_> {
+    fn estimate(&self, cond: Option<&CondTree>) -> f64 {
+        self.stats.estimate_rows(cond)
+    }
+}
+
+/// Oracle estimation: executes the selection against the actual relation.
+/// Exact, but only available in experiments (used to isolate planner quality
+/// from estimation error, E10).
+#[derive(Debug, Clone, Copy)]
+pub struct OracleCard<'a> {
+    relation: &'a Relation,
+}
+
+impl<'a> OracleCard<'a> {
+    /// Wraps the relation.
+    pub fn new(relation: &'a Relation) -> Self {
+        OracleCard { relation }
+    }
+}
+
+impl Cardinality for OracleCard<'_> {
+    fn estimate(&self, cond: Option<&CondTree>) -> f64 {
+        select(self.relation, cond).len() as f64
+    }
+}
+
+/// Uniform estimation: every atom has fixed selectivity. Crude but
+/// statistics-free (what a mediator without source statistics must do).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformCard {
+    /// Assumed table cardinality.
+    pub rows: f64,
+    /// Assumed per-atom selectivity.
+    pub atom_selectivity: f64,
+}
+
+impl Default for UniformCard {
+    fn default() -> Self {
+        UniformCard { rows: 10_000.0, atom_selectivity: 0.1 }
+    }
+}
+
+impl UniformCard {
+    fn sel(&self, t: &CondTree) -> f64 {
+        match t {
+            CondTree::Leaf(_) => self.atom_selectivity,
+            CondTree::Node(Connector::And, cs) => cs.iter().map(|c| self.sel(c)).product(),
+            CondTree::Node(Connector::Or, cs) => {
+                1.0 - cs.iter().map(|c| 1.0 - self.sel(c)).product::<f64>()
+            }
+        }
+    }
+}
+
+impl Cardinality for UniformCard {
+    fn estimate(&self, cond: Option<&CondTree>) -> f64 {
+        match cond {
+            None => self.rows,
+            Some(t) => self.rows * self.sel(t),
+        }
+    }
+}
+
+/// Cost of a **concrete** plan (no `Choice` operators) under any
+/// [`CostModel`](crate::model::CostModel) (`&CostParams` gives the paper's
+/// §6.2 affine model).
+///
+/// # Panics
+/// Panics on a `Choice` node — resolve first (see [`mod@crate::resolve`]).
+pub fn plan_cost(
+    plan: &Plan,
+    model: &dyn crate::model::CostModel,
+    card: &dyn Cardinality,
+) -> f64 {
+    match plan {
+        Plan::SourceQuery { cond, attrs } => {
+            model.source_query_cost(cond.as_ref(), attrs, card.estimate(cond.as_ref()))
+        }
+        Plan::LocalSp { input, .. } => plan_cost(input, model, card),
+        Plan::Intersect(cs) | Plan::Union(cs) => {
+            cs.iter().map(|c| plan_cost(c, model, card)).sum()
+        }
+        Plan::Choice(_) => panic!("plan_cost on unresolved Choice; call resolve first"),
+    }
+}
+
+/// Minimum achievable cost of a plan space (resolving `Choice` greedily —
+/// exact because cost is a sum over independent source queries).
+pub fn min_cost(
+    plan: &Plan,
+    model: &dyn crate::model::CostModel,
+    card: &dyn Cardinality,
+) -> f64 {
+    match plan {
+        Plan::SourceQuery { cond, attrs } => {
+            model.source_query_cost(cond.as_ref(), attrs, card.estimate(cond.as_ref()))
+        }
+        Plan::LocalSp { input, .. } => min_cost(input, model, card),
+        Plan::Intersect(cs) | Plan::Union(cs) => {
+            cs.iter().map(|c| min_cost(c, model, card)).sum()
+        }
+        Plan::Choice(cs) => cs
+            .iter()
+            .map(|c| min_cost(c, model, card))
+            .fold(f64::INFINITY, f64::min),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::attrs;
+    use csqp_expr::parse::parse_condition;
+    use csqp_source::CostParams;
+
+    fn cond(s: &str) -> Option<CondTree> {
+        Some(parse_condition(s).unwrap())
+    }
+
+    fn uni() -> UniformCard {
+        UniformCard { rows: 1000.0, atom_selectivity: 0.1 }
+    }
+
+    #[test]
+    fn uniform_estimates() {
+        let u = uni();
+        assert_eq!(u.estimate(None), 1000.0);
+        assert_eq!(u.estimate(cond("a = 1").as_ref()), 100.0);
+        assert!((u.estimate(cond("a = 1 ^ b = 2").as_ref()) - 10.0).abs() < 1e-9);
+        assert!((u.estimate(cond("a = 1 _ b = 2").as_ref()) - 190.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cost_charges_only_source_queries() {
+        let params = CostParams::new(50.0, 1.0);
+        let u = uni();
+        // Nested local plan: one source query of ~100 tuples.
+        let p = Plan::local(
+            cond("c = 3"),
+            attrs(["k"]),
+            Plan::source(cond("a = 1"), attrs(["k", "c"])),
+        );
+        assert!((plan_cost(&p, &params, &u) - 150.0).abs() < 1e-9);
+        // Intersection of two source queries: both charged.
+        let p2 = Plan::intersect(vec![
+            Plan::source(cond("a = 1"), attrs(["k"])),
+            Plan::source(cond("b = 2"), attrs(["k"])),
+        ]);
+        assert!((plan_cost(&p2, &params, &u) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved Choice")]
+    fn cost_of_choice_panics() {
+        let u = uni();
+        let p = Plan::Choice(vec![
+            Plan::source(cond("a = 1"), attrs(["k"])),
+            Plan::source(cond("b = 2"), attrs(["k"])),
+        ]);
+        plan_cost(&p, &CostParams::default(), &u);
+    }
+
+    #[test]
+    fn min_cost_resolves_choices() {
+        let params = CostParams::new(0.0, 1.0);
+        let u = uni();
+        let p = Plan::Choice(vec![
+            Plan::source(None, attrs(["k"])),             // 1000
+            Plan::source(cond("a = 1"), attrs(["k"])),    // 100
+            Plan::intersect(vec![
+                Plan::source(cond("a = 1"), attrs(["k"])), // 100
+                Plan::source(cond("b = 2"), attrs(["k"])), // 100
+            ]), // 200
+        ]);
+        assert!((min_cost(&p, &params, &u) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_is_exact() {
+        use csqp_relation::datagen;
+        let r = datagen::cars(1, 200);
+        let o = OracleCard::new(&r);
+        let c = parse_condition("make = \"BMW\"").unwrap();
+        let expected = select(&r, Some(&c)).len() as f64;
+        assert_eq!(o.estimate(Some(&c)), expected);
+        assert_eq!(o.estimate(None), 200.0);
+    }
+
+    #[test]
+    fn stats_card_delegates() {
+        use csqp_relation::datagen;
+        let r = datagen::cars(1, 200);
+        let stats = TableStats::build(&r);
+        let s = StatsCard::new(&stats);
+        assert_eq!(s.estimate(None), 200.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! The mediator executor: runs a concrete plan against a source.
+//!
+//! ## Correctness caveat (paper semantics)
+//!
+//! Following the paper, `Intersect`/`Union` combine **A-projections** of
+//! source-query results. Union-combined plans are always exact
+//! (`π_A(σ_{C1∨C2}R) = π_A(σ_{C1}R) ∪ π_A(σ_{C2}R)`), but
+//! intersection-combined plans are exact only when the projection `A`
+//! functionally determines condition satisfaction — e.g. when `A` contains
+//! the relation key. Otherwise two different tuples satisfying different
+//! conjuncts can collide on `A` and survive the intersection
+//! (`π_A(σ_{C1}R) ∩ π_A(σ_{C2}R) ⊋ π_A(σ_{C1∧C2}R)`). Workload queries in
+//! this repository always project the key; the anomaly is demonstrated in a
+//! dedicated test rather than silently ignored.
+
+use crate::plan::Plan;
+use csqp_relation::ops::{intersect, project, select, union};
+use csqp_relation::Relation;
+use csqp_source::{Meter, Source, SourceError};
+use std::fmt;
+
+/// Errors raised during plan execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A source query was rejected by the capability gate (an infeasible or
+    /// unfixable plan reached execution).
+    Source(SourceError),
+    /// Mediator-side schema mismatch (plan construction bug).
+    Schema(String),
+    /// The plan still contains `Choice` operators.
+    Unresolved,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Source(e) => write!(f, "source error: {e}"),
+            ExecError::Schema(msg) => write!(f, "mediator schema error: {msg}"),
+            ExecError::Unresolved => write!(f, "plan contains unresolved Choice operators"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<SourceError> for ExecError {
+    fn from(e: SourceError) -> Self {
+        ExecError::Source(e)
+    }
+}
+
+/// Executes a concrete plan against `source`, returning the result relation.
+/// Source queries are order-fixed (§6.1) before hitting the capability gate.
+pub fn execute(plan: &Plan, source: &Source) -> Result<Relation, ExecError> {
+    match plan {
+        Plan::SourceQuery { cond, attrs } => {
+            Ok(source.fix_and_answer(cond.as_ref(), attrs)?)
+        }
+        Plan::LocalSp { cond, attrs, input } => {
+            let base = execute(input, source)?;
+            let filtered = select(&base, cond.as_ref());
+            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            project(&filtered, &attr_refs).map_err(|e| ExecError::Schema(e.to_string()))
+        }
+        Plan::Intersect(cs) => {
+            let mut results = cs.iter().map(|c| execute(c, source));
+            let first = results.next().expect("non-empty by construction")?;
+            results.try_fold(first, |acc, r| {
+                intersect(&acc, &r?).map_err(|e| ExecError::Schema(e.to_string()))
+            })
+        }
+        Plan::Union(cs) => {
+            let mut results = cs.iter().map(|c| execute(c, source));
+            let first = results.next().expect("non-empty by construction")?;
+            results.try_fold(first, |acc, r| {
+                union(&acc, &r?).map_err(|e| ExecError::Schema(e.to_string()))
+            })
+        }
+        Plan::Choice(_) => Err(ExecError::Unresolved),
+    }
+}
+
+/// Executes a plan and reports the transfer metrics it caused (meter delta).
+pub fn execute_measured(plan: &Plan, source: &Source) -> Result<(Relation, Meter), ExecError> {
+    let before = source.meter();
+    let result = execute(plan, source)?;
+    let after = source.meter();
+    Ok((
+        result,
+        Meter {
+            queries: after.queries - before.queries,
+            tuples_shipped: after.tuples_shipped - before.tuples_shipped,
+            rejected: after.rejected - before.rejected,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::attrs;
+    use csqp_expr::parse::parse_condition;
+    use csqp_expr::CondTree;
+    use csqp_relation::datagen;
+    use csqp_source::CostParams;
+    use csqp_ssdl::templates;
+
+    fn cond(s: &str) -> Option<CondTree> {
+        Some(parse_condition(s).unwrap())
+    }
+
+    fn dealer() -> Source {
+        Source::new(datagen::cars(3, 500), templates::car_dealer(), CostParams::default())
+    }
+
+    /// Oracle: evaluate the target query directly on the hidden relation.
+    fn oracle(source: &Source, cond_text: &str, a: &[&str]) -> Relation {
+        let c = parse_condition(cond_text).unwrap();
+        let selected = select(source.relation(), Some(&c));
+        project(&selected, a).unwrap()
+    }
+
+    #[test]
+    fn nested_local_plan_matches_oracle() {
+        let s = dealer();
+        // Target: (make=BMW ^ price<40000) ^ (color=red _ color=black),
+        // A = {model, year} — Example 3.1/4.1's feasible plan.
+        let plan = Plan::local(
+            cond("color = \"red\" _ color = \"black\""),
+            attrs(["model", "year"]),
+            Plan::source(
+                cond("make = \"BMW\" ^ price < 40000"),
+                attrs(["model", "year", "color"]),
+            ),
+        );
+        let got = execute(&plan, &s).unwrap();
+        let want = oracle(
+            &s,
+            "make = \"BMW\" ^ price < 40000 ^ (color = \"red\" _ color = \"black\")",
+            &["model", "year"],
+        );
+        assert_eq!(got, want);
+        assert!(!got.is_empty(), "test data should produce matches");
+    }
+
+    #[test]
+    fn union_plan_matches_oracle() {
+        let s = dealer();
+        // model is unique per row in the generator, so projections stay lossless.
+        let plan = Plan::union(vec![
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model", "year"])),
+            Plan::source(cond("make = \"Toyota\" ^ price < 20000"), attrs(["model", "year"])),
+        ]);
+        let got = execute(&plan, &s).unwrap();
+        let want = oracle(
+            &s,
+            "(make = \"BMW\" ^ price < 40000) _ (make = \"Toyota\" ^ price < 20000)",
+            &["model", "year"],
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn intersect_plan_with_identifying_projection() {
+        let s = dealer();
+        // `model` identifies rows in this generator, so ∩ on projections is
+        // exact here.
+        let plan = Plan::intersect(vec![
+            Plan::source(cond("make = \"BMW\" ^ price < 60000"), attrs(["model"])),
+            Plan::source(cond("make = \"BMW\" ^ color = \"red\""), attrs(["model"])),
+        ]);
+        let got = execute(&plan, &s).unwrap();
+        let want = oracle(
+            &s,
+            "make = \"BMW\" ^ price < 60000 ^ color = \"red\"",
+            &["model"],
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn executor_fixes_source_query_order() {
+        let s = dealer();
+        // Planning-view order (price first) — gate would reject it raw.
+        let plan =
+            Plan::source(cond("price < 40000 ^ make = \"BMW\""), attrs(["model"]));
+        let got = execute(&plan, &s).unwrap();
+        assert!(!got.is_empty());
+        assert_eq!(s.meter().rejected, 0, "fix_order avoided a gate rejection");
+    }
+
+    #[test]
+    fn infeasible_source_query_errors() {
+        let s = dealer();
+        let plan = Plan::source(cond("year = 1995"), attrs(["model"]));
+        assert!(matches!(execute(&plan, &s), Err(ExecError::Source(_))));
+    }
+
+    #[test]
+    fn unresolved_choice_errors() {
+        let s = dealer();
+        let plan = Plan::Choice(vec![
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model"])),
+            Plan::source(cond("make = \"BMW\" ^ color = \"red\""), attrs(["model"])),
+        ]);
+        assert_eq!(execute(&plan, &s), Err(ExecError::Unresolved));
+    }
+
+    #[test]
+    fn measured_execution_reports_transfer() {
+        let s = dealer();
+        let plan = Plan::union(vec![
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model"])),
+            Plan::source(cond("make = \"Toyota\" ^ price < 20000"), attrs(["model"])),
+        ]);
+        let (result, meter) = execute_measured(&plan, &s).unwrap();
+        assert_eq!(meter.queries, 2);
+        assert!(meter.tuples_shipped >= result.len() as u64);
+        // A second run doubles the cumulative meter but the delta matches.
+        let (_, meter2) = execute_measured(&plan, &s).unwrap();
+        assert_eq!(meter, meter2);
+    }
+
+    /// The documented intersection anomaly: a lossy projection makes an
+    /// ∩-combined plan a strict superset of the target answer.
+    #[test]
+    fn intersection_anomaly_demonstrated() {
+        use csqp_relation::{Relation, Schema};
+        use csqp_expr::{Value, ValueType};
+        // Two rows share a=1 but differ in b.
+        let schema =
+            Schema::new("t", vec![("a", ValueType::Int), ("b", ValueType::Int)], &[]).unwrap();
+        let r = Relation::from_rows(
+            schema,
+            vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(1), Value::Int(3)]],
+        );
+        let desc = templates::full_relational("t", &[("a", ValueType::Int), ("b", ValueType::Int)]);
+        let s = Source::new(r, desc, CostParams::default());
+        let plan = Plan::intersect(vec![
+            Plan::source(cond("b = 2"), attrs(["a"])),
+            Plan::source(cond("b = 3"), attrs(["a"])),
+        ]);
+        let got = execute(&plan, &s).unwrap();
+        // True answer of SP(b=2 ^ b=3, {a}) is empty; the projection-based
+        // intersection reports one row. This is the paper's semantics; the
+        // planners avoid it by always projecting identifying attributes in
+        // the workloads.
+        assert_eq!(got.len(), 1);
+        let truth = oracle(&s, "b = 2 ^ b = 3", &["a"]);
+        assert_eq!(truth.len(), 0);
+    }
+}

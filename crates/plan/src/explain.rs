@@ -1,0 +1,162 @@
+//! Plan rendering in the paper's `SP(C, A, R)` notation, plus an indented
+//! tree form for longer plans.
+
+use crate::plan::Plan;
+use std::fmt;
+
+impl fmt::Display for Plan {
+    /// Compact one-line rendering: `SP(cond, {attrs}, R)` for source
+    /// queries, `SP(cond, {attrs}, <input>)` for local evaluation,
+    /// `∩(...)`, `∪(...)`, `Choice(...)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::SourceQuery { cond, attrs } => {
+                write!(f, "SP(")?;
+                match cond {
+                    Some(c) => write!(f, "{c}")?,
+                    None => write!(f, "true")?,
+                }
+                write!(f, ", {{{}}}, R)", attrs.iter().cloned().collect::<Vec<_>>().join(", "))
+            }
+            Plan::LocalSp { cond, attrs, input } => {
+                write!(f, "SP(")?;
+                match cond {
+                    Some(c) => write!(f, "{c}")?,
+                    None => write!(f, "true")?,
+                }
+                write!(
+                    f,
+                    ", {{{}}}, {input})",
+                    attrs.iter().cloned().collect::<Vec<_>>().join(", ")
+                )
+            }
+            Plan::Intersect(cs) => join(f, cs, " ∩ "),
+            Plan::Union(cs) => join(f, cs, " ∪ "),
+            Plan::Choice(cs) => {
+                write!(f, "Choice[")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+fn join(f: &mut fmt::Formatter<'_>, cs: &[Plan], sep: &str) -> fmt::Result {
+    for (i, c) in cs.iter().enumerate() {
+        if i > 0 {
+            f.write_str(sep)?;
+        }
+        let needs_parens = matches!(c, Plan::Intersect(_) | Plan::Union(_));
+        if needs_parens {
+            write!(f, "({c})")?;
+        } else {
+            write!(f, "{c}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Multi-line indented rendering for complex plans.
+pub fn explain(plan: &Plan) -> String {
+    let mut out = String::new();
+    render(plan, 0, &mut out);
+    out
+}
+
+fn render(plan: &Plan, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match plan {
+        Plan::SourceQuery { .. } => {
+            out.push_str(&format!("{pad}{plan}\n"));
+        }
+        Plan::LocalSp { cond, attrs, input } => {
+            let c = cond.as_ref().map(|c| c.to_string()).unwrap_or_else(|| "true".into());
+            out.push_str(&format!(
+                "{pad}Local σ[{c}] π{{{}}}\n",
+                attrs.iter().cloned().collect::<Vec<_>>().join(", ")
+            ));
+            render(input, depth + 1, out);
+        }
+        Plan::Intersect(cs) => {
+            out.push_str(&format!("{pad}Intersect\n"));
+            for c in cs {
+                render(c, depth + 1, out);
+            }
+        }
+        Plan::Union(cs) => {
+            out.push_str(&format!("{pad}Union\n"));
+            for c in cs {
+                render(c, depth + 1, out);
+            }
+        }
+        Plan::Choice(cs) => {
+            out.push_str(&format!("{pad}Choice ({} alternatives)\n", cs.len()));
+            for c in cs {
+                render(c, depth + 1, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::attrs;
+    use csqp_expr::parse::parse_condition;
+    use csqp_expr::CondTree;
+
+    fn cond(s: &str) -> Option<CondTree> {
+        Some(parse_condition(s).unwrap())
+    }
+
+    #[test]
+    fn renders_paper_notation() {
+        let p = Plan::local(
+            cond("color = \"red\" _ color = \"black\""),
+            attrs(["model", "year"]),
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["color", "model", "year"])),
+        );
+        assert_eq!(
+            p.to_string(),
+            "SP(color = \"red\" _ color = \"black\", {model, year}, \
+             SP(make = \"BMW\" ^ price < 40000, {color, model, year}, R))"
+        );
+    }
+
+    #[test]
+    fn renders_intersection_and_download() {
+        let p = Plan::intersect(vec![
+            Plan::source(cond("a = 1"), attrs(["k"])),
+            Plan::source(None, attrs(["k"])),
+        ]);
+        assert_eq!(p.to_string(), "SP(a = 1, {k}, R) ∩ SP(true, {k}, R)");
+    }
+
+    #[test]
+    fn renders_choice() {
+        let p = Plan::Choice(vec![
+            Plan::source(cond("a = 1"), attrs(["k"])),
+            Plan::source(cond("b = 2"), attrs(["k"])),
+        ]);
+        assert!(p.to_string().starts_with("Choice["));
+        assert!(p.to_string().contains(" | "));
+    }
+
+    #[test]
+    fn explain_is_indented() {
+        let p = Plan::union(vec![
+            Plan::source(cond("a = 1"), attrs(["k"])),
+            Plan::local(cond("b = 2"), attrs(["k"]), Plan::source(None, attrs(["b", "k"]))),
+        ]);
+        let text = explain(&p);
+        assert!(text.starts_with("Union\n"));
+        assert!(text.contains("\n  SP(a = 1"));
+        assert!(text.contains("\n  Local σ[b = 2]"));
+        assert!(text.contains("\n    SP(true"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # csqp-plan — mediator plans, cost model, executor
+//!
+//! Mediator query plans for selection queries over a capability-limited
+//! source (§3, §5, §6.2 of the paper):
+//!
+//! - [`plan`] — the plan ADT, including the §5.3 `Choice` operator;
+//! - [`feasible`] — the §4 feasibility test (every source query supported);
+//! - [`cost`] — the §6.2 linear cost model with pluggable cardinality
+//!   estimation (statistics / oracle / uniform);
+//! - [`mod@resolve`] — Choice resolution (GenModular's cost module);
+//! - [`exec`] — the mediator executor (fix order → query source →
+//!   postprocess with σ/π/∩/∪), with transfer metering;
+//! - [`explain`] — `SP(C, A, R)` notation rendering.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod exec;
+pub mod explain;
+pub mod feasible;
+pub mod model;
+pub mod plan;
+pub mod resolve;
+
+pub use cost::{Cardinality, OracleCard, StatsCard, UniformCard};
+pub use model::{CostModel, LatencyBandwidthCost};
+pub use exec::{execute, execute_measured, ExecError};
+pub use feasible::is_feasible;
+pub use plan::{attrs, AttrSet, Plan};
+pub use resolve::{resolve, resolve_with_cost};

@@ -1,0 +1,131 @@
+//! Pluggable cost models — the §7 flexibility claim:
+//!
+//! > "GenCompact is a flexible scheme in that it can be easily adapted to
+//! > situations involving … cost models that are different from those
+//! > presented in this paper."
+//!
+//! A [`CostModel`] charges each *source query* of a plan; mediator
+//! postprocessing is folded into the per-tuple terms (as in §6.2). Two
+//! implementations ship:
+//!
+//! - the paper's affine model (`CostParams`: `k1 + k2·rows`);
+//! - [`LatencyBandwidthCost`], a width-aware model where shipping more
+//!   attributes costs more (projection pushing becomes visible to the
+//!   optimizer).
+//!
+//! ## Soundness contract
+//!
+//! The pruning rules PR1–PR3 (§6.3) remain optimal for any model that is
+//! **monotone**: for a fixed condition, cost must not decrease when the
+//! result grows or when more attributes are requested; and the plan cost
+//! must be the sum of independent per-source-query charges. Both shipped
+//! models satisfy this; custom implementations must too, or pruning may
+//! discard their optimum.
+
+use crate::plan::AttrSet;
+use csqp_expr::CondTree;
+use csqp_source::CostParams;
+
+/// A per-source-query cost model (see module docs for the soundness
+/// contract).
+pub trait CostModel {
+    /// Charge for one source query `SP(cond, attrs, R)` whose estimated
+    /// result size is `rows` tuples.
+    fn source_query_cost(&self, cond: Option<&CondTree>, attrs: &AttrSet, rows: f64) -> f64;
+}
+
+/// The paper's §6.2 model: `k1 + k2 · rows`, width-oblivious.
+impl CostModel for CostParams {
+    fn source_query_cost(&self, _cond: Option<&CondTree>, _attrs: &AttrSet, rows: f64) -> f64 {
+        self.query_cost(rows)
+    }
+}
+
+/// A width-aware model: one network round trip plus transfer time for
+/// `rows · (tuple overhead + bytes per requested attribute)`.
+///
+/// Under this model a plan that over-fetches attributes (e.g. a nested
+/// local-evaluation plan requesting `A ∪ Attr(M)`) pays for the extra
+/// columns, which the affine model cannot see.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyBandwidthCost {
+    /// Per-query latency (cost units; e.g. one HTTP round trip).
+    pub latency: f64,
+    /// Average bytes per attribute value.
+    pub bytes_per_attr: f64,
+    /// Fixed bytes per tuple (markup, delimiters).
+    pub tuple_overhead: f64,
+    /// Bytes transferable per cost unit.
+    pub bandwidth: f64,
+}
+
+impl Default for LatencyBandwidthCost {
+    /// 1999-modem flavored: a round trip costs as much as ~3 KB of
+    /// transfer; values average 16 bytes.
+    fn default() -> Self {
+        LatencyBandwidthCost {
+            latency: 50.0,
+            bytes_per_attr: 16.0,
+            tuple_overhead: 32.0,
+            bandwidth: 64.0,
+        }
+    }
+}
+
+impl CostModel for LatencyBandwidthCost {
+    fn source_query_cost(&self, _cond: Option<&CondTree>, attrs: &AttrSet, rows: f64) -> f64 {
+        assert!(
+            self.bandwidth > 0.0,
+            "bandwidth must be positive for a monotone cost model"
+        );
+        let bytes_per_tuple = self.tuple_overhead + self.bytes_per_attr * attrs.len() as f64;
+        self.latency + rows * bytes_per_tuple / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::attrs;
+
+    #[test]
+    fn cost_params_is_the_affine_model() {
+        let m = CostParams::new(50.0, 2.0);
+        let a2 = attrs(["x", "y"]);
+        let a5 = attrs(["a", "b", "c", "d", "e"]);
+        // Width-oblivious.
+        assert_eq!(m.source_query_cost(None, &a2, 100.0), 250.0);
+        assert_eq!(m.source_query_cost(None, &a5, 100.0), 250.0);
+    }
+
+    #[test]
+    fn latency_bandwidth_charges_width() {
+        let m = LatencyBandwidthCost {
+            latency: 10.0,
+            bytes_per_attr: 8.0,
+            tuple_overhead: 0.0,
+            bandwidth: 8.0,
+        };
+        let narrow = attrs(["x"]);
+        let wide = attrs(["x", "y", "z"]);
+        let cn = m.source_query_cost(None, &narrow, 100.0);
+        let cw = m.source_query_cost(None, &wide, 100.0);
+        assert_eq!(cn, 10.0 + 100.0); // 1 attr · 8B / 8 B-per-unit
+        assert_eq!(cw, 10.0 + 300.0);
+        assert!(cw > cn, "wider projections cost more");
+    }
+
+    #[test]
+    fn monotonicity_contract() {
+        let m = LatencyBandwidthCost::default();
+        let a = attrs(["x"]);
+        let b = attrs(["x", "y"]);
+        for rows in [0.0, 1.0, 10.0, 1e6] {
+            assert!(m.source_query_cost(None, &a, rows) <= m.source_query_cost(None, &b, rows));
+            assert!(
+                m.source_query_cost(None, &a, rows)
+                    <= m.source_query_cost(None, &a, rows + 1.0)
+            );
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Mediator query plans (§3, §5).
+//!
+//! A plan for a target query `SP(C, A, R)` consists of source queries sent
+//! to `R` plus mediator postprocessing (selection, projection, intersection,
+//! union). Example 3.1's two plans render as:
+//!
+//! - `SP(n2, A, SP(n1, A ∪ Attr(n2), R))` →
+//!   [`Plan::LocalSp`] over a [`Plan::SourceQuery`];
+//! - `SP(n1, A, R) ∩ SP(n2, A, R)` → [`Plan::Intersect`] of two
+//!   [`Plan::SourceQuery`]s.
+//!
+//! The `Choice` operator of §5.3 represents a *space* of alternative plans;
+//! the cost module resolves it ([`mod@crate::resolve`]).
+
+use csqp_expr::CondTree;
+use std::collections::BTreeSet;
+
+/// A set of attribute names.
+pub type AttrSet = BTreeSet<String>;
+
+/// Builds an [`AttrSet`] from names.
+pub fn attrs<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> AttrSet {
+    names.into_iter().map(|s| s.as_ref().to_string()).collect()
+}
+
+/// A mediator plan. See module docs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// `SP(C, A, R)` — a query answered by the source itself
+    /// (`cond = None` is the trivially-true download query).
+    SourceQuery {
+        /// The condition pushed to the source.
+        cond: Option<CondTree>,
+        /// The attributes fetched.
+        attrs: AttrSet,
+    },
+    /// `SP(C, A, input)` evaluated at the **mediator**: filter the
+    /// sub-plan's result by `cond`, then project to `attrs`.
+    LocalSp {
+        /// The condition applied locally (`None` = projection only).
+        cond: Option<CondTree>,
+        /// The output attributes.
+        attrs: AttrSet,
+        /// The sub-plan producing the input.
+        input: Box<Plan>,
+    },
+    /// Set intersection of sub-plan results (∧ combination).
+    Intersect(Vec<Plan>),
+    /// Set union of sub-plan results (∨ combination).
+    Union(Vec<Plan>),
+    /// The §5.3 Choice operator: alternative plans for the same query.
+    Choice(Vec<Plan>),
+}
+
+impl Plan {
+    /// A source query.
+    pub fn source(cond: Option<CondTree>, attrs: AttrSet) -> Plan {
+        Plan::SourceQuery { cond, attrs }
+    }
+
+    /// A local selection+projection over a sub-plan.
+    pub fn local(cond: Option<CondTree>, attrs: AttrSet, input: Plan) -> Plan {
+        Plan::LocalSp { cond, attrs, input: Box::new(input) }
+    }
+
+    /// An intersection; unwraps singletons.
+    ///
+    /// # Panics
+    /// Panics on an empty child list (that is the ⊥ plan; model it as
+    /// `Option<Plan>` at the planner level).
+    pub fn intersect(children: Vec<Plan>) -> Plan {
+        assert!(!children.is_empty(), "empty Intersect is the invalid plan");
+        if children.len() == 1 {
+            children.into_iter().next().expect("len checked")
+        } else {
+            Plan::Intersect(children)
+        }
+    }
+
+    /// A union; unwraps singletons.
+    ///
+    /// # Panics
+    /// Panics on an empty child list.
+    pub fn union(children: Vec<Plan>) -> Plan {
+        assert!(!children.is_empty(), "empty Union is the invalid plan");
+        if children.len() == 1 {
+            children.into_iter().next().expect("len checked")
+        } else {
+            Plan::Union(children)
+        }
+    }
+
+    /// A choice; unwraps singletons.
+    ///
+    /// # Panics
+    /// Panics on an empty alternative list (φ in Algorithm 5.1 — model it
+    /// as `Option<Plan>`).
+    pub fn choice(alts: Vec<Plan>) -> Plan {
+        assert!(!alts.is_empty(), "empty Choice is φ");
+        if alts.len() == 1 {
+            alts.into_iter().next().expect("len checked")
+        } else {
+            Plan::Choice(alts)
+        }
+    }
+
+    /// The attributes this plan outputs.
+    pub fn output_attrs(&self) -> &AttrSet {
+        match self {
+            Plan::SourceQuery { attrs, .. } | Plan::LocalSp { attrs, .. } => attrs,
+            Plan::Intersect(cs) | Plan::Union(cs) | Plan::Choice(cs) => {
+                cs.first().expect("non-empty by construction").output_attrs()
+            }
+        }
+    }
+
+    /// All source queries in the plan (including inside `Choice` branches).
+    pub fn source_queries(&self) -> Vec<(&Option<CondTree>, &AttrSet)> {
+        let mut out = Vec::new();
+        self.collect_source_queries(&mut out);
+        out
+    }
+
+    fn collect_source_queries<'a>(&'a self, out: &mut Vec<(&'a Option<CondTree>, &'a AttrSet)>) {
+        match self {
+            Plan::SourceQuery { cond, attrs } => out.push((cond, attrs)),
+            Plan::LocalSp { input, .. } => input.collect_source_queries(out),
+            Plan::Intersect(cs) | Plan::Union(cs) | Plan::Choice(cs) => {
+                for c in cs {
+                    c.collect_source_queries(out);
+                }
+            }
+        }
+    }
+
+    /// Is the plan free of `Choice` operators (directly executable)?
+    pub fn is_concrete(&self) -> bool {
+        match self {
+            Plan::SourceQuery { .. } => true,
+            Plan::LocalSp { input, .. } => input.is_concrete(),
+            Plan::Intersect(cs) | Plan::Union(cs) => cs.iter().all(Plan::is_concrete),
+            Plan::Choice(_) => false,
+        }
+    }
+
+    /// Number of plan nodes (diagnostics).
+    pub fn n_nodes(&self) -> usize {
+        match self {
+            Plan::SourceQuery { .. } => 1,
+            Plan::LocalSp { input, .. } => 1 + input.n_nodes(),
+            Plan::Intersect(cs) | Plan::Union(cs) | Plan::Choice(cs) => {
+                1 + cs.iter().map(Plan::n_nodes).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of concrete alternatives a Choice-plan denotes
+    /// (the size of the represented plan space).
+    pub fn n_alternatives(&self) -> u64 {
+        match self {
+            Plan::SourceQuery { .. } => 1,
+            Plan::LocalSp { input, .. } => input.n_alternatives(),
+            Plan::Intersect(cs) | Plan::Union(cs) => cs
+                .iter()
+                .map(Plan::n_alternatives)
+                .fold(1u64, u64::saturating_mul),
+            Plan::Choice(cs) => cs
+                .iter()
+                .map(Plan::n_alternatives)
+                .fold(0u64, u64::saturating_add),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::parse::parse_condition;
+
+    fn cond(s: &str) -> Option<CondTree> {
+        Some(parse_condition(s).unwrap())
+    }
+
+    /// Example 3.1's nested plan.
+    fn nested_plan() -> Plan {
+        // SP(n2, A, SP(n1, A ∪ Attr(n2), R)) with A = {model, year}.
+        Plan::local(
+            cond("color = \"red\" _ color = \"black\""),
+            attrs(["model", "year"]),
+            Plan::source(
+                cond("make = \"BMW\" ^ price < 40000"),
+                attrs(["model", "year", "color"]),
+            ),
+        )
+    }
+
+    #[test]
+    fn source_queries_collected() {
+        let p = nested_plan();
+        let sqs = p.source_queries();
+        assert_eq!(sqs.len(), 1);
+        assert!(sqs[0].1.contains("color"));
+        let p2 = Plan::intersect(vec![
+            Plan::source(cond("a = 1"), attrs(["k"])),
+            Plan::source(cond("b = 2"), attrs(["k"])),
+        ]);
+        assert_eq!(p2.source_queries().len(), 2);
+    }
+
+    #[test]
+    fn output_attrs_of_combinations() {
+        let p = Plan::union(vec![
+            Plan::source(cond("a = 1"), attrs(["k", "x"])),
+            Plan::source(cond("b = 2"), attrs(["k", "x"])),
+        ]);
+        assert_eq!(p.output_attrs(), &attrs(["k", "x"]));
+        assert_eq!(nested_plan().output_attrs(), &attrs(["model", "year"]));
+    }
+
+    #[test]
+    fn concreteness() {
+        assert!(nested_plan().is_concrete());
+        let c = Plan::Choice(vec![nested_plan(), nested_plan()]);
+        assert!(!c.is_concrete());
+        let wrapped = Plan::local(None, attrs(["model"]), c);
+        assert!(!wrapped.is_concrete());
+    }
+
+    #[test]
+    fn singleton_unwrapping() {
+        let p = Plan::source(cond("a = 1"), attrs(["k"]));
+        assert_eq!(Plan::intersect(vec![p.clone()]), p);
+        assert_eq!(Plan::union(vec![p.clone()]), p);
+        assert_eq!(Plan::choice(vec![p.clone()]), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty Choice")]
+    fn empty_choice_panics() {
+        Plan::choice(vec![]);
+    }
+
+    #[test]
+    fn alternative_counting() {
+        let sq = |n: &str| Plan::source(cond(&format!("{n} = 1")), attrs(["k"]));
+        // Choice of 3 at one leaf times Choice of 2 at another.
+        let p = Plan::intersect(vec![
+            Plan::Choice(vec![sq("a"), sq("b"), sq("c")]),
+            Plan::Choice(vec![sq("d"), sq("e")]),
+        ]);
+        assert_eq!(p.n_alternatives(), 6);
+        assert_eq!(sq("a").n_alternatives(), 1);
+    }
+
+    #[test]
+    fn node_counting() {
+        assert_eq!(nested_plan().n_nodes(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Resolving `Choice` plan spaces to concrete plans — the cost module of
+//! GenModular (§5): "It selects the best plan from a set of plans, using
+//! whatever cost model is applicable."
+//!
+//! Because the §6.2 cost is a sum of independent per-source-query charges,
+//! each `Choice` can be resolved locally to its cheapest alternative without
+//! losing global optimality.
+
+use crate::cost::{min_cost, plan_cost, Cardinality};
+use crate::plan::Plan;
+use crate::model::CostModel;
+
+/// Resolves every `Choice` in `plan` to its minimum-cost alternative,
+/// returning a concrete plan.
+pub fn resolve(plan: &Plan, params: &dyn CostModel, card: &dyn Cardinality) -> Plan {
+    match plan {
+        Plan::SourceQuery { .. } => plan.clone(),
+        Plan::LocalSp { cond, attrs, input } => Plan::LocalSp {
+            cond: cond.clone(),
+            attrs: attrs.clone(),
+            input: Box::new(resolve(input, params, card)),
+        },
+        Plan::Intersect(cs) => {
+            Plan::Intersect(cs.iter().map(|c| resolve(c, params, card)).collect())
+        }
+        Plan::Union(cs) => Plan::Union(cs.iter().map(|c| resolve(c, params, card)).collect()),
+        Plan::Choice(cs) => {
+            let best = cs
+                .iter()
+                .min_by(|a, b| {
+                    min_cost(a, params, card)
+                        .partial_cmp(&min_cost(b, params, card))
+                        .expect("costs are finite")
+                })
+                .expect("Choice is non-empty by construction");
+            resolve(best, params, card)
+        }
+    }
+}
+
+/// Resolves and returns the plan with its cost.
+pub fn resolve_with_cost(
+    plan: &Plan,
+    params: &dyn CostModel,
+    card: &dyn Cardinality,
+) -> (Plan, f64) {
+    let concrete = resolve(plan, params, card);
+    let cost = plan_cost(&concrete, params, card);
+    (concrete, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::UniformCard;
+    use crate::plan::attrs;
+    use csqp_source::CostParams;
+    use csqp_expr::parse::parse_condition;
+    use csqp_expr::CondTree;
+
+    fn cond(s: &str) -> Option<CondTree> {
+        Some(parse_condition(s).unwrap())
+    }
+
+    fn uni() -> UniformCard {
+        UniformCard { rows: 1000.0, atom_selectivity: 0.1 }
+    }
+
+    #[test]
+    fn picks_cheapest_alternative() {
+        let params = CostParams::new(10.0, 1.0);
+        let p = Plan::Choice(vec![
+            Plan::source(None, attrs(["k"])),          // 1010
+            Plan::source(cond("a = 1"), attrs(["k"])), // 110
+        ]);
+        let (concrete, cost) = resolve_with_cost(&p, &params, &uni());
+        assert!(concrete.is_concrete());
+        assert_eq!(concrete, Plan::source(cond("a = 1"), attrs(["k"])));
+        assert!((cost - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolves_nested_choices() {
+        let params = CostParams::new(0.0, 1.0);
+        // Intersect( Choice(a | a^b), Choice(true | c) )
+        let p = Plan::intersect(vec![
+            Plan::Choice(vec![
+                Plan::source(cond("a = 1"), attrs(["k"])),         // 100
+                Plan::source(cond("a = 1 ^ b = 2"), attrs(["k"])), // 10
+            ]),
+            Plan::Choice(vec![
+                Plan::source(None, attrs(["k"])),          // 1000
+                Plan::source(cond("c = 3"), attrs(["k"])), // 100
+            ]),
+        ]);
+        let (concrete, cost) = resolve_with_cost(&p, &params, &uni());
+        assert!(concrete.is_concrete());
+        assert!((cost - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn choice_under_local_sp() {
+        let params = CostParams::new(1.0, 1.0);
+        let p = Plan::local(
+            cond("z = 9"),
+            attrs(["k"]),
+            Plan::Choice(vec![
+                Plan::source(cond("a = 1"), attrs(["k", "z"])),
+                Plan::source(None, attrs(["k", "z"])),
+            ]),
+        );
+        let (concrete, cost) = resolve_with_cost(&p, &params, &uni());
+        match &concrete {
+            Plan::LocalSp { input, .. } => {
+                assert_eq!(**input, Plan::source(cond("a = 1"), attrs(["k", "z"])));
+            }
+            other => panic!("expected LocalSp, got {other:?}"),
+        }
+        assert!((cost - 101.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resolution_cost_matches_min_cost() {
+        let params = CostParams::default();
+        let u = uni();
+        let p = Plan::union(vec![
+            Plan::Choice(vec![
+                Plan::source(cond("a = 1"), attrs(["k"])),
+                Plan::source(cond("a = 1 ^ b = 2"), attrs(["k"])),
+            ]),
+            Plan::source(cond("c = 3"), attrs(["k"])),
+        ]);
+        let (_, cost) = resolve_with_cost(&p, &params, &u);
+        assert!((cost - min_cost(&p, &params, &u)).abs() < 1e-9);
+    }
+}

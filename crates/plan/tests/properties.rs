@@ -1,0 +1,174 @@
+//! Property tests for plans: Choice resolution optimality, cost-model
+//! consistency, and executor correctness on a full-capability source.
+
+use csqp_expr::gen::{CondGen, CondGenConfig, GenAttr};
+use csqp_expr::{CondTree, Value, ValueType};
+use csqp_plan::cost::{min_cost, plan_cost, UniformCard};
+use csqp_plan::model::LatencyBandwidthCost;
+use csqp_plan::resolve::{resolve, resolve_with_cost};
+use csqp_plan::{attrs, execute, Plan};
+use csqp_relation::ops::{project, select};
+use csqp_relation::{Relation, Schema};
+use csqp_source::{CostParams, Source};
+use csqp_ssdl::templates;
+use proptest::prelude::*;
+
+fn gen_attrs() -> Vec<GenAttr> {
+    vec![
+        GenAttr::ints("a", 0, 5, 1),
+        GenAttr::ints("b", 0, 3, 1),
+        GenAttr::strings("c", &["s0", "s1", "s2"]),
+    ]
+}
+
+fn cond(seed: u64, n: usize) -> CondTree {
+    let mut g = CondGen::new(seed, gen_attrs());
+    g.tree(&CondGenConfig { n_atoms: n, max_depth: 3, and_bias: 0.5, eq_bias: 0.7 })
+}
+
+/// Builds a random Choice-bearing plan space over simple source queries.
+fn plan_space(seed: u64, depth: usize) -> Plan {
+    let mk_leaf = |s: u64| Plan::source(Some(cond(s, 1 + (s % 3) as usize)), attrs(["k"]));
+    if depth == 0 {
+        return mk_leaf(seed);
+    }
+    match seed % 4 {
+        0 => Plan::Choice(vec![plan_space(seed / 4 + 1, depth - 1), plan_space(seed / 4 + 2, depth - 1)]),
+        1 => Plan::Union(vec![plan_space(seed / 4 + 3, depth - 1), plan_space(seed / 4 + 4, depth - 1)]),
+        2 => Plan::Intersect(vec![plan_space(seed / 4 + 5, depth - 1), plan_space(seed / 4 + 6, depth - 1)]),
+        _ => mk_leaf(seed),
+    }
+}
+
+fn full_source(seed: u64) -> Source {
+    let schema = Schema::new(
+        "t",
+        vec![
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Str),
+        ],
+        &["k"],
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..200i64)
+        .map(|i| {
+            let x = i.wrapping_mul(seed as i64 | 1);
+            vec![
+                Value::Int(i),
+                Value::Int(x.rem_euclid(6)),
+                Value::Int(x.rem_euclid(4)),
+                Value::str(format!("s{}", x.rem_euclid(3))),
+            ]
+        })
+        .collect();
+    let desc = templates::full_relational(
+        "full",
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Str),
+        ],
+    );
+    Source::new(Relation::from_rows(schema, rows), desc, CostParams::new(10.0, 1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `resolve` achieves exactly `min_cost`, under both shipped cost
+    /// models, on arbitrary Choice-bearing plan spaces.
+    #[test]
+    fn resolution_achieves_min_cost(seed in 0u64..100_000, depth in 1usize..4) {
+        let space = plan_space(seed, depth);
+        let card = UniformCard { rows: 1000.0, atom_selectivity: 0.2 };
+        let affine = CostParams::new(25.0, 1.0);
+        let (concrete, cost) = resolve_with_cost(&space, &affine, &card);
+        prop_assert!(concrete.is_concrete());
+        prop_assert!((cost - min_cost(&space, &affine, &card)).abs() < 1e-9);
+        let lbc = LatencyBandwidthCost::default();
+        let picked = resolve(&space, &lbc, &card);
+        prop_assert!((plan_cost(&picked, &lbc, &card) - min_cost(&space, &lbc, &card)).abs() < 1e-6);
+    }
+
+    /// The resolved plan is never more expensive than ANY concrete plan
+    /// obtained by resolving choices arbitrarily (first alternative).
+    #[test]
+    fn resolution_beats_naive_choice(seed in 0u64..100_000, depth in 1usize..4) {
+        fn take_first(p: &Plan) -> Plan {
+            match p {
+                Plan::SourceQuery { .. } => p.clone(),
+                Plan::LocalSp { cond, attrs, input } => Plan::LocalSp {
+                    cond: cond.clone(),
+                    attrs: attrs.clone(),
+                    input: Box::new(take_first(input)),
+                },
+                Plan::Intersect(cs) => Plan::Intersect(cs.iter().map(take_first).collect()),
+                Plan::Union(cs) => Plan::Union(cs.iter().map(take_first).collect()),
+                Plan::Choice(cs) => take_first(&cs[0]),
+            }
+        }
+        let space = plan_space(seed, depth);
+        let card = UniformCard { rows: 500.0, atom_selectivity: 0.3 };
+        let model = CostParams::new(10.0, 1.0);
+        let (best, best_cost) = resolve_with_cost(&space, &model, &card);
+        prop_assert!(best.is_concrete());
+        let naive = take_first(&space);
+        prop_assert!(best_cost <= plan_cost(&naive, &model, &card) + 1e-9);
+    }
+
+    /// Union plans over a full-capability source compute the disjunction
+    /// exactly (π commutes with ∪ — always sound, even without keys).
+    #[test]
+    fn union_plans_exact(seed in 1u64..50_000, s1 in 0u64..50_000, s2 in 0u64..50_000) {
+        let source = full_source(seed);
+        let c1 = cond(s1, 2);
+        let c2 = cond(s2, 2);
+        let plan = Plan::union(vec![
+            Plan::source(Some(c1.clone()), attrs(["k", "a"])),
+            Plan::source(Some(c2.clone()), attrs(["k", "a"])),
+        ]);
+        let got = execute(&plan, &source).unwrap();
+        let or = CondTree::or(vec![c1, c2]);
+        let want = project(&select(source.relation(), Some(&or)), &["k", "a"]).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Nested local plans compute the conjunction exactly.
+    #[test]
+    fn local_plans_exact(seed in 1u64..50_000, s1 in 0u64..50_000, s2 in 0u64..50_000) {
+        let source = full_source(seed);
+        let pushed = cond(s1, 2);
+        let local = cond(s2, 2);
+        let mut fetched = attrs(["k"]);
+        fetched.extend(local.attrs());
+        let plan = Plan::local(
+            Some(local.clone()),
+            attrs(["k"]),
+            Plan::source(Some(pushed.clone()), fetched),
+        );
+        let got = execute(&plan, &source).unwrap();
+        let and = CondTree::and(vec![pushed, local]);
+        let want = project(&select(source.relation(), Some(&and)), &["k"]).unwrap();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Intersection plans projecting the key compute the conjunction
+    /// exactly (the documented key-projection condition).
+    #[test]
+    fn keyed_intersection_plans_exact(seed in 1u64..50_000, s1 in 0u64..50_000, s2 in 0u64..50_000) {
+        let source = full_source(seed);
+        let c1 = cond(s1, 2);
+        let c2 = cond(s2, 2);
+        let plan = Plan::intersect(vec![
+            Plan::source(Some(c1.clone()), attrs(["k"])),
+            Plan::source(Some(c2.clone()), attrs(["k"])),
+        ]);
+        let got = execute(&plan, &source).unwrap();
+        let and = CondTree::and(vec![c1, c2]);
+        let want = project(&select(source.relation(), Some(&and)), &["k"]).unwrap();
+        prop_assert_eq!(got, want);
+    }
+}

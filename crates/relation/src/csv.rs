@@ -1,0 +1,249 @@
+//! A small CSV loader so users can point the CLI and examples at their own
+//! data (header row = column names; column types inferred).
+//!
+//! Deliberately minimal: comma-separated, double-quote quoting with `""`
+//! escapes, no embedded newlines. Type inference per column: `Int` if every
+//! non-empty cell parses as `i64`, else `Float` if every cell parses as
+//! `f64`, else `Str`. Booleans (`true`/`false`) infer as `Bool`.
+
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use csqp_expr::{Value, ValueType};
+use std::fmt;
+
+/// CSV loading errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input had no header row.
+    Empty,
+    /// A row's field count differs from the header's.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected (header arity).
+        expected: usize,
+    },
+    /// Unterminated quoted field.
+    UnterminatedQuote {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Schema construction failed (duplicate column, bad key).
+    Schema(String),
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Empty => write!(f, "CSV input has no header row"),
+            CsvError::RaggedRow { line, found, expected } => {
+                write!(f, "line {line}: {found} fields, header has {expected}")
+            }
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "line {line}: unterminated quoted field")
+            }
+            CsvError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits one CSV line into raw fields.
+fn split_line(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        cur.push('"');
+                        chars.next();
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => cur.push(other),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    fields.push(std::mem::take(&mut cur));
+                }
+                other => cur.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: line_no });
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+/// Infers the narrowest type that fits every non-empty cell of a column.
+fn infer_type(cells: &[&str]) -> ValueType {
+    let non_empty: Vec<&&str> = cells.iter().filter(|c| !c.is_empty()).collect();
+    if non_empty.is_empty() {
+        return ValueType::Str;
+    }
+    if non_empty.iter().all(|c| c.parse::<i64>().is_ok()) {
+        return ValueType::Int;
+    }
+    if non_empty.iter().all(|c| c.parse::<f64>().is_ok()) {
+        return ValueType::Float;
+    }
+    if non_empty.iter().all(|c| matches!(c.to_ascii_lowercase().as_str(), "true" | "false")) {
+        return ValueType::Bool;
+    }
+    ValueType::Str
+}
+
+fn parse_cell(cell: &str, ty: ValueType) -> Value {
+    match ty {
+        ValueType::Int => cell.parse::<i64>().map(Value::Int).unwrap_or_else(|_| Value::Int(0)),
+        ValueType::Float => {
+            cell.parse::<f64>().map(Value::Float).unwrap_or(Value::Float(0.0))
+        }
+        ValueType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
+        ValueType::Str => Value::str(cell),
+    }
+}
+
+/// Loads a relation from CSV text. `name` becomes the relation name; `key`
+/// names the key columns (pass `&[]` for none; unknown names error).
+pub fn load_csv(name: &str, text: &str, key: &[&str]) -> Result<Relation, CsvError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines.next().ok_or(CsvError::Empty)?;
+    let header = split_line(header_line, 1)?;
+    let expected = header.len();
+
+    let mut raw_rows: Vec<Vec<String>> = Vec::new();
+    for (i, line) in lines {
+        let fields = split_line(line, i + 1)?;
+        if fields.len() != expected {
+            return Err(CsvError::RaggedRow {
+                line: i + 1,
+                found: fields.len(),
+                expected,
+            });
+        }
+        raw_rows.push(fields);
+    }
+
+    // Column type inference.
+    let types: Vec<ValueType> = (0..expected)
+        .map(|c| {
+            let cells: Vec<&str> = raw_rows.iter().map(|r| r[c].as_str()).collect();
+            infer_type(&cells)
+        })
+        .collect();
+
+    let cols: Vec<(&str, ValueType)> =
+        header.iter().map(String::as_str).zip(types.iter().copied()).collect();
+    let schema = Schema::new(name, cols, key).map_err(|e| CsvError::Schema(e.to_string()))?;
+
+    let mut rel = Relation::empty(schema);
+    for row in raw_rows {
+        let values: Vec<Value> =
+            row.iter().zip(types.iter()).map(|(cell, ty)| parse_cell(cell, *ty)).collect();
+        rel.insert(Tuple::new(values));
+    }
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::semantics::AttrLookup;
+
+    const CARS: &str = "\
+make,model,year,price
+BMW,318i,1996,28500
+Toyota,Corolla,1998,14200
+BMW,528i,1997,41000
+";
+
+    #[test]
+    fn loads_and_infers_types() {
+        let r = load_csv("cars", CARS, &[]).unwrap();
+        assert_eq!(r.len(), 3);
+        let s = r.schema();
+        assert_eq!(s.column("make").unwrap().ty, ValueType::Str);
+        assert_eq!(s.column("year").unwrap().ty, ValueType::Int);
+        assert_eq!(s.column("price").unwrap().ty, ValueType::Int);
+        let row = r.rows().next().unwrap();
+        assert_eq!(row.get_attr("make"), Some(&Value::str("BMW")));
+        assert_eq!(row.get_attr("price"), Some(&Value::Int(28500)));
+    }
+
+    #[test]
+    fn quoted_fields_and_escapes() {
+        let text = "title,author\n\"Dreams, Volume 1\",\"Freud\"\n\"He said \"\"hi\"\"\",X\n";
+        let r = load_csv("books", text, &[]).unwrap();
+        assert_eq!(r.len(), 2);
+        let row = r.rows().next().unwrap();
+        assert_eq!(row.get_attr("title"), Some(&Value::str("Dreams, Volume 1")));
+        let row2 = r.rows().nth(1).unwrap();
+        assert_eq!(row2.get_attr("title"), Some(&Value::str("He said \"hi\"")));
+    }
+
+    #[test]
+    fn float_and_bool_inference() {
+        let text = "x,flag\n1.5,true\n2,false\n";
+        let r = load_csv("t", text, &[]).unwrap();
+        assert_eq!(r.schema().column("x").unwrap().ty, ValueType::Float);
+        assert_eq!(r.schema().column("flag").unwrap().ty, ValueType::Bool);
+    }
+
+    #[test]
+    fn mixed_column_falls_back_to_string() {
+        let text = "x\n1\nhello\n";
+        let r = load_csv("t", text, &[]).unwrap();
+        assert_eq!(r.schema().column("x").unwrap().ty, ValueType::Str);
+    }
+
+    #[test]
+    fn key_columns() {
+        let text = "id,v\n1,a\n2,b\n";
+        let r = load_csv("t", text, &["id"]).unwrap();
+        assert_eq!(r.schema().key, vec!["id".to_string()]);
+        assert!(matches!(load_csv("t", text, &["nope"]), Err(CsvError::Schema(_))));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(load_csv("t", "", &[]), Err(CsvError::Empty));
+        assert_eq!(load_csv("t", "   \n\n", &[]), Err(CsvError::Empty));
+        let ragged = "a,b\n1\n";
+        assert!(matches!(load_csv("t", ragged, &[]), Err(CsvError::RaggedRow { .. })));
+        let unterminated = "a\n\"oops\n";
+        assert!(matches!(
+            load_csv("t", unterminated, &[]),
+            Err(CsvError::UnterminatedQuote { .. })
+        ));
+    }
+
+    #[test]
+    fn loaded_relation_is_queryable() {
+        use crate::ops::select;
+        use csqp_expr::parse::parse_condition;
+        let r = load_csv("cars", CARS, &[]).unwrap();
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        assert_eq!(select(&r, Some(&c)).len(), 1);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let text = "a,b\n1,x\n\n2,y\n";
+        let r = load_csv("t", text, &[]).unwrap();
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! In-memory relations with set semantics.
+//!
+//! The paper models each Internet source as a relation (§3, footnote 1).
+//! Mediator postprocessing (union, intersection) is set-oriented, so
+//! relations deduplicate on construction.
+
+use crate::schema::{Schema, SchemaError};
+use crate::tuple::{Row, Tuple};
+use csqp_expr::Value;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// An in-memory relation: a schema plus a duplicate-free set of tuples
+/// (insertion order preserved for reproducibility).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Relation { schema, tuples: Vec::new(), seen: HashSet::new() }
+    }
+
+    /// Builds a relation from rows, deduplicating.
+    ///
+    /// # Panics
+    /// Panics if any tuple's arity does not match the schema (construction
+    /// bug, not a runtime condition).
+    pub fn from_tuples(schema: Arc<Schema>, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut r = Relation::empty(schema);
+        for t in tuples {
+            r.insert(t);
+        }
+        r
+    }
+
+    /// Convenience: builds from rows of plain values.
+    pub fn from_rows(schema: Arc<Schema>, rows: Vec<Vec<Value>>) -> Self {
+        Self::from_tuples(schema, rows.into_iter().map(Tuple::new))
+    }
+
+    /// Inserts a tuple (no-op on duplicates). Returns `true` if inserted.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        assert_eq!(
+            tuple.arity(),
+            self.schema.columns.len(),
+            "tuple arity {} does not match schema {}",
+            tuple.arity(),
+            self.schema
+        );
+        if self.seen.insert(tuple.clone()) {
+            self.tuples.push(tuple);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples, in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.seen.contains(t)
+    }
+
+    /// Iterates schema-aware rows.
+    pub fn rows(&self) -> impl Iterator<Item = Row<'_>> {
+        self.tuples.iter().map(move |t| Row { schema: &self.schema, tuple: t })
+    }
+
+    /// Checks that `other` can be combined with `self` (same column list).
+    pub fn check_compatible(&self, other: &Relation) -> Result<(), SchemaError> {
+        if self.schema.compatible_with(other.schema()) {
+            Ok(())
+        } else {
+            Err(SchemaError::Incompatible {
+                left: self.schema.name.clone(),
+                right: other.schema.name.clone(),
+            })
+        }
+    }
+}
+
+impl PartialEq for Relation {
+    /// Set equality: same schema columns and same tuple set (order ignored).
+    fn eq(&self, other: &Self) -> bool {
+        self.schema.compatible_with(&other.schema)
+            && self.len() == other.len()
+            && self.tuples.iter().all(|t| other.contains(t))
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::ValueType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new("t", vec![("a", ValueType::Int), ("b", ValueType::Str)], &["a"]).unwrap()
+    }
+
+    fn v(a: i64, b: &str) -> Vec<Value> {
+        vec![Value::Int(a), Value::str(b)]
+    }
+
+    #[test]
+    fn dedup_on_insert() {
+        let r = Relation::from_rows(schema(), vec![v(1, "x"), v(2, "y"), v(1, "x")]);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Tuple::new(v(1, "x"))));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::empty(schema());
+        r.insert(Tuple::new(vec![Value::Int(1)]));
+    }
+
+    #[test]
+    fn set_equality_ignores_order() {
+        let r1 = Relation::from_rows(schema(), vec![v(1, "x"), v(2, "y")]);
+        let r2 = Relation::from_rows(schema(), vec![v(2, "y"), v(1, "x")]);
+        assert_eq!(r1, r2);
+        let r3 = Relation::from_rows(schema(), vec![v(1, "x")]);
+        assert_ne!(r1, r3);
+    }
+
+    #[test]
+    fn rows_iterate_in_insertion_order() {
+        let r = Relation::from_rows(schema(), vec![v(3, "c"), v(1, "a"), v(2, "b")]);
+        let firsts: Vec<i64> = r
+            .rows()
+            .map(|row| match row.get_attr("a") {
+                Some(Value::Int(i)) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        assert_eq!(firsts, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn compatibility_check() {
+        let r1 = Relation::empty(schema());
+        let r2 = Relation::empty(schema());
+        assert!(r1.check_compatible(&r2).is_ok());
+        let other =
+            Schema::new("o", vec![("a", ValueType::Int)], &[]).unwrap();
+        let r3 = Relation::empty(other);
+        assert!(r1.check_compatible(&r3).is_err());
+    }
+
+    use csqp_expr::semantics::AttrLookup;
+}

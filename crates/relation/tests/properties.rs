@@ -1,0 +1,139 @@
+//! Property tests for the relational substrate: operator algebra and
+//! statistics bounds.
+
+use csqp_expr::gen::{CondGen, CondGenConfig, GenAttr};
+use csqp_expr::{Atom, CondTree};
+use csqp_relation::ops::{difference, intersect, project, select, union};
+use csqp_relation::{Relation, Schema, TableStats};
+use csqp_expr::{Value, ValueType};
+use proptest::prelude::*;
+
+fn make_relation(seed: u64, n: usize) -> Relation {
+    let schema = Schema::new(
+        "t",
+        vec![
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Str),
+        ],
+        &["k"],
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..n as i64)
+        .map(|i| {
+            let x = i.wrapping_mul(seed as i64 | 1);
+            vec![
+                Value::Int(i),
+                Value::Int(x.rem_euclid(6)),
+                Value::Int(x.rem_euclid(4)),
+                Value::str(format!("s{}", x.rem_euclid(3))),
+            ]
+        })
+        .collect();
+    Relation::from_rows(schema, rows)
+}
+
+fn gen_attrs() -> Vec<GenAttr> {
+    vec![
+        GenAttr::ints("a", 0, 5, 1),
+        GenAttr::ints("b", 0, 3, 1),
+        GenAttr::strings("c", &["s0", "s1", "s2"]),
+    ]
+}
+
+fn cond(seed: u64, n: usize) -> CondTree {
+    let mut g = CondGen::new(seed, gen_attrs());
+    g.tree(&CondGenConfig { n_atoms: n, max_depth: 3, and_bias: 0.5, eq_bias: 0.7 })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// σ over ∧/∨ equals ∩/∪ of the component selections (on full tuples,
+    /// where set operations are exact).
+    #[test]
+    fn selection_distributes_over_set_ops(seed in 1u64..10_000, s1 in 0u64..10_000, s2 in 0u64..10_000) {
+        let r = make_relation(seed, 120);
+        let c1 = cond(s1, 2);
+        let c2 = cond(s2, 2);
+        let and = CondTree::and(vec![c1.clone(), c2.clone()]);
+        let or = CondTree::or(vec![c1.clone(), c2.clone()]);
+        let sel1 = select(&r, Some(&c1));
+        let sel2 = select(&r, Some(&c2));
+        prop_assert_eq!(select(&r, Some(&and)), intersect(&sel1, &sel2).unwrap());
+        prop_assert_eq!(select(&r, Some(&or)), union(&sel1, &sel2).unwrap());
+        // And difference: σ_{c1} − σ_{c2} ⊆ σ_{c1}.
+        let diff = difference(&sel1, &sel2).unwrap();
+        prop_assert!(diff.len() <= sel1.len());
+    }
+
+    /// Selection is idempotent and monotone under conjunction.
+    #[test]
+    fn selection_monotone(seed in 1u64..10_000, s1 in 0u64..10_000, s2 in 0u64..10_000) {
+        let r = make_relation(seed, 100);
+        let c1 = cond(s1, 2);
+        let c2 = cond(s2, 2);
+        let once = select(&r, Some(&c1));
+        prop_assert_eq!(select(&once, Some(&c1)), once.clone());
+        let both = select(&r, Some(&CondTree::and(vec![c1, c2])));
+        prop_assert!(both.len() <= once.len());
+    }
+
+    /// Projection: idempotent, and never increases cardinality.
+    #[test]
+    fn projection_contract(seed in 1u64..10_000) {
+        let r = make_relation(seed, 100);
+        let p = project(&r, &["a", "c"]).unwrap();
+        prop_assert!(p.len() <= r.len());
+        prop_assert_eq!(project(&p, &["a", "c"]).unwrap(), p.clone());
+        // Projecting the key keeps cardinality.
+        let keyed = project(&r, &["k", "b"]).unwrap();
+        prop_assert_eq!(keyed.len(), r.len());
+    }
+
+    /// Set-operation algebra: ∪/∩ commutative, ∪ idempotent.
+    #[test]
+    fn set_op_algebra(seed in 1u64..10_000, s1 in 0u64..10_000, s2 in 0u64..10_000) {
+        let r = make_relation(seed, 100);
+        let x = select(&r, Some(&cond(s1, 2)));
+        let y = select(&r, Some(&cond(s2, 2)));
+        prop_assert_eq!(union(&x, &y).unwrap(), union(&y, &x).unwrap());
+        prop_assert_eq!(intersect(&x, &y).unwrap(), intersect(&y, &x).unwrap());
+        prop_assert_eq!(union(&x, &x).unwrap(), x.clone());
+        prop_assert_eq!(intersect(&x, &x).unwrap(), x.clone());
+    }
+
+    /// Statistics: selectivity stays in [0,1]; estimates for exact-frequency
+    /// equality atoms match the true count.
+    #[test]
+    fn statistics_contract(seed in 1u64..10_000, s1 in 0u64..10_000, n in 1usize..6) {
+        let r = make_relation(seed, 150);
+        let stats = TableStats::build(&r);
+        let c = cond(s1, n);
+        let sel = stats.selectivity(Some(&c));
+        prop_assert!((0.0..=1.0).contains(&sel), "selectivity {} for {}", sel, c);
+        // Equality atoms over low-cardinality columns are exact.
+        for v in 0..6i64 {
+            let atom = Atom::eq("a", v);
+            let truth =
+                select(&r, Some(&CondTree::leaf(atom.clone()))).len() as f64 / r.len() as f64;
+            prop_assert!((stats.atom_selectivity(&atom) - truth).abs() < 1e-9);
+        }
+    }
+
+    /// Disjunction estimates are sandwiched between max component and sum.
+    #[test]
+    fn or_estimate_bounds(seed in 1u64..10_000, s1 in 0u64..10_000, s2 in 0u64..10_000) {
+        let r = make_relation(seed, 150);
+        let stats = TableStats::build(&r);
+        let c1 = cond(s1, 1);
+        let c2 = cond(s2, 1);
+        let or = CondTree::or(vec![c1.clone(), c2.clone()]);
+        let e1 = stats.selectivity(Some(&c1));
+        let e2 = stats.selectivity(Some(&c2));
+        let eo = stats.selectivity(Some(&or));
+        prop_assert!(eo >= e1.max(e2) - 1e-9, "{} < max({}, {})", eo, e1, e2);
+        prop_assert!(eo <= (e1 + e2).min(1.0) + 1e-9);
+    }
+}

@@ -1,0 +1,158 @@
+//! A registry of ready-made demo sources pairing the SSDL templates with
+//! their synthetic relations. Used by examples, integration tests and the
+//! experiment harness.
+
+use crate::cost::CostParams;
+use crate::source::Source;
+use csqp_relation::datagen::{self, BookGenConfig, CarGenConfig};
+use csqp_ssdl::templates;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A named collection of sources.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    sources: BTreeMap<String, Arc<Source>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a source under its own name.
+    pub fn register(&mut self, source: Source) -> Arc<Source> {
+        let arc = Arc::new(source);
+        self.sources.insert(arc.name.clone(), arc.clone());
+        arc
+    }
+
+    /// Looks up a source.
+    pub fn get(&self, name: &str) -> Option<&Arc<Source>> {
+        self.sources.get(name)
+    }
+
+    /// Iterates sources in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Source>)> {
+        self.sources.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Is the catalog empty?
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// The full demo catalog: bookstore (Ex. 1.1), car guide (Ex. 1.2),
+    /// car dealer (Ex. 4.1), bank (§4), flights. Deterministic per seed.
+    pub fn demo(seed: u64) -> Self {
+        let mut c = Catalog::new();
+        c.register(Source::new(
+            datagen::books(seed, &BookGenConfig::default()),
+            templates::bookstore(),
+            CostParams::default(),
+        ));
+        c.register(Source::new(
+            datagen::car_listings(seed.wrapping_add(1), &CarGenConfig::default()),
+            templates::car_guide(),
+            CostParams::default(),
+        ));
+        c.register(Source::new(
+            datagen::cars(seed.wrapping_add(2), 2_000),
+            templates::car_dealer(),
+            CostParams::default(),
+        ));
+        c.register(Source::new(
+            datagen::accounts(seed.wrapping_add(3), 1_000),
+            templates::bank(),
+            CostParams::default(),
+        ));
+        c.register(Source::new(
+            datagen::flights(seed.wrapping_add(4), 3_000),
+            templates::flights(),
+            CostParams::default(),
+        ));
+        c
+    }
+
+    /// A smaller demo catalog for fast tests (hundreds of rows per source).
+    pub fn demo_small(seed: u64) -> Self {
+        let mut c = Catalog::new();
+        c.register(Source::new(
+            datagen::books(
+                seed,
+                &BookGenConfig { n_books: 2_000, ..BookGenConfig::default() },
+            ),
+            templates::bookstore(),
+            CostParams::default(),
+        ));
+        c.register(Source::new(
+            datagen::car_listings(seed.wrapping_add(1), &CarGenConfig { n_listings: 1_000 }),
+            templates::car_guide(),
+            CostParams::default(),
+        ));
+        c.register(Source::new(
+            datagen::cars(seed.wrapping_add(2), 400),
+            templates::car_dealer(),
+            CostParams::default(),
+        ));
+        c.register(Source::new(
+            datagen::accounts(seed.wrapping_add(3), 200),
+            templates::bank(),
+            CostParams::default(),
+        ));
+        c.register(Source::new(
+            datagen::flights(seed.wrapping_add(4), 300),
+            templates::flights(),
+            CostParams::default(),
+        ));
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_catalog_has_all_five() {
+        let c = Catalog::demo_small(7);
+        assert_eq!(c.len(), 5);
+        for name in ["bookstore", "car_guide", "car_dealer", "bank", "flights"] {
+            assert!(c.get(name).is_some(), "{name} missing");
+        }
+        assert!(c.get("nope").is_none());
+    }
+
+    #[test]
+    fn registration_and_iteration() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        let demo = Catalog::demo_small(1);
+        let bank = demo.get("bank").unwrap();
+        // Rebuild a source to move it into the new catalog.
+        c.register(crate::source::Source::new(
+            bank.relation().clone(),
+            csqp_ssdl::templates::bank(),
+            *bank.cost_params(),
+        ));
+        assert_eq!(c.len(), 1);
+        let names: Vec<&str> = c.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["bank"]);
+    }
+
+    #[test]
+    fn demo_is_deterministic() {
+        let a = Catalog::demo_small(5);
+        let b = Catalog::demo_small(5);
+        assert_eq!(
+            a.get("bank").unwrap().relation(),
+            b.get("bank").unwrap().relation()
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Per-source cost parameters — the §6.2 cost model.
+//!
+//! > cost(plan) = Σ_{sq ∈ SQ} k1 + k2 · (result size of sq)
+//!
+//! `k1` models per-query overhead (connection setup, form submission,
+//! source-side processing startup); `k2` models per-tuple transfer and
+//! mediator postprocessing. Both "depend on the source referred to by the
+//! target query".
+
+/// The constants `k1` and `k2` of the §6.2 cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// Fixed cost per source query.
+    pub k1: f64,
+    /// Cost per result tuple transferred.
+    pub k2: f64,
+}
+
+impl CostParams {
+    /// Builds cost parameters.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite constants (the pruning rules PR1–PR3
+    /// are only sound for a monotone cost model).
+    pub fn new(k1: f64, k2: f64) -> Self {
+        assert!(
+            k1.is_finite() && k2.is_finite() && k1 >= 0.0 && k2 >= 0.0,
+            "cost constants must be finite and non-negative (k1={k1}, k2={k2})"
+        );
+        CostParams { k1, k2 }
+    }
+
+    /// Cost of one source query returning `result_size` tuples.
+    pub fn query_cost(&self, result_size: f64) -> f64 {
+        self.k1 + self.k2 * result_size
+    }
+}
+
+impl Default for CostParams {
+    /// A 1999-Internet-flavored default: each HTTP round trip costs as much
+    /// as shipping 50 tuples.
+    fn default() -> Self {
+        CostParams { k1: 50.0, k2: 1.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_cost_is_affine() {
+        let c = CostParams::new(50.0, 2.0);
+        assert_eq!(c.query_cost(0.0), 50.0);
+        assert_eq!(c.query_cost(100.0), 250.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_constants_rejected() {
+        CostParams::new(-1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        CostParams::new(f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn default_is_positive() {
+        let c = CostParams::default();
+        assert!(c.k1 > 0.0 && c.k2 > 0.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! Simulated Internet sources: a relation behind an SSDL capability gate.
+//!
+//! A [`Source`] substitutes for the paper's live 1999 web sources. The
+//! planners only observe (a) which queries the SSDL description accepts and
+//! (b) result cardinalities — both of which the gate reproduces faithfully.
+//!
+//! Two views of the capability description coexist (§6.1):
+//!
+//! - the **gate** enforces the *original* description — the source really is
+//!   order-sensitive if its grammar says so;
+//! - the **planning view** is the permutation-closed description, letting
+//!   GenCompact drop the commutativity rewrite rule. Before execution the
+//!   mediator *fixes* each source query back to an accepted order
+//!   ([`Source::fix_and_answer`]).
+
+use crate::cost::CostParams;
+use csqp_expr::CondTree;
+use csqp_relation::ops::{project, select};
+use csqp_relation::{Relation, TableStats};
+use csqp_ssdl::check::{CompiledSource, ExportSet};
+use csqp_ssdl::closure::{fix_order, permutation_closure, DEFAULT_MAX_SEGMENTS};
+use csqp_ssdl::SsdlDesc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors raised when querying a source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// The source's capability description rejects the query.
+    Unsupported {
+        /// Source name.
+        source: String,
+        /// Rendered condition (`"true"` for downloads).
+        condition: String,
+        /// Requested projection.
+        attrs: Vec<String>,
+    },
+    /// The query references attributes outside the source schema.
+    Schema(String),
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Unsupported { source, condition, attrs } => write!(
+                f,
+                "source `{source}` does not support SP({condition}, {{{}}})",
+                attrs.join(", ")
+            ),
+            SourceError::Schema(msg) => write!(f, "schema error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+/// Cumulative transfer metrics for one source.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Meter {
+    /// Source queries answered.
+    pub queries: u64,
+    /// Tuples shipped back to the mediator.
+    pub tuples_shipped: u64,
+    /// Queries rejected by the capability gate.
+    pub rejected: u64,
+}
+
+impl Meter {
+    /// Measured cost under the §6.2 model.
+    pub fn cost(&self, params: &CostParams) -> f64 {
+        self.queries as f64 * params.k1 + self.tuples_shipped as f64 * params.k2
+    }
+}
+
+/// A capability-gated, metered, simulated Internet source.
+#[derive(Debug)]
+pub struct Source {
+    /// Source name.
+    pub name: String,
+    relation: Relation,
+    /// The gate: the source's true capability.
+    original: CompiledSource,
+    /// The permutation-closed planning view.
+    planning: CompiledSource,
+    stats: TableStats,
+    cost: CostParams,
+    queries: AtomicU64,
+    tuples_shipped: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Source {
+    /// Builds a source. The planning view is the permutation closure of
+    /// `desc` (pass an already-symmetric description to make this a no-op).
+    pub fn new(relation: Relation, desc: SsdlDesc, cost: CostParams) -> Self {
+        let name = desc.name.clone();
+        let closed = permutation_closure(&desc, DEFAULT_MAX_SEGMENTS);
+        let stats = TableStats::build(&relation);
+        Source {
+            name,
+            relation,
+            original: CompiledSource::new(desc),
+            planning: CompiledSource::new(closed.desc),
+            stats,
+            cost,
+            queries: AtomicU64::new(0),
+            tuples_shipped: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying relation (test/experiment oracle access — a real
+    /// Internet source would not expose this).
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Table statistics for cost estimation.
+    pub fn stats(&self) -> &TableStats {
+        &self.stats
+    }
+
+    /// The §6.2 cost constants of this source.
+    pub fn cost_params(&self) -> &CostParams {
+        &self.cost
+    }
+
+    /// The order-insensitive planning view (what planners call `Check` on).
+    pub fn planning_view(&self) -> &CompiledSource {
+        &self.planning
+    }
+
+    /// The original (gate) description.
+    pub fn gate_view(&self) -> &CompiledSource {
+        &self.original
+    }
+
+    /// `Check(C, R)` against the planning view.
+    pub fn check(&self, cond: Option<&CondTree>) -> ExportSet {
+        self.planning.check(cond)
+    }
+
+    /// Is `SP(C, A, R)` supported (planning view)?
+    pub fn supports(&self, cond: Option<&CondTree>, attrs: &BTreeSet<String>) -> bool {
+        self.planning.supports(cond, attrs)
+    }
+
+    /// Answers a source query, enforcing the **original** capability gate.
+    /// Meters the query and the shipped tuples.
+    pub fn answer(
+        &self,
+        cond: Option<&CondTree>,
+        attrs: &BTreeSet<String>,
+    ) -> Result<Relation, SourceError> {
+        if !self.original.supports(cond, attrs) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SourceError::Unsupported {
+                source: self.name.clone(),
+                condition: cond.map(|c| c.to_string()).unwrap_or_else(|| "true".into()),
+                attrs: attrs.iter().cloned().collect(),
+            });
+        }
+        let selected = select(&self.relation, cond);
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let result = project(&selected, &attr_refs)
+            .map_err(|e| SourceError::Schema(e.to_string()))?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.tuples_shipped.fetch_add(result.len() as u64, Ordering::Relaxed);
+        Ok(result)
+    }
+
+    /// Answers a source query phrased against the planning view: first fixes
+    /// the condition's ordering to one the gate accepts (§6.1), then answers.
+    pub fn fix_and_answer(
+        &self,
+        cond: Option<&CondTree>,
+        attrs: &BTreeSet<String>,
+    ) -> Result<Relation, SourceError> {
+        match cond {
+            None => self.answer(None, attrs),
+            Some(c) => {
+                let fixed = fix_order(&self.original, c, attrs).ok_or_else(|| {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    SourceError::Unsupported {
+                        source: self.name.clone(),
+                        condition: c.to_string(),
+                        attrs: attrs.iter().cloned().collect(),
+                    }
+                })?;
+                self.answer(Some(&fixed), attrs)
+            }
+        }
+    }
+
+    /// Current transfer metrics.
+    pub fn meter(&self) -> Meter {
+        Meter {
+            queries: self.queries.load(Ordering::Relaxed),
+            tuples_shipped: self.tuples_shipped.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the meter (between experiment runs).
+    pub fn reset_meter(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.tuples_shipped.store(0, Ordering::Relaxed);
+        self.rejected.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::parse::parse_condition;
+    use csqp_relation::datagen;
+    use csqp_ssdl::templates;
+
+    fn attrs(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn dealer() -> Source {
+        Source::new(datagen::cars(3, 500), templates::car_dealer(), CostParams::default())
+    }
+
+    #[test]
+    fn gate_enforces_original_order() {
+        let s = dealer();
+        let ok = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        let swapped = parse_condition("price < 40000 ^ make = \"BMW\"").unwrap();
+        assert!(s.answer(Some(&ok), &attrs(&["model", "year"])).is_ok());
+        // The gate rejects the swapped order even though planning accepts it.
+        assert!(s.supports(Some(&swapped), &attrs(&["model", "year"])));
+        let err = s.answer(Some(&swapped), &attrs(&["model", "year"])).unwrap_err();
+        assert!(matches!(err, SourceError::Unsupported { .. }));
+        // fix_and_answer repairs the order.
+        assert!(s.fix_and_answer(Some(&swapped), &attrs(&["model", "year"])).is_ok());
+    }
+
+    #[test]
+    fn answers_are_selected_and_projected() {
+        let s = dealer();
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        let r = s.answer(Some(&c), &attrs(&["model", "year"])).unwrap();
+        assert_eq!(r.schema().columns.len(), 2);
+        let oracle = csqp_relation::ops::select(s.relation(), Some(&c));
+        // Projection may collapse duplicates but never invent rows.
+        assert!(r.len() <= oracle.len());
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn projection_beyond_exports_rejected() {
+        let s = dealer();
+        // s2 (make ^ color) exports {make, model, year}: price refused.
+        let c = parse_condition("make = \"BMW\" ^ color = \"red\"").unwrap();
+        assert!(s.answer(Some(&c), &attrs(&["model"])).is_ok());
+        assert!(s.answer(Some(&c), &attrs(&["price"])).is_err());
+    }
+
+    #[test]
+    fn metering_counts_queries_and_tuples() {
+        let s = dealer();
+        let c = parse_condition("make = \"BMW\" ^ price < 90000").unwrap();
+        let r1 = s.answer(Some(&c), &attrs(&["make", "model"])).unwrap();
+        let r2 = s.answer(Some(&c), &attrs(&["make", "model"])).unwrap();
+        let m = s.meter();
+        assert_eq!(m.queries, 2);
+        assert_eq!(m.tuples_shipped, (r1.len() + r2.len()) as u64);
+        assert_eq!(m.rejected, 0);
+        assert_eq!(m.cost(&CostParams::new(50.0, 1.0)), 100.0 + m.tuples_shipped as f64);
+        s.reset_meter();
+        assert_eq!(s.meter(), Meter::default());
+    }
+
+    #[test]
+    fn rejected_queries_are_metered() {
+        let s = dealer();
+        let bad = parse_condition("year = 1995").unwrap();
+        assert!(s.answer(Some(&bad), &attrs(&["make"])).is_err());
+        assert_eq!(s.meter().rejected, 1);
+        assert_eq!(s.meter().queries, 0);
+    }
+
+    #[test]
+    fn download_refused_without_true_rule() {
+        let s = dealer();
+        assert!(s.answer(None, &attrs(&["make"])).is_err());
+        // A download-only source accepts it.
+        let dl = Source::new(
+            datagen::cars(3, 50),
+            templates::download_only(
+                "dl",
+                &[("make", csqp_expr::ValueType::Str), ("price", csqp_expr::ValueType::Int)],
+            ),
+            CostParams::default(),
+        );
+        let r = dl.answer(None, &attrs(&["make", "price"])).unwrap();
+        assert!(!r.is_empty());
+        assert!(dl.fix_and_answer(None, &attrs(&["make"])).is_ok());
+    }
+
+    #[test]
+    fn stats_available_for_costing() {
+        let s = dealer();
+        let c = parse_condition("make = \"BMW\"").unwrap();
+        let est = s.stats().estimate_rows(Some(&c));
+        let actual = csqp_relation::ops::select(s.relation(), Some(&c)).len() as f64;
+        assert!((est - actual).abs() < 1.0, "exact frequencies: est {est} vs {actual}");
+    }
+}

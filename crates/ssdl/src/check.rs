@@ -1,0 +1,267 @@
+//! The `Check` function of §4, and compiled sources.
+//!
+//! `Check(C, R)` parses the linearized condition `C` against `R`'s grammar
+//! and returns the attributes `R` exports when evaluating `C`. The paper
+//! implicitly assumes a single matching condition nonterminal; when several
+//! match, we keep the *antichain of maximal attribute sets* — a source query
+//! `SP(C, A, R)` is supported iff `A` is covered by some element
+//! (see DESIGN.md §5 "Antichain exports").
+
+use crate::ast::SsdlDesc;
+use crate::earley::{matching_condition_nts, recognize, ParseStats};
+use crate::grammar::Grammar;
+use crate::linearize::linearize;
+use crate::token::CondToken;
+use csqp_expr::CondTree;
+use std::collections::BTreeSet;
+
+/// The set of attribute sets a source can export for a condition: a maximal
+/// antichain under `⊆`. Empty means the condition is not supported at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExportSet {
+    sets: Vec<BTreeSet<String>>,
+}
+
+impl ExportSet {
+    /// The unsupported outcome (`Check` returned "the empty set").
+    pub fn empty() -> Self {
+        ExportSet::default()
+    }
+
+    /// An export set with a single alternative.
+    pub fn single(set: BTreeSet<String>) -> Self {
+        let mut e = ExportSet::default();
+        e.insert(set);
+        e
+    }
+
+    /// Inserts an attribute set, maintaining maximality: dominated sets are
+    /// dropped; inserting a subset of an existing set is a no-op.
+    pub fn insert(&mut self, set: BTreeSet<String>) {
+        if self.sets.iter().any(|s| set.is_subset(s)) {
+            return;
+        }
+        self.sets.retain(|s| !s.is_subset(&set));
+        self.sets.push(set);
+    }
+
+    /// Is the condition unsupported?
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// Can the source export all of `attrs` (in one supported query form)?
+    pub fn covers<S: Ord + AsRef<str>>(&self, attrs: &BTreeSet<S>) -> bool {
+        self.sets.iter().any(|s| attrs.iter().all(|a| s.contains(a.as_ref())))
+    }
+
+    /// The maximal attribute sets.
+    pub fn sets(&self) -> &[BTreeSet<String>] {
+        &self.sets
+    }
+
+    /// Union of all alternatives (useful for display; NOT for feasibility —
+    /// use [`ExportSet::covers`]).
+    pub fn union_all(&self) -> BTreeSet<String> {
+        self.sets.iter().flatten().cloned().collect()
+    }
+}
+
+/// A source description compiled for fast `Check` calls (grammar built once,
+/// when the source joins the system — §6.1).
+#[derive(Debug, Clone)]
+pub struct CompiledSource {
+    /// The original description.
+    pub desc: SsdlDesc,
+    grammar: Grammar,
+}
+
+impl CompiledSource {
+    /// Compiles a description.
+    pub fn new(desc: SsdlDesc) -> Self {
+        let grammar = Grammar::compile(&desc);
+        CompiledSource { desc, grammar }
+    }
+
+    /// The compiled grammar.
+    pub fn grammar(&self) -> &Grammar {
+        &self.grammar
+    }
+
+    /// `Check(C, R)` on a pre-linearized token stream.
+    pub fn check_tokens(&self, tokens: &[CondToken]) -> ExportSet {
+        let mut out = ExportSet::empty();
+        for nt in matching_condition_nts(&self.grammar, tokens) {
+            let name = self.grammar.nt_name(nt);
+            if let Some(attrs) = self.desc.exports.get(name) {
+                out.insert(attrs.clone());
+            }
+        }
+        out
+    }
+
+    /// `Check(C, R)`: the attributes exported when processing `C`
+    /// (`None` = the trivially-true download condition).
+    ///
+    /// ```
+    /// use csqp_ssdl::{parse_ssdl, CompiledSource};
+    /// use csqp_expr::parse::parse_condition;
+    ///
+    /// let source = CompiledSource::new(parse_ssdl(r#"
+    ///     source r {
+    ///       s1 -> make = $str ^ price < $int ;
+    ///       attributes :: s1 : { make, model, year, color } ;
+    ///     }
+    /// "#).unwrap());
+    /// let cond = parse_condition(r#"make = "BMW" ^ price < 40000"#).unwrap();
+    /// let exports = source.check(Some(&cond));
+    /// assert!(!exports.is_empty());
+    /// // The swapped order is a different token string: not accepted.
+    /// let swapped = parse_condition(r#"price < 40000 ^ make = "BMW""#).unwrap();
+    /// assert!(source.check(Some(&swapped)).is_empty());
+    /// ```
+    pub fn check(&self, cond: Option<&CondTree>) -> ExportSet {
+        self.check_tokens(&linearize(cond))
+    }
+
+    /// As [`CompiledSource::check`], returning parser statistics (E8).
+    pub fn check_with_stats(&self, cond: Option<&CondTree>) -> (ExportSet, ParseStats) {
+        let toks = linearize(cond);
+        let (nts, stats) = recognize(&self.grammar, &toks);
+        let mut out = ExportSet::empty();
+        for nt in nts {
+            let name = self.grammar.nt_name(nt);
+            if let Some(attrs) = self.desc.exports.get(name) {
+                out.insert(attrs.clone());
+            }
+        }
+        (out, stats)
+    }
+
+    /// Is `SP(C, A, R)` supported? (`A ⊆ Check(C, R)` in the paper's
+    /// notation, i.e. covered by some matching form.)
+    pub fn supports(&self, cond: Option<&CondTree>, attrs: &BTreeSet<String>) -> bool {
+        self.check(cond).covers(attrs)
+    }
+
+    /// Names of condition nonterminals matching `cond` (diagnostics).
+    pub fn matching_forms(&self, cond: Option<&CondTree>) -> Vec<String> {
+        matching_condition_nts(&self.grammar, &linearize(cond))
+            .into_iter()
+            .map(|nt| self.grammar.nt_name(nt).to_string())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ssdl;
+    use csqp_expr::parse::parse_condition;
+
+    fn attrs(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn car_dealer() -> CompiledSource {
+        CompiledSource::new(
+            parse_ssdl(
+                "source car_dealer {\n\
+                 s1 -> make = $str ^ price < $int ;\n\
+                 s2 -> make = $str ^ color = $str ;\n\
+                 attributes :: s1 : { make, model, year, color } ;\n\
+                 attributes :: s2 : { make, model, year } ;\n}",
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn check_example_4_1() {
+        let r = car_dealer();
+        let c1 = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        let e = r.check(Some(&c1));
+        assert_eq!(e.sets().len(), 1);
+        assert_eq!(e.sets()[0], attrs(&["make", "model", "year", "color"]));
+        // §4: SP(n1, {model, year}, R) supported...
+        assert!(r.supports(Some(&c1), &attrs(&["model", "year"])));
+        // ...but the disjunction on color is not supported at all.
+        let c2 = parse_condition("color = \"red\" _ color = \"black\"").unwrap();
+        assert!(r.check(Some(&c2)).is_empty());
+        assert!(!r.supports(Some(&c2), &attrs(&["model"])));
+    }
+
+    #[test]
+    fn projection_beyond_exports_rejected() {
+        let r = car_dealer();
+        let c = parse_condition("make = \"BMW\" ^ color = \"red\"").unwrap();
+        // s2 exports {make, model, year}: price is not retrievable.
+        assert!(r.supports(Some(&c), &attrs(&["make", "model"])));
+        assert!(!r.supports(Some(&c), &attrs(&["price"])));
+        assert!(!r.supports(Some(&c), &attrs(&["make", "price"])));
+    }
+
+    #[test]
+    fn download_check_true() {
+        let open = CompiledSource::new(
+            parse_ssdl("s_dl -> true ;\nattributes :: s_dl : { a, b } ;").unwrap(),
+        );
+        assert!(open.supports(None, &attrs(&["a", "b"])));
+        assert!(!open.supports(None, &attrs(&["c"])));
+        // A source without a download rule refuses Check(true, R).
+        let r = car_dealer();
+        assert!(r.check(None).is_empty());
+    }
+
+    #[test]
+    fn antichain_maximality() {
+        let mut e = ExportSet::empty();
+        e.insert(attrs(&["a", "b"]));
+        e.insert(attrs(&["a"])); // dominated — dropped
+        assert_eq!(e.sets().len(), 1);
+        e.insert(attrs(&["b", "c"]));
+        assert_eq!(e.sets().len(), 2);
+        e.insert(attrs(&["a", "b", "c"])); // dominates both
+        assert_eq!(e.sets().len(), 1);
+        assert!(e.covers(&attrs(&["a", "c"])));
+    }
+
+    #[test]
+    fn antichain_covering_is_per_form_not_union() {
+        // Two forms exporting {a,b} and {b,c}: requesting {a,c} must FAIL
+        // even though {a,c} ⊆ union.
+        let r = CompiledSource::new(
+            parse_ssdl(
+                "s1 -> x = $int ;\ns2 -> x = $any ;\n\
+                 attributes :: s1 : { a, b } ;\nattributes :: s2 : { b, c } ;",
+            )
+            .unwrap(),
+        );
+        let c = parse_condition("x = 1").unwrap();
+        let e = r.check(Some(&c));
+        assert_eq!(e.sets().len(), 2);
+        assert!(e.covers(&attrs(&["a", "b"])));
+        assert!(e.covers(&attrs(&["b", "c"])));
+        assert!(!e.covers(&attrs(&["a", "c"])), "union coverage would be unsound");
+        assert_eq!(e.union_all(), attrs(&["a", "b", "c"]));
+    }
+
+    #[test]
+    fn matching_forms_reports_names() {
+        let r = car_dealer();
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        assert_eq!(r.matching_forms(Some(&c)), vec!["s1"]);
+        let unsupported = parse_condition("year = 1999").unwrap();
+        assert!(r.matching_forms(Some(&unsupported)).is_empty());
+    }
+
+    #[test]
+    fn empty_attrs_always_coverable_when_supported() {
+        let r = car_dealer();
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        assert!(r.supports(Some(&c), &BTreeSet::new()));
+        let bad = parse_condition("year = 1999").unwrap();
+        // Unsupported condition: even the empty projection fails.
+        assert!(!r.supports(Some(&bad), &BTreeSet::new()));
+    }
+}

@@ -1,0 +1,401 @@
+//! Earley recognition of linearized conditions against a compiled grammar.
+//!
+//! The paper builds YACC parsers from SSDL descriptions; we use an Earley
+//! recognizer instead, which accepts *every* CFG (no LALR(1) massaging).
+//! To honor the paper's claim that "the parser still runs in time linear in
+//! the size of the condition expression", two standard refinements are
+//! included:
+//!
+//! - the **Aycock–Horspool** nullable fix (predicting a nullable
+//!   nonterminal also advances the predicting item);
+//! - **Leo's right-recursion optimization** (Leo 1991): completing through a
+//!   deterministic reduction path adds only the topmost item, making
+//!   right-recursive list grammars (`sizes -> size = $str _ sizes`) linear
+//!   instead of quadratic. Chains are *not* collapsed past condition
+//!   nonterminals, so `matching_condition_nts` still observes their
+//!   completions. Experiment E8 validates linearity empirically.
+
+use crate::grammar::{GSym, Grammar, NtId};
+use crate::token::CondToken;
+use std::collections::{HashMap, HashSet};
+
+/// An Earley item: rule `rule`, dot before `rhs[dot]`, started at `origin`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Item {
+    rule: u32,
+    dot: u32,
+    origin: u32,
+}
+
+/// Statistics from one recognition run (used by E8 to validate linearity).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParseStats {
+    /// Total Earley items created across all sets.
+    pub items: usize,
+}
+
+/// The condition nonterminals that derive the full token string.
+///
+/// Seeds the chart with every rule of every condition nonterminal (the
+/// implicit `s -> s1 | … | sm` start rule of §4) and reports which
+/// alternatives complete over the whole input.
+pub fn matching_condition_nts(g: &Grammar, tokens: &[CondToken]) -> Vec<NtId> {
+    recognize(g, tokens).0
+}
+
+/// As [`matching_condition_nts`], also returning [`ParseStats`].
+pub fn recognize(g: &Grammar, tokens: &[CondToken]) -> (Vec<NtId>, ParseStats) {
+    let n = tokens.len();
+    let mut sets: Vec<Vec<Item>> = vec![Vec::new(); n + 1];
+    let mut in_set: Vec<HashSet<Item>> = vec![HashSet::new(); n + 1];
+    let mut stats = ParseStats::default();
+    // Leo memo: (set, completed nonterminal) -> topmost item, if the set has
+    // a deterministic reduction path for that nonterminal.
+    let mut leo_memo: HashMap<(u32, NtId), Option<Item>> = HashMap::new();
+
+    let mut is_condition = vec![false; g.nt_names.len()];
+    for &nt in &g.condition_nts {
+        is_condition[nt as usize] = true;
+    }
+
+    fn add(
+        sets: &mut [Vec<Item>],
+        in_set: &mut [HashSet<Item>],
+        stats: &mut ParseStats,
+        set_idx: usize,
+        item: Item,
+    ) {
+        if in_set[set_idx].insert(item) {
+            sets[set_idx].push(item);
+            stats.items += 1;
+        }
+    }
+
+    // Seed: predict every condition-nonterminal rule at position 0.
+    for &nt in &g.condition_nts {
+        for &ri in &g.rules_by_lhs[nt as usize] {
+            add(&mut sets, &mut in_set, &mut stats, 0, Item {
+                rule: ri as u32,
+                dot: 0,
+                origin: 0,
+            });
+        }
+    }
+
+    for i in 0..=n {
+        let mut w = 0;
+        while w < sets[i].len() {
+            let item = sets[i][w];
+            w += 1;
+            let rule = &g.rules[item.rule as usize];
+            match rule.rhs.get(item.dot as usize) {
+                None => {
+                    // COMPLETE.
+                    let lhs = rule.lhs;
+                    let origin = item.origin as usize;
+                    // Leo shortcut for deterministic reduction paths.
+                    // Only applies to finalized sets (origin < i); sets
+                    // before the current one no longer grow.
+                    if origin < i {
+                        let leo =
+                            leo_item(g, &sets, &is_condition, &mut leo_memo, origin as u32, lhs);
+                        if let Some(top) = leo {
+                            add(&mut sets, &mut in_set, &mut stats, i, top);
+                            continue;
+                        }
+                    }
+                    // Normal completion: advance items in the origin set
+                    // waiting on this nonterminal. (When origin == i the set
+                    // may grow while we iterate; the index loop handles it.)
+                    let mut k = 0;
+                    while k < sets[origin].len() {
+                        let waiting = sets[origin][k];
+                        k += 1;
+                        let wr = &g.rules[waiting.rule as usize];
+                        if let Some(GSym::Nt(nt)) = wr.rhs.get(waiting.dot as usize) {
+                            if *nt == lhs {
+                                add(&mut sets, &mut in_set, &mut stats, i, Item {
+                                    dot: waiting.dot + 1,
+                                    ..waiting
+                                });
+                            }
+                        }
+                    }
+                }
+                Some(GSym::Nt(nt)) => {
+                    // PREDICT.
+                    for &ri in &g.rules_by_lhs[*nt as usize] {
+                        add(&mut sets, &mut in_set, &mut stats, i, Item {
+                            rule: ri as u32,
+                            dot: 0,
+                            origin: i as u32,
+                        });
+                    }
+                    // Aycock–Horspool nullable fix.
+                    if g.nullable[*nt as usize] {
+                        add(&mut sets, &mut in_set, &mut stats, i, Item {
+                            dot: item.dot + 1,
+                            ..item
+                        });
+                    }
+                }
+                Some(GSym::T(term)) => {
+                    // SCAN.
+                    if i < n && term.matches(&tokens[i]) {
+                        add(&mut sets, &mut in_set, &mut stats, i + 1, Item {
+                            dot: item.dot + 1,
+                            ..item
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Matched condition nonterminals: completed items spanning the whole
+    // input whose LHS is a condition nonterminal.
+    let mut matched: Vec<NtId> = Vec::new();
+    for item in &sets[n] {
+        let rule = &g.rules[item.rule as usize];
+        if item.origin == 0
+            && item.dot as usize == rule.rhs.len()
+            && is_condition[rule.lhs as usize]
+            && !matched.contains(&rule.lhs)
+        {
+            matched.push(rule.lhs);
+        }
+    }
+    matched.sort_unstable();
+    (matched, stats)
+}
+
+/// Leo's transitive item for completing nonterminal `b` whose derivation
+/// started at set `j`: if exactly one item in set `j` waits on `b` *and*
+/// `b` is that item's final symbol, completing `b` deterministically
+/// completes the waiter too — so only the topmost item of the chain needs to
+/// be added. Chains stop at condition nonterminals so their completions
+/// remain observable, and at self-referential origins (nullable cycles).
+fn leo_item(
+    g: &Grammar,
+    sets: &[Vec<Item>],
+    is_condition: &[bool],
+    memo: &mut HashMap<(u32, NtId), Option<Item>>,
+    j: u32,
+    b: NtId,
+) -> Option<Item> {
+    if let Some(cached) = memo.get(&(j, b)) {
+        return *cached;
+    }
+    // Placeholder breaks nullable cycles.
+    memo.insert((j, b), None);
+
+    let mut unique: Option<Item> = None;
+    for item in &sets[j as usize] {
+        let rule = &g.rules[item.rule as usize];
+        if let Some(GSym::Nt(nt)) = rule.rhs.get(item.dot as usize) {
+            if *nt == b {
+                if unique.is_some() {
+                    // More than one waiter: no deterministic path.
+                    memo.insert((j, b), None);
+                    return None;
+                }
+                unique = Some(*item);
+            }
+        }
+    }
+    let it = match unique {
+        Some(it) => it,
+        None => {
+            memo.insert((j, b), None);
+            return None;
+        }
+    };
+    let rule = &g.rules[it.rule as usize];
+    if it.dot as usize != rule.rhs.len() - 1 {
+        // `b` is not the final symbol: completing it does not complete the
+        // waiter; normal completion required.
+        memo.insert((j, b), None);
+        return None;
+    }
+    let advanced = Item { dot: it.dot + 1, ..it };
+    let result = if is_condition[rule.lhs as usize] || it.origin == j {
+        // Do not collapse past condition nonterminals (we must observe their
+        // completed items), nor through zero-width origins.
+        Some(advanced)
+    } else {
+        leo_item(g, sets, is_condition, memo, it.origin, rule.lhs).or(Some(advanced))
+    };
+    memo.insert((j, b), result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::Grammar;
+    use crate::linearize::linearize;
+    use crate::parser::parse_ssdl;
+    use csqp_expr::parse::parse_condition;
+
+    fn grammar(text: &str) -> Grammar {
+        Grammar::compile(&parse_ssdl(text).unwrap())
+    }
+
+    fn matches(g: &Grammar, cond: &str) -> Vec<String> {
+        let ct = parse_condition(cond).unwrap();
+        let toks = linearize(Some(&ct));
+        matching_condition_nts(g, &toks)
+            .into_iter()
+            .map(|id| g.nt_name(id).to_string())
+            .collect()
+    }
+
+    const CAR_DEALER: &str = "source car_dealer {\n\
+        s1 -> make = $str ^ price < $int ;\n\
+        s2 -> make = $str ^ color = $str ;\n\
+        attributes :: s1 : { make, model, year, color } ;\n\
+        attributes :: s2 : { make, model, year } ;\n}";
+
+    #[test]
+    fn example_4_1_acceptance() {
+        let g = grammar(CAR_DEALER);
+        assert_eq!(matches(&g, "make = \"BMW\" ^ price < 40000"), vec!["s1"]);
+        assert_eq!(matches(&g, "make = \"BMW\" ^ color = \"red\""), vec!["s2"]);
+        // Order matters until the description is rewritten (§6.1).
+        assert!(matches(&g, "color = \"red\" ^ make = \"BMW\"").is_empty());
+        // Wrong operator.
+        assert!(matches(&g, "make = \"BMW\" ^ price > 40000").is_empty());
+        // Wrong constant type.
+        assert!(matches(&g, "make = \"BMW\" ^ price < 40000.5").is_empty());
+        // Extra conjunct.
+        assert!(matches(&g, "make = \"BMW\" ^ price < 40000 ^ color = \"red\"").is_empty());
+    }
+
+    #[test]
+    fn recursive_list_grammar() {
+        let g = grammar(
+            "s1 -> ( sizes ) ;\n\
+             sizes -> size = $str | size = $str _ sizes ;\n\
+             attributes :: s1 : { size } ;",
+        );
+        // The rule requires parens; build a nested-occurrence token stream.
+        let ct = parse_condition("size = \"compact\" _ size = \"midsize\"").unwrap();
+        let mut toks = vec![CondToken::LParen];
+        toks.extend(linearize(Some(&ct)));
+        toks.push(CondToken::RParen);
+        assert_eq!(matching_condition_nts(&g, &toks), vec![g.nt_id("s1").unwrap()]);
+        // Three-element list works through recursion.
+        let ct3 = parse_condition("size = \"a\" _ size = \"b\" _ size = \"c\"").unwrap();
+        let mut toks3 = vec![CondToken::LParen];
+        toks3.extend(linearize(Some(&ct3)));
+        toks3.push(CondToken::RParen);
+        assert_eq!(matching_condition_nts(&g, &toks3), vec![g.nt_id("s1").unwrap()]);
+    }
+
+    #[test]
+    fn nullable_optional_suffix() {
+        let g = grammar(
+            "s1 -> a = $int opt ;\n\
+             opt -> ^ b = $int | ;\n\
+             attributes :: s1 : { a, b } ;",
+        );
+        assert_eq!(matches(&g, "a = 1"), vec!["s1"]);
+        assert_eq!(matches(&g, "a = 1 ^ b = 2"), vec!["s1"]);
+        assert!(matches(&g, "b = 2").is_empty());
+    }
+
+    #[test]
+    fn multiple_matching_nonterminals() {
+        let g = grammar(
+            "s1 -> a = $int ;\ns2 -> a = $any ;\n\
+             attributes :: s1 : { a, b } ;\nattributes :: s2 : { a } ;",
+        );
+        let m = matches(&g, "a = 1");
+        assert_eq!(m, vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn condition_nt_referenced_by_another_still_reported() {
+        // s1 is both a condition nonterminal and a helper inside s2. Leo
+        // chains must not skip s1's completion.
+        let g = grammar(
+            "s1 -> sizes ;\n\
+             s2 -> sizes ^ extra = $int ;\n\
+             sizes -> size = $str | size = $str _ sizes ;\n\
+             attributes :: s1 : { size } ;\n\
+             attributes :: s2 : { size, extra } ;",
+        );
+        let m = matches(&g, "size = \"a\" _ size = \"b\" _ size = \"c\"");
+        assert_eq!(m, vec!["s1"]);
+    }
+
+    #[test]
+    fn literal_constant_terminals() {
+        let g = grammar("s1 -> style = \"sedan\" ;\nattributes :: s1 : { style } ;");
+        assert_eq!(matches(&g, "style = \"sedan\""), vec!["s1"]);
+        assert!(matches(&g, "style = \"coupe\"").is_empty());
+    }
+
+    #[test]
+    fn true_token_download_rule() {
+        let g = grammar("s1 -> true ;\nattributes :: s1 : { a, b } ;");
+        let m = matching_condition_nts(&g, &[CondToken::True]);
+        assert_eq!(m.len(), 1);
+        assert!(matching_condition_nts(&g, &[]).is_empty());
+    }
+
+    #[test]
+    fn empty_input_matches_only_nullable() {
+        let g = grammar("s1 -> | a = $int ;\nattributes :: s1 : { a } ;");
+        assert_eq!(matching_condition_nts(&g, &[]).len(), 1);
+    }
+
+    #[test]
+    fn ambiguous_grammar_terminates() {
+        // Highly ambiguous: list via left AND right recursion.
+        let g = grammar(
+            "s1 -> l ;\n\
+             l -> a = $int | l ^ l ;\n\
+             attributes :: s1 : { a } ;",
+        );
+        let m = matches(&g, "a = 1 ^ a = 2 ^ a = 3 ^ a = 4");
+        assert_eq!(m, vec!["s1"]);
+    }
+
+    #[test]
+    fn left_recursive_list_also_accepted() {
+        let g = grammar(
+            "s1 -> sizes ;\n\
+             sizes -> size = $str | sizes _ size = $str ;\n\
+             attributes :: s1 : { size } ;",
+        );
+        let m = matches(&g, "size = \"a\" _ size = \"b\" _ size = \"c\"");
+        assert_eq!(m, vec!["s1"]);
+    }
+
+    #[test]
+    fn parse_stats_grow_linearly_for_list_grammar() {
+        // Right recursion is the worst case for vanilla Earley (quadratic);
+        // Leo's optimization makes it linear, matching the paper's claim.
+        let g = grammar(
+            "s1 -> sizes ;\n\
+             sizes -> size = $str | size = $str _ sizes ;\n\
+             attributes :: s1 : { size } ;",
+        );
+        let mut per_token: Vec<f64> = Vec::new();
+        for n in [8usize, 16, 32, 64, 128] {
+            let parts: Vec<String> = (0..n).map(|i| format!("size = \"v{i}\"")).collect();
+            let ct = parse_condition(&parts.join(" _ ")).unwrap();
+            let toks = linearize(Some(&ct));
+            let (m, stats) = recognize(&g, &toks);
+            assert_eq!(m.len(), 1, "n={n}");
+            per_token.push(stats.items as f64 / toks.len() as f64);
+        }
+        let first = per_token[0];
+        let last = *per_token.last().unwrap();
+        assert!(
+            last < first * 1.5,
+            "expected linear scaling, got per-token items {per_token:?}"
+        );
+    }
+}

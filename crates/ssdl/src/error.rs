@@ -1,0 +1,67 @@
+//! Error types for SSDL parsing, validation and compilation.
+
+use std::fmt;
+
+/// Errors raised while parsing or compiling an SSDL source description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdlError {
+    /// Lexical or syntactic error in the SSDL text, with line/column.
+    Syntax {
+        /// Description of the problem.
+        message: String,
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+    },
+    /// A condition nonterminal has an `attributes ::` clause but no rule.
+    MissingRule(String),
+    /// A rule references a nonterminal that is never defined.
+    UndefinedNonterminal {
+        /// The rule's left-hand side.
+        rule: String,
+        /// The undefined reference.
+        reference: String,
+    },
+    /// A condition nonterminal lacks an `attributes ::` association
+    /// (the paper requires one per condition nonterminal).
+    MissingAttributes(String),
+    /// Duplicate `attributes ::` clause for the same nonterminal.
+    DuplicateAttributes(String),
+    /// The description declares no condition nonterminals at all.
+    Empty,
+    /// The reserved start symbol `s` was used as a rule name.
+    ReservedStartSymbol,
+}
+
+impl fmt::Display for SsdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdlError::Syntax { message, line, col } => {
+                write!(f, "SSDL syntax error at {line}:{col}: {message}")
+            }
+            SsdlError::MissingRule(nt) => {
+                write!(f, "condition nonterminal `{nt}` has attributes but no rule")
+            }
+            SsdlError::UndefinedNonterminal { rule, reference } => {
+                write!(f, "rule `{rule}` references undefined nonterminal `{reference}`")
+            }
+            SsdlError::MissingAttributes(nt) => {
+                write!(
+                    f,
+                    "condition nonterminal `{nt}` has no `attributes ::` association \
+                     (required by SSDL; see paper §4)"
+                )
+            }
+            SsdlError::DuplicateAttributes(nt) => {
+                write!(f, "duplicate `attributes ::` clause for `{nt}`")
+            }
+            SsdlError::Empty => write!(f, "SSDL description declares no condition nonterminals"),
+            SsdlError::ReservedStartSymbol => {
+                write!(f, "`s` is the reserved start symbol and cannot be defined directly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SsdlError {}

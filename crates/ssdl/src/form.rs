@@ -1,0 +1,382 @@
+//! Web-form–style capability descriptions.
+//!
+//! §4 lists "Restricting expressions based on the structure of a form" as a
+//! common Internet-source limitation: a query form has fields, some
+//! required, some optional, each binding one attribute (or a list of values
+//! for one attribute, like the size checkboxes of Example 1.2).
+//!
+//! [`FormBuilder`] compiles such a form into SSDL: one rule per admissible
+//! combination of filled-in fields, plus helper list rules.
+
+use crate::ast::{sym, Rule, SsdlDesc, Sym};
+use crate::error::SsdlError;
+use csqp_expr::{CmpOp, ValueType};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One field of a query form.
+#[derive(Debug, Clone)]
+pub struct FormField {
+    /// Field label (used to derive helper-rule names).
+    pub name: String,
+    /// Grammar fragment the field contributes when filled in.
+    pub body: FieldBody,
+    /// Must this field always be filled in?
+    pub required: bool,
+}
+
+/// What a filled-in field matches.
+#[derive(Debug, Clone)]
+pub enum FieldBody {
+    /// A single atomic condition `attr op $type`.
+    Single {
+        /// Attribute name.
+        attr: String,
+        /// Operator the form exposes.
+        op: CmpOp,
+        /// Constant type.
+        ty: ValueType,
+    },
+    /// A value *list* for one attribute: `attr = v1 _ attr = v2 _ …`
+    /// (checkbox groups, multi-select). Appears parenthesized when combined
+    /// with other fields; matches a bare root disjunction when it is the
+    /// only filled-in field.
+    ValueList {
+        /// Attribute name.
+        attr: String,
+        /// Constant type.
+        ty: ValueType,
+    },
+    /// A raw grammar fragment (escape hatch).
+    Raw(Vec<Sym>),
+}
+
+impl FormField {
+    /// A required single-value field.
+    pub fn required(attr: &str, op: CmpOp, ty: ValueType) -> Self {
+        FormField {
+            name: attr.to_string(),
+            body: FieldBody::Single { attr: attr.to_string(), op, ty },
+            required: true,
+        }
+    }
+
+    /// An optional single-value field.
+    pub fn optional(attr: &str, op: CmpOp, ty: ValueType) -> Self {
+        FormField { required: false, ..Self::required(attr, op, ty) }
+    }
+
+    /// An optional value-list field (checkbox group).
+    pub fn list(attr: &str, ty: ValueType) -> Self {
+        FormField {
+            name: attr.to_string(),
+            body: FieldBody::ValueList { attr: attr.to_string(), ty },
+            required: false,
+        }
+    }
+
+    /// Marks the field required.
+    pub fn into_required(mut self) -> Self {
+        self.required = true;
+        self
+    }
+}
+
+/// Builds an SSDL description for a query form.
+#[derive(Debug)]
+pub struct FormBuilder {
+    name: String,
+    fields: Vec<FormField>,
+    exports: BTreeSet<String>,
+    downloadable: bool,
+}
+
+/// Cap on form fields (each admissible subset becomes a rule).
+pub const MAX_FORM_FIELDS: usize = 10;
+
+impl FormBuilder {
+    /// Starts a form for a source.
+    pub fn new(name: impl Into<String>) -> Self {
+        FormBuilder {
+            name: name.into(),
+            fields: Vec::new(),
+            exports: BTreeSet::new(),
+            downloadable: false,
+        }
+    }
+
+    /// Adds a field.
+    pub fn field(mut self, f: FormField) -> Self {
+        self.fields.push(f);
+        self
+    }
+
+    /// Sets the attributes every result page exposes.
+    pub fn exports(mut self, attrs: &[&str]) -> Self {
+        self.exports = attrs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Also allow downloading the whole source (`true` rule).
+    pub fn downloadable(mut self) -> Self {
+        self.downloadable = true;
+        self
+    }
+
+    /// Compiles the form: one condition nonterminal per non-empty field
+    /// subset containing all required fields, fields in declaration order
+    /// (use [`crate::closure::permutation_closure`] afterwards for order
+    /// insensitivity).
+    pub fn build(self) -> Result<SsdlDesc, SsdlError> {
+        assert!(
+            self.fields.len() <= MAX_FORM_FIELDS,
+            "form has {} fields; max is {MAX_FORM_FIELDS}",
+            self.fields.len()
+        );
+        let mut rules: Vec<Rule> = Vec::new();
+        let mut exports: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+
+        // Helper rules, two per ValueList field: the recursive list and the
+        // "item" used when the field is combined with others — either a
+        // single bare value (one checkbox ticked) or a parenthesized list.
+        for f in &self.fields {
+            if let FieldBody::ValueList { attr, ty } = &f.body {
+                let list_nt = format!("{}_list", f.name);
+                rules.push(Rule {
+                    lhs: list_nt.clone(),
+                    rhs: sym::atom(attr, CmpOp::Eq, *ty),
+                });
+                let mut rec = sym::atom(attr, CmpOp::Eq, *ty);
+                rec.push(sym::or());
+                rec.push(sym::nt(&list_nt));
+                rules.push(Rule { lhs: list_nt.clone(), rhs: rec });
+                let item_nt = format!("{}_item", f.name);
+                rules.push(Rule { lhs: item_nt.clone(), rhs: sym::atom(attr, CmpOp::Eq, *ty) });
+                rules.push(Rule {
+                    lhs: item_nt,
+                    rhs: vec![sym::lparen(), sym::nt(&list_nt), sym::rparen()],
+                });
+            }
+        }
+
+        let n = self.fields.len();
+        let mut form_idx = 0usize;
+        for mask in 1u32..(1 << n) {
+            let chosen: Vec<&FormField> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| &self.fields[i])
+                .collect();
+            if self.fields.iter().any(|f| f.required)
+                && self
+                    .fields
+                    .iter()
+                    .enumerate()
+                    .any(|(i, f)| f.required && mask & (1 << i) == 0)
+            {
+                continue; // missing a required field
+            }
+            form_idx += 1;
+            let nt = format!("f{form_idx}");
+            let multi = chosen.len() > 1;
+            let mut rhs: Vec<Sym> = Vec::new();
+            for (i, f) in chosen.iter().enumerate() {
+                if i > 0 {
+                    rhs.push(sym::and());
+                }
+                match &f.body {
+                    FieldBody::Single { attr, op, ty } => {
+                        rhs.extend(sym::atom(attr, *op, *ty));
+                    }
+                    FieldBody::ValueList { .. } => {
+                        if multi {
+                            // Combined with other fields: a single bare
+                            // value or a parenthesized list.
+                            rhs.push(sym::nt(&format!("{}_item", f.name)));
+                        } else {
+                            // Sole field: matches a bare root disjunction
+                            // (no parens) OR a single atom via the list rule.
+                            rhs.push(sym::nt(&format!("{}_list", f.name)));
+                        }
+                    }
+                    FieldBody::Raw(syms) => rhs.extend(syms.iter().cloned()),
+                }
+            }
+            rules.push(Rule { lhs: nt.clone(), rhs });
+            exports.insert(nt, self.exports.clone());
+        }
+
+        if self.downloadable {
+            rules.push(Rule { lhs: "f_dl".into(), rhs: vec![sym::tru()] });
+            exports.insert("f_dl".into(), self.exports.clone());
+        }
+
+        SsdlDesc::new(self.name, rules, exports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::CompiledSource;
+    use csqp_expr::parse::parse_condition;
+
+    fn attrs(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Example 1.2's form: single style/make/price plus a size list.
+    fn car_guide() -> CompiledSource {
+        CompiledSource::new(
+            FormBuilder::new("car_guide")
+                .field(FormField::optional("style", CmpOp::Eq, ValueType::Str))
+                .field(FormField::list("size", ValueType::Str))
+                .field(FormField::optional("make", CmpOp::Eq, ValueType::Str))
+                .field(FormField::optional("price", CmpOp::Le, ValueType::Int))
+                .exports(&["listing_id", "style", "size", "make", "model", "price", "year"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn full_form_query_supported() {
+        let r = car_guide();
+        // The paper's two-query plan sends exactly this shape.
+        let c = parse_condition(
+            "style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\") ^ \
+             make = \"Toyota\" ^ price <= 20000",
+        )
+        .unwrap();
+        assert!(r.supports(Some(&c), &attrs(&["listing_id", "model", "price"])));
+    }
+
+    #[test]
+    fn single_fields_supported() {
+        let r = car_guide();
+        for c in [
+            "style = \"sedan\"",
+            "make = \"BMW\"",
+            "price <= 40000",
+            "size = \"compact\" _ size = \"midsize\"",
+            "size = \"compact\"",
+        ] {
+            let ct = parse_condition(c).unwrap();
+            assert!(r.supports(Some(&ct), &attrs(&["listing_id"])), "{c}");
+        }
+    }
+
+    #[test]
+    fn make_disjunction_not_supported() {
+        // E2 relies on this: the CNF clause (make=Toyota _ make=BMW) must
+        // NOT be supported (only size has a list field).
+        let r = car_guide();
+        let c = parse_condition("make = \"Toyota\" _ make = \"BMW\"").unwrap();
+        assert!(!r.supports(Some(&c), &attrs(&["listing_id"])));
+    }
+
+    #[test]
+    fn original_nested_condition_not_supported_directly() {
+        // The raw Example 1.2 condition is not a form query.
+        let r = car_guide();
+        let c = parse_condition(
+            "style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\") ^ \
+             ((make = \"Toyota\" ^ price <= 20000) _ (make = \"BMW\" ^ price <= 40000))",
+        )
+        .unwrap();
+        assert!(!r.supports(Some(&c), &attrs(&["listing_id"])));
+    }
+
+    #[test]
+    fn required_fields_enforced() {
+        let r = CompiledSource::new(
+            FormBuilder::new("flights")
+                .field(FormField::required("origin", CmpOp::Eq, ValueType::Str))
+                .field(FormField::required("dest", CmpOp::Eq, ValueType::Str))
+                .field(FormField::optional("airline", CmpOp::Eq, ValueType::Str))
+                .exports(&["flight_no", "price"])
+                .build()
+                .unwrap(),
+        );
+        let full =
+            parse_condition("origin = \"SFO\" ^ dest = \"JFK\" ^ airline = \"UA\"").unwrap();
+        assert!(r.supports(Some(&full), &attrs(&["flight_no"])));
+        let partial = parse_condition("origin = \"SFO\"").unwrap();
+        assert!(!r.supports(Some(&partial), &attrs(&["flight_no"])));
+        let no_airline = parse_condition("origin = \"SFO\" ^ dest = \"JFK\"").unwrap();
+        assert!(r.supports(Some(&no_airline), &attrs(&["flight_no"])));
+    }
+
+    #[test]
+    fn downloadable_form() {
+        let r = CompiledSource::new(
+            FormBuilder::new("open")
+                .field(FormField::optional("a", CmpOp::Eq, ValueType::Int))
+                .exports(&["a", "b"])
+                .downloadable()
+                .build()
+                .unwrap(),
+        );
+        assert!(r.supports(None, &attrs(&["a", "b"])));
+    }
+
+    #[test]
+    fn raw_field_bodies() {
+        use crate::ast::sym;
+        // A field contributed as a raw grammar fragment: a fixed style
+        // value (the form only searches sedans).
+        let r = CompiledSource::new(
+            FormBuilder::new("sedans_only")
+                .field(FormField {
+                    name: "style".into(),
+                    body: FieldBody::Raw(vec![
+                        sym::attr("style"),
+                        sym::op(CmpOp::Eq),
+                        sym::lit("sedan"),
+                    ]),
+                    required: true,
+                })
+                .field(FormField::optional("make", CmpOp::Eq, ValueType::Str))
+                .exports(&["listing_id", "make"])
+                .build()
+                .unwrap(),
+        );
+        let ok = parse_condition("style = \"sedan\" ^ make = \"BMW\"").unwrap();
+        assert!(r.supports(Some(&ok), &attrs(&["listing_id"])));
+        let wrong_value = parse_condition("style = \"coupe\" ^ make = \"BMW\"").unwrap();
+        assert!(!r.supports(Some(&wrong_value), &attrs(&["listing_id"])));
+    }
+
+    #[test]
+    fn single_size_value_accepted_in_multi_field_form() {
+        // One checkbox ticked: the bare atom replaces the parenthesized
+        // list when combined with other fields.
+        let r = car_guide();
+        let c = parse_condition(
+            "style = \"sedan\" ^ size = \"compact\" ^ make = \"Toyota\" ^ price <= 20000",
+        )
+        .unwrap();
+        assert!(r.supports(Some(&c), &attrs(&["listing_id"])));
+    }
+
+    #[test]
+    fn rule_count_is_subsets_with_required() {
+        // 4 optional fields → 15 subsets (+2 list helper rules).
+        let d = FormBuilder::new("x")
+            .field(FormField::optional("a", CmpOp::Eq, ValueType::Int))
+            .field(FormField::optional("b", CmpOp::Eq, ValueType::Int))
+            .field(FormField::optional("c", CmpOp::Eq, ValueType::Int))
+            .field(FormField::optional("d", CmpOp::Eq, ValueType::Int))
+            .exports(&["a"])
+            .build()
+            .unwrap();
+        assert_eq!(d.exports.len(), 15);
+        // 2 required + 1 optional → 2 subsets.
+        let d2 = FormBuilder::new("y")
+            .field(FormField::required("a", CmpOp::Eq, ValueType::Int))
+            .field(FormField::required("b", CmpOp::Eq, ValueType::Int))
+            .field(FormField::optional("c", CmpOp::Eq, ValueType::Int))
+            .exports(&["a"])
+            .build()
+            .unwrap();
+        assert_eq!(d2.exports.len(), 2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Compiled SSDL grammars.
+//!
+//! An [`SsdlDesc`] is compiled once, when the source joins the system (§6.1:
+//! "building the parser … is done not at run time, but when the source joins
+//! the system"). Compilation interns nonterminal names, indexes rules by
+//! left-hand side, and precomputes the nullable set needed by the Earley
+//! recognizer.
+
+use crate::ast::{SsdlDesc, Sym};
+use crate::token::Term;
+use std::collections::HashMap;
+
+/// Interned nonterminal id.
+pub type NtId = u32;
+
+/// A grammar symbol with interned nonterminals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GSym {
+    /// Nonterminal reference.
+    Nt(NtId),
+    /// Terminal.
+    T(Term),
+}
+
+/// A compiled production.
+#[derive(Debug, Clone)]
+pub struct CRule {
+    /// Left-hand-side nonterminal.
+    pub lhs: NtId,
+    /// Right-hand-side symbols.
+    pub rhs: Vec<GSym>,
+}
+
+/// A compiled grammar ready for Earley recognition.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    /// Nonterminal names, indexed by [`NtId`].
+    pub nt_names: Vec<String>,
+    /// All productions.
+    pub rules: Vec<CRule>,
+    /// Rule indices grouped by LHS nonterminal.
+    pub rules_by_lhs: Vec<Vec<usize>>,
+    /// Ids of the *condition* nonterminals (the alternatives of the implicit
+    /// start symbol `s`).
+    pub condition_nts: Vec<NtId>,
+    /// `nullable[nt]` — can the nonterminal derive the empty string?
+    pub nullable: Vec<bool>,
+}
+
+impl Grammar {
+    /// Compiles a validated description.
+    pub fn compile(desc: &SsdlDesc) -> Grammar {
+        let mut ids: HashMap<&str, NtId> = HashMap::new();
+        let mut nt_names: Vec<String> = Vec::new();
+        let mut intern = |name: &str, ids: &mut HashMap<&str, NtId>| -> NtId {
+            // Safety of borrow: names live as long as desc; we copy into
+            // nt_names and key the map by the &str borrowed from desc.
+            if let Some(&id) = ids.get(name) {
+                return id;
+            }
+            let id = nt_names.len() as NtId;
+            nt_names.push(name.to_string());
+            id
+        };
+
+        // First intern all LHS names so references resolve.
+        for rule in &desc.rules {
+            let id = intern(&rule.lhs, &mut ids);
+            ids.insert(&rule.lhs, id);
+        }
+
+        let rules: Vec<CRule> = desc
+            .rules
+            .iter()
+            .map(|r| CRule {
+                lhs: ids[r.lhs.as_str()],
+                rhs: r
+                    .rhs
+                    .iter()
+                    .map(|s| match s {
+                        Sym::NonTerm(n) => GSym::Nt(ids[n.as_str()]),
+                        Sym::Term(t) => GSym::T(t.clone()),
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        let mut rules_by_lhs: Vec<Vec<usize>> = vec![Vec::new(); nt_names.len()];
+        for (i, r) in rules.iter().enumerate() {
+            rules_by_lhs[r.lhs as usize].push(i);
+        }
+
+        let condition_nts: Vec<NtId> =
+            desc.exports.keys().map(|k| ids[k.as_str()]).collect();
+
+        let nullable = compute_nullable(&rules, nt_names.len());
+
+        Grammar { nt_names, rules, rules_by_lhs, condition_nts, nullable }
+    }
+
+    /// Name of a nonterminal id.
+    pub fn nt_name(&self, id: NtId) -> &str {
+        &self.nt_names[id as usize]
+    }
+
+    /// Id of a nonterminal name, if present.
+    pub fn nt_id(&self, name: &str) -> Option<NtId> {
+        self.nt_names.iter().position(|n| n == name).map(|i| i as NtId)
+    }
+
+    /// Total number of productions (the paper notes grammar size affects
+    /// only compile time, not per-query parse time; E8 validates this).
+    pub fn n_rules(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+/// Fixpoint nullable computation: a nonterminal is nullable iff some rule
+/// for it has an all-nullable (hence terminal-free) RHS.
+fn compute_nullable(rules: &[CRule], n_nts: usize) -> Vec<bool> {
+    let mut nullable = vec![false; n_nts];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for r in rules {
+            if nullable[r.lhs as usize] {
+                continue;
+            }
+            let all_nullable = r.rhs.iter().all(|s| match s {
+                GSym::Nt(n) => nullable[*n as usize],
+                GSym::T(_) => false,
+            });
+            if all_nullable {
+                nullable[r.lhs as usize] = true;
+                changed = true;
+            }
+        }
+    }
+    nullable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_ssdl;
+
+    #[test]
+    fn compiles_example_4_1() {
+        let d = parse_ssdl(
+            "source car_dealer {\n\
+             s1 -> make = $str ^ price < $int ;\n\
+             s2 -> make = $str ^ color = $str ;\n\
+             attributes :: s1 : { make, model, year, color } ;\n\
+             attributes :: s2 : { make, model, year } ;\n}",
+        )
+        .unwrap();
+        let g = Grammar::compile(&d);
+        assert_eq!(g.nt_names.len(), 2);
+        assert_eq!(g.rules.len(), 2);
+        assert_eq!(g.condition_nts.len(), 2);
+        assert_eq!(g.rules_by_lhs[g.nt_id("s1").unwrap() as usize].len(), 1);
+        assert!(!g.nullable.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn nullable_computation() {
+        let d = parse_ssdl(
+            "s1 -> a = $int opt ;\n\
+             opt -> ^ b = $int | ;\n\
+             attributes :: s1 : { a, b } ;",
+        )
+        .unwrap();
+        let g = Grammar::compile(&d);
+        assert!(!g.nullable[g.nt_id("s1").unwrap() as usize]);
+        assert!(g.nullable[g.nt_id("opt").unwrap() as usize]);
+    }
+
+    #[test]
+    fn transitively_nullable() {
+        let d = parse_ssdl(
+            "s1 -> a = $int x ;\nx -> y y ;\ny -> | z ;\nz -> ;\n\
+             attributes :: s1 : { a } ;",
+        )
+        .unwrap();
+        let g = Grammar::compile(&d);
+        for nt in ["x", "y", "z"] {
+            assert!(g.nullable[g.nt_id(nt).unwrap() as usize], "{nt} should be nullable");
+        }
+    }
+
+    #[test]
+    fn recursive_rules_compile() {
+        let d = parse_ssdl(
+            "s1 -> ( sizes ) ;\n\
+             sizes -> size = $str | size = $str _ sizes ;\n\
+             attributes :: s1 : { size } ;",
+        )
+        .unwrap();
+        let g = Grammar::compile(&d);
+        assert_eq!(g.rules.len(), 3);
+        let sizes = g.nt_id("sizes").unwrap();
+        assert!(!g.nullable[sizes as usize]);
+        assert_eq!(g.rules_by_lhs[sizes as usize].len(), 2);
+    }
+}

@@ -1,0 +1,407 @@
+//! Lexer for the SSDL text format.
+
+use crate::error::SsdlError;
+use csqp_expr::CmpOp;
+
+/// A lexical token of the SSDL text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SsdlTok {
+    /// Identifier (rule name, attribute, or keyword).
+    Ident(String),
+    /// `->`
+    Arrow,
+    /// `|`
+    Pipe,
+    /// `;`
+    Semi,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `^`
+    Caret,
+    /// `_` standing alone (the Or connector in rule bodies).
+    Underscore,
+    /// `::`
+    ColonColon,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `$name` placeholder (`$int`, `$str`, `$float`, `$bool`, `$any`).
+    Dollar(String),
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Comparison operator (`=`, `!=`, `<`, `<=`, `>`, `>=`; `contains` is
+    /// lexed as an identifier and resolved by the parser).
+    Op(CmpOp),
+}
+
+/// A token with its source position (1-based line/column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Located {
+    /// The token.
+    pub tok: SsdlTok,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+/// Lexes SSDL text. `//` and `#` start line comments.
+pub fn lex_ssdl(input: &str) -> Result<Vec<Located>, SsdlError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = input.char_indices().peekable();
+    let bytes = input;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(SsdlError::Syntax { message: format!($($arg)*), line, col })
+        };
+    }
+
+    while let Some(&(i, c)) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        let mut push = |tok: SsdlTok| out.push(Located { tok, line: tline, col: tcol });
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '/' if bytes[i..].starts_with("//") => {
+                while let Some(&(_, c)) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '#' => {
+                while let Some(&(_, c)) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                }
+            }
+            '-' if bytes[i..].starts_with("->") => {
+                chars.next();
+                chars.next();
+                col += 2;
+                push(SsdlTok::Arrow);
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                let mut end = i;
+                let mut is_float = false;
+                if c == '-' {
+                    chars.next();
+                    col += 1;
+                    end += 1;
+                }
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_digit() || (d == '.' && !is_float) {
+                        if d == '.' {
+                            is_float = true;
+                        }
+                        chars.next();
+                        col += 1;
+                        end = j + d.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let text = &bytes[start..end];
+                if is_float {
+                    match text.parse() {
+                        Ok(v) => push(SsdlTok::Float(v)),
+                        Err(e) => err!("bad float {text:?}: {e}"),
+                    }
+                } else {
+                    match text.parse() {
+                        Ok(v) => push(SsdlTok::Int(v)),
+                        Err(e) => err!("bad integer {text:?}: {e}"),
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some((_, c)) = chars.next() {
+                    col += 1;
+                    match c {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' => match chars.next() {
+                            Some((_, '"')) => {
+                                s.push('"');
+                                col += 1;
+                            }
+                            Some((_, '\\')) => {
+                                s.push('\\');
+                                col += 1;
+                            }
+                            other => err!("invalid string escape {other:?}"),
+                        },
+                        '\n' => err!("newline in string literal"),
+                        c => s.push(c),
+                    }
+                }
+                if !closed {
+                    err!("unterminated string literal");
+                }
+                push(SsdlTok::Str(s));
+            }
+            '$' => {
+                chars.next();
+                col += 1;
+                let mut name = String::new();
+                while let Some(&(_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() {
+                        name.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    err!("expected placeholder name after '$'");
+                }
+                push(SsdlTok::Dollar(name));
+            }
+            '|' => {
+                chars.next();
+                col += 1;
+                push(SsdlTok::Pipe);
+            }
+            ';' => {
+                chars.next();
+                col += 1;
+                push(SsdlTok::Semi);
+            }
+            '{' => {
+                chars.next();
+                col += 1;
+                push(SsdlTok::LBrace);
+            }
+            '}' => {
+                chars.next();
+                col += 1;
+                push(SsdlTok::RBrace);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push(SsdlTok::LParen);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push(SsdlTok::RParen);
+            }
+            '^' => {
+                chars.next();
+                col += 1;
+                push(SsdlTok::Caret);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push(SsdlTok::Comma);
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                if chars.peek().map(|&(_, c)| c) == Some(':') {
+                    chars.next();
+                    col += 1;
+                    push(SsdlTok::ColonColon);
+                } else {
+                    push(SsdlTok::Colon);
+                }
+            }
+            '=' => {
+                chars.next();
+                col += 1;
+                push(SsdlTok::Op(CmpOp::Eq));
+            }
+            '!' if bytes[i..].starts_with("!=") => {
+                chars.next();
+                chars.next();
+                col += 2;
+                push(SsdlTok::Op(CmpOp::Ne));
+            }
+            '<' => {
+                chars.next();
+                col += 1;
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    col += 1;
+                    push(SsdlTok::Op(CmpOp::Le));
+                } else {
+                    push(SsdlTok::Op(CmpOp::Lt));
+                }
+            }
+            '>' => {
+                chars.next();
+                col += 1;
+                if chars.peek().map(|&(_, c)| c) == Some('=') {
+                    chars.next();
+                    col += 1;
+                    push(SsdlTok::Op(CmpOp::Ge));
+                } else {
+                    push(SsdlTok::Op(CmpOp::Gt));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut end = i;
+                while let Some(&(j, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        chars.next();
+                        col += 1;
+                        end = j + c.len_utf8();
+                    } else {
+                        break;
+                    }
+                }
+                let word = &bytes[start..end];
+                if word == "_" {
+                    push(SsdlTok::Underscore);
+                } else {
+                    push(SsdlTok::Ident(word.to_string()));
+                }
+            }
+            other => err!("unexpected character {other:?}"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<SsdlTok> {
+        lex_ssdl(input).unwrap().into_iter().map(|l| l.tok).collect()
+    }
+
+    #[test]
+    fn lexes_example_4_1_rule() {
+        let toks = kinds("s1 -> make = $str ^ price < $int ;");
+        assert_eq!(
+            toks,
+            vec![
+                SsdlTok::Ident("s1".into()),
+                SsdlTok::Arrow,
+                SsdlTok::Ident("make".into()),
+                SsdlTok::Op(CmpOp::Eq),
+                SsdlTok::Dollar("str".into()),
+                SsdlTok::Caret,
+                SsdlTok::Ident("price".into()),
+                SsdlTok::Op(CmpOp::Lt),
+                SsdlTok::Dollar("int".into()),
+                SsdlTok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_attributes_clause() {
+        let toks = kinds("attributes :: s1 : { make, model } ;");
+        assert_eq!(
+            toks,
+            vec![
+                SsdlTok::Ident("attributes".into()),
+                SsdlTok::ColonColon,
+                SsdlTok::Ident("s1".into()),
+                SsdlTok::Colon,
+                SsdlTok::LBrace,
+                SsdlTok::Ident("make".into()),
+                SsdlTok::Comma,
+                SsdlTok::Ident("model".into()),
+                SsdlTok::RBrace,
+                SsdlTok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn underscore_is_or_connector() {
+        let toks = kinds("a _ b_c _d");
+        assert_eq!(
+            toks,
+            vec![
+                SsdlTok::Ident("a".into()),
+                SsdlTok::Underscore,
+                SsdlTok::Ident("b_c".into()),
+                SsdlTok::Ident("_d".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("a // comment ^ ;\nb # another\nc");
+        assert_eq!(
+            toks,
+            vec![
+                SsdlTok::Ident("a".into()),
+                SsdlTok::Ident("b".into()),
+                SsdlTok::Ident("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(
+            kinds("\"sedan\" 42 -7 3.5"),
+            vec![
+                SsdlTok::Str("sedan".into()),
+                SsdlTok::Int(42),
+                SsdlTok::Int(-7),
+                SsdlTok::Float(3.5),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_reported() {
+        let e = lex_ssdl("s1 ->\n  @").unwrap_err();
+        match e {
+            SsdlError::Syntax { line, col, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(col, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(lex_ssdl("\"unterminated").is_err());
+        assert!(lex_ssdl("$").is_err());
+        assert!(lex_ssdl("\"bad\nstring\"").is_err());
+    }
+}

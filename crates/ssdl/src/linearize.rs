@@ -1,0 +1,127 @@
+//! Condition-tree linearization — the contract between condition trees and
+//! SSDL grammars.
+//!
+//! A condition tree is turned into the token stream an SSDL grammar parses:
+//!
+//! - a leaf `attr op const` emits `Attr, Op, Const`;
+//! - an internal node emits its children joined by its connector token,
+//!   with every **non-leaf child wrapped in parentheses**;
+//! - the **root is never parenthesized** — grammars match a bare root
+//!   sequence (e.g. `s_sizes -> sizes`) and a parenthesized nested
+//!   occurrence (`s_form -> style = $str ^ ( sizes )`) with separate rules;
+//! - the trivially-true condition (`SP(true, …)` downloads) emits the single
+//!   token [`CondToken::True`].
+//!
+//! This matches the paper's Example 4.1 style, where
+//! `make = "BMW" ^ price < 40000` is the flat token sequence a YACC parser
+//! would see.
+
+use crate::token::CondToken;
+use csqp_expr::CondTree;
+
+/// Linearizes a condition (`None` = the trivially-true condition).
+pub fn linearize(cond: Option<&CondTree>) -> Vec<CondToken> {
+    match cond {
+        None => vec![CondToken::True],
+        Some(t) => {
+            let mut out = Vec::with_capacity(t.n_nodes() * 3);
+            emit(t, &mut out, true);
+            out
+        }
+    }
+}
+
+fn emit(t: &CondTree, out: &mut Vec<CondToken>, is_root: bool) {
+    match t {
+        CondTree::Leaf(a) => {
+            out.push(CondToken::Attr(a.attr.clone()));
+            out.push(CondToken::Op(a.op));
+            out.push(CondToken::Const(a.value.clone()));
+        }
+        CondTree::Node(conn, children) => {
+            let sep = match conn {
+                csqp_expr::Connector::And => CondToken::AndSym,
+                csqp_expr::Connector::Or => CondToken::OrSym,
+            };
+            if !is_root {
+                out.push(CondToken::LParen);
+            }
+            for (i, c) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push(sep.clone());
+                }
+                emit(c, out, c.is_leaf());
+            }
+            if !is_root {
+                out.push(CondToken::RParen);
+            }
+        }
+    }
+}
+
+/// Renders a token stream as text (diagnostics; matches the condition text
+/// syntax closely enough for human reading).
+pub fn tokens_to_string(tokens: &[CondToken]) -> String {
+    tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csqp_expr::parse::parse_condition;
+
+    fn lin(cond: &str) -> String {
+        tokens_to_string(&linearize(Some(&parse_condition(cond).unwrap())))
+    }
+
+    #[test]
+    fn leaf_is_three_tokens() {
+        let toks = linearize(Some(&parse_condition("make = \"BMW\"").unwrap()));
+        assert_eq!(toks.len(), 3);
+        assert_eq!(tokens_to_string(&toks), "make = \"BMW\"");
+    }
+
+    #[test]
+    fn flat_conjunction_no_parens() {
+        assert_eq!(
+            lin("make = \"BMW\" ^ price < 40000"),
+            "make = \"BMW\" ^ price < 40000"
+        );
+    }
+
+    #[test]
+    fn nested_node_parenthesized() {
+        assert_eq!(
+            lin("style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\")"),
+            "style = \"sedan\" ^ ( size = \"compact\" _ size = \"midsize\" )"
+        );
+    }
+
+    #[test]
+    fn root_disjunction_bare() {
+        assert_eq!(
+            lin("size = \"compact\" _ size = \"midsize\""),
+            "size = \"compact\" _ size = \"midsize\""
+        );
+    }
+
+    #[test]
+    fn doubly_nested() {
+        assert_eq!(
+            lin("a = 1 _ (b = 2 ^ (c = 3 _ d = 4))"),
+            "a = 1 _ ( b = 2 ^ ( c = 3 _ d = 4 ) )"
+        );
+    }
+
+    #[test]
+    fn true_condition() {
+        assert_eq!(linearize(None), vec![CondToken::True]);
+    }
+
+    #[test]
+    fn same_connector_nesting_still_parenthesized() {
+        // Non-canonical tree a ^ (b ^ c): the nested node gets parens, so
+        // grammars see exactly the CT structure.
+        assert_eq!(lin("a = 1 ^ (b = 2 ^ c = 3)"), "a = 1 ^ ( b = 2 ^ c = 3 )");
+    }
+}

@@ -1,0 +1,365 @@
+//! Library of realistic source descriptions.
+//!
+//! These model the sources the paper discusses: the Internet bookstore of
+//! Example 1.1, the car shopping guide of Example 1.2, the car dealer of
+//! Example 4.1, the bank-with-PIN source of §4, plus generic capability
+//! classes used as baselines (full relational, conjunctive-only à la
+//! TSIMMIS/Information Manifold, download-only, opaque).
+
+use crate::ast::{sym, DescBuilder, SsdlDesc};
+use crate::form::{FormBuilder, FormField};
+use crate::parser::parse_ssdl;
+use csqp_expr::{CmpOp, ValueType};
+
+/// Example 1.1's bookstore (BarnesAndNoble as of 1/1/99): one author at a
+/// time, optional title keyword, optional subject — **no** disjunctions,
+/// no download.
+///
+/// Schema: `books(isbn, author, title, subject, price, publisher)`.
+pub fn bookstore() -> SsdlDesc {
+    FormBuilder::new("bookstore")
+        .field(FormField::optional("author", CmpOp::Eq, ValueType::Str))
+        .field(FormField::optional("title", CmpOp::Contains, ValueType::Str))
+        .field(FormField::optional("subject", CmpOp::Eq, ValueType::Str))
+        .exports(&["isbn", "author", "title", "subject", "price", "publisher"])
+        .build()
+        .expect("bookstore template is valid")
+}
+
+/// Example 1.2's car shopping guide: single style, make and price bound,
+/// plus a *list* of sizes (the only disjunction the form supports).
+///
+/// Schema: `listings(listing_id, style, size, make, model, price, year)`.
+pub fn car_guide() -> SsdlDesc {
+    FormBuilder::new("car_guide")
+        .field(FormField::optional("style", CmpOp::Eq, ValueType::Str))
+        .field(FormField::list("size", ValueType::Str))
+        .field(FormField::optional("make", CmpOp::Eq, ValueType::Str))
+        .field(FormField::optional("price", CmpOp::Le, ValueType::Int))
+        .exports(&["listing_id", "style", "size", "make", "model", "price", "year"])
+        .build()
+        .expect("car_guide template is valid")
+}
+
+/// Example 4.1's car dealer, verbatim (order-sensitive; see
+/// [`crate::closure::permutation_closure`]).
+///
+/// Schema: `cars(make, model, year, color, price)`.
+pub fn car_dealer() -> SsdlDesc {
+    parse_ssdl(
+        "source car_dealer {\n\
+         s1 -> make = $str ^ price < $int ;\n\
+         s2 -> make = $str ^ color = $str ;\n\
+         attributes :: s1 : { make, model, year, color } ;\n\
+         attributes :: s2 : { make, model, year } ;\n\
+         }",
+    )
+    .expect("car_dealer template is valid")
+}
+
+/// The §4 bank: account attributes by account number, but `balance` only
+/// when a PIN is supplied in the condition.
+///
+/// Schema: `accounts(acct_no, owner, branch, balance, pin)`.
+pub fn bank() -> SsdlDesc {
+    parse_ssdl(
+        "source bank {\n\
+         s1 -> acct_no = $str ;\n\
+         s2 -> acct_no = $str ^ pin = $str ;\n\
+         attributes :: s1 : { acct_no, owner, branch } ;\n\
+         attributes :: s2 : { acct_no, owner, branch, balance } ;\n\
+         }",
+    )
+    .expect("bank template is valid")
+}
+
+/// A flight-search form: origin and destination required, airline and a
+/// price cap optional.
+///
+/// Schema: `flights(flight_no, origin, dest, airline, price, departs)`.
+pub fn flights() -> SsdlDesc {
+    FormBuilder::new("flights")
+        .field(FormField::required("origin", CmpOp::Eq, ValueType::Str))
+        .field(FormField::required("dest", CmpOp::Eq, ValueType::Str))
+        .field(FormField::optional("airline", CmpOp::Eq, ValueType::Str))
+        .field(FormField::optional("price", CmpOp::Le, ValueType::Int))
+        .exports(&["flight_no", "origin", "dest", "airline", "price", "departs"])
+        .build()
+        .expect("flights template is valid")
+}
+
+/// A book-review site: look up reviews by a single isbn or by an isbn
+/// *list* (the capability a capability-sensitive bind join exploits),
+/// optionally with a rating bound.
+///
+/// Schema: `reviews(review_id, isbn, rating, reviewer)`.
+pub fn reviews() -> SsdlDesc {
+    parse_ssdl(
+        "source reviews {\n\
+         s1 -> isbn = $str ;\n\
+         s2 -> ilist ;\n\
+         s3 -> ( ilist ) ^ rating >= $int ;\n\
+         s4 -> isbn = $str ^ rating >= $int ;\n\
+         s5 -> rating >= $int ;\n\
+         ilist -> isbn = $str | isbn = $str _ ilist ;\n\
+         attributes :: s1 : { review_id, isbn, rating, reviewer } ;\n\
+         attributes :: s2 : { review_id, isbn, rating, reviewer } ;\n\
+         attributes :: s3 : { review_id, isbn, rating, reviewer } ;\n\
+         attributes :: s4 : { review_id, isbn, rating, reviewer } ;\n\
+         attributes :: s5 : { review_id, isbn, rating, reviewer } ;\n\
+         }",
+    )
+    .expect("reviews template is valid")
+}
+
+/// Operators offered per attribute type by [`full_relational`] and
+/// [`conjunctive_only`].
+fn ops_for(ty: ValueType) -> &'static [CmpOp] {
+    match ty {
+        ValueType::Str => &[CmpOp::Eq, CmpOp::Ne, CmpOp::Contains],
+        ValueType::Int | ValueType::Float => {
+            &[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
+        }
+        ValueType::Bool => &[CmpOp::Eq, CmpOp::Ne],
+    }
+}
+
+fn atom_rules(b: DescBuilder, attrs: &[(&str, ValueType)]) -> DescBuilder {
+    let mut b = b;
+    for (name, ty) in attrs {
+        for op in ops_for(*ty) {
+            b = b.rule("atomc", sym::atom(name, *op, *ty));
+        }
+    }
+    b
+}
+
+/// A source with *unrestricted* relational capability over the given
+/// attributes (what System R / DB2-class sources assume), including
+/// download. Used as the "conventional source" baseline.
+pub fn full_relational(name: &str, attrs: &[(&str, ValueType)]) -> SsdlDesc {
+    let export: Vec<&str> = attrs.iter().map(|(n, _)| *n).collect();
+    let mut b = DescBuilder::new(name)
+        // Any expression: a bare atom, a conjunction or a disjunction.
+        .rule("s_expr", vec![sym::nt("atomc")])
+        .rule("s_expr", vec![sym::nt("conj")])
+        .rule("s_expr", vec![sym::nt("disj")])
+        .rule("s_dl", vec![sym::tru()])
+        // conj: two or more ^-joined items.
+        .rule("conj", vec![sym::nt("citem"), sym::and(), sym::nt("conj")])
+        .rule("conj", vec![sym::nt("citem"), sym::and(), sym::nt("citem")])
+        .rule("citem", vec![sym::nt("atomc")])
+        .rule("citem", vec![sym::lparen(), sym::nt("disj"), sym::rparen()])
+        .rule("citem", vec![sym::lparen(), sym::nt("conj"), sym::rparen()])
+        // disj: two or more _-joined items.
+        .rule("disj", vec![sym::nt("ditem"), sym::or(), sym::nt("disj")])
+        .rule("disj", vec![sym::nt("ditem"), sym::or(), sym::nt("ditem")])
+        .rule("ditem", vec![sym::nt("atomc")])
+        .rule("ditem", vec![sym::lparen(), sym::nt("conj"), sym::rparen()])
+        .rule("ditem", vec![sym::lparen(), sym::nt("disj"), sym::rparen()]);
+    b = atom_rules(b, attrs);
+    b.exports("s_expr", &export)
+        .exports("s_dl", &export)
+        .build()
+        .expect("full_relational template is valid")
+}
+
+/// A conjunctive-queries-only source (the TSIMMIS / Information Manifold
+/// restriction of §2): conjunctions of atoms, no disjunction anywhere, no
+/// download.
+pub fn conjunctive_only(name: &str, attrs: &[(&str, ValueType)]) -> SsdlDesc {
+    let export: Vec<&str> = attrs.iter().map(|(n, _)| *n).collect();
+    let mut b = DescBuilder::new(name)
+        .rule("s_conj", vec![sym::nt("atomc")])
+        .rule("s_conj", vec![sym::nt("conj")])
+        .rule("conj", vec![sym::nt("atomc"), sym::and(), sym::nt("conj")])
+        .rule("conj", vec![sym::nt("atomc"), sym::and(), sym::nt("atomc")]);
+    b = atom_rules(b, attrs);
+    b.exports("s_conj", &export).build().expect("conjunctive_only template is valid")
+}
+
+/// A download-only source: the only supported query is `SP(true, A, R)`
+/// (Garlic's fallback of §2 is the *strategy* of always using this).
+pub fn download_only(name: &str, attrs: &[(&str, ValueType)]) -> SsdlDesc {
+    let export: Vec<&str> = attrs.iter().map(|(n, _)| *n).collect();
+    DescBuilder::new(name)
+        .rule("s_dl", vec![sym::tru()])
+        .exports("s_dl", &export)
+        .build()
+        .expect("download_only template is valid")
+}
+
+/// An opaque source supporting a single exact-match form on one attribute —
+/// the most restrictive useful capability.
+pub fn single_key_lookup(name: &str, key: &str, attrs: &[&str]) -> SsdlDesc {
+    DescBuilder::new(name)
+        .rule("s_key", sym::atom(key, CmpOp::Eq, ValueType::Str))
+        .exports("s_key", attrs)
+        .build()
+        .expect("single_key_lookup template is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::CompiledSource;
+    use csqp_expr::parse::parse_condition;
+    use std::collections::BTreeSet;
+
+    fn attrs(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn bookstore_capabilities() {
+        let r = CompiledSource::new(bookstore());
+        // Single author + keyword: supported (the paper's good sub-query).
+        let q1 = parse_condition(
+            "author = \"Sigmund Freud\" ^ title contains \"dreams\"",
+        )
+        .unwrap();
+        assert!(r.supports(Some(&q1), &attrs(&["isbn", "title", "price"])));
+        // Two authors at once: NOT supported (the paper's point).
+        let q2 = parse_condition(
+            "(author = \"Sigmund Freud\" _ author = \"Carl Jung\") ^ title contains \"dreams\"",
+        )
+        .unwrap();
+        assert!(!r.supports(Some(&q2), &attrs(&["isbn"])));
+        // Author disjunction alone: also unsupported.
+        let q3 = parse_condition(
+            "author = \"Sigmund Freud\" _ author = \"Carl Jung\"",
+        )
+        .unwrap();
+        assert!(!r.supports(Some(&q3), &attrs(&["isbn"])));
+        // Keyword alone: supported.
+        let q4 = parse_condition("title contains \"dreams\"").unwrap();
+        assert!(r.supports(Some(&q4), &attrs(&["isbn"])));
+        // No download.
+        assert!(r.check(None).is_empty());
+    }
+
+    #[test]
+    fn car_guide_capabilities() {
+        let r = CompiledSource::new(car_guide());
+        let good = parse_condition(
+            "style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\") ^ \
+             make = \"BMW\" ^ price <= 40000",
+        )
+        .unwrap();
+        assert!(r.supports(Some(&good), &attrs(&["listing_id", "model"])));
+        let target = parse_condition(
+            "style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\") ^ \
+             ((make = \"Toyota\" ^ price <= 20000) _ (make = \"BMW\" ^ price <= 40000))",
+        )
+        .unwrap();
+        assert!(!r.supports(Some(&target), &attrs(&["listing_id"])));
+    }
+
+    #[test]
+    fn bank_pin_gates_balance() {
+        let r = CompiledSource::new(bank());
+        let no_pin = parse_condition("acct_no = \"12345\"").unwrap();
+        assert!(r.supports(Some(&no_pin), &attrs(&["owner", "branch"])));
+        assert!(!r.supports(Some(&no_pin), &attrs(&["balance"])));
+        let with_pin = parse_condition("acct_no = \"12345\" ^ pin = \"0000\"").unwrap();
+        assert!(r.supports(Some(&with_pin), &attrs(&["balance", "owner"])));
+    }
+
+    #[test]
+    fn full_relational_accepts_arbitrary_expressions() {
+        let r = CompiledSource::new(full_relational(
+            "full",
+            &[("a", ValueType::Int), ("b", ValueType::Str), ("c", ValueType::Int)],
+        ));
+        for c in [
+            "a = 1",
+            "a = 1 ^ b = \"x\"",
+            "a = 1 ^ b = \"x\" ^ c >= 3",
+            "a = 1 _ b = \"x\"",
+            "(a = 1 ^ b = \"x\") _ c < 5",
+            "a = 1 ^ (b = \"x\" _ (a = 2 ^ c != 7))",
+            "b contains \"sub\"",
+        ] {
+            let ct = parse_condition(c).unwrap();
+            assert!(r.supports(Some(&ct), &attrs(&["a", "b", "c"])), "{c}");
+        }
+        assert!(r.supports(None, &attrs(&["a", "b", "c"])), "download");
+        // Unknown attribute rejected.
+        let bad = parse_condition("z = 1").unwrap();
+        assert!(!r.supports(Some(&bad), &attrs(&["a"])));
+    }
+
+    #[test]
+    fn conjunctive_only_rejects_disjunction() {
+        let r = CompiledSource::new(conjunctive_only(
+            "conj",
+            &[("a", ValueType::Int), ("b", ValueType::Str)],
+        ));
+        let conj = parse_condition("a = 1 ^ b = \"x\" ^ a >= 0").unwrap();
+        assert!(r.supports(Some(&conj), &attrs(&["a", "b"])));
+        let disj = parse_condition("a = 1 _ b = \"x\"").unwrap();
+        assert!(!r.supports(Some(&disj), &attrs(&["a"])));
+        let nested = parse_condition("a = 1 ^ (b = \"x\" _ b = \"y\")").unwrap();
+        assert!(!r.supports(Some(&nested), &attrs(&["a"])));
+        assert!(r.check(None).is_empty(), "no download");
+    }
+
+    #[test]
+    fn download_only_supports_nothing_but_true() {
+        let r = CompiledSource::new(download_only("dl", &[("a", ValueType::Int)]));
+        assert!(r.supports(None, &attrs(&["a"])));
+        let c = parse_condition("a = 1").unwrap();
+        assert!(!r.supports(Some(&c), &attrs(&["a"])));
+    }
+
+    #[test]
+    fn single_key_lookup_shape() {
+        let r = CompiledSource::new(single_key_lookup("kv", "isbn", &["isbn", "title"]));
+        let c = parse_condition("isbn = \"0-123\"").unwrap();
+        assert!(r.supports(Some(&c), &attrs(&["title"])));
+        let other = parse_condition("title contains \"x\"").unwrap();
+        assert!(!r.supports(Some(&other), &attrs(&["title"])));
+    }
+
+    #[test]
+    fn reviews_capabilities() {
+        let r = CompiledSource::new(reviews());
+        // Single isbn, isbn list (bare and with rating), rating browse.
+        for c in [
+            "isbn = \"isbn-0000001\"",
+            "isbn = \"a\" _ isbn = \"b\" _ isbn = \"c\"",
+            "(isbn = \"a\" _ isbn = \"b\") ^ rating >= 4",
+            "isbn = \"a\" ^ rating >= 4",
+            "rating >= 4",
+        ] {
+            let ct = parse_condition(c).unwrap();
+            assert!(r.supports(Some(&ct), &attrs(&["review_id", "rating"])), "{c}");
+        }
+        // Reviewer search is not offered.
+        let bad = parse_condition("reviewer = \"Reader 0001\"").unwrap();
+        assert!(!r.supports(Some(&bad), &attrs(&["review_id"])));
+        // No download.
+        assert!(r.check(None).is_empty());
+    }
+
+    #[test]
+    fn all_templates_validate() {
+        for d in [
+            bookstore(),
+            car_guide(),
+            car_dealer(),
+            bank(),
+            flights(),
+            reviews(),
+            full_relational("f", &[("a", ValueType::Int)]),
+            conjunctive_only("c", &[("a", ValueType::Int)]),
+            download_only("d", &[("a", ValueType::Int)]),
+            single_key_lookup("k", "a", &["a"]),
+        ] {
+            assert!(d.validate().is_ok(), "{}", d.name);
+            // And all survive a text round-trip.
+            let reparsed = parse_ssdl(&d.to_text()).unwrap();
+            assert_eq!(d, reparsed, "{} text round-trip", d.name);
+        }
+    }
+}

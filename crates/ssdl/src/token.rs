@@ -1,0 +1,162 @@
+//! The token alphabet shared by condition linearization and SSDL grammars.
+//!
+//! `Check(C, R)` works by linearizing the condition tree `C` into a stream of
+//! [`CondToken`]s and parsing that stream against the source's grammar. SSDL
+//! rule bodies are sequences of [`Term`]s, each of which matches a class of
+//! `CondToken`s.
+
+use csqp_expr::{CmpOp, Value, ValueType};
+use std::fmt;
+
+/// A token of a linearized condition expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CondToken {
+    /// An attribute name, e.g. `make`.
+    Attr(String),
+    /// A comparison operator.
+    Op(CmpOp),
+    /// A constant value.
+    Const(Value),
+    /// The `^` connector.
+    AndSym,
+    /// The `_` connector.
+    OrSym,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// The trivially-true condition (`SP(true, A, R)` download queries,
+    /// Algorithm 5.1 lines 11–12).
+    True,
+}
+
+impl fmt::Display for CondToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CondToken::Attr(a) => write!(f, "{a}"),
+            CondToken::Op(op) => write!(f, "{op}"),
+            CondToken::Const(v) => write!(f, "{v}"),
+            CondToken::AndSym => write!(f, "^"),
+            CondToken::OrSym => write!(f, "_"),
+            CondToken::LParen => write!(f, "("),
+            CondToken::RParen => write!(f, ")"),
+            CondToken::True => write!(f, "true"),
+        }
+    }
+}
+
+/// A terminal symbol of an SSDL grammar: a predicate over [`CondToken`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Matches exactly the named attribute token.
+    Attr(String),
+    /// Matches exactly this comparison operator.
+    Op(CmpOp),
+    /// Matches any constant of the given type (`$int`, `$float`, `$str`,
+    /// `$bool` in SSDL text).
+    Placeholder(ValueType),
+    /// Matches any constant of any type (`$any`).
+    AnyConst,
+    /// Matches exactly this constant (a *required field value*, e.g. a form
+    /// that only searches sedans: `style = "sedan"`).
+    ConstLit(Value),
+    /// `^`
+    AndSym,
+    /// `_`
+    OrSym,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// The trivially-true condition token (a source that permits downloads
+    /// has a rule such as `s_dl -> true`).
+    True,
+}
+
+impl Term {
+    /// Does this terminal match the given condition token?
+    pub fn matches(&self, tok: &CondToken) -> bool {
+        match (self, tok) {
+            (Term::Attr(a), CondToken::Attr(b)) => a == b,
+            (Term::Op(a), CondToken::Op(b)) => a == b,
+            (Term::Placeholder(ty), CondToken::Const(v)) => v.value_type() == *ty,
+            (Term::AnyConst, CondToken::Const(_)) => true,
+            (Term::ConstLit(a), CondToken::Const(b)) => a == b,
+            (Term::AndSym, CondToken::AndSym) => true,
+            (Term::OrSym, CondToken::OrSym) => true,
+            (Term::LParen, CondToken::LParen) => true,
+            (Term::RParen, CondToken::RParen) => true,
+            (Term::True, CondToken::True) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Attr(a) => write!(f, "{a}"),
+            Term::Op(op) => write!(f, "{op}"),
+            Term::Placeholder(ty) => write!(f, "${ty}"),
+            Term::AnyConst => write!(f, "$any"),
+            Term::ConstLit(v) => write!(f, "{v}"),
+            Term::AndSym => write!(f, "^"),
+            Term::OrSym => write!(f, "_"),
+            Term::LParen => write!(f, "("),
+            Term::RParen => write!(f, ")"),
+            Term::True => write!(f, "true"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_terms_match_by_name() {
+        assert!(Term::Attr("make".into()).matches(&CondToken::Attr("make".into())));
+        assert!(!Term::Attr("make".into()).matches(&CondToken::Attr("model".into())));
+        assert!(!Term::Attr("make".into()).matches(&CondToken::AndSym));
+    }
+
+    #[test]
+    fn placeholders_match_by_type() {
+        let t = Term::Placeholder(ValueType::Str);
+        assert!(t.matches(&CondToken::Const(Value::str("BMW"))));
+        assert!(!t.matches(&CondToken::Const(Value::Int(42))));
+        assert!(Term::Placeholder(ValueType::Int).matches(&CondToken::Const(Value::Int(42))));
+        assert!(Term::AnyConst.matches(&CondToken::Const(Value::Bool(true))));
+        assert!(!Term::AnyConst.matches(&CondToken::Attr("x".into())));
+    }
+
+    #[test]
+    fn const_literals_match_exactly() {
+        let t = Term::ConstLit(Value::str("sedan"));
+        assert!(t.matches(&CondToken::Const(Value::str("sedan"))));
+        assert!(!t.matches(&CondToken::Const(Value::str("coupe"))));
+    }
+
+    #[test]
+    fn structural_tokens() {
+        assert!(Term::AndSym.matches(&CondToken::AndSym));
+        assert!(Term::OrSym.matches(&CondToken::OrSym));
+        assert!(Term::LParen.matches(&CondToken::LParen));
+        assert!(Term::RParen.matches(&CondToken::RParen));
+        assert!(Term::True.matches(&CondToken::True));
+        assert!(!Term::AndSym.matches(&CondToken::OrSym));
+    }
+
+    #[test]
+    fn ops_match_exactly() {
+        assert!(Term::Op(CmpOp::Le).matches(&CondToken::Op(CmpOp::Le)));
+        assert!(!Term::Op(CmpOp::Le).matches(&CondToken::Op(CmpOp::Lt)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::Placeholder(ValueType::Int).to_string(), "$int");
+        assert_eq!(Term::ConstLit(Value::str("sedan")).to_string(), "\"sedan\"");
+        assert_eq!(CondToken::AndSym.to_string(), "^");
+    }
+}

@@ -1,0 +1,65 @@
+//! The §4 bank — attribute exports gated on condition contents.
+//!
+//! "A bank may allow the retrieval of some attributes of an account given
+//! its account number, but may refuse to give the account balance unless a
+//! PIN number is specified in the query condition."
+//!
+//! ```sh
+//! cargo run -p csqp --example bank_pin
+//! ```
+
+use csqp::prelude::*;
+use csqp::relation::datagen::accounts;
+use csqp::ssdl::templates;
+use std::sync::Arc;
+
+fn main() {
+    let source = Arc::new(Source::new(
+        accounts(5, 1_000),
+        templates::bank(),
+        CostParams::default(),
+    ));
+    println!("capabilities:\n{}", source.gate_view().desc);
+    let mediator = Mediator::new(source.clone());
+
+    // Without the PIN: owner and branch are retrievable, balance is not.
+    let no_pin =
+        TargetQuery::parse(r#"acct_no = "acct-00042""#, &["owner", "branch"]).unwrap();
+    let out = mediator.run(&no_pin).unwrap();
+    println!("without PIN, {no_pin}:");
+    println!("  plan: {}", out.planned.plan);
+    for row in out.rows.rows() {
+        println!("  {row}");
+    }
+
+    let balance_no_pin =
+        TargetQuery::parse(r#"acct_no = "acct-00042""#, &["owner", "balance"]).unwrap();
+    match mediator.plan(&balance_no_pin) {
+        Err(e) => println!("\nasking for the balance without a PIN: REFUSED — {e}"),
+        Ok(p) => panic!("balance leaked without PIN: {}", p.plan),
+    }
+
+    // With the PIN in the condition, the s2 form exports the balance.
+    let with_pin = TargetQuery::parse(
+        r#"acct_no = "acct-00042" ^ pin = "pin-00042""#,
+        &["owner", "branch", "balance"],
+    )
+    .unwrap();
+    let out = mediator.run(&with_pin).unwrap();
+    println!("\nwith PIN, {with_pin}:");
+    println!("  plan: {}", out.planned.plan);
+    for row in out.rows.rows() {
+        println!("  {row}");
+    }
+
+    // A wrong PIN parses fine (the capability is syntactic) but matches no
+    // account row — authentication by data, capability by grammar.
+    let wrong_pin = TargetQuery::parse(
+        r#"acct_no = "acct-00042" ^ pin = "pin-99999""#,
+        &["balance"],
+    )
+    .unwrap();
+    let out = mediator.run(&wrong_pin).unwrap();
+    println!("\nwith a wrong PIN: {} rows returned", out.rows.len());
+    assert!(out.rows.is_empty());
+}

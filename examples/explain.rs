@@ -1,0 +1,81 @@
+//! Looking inside the planners: EPG's Choice-space (§5.3), IPG's pruned
+//! search (§6.4), and what each baseline would do, for one query.
+//!
+//! ```sh
+//! cargo run --release -p csqp --example explain
+//! ```
+
+use csqp::core::cache::CheckCache;
+use csqp::core::epg::{epg, EpgContext};
+use csqp::core::mark::mark;
+use csqp::plan::explain::explain;
+use csqp::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let source = Arc::new(Source::new(
+        csqp::relation::datagen::cars(42, 500),
+        csqp::ssdl::templates::car_dealer(),
+        CostParams::default(),
+    ));
+    let cond_text =
+        r#"(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")"#;
+    let query = TargetQuery::parse(cond_text, &["model", "year"]).unwrap();
+    println!("target query: {query}\n");
+
+    // --- The mark module's view (§5.2) ---
+    let cache = CheckCache::new(source.planning_view());
+    let ct = parse_condition(cond_text).unwrap();
+    let marked = mark(&ct, &cache);
+    println!("mark module (per-node exports):");
+    fn show(m: &csqp::core::mark::Marked, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let exports = if m.export.is_empty() {
+            "∅".to_string()
+        } else {
+            m.export
+                .sets()
+                .iter()
+                .map(|s| format!("{{{}}}", s.iter().cloned().collect::<Vec<_>>().join(",")))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        println!("{pad}{}  →  {exports}", m.cond);
+        for c in &m.children {
+            show(c, depth + 1);
+        }
+    }
+    show(&marked, 0);
+
+    // --- EPG's exhaustive Choice-space (§5.3) ---
+    let mut ctx = EpgContext::new(&cache);
+    let space = epg(&marked, &query.attrs, &mut ctx).expect("feasible");
+    println!(
+        "\nEPG plan space ({} concrete alternatives, {} EPG calls):",
+        space.n_alternatives(),
+        ctx.calls
+    );
+    print!("{}", explain(&space));
+
+    // --- GenCompact's answer ---
+    let planned = Mediator::new(source.clone()).plan(&query).unwrap();
+    println!("GenCompact chose (est. cost {:.1}):", planned.est_cost);
+    print!("{}", explain(&planned.plan));
+    println!(
+        "  [{} CTs, {} IPG calls, {} Check calls, max Q {}]",
+        planned.report.cts_processed,
+        planned.report.generator_calls,
+        planned.report.checks,
+        planned.report.max_q
+    );
+
+    // --- What the baselines would do ---
+    println!("\nbaselines:");
+    for scheme in [Scheme::Cnf, Scheme::Dnf, Scheme::Disco, Scheme::NaivePush] {
+        let m = Mediator::new(source.clone()).with_scheme(scheme);
+        match m.plan(&query) {
+            Ok(p) => println!("  {:<14} (est {:>8.1})  {}", scheme.name(), p.est_cost, p.plan),
+            Err(_) => println!("  {:<14} INFEASIBLE", scheme.name()),
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Edge-case integration tests for planner corners: antichain exports
+//! driving plan choice, ∨-node subset grouping via set cover, PR2-off
+//! multi-sub-plan tracking, and memoization behavior.
+
+use csqp::prelude::*;
+use csqp_plan::is_feasible;
+use std::sync::Arc;
+
+fn small_relation() -> Relation {
+    let schema = Schema::new(
+        "t",
+        vec![
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Int),
+        ],
+        &["k"],
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..300i64)
+        .map(|i| {
+            vec![Value::Int(i), Value::Int(i % 7), Value::Int(i % 5), Value::Int(i % 3)]
+        })
+        .collect();
+    Relation::from_rows(schema, rows)
+}
+
+fn source_from(text: &str) -> Arc<Source> {
+    Arc::new(Source::new(small_relation(), parse_ssdl(text).unwrap(), CostParams::new(10.0, 1.0)))
+}
+
+/// Two forms accept the same condition but export different attribute sets;
+/// the planner must route each projection through a form that covers it.
+#[test]
+fn antichain_exports_route_projections() {
+    let s = source_from(
+        r#"
+        source anti {
+          s1 -> a = $int ;
+          s2 -> a = $any ;
+          attributes :: s1 : { k, b } ;
+          attributes :: s2 : { k, c } ;
+        }
+        "#,
+    );
+    // {k, b} fits s1; {k, c} fits s2; both plan as pure queries.
+    for attrs in [vec!["k", "b"], vec!["k", "c"]] {
+        let q = TargetQuery::parse("a = 1", &attrs).unwrap();
+        let planned = Mediator::new(s.clone()).plan(&q).unwrap();
+        assert!(matches!(planned.plan, Plan::SourceQuery { .. }), "{:?}", attrs);
+    }
+    // {k, b, c} fits NEITHER single form: the pure plan is infeasible, and
+    // no other capability exists, so the query fails — union coverage would
+    // be unsound and must not be assumed.
+    let q = TargetQuery::parse("a = 1", &["k", "b", "c"]).unwrap();
+    assert!(Mediator::new(s.clone()).plan(&q).is_err());
+}
+
+/// The ∨-node set-cover machinery groups disjuncts into as few supported
+/// source queries as the cost model favors.
+#[test]
+fn or_node_grouping_minimizes_round_trips() {
+    // The list form accepts any a-disjunction; with k1 = 50 a single list
+    // query beats per-value queries.
+    let s = Arc::new(Source::new(
+        small_relation(),
+        parse_ssdl(
+            r#"
+            source lists {
+              s1 -> alist ;
+              alist -> a = $int | a = $int _ alist ;
+              attributes :: s1 : { k, a } ;
+            }
+            "#,
+        )
+        .unwrap(),
+        CostParams::new(50.0, 1.0),
+    ));
+    let q = TargetQuery::parse("a = 1 _ a = 2 _ a = 3 _ a = 4", &["k"]).unwrap();
+    let planned = Mediator::new(s.clone()).plan(&q).unwrap();
+    assert_eq!(
+        planned.plan.source_queries().len(),
+        1,
+        "one list query, not four: {}",
+        planned.plan
+    );
+    let out = Mediator::new(s).run(&q).unwrap();
+    assert_eq!(out.meter.queries, 1);
+}
+
+/// When the source only accepts *pairs* of disjuncts, the cover uses two
+/// two-value queries for a four-way disjunction.
+#[test]
+fn or_node_cover_with_bounded_lists() {
+    let s = Arc::new(Source::new(
+        small_relation(),
+        parse_ssdl(
+            r#"
+            source pairs {
+              s1 -> a = $int _ a = $int ;
+              s2 -> a = $int ;
+              attributes :: s1 : { k, a } ;
+              attributes :: s2 : { k, a } ;
+            }
+            "#,
+        )
+        .unwrap(),
+        CostParams::new(50.0, 1.0),
+    ));
+    let q = TargetQuery::parse("a = 1 _ a = 2 _ a = 3 _ a = 4", &["k"]).unwrap();
+    let planned = Mediator::new(s.clone()).plan(&q).unwrap();
+    assert_eq!(
+        planned.plan.source_queries().len(),
+        2,
+        "two pair-queries beat four singles under k1=50: {}",
+        planned.plan
+    );
+    // And the answer is exact.
+    let out = Mediator::new(s.clone()).run(&q).unwrap();
+    let want = csqp::relation::ops::project(
+        &csqp::relation::ops::select(s.relation(), Some(&q.cond)),
+        &["k"],
+    )
+    .unwrap();
+    assert_eq!(out.rows, want);
+}
+
+/// Overlapping set-cover solutions stay correct: covering {1,2} ∪ {2,3}
+/// double-fetches disjunct 2 but union semantics dedupe it.
+#[test]
+fn or_node_overlapping_cover_is_exact() {
+    let s = Arc::new(Source::new(
+        small_relation(),
+        parse_ssdl(
+            r#"
+            source overlap {
+              s1 -> a = 1 _ a = 2 ;
+              s2 -> a = 2 _ a = 3 ;
+              attributes :: s1 : { k, a } ;
+              attributes :: s2 : { k, a } ;
+            }
+            "#,
+        )
+        .unwrap(),
+        CostParams::new(10.0, 1.0),
+    ));
+    let q = TargetQuery::parse("a = 1 _ a = 2 _ a = 3", &["k"]).unwrap();
+    let out = Mediator::new(s.clone()).run(&q).unwrap();
+    let want = csqp::relation::ops::project(
+        &csqp::relation::ops::select(s.relation(), Some(&q.cond)),
+        &["k"],
+    )
+    .unwrap();
+    assert_eq!(out.rows, want, "{}", out.planned.plan);
+    assert_eq!(out.meter.queries, 2);
+}
+
+/// Literal-constant grammars: only the exact fixed value parses, so plans
+/// route other values through local evaluation (or fail without fallback).
+#[test]
+fn literal_constant_forms() {
+    let s = source_from(
+        r#"
+        source fixed {
+          s1 -> a = 1 ;
+          s2 -> b = $int ;
+          attributes :: s1 : { k, a, b, c } ;
+          attributes :: s2 : { k, b } ;
+        }
+        "#,
+    );
+    // a = 1 is the fixed form: pure.
+    let q1 = TargetQuery::parse("a = 1", &["k"]).unwrap();
+    assert!(matches!(
+        Mediator::new(s.clone()).plan(&q1).unwrap().plan,
+        Plan::SourceQuery { .. }
+    ));
+    // a = 2 is not expressible and nothing else covers attribute a: fail.
+    let q2 = TargetQuery::parse("a = 2", &["k"]).unwrap();
+    assert!(Mediator::new(s.clone()).plan(&q2).is_err());
+    // a = 2 ^ b = 3: push b = 3, filter a = 2 locally? Needs `a` exported
+    // by s2 — it is not, so this also fails.
+    let q3 = TargetQuery::parse("a = 2 ^ b = 3", &["k"]).unwrap();
+    assert!(Mediator::new(s.clone()).plan(&q3).is_err());
+    // a = 1 ^ b = 3: the fixed form exports everything; pure or nested both
+    // work and the answer is exact.
+    let q4 = TargetQuery::parse("a = 1 ^ b = 3", &["k"]).unwrap();
+    let out = Mediator::new(s.clone()).run(&q4).unwrap();
+    let want = csqp::relation::ops::project(
+        &csqp::relation::ops::select(s.relation(), Some(&q4.cond)),
+        &["k"],
+    )
+    .unwrap();
+    assert_eq!(out.rows, want);
+}
+
+/// Disabling PR2 keeps multiple sub-plans per subset but cannot change the
+/// optimum; the search simply grows.
+#[test]
+fn pr2_off_grows_search_not_cost() {
+    let s = source_from(
+        r#"
+        source multi {
+          s1 -> a = $int ;
+          s2 -> b = $int ;
+          s3 -> a = $int ^ b = $int ;
+          s4 -> b = $int ^ c = $int ;
+          attributes :: s1 : { k, a, b, c } ;
+          attributes :: s2 : { k, b, c } ;
+          attributes :: s3 : { k } ;
+          attributes :: s4 : { k, b } ;
+        }
+        "#,
+    );
+    let q = TargetQuery::parse("a = 1 ^ b = 2 ^ c = 0", &["k"]).unwrap();
+    let with_pr2 = Mediator::new(s.clone()).plan(&q).unwrap();
+    let cfg = GenCompactConfig {
+        ipg: IpgConfig { pr2: false, ..IpgConfig::default() },
+        ..Default::default()
+    };
+    let without = Mediator::new(s.clone()).with_compact_config(cfg).plan(&q).unwrap();
+    assert!((with_pr2.est_cost - without.est_cost).abs() < 1e-9);
+    assert!(without.report.plans_considered >= with_pr2.report.plans_considered);
+}
+
+/// IPG memoizes recursive calls: a repeated sub-condition costs one search.
+#[test]
+fn ipg_memoizes_repeated_subconditions() {
+    let s = source_from(
+        r#"
+        source memo {
+          s1 -> a = $int ;
+          s2 -> b = $int ;
+          attributes :: s1 : { k, a, b, c } ;
+          attributes :: s2 : { k, b } ;
+        }
+        "#,
+    );
+    // The same disjunct (b=2 branch) appears twice after rewriting; the
+    // planner's generator-call count stays far below the unmemoized bound.
+    let q = TargetQuery::parse("(a = 1 ^ b = 2) _ (a = 3 ^ b = 2)", &["k"]).unwrap();
+    let planned = Mediator::new(s.clone()).plan(&q).unwrap();
+    assert!(is_feasible(&planned.plan, &s));
+    assert!(
+        planned.report.generator_calls < 2_000,
+        "memoized search stays small: {}",
+        planned.report.generator_calls
+    );
+}
+
+/// Empty projection (A = ∅) is legal: existence-style queries plan and
+/// return projected-empty tuples (set semantics: 0 or 1 row).
+#[test]
+fn empty_projection_queries() {
+    let s = source_from(
+        r#"
+        source e {
+          s1 -> a = $int ;
+          attributes :: s1 : { k, a } ;
+        }
+        "#,
+    );
+    let q = TargetQuery::new(parse_condition("a = 1").unwrap(), csqp_plan::attrs::<&str>([]));
+    let out = Mediator::new(s).run(&q).unwrap();
+    // π_∅ of a non-empty result is a single empty tuple under set semantics.
+    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.rows.schema().columns.len(), 0);
+}
+
+/// Deeply nested (depth-5) conditions canonicalize and plan on a
+/// full-relational source without stack or budget surprises.
+#[test]
+fn deep_nesting_smoke() {
+    let desc = csqp::ssdl::templates::full_relational(
+        "full",
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Int),
+        ],
+    );
+    let s = Arc::new(Source::new(small_relation(), desc, CostParams::new(10.0, 1.0)));
+    let cond = "a = 1 ^ (b = 2 _ (c = 0 ^ (a = 3 _ (b = 4 ^ c = 1))))";
+    let q = TargetQuery::parse(cond, &["k"]).unwrap();
+    let out = Mediator::new(s.clone()).run(&q).unwrap();
+    let want = csqp::relation::ops::project(
+        &csqp::relation::ops::select(s.relation(), Some(&q.cond)),
+        &["k"],
+    )
+    .unwrap();
+    assert_eq!(out.rows, want);
+}

@@ -1,0 +1,205 @@
+//! Failure-path integration tests: the stack must fail *loudly and
+//! accurately* — typed errors with context, truncation reported, no silent
+//! wrong answers — when queries are unanswerable, plans are malformed, or
+//! budgets bite.
+
+use csqp::expr::rewrite::RewriteBudget;
+use csqp::prelude::*;
+use csqp_core::types::PlanError;
+use csqp_plan::exec::ExecError;
+use csqp_source::SourceError;
+use std::sync::Arc;
+
+fn dealer() -> Arc<Source> {
+    Arc::new(Source::new(
+        csqp::relation::datagen::cars(3, 200),
+        csqp::ssdl::templates::car_dealer(),
+        CostParams::default(),
+    ))
+}
+
+#[test]
+fn unsupported_source_query_error_carries_context() {
+    let s = dealer();
+    let q = TargetQuery::parse("year = 1995", &["model"]).unwrap();
+    let err = Mediator::new(s).plan(&q).unwrap_err();
+    match err {
+        PlanError::NoFeasiblePlan { query, scheme } => {
+            assert!(query.contains("year = 1995"), "{query}");
+            assert_eq!(scheme, "GenCompact");
+        }
+        other => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn executor_surfaces_gate_rejections() {
+    let s = dealer();
+    // Hand-built plan whose source query the gate cannot accept in any
+    // ordering (year is not a grammar token at all).
+    let bad = Plan::source(
+        Some(parse_condition("year = 1995").unwrap()),
+        attrs(["model"]),
+    );
+    match execute(&bad, &s) {
+        Err(ExecError::Source(SourceError::Unsupported { source, condition, .. })) => {
+            assert_eq!(source, "car_dealer");
+            assert!(condition.contains("year"));
+        }
+        other => panic!("expected gate rejection, got {other:?}"),
+    }
+    assert_eq!(s.meter().rejected, 1, "rejections are metered");
+}
+
+#[test]
+fn projection_beyond_exports_is_rejected_not_truncated() {
+    let s = dealer();
+    // s2 (make ^ color) exports {make, model, year} — price must NOT be
+    // silently dropped or zero-filled.
+    let plan = Plan::source(
+        Some(parse_condition("make = \"BMW\" ^ color = \"red\"").unwrap()),
+        attrs(["model", "price"]),
+    );
+    assert!(matches!(execute(&plan, &s), Err(ExecError::Source(_))));
+}
+
+#[test]
+fn empty_relation_is_not_an_error() {
+    let schema = Schema::new(
+        "empty",
+        vec![("k", ValueType::Int), ("a", ValueType::Int)],
+        &["k"],
+    )
+    .unwrap();
+    let s = Arc::new(Source::new(
+        Relation::empty(schema),
+        csqp::ssdl::templates::full_relational(
+            "empty",
+            &[("k", ValueType::Int), ("a", ValueType::Int)],
+        ),
+        CostParams::default(),
+    ));
+    let q = TargetQuery::parse("a = 1", &["k"]).unwrap();
+    let out = Mediator::new(s).run(&q).unwrap();
+    assert!(out.rows.is_empty());
+    assert_eq!(out.meter.tuples_shipped, 0);
+}
+
+#[test]
+fn zero_selectivity_queries_return_empty_not_error() {
+    let s = dealer();
+    let q = TargetQuery::parse(
+        "make = \"NoSuchMake\" ^ price < 40000",
+        &["model", "year"],
+    )
+    .unwrap();
+    let out = Mediator::new(s).run(&q).unwrap();
+    assert!(out.rows.is_empty());
+}
+
+#[test]
+fn genmodular_budget_exhaustion_is_reported_not_silent() {
+    let s = dealer();
+    let q = TargetQuery::parse(
+        "price < 40000 ^ color = \"red\" ^ make = \"BMW\"",
+        &["model"],
+    )
+    .unwrap();
+    let tiny = GenModularConfig {
+        rewrite_budget: RewriteBudget { max_cts: 3, max_atoms: 6, max_depth: 2 },
+        ..Default::default()
+    };
+    let m = Mediator::new(s).with_scheme(Scheme::GenModular).with_modular_config(tiny);
+    match m.plan(&q) {
+        Ok(p) => assert!(p.report.truncated, "must confess incompleteness"),
+        Err(PlanError::NoFeasiblePlan { .. }) => {} // honest failure
+        Err(other) => panic!("unexpected error {other:?}"),
+    }
+}
+
+#[test]
+fn huge_fanout_truncates_with_download_fallback() {
+    // 20-way disjunction exceeds IPG's default per-node cap only when
+    // configured low; with a download rule the planner still succeeds and
+    // reports truncation.
+    let desc = parse_ssdl(
+        "source wide {\n\
+         s1 -> a = $int ;\n\
+         s_dl -> true ;\n\
+         attributes :: s1 : { k, a } ;\n\
+         attributes :: s_dl : { k, a } ;\n}",
+    )
+    .unwrap();
+    let schema =
+        Schema::new("t", vec![("k", ValueType::Int), ("a", ValueType::Int)], &["k"]).unwrap();
+    let rows: Vec<Vec<Value>> =
+        (0..100i64).map(|i| vec![Value::Int(i), Value::Int(i % 30)]).collect();
+    let s = Arc::new(Source::new(
+        Relation::from_rows(schema, rows),
+        desc,
+        CostParams::default(),
+    ));
+    let parts: Vec<String> = (0..20).map(|i| format!("a = {i}")).collect();
+    let q = TargetQuery::parse(&parts.join(" _ "), &["k"]).unwrap();
+    let cfg = GenCompactConfig {
+        ipg: IpgConfig { max_children: 8, ..IpgConfig::default() },
+        ..Default::default()
+    };
+    let m = Mediator::new(s.clone()).with_compact_config(cfg);
+    let planned = m.plan(&q).expect("download fallback exists");
+    assert!(planned.report.truncated, "fan-out cap must be confessed");
+    // And the fallback plan is still exact.
+    let out = m.run(&q).unwrap();
+    let want = csqp::relation::ops::project(
+        &csqp::relation::ops::select(s.relation(), Some(&q.cond)),
+        &["k"],
+    )
+    .unwrap();
+    assert_eq!(out.rows, want);
+}
+
+#[test]
+fn degenerate_conditions_plan_fine() {
+    let s = dealer();
+    // Duplicate atoms, single-disjunct Or shapes after parsing, redundant
+    // conjunction — all must plan and answer exactly.
+    for cond in [
+        "make = \"BMW\" ^ make = \"BMW\" ^ price < 40000",
+        "(make = \"BMW\" _ make = \"BMW\") ^ price < 40000",
+        "make = \"BMW\" ^ price < 40000 ^ price < 40000",
+    ] {
+        let q = TargetQuery::parse(cond, &["model"]).unwrap();
+        let out = Mediator::new(s.clone()).run(&q).unwrap_or_else(|e| panic!("{cond}: {e}"));
+        let want = csqp::relation::ops::project(
+            &csqp::relation::ops::select(s.relation(), Some(&q.cond)),
+            &["model"],
+        )
+        .unwrap();
+        assert_eq!(out.rows, want, "{cond}");
+    }
+}
+
+#[test]
+fn contradictory_condition_returns_empty() {
+    let s = dealer();
+    let q = TargetQuery::parse(
+        "make = \"BMW\" ^ make = \"Toyota\" ^ price < 40000",
+        &["model"],
+    )
+    .unwrap();
+    // GenCompact may or may not find this feasible (the 3-atom conjunction
+    // isn't a form), but if it plans, the answer must be empty.
+    if let Ok(out) = Mediator::new(s).run(&q) {
+        assert!(out.rows.is_empty());
+    }
+}
+
+#[test]
+fn mediator_error_display_is_informative() {
+    let s = dealer();
+    let q = TargetQuery::parse("year = 1995", &["model"]).unwrap();
+    let err = Mediator::new(s).run(&q).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("GenCompact"), "{text}");
+    assert!(text.contains("no feasible plan"), "{text}");
+}

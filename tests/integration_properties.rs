@@ -1,0 +1,234 @@
+//! Property-based integration tests: random conditions exercised through
+//! the whole stack (generation → SSDL Check → planning → execution), with
+//! the direct-evaluation oracle as ground truth.
+
+use csqp::expr::canonical::{canonicalize, is_canonical};
+use csqp::expr::gen::{CondGen, CondGenConfig, GenAttr};
+use csqp::expr::rewrite::{enumerate_compact, RewriteBudget};
+use csqp::expr::semantics::prop_equivalent;
+use csqp::prelude::*;
+use csqp::relation::ops::{project, select};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn gen_attrs() -> Vec<GenAttr> {
+    vec![
+        GenAttr::ints("a", 0, 6, 1),
+        GenAttr::ints("b", 0, 4, 1),
+        GenAttr::ints("c", 0, 2, 1),
+    ]
+}
+
+fn random_condition(seed: u64, n_atoms: usize, depth: usize) -> CondTree {
+    let mut g = CondGen::new(seed, gen_attrs());
+    g.tree(&CondGenConfig {
+        n_atoms,
+        max_depth: depth,
+        and_bias: 0.6,
+        eq_bias: 0.8,
+    })
+}
+
+/// A source with full relational capability over (k, a, b, c) — every
+/// generated condition must be supported there.
+fn full_source() -> Arc<Source> {
+    let desc = csqp::ssdl::templates::full_relational(
+        "full",
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Int),
+        ],
+    );
+    Arc::new(Source::new(test_relation(), desc, CostParams::new(10.0, 1.0)))
+}
+
+/// A limited source: conjunctive forms only on a/b, list on c.
+fn limited_source() -> Arc<Source> {
+    let desc = parse_ssdl(
+        r#"
+        source limited {
+          s1 -> a = $int ;
+          s2 -> a = $int ^ b = $int ;
+          s3 -> b = $int ;
+          s4 -> clist ;
+          clist -> c = $int | c = $int _ clist ;
+          attributes :: s1 : { k, a, b, c } ;
+          attributes :: s2 : { k, a, b, c } ;
+          attributes :: s3 : { k, b, c } ;
+          attributes :: s4 : { k, c } ;
+        }
+        "#,
+    )
+    .unwrap();
+    Arc::new(Source::new(test_relation(), desc, CostParams::new(10.0, 1.0)))
+}
+
+fn test_relation() -> Relation {
+    let schema = Schema::new(
+        "t",
+        vec![
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Int),
+        ],
+        &["k"],
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..400i64)
+        .map(|i| {
+            vec![Value::Int(i), Value::Int(i % 7), Value::Int(i % 5), Value::Int(i % 3)]
+        })
+        .collect();
+    Relation::from_rows(schema, rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full-relational sources support every generated condition, and the
+    /// pure pushdown equals the oracle.
+    #[test]
+    fn full_capability_supports_everything(seed in 0u64..10_000, n in 1usize..6) {
+        let source = full_source();
+        let cond = random_condition(seed, n, 3);
+        let q = TargetQuery::new(cond.clone(), csqp_plan::attrs(["k"]));
+        let mediator = Mediator::new(source.clone());
+        let out = mediator.run(&q).expect("full capability plans everything");
+        let want = project(&select(source.relation(), Some(&cond)), &["k"]).unwrap();
+        prop_assert_eq!(out.rows, want);
+    }
+
+    /// On the limited source, whenever GenCompact finds a plan, executing it
+    /// matches the oracle; and it never emits unsupported source queries.
+    #[test]
+    fn limited_capability_plans_are_sound(seed in 0u64..10_000, n in 1usize..6) {
+        let source = limited_source();
+        let cond = random_condition(seed, n, 3);
+        let q = TargetQuery::new(cond.clone(), csqp_plan::attrs(["k"]));
+        let mediator = Mediator::new(source.clone());
+        if let Ok(out) = mediator.run(&q) {
+            let want = project(&select(source.relation(), Some(&cond)), &["k"]).unwrap();
+            prop_assert_eq!(out.rows, want);
+            prop_assert_eq!(out.meter.rejected, 0);
+        }
+    }
+
+    /// The GenCompact rewrite module only produces canonical, propositionally
+    /// equivalent CTs.
+    #[test]
+    fn compact_rewrites_preserve_equivalence(seed in 0u64..10_000, n in 2usize..6) {
+        let cond = random_condition(seed, n, 3);
+        let result = enumerate_compact(&cond, RewriteBudget::compact());
+        for ct in &result.cts {
+            prop_assert!(is_canonical(ct), "{ct}");
+            prop_assert_eq!(prop_equivalent(&cond, ct), Some(true), "{}", ct);
+        }
+    }
+
+    /// Canonicalization is idempotent and equivalence-preserving on random
+    /// trees.
+    #[test]
+    fn canonicalization_properties(seed in 0u64..10_000, n in 1usize..8) {
+        let cond = random_condition(seed, n, 4);
+        let canon = canonicalize(&cond);
+        prop_assert!(is_canonical(&canon));
+        prop_assert_eq!(canonicalize(&canon), canon.clone());
+        prop_assert_eq!(prop_equivalent(&cond, &canon), Some(true));
+    }
+
+    /// Baseline plans, when feasible, are also exact (CNF and DNF must not
+    /// return wrong answers, just possibly wasteful ones).
+    #[test]
+    fn baseline_plans_are_exact_when_feasible(seed in 0u64..5_000, n in 1usize..5) {
+        let source = limited_source();
+        let cond = random_condition(seed, n, 3);
+        let q = TargetQuery::new(cond.clone(), csqp_plan::attrs(["k"]));
+        let want = project(&select(source.relation(), Some(&cond)), &["k"]).unwrap();
+        for scheme in [Scheme::Cnf, Scheme::Dnf, Scheme::Disco, Scheme::NaivePush] {
+            let mediator = Mediator::new(source.clone()).with_scheme(scheme);
+            if let Ok(out) = mediator.run(&q) {
+                prop_assert_eq!(out.rows, want.clone(), "{} on {}", scheme, cond);
+            }
+        }
+    }
+
+    /// The §6.4 optimality theorem as a property: over RANDOM capability
+    /// descriptions and small random queries, GenCompact is never costlier
+    /// than exhaustive GenModular (budgets verified untruncated).
+    #[test]
+    fn gencompact_optimal_vs_exhaustive_genmodular(
+        cap_seed in 0u64..2_000,
+        q_seed in 0u64..10_000,
+        n in 1usize..4,
+    ) {
+        use csqp::expr::rewrite::RewriteBudget;
+        use csqp_bench::workload::{random_capability, exp_relation, CapabilityParams};
+        let desc = random_capability(cap_seed, &CapabilityParams::default());
+        let source = Arc::new(Source::new(
+            exp_relation(cap_seed + 9, 300),
+            desc,
+            CostParams::new(25.0, 1.0),
+        ));
+        let cond = csqp_bench::workload::random_query(q_seed, n, 3);
+        let q = TargetQuery::new(cond.clone(), csqp_plan::attrs(["k"]));
+        let modular_cfg = GenModularConfig {
+            rewrite_budget: RewriteBudget {
+                max_cts: 60_000,
+                max_atoms: cond.n_atoms() + 2,
+                max_depth: 6,
+            },
+            ..Default::default()
+        };
+        let compact = Mediator::new(source.clone()).plan(&q);
+        let modular = Mediator::new(source.clone())
+            .with_scheme(Scheme::GenModular)
+            .with_modular_config(modular_cfg)
+            .plan(&q);
+        match (compact, modular) {
+            (Ok(c), Ok(m)) => {
+                if !m.report.truncated {
+                    prop_assert!(
+                        c.est_cost <= m.est_cost + 1e-6,
+                        "{}: compact {} vs modular {}\n  c: {}\n  m: {}",
+                        cond, c.est_cost, m.est_cost, c.plan, m.plan
+                    );
+                }
+            }
+            // GenModular (budgeted) may miss plans GenCompact finds; the
+            // reverse must never happen when GenModular is untruncated.
+            (Err(_), Ok(m)) => {
+                prop_assert!(m.report.truncated || false, "modular feasible, compact not: {}", cond);
+            }
+            _ => {}
+        }
+    }
+
+    /// Whenever ANY baseline is feasible, GenCompact is feasible and at
+    /// least as cheap (the paper's "larger space of plans" guarantee).
+    #[test]
+    fn gencompact_dominates_baselines(seed in 0u64..5_000, n in 1usize..5) {
+        let source = limited_source();
+        let cond = random_condition(seed, n, 3);
+        let q = TargetQuery::new(cond.clone(), csqp_plan::attrs(["k"]));
+        let gc = Mediator::new(source.clone())
+            .with_cardinality(CardKind::Oracle)
+            .plan(&q);
+        for scheme in [Scheme::Cnf, Scheme::Dnf, Scheme::Disco, Scheme::NaivePush] {
+            let base = Mediator::new(source.clone())
+                .with_cardinality(CardKind::Oracle)
+                .with_scheme(scheme)
+                .plan(&q);
+            if let Ok(b) = base {
+                let g = gc.as_ref().expect("baseline feasible implies GenCompact feasible");
+                prop_assert!(
+                    g.est_cost <= b.est_cost + 1e-6,
+                    "{}: GenCompact {} vs {} {} on {}",
+                    scheme, g.est_cost, scheme, b.est_cost, cond
+                );
+            }
+        }
+    }
+}
