@@ -16,8 +16,7 @@ fn bench(c: &mut Criterion) {
     let isbns: Vec<Value> =
         book_rel.tuples().iter().map(|t| t.get(isbn_idx).unwrap().clone()).collect();
     let review_rel = reviews(11, &isbns, 3);
-    let bookstore =
-        Arc::new(Source::new(book_rel, templates::bookstore(), CostParams::default()));
+    let bookstore = Arc::new(Source::new(book_rel, templates::bookstore(), CostParams::default()));
     let review_site =
         Arc::new(Source::new(review_rel, templates::reviews(), CostParams::default()));
     let q = JoinQuery {
@@ -26,20 +25,15 @@ fn bench(c: &mut Criterion) {
             &["isbn", "title"],
         )
         .unwrap(),
-        right: TargetQuery::parse(
-            r#"rating >= 4"#,
-            &["review_id", "isbn", "rating"],
-        )
-        .unwrap(),
+        right: TargetQuery::parse(r#"rating >= 4"#, &["review_id", "isbn", "rating"]).unwrap(),
         left_key: "isbn".into(),
         right_key: "isbn".into(),
     };
     let mut g = c.benchmark_group("e12_join");
     g.sample_size(10);
-    for (name, force) in [
-        ("bind", Some(JoinStrategy::BindLeftIntoRight)),
-        ("hash", Some(JoinStrategy::Hash)),
-    ] {
+    for (name, force) in
+        [("bind", Some(JoinStrategy::BindLeftIntoRight)), ("hash", Some(JoinStrategy::Hash))]
+    {
         let jm = JoinMediator::new(bookstore.clone(), review_site.clone())
             .with_config(JoinConfig { force, ..Default::default() });
         g.bench_function(name, |b| b.iter(|| black_box(jm.run(&q).unwrap().rows.len())));

@@ -25,9 +25,7 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for scheme in [Scheme::GenCompact, Scheme::Cnf, Scheme::Dnf] {
         let m = Mediator::new(source.clone()).with_scheme(scheme);
-        g.bench_function(format!("plan/{scheme}"), |b| {
-            b.iter(|| black_box(m.plan(&q).unwrap()))
-        });
+        g.bench_function(format!("plan/{scheme}"), |b| b.iter(|| black_box(m.plan(&q).unwrap())));
         g.bench_function(format!("run/{scheme}"), |b| {
             b.iter(|| black_box(m.run(&q).unwrap().rows.len()))
         });

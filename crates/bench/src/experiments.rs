@@ -78,12 +78,7 @@ fn run_schemes(source: &Arc<Source>, q: &TargetQuery, schemes: &[Scheme]) -> Vec
         .map(|&scheme| {
             let mediator = Mediator::new(source.clone()).with_scheme(scheme);
             let outcome = mediator.run(q).ok().map(|out| {
-                (
-                    out.meter.queries,
-                    out.meter.tuples_shipped,
-                    out.rows.len(),
-                    out.measured_cost,
-                )
+                (out.meter.queries, out.meter.tuples_shipped, out.rows.len(), out.measured_cost)
             });
             SchemeRow { scheme, outcome }
         })
@@ -212,11 +207,7 @@ fn ok(b: bool) -> &'static str {
 /// of +2 keeps the copy closure finite (DESIGN.md §5 budgets).
 fn modular_budget(cond: &CondTree, max_cts: usize) -> GenModularConfig {
     GenModularConfig {
-        rewrite_budget: RewriteBudget {
-            max_cts,
-            max_atoms: cond.n_atoms() + 2,
-            max_depth: 6,
-        },
+        rewrite_budget: RewriteBudget { max_cts, max_atoms: cond.n_atoms() + 2, max_depth: 6 },
         ..Default::default()
     }
 }
@@ -330,10 +321,7 @@ pub fn e5_pruning(scale: RunScale) -> Table {
         ("no PR1", IpgConfig { pr1: false, ..IpgConfig::default() }),
         ("no PR2", IpgConfig { pr2: false, ..IpgConfig::default() }),
         ("no PR3", IpgConfig { pr3: false, ..IpgConfig::default() }),
-        (
-            "none",
-            IpgConfig { pr1: false, pr2: false, pr3: false, ..IpgConfig::default() },
-        ),
+        ("none", IpgConfig { pr1: false, pr2: false, pr3: false, ..IpgConfig::default() }),
     ];
     let mut costs: Vec<f64> = Vec::new();
     for (name, ipg) in configs {
@@ -365,8 +353,7 @@ pub fn e5_pruning(scale: RunScale) -> Table {
             ]),
         }
     }
-    let all_equal =
-        !costs.is_empty() && costs.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-6);
+    let all_equal = !costs.is_empty() && costs.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-6);
     t.note(format!(
         "claim (§6.3): pruning never loses the optimal plan -> all costs equal {}",
         ok(all_equal)
@@ -398,13 +385,19 @@ pub fn e6_quality(scale: RunScale, seed: u64) -> Table {
     let mut feasible = vec![0u64; schemes.len()];
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     let mut usable_pairs = 0u64;
-    for i in 0..n_pairs {
+    // Pairs are independent (sources and queries are seeded per index):
+    // evaluate them concurrently, fold in index order so the floating-point
+    // aggregates match the sequential run bit-for-bit.
+    let pairs: Vec<u64> = (0..n_pairs).collect();
+    let pair_rows = csqp_core::par::par_map(&pairs, |&i| {
         let source = random_source(seed + i, 1_500, &params);
         // Alternate conjunctive- and disjunctive-leaning query shapes.
         let and_bias = if i % 2 == 0 { 0.7 } else { 0.35 };
         let cond = crate::workload::random_query_shaped(seed + 7_000 + i, 4, 3, and_bias);
         let q = TargetQuery::new(cond, csqp_plan::attrs(["k"]));
-        let rows = run_schemes(&source, &q, &schemes);
+        run_schemes(&source, &q, &schemes)
+    });
+    for rows in pair_rows {
         let Some(gc) = get(&rows, Scheme::GenCompact) else {
             continue; // nothing feasible at all on this pair
         };
@@ -444,12 +437,11 @@ pub fn e7_optimality(scale: RunScale, seed: u64) -> Table {
     );
     let source = scaling_source(5, 400);
     let n_queries = scale.e7_corpus();
-    let mut both = 0u64;
-    let mut equal = 0u64;
-    let mut compact_cheaper = 0u64;
-    let mut modular_cheaper = 0u64;
-    let mut worst: Option<(String, f64, f64)> = None;
-    for i in 0..n_queries {
+    // The corpus entries are independent (query generation is seeded per
+    // index): plan them concurrently, then fold the results in corpus order
+    // so the counters and the worst-case pick match the sequential run.
+    let corpus: Vec<u64> = (0..n_queries).collect();
+    let outcomes = csqp_core::par::par_map(&corpus, |&i| {
         let n_atoms = 2 + (i % 3) as usize; // 2..=4
         let cond = random_query(seed + i, n_atoms, 3);
         let q = TargetQuery::new(cond.clone(), csqp_plan::attrs(["k"]));
@@ -458,18 +450,27 @@ pub fn e7_optimality(scale: RunScale, seed: u64) -> Table {
             .with_scheme(Scheme::GenModular)
             .with_modular_config(modular_budget(&cond, 100_000))
             .plan(&q);
-        if let (Ok(g), Ok(m)) = (rg, rm) {
-            both += 1;
-            let d = g.est_cost - m.est_cost;
-            if d.abs() < 1e-6 {
-                equal += 1;
-            } else if d < 0.0 {
-                compact_cheaper += 1;
-            } else {
-                modular_cheaper += 1;
-                if worst.as_ref().is_none_or(|(_, wg, wm)| d > wg - wm) {
-                    worst = Some((cond.to_string(), g.est_cost, m.est_cost));
-                }
+        match (rg, rm) {
+            (Ok(g), Ok(m)) => Some((cond.to_string(), g.est_cost, m.est_cost)),
+            _ => None,
+        }
+    });
+    let mut both = 0u64;
+    let mut equal = 0u64;
+    let mut compact_cheaper = 0u64;
+    let mut modular_cheaper = 0u64;
+    let mut worst: Option<(String, f64, f64)> = None;
+    for (cond, g_cost, m_cost) in outcomes.into_iter().flatten() {
+        both += 1;
+        let d = g_cost - m_cost;
+        if d.abs() < 1e-6 {
+            equal += 1;
+        } else if d < 0.0 {
+            compact_cheaper += 1;
+        } else {
+            modular_cheaper += 1;
+            if worst.as_ref().is_none_or(|(_, wg, wm)| d > wg - wm) {
+                worst = Some((cond, g_cost, m_cost));
             }
         }
     }
@@ -509,9 +510,7 @@ pub fn e8_parse_linear(scale: RunScale) -> Table {
     };
     for &len in lens {
         let parts: Vec<CondTree> = (0..len)
-            .map(|i| {
-                CondTree::leaf(csqp_expr::Atom::eq("size", format!("v{i}")))
-            })
+            .map(|i| CondTree::leaf(csqp_expr::Atom::eq("size", format!("v{i}"))))
             .collect();
         let cond = CondTree::or(parts);
         let tokens = linearize(Some(&cond)).len();
@@ -681,8 +680,7 @@ pub fn e11_closure_ablation(scale: RunScale, seed: u64) -> Table {
         .collect();
     for (variant, use_gate_view) in [("with closure (§6.1)", false), ("no closure", true)] {
         let cfg = GenCompactConfig { use_gate_view, ..Default::default() };
-        let view =
-            if use_gate_view { source.gate_view() } else { source.planning_view() };
+        let view = if use_gate_view { source.gate_view() } else { source.planning_view() };
         let mut feasible = 0u64;
         let t0 = Instant::now();
         for q in &queries {
@@ -720,8 +718,7 @@ pub fn e12_join(scale: RunScale) -> Table {
     let isbns: Vec<csqp_expr::Value> =
         book_rel.tuples().iter().map(|b| b.get(isbn_idx).expect("arity").clone()).collect();
     let review_rel = gen_reviews(11, &isbns, 3);
-    let bookstore =
-        Arc::new(Source::new(book_rel, templates::bookstore(), CostParams::default()));
+    let bookstore = Arc::new(Source::new(book_rel, templates::bookstore(), CostParams::default()));
     let review_site =
         Arc::new(Source::new(review_rel, templates::reviews(), CostParams::default()));
     let q = JoinQuery {
@@ -730,11 +727,8 @@ pub fn e12_join(scale: RunScale) -> Table {
             &["isbn", "title"],
         )
         .expect("valid query"),
-        right: TargetQuery::parse(
-            r#"rating >= 4"#,
-            &["review_id", "isbn", "rating", "reviewer"],
-        )
-        .expect("valid query"),
+        right: TargetQuery::parse(r#"rating >= 4"#, &["review_id", "isbn", "rating", "reviewer"])
+            .expect("valid query"),
         left_key: "isbn".into(),
         right_key: "isbn".into(),
     };
@@ -759,13 +753,9 @@ pub fn e12_join(scale: RunScale) -> Table {
                 ]);
                 costs.push((label.to_string(), out.measured_cost));
             }
-            Err(e) => t.row(vec![
-                label.to_string(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                format!("{e}"),
-            ]),
+            Err(e) => {
+                t.row(vec![label.to_string(), "-".into(), "-".into(), "-".into(), format!("{e}")])
+            }
         }
     }
     let auto = costs.iter().find(|(l, _)| l.starts_with("auto")).map(|(_, c)| *c);

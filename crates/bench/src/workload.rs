@@ -137,10 +137,7 @@ pub fn random_capability(seed: u64, params: &CapabilityParams) -> SsdlDesc {
                 rec.push(sym::nt(&list_nt));
                 b = b.rule(&list_nt, rec);
                 b = b.rule(&item_nt, sym::atom(name, CmpOp::Eq, ty));
-                b = b.rule(
-                    &item_nt,
-                    vec![sym::lparen(), sym::nt(&list_nt), sym::rparen()],
-                );
+                b = b.rule(&item_nt, vec![sym::lparen(), sym::nt(&list_nt), sym::rparen()]);
             }
             if !body.is_empty() {
                 body.push(sym::and());
@@ -196,14 +193,8 @@ pub fn scaling_query(seed: u64, n_atoms: usize) -> CondTree {
     let mut rng = StdRng::seed_from_u64(seed);
     let atom = |rng: &mut StdRng, attr_idx: usize| -> CondTree {
         match attr_idx {
-            0 => CondTree::leaf(csqp_expr::Atom::eq(
-                "a",
-                rng.random_range(0..POOL[0] as i64),
-            )),
-            1 => CondTree::leaf(csqp_expr::Atom::eq(
-                "b",
-                rng.random_range(0..POOL[1] as i64),
-            )),
+            0 => CondTree::leaf(csqp_expr::Atom::eq("a", rng.random_range(0..POOL[0] as i64))),
+            1 => CondTree::leaf(csqp_expr::Atom::eq("b", rng.random_range(0..POOL[1] as i64))),
             _ => CondTree::leaf(csqp_expr::Atom::eq(
                 "d",
                 format!("d{}", rng.random_range(0..POOL[3])),
@@ -220,10 +211,7 @@ pub fn scaling_query(seed: u64, n_atoms: usize) -> CondTree {
             groups.push(atom(&mut rng, attr_idx));
         } else {
             // Same-attribute disjunction: exercises the value-list forms.
-            groups.push(CondTree::or(vec![
-                atom(&mut rng, attr_idx),
-                atom(&mut rng, attr_idx),
-            ]));
+            groups.push(CondTree::or(vec![atom(&mut rng, attr_idx), atom(&mut rng, attr_idx)]));
         }
     }
     if groups.len() == 1 {
@@ -310,10 +298,7 @@ mod tests {
             feasible >= total / 5,
             "only {feasible}/{total} random pairs feasible — workload degenerate"
         );
-        assert!(
-            feasible < total,
-            "every pair feasible — capability restrictions not biting"
-        );
+        assert!(feasible < total, "every pair feasible — capability restrictions not biting");
     }
 
     #[test]

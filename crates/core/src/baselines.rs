@@ -55,14 +55,10 @@ fn best_supported_split(
     let mut masks: Vec<u32> = (1..=full).collect();
     masks.sort_by_key(|m| std::cmp::Reverse(m.count_ones()));
     for mask in masks {
-        let pushed: Vec<CondTree> = (0..k)
-            .filter(|i| mask & (1 << i) != 0)
-            .map(|i| parts[i].clone())
-            .collect();
-        let local: Vec<CondTree> = (0..k)
-            .filter(|i| mask & (1 << i) == 0)
-            .map(|i| parts[i].clone())
-            .collect();
+        let pushed: Vec<CondTree> =
+            (0..k).filter(|i| mask & (1 << i) != 0).map(|i| parts[i].clone()).collect();
+        let local: Vec<CondTree> =
+            (0..k).filter(|i| mask & (1 << i) == 0).map(|i| parts[i].clone()).collect();
         let cond = and_of(&pushed).expect("pushed non-empty");
         let mut needed = attrs.clone();
         needed.extend(attrs_of(&local));
@@ -88,16 +84,13 @@ fn split_plan(pushed: Vec<CondTree>, local: Vec<CondTree>, attrs: &AttrSet) -> P
 }
 
 /// The download-everything fallback, if the source permits it.
-fn download_plan(
-    cond: &CondTree,
-    attrs: &AttrSet,
-    cache: &CheckCache<'_>,
-) -> Option<Plan> {
+fn download_plan(cond: &CondTree, attrs: &AttrSet, cache: &CheckCache<'_>) -> Option<Plan> {
     let mut needed = attrs.clone();
     needed.extend(cond.attrs());
-    cache.check(None).covers(&needed).then(|| {
-        Plan::local(Some(cond.clone()), attrs.clone(), Plan::source(None, needed))
-    })
+    cache
+        .check(None)
+        .covers(&needed)
+        .then(|| Plan::local(Some(cond.clone()), attrs.clone(), Plan::source(None, needed)))
 }
 
 fn finish(
@@ -290,8 +283,7 @@ mod tests {
         let card = StatsCard::new(s.stats());
         let planned = plan_cnf(&q, &s, &card).unwrap();
         assert_eq!(planned.plan.source_queries().len(), 1);
-        let (result, meter) =
-            csqp_plan::execute_measured(&planned.plan, &s).unwrap();
+        let (result, meter) = csqp_plan::execute_measured(&planned.plan, &s).unwrap();
         // Correct answer, wasteful transfer.
         let want = project(&select(s.relation(), Some(&q.cond)), &["isbn", "author"]).unwrap();
         assert_eq!(result, want);
@@ -343,11 +335,9 @@ mod tests {
     #[test]
     fn disco_succeeds_on_supported_whole_condition() {
         let s = bookstore();
-        let q = TargetQuery::parse(
-            "author = \"Sigmund Freud\" ^ title contains \"dreams\"",
-            &["isbn"],
-        )
-        .unwrap();
+        let q =
+            TargetQuery::parse("author = \"Sigmund Freud\" ^ title contains \"dreams\"", &["isbn"])
+                .unwrap();
         let card = StatsCard::new(s.stats());
         let planned = plan_disco(&q, &s, &card).unwrap();
         assert!(matches!(planned.plan, Plan::SourceQuery { .. }));
@@ -358,10 +348,7 @@ mod tests {
         let r = datagen::cars(1, 100);
         let desc = templates::download_only(
             "dl",
-            &[
-                ("make", csqp_expr::ValueType::Str),
-                ("price", csqp_expr::ValueType::Int),
-            ],
+            &[("make", csqp_expr::ValueType::Str), ("price", csqp_expr::ValueType::Int)],
         );
         let s = Source::new(r, desc, CostParams::default());
         let q = TargetQuery::parse("make = \"BMW\"", &["price"]).unwrap();
@@ -388,11 +375,9 @@ mod tests {
         // Bookstore form takes author AND keyword at once: CNF over a plain
         // conjunction pushes both clauses as one query.
         let s = bookstore();
-        let q = TargetQuery::parse(
-            "author = \"Sigmund Freud\" ^ title contains \"dreams\"",
-            &["isbn"],
-        )
-        .unwrap();
+        let q =
+            TargetQuery::parse("author = \"Sigmund Freud\" ^ title contains \"dreams\"", &["isbn"])
+                .unwrap();
         let card = StatsCard::new(s.stats());
         let planned = plan_cnf(&q, &s, &card).unwrap();
         assert!(matches!(planned.plan, Plan::SourceQuery { .. }), "{}", planned.plan);

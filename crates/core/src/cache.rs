@@ -2,21 +2,47 @@
 //!
 //! The mark module calls `Check` on *every* node of *every* rewritten CT
 //! (§5.2), and IPG calls it on every child subset; identical conditions
-//! recur constantly across rewritings. The cache keys on the linearized
-//! token stream, so structurally identical conditions share one parse.
+//! recur constantly across rewritings. The cache keys on a 128-bit
+//! fingerprint of the linearized token stream, computed directly from the
+//! condition tree — a hit costs one tree walk with no token vector, string
+//! clone, or re-hash of an owned key (see DESIGN.md, "Implementation notes:
+//! interning & bitsets").
 
-use csqp_expr::CondTree;
+use csqp_expr::{CondTree, Connector};
 use csqp_ssdl::check::{CompiledSource, ExportSet};
-use csqp_ssdl::linearize::linearize;
-use csqp_ssdl::token::CondToken;
+use csqp_ssdl::linearize::{
+    cond_fingerprint, linearize, linearize_masked, masked_fingerprint, Fingerprint,
+};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Keys are already uniform 128-bit fingerprints: fold to 64 bits and skip
+/// the default SipHash pass entirely.
+#[derive(Default)]
+struct FingerprintHasher(u64);
+
+impl Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint keys hash via write_u128");
+    }
+
+    fn write_u128(&mut self, x: u128) {
+        self.0 = (x as u64) ^ ((x >> 64) as u64);
+    }
+}
+
+type FpMap = HashMap<Fingerprint, ExportSet, BuildHasherDefault<FingerprintHasher>>;
 
 /// A memoizing `Check` front-end with call counters.
 #[derive(Debug)]
 pub struct CheckCache<'a> {
     source: &'a CompiledSource,
-    map: RefCell<HashMap<Vec<CondToken>, ExportSet>>,
+    map: RefCell<FpMap>,
     calls: Cell<usize>,
     parses: Cell<usize>,
 }
@@ -26,7 +52,7 @@ impl<'a> CheckCache<'a> {
     pub fn new(source: &'a CompiledSource) -> Self {
         CheckCache {
             source,
-            map: RefCell::new(HashMap::new()),
+            map: RefCell::new(FpMap::default()),
             calls: Cell::new(0),
             parses: Cell::new(0),
         }
@@ -37,17 +63,33 @@ impl<'a> CheckCache<'a> {
         self.source
     }
 
-    /// `Check(C, R)` (memoized). `None` is the trivially-true condition.
-    pub fn check(&self, cond: Option<&CondTree>) -> ExportSet {
+    fn lookup_or_parse(
+        &self,
+        fp: Fingerprint,
+        tokens: impl FnOnce() -> Vec<csqp_ssdl::token::CondToken>,
+    ) -> ExportSet {
         self.calls.set(self.calls.get() + 1);
-        let toks = linearize(cond);
-        if let Some(hit) = self.map.borrow().get(&toks) {
+        if let Some(hit) = self.map.borrow().get(&fp) {
             return hit.clone();
         }
         self.parses.set(self.parses.get() + 1);
-        let result = self.source.check_tokens(&toks);
-        self.map.borrow_mut().insert(toks, result.clone());
+        let result = self.source.check_tokens(&tokens());
+        self.map.borrow_mut().insert(fp, result.clone());
         result
+    }
+
+    /// `Check(C, R)` (memoized). `None` is the trivially-true condition.
+    pub fn check(&self, cond: Option<&CondTree>) -> ExportSet {
+        self.lookup_or_parse(cond_fingerprint(cond), || linearize(cond))
+    }
+
+    /// `Check` of the sub-condition selecting `mask` children of an And/Or
+    /// node, memoized under the same keys as [`CheckCache::check`] — on a
+    /// hit, the sub-condition tree is never built.
+    pub fn check_masked(&self, conn: Connector, children: &[CondTree], mask: u64) -> ExportSet {
+        self.lookup_or_parse(masked_fingerprint(conn, children, mask), || {
+            linearize_masked(conn, children, mask)
+        })
     }
 
     /// Is `SP(C, A, R)` supported?
@@ -95,6 +137,25 @@ mod tests {
         cache.check(None);
         cache.check(None);
         assert_eq!(cache.parses(), 3);
+    }
+
+    #[test]
+    fn masked_checks_share_the_cache_with_plain_checks() {
+        use csqp_expr::Connector;
+        let compiled = CompiledSource::new(templates::car_dealer());
+        let cache = CheckCache::new(&compiled);
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        let children = c.children().to_vec();
+        // Full mask linearizes identically to the whole condition.
+        let full = cache.check_masked(Connector::And, &children, 0b11);
+        assert_eq!(cache.parses(), 1);
+        let whole = cache.check(Some(&c));
+        assert_eq!(cache.parses(), 1, "full-mask entry is a hit for the whole tree");
+        assert_eq!(full, whole);
+        // Singleton mask collapses to the bare child.
+        let single = cache.check_masked(Connector::And, &children, 0b01);
+        assert_eq!(single, cache.check(Some(&children[0])));
+        assert_eq!(cache.parses(), 2);
     }
 
     #[test]

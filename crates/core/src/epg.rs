@@ -69,8 +69,7 @@ pub fn epg(n: &Marked, a: &AttrSet, ctx: &mut EpgContext<'_, '_>) -> Option<Plan
         Some(Connector::And) => {
             // Line 5: all children evaluated as separate source-side plans,
             // intersected at the mediator.
-            let subs: Option<Vec<Plan>> =
-                n.children.iter().map(|c| epg(c, a, ctx)).collect();
+            let subs: Option<Vec<Plan>> = n.children.iter().map(|c| epg(c, a, ctx)).collect();
             if let Some(subs) = subs {
                 plans.push(Plan::intersect(subs));
             }
@@ -85,25 +84,16 @@ pub fn epg(n: &Marked, a: &AttrSet, ctx: &mut EpgContext<'_, '_>) -> Option<Plan
                 for mask in 1..full {
                     // X = set bits; Local = complement (non-empty since
                     // mask < full).
-                    let x: Vec<&Marked> = (0..k)
-                        .filter(|i| mask & (1 << i) != 0)
-                        .map(|i| &n.children[i])
-                        .collect();
-                    let local: Vec<&Marked> = (0..k)
-                        .filter(|i| mask & (1 << i) == 0)
-                        .map(|i| &n.children[i])
-                        .collect();
+                    let x: Vec<&Marked> =
+                        (0..k).filter(|i| mask & (1 << i) != 0).map(|i| &n.children[i]).collect();
+                    let local: Vec<&Marked> =
+                        (0..k).filter(|i| mask & (1 << i) == 0).map(|i| &n.children[i]).collect();
                     let local_cond = and_of(&local);
                     let mut widened = a.clone();
                     widened.extend(attrs_of(&local));
-                    let subs: Option<Vec<Plan>> =
-                        x.iter().map(|c| epg(c, &widened, ctx)).collect();
+                    let subs: Option<Vec<Plan>> = x.iter().map(|c| epg(c, &widened, ctx)).collect();
                     if let Some(subs) = subs {
-                        plans.push(Plan::local(
-                            Some(local_cond),
-                            a.clone(),
-                            Plan::intersect(subs),
-                        ));
+                        plans.push(Plan::local(Some(local_cond), a.clone(), Plan::intersect(subs)));
                     }
                 }
             }
@@ -111,8 +101,7 @@ pub fn epg(n: &Marked, a: &AttrSet, ctx: &mut EpgContext<'_, '_>) -> Option<Plan
         Some(Connector::Or) => {
             // Line 10: union of per-child plans. (No opportunity to evaluate
             // parts of a disjunction on the results of other parts.)
-            let subs: Option<Vec<Plan>> =
-                n.children.iter().map(|c| epg(c, a, ctx)).collect();
+            let subs: Option<Vec<Plan>> = n.children.iter().map(|c| epg(c, a, ctx)).collect();
             if let Some(subs) = subs {
                 plans.push(Plan::union(subs));
             }
@@ -125,11 +114,7 @@ pub fn epg(n: &Marked, a: &AttrSet, ctx: &mut EpgContext<'_, '_>) -> Option<Plan
     let mut needed = a.clone();
     needed.extend(n.cond.attrs());
     if ctx.cache.check(None).covers(&needed) {
-        plans.push(Plan::local(
-            Some(n.cond.clone()),
-            a.clone(),
-            Plan::source(None, needed),
-        ));
+        plans.push(Plan::local(Some(n.cond.clone()), a.clone(), Plan::source(None, needed)));
     }
 
     // Lines 13–14.
@@ -145,9 +130,9 @@ mod tests {
     use super::*;
     use crate::mark::mark;
     use csqp_expr::parse::parse_condition;
+    use csqp_plan::attrs;
     use csqp_ssdl::check::CompiledSource;
     use csqp_ssdl::templates;
-    use csqp_plan::attrs;
 
     fn plan_space(desc: csqp_ssdl::SsdlDesc, cond: &str, a: &[&str]) -> Option<Plan> {
         let compiled = CompiledSource::new(desc);

@@ -62,12 +62,21 @@ impl Federation {
 
     /// Plans `query` against every member and picks the cheapest feasible
     /// plan (estimated cost under each member's own cost constants).
+    ///
+    /// Members are planned concurrently when the `parallel` feature is on
+    /// (each mediator is self-contained — no shared planner state). The
+    /// reduce runs left-to-right over results in member order, keeping the
+    /// earliest member on cost ties, so the choice is identical to the
+    /// sequential loop regardless of thread scheduling.
     pub fn plan(&self, query: &TargetQuery) -> Result<FederatedPlan, PlanError> {
+        let card = self.card;
+        let outcomes = crate::par::par_map(&self.members, |member| {
+            Mediator::new(member.clone()).with_cardinality(card).plan(query)
+        });
         let mut best: Option<(Arc<Source>, PlannedQuery)> = None;
         let mut considered = Vec::with_capacity(self.members.len());
-        for member in &self.members {
-            let mediator = Mediator::new(member.clone()).with_cardinality(self.card);
-            match mediator.plan(query) {
+        for (member, outcome) in self.members.iter().zip(outcomes) {
+            match outcome {
                 Ok(planned) => {
                     considered.push((member.name.clone(), Ok(planned.est_cost)));
                     if best.as_ref().is_none_or(|(_, b)| planned.est_cost < b.est_cost) {
@@ -79,10 +88,9 @@ impl Federation {
         }
         match best {
             Some((source, planned)) => Ok(FederatedPlan { source, planned, considered }),
-            None => Err(PlanError::NoFeasiblePlan {
-                query: query.to_string(),
-                scheme: "Federation",
-            }),
+            None => {
+                Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "Federation" })
+            }
         }
     }
 
@@ -137,18 +145,14 @@ mod tests {
             .unwrap(),
             CostParams::new(10.0, 1.0),
         ));
-        Federation::new()
-            .with_member(fast_form)
-            .with_member(slow_dump)
-            .with_member(color_only)
+        Federation::new().with_member(fast_form).with_member(slow_dump).with_member(color_only)
     }
 
     #[test]
     fn picks_the_cheapest_capable_member() {
         let f = mirrors();
         // Form query: the fast form source wins over the expensive dump.
-        let q = TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"])
-            .unwrap();
+        let q = TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"]).unwrap();
         let fp = f.plan(&q).unwrap();
         assert_eq!(fp.source.name, "car_dealer");
         assert_eq!(fp.considered.len(), 3);

@@ -85,8 +85,7 @@ pub fn plan_compact_with_model(
     let start = Instant::now();
     // GenCompact reasons against the permutation-closed planning view
     // (unless the E11 ablation pins it to the original grammar).
-    let view =
-        if cfg.use_gate_view { source.gate_view() } else { source.planning_view() };
+    let view = if cfg.use_gate_view { source.gate_view() } else { source.planning_view() };
     let cache = CheckCache::new(view);
 
     let rewritten = enumerate_compact(&query.cond, cfg.rewrite_budget);
@@ -114,10 +113,7 @@ pub fn plan_compact_with_model(
 
     match best {
         Some((plan, est_cost)) => Ok(PlannedQuery { plan, est_cost, report }),
-        None => Err(PlanError::NoFeasiblePlan {
-            query: query.to_string(),
-            scheme: "GenCompact",
-        }),
+        None => Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "GenCompact" }),
     }
 }
 
@@ -196,11 +192,7 @@ mod tests {
     /// tail plans via the closure + IPG.
     #[test]
     fn example_4_1_car_dealer() {
-        let s = Source::new(
-            datagen::cars(3, 400),
-            templates::car_dealer(),
-            CostParams::default(),
-        );
+        let s = Source::new(datagen::cars(3, 400), templates::car_dealer(), CostParams::default());
         check_against_oracle(
             &s,
             "price < 40000 ^ color = \"red\" ^ make = \"BMW\"",
@@ -215,17 +207,10 @@ mod tests {
 
     #[test]
     fn bank_pin_example() {
-        let s = Source::new(
-            datagen::accounts(5, 100),
-            templates::bank(),
-            CostParams::default(),
-        );
+        let s = Source::new(datagen::accounts(5, 100), templates::bank(), CostParams::default());
         // Balance requires the PIN in the condition.
-        let with_pin = plan_on(
-            &s,
-            "acct_no = \"acct-00042\" ^ pin = \"pin-00042\"",
-            &["owner", "balance"],
-        );
+        let with_pin =
+            plan_on(&s, "acct_no = \"acct-00042\" ^ pin = \"pin-00042\"", &["owner", "balance"]);
         assert!(matches!(with_pin.plan, Plan::SourceQuery { .. }));
         // Without PIN there is no way to fetch balance.
         let q = TargetQuery::parse("acct_no = \"acct-00042\"", &["owner", "balance"]).unwrap();
@@ -235,11 +220,7 @@ mod tests {
 
     #[test]
     fn infeasible_reports_error() {
-        let s = Source::new(
-            datagen::cars(3, 100),
-            templates::car_dealer(),
-            CostParams::default(),
-        );
+        let s = Source::new(datagen::cars(3, 100), templates::car_dealer(), CostParams::default());
         let q = TargetQuery::parse("year = 1995", &["model"]).unwrap();
         let card = StatsCard::new(s.stats());
         let err = plan_compact(&q, &s, &card, &GenCompactConfig::default()).unwrap_err();
@@ -248,11 +229,7 @@ mod tests {
 
     #[test]
     fn report_is_populated() {
-        let s = Source::new(
-            datagen::cars(3, 100),
-            templates::car_dealer(),
-            CostParams::default(),
-        );
+        let s = Source::new(datagen::cars(3, 100), templates::car_dealer(), CostParams::default());
         let planned = plan_on(
             &s,
             "(make = \"BMW\" ^ price < 40000) ^ (color = \"red\" _ color = \"black\")",

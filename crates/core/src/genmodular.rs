@@ -98,10 +98,7 @@ pub fn plan_modular_with_model(
 
     match best {
         Some((plan, est_cost)) => Ok(PlannedQuery { plan, est_cost, report }),
-        None => Err(PlanError::NoFeasiblePlan {
-            query: query.to_string(),
-            scheme: "GenModular",
-        }),
+        None => Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "GenModular" }),
     }
 }
 
@@ -136,11 +133,7 @@ mod tests {
         assert!(planned.report.cts_processed > 1, "rewrites explored");
         // Executing it matches the oracle.
         let got = execute(&planned.plan, &s).unwrap();
-        let oracle = project(
-            &select(s.relation(), Some(&q.cond)),
-            &["model", "year"],
-        )
-        .unwrap();
+        let oracle = project(&select(s.relation(), Some(&q.cond)), &["model", "year"]).unwrap();
         assert_eq!(got, oracle);
     }
 

@@ -12,16 +12,29 @@
 //! Each rule can be disabled individually (experiment E5 measures the
 //! dividends). Sub-plan combination is Minimum-Cost Set Cover, solved
 //! exactly (`O(2^Q)`) or greedily ([`crate::mcsc`]; experiment E9).
+//!
+//! ## Hot-path representation
+//!
+//! Attribute sets travel as interned [`SymSet`] bitsets and conditions as
+//! 128-bit fingerprints, so the per-subset work — feasibility tests,
+//! MaxEval, memo probes — does no string hashing or `BTreeSet` allocation.
+//! Sub-condition trees are built **only after** the masked `Check` says the
+//! subset is supported, and candidate sub-plans are `Rc`-shared so losing
+//! candidates are never deep-copied (see DESIGN.md, "Implementation notes:
+//! interning & bitsets").
 
 use crate::cache::CheckCache;
 use crate::maxeval::max_eval;
 use crate::mcsc::{solve_exact, solve_greedy, CoverItem};
 use csqp_expr::canonical::canonicalize;
-use csqp_expr::{CondTree, Connector};
+use csqp_expr::{CondTree, Connector, Interner, SymSet};
 use csqp_plan::cost::Cardinality;
 use csqp_plan::model::CostModel;
 use csqp_plan::{AttrSet, Plan};
+use csqp_ssdl::linearize::{cond_fingerprint, Fingerprint};
 use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
 
 /// IPG configuration: pruning-rule toggles and MCSC solver choice.
 #[derive(Debug, Clone, Copy)]
@@ -59,13 +72,17 @@ pub struct IpgStats {
     pub truncated: bool,
 }
 
-/// A candidate sub-plan for a subset of a node's children.
+/// A candidate sub-plan for a subset of a node's children. The plan is
+/// `Rc`-shared: only plans that survive MCSC selection are ever deep-copied.
 #[derive(Debug, Clone)]
 struct SubPlan {
-    plan: Plan,
+    plan: Rc<Plan>,
     cost: f64,
     pure: bool,
 }
+
+/// A memoized IPG outcome: the best shared plan and its cost, or φ.
+type MemoEntry = Option<(Rc<Plan>, f64)>;
 
 /// The IPG search context.
 pub struct IpgContext<'a, 'b> {
@@ -75,22 +92,53 @@ pub struct IpgContext<'a, 'b> {
     cfg: IpgConfig,
     /// Mutable statistics.
     pub stats: IpgStats,
-    memo: HashMap<(CondTree, AttrSet), Option<(Plan, f64)>>,
+    interner: Arc<Interner>,
+    memo: HashMap<(Fingerprint, SymSet), MemoEntry>,
+    /// Materialized name sets per symbol set, shared across all plans that
+    /// fetch the same attributes.
+    attr_names: HashMap<SymSet, Arc<AttrSet>>,
 }
 
 impl<'a, 'b> IpgContext<'a, 'b> {
-    /// Creates a context.
+    /// Creates a context. Symbols are interned through the cache's source,
+    /// so `Check` results compare against query attributes bitwise.
     pub fn new(
         cache: &'a CheckCache<'b>,
         model: &'a dyn CostModel,
         card: &'a dyn Cardinality,
         cfg: IpgConfig,
     ) -> Self {
-        IpgContext { cache, model, card, cfg, stats: IpgStats::default(), memo: HashMap::new() }
+        IpgContext {
+            cache,
+            model,
+            card,
+            cfg,
+            stats: IpgStats::default(),
+            interner: cache.source().interner().clone(),
+            memo: HashMap::new(),
+            attr_names: HashMap::new(),
+        }
     }
 
-    fn source_query_cost(&self, cond: Option<&CondTree>, attrs: &AttrSet) -> f64 {
-        self.model.source_query_cost(cond, attrs, self.card.estimate(cond))
+    fn source_query_cost(&self, cond: Option<&CondTree>, n_attrs: usize) -> f64 {
+        self.model.source_query_cost(cond, n_attrs, self.card.estimate(cond))
+    }
+
+    /// `Attr(n)` as interned symbols, without a string-set detour.
+    fn tree_syms(&self, n: &CondTree) -> SymSet {
+        let mut out = SymSet::new();
+        n.for_each_attr(&mut |a| out.insert(self.interner.intern(a)));
+        out
+    }
+
+    /// The shared name set behind a symbol set (memoized).
+    fn materialize(&mut self, set: &SymSet) -> Arc<AttrSet> {
+        if let Some(hit) = self.attr_names.get(set) {
+            return hit.clone();
+        }
+        let names: Arc<AttrSet> = Arc::new(set.iter().map(|sym| self.interner.name(sym)).collect());
+        self.attr_names.insert(set.clone(), names.clone());
+        names
     }
 }
 
@@ -103,21 +151,26 @@ pub fn ipg_entry(
     ctx: &mut IpgContext<'_, '_>,
 ) -> Option<(Plan, f64)> {
     let canon = canonicalize(cond);
-    ipg(&canon, attrs, ctx)
+    let a: SymSet = attrs.iter().map(|s| ctx.interner.intern(s)).collect();
+    let (plan, cost) = ipg(&canon, &a, ctx)?;
+    Some((plan.as_ref().clone(), cost))
 }
 
 /// Algorithm 6.1 (expects canonical input).
-fn ipg(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Plan, f64)> {
+fn ipg(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc<Plan>, f64)> {
     ctx.stats.calls += 1;
-    let key = (n.clone(), a.clone());
+    // Fingerprints key the memo: linearization is injective on trees, so
+    // equal fingerprints mean equal conditions (up to 2^-128 collisions).
+    let key = (cond_fingerprint(Some(n)), a.clone());
     if let Some(hit) = ctx.memo.get(&key) {
         return hit.clone();
     }
 
     // Pure plan (Fig. 4, first check).
-    let pure: Option<(Plan, f64)> = if ctx.cache.check(Some(n)).covers(a) {
-        let cost = ctx.source_query_cost(Some(n), a);
-        Some((Plan::source(Some(n.clone()), a.clone()), cost))
+    let pure: Option<(Rc<Plan>, f64)> = if ctx.cache.check(Some(n)).covers_syms(a) {
+        let cost = ctx.source_query_cost(Some(n), a.len());
+        let attrs = ctx.materialize(a);
+        Some((Rc::new(Plan::source(Some(n.clone()), attrs)), cost))
     } else {
         None
     };
@@ -129,14 +182,13 @@ fn ipg(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Plan,
     }
 
     // Download-based impure plan.
-    let mut needed: AttrSet = a.clone();
-    needed.extend(n.attrs());
-    let mut plan_impure: Option<(Plan, f64)> = if ctx.cache.check(None).covers(&needed) {
-        let cost = ctx.source_query_cost(None, &needed);
-        Some((
-            Plan::local(Some(n.clone()), a.clone(), Plan::source(None, needed)),
-            cost,
-        ))
+    let mut needed = a.clone();
+    needed.union_with(&ctx.tree_syms(n));
+    let mut plan_impure: Option<(Rc<Plan>, f64)> = if ctx.cache.check(None).covers_syms(&needed) {
+        let cost = ctx.source_query_cost(None, needed.len());
+        let out_attrs = ctx.materialize(a);
+        let fetched = ctx.materialize(&needed);
+        Some((Rc::new(Plan::local(Some(n.clone()), out_attrs, Plan::source(None, fetched))), cost))
     } else {
         None
     };
@@ -161,7 +213,7 @@ fn ipg(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Plan,
     result
 }
 
-fn min_plan(a: Option<(Plan, f64)>, b: Option<(Plan, f64)>) -> Option<(Plan, f64)> {
+fn min_plan(a: Option<(Rc<Plan>, f64)>, b: Option<(Rc<Plan>, f64)>) -> Option<(Rc<Plan>, f64)> {
     match (a, b) {
         (Some(x), Some(y)) => Some(if x.1 <= y.1 { x } else { y }),
         (x, None) => x,
@@ -170,7 +222,8 @@ fn min_plan(a: Option<(Plan, f64)>, b: Option<(Plan, f64)>) -> Option<(Plan, f64
 }
 
 /// `OR(N)` / `AND(N)`: the sub-condition of a children subset (bitmask),
-/// order-preserving; singletons collapse to the child itself.
+/// order-preserving; singletons collapse to the child itself. Built only
+/// for subsets the masked `Check` accepted.
 fn sub_cond(conn: Connector, children: &[CondTree], mask: u64) -> CondTree {
     let picked: Vec<CondTree> = children
         .iter()
@@ -185,13 +238,15 @@ fn sub_cond(conn: Connector, children: &[CondTree], mask: u64) -> CondTree {
     }
 }
 
-fn attrs_of_mask(children: &[CondTree], mask: u64) -> AttrSet {
-    children
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| mask & (1 << i) != 0)
-        .flat_map(|(_, c)| c.attrs())
-        .collect()
+/// Union of the pre-interned child attribute sets selected by `mask`.
+fn syms_of_mask(child_attrs: &[SymSet], mask: u64) -> SymSet {
+    let mut out = SymSet::new();
+    for (i, ca) in child_attrs.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            out.union_with(ca);
+        }
+    }
+    out
 }
 
 /// Inserts a candidate into the sub-plan array, honoring PR2.
@@ -225,10 +280,8 @@ fn push_subplan(
 /// PR3: removes sub-plans dominated by another entry covering a superset of
 /// children at no greater cost.
 fn prune_dominated(p: &mut HashMap<u64, Vec<SubPlan>>) {
-    let snapshot: Vec<(u64, f64)> = p
-        .iter()
-        .flat_map(|(m, subs)| subs.iter().map(move |s| (*m, s.cost)))
-        .collect();
+    let snapshot: Vec<(u64, f64)> =
+        p.iter().flat_map(|(m, subs)| subs.iter().map(move |s| (*m, s.cost))).collect();
     p.retain(|mask, subs| {
         subs.retain(|s| {
             !snapshot.iter().any(|(m2, c2)| {
@@ -248,7 +301,7 @@ fn combine(
     universe: u64,
     conn: Connector,
     ctx: &mut IpgContext<'_, '_>,
-) -> Option<(Plan, f64)> {
+) -> Option<(Rc<Plan>, f64)> {
     let mut items: Vec<CoverItem> = Vec::new();
     let mut plans: Vec<&SubPlan> = Vec::new();
     for (mask, subs) in p {
@@ -265,17 +318,21 @@ fn combine(
     };
     ctx.stats.mcsc_nodes += mstats.nodes;
     let chosen = solution?;
-    let chosen_plans: Vec<Plan> = chosen.iter().map(|&i| plans[i].plan.clone()).collect();
+    if let [only] = chosen.as_slice() {
+        // Singleton cover: share the sub-plan, no copy at all.
+        return Some((plans[*only].plan.clone(), plans[*only].cost));
+    }
+    let chosen_plans: Vec<Plan> = chosen.iter().map(|&i| plans[i].plan.as_ref().clone()).collect();
     let total: f64 = chosen.iter().map(|&i| plans[i].cost).sum();
     let combined = match conn {
         Connector::And => Plan::intersect(chosen_plans),
         Connector::Or => Plan::union(chosen_plans),
     };
-    Some((combined, total))
+    Some((Rc::new(combined), total))
 }
 
 /// Figure 5: the best impure plan for an `_` node.
-fn or_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Plan, f64)> {
+fn or_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc<Plan>, f64)> {
     let children = n.children();
     let k = children.len();
     if k > ctx.cfg.max_children {
@@ -285,15 +342,17 @@ fn or_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(P
     let full: u64 = (1u64 << k) - 1;
     let mut p: HashMap<u64, Vec<SubPlan>> = HashMap::new();
 
-    // Step 1a (lines 3–5): pure sub-plans for every non-empty subset.
+    // Step 1a (lines 3–5): pure sub-plans for every non-empty subset. The
+    // masked check decides support before any sub-condition tree exists.
     for mask in 1..=full {
-        let cond = sub_cond(Connector::Or, children, mask);
-        if ctx.cache.check(Some(&cond)).covers(a) {
-            let cost = ctx.source_query_cost(Some(&cond), a);
+        if ctx.cache.check_masked(Connector::Or, children, mask).covers_syms(a) {
+            let cond = sub_cond(Connector::Or, children, mask);
+            let cost = ctx.source_query_cost(Some(&cond), a.len());
+            let attrs = ctx.materialize(a);
             push_subplan(
                 &mut p,
                 mask,
-                SubPlan { plan: Plan::source(Some(cond), a.clone()), cost, pure: true },
+                SubPlan { plan: Rc::new(Plan::source(Some(cond), attrs)), cost, pure: true },
                 ctx,
             );
         }
@@ -320,7 +379,7 @@ fn or_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(P
 }
 
 /// Figure 6: the best impure plan for an `^` node.
-fn and_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Plan, f64)> {
+fn and_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc<Plan>, f64)> {
     let children = n.children().to_vec();
     let k = children.len();
     if k > ctx.cfg.max_children {
@@ -329,32 +388,39 @@ fn and_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(
     }
     let full: u64 = (1u64 << k) - 1;
     let mut p: HashMap<u64, Vec<SubPlan>> = HashMap::new();
+    // `Attr(child)` interned once per node; every MaxEval / widening below
+    // is bitset arithmetic over these.
+    let child_attrs: Vec<SymSet> = children.iter().map(|c| ctx.tree_syms(c)).collect();
 
     // Lines 3–9: pure sub-plans, plus mediator-side evaluation of additional
     // children on a supported query's exports (MaxEval).
     for mask in 1..=full {
-        let cond_n = sub_cond(Connector::And, &children, mask);
-        let export = ctx.cache.check(Some(&cond_n));
+        let export = ctx.cache.check_masked(Connector::And, &children, mask);
         if export.is_empty() {
             continue;
         }
-        if export.covers(a) {
-            let cost = ctx.source_query_cost(Some(&cond_n), a);
+        let cond_n = sub_cond(Connector::And, &children, mask);
+        if export.covers_syms(a) {
+            let cost = ctx.source_query_cost(Some(&cond_n), a.len());
+            let attrs = ctx.materialize(a);
             push_subplan(
                 &mut p,
                 mask,
-                SubPlan { plan: Plan::source(Some(cond_n.clone()), a.clone()), cost, pure: true },
+                SubPlan {
+                    plan: Rc::new(Plan::source(Some(cond_n.clone()), attrs)),
+                    cost,
+                    pure: true,
+                },
                 ctx,
             );
         }
         // For each maximal exported attribute set AN (antichain element):
-        for an in export.sets() {
-            if !a.iter().all(|x| an.contains(x)) {
+        for an in export.sym_sets() {
+            if !a.is_subset(an) {
                 continue; // the nested query must still deliver A
             }
-            let evaluable = max_eval(an, &children);
-            let nadd: Vec<usize> =
-                evaluable.into_iter().filter(|i| mask & (1 << i) == 0).collect();
+            let evaluable = max_eval(an, &child_attrs);
+            let nadd: Vec<usize> = evaluable.into_iter().filter(|i| mask & (1 << i) == 0).collect();
             if nadd.is_empty() {
                 continue;
             }
@@ -366,20 +432,22 @@ fn and_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(
                     .filter(|(j, _)| m_bits & (1 << j) != 0)
                     .map(|(_, &i)| 1u64 << i)
                     .sum();
-                let cond_m = sub_cond(Connector::And, &children, m_mask);
-                let mut fetched: AttrSet = a.clone();
-                fetched.extend(attrs_of_mask(&children, m_mask));
+                let mut fetched = a.clone();
+                fetched.union_with(&syms_of_mask(&child_attrs, m_mask));
                 // Attr(AND(M)) ⊆ AN by MaxEval; A ⊆ AN checked above.
-                let cost = ctx.source_query_cost(Some(&cond_n), &fetched);
+                let cost = ctx.source_query_cost(Some(&cond_n), fetched.len());
+                let cond_m = sub_cond(Connector::And, &children, m_mask);
+                let out_attrs = ctx.materialize(a);
+                let fetched_attrs = ctx.materialize(&fetched);
                 let plan = Plan::local(
                     Some(cond_m),
-                    a.clone(),
-                    Plan::source(Some(cond_n.clone()), fetched),
+                    out_attrs,
+                    Plan::source(Some(cond_n.clone()), fetched_attrs),
                 );
                 push_subplan(
                     &mut p,
                     mask | m_mask,
-                    SubPlan { plan, cost, pure: false },
+                    SubPlan { plan: Rc::new(plan), cost, pure: false },
                     ctx,
                 );
             }
@@ -405,19 +473,22 @@ fn and_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(
                 continue;
             }
             let rest_mask = mask & !child_bit;
-            let (widened, rest_cond) = if rest_mask == 0 {
-                (a.clone(), None)
+            let widened = if rest_mask == 0 {
+                a.clone()
             } else {
                 let mut w = a.clone();
-                w.extend(attrs_of_mask(&children, rest_mask));
-                (w, Some(sub_cond(Connector::And, &children, rest_mask)))
+                w.union_with(&syms_of_mask(&child_attrs, rest_mask));
+                w
             };
             let Some((sub_plan, sub_cost)) = ipg(&children[i], &widened, ctx) else {
                 continue;
             };
-            let plan = match rest_cond {
-                None => sub_plan,
-                Some(rc) => Plan::local(Some(rc), a.clone(), sub_plan),
+            let plan = if rest_mask == 0 {
+                sub_plan // shared as-is: no wrapper, no copy
+            } else {
+                let rest_cond = sub_cond(Connector::And, &children, rest_mask);
+                let out_attrs = ctx.materialize(a);
+                Rc::new(Plan::local(Some(rest_cond), out_attrs, sub_plan.as_ref().clone()))
             };
             push_subplan(&mut p, mask, SubPlan { plan, cost: sub_cost, pure: false }, ctx);
         }
@@ -434,8 +505,8 @@ fn and_node(n: &CondTree, a: &AttrSet, ctx: &mut IpgContext<'_, '_>) -> Option<(
 mod tests {
     use super::*;
     use csqp_expr::parse::parse_condition;
-    use csqp_plan::cost::UniformCard;
     use csqp_plan::attrs;
+    use csqp_plan::cost::UniformCard;
     use csqp_ssdl::check::CompiledSource;
     use csqp_ssdl::closure::permutation_closure;
     use csqp_ssdl::{parse_ssdl, templates};
@@ -509,12 +580,7 @@ mod tests {
              attributes :: s3 : { k, b } ;\n}",
         )
         .unwrap();
-        let (res, stats) = run_ipg(
-            desc,
-            "a = 1 ^ b = 2 ^ c = 3",
-            &["k"],
-            IpgConfig::default(),
-        );
+        let (res, stats) = run_ipg(desc, "a = 1 ^ b = 2 ^ c = 3", &["k"], IpgConfig::default());
         let (plan, _) = res.unwrap();
         // Best plan intersects SP(c1) with a nested plan covering {c2, c3}
         // via one source query (Plan 3 of the example), beating the
@@ -566,12 +632,8 @@ mod tests {
 
     #[test]
     fn infeasible_returns_none() {
-        let (res, _) = run_ipg(
-            templates::car_dealer(),
-            "year = 1995",
-            &["model"],
-            IpgConfig::default(),
-        );
+        let (res, _) =
+            run_ipg(templates::car_dealer(), "year = 1995", &["model"], IpgConfig::default());
         assert!(res.is_none());
     }
 
@@ -580,8 +642,7 @@ mod tests {
         let cond = "(make = \"BMW\" ^ price < 40000) ^ (color = \"red\" _ color = \"black\")";
         let cfg_on = IpgConfig::default();
         let cfg_off = IpgConfig { pr1: false, ..IpgConfig::default() };
-        let (res_on, stats_on) =
-            run_ipg(templates::car_dealer(), cond, &["model", "year"], cfg_on);
+        let (res_on, stats_on) = run_ipg(templates::car_dealer(), cond, &["model", "year"], cfg_on);
         let (res_off, stats_off) =
             run_ipg(templates::car_dealer(), cond, &["model", "year"], cfg_off);
         assert_eq!(res_on.unwrap().1, res_off.unwrap().1, "same optimal cost");
@@ -640,10 +701,8 @@ mod tests {
 
     #[test]
     fn fan_out_cap_reports_truncation() {
-        let desc = parse_ssdl(
-            "source t {\ns1 -> a = $int ;\nattributes :: s1 : { k } ;\n}",
-        )
-        .unwrap();
+        let desc =
+            parse_ssdl("source t {\ns1 -> a = $int ;\nattributes :: s1 : { k } ;\n}").unwrap();
         let parts: Vec<String> = (0..16).map(|i| format!("a = {i}")).collect();
         let cond = parts.join(" _ ");
         let cfg = IpgConfig { max_children: 8, ..IpgConfig::default() };

@@ -131,9 +131,7 @@ impl JoinMediator {
         if values.len() == 1 {
             CondTree::leaf(Atom::eq(key, values[0].clone()))
         } else {
-            CondTree::or(
-                values.iter().map(|v| CondTree::leaf(Atom::eq(key, v.clone()))).collect(),
-            )
+            CondTree::or(values.iter().map(|v| CondTree::leaf(Atom::eq(key, v.clone()))).collect())
         }
     }
 
@@ -152,13 +150,7 @@ impl JoinMediator {
         let probe_values = self.probe_values(source, key);
         let cond = Self::bound_condition(&keyed.cond, key, &probe_values);
         let card = StatsCard::new(source.stats());
-        plan_compact(
-            &TargetQuery::new(cond, keyed.attrs),
-            source,
-            &card,
-            &self.cfg.compact,
-        )
-        .is_ok()
+        plan_compact(&TargetQuery::new(cond, keyed.attrs), source, &card, &self.cfg.compact).is_ok()
     }
 
     /// Two representative key constants: real values when statistics carry
@@ -266,11 +258,7 @@ impl JoinMediator {
     }
 
     /// Distinct key values of `rows[key]` (None = over the bind cap).
-    fn distinct_keys(
-        &self,
-        rows: &csqp_relation::Relation,
-        key: &str,
-    ) -> Option<Vec<Value>> {
+    fn distinct_keys(&self, rows: &csqp_relation::Relation, key: &str) -> Option<Vec<Value>> {
         let idx = rows.schema().col_index(key)?;
         let mut seen: Vec<Value> = Vec::new();
         for t in rows.tuples() {
@@ -302,12 +290,8 @@ impl JoinMediator {
                 self.left
                     .relation()
                     .schema()
-                    .project(
-                        &left_q.attrs.iter().map(String::as_str).collect::<Vec<_>>(),
-                    )
-                    .map_err(|e| {
-                        MediatorError::Plan(PlanError::MalformedQuery(e.to_string()))
-                    })?,
+                    .project(&left_q.attrs.iter().map(String::as_str).collect::<Vec<_>>())
+                    .map_err(|e| MediatorError::Plan(PlanError::MalformedQuery(e.to_string())))?,
             );
             return Ok(Some((empty, Meter::default())));
         }
@@ -336,12 +320,8 @@ impl JoinMediator {
                 self.right
                     .relation()
                     .schema()
-                    .project(
-                        &right_q.attrs.iter().map(String::as_str).collect::<Vec<_>>(),
-                    )
-                    .map_err(|e| {
-                        MediatorError::Plan(PlanError::MalformedQuery(e.to_string()))
-                    })?,
+                    .project(&right_q.attrs.iter().map(String::as_str).collect::<Vec<_>>())
+                    .map_err(|e| MediatorError::Plan(PlanError::MalformedQuery(e.to_string())))?,
             );
             return Ok(Some((empty, Meter::default())));
         }
@@ -413,8 +393,8 @@ impl JoinMediator {
                 }
             }
         }
-        let measured_cost = left_meter.cost(self.left.cost_params())
-            + right_meter.cost(self.right.cost_params());
+        let measured_cost =
+            left_meter.cost(self.left.cost_params()) + right_meter.cost(self.right.cost_params());
         Ok(JoinOutcome { rows: out, strategy, left_meter, right_meter, measured_cost })
     }
 }
@@ -432,16 +412,10 @@ mod tests {
         let isbns: Vec<Value> =
             book_rel.tuples().iter().map(|t| t.get(isbn_idx).unwrap().clone()).collect();
         let review_rel = reviews(11, &isbns, 3);
-        let bookstore = Arc::new(Source::new(
-            book_rel,
-            templates::bookstore(),
-            CostParams::default(),
-        ));
-        let review_site = Arc::new(Source::new(
-            review_rel,
-            templates::reviews(),
-            CostParams::default(),
-        ));
+        let bookstore =
+            Arc::new(Source::new(book_rel, templates::bookstore(), CostParams::default()));
+        let review_site =
+            Arc::new(Source::new(review_rel, templates::reviews(), CostParams::default()));
         (bookstore, review_site)
     }
 
@@ -463,11 +437,7 @@ mod tests {
     }
 
     /// Oracle: nested loops over the raw relations.
-    fn oracle_count(
-        left: &Source,
-        right: &Source,
-        q: &JoinQuery,
-    ) -> usize {
+    fn oracle_count(left: &Source, right: &Source, q: &JoinQuery) -> usize {
         use csqp_relation::ops::select;
         let l = select(left.relation(), Some(&q.left.cond));
         let r = select(right.relation(), Some(&q.right.cond));
@@ -496,11 +466,8 @@ mod tests {
         assert_eq!(out.rows.len(), oracle_count(&bookstore, &review_site, &q));
         assert!(!out.rows.is_empty(), "test data must produce matches");
         // The bind join never downloads all high-rated reviews.
-        let all_high = csqp_relation::ops::select(
-            review_site.relation(),
-            Some(&q.right.cond),
-        )
-        .len() as u64;
+        let all_high =
+            csqp_relation::ops::select(review_site.relation(), Some(&q.right.cond)).len() as u64;
         assert!(out.right_meter.tuples_shipped < all_high / 2);
     }
 
@@ -529,18 +496,16 @@ mod tests {
         // A broad left side (keyword only): far more than 4 keys.
         let q = JoinQuery {
             left: TargetQuery::parse(r#"title contains "the""#, &["isbn"]).unwrap(),
-            right: TargetQuery::parse(r#"rating >= 1"#, &["review_id", "isbn", "rating"])
-                .unwrap(),
+            right: TargetQuery::parse(r#"rating >= 1"#, &["review_id", "isbn", "rating"]).unwrap(),
             left_key: "isbn".into(),
             right_key: "isbn".into(),
         };
-        let jm = JoinMediator::new(bookstore.clone(), review_site.clone()).with_config(
-            JoinConfig {
+        let jm =
+            JoinMediator::new(bookstore.clone(), review_site.clone()).with_config(JoinConfig {
                 max_bind_values: 4,
                 force: Some(JoinStrategy::BindLeftIntoRight),
                 ..Default::default()
-            },
-        );
+            });
         let out = jm.run(&q).unwrap();
         assert_eq!(out.strategy, JoinStrategy::Hash, "fell back at runtime");
         assert_eq!(out.rows.len(), oracle_count(&bookstore, &review_site, &q));

@@ -47,12 +47,13 @@ pub mod mark;
 pub mod maxeval;
 pub mod mcsc;
 pub mod mediator;
+pub mod par;
 pub mod types;
 
+pub use federation::{FederatedPlan, Federation};
 pub use gencompact::{plan_compact, GenCompactConfig};
 pub use genmodular::{plan_modular, GenModularConfig};
 pub use ipg::IpgConfig;
-pub use federation::{FederatedPlan, Federation};
 pub use join::{JoinConfig, JoinMediator, JoinOutcome, JoinQuery, JoinStrategy};
 pub use mediator::{CardKind, Mediator, RunOutcome, Scheme};
 pub use types::{PlanError, PlannedQuery, PlannerReport, TargetQuery};

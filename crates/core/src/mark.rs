@@ -110,10 +110,7 @@ mod tests {
     fn example_5_1_t0_all_empty() {
         let compiled = CompiledSource::new(templates::car_dealer());
         let cache = CheckCache::new(&compiled);
-        let t0 = parse_condition(
-            "price < 40000 ^ color = \"red\" ^ make = \"BMW\"",
-        )
-        .unwrap();
+        let t0 = parse_condition("price < 40000 ^ color = \"red\" ^ make = \"BMW\"").unwrap();
         let m = mark(&t0, &cache);
         fn all_empty(m: &Marked) -> bool {
             m.export.is_empty() && m.children.iter().all(all_empty)

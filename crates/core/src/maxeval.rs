@@ -3,48 +3,58 @@
 //! Given the attribute set `AN` a source query exports, returns the children
 //! of `n` whose conditions the *mediator* can evaluate locally on the
 //! query's result: those with `Attr(child) ⊆ AN`.
+//!
+//! Attribute sets arrive pre-interned as [`SymSet`] bitsets (the IPG planner
+//! interns each child's attributes once per node), so each child test is a
+//! word-wide subset check rather than a string-set comparison.
 
-use csqp_expr::CondTree;
-use std::collections::BTreeSet;
+use csqp_expr::SymSet;
 
-/// Indices of `children` evaluable from the exported attributes `an`.
-pub fn max_eval(an: &BTreeSet<String>, children: &[CondTree]) -> Vec<usize> {
-    children
-        .iter()
-        .enumerate()
-        .filter(|(_, c)| c.attrs().iter().all(|a| an.contains(a)))
-        .map(|(i, _)| i)
-        .collect()
+/// Indices of children evaluable from the exported attributes `an`;
+/// `child_attrs[i]` is `Attr(children[i])` interned against the same
+/// interner as `an`.
+pub fn max_eval(an: &SymSet, child_attrs: &[SymSet]) -> Vec<usize> {
+    child_attrs.iter().enumerate().filter(|(_, c)| c.is_subset(an)).map(|(i, _)| i).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use csqp_expr::parse::parse_condition;
+    use csqp_expr::Interner;
 
-    fn attrs(names: &[&str]) -> BTreeSet<String> {
-        names.iter().map(|s| s.to_string()).collect()
+    fn setup(cond: &str) -> (Interner, Vec<SymSet>) {
+        let ct = parse_condition(cond).unwrap();
+        let interner = Interner::new();
+        let child_attrs = ct
+            .children()
+            .iter()
+            .map(|c| {
+                let mut set = SymSet::new();
+                c.for_each_attr(&mut |a| set.insert(interner.intern(a)));
+                set
+            })
+            .collect();
+        (interner, child_attrs)
+    }
+
+    fn syms(interner: &Interner, names: &[&str]) -> SymSet {
+        names.iter().map(|a| interner.intern(a)).collect()
     }
 
     #[test]
     fn selects_evaluable_children() {
-        let ct = parse_condition(
-            "make = \"BMW\" ^ (color = \"red\" _ color = \"black\") ^ price < 40000",
-        )
-        .unwrap();
-        let children = ct.children().to_vec();
-        assert_eq!(max_eval(&attrs(&["color"]), &children), vec![1]);
-        assert_eq!(max_eval(&attrs(&["make", "color"]), &children), vec![0, 1]);
-        assert_eq!(
-            max_eval(&attrs(&["make", "color", "price"]), &children),
-            vec![0, 1, 2]
-        );
-        assert!(max_eval(&attrs(&["year"]), &children).is_empty());
+        let (i, children) =
+            setup("make = \"BMW\" ^ (color = \"red\" _ color = \"black\") ^ price < 40000");
+        assert_eq!(max_eval(&syms(&i, &["color"]), &children), vec![1]);
+        assert_eq!(max_eval(&syms(&i, &["make", "color"]), &children), vec![0, 1]);
+        assert_eq!(max_eval(&syms(&i, &["make", "color", "price"]), &children), vec![0, 1, 2]);
+        assert!(max_eval(&syms(&i, &["year"]), &children).is_empty());
     }
 
     #[test]
     fn empty_attr_set_evaluates_nothing() {
-        let ct = parse_condition("a = 1 ^ b = 2").unwrap();
-        assert!(max_eval(&BTreeSet::new(), ct.children()).is_empty());
+        let (_, children) = setup("a = 1 ^ b = 2");
+        assert!(max_eval(&SymSet::new(), &children).is_empty());
     }
 }

@@ -179,12 +179,7 @@ mod tests {
     fn exact_beats_greedy_on_adversarial_input() {
         // Classic greedy trap: one big slightly-pricier set vs chained
         // cheap-ratio picks.
-        let items = [
-            item(0b1111, 4.1),
-            item(0b0011, 2.0),
-            item(0b1100, 2.0),
-            item(0b0001, 0.9),
-        ];
+        let items = [item(0b1111, 4.1), item(0b0011, 2.0), item(0b1100, 2.0), item(0b0001, 0.9)];
         let (ex, _) = solve_exact(&items, 0b1111);
         let ex_cost = cover_cost(&items, &ex.unwrap());
         assert!((ex_cost - 4.0).abs() < 1e-9, "exact picks the two pairs: {ex_cost}");

@@ -12,8 +12,8 @@ use crate::gencompact::{plan_compact_with_model, GenCompactConfig};
 use crate::genmodular::{plan_modular_with_model, GenModularConfig};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
 use csqp_plan::cost::{OracleCard, StatsCard, UniformCard};
-use csqp_plan::model::CostModel;
 use csqp_plan::exec::{execute_measured, ExecError};
+use csqp_plan::model::CostModel;
 use csqp_relation::Relation;
 use csqp_source::{Meter, Source};
 use std::fmt;
@@ -216,10 +216,7 @@ impl Mediator {
                 self.dispatch(query, &card)
             }
             CardKind::Uniform { atom_selectivity } => {
-                let card = UniformCard {
-                    rows: s.relation().len() as f64,
-                    atom_selectivity,
-                };
+                let card = UniformCard { rows: s.relation().len() as f64, atom_selectivity };
                 self.dispatch(query, &card)
             }
         }
@@ -237,12 +234,8 @@ impl Mediator {
             None => default_model,
         };
         match self.scheme {
-            Scheme::GenCompact => {
-                plan_compact_with_model(query, s, card, &self.compact_cfg, model)
-            }
-            Scheme::GenModular => {
-                plan_modular_with_model(query, s, card, &self.modular_cfg, model)
-            }
+            Scheme::GenCompact => plan_compact_with_model(query, s, card, &self.compact_cfg, model),
+            Scheme::GenModular => plan_modular_with_model(query, s, card, &self.modular_cfg, model),
             Scheme::Cnf => plan_cnf_with_model(query, s, card, model),
             Scheme::Dnf => plan_dnf_with_model(query, s, card, model),
             Scheme::Disco => plan_disco_with_model(query, s, card, model),
@@ -274,11 +267,8 @@ mod tests {
         let catalog = Catalog::demo_small(7);
         let source = catalog.get("bookstore").unwrap().clone();
         let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
-        let want = project(
-            &select(source.relation(), Some(&q.cond)),
-            &["isbn", "author", "title"],
-        )
-        .unwrap();
+        let want = project(&select(source.relation(), Some(&q.cond)), &["isbn", "author", "title"])
+            .unwrap();
 
         let mut costs = std::collections::HashMap::new();
         for scheme in [Scheme::GenCompact, Scheme::Dnf, Scheme::Cnf] {
@@ -307,10 +297,8 @@ mod tests {
         )
         .unwrap();
         let compact = Mediator::new(source.clone()).plan(&q).unwrap();
-        let modular = Mediator::new(source.clone())
-            .with_scheme(Scheme::GenModular)
-            .plan(&q)
-            .unwrap();
+        let modular =
+            Mediator::new(source.clone()).with_scheme(Scheme::GenModular).plan(&q).unwrap();
         assert!(
             (compact.est_cost - modular.est_cost).abs() < 1e-6,
             "optimality preserved: compact {} vs modular {}",
@@ -328,11 +316,8 @@ mod tests {
             &["listing_id", "model"],
         )
         .unwrap();
-        for kind in [
-            CardKind::Stats,
-            CardKind::Oracle,
-            CardKind::Uniform { atom_selectivity: 0.2 },
-        ] {
+        for kind in [CardKind::Stats, CardKind::Oracle, CardKind::Uniform { atom_selectivity: 0.2 }]
+        {
             let m = Mediator::new(source.clone()).with_cardinality(kind);
             let planned = m.plan(&q).unwrap();
             assert!(planned.plan.is_concrete());

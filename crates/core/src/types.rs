@@ -108,13 +108,9 @@ mod tests {
 
     #[test]
     fn parse_and_display() {
-        let q = TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"])
-            .unwrap();
+        let q = TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"]).unwrap();
         assert_eq!(q.attrs.len(), 2);
-        assert_eq!(
-            q.to_string(),
-            "SP(make = \"BMW\" ^ price < 40000, {model, year}, R)"
-        );
+        assert_eq!(q.to_string(), "SP(make = \"BMW\" ^ price < 40000, {model, year}, R)");
         assert!(TargetQuery::parse("make = ", &["model"]).is_err());
     }
 

@@ -73,9 +73,7 @@ fn parse_args() -> Result<Args, String> {
             "--attrs" => {
                 args.attrs = value(&mut i)?.split(',').map(|s| s.trim().to_string()).collect()
             }
-            "--key" => {
-                args.key = value(&mut i)?.split(',').map(|s| s.trim().to_string()).collect()
-            }
+            "--key" => args.key = value(&mut i)?.split(',').map(|s| s.trim().to_string()).collect(),
             "--scheme" => {
                 args.scheme = match value(&mut i)?.to_ascii_lowercase().as_str() {
                     "gencompact" => Scheme::GenCompact,
@@ -96,11 +94,9 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    for (flag, val) in [
-        ("--ssdl", &args.ssdl_path),
-        ("--csv", &args.csv_path),
-        ("--query", &args.query),
-    ] {
+    for (flag, val) in
+        [("--ssdl", &args.ssdl_path), ("--csv", &args.csv_path), ("--query", &args.query)]
+    {
         if val.is_empty() {
             return Err(format!("{flag} is required"));
         }
@@ -146,14 +142,13 @@ fn main() -> ExitCode {
         }
     };
     let key_refs: Vec<&str> = args.key.iter().map(String::as_str).collect();
-    let relation =
-        match csqp::relation::csv::load_csv(&desc.name.clone(), &csv_text, &key_refs) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: {}: {e}", args.csv_path);
-                return ExitCode::FAILURE;
-            }
-        };
+    let relation = match csqp::relation::csv::load_csv(&desc.name.clone(), &csv_text, &key_refs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {}: {e}", args.csv_path);
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!(
         "loaded {} rows into {} ({} supported query forms)",
         relation.len(),

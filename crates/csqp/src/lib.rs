@@ -50,7 +50,9 @@ pub mod prelude {
     pub use csqp_core::{GenCompactConfig, GenModularConfig, IpgConfig};
     pub use csqp_expr::parse::parse_condition;
     pub use csqp_expr::{Atom, CmpOp, CondTree, Connector, Value, ValueType};
-    pub use csqp_plan::{attrs, execute, execute_measured, AttrSet, CostModel, LatencyBandwidthCost, Plan};
+    pub use csqp_plan::{
+        attrs, execute, execute_measured, AttrSet, CostModel, LatencyBandwidthCost, Plan,
+    };
     pub use csqp_relation::{Relation, Schema, TableStats};
     pub use csqp_source::{Catalog, CostParams, Meter, Source};
     pub use csqp_ssdl::{parse_ssdl, CompiledSource, SsdlDesc};

@@ -28,15 +28,8 @@ pub enum CmpOp {
 
 impl CmpOp {
     /// All operators, in display order.
-    pub const ALL: [CmpOp; 7] = [
-        CmpOp::Eq,
-        CmpOp::Ne,
-        CmpOp::Lt,
-        CmpOp::Le,
-        CmpOp::Gt,
-        CmpOp::Ge,
-        CmpOp::Contains,
-    ];
+    pub const ALL: [CmpOp; 7] =
+        [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Contains];
 
     /// The token used in the text syntax and in SSDL rules.
     pub fn symbol(self) -> &'static str {

@@ -172,10 +172,7 @@ mod tests {
         ]);
         let f = flatten_root(&t);
         // One level flattened; the inner ^(b,c) remains nested.
-        assert_eq!(
-            f,
-            CondTree::and(vec![a("a"), CondTree::and(vec![a("b"), a("c")]), a("d")])
-        );
+        assert_eq!(f, CondTree::and(vec![a("a"), CondTree::and(vec![a("b"), a("c")]), a("d")]));
     }
 
     #[test]

@@ -223,9 +223,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty value pool")]
     fn rejects_empty_pool() {
-        CondGen::new(
-            1,
-            vec![GenAttr { name: "x".into(), ty: ValueType::Int, pool: vec![] }],
-        );
+        CondGen::new(1, vec![GenAttr { name: "x".into(), ty: ValueType::Int, pool: vec![] }]);
     }
 }

@@ -1,0 +1,308 @@
+//! Symbol interning and bitset attribute sets — the planner hot-path
+//! substrate.
+//!
+//! The planner's inner loops (mark, IPG pruning, MCSC cover construction)
+//! test attribute-set containment constantly. Interning maps each attribute
+//! name to a dense `u32` [`Sym`] once, per schema, so those tests become
+//! integer bitset operations ([`SymSet`]) instead of `BTreeSet<String>`
+//! comparisons — single AND/OR instructions for schemas up to 64 attributes,
+//! with a graceful multi-word spill beyond (see DESIGN.md, "Implementation
+//! notes: interning & bitsets").
+//!
+//! The interner is internally synchronized (`RwLock`) because compiled
+//! sources are shared across threads (`Arc<Source>`) by the parallel
+//! federation planner; reads are lock-read-only once a name is known.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+/// A dense interned symbol id. Ids are allocated sequentially from 0 by one
+/// [`Interner`]; ids from different interners are incomparable.
+pub type Sym = u32;
+
+#[derive(Debug, Default)]
+struct InternerInner {
+    ids: HashMap<String, Sym>,
+    names: Vec<String>,
+}
+
+/// A per-schema string interner: attribute names (and any other terminal
+/// vocabulary) to dense [`Sym`] ids.
+#[derive(Debug, Default)]
+pub struct Interner {
+    inner: RwLock<InternerInner>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Returns the symbol for `name`, interning it if new.
+    pub fn intern(&self, name: &str) -> Sym {
+        if let Some(&id) = self.inner.read().expect("interner poisoned").ids.get(name) {
+            return id;
+        }
+        let mut inner = self.inner.write().expect("interner poisoned");
+        if let Some(&id) = inner.ids.get(name) {
+            return id; // raced with another writer
+        }
+        let id = Sym::try_from(inner.names.len()).expect("interner id space exhausted");
+        inner.names.push(name.to_string());
+        inner.ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// Read-only lookup: `None` if `name` was never interned.
+    pub fn lookup(&self, name: &str) -> Option<Sym> {
+        self.inner.read().expect("interner poisoned").ids.get(name).copied()
+    }
+
+    /// The name behind a symbol.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not allocated by this interner.
+    pub fn name(&self, sym: Sym) -> String {
+        self.inner.read().expect("interner poisoned").names[sym as usize].clone()
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("interner poisoned").names.len()
+    }
+
+    /// Is the interner empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A set of [`Sym`]s as a dynamic bitset.
+///
+/// The first 64 ids live in an inline word (`lo`) — for typical schemas
+/// (≤ 64 attributes) every set operation is a handful of integer
+/// instructions and the set never allocates. Ids ≥ 64 spill into `hi`
+/// words; operations stay integer-wide, just over more words.
+///
+/// Invariant: `hi` never has trailing zero words, so `Eq`/`Hash` agree
+/// with set semantics.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct SymSet {
+    lo: u64,
+    hi: Vec<u64>,
+}
+
+impl SymSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        SymSet::default()
+    }
+
+    /// A set containing the given symbols.
+    pub fn from_syms(syms: impl IntoIterator<Item = Sym>) -> Self {
+        let mut s = SymSet::new();
+        for sym in syms {
+            s.insert(sym);
+        }
+        s
+    }
+
+    #[inline]
+    fn word_bit(sym: Sym) -> (usize, u64) {
+        ((sym / 64) as usize, 1u64 << (sym % 64))
+    }
+
+    /// Inserts a symbol.
+    pub fn insert(&mut self, sym: Sym) {
+        let (word, bit) = Self::word_bit(sym);
+        if word == 0 {
+            self.lo |= bit;
+        } else {
+            if self.hi.len() < word {
+                self.hi.resize(word, 0);
+            }
+            self.hi[word - 1] |= bit;
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, sym: Sym) -> bool {
+        let (word, bit) = Self::word_bit(sym);
+        if word == 0 {
+            self.lo & bit != 0
+        } else {
+            self.hi.get(word - 1).is_some_and(|w| w & bit != 0)
+        }
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == 0 && self.hi.is_empty()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.lo.count_ones() as usize
+            + self.hi.iter().map(|w| w.count_ones() as usize).sum::<usize>()
+    }
+
+    /// `self ⊆ other` — the planner's feasibility primitive.
+    #[inline]
+    pub fn is_subset(&self, other: &SymSet) -> bool {
+        if self.lo & !other.lo != 0 {
+            return false;
+        }
+        if self.hi.len() > other.hi.len() {
+            // Invariant: no trailing zeros, so extra words mean extra bits.
+            return false;
+        }
+        self.hi.iter().zip(&other.hi).all(|(a, b)| a & !b == 0)
+    }
+
+    /// `self ⊇ other`.
+    #[inline]
+    pub fn is_superset(&self, other: &SymSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &SymSet) {
+        self.lo |= other.lo;
+        if self.hi.len() < other.hi.len() {
+            self.hi.resize(other.hi.len(), 0);
+        }
+        for (a, b) in self.hi.iter_mut().zip(&other.hi) {
+            *a |= *b;
+        }
+    }
+
+    /// Union as a new set.
+    pub fn union(&self, other: &SymSet) -> SymSet {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = Sym> + '_ {
+        std::iter::once(self.lo).chain(self.hi.iter().copied()).enumerate().flat_map(
+            |(word, mut bits)| {
+                let base = word as u32 * 64;
+                std::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let tz = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(base + tz)
+                })
+            },
+        )
+    }
+}
+
+impl FromIterator<Sym> for SymSet {
+    fn from_iter<I: IntoIterator<Item = Sym>>(iter: I) -> Self {
+        SymSet::from_syms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_dense() {
+        let i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.lookup("beta"), Some(b));
+        assert_eq!(i.lookup("gamma"), None);
+        assert_eq!(i.name(a), "alpha");
+        assert_eq!(i.len(), 2);
+        assert_eq!((a, b), (0, 1), "ids are dense from 0");
+    }
+
+    #[test]
+    fn interner_is_sync_across_threads() {
+        let i = std::sync::Arc::new(Interner::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let i = i.clone();
+                scope.spawn(move || {
+                    for k in 0..100 {
+                        i.intern(&format!("attr{}", (k + t) % 50));
+                    }
+                });
+            }
+        });
+        assert_eq!(i.len(), 50);
+    }
+
+    #[test]
+    fn small_set_ops() {
+        let a = SymSet::from_syms([1, 3, 5]);
+        let b = SymSet::from_syms([1, 3, 5, 9]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(b.is_superset(&a));
+        assert!(a.is_subset(&a));
+        assert_eq!(a.union(&b), b);
+        assert_eq!(a.len(), 3);
+        assert!(a.contains(3));
+        assert!(!a.contains(2));
+        assert!(SymSet::new().is_subset(&a));
+        assert!(SymSet::new().is_empty());
+    }
+
+    #[test]
+    fn spills_past_64_ids_gracefully() {
+        let mut big = SymSet::new();
+        for sym in [0, 63, 64, 127, 128, 300] {
+            big.insert(sym);
+        }
+        assert_eq!(big.len(), 6);
+        for sym in [0, 63, 64, 127, 128, 300] {
+            assert!(big.contains(sym));
+        }
+        assert!(!big.contains(299));
+        let small = SymSet::from_syms([63, 128]);
+        assert!(small.is_subset(&big));
+        assert!(!big.is_subset(&small));
+        assert_eq!(big.iter().collect::<Vec<_>>(), vec![0, 63, 64, 127, 128, 300]);
+    }
+
+    #[test]
+    fn eq_hash_ignore_word_count_differences() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // A set that had a high bit is NOT equal to one that never did —
+        // but two sets with identical members always compare equal, however
+        // they were built (the no-trailing-zeros invariant).
+        let a = SymSet::from_syms([1, 70]);
+        let mut b = SymSet::from_syms([70]);
+        b.insert(1);
+        assert_eq!(a, b);
+        let hash = |s: &SymSet| {
+            let mut h = DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn subset_across_word_boundaries() {
+        let lo_only = SymSet::from_syms([2, 40]);
+        let with_hi = SymSet::from_syms([2, 40, 100]);
+        assert!(lo_only.is_subset(&with_hi));
+        assert!(!with_hi.is_subset(&lo_only));
+        let other_hi = SymSet::from_syms([2, 40, 101]);
+        assert!(!with_hi.is_subset(&other_hi));
+    }
+}

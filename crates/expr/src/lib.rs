@@ -37,6 +37,7 @@ pub mod atom;
 pub mod canonical;
 pub mod display;
 pub mod gen;
+pub mod intern;
 pub mod normal;
 pub mod parse;
 pub mod rewrite;
@@ -45,5 +46,6 @@ pub mod tree;
 pub mod value;
 
 pub use atom::{Atom, CmpOp};
+pub use intern::{Interner, Sym, SymSet};
 pub use tree::{CondTree, Connector};
 pub use value::{Value, ValueType};

@@ -61,10 +61,8 @@ fn nf_lists(t: &CondTree, outer: Connector) -> Result<Vec<Vec<CondTree>>, Normal
     match t {
         CondTree::Leaf(_) => Ok(vec![vec![t.clone()]]),
         CondTree::Node(conn, children) => {
-            let child_forms: Vec<Vec<Vec<CondTree>>> = children
-                .iter()
-                .map(|c| nf_lists(c, outer))
-                .collect::<Result<_, _>>()?;
+            let child_forms: Vec<Vec<Vec<CondTree>>> =
+                children.iter().map(|c| nf_lists(c, outer)).collect::<Result<_, _>>()?;
             if *conn == outer {
                 // Outer connector: concatenate the children's groups.
                 let mut out = Vec::new();
@@ -200,9 +198,8 @@ mod tests {
     #[test]
     fn overflow_detected() {
         // (a1 _ b1) ^ (a2 _ b2) ^ ... DNF doubles per factor: 2^13 > 4096.
-        let factors: Vec<CondTree> = (0..13)
-            .map(|i| CondTree::or(vec![a(&format!("a{i}")), a(&format!("b{i}"))]))
-            .collect();
+        let factors: Vec<CondTree> =
+            (0..13).map(|i| CondTree::or(vec![a(&format!("a{i}")), a(&format!("b{i}"))])).collect();
         let t = CondTree::and(factors);
         assert!(to_dnf(&t).is_err());
         assert!(to_cnf(&t).is_ok());

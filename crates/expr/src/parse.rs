@@ -154,11 +154,7 @@ fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         }
                         Some(_) => {
                             // Advance one UTF-8 character.
-                            let ch_len = input[i..]
-                                .chars()
-                                .next()
-                                .map(char::len_utf8)
-                                .unwrap_or(1);
+                            let ch_len = input[i..].chars().next().map(char::len_utf8).unwrap_or(1);
                             s.push_str(&input[i..i + ch_len]);
                             i += ch_len;
                         }
@@ -257,11 +253,7 @@ impl Parser {
             self.bump();
             parts.push(self.and_expr()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("len checked")
-        } else {
-            CondTree::or(parts)
-        })
+        Ok(if parts.len() == 1 { parts.pop().expect("len checked") } else { CondTree::or(parts) })
     }
 
     fn and_expr(&mut self) -> Result<CondTree, ParseError> {
@@ -270,11 +262,7 @@ impl Parser {
             self.bump();
             parts.push(self.factor()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("len checked")
-        } else {
-            CondTree::and(parts)
-        })
+        Ok(if parts.len() == 1 { parts.pop().expect("len checked") } else { CondTree::and(parts) })
     }
 
     fn factor(&mut self) -> Result<CondTree, ParseError> {

@@ -314,9 +314,8 @@ fn factor_root(t: &CondTree) -> Vec<CondTree> {
             if !tried_terms.insert(candidate) {
                 continue;
             }
-            let group: Vec<usize> = (0..lists.len())
-                .filter(|&i| lists[i].contains(candidate))
-                .collect();
+            let group: Vec<usize> =
+                (0..lists.len()).filter(|&i| lists[i].contains(candidate)).collect();
             if group.len() < 2 || !tried_groups.insert(group.clone()) {
                 continue;
             }
@@ -410,8 +409,7 @@ mod tests {
         let t = CondTree::and(vec![a("x"), a("y"), a("z")]);
         let vs = associate_root(&t);
         assert_eq!(vs.len(), 2);
-        assert!(vs
-            .contains(&CondTree::and(vec![CondTree::and(vec![a("x"), a("y")]), a("z")])));
+        assert!(vs.contains(&CondTree::and(vec![CondTree::and(vec![a("x"), a("y")]), a("z")])));
     }
 
     #[test]
@@ -442,8 +440,7 @@ mod tests {
             CondTree::and(vec![a("x"), a("z")]),
         ]);
         let vs = factor_root(&t);
-        assert!(vs
-            .contains(&CondTree::and(vec![a("x"), CondTree::or(vec![a("y"), a("z")])])));
+        assert!(vs.contains(&CondTree::and(vec![a("x"), CondTree::or(vec![a("y"), a("z")])])));
     }
 
     #[test]

@@ -113,6 +113,20 @@ impl CondTree {
         }
     }
 
+    /// Visits every attribute-name occurrence without allocating (the
+    /// planner's hot path interns names through this; use [`CondTree::attrs`]
+    /// when a deduplicated owned set is wanted).
+    pub fn for_each_attr<F: FnMut(&str)>(&self, f: &mut F) {
+        match self {
+            CondTree::Leaf(a) => f(&a.attr),
+            CondTree::Node(_, cs) => {
+                for c in cs {
+                    c.for_each_attr(f);
+                }
+            }
+        }
+    }
+
     /// All atoms, left-to-right.
     pub fn atoms(&self) -> Vec<&Atom> {
         let mut out = Vec::new();

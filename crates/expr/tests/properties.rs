@@ -32,10 +32,7 @@ fn row(seed: u64) -> BTreeMap<String, Value> {
     m.insert("alpha".into(), Value::Int((seed % 6) as i64));
     m.insert("beta".into(), Value::Int((seed / 6 % 4) as i64));
     m.insert("gamma".into(), Value::str(format!("g{}", seed / 24 % 3)));
-    m.insert(
-        "delta".into(),
-        Value::str(if seed.is_multiple_of(2) { "left" } else { "right" }),
-    );
+    m.insert("delta".into(), Value::str(if seed.is_multiple_of(2) { "left" } else { "right" }));
     m
 }
 

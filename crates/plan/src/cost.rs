@@ -103,42 +103,29 @@ impl Cardinality for UniformCard {
 ///
 /// # Panics
 /// Panics on a `Choice` node — resolve first (see [`mod@crate::resolve`]).
-pub fn plan_cost(
-    plan: &Plan,
-    model: &dyn crate::model::CostModel,
-    card: &dyn Cardinality,
-) -> f64 {
+pub fn plan_cost(plan: &Plan, model: &dyn crate::model::CostModel, card: &dyn Cardinality) -> f64 {
     match plan {
         Plan::SourceQuery { cond, attrs } => {
-            model.source_query_cost(cond.as_ref(), attrs, card.estimate(cond.as_ref()))
+            model.source_query_cost(cond.as_ref(), attrs.len(), card.estimate(cond.as_ref()))
         }
         Plan::LocalSp { input, .. } => plan_cost(input, model, card),
-        Plan::Intersect(cs) | Plan::Union(cs) => {
-            cs.iter().map(|c| plan_cost(c, model, card)).sum()
-        }
+        Plan::Intersect(cs) | Plan::Union(cs) => cs.iter().map(|c| plan_cost(c, model, card)).sum(),
         Plan::Choice(_) => panic!("plan_cost on unresolved Choice; call resolve first"),
     }
 }
 
 /// Minimum achievable cost of a plan space (resolving `Choice` greedily —
 /// exact because cost is a sum over independent source queries).
-pub fn min_cost(
-    plan: &Plan,
-    model: &dyn crate::model::CostModel,
-    card: &dyn Cardinality,
-) -> f64 {
+pub fn min_cost(plan: &Plan, model: &dyn crate::model::CostModel, card: &dyn Cardinality) -> f64 {
     match plan {
         Plan::SourceQuery { cond, attrs } => {
-            model.source_query_cost(cond.as_ref(), attrs, card.estimate(cond.as_ref()))
+            model.source_query_cost(cond.as_ref(), attrs.len(), card.estimate(cond.as_ref()))
         }
         Plan::LocalSp { input, .. } => min_cost(input, model, card),
-        Plan::Intersect(cs) | Plan::Union(cs) => {
-            cs.iter().map(|c| min_cost(c, model, card)).sum()
+        Plan::Intersect(cs) | Plan::Union(cs) => cs.iter().map(|c| min_cost(c, model, card)).sum(),
+        Plan::Choice(cs) => {
+            cs.iter().map(|c| min_cost(c, model, card)).fold(f64::INFINITY, f64::min)
         }
-        Plan::Choice(cs) => cs
-            .iter()
-            .map(|c| min_cost(c, model, card))
-            .fold(f64::INFINITY, f64::min),
     }
 }
 
@@ -201,8 +188,8 @@ mod tests {
         let params = CostParams::new(0.0, 1.0);
         let u = uni();
         let p = Plan::Choice(vec![
-            Plan::source(None, attrs(["k"])),             // 1000
-            Plan::source(cond("a = 1"), attrs(["k"])),    // 100
+            Plan::source(None, attrs(["k"])),          // 1000
+            Plan::source(cond("a = 1"), attrs(["k"])), // 100
             Plan::intersect(vec![
                 Plan::source(cond("a = 1"), attrs(["k"])), // 100
                 Plan::source(cond("b = 2"), attrs(["k"])), // 100

@@ -53,9 +53,7 @@ impl From<SourceError> for ExecError {
 /// Source queries are order-fixed (§6.1) before hitting the capability gate.
 pub fn execute(plan: &Plan, source: &Source) -> Result<Relation, ExecError> {
     match plan {
-        Plan::SourceQuery { cond, attrs } => {
-            Ok(source.fix_and_answer(cond.as_ref(), attrs)?)
-        }
+        Plan::SourceQuery { cond, attrs } => Ok(source.fix_and_answer(cond.as_ref(), attrs)?),
         Plan::LocalSp { cond, attrs, input } => {
             let base = execute(input, source)?;
             let filtered = select(&base, cond.as_ref());
@@ -128,10 +126,7 @@ mod tests {
         let plan = Plan::local(
             cond("color = \"red\" _ color = \"black\""),
             attrs(["model", "year"]),
-            Plan::source(
-                cond("make = \"BMW\" ^ price < 40000"),
-                attrs(["model", "year", "color"]),
-            ),
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model", "year", "color"])),
         );
         let got = execute(&plan, &s).unwrap();
         let want = oracle(
@@ -170,11 +165,7 @@ mod tests {
             Plan::source(cond("make = \"BMW\" ^ color = \"red\""), attrs(["model"])),
         ]);
         let got = execute(&plan, &s).unwrap();
-        let want = oracle(
-            &s,
-            "make = \"BMW\" ^ price < 60000 ^ color = \"red\"",
-            &["model"],
-        );
+        let want = oracle(&s, "make = \"BMW\" ^ price < 60000 ^ color = \"red\"", &["model"]);
         assert_eq!(got, want);
     }
 
@@ -182,8 +173,7 @@ mod tests {
     fn executor_fixes_source_query_order() {
         let s = dealer();
         // Planning-view order (price first) — gate would reject it raw.
-        let plan =
-            Plan::source(cond("price < 40000 ^ make = \"BMW\""), attrs(["model"]));
+        let plan = Plan::source(cond("price < 40000 ^ make = \"BMW\""), attrs(["model"]));
         let got = execute(&plan, &s).unwrap();
         assert!(!got.is_empty());
         assert_eq!(s.meter().rejected, 0, "fix_order avoided a gate rejection");
@@ -225,8 +215,8 @@ mod tests {
     /// ∩-combined plan a strict superset of the target answer.
     #[test]
     fn intersection_anomaly_demonstrated() {
-        use csqp_relation::{Relation, Schema};
         use csqp_expr::{Value, ValueType};
+        use csqp_relation::{Relation, Schema};
         // Two rows share a=1 but differ in b.
         let schema =
             Schema::new("t", vec![("a", ValueType::Int), ("b", ValueType::Int)], &[]).unwrap();

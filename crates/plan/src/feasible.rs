@@ -40,8 +40,7 @@ pub fn prune_infeasible(plan: &Plan, source: &Source) -> Option<Plan> {
             Some(Plan::Union(pruned?))
         }
         Plan::Choice(cs) => {
-            let alive: Vec<Plan> =
-                cs.iter().filter_map(|c| prune_infeasible(c, source)).collect();
+            let alive: Vec<Plan> = cs.iter().filter_map(|c| prune_infeasible(c, source)).collect();
             if alive.is_empty() {
                 None
             } else {
@@ -85,10 +84,7 @@ mod tests {
         let feasible = Plan::local(
             cond("color = \"red\" _ color = \"black\""),
             a.clone(),
-            Plan::source(
-                cond("make = \"BMW\" ^ price < 40000"),
-                attrs(["model", "year", "color"]),
-            ),
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model", "year", "color"])),
         );
         assert!(is_feasible(&feasible, &s));
     }
@@ -109,8 +105,7 @@ mod tests {
         let a = attrs(["model"]);
         let good = Plan::source(cond("make = \"BMW\" ^ price < 40000"), a.clone());
         let bad = Plan::source(cond("year = 1995"), a.clone());
-        let pruned =
-            prune_infeasible(&Plan::Choice(vec![bad.clone(), good.clone()]), &s).unwrap();
+        let pruned = prune_infeasible(&Plan::Choice(vec![bad.clone(), good.clone()]), &s).unwrap();
         assert_eq!(pruned, good);
         assert!(prune_infeasible(&bad, &s).is_none());
         // A combination with a dead child dies entirely.
@@ -121,10 +116,7 @@ mod tests {
     #[test]
     fn feasibility_uses_planning_view_order_insensitivity() {
         let s = dealer();
-        let swapped = Plan::source(
-            cond("price < 40000 ^ make = \"BMW\""),
-            attrs(["model"]),
-        );
+        let swapped = Plan::source(cond("price < 40000 ^ make = \"BMW\""), attrs(["model"]));
         // The planning view is permutation-closed, so this is feasible;
         // the executor will fix the order before sending.
         assert!(is_feasible(&swapped, &s));

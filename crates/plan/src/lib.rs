@@ -24,8 +24,8 @@ pub mod plan;
 pub mod resolve;
 
 pub use cost::{Cardinality, OracleCard, StatsCard, UniformCard};
-pub use model::{CostModel, LatencyBandwidthCost};
 pub use exec::{execute, execute_measured, ExecError};
 pub use feasible::is_feasible;
+pub use model::{CostModel, LatencyBandwidthCost};
 pub use plan::{attrs, AttrSet, Plan};
 pub use resolve::{resolve, resolve_with_cost};

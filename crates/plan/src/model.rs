@@ -22,21 +22,24 @@
 //! models satisfy this; custom implementations must too, or pruning may
 //! discard their optimum.
 
-use crate::plan::AttrSet;
 use csqp_expr::CondTree;
 use csqp_source::CostParams;
 
 /// A per-source-query cost model (see module docs for the soundness
 /// contract).
 pub trait CostModel {
-    /// Charge for one source query `SP(cond, attrs, R)` whose estimated
-    /// result size is `rows` tuples.
-    fn source_query_cost(&self, cond: Option<&CondTree>, attrs: &AttrSet, rows: f64) -> f64;
+    /// Charge for one source query `SP(cond, A, R)` fetching `n_attrs`
+    /// attributes whose estimated result size is `rows` tuples.
+    ///
+    /// Width enters as a count (not the attribute set itself) so the planner
+    /// can cost candidate sub-plans from bitset attribute sets without
+    /// materializing names.
+    fn source_query_cost(&self, cond: Option<&CondTree>, n_attrs: usize, rows: f64) -> f64;
 }
 
 /// The paper's §6.2 model: `k1 + k2 · rows`, width-oblivious.
 impl CostModel for CostParams {
-    fn source_query_cost(&self, _cond: Option<&CondTree>, _attrs: &AttrSet, rows: f64) -> f64 {
+    fn source_query_cost(&self, _cond: Option<&CondTree>, _n_attrs: usize, rows: f64) -> f64 {
         self.query_cost(rows)
     }
 }
@@ -73,12 +76,9 @@ impl Default for LatencyBandwidthCost {
 }
 
 impl CostModel for LatencyBandwidthCost {
-    fn source_query_cost(&self, _cond: Option<&CondTree>, attrs: &AttrSet, rows: f64) -> f64 {
-        assert!(
-            self.bandwidth > 0.0,
-            "bandwidth must be positive for a monotone cost model"
-        );
-        let bytes_per_tuple = self.tuple_overhead + self.bytes_per_attr * attrs.len() as f64;
+    fn source_query_cost(&self, _cond: Option<&CondTree>, n_attrs: usize, rows: f64) -> f64 {
+        assert!(self.bandwidth > 0.0, "bandwidth must be positive for a monotone cost model");
+        let bytes_per_tuple = self.tuple_overhead + self.bytes_per_attr * n_attrs as f64;
         self.latency + rows * bytes_per_tuple / self.bandwidth
     }
 }
@@ -86,16 +86,13 @@ impl CostModel for LatencyBandwidthCost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::plan::attrs;
 
     #[test]
     fn cost_params_is_the_affine_model() {
         let m = CostParams::new(50.0, 2.0);
-        let a2 = attrs(["x", "y"]);
-        let a5 = attrs(["a", "b", "c", "d", "e"]);
         // Width-oblivious.
-        assert_eq!(m.source_query_cost(None, &a2, 100.0), 250.0);
-        assert_eq!(m.source_query_cost(None, &a5, 100.0), 250.0);
+        assert_eq!(m.source_query_cost(None, 2, 100.0), 250.0);
+        assert_eq!(m.source_query_cost(None, 5, 100.0), 250.0);
     }
 
     #[test]
@@ -106,10 +103,8 @@ mod tests {
             tuple_overhead: 0.0,
             bandwidth: 8.0,
         };
-        let narrow = attrs(["x"]);
-        let wide = attrs(["x", "y", "z"]);
-        let cn = m.source_query_cost(None, &narrow, 100.0);
-        let cw = m.source_query_cost(None, &wide, 100.0);
+        let cn = m.source_query_cost(None, 1, 100.0);
+        let cw = m.source_query_cost(None, 3, 100.0);
         assert_eq!(cn, 10.0 + 100.0); // 1 attr · 8B / 8 B-per-unit
         assert_eq!(cw, 10.0 + 300.0);
         assert!(cw > cn, "wider projections cost more");
@@ -118,14 +113,9 @@ mod tests {
     #[test]
     fn monotonicity_contract() {
         let m = LatencyBandwidthCost::default();
-        let a = attrs(["x"]);
-        let b = attrs(["x", "y"]);
         for rows in [0.0, 1.0, 10.0, 1e6] {
-            assert!(m.source_query_cost(None, &a, rows) <= m.source_query_cost(None, &b, rows));
-            assert!(
-                m.source_query_cost(None, &a, rows)
-                    <= m.source_query_cost(None, &a, rows + 1.0)
-            );
+            assert!(m.source_query_cost(None, 1, rows) <= m.source_query_cost(None, 2, rows));
+            assert!(m.source_query_cost(None, 1, rows) <= m.source_query_cost(None, 1, rows + 1.0));
         }
     }
 }

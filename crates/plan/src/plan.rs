@@ -14,6 +14,7 @@
 
 use csqp_expr::CondTree;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A set of attribute names.
 pub type AttrSet = BTreeSet<String>;
@@ -31,16 +32,18 @@ pub enum Plan {
     SourceQuery {
         /// The condition pushed to the source.
         cond: Option<CondTree>,
-        /// The attributes fetched.
-        attrs: AttrSet,
+        /// The attributes fetched. `Arc`-shared: the IPG planner reuses one
+        /// materialized set across the many candidate sub-plans that fetch
+        /// the same attributes, so copying a plan never deep-copies names.
+        attrs: Arc<AttrSet>,
     },
     /// `SP(C, A, input)` evaluated at the **mediator**: filter the
     /// sub-plan's result by `cond`, then project to `attrs`.
     LocalSp {
         /// The condition applied locally (`None` = projection only).
         cond: Option<CondTree>,
-        /// The output attributes.
-        attrs: AttrSet,
+        /// The output attributes (shared, as for `SourceQuery`).
+        attrs: Arc<AttrSet>,
         /// The sub-plan producing the input.
         input: Box<Plan>,
     },
@@ -53,14 +56,14 @@ pub enum Plan {
 }
 
 impl Plan {
-    /// A source query.
-    pub fn source(cond: Option<CondTree>, attrs: AttrSet) -> Plan {
-        Plan::SourceQuery { cond, attrs }
+    /// A source query. Accepts `AttrSet` or a pre-shared `Arc<AttrSet>`.
+    pub fn source(cond: Option<CondTree>, attrs: impl Into<Arc<AttrSet>>) -> Plan {
+        Plan::SourceQuery { cond, attrs: attrs.into() }
     }
 
     /// A local selection+projection over a sub-plan.
-    pub fn local(cond: Option<CondTree>, attrs: AttrSet, input: Plan) -> Plan {
-        Plan::LocalSp { cond, attrs, input: Box::new(input) }
+    pub fn local(cond: Option<CondTree>, attrs: impl Into<Arc<AttrSet>>, input: Plan) -> Plan {
+        Plan::LocalSp { cond, attrs: attrs.into(), input: Box::new(input) }
     }
 
     /// An intersection; unwraps singletons.
@@ -107,7 +110,7 @@ impl Plan {
     /// The attributes this plan outputs.
     pub fn output_attrs(&self) -> &AttrSet {
         match self {
-            Plan::SourceQuery { attrs, .. } | Plan::LocalSp { attrs, .. } => attrs,
+            Plan::SourceQuery { attrs, .. } | Plan::LocalSp { attrs, .. } => attrs.as_ref(),
             Plan::Intersect(cs) | Plan::Union(cs) | Plan::Choice(cs) => {
                 cs.first().expect("non-empty by construction").output_attrs()
             }
@@ -123,7 +126,7 @@ impl Plan {
 
     fn collect_source_queries<'a>(&'a self, out: &mut Vec<(&'a Option<CondTree>, &'a AttrSet)>) {
         match self {
-            Plan::SourceQuery { cond, attrs } => out.push((cond, attrs)),
+            Plan::SourceQuery { cond, attrs } => out.push((cond, attrs.as_ref())),
             Plan::LocalSp { input, .. } => input.collect_source_queries(out),
             Plan::Intersect(cs) | Plan::Union(cs) | Plan::Choice(cs) => {
                 for c in cs {
@@ -160,14 +163,10 @@ impl Plan {
         match self {
             Plan::SourceQuery { .. } => 1,
             Plan::LocalSp { input, .. } => input.n_alternatives(),
-            Plan::Intersect(cs) | Plan::Union(cs) => cs
-                .iter()
-                .map(Plan::n_alternatives)
-                .fold(1u64, u64::saturating_mul),
-            Plan::Choice(cs) => cs
-                .iter()
-                .map(Plan::n_alternatives)
-                .fold(0u64, u64::saturating_add),
+            Plan::Intersect(cs) | Plan::Union(cs) => {
+                cs.iter().map(Plan::n_alternatives).fold(1u64, u64::saturating_mul)
+            }
+            Plan::Choice(cs) => cs.iter().map(Plan::n_alternatives).fold(0u64, u64::saturating_add),
         }
     }
 }
@@ -187,10 +186,7 @@ mod tests {
         Plan::local(
             cond("color = \"red\" _ color = \"black\""),
             attrs(["model", "year"]),
-            Plan::source(
-                cond("make = \"BMW\" ^ price < 40000"),
-                attrs(["model", "year", "color"]),
-            ),
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model", "year", "color"])),
         )
     }
 

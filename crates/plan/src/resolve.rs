@@ -7,8 +7,8 @@
 //! losing global optimality.
 
 use crate::cost::{min_cost, plan_cost, Cardinality};
-use crate::plan::Plan;
 use crate::model::CostModel;
+use crate::plan::Plan;
 
 /// Resolves every `Choice` in `plan` to its minimum-cost alternative,
 /// returning a concrete plan.
@@ -54,9 +54,9 @@ mod tests {
     use super::*;
     use crate::cost::UniformCard;
     use crate::plan::attrs;
-    use csqp_source::CostParams;
     use csqp_expr::parse::parse_condition;
     use csqp_expr::CondTree;
+    use csqp_source::CostParams;
 
     fn cond(s: &str) -> Option<CondTree> {
         Some(parse_condition(s).unwrap())

@@ -33,9 +33,18 @@ fn plan_space(seed: u64, depth: usize) -> Plan {
         return mk_leaf(seed);
     }
     match seed % 4 {
-        0 => Plan::Choice(vec![plan_space(seed / 4 + 1, depth - 1), plan_space(seed / 4 + 2, depth - 1)]),
-        1 => Plan::Union(vec![plan_space(seed / 4 + 3, depth - 1), plan_space(seed / 4 + 4, depth - 1)]),
-        2 => Plan::Intersect(vec![plan_space(seed / 4 + 5, depth - 1), plan_space(seed / 4 + 6, depth - 1)]),
+        0 => Plan::Choice(vec![
+            plan_space(seed / 4 + 1, depth - 1),
+            plan_space(seed / 4 + 2, depth - 1),
+        ]),
+        1 => Plan::Union(vec![
+            plan_space(seed / 4 + 3, depth - 1),
+            plan_space(seed / 4 + 4, depth - 1),
+        ]),
+        2 => Plan::Intersect(vec![
+            plan_space(seed / 4 + 5, depth - 1),
+            plan_space(seed / 4 + 6, depth - 1),
+        ]),
         _ => mk_leaf(seed),
     }
 }

@@ -109,9 +109,7 @@ fn infer_type(cells: &[&str]) -> ValueType {
 fn parse_cell(cell: &str, ty: ValueType) -> Value {
     match ty {
         ValueType::Int => cell.parse::<i64>().map(Value::Int).unwrap_or_else(|_| Value::Int(0)),
-        ValueType::Float => {
-            cell.parse::<f64>().map(Value::Float).unwrap_or(Value::Float(0.0))
-        }
+        ValueType::Float => cell.parse::<f64>().map(Value::Float).unwrap_or(Value::Float(0.0)),
         ValueType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
         ValueType::Str => Value::str(cell),
     }
@@ -129,11 +127,7 @@ pub fn load_csv(name: &str, text: &str, key: &[&str]) -> Result<Relation, CsvErr
     for (i, line) in lines {
         let fields = split_line(line, i + 1)?;
         if fields.len() != expected {
-            return Err(CsvError::RaggedRow {
-                line: i + 1,
-                found: fields.len(),
-                expected,
-            });
+            return Err(CsvError::RaggedRow { line: i + 1, found: fields.len(), expected });
         }
         raw_rows.push(fields);
     }

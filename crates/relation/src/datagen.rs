@@ -9,9 +9,9 @@
 use crate::relation::Relation;
 use crate::schema::Schema;
 use csqp_expr::{Value, ValueType};
-use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
 
 /// Configuration for [`books`].
 #[derive(Debug, Clone)]
@@ -30,12 +30,7 @@ impl Default for BookGenConfig {
     /// Tuned to Example 1.1: `title contains "dreams"` alone matches > 2,000
     /// rows; Freud-dreams + Jung-dreams together match 19 (< 20).
     fn default() -> Self {
-        BookGenConfig {
-            n_books: 50_000,
-            dreams_fraction: 0.05,
-            freud: (45, 12),
-            jung: (35, 7),
-        }
+        BookGenConfig { n_books: 50_000, dreams_fraction: 0.05, freud: (45, 12), jung: (35, 7) }
     }
 }
 
@@ -79,32 +74,28 @@ pub fn books(seed: u64, cfg: &BookGenConfig) -> Relation {
     let schema = books_schema();
     let mut rows: Vec<Vec<Value>> = Vec::with_capacity(cfg.n_books);
     let mut isbn = 0usize;
-    let mut push_book = |rows: &mut Vec<Vec<Value>>,
-                         rng: &mut StdRng,
-                         author: &str,
-                         dreams: bool| {
-        isbn += 1;
-        let w1 = TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())];
-        let w2 = TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())];
-        let title = if dreams {
-            format!("The {w1} of Dreams and {w2}")
-        } else {
-            format!("The {w1} of the {w2}")
+    let mut push_book =
+        |rows: &mut Vec<Vec<Value>>, rng: &mut StdRng, author: &str, dreams: bool| {
+            isbn += 1;
+            let w1 = TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())];
+            let w2 = TITLE_WORDS[rng.random_range(0..TITLE_WORDS.len())];
+            let title = if dreams {
+                format!("The {w1} of Dreams and {w2}")
+            } else {
+                format!("The {w1} of the {w2}")
+            };
+            rows.push(vec![
+                Value::str(format!("isbn-{isbn:07}")),
+                Value::str(author),
+                Value::Str(title),
+                Value::str(SUBJECTS[rng.random_range(0..SUBJECTS.len())]),
+                Value::Int(rng.random_range(5..80)),
+                Value::str(PUBLISHERS[rng.random_range(0..PUBLISHERS.len())]),
+            ]);
         };
-        rows.push(vec![
-            Value::str(format!("isbn-{isbn:07}")),
-            Value::str(author),
-            Value::Str(title),
-            Value::str(SUBJECTS[rng.random_range(0..SUBJECTS.len())]),
-            Value::Int(rng.random_range(5..80)),
-            Value::str(PUBLISHERS[rng.random_range(0..PUBLISHERS.len())]),
-        ]);
-    };
 
     // The two special authors of Example 1.1.
-    for (author, (total, dreamy)) in
-        [("Sigmund Freud", cfg.freud), ("Carl Jung", cfg.jung)]
-    {
+    for (author, (total, dreamy)) in [("Sigmund Freud", cfg.freud), ("Carl Jung", cfg.jung)] {
         for i in 0..total {
             push_book(&mut rows, &mut rng, author, i < dreamy);
         }
@@ -336,7 +327,11 @@ pub fn flights(seed: u64, n: usize) -> Relation {
                 Value::str(d),
                 Value::str(AIRLINES[rng.random_range(0..AIRLINES.len())]),
                 Value::Int(rng.random_range(79..1200)),
-                Value::str(format!("1999-{:02}-{:02}", rng.random_range(1..13), rng.random_range(1..29))),
+                Value::str(format!(
+                    "1999-{:02}-{:02}",
+                    rng.random_range(1..13),
+                    rng.random_range(1..29)
+                )),
             ]
         })
         .collect();
@@ -356,12 +351,9 @@ mod tests {
         let dreams = parse_condition("title contains \"dreams\"").unwrap();
         let n_dreams = select(&r, Some(&dreams)).len();
         assert!(n_dreams > 2000, "paper: CNF plan extracts over 2,000; got {n_dreams}");
-        let freud = parse_condition(
-            "author = \"Sigmund Freud\" ^ title contains \"dreams\"",
-        )
-        .unwrap();
-        let jung =
-            parse_condition("author = \"Carl Jung\" ^ title contains \"dreams\"").unwrap();
+        let freud =
+            parse_condition("author = \"Sigmund Freud\" ^ title contains \"dreams\"").unwrap();
+        let jung = parse_condition("author = \"Carl Jung\" ^ title contains \"dreams\"").unwrap();
         let n2 = select(&r, Some(&freud)).len() + select(&r, Some(&jung)).len();
         assert_eq!(n2, 19, "paper: two-query plan extracts fewer than 20");
     }

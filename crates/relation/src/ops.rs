@@ -193,11 +193,8 @@ mod tests {
         );
         let b2 = select(&r, Some(&CondTree::leaf(Atom::eq("b", 2i64))));
         let b3 = select(&r, Some(&CondTree::leaf(Atom::eq("b", 3i64))));
-        let lhs = intersect(
-            &project(&b2, &["a"]).unwrap(),
-            &project(&b3, &["a"]).unwrap(),
-        )
-        .unwrap();
+        let lhs =
+            intersect(&project(&b2, &["a"]).unwrap(), &project(&b3, &["a"]).unwrap()).unwrap();
         assert_eq!(lhs.len(), 1, "projection loses the distinguishing attribute");
         let both = select(
             &r,

@@ -168,8 +168,7 @@ mod tests {
         let r1 = Relation::empty(schema());
         let r2 = Relation::empty(schema());
         assert!(r1.check_compatible(&r2).is_ok());
-        let other =
-            Schema::new("o", vec![("a", ValueType::Int)], &[]).unwrap();
+        let other = Schema::new("o", vec![("a", ValueType::Int)], &[]).unwrap();
         let r3 = Relation::empty(other);
         assert!(r1.check_compatible(&r3).is_err());
     }

@@ -75,10 +75,8 @@ impl Schema {
         key: &[&str],
     ) -> Result<Arc<Schema>, SchemaError> {
         let name = name.into();
-        let columns: Vec<Column> = columns
-            .into_iter()
-            .map(|(n, ty)| Column { name: n.to_string(), ty })
-            .collect();
+        let columns: Vec<Column> =
+            columns.into_iter().map(|(n, ty)| Column { name: n.to_string(), ty }).collect();
         for (i, c) in columns.iter().enumerate() {
             if columns[..i].iter().any(|o| o.name == c.name) {
                 return Err(SchemaError::DuplicateColumn(c.name.clone()));
@@ -128,12 +126,8 @@ impl Schema {
                 });
             }
         }
-        let columns: Vec<Column> = self
-            .columns
-            .iter()
-            .filter(|c| attrs.contains(&c.name.as_str()))
-            .cloned()
-            .collect();
+        let columns: Vec<Column> =
+            self.columns.iter().filter(|c| attrs.contains(&c.name.as_str())).cloned().collect();
         let key = if self.key.iter().all(|k| attrs.contains(&k.as_str())) {
             self.key.clone()
         } else {
@@ -169,11 +163,7 @@ mod tests {
     fn cars() -> Arc<Schema> {
         Schema::new(
             "cars",
-            vec![
-                ("vin", ValueType::Str),
-                ("make", ValueType::Str),
-                ("price", ValueType::Int),
-            ],
+            vec![("vin", ValueType::Str), ("make", ValueType::Str), ("price", ValueType::Int)],
             &["vin"],
         )
         .unwrap()
@@ -197,8 +187,8 @@ mod tests {
 
     #[test]
     fn duplicate_column_rejected() {
-        let e = Schema::new("x", vec![("a", ValueType::Int), ("a", ValueType::Str)], &[])
-            .unwrap_err();
+        let e =
+            Schema::new("x", vec![("a", ValueType::Int), ("a", ValueType::Str)], &[]).unwrap_err();
         assert_eq!(e, SchemaError::DuplicateColumn("a".into()));
     }
 
@@ -223,11 +213,11 @@ mod tests {
     #[test]
     fn compatibility() {
         let a = cars();
-        let b = Schema::new("other", vec![
-            ("vin", ValueType::Str),
-            ("make", ValueType::Str),
-            ("price", ValueType::Int),
-        ], &[])
+        let b = Schema::new(
+            "other",
+            vec![("vin", ValueType::Str), ("make", ValueType::Str), ("price", ValueType::Int)],
+            &[],
+        )
         .unwrap();
         assert!(a.compatible_with(&b));
         let c = Schema::new("c", vec![("vin", ValueType::Str)], &[]).unwrap();

@@ -102,27 +102,33 @@ impl TableStats {
         match atom.op {
             CmpOp::Eq => match &col.freqs {
                 Some(freqs) => {
-                    freqs.iter().filter(|(v, _)| v.sem_eq(&atom.value)).map(|(_, c)| *c).sum::<usize>()
-                        as f64
-                        / n
-                }
-                None => 1.0 / col.ndv.max(1) as f64,
-            },
-            CmpOp::Ne => 1.0
-                - self.atom_selectivity(&Atom {
-                    attr: atom.attr.clone(),
-                    op: CmpOp::Eq,
-                    value: atom.value.clone(),
-                }),
-            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
-                let frac_lt = self.fraction_below(col, &atom.value);
-                let frac_eq = match &col.freqs {
-                    Some(freqs) => freqs
+                    freqs
                         .iter()
                         .filter(|(v, _)| v.sem_eq(&atom.value))
                         .map(|(_, c)| *c)
                         .sum::<usize>() as f64
-                        / n,
+                        / n
+                }
+                None => 1.0 / col.ndv.max(1) as f64,
+            },
+            CmpOp::Ne => {
+                1.0 - self.atom_selectivity(&Atom {
+                    attr: atom.attr.clone(),
+                    op: CmpOp::Eq,
+                    value: atom.value.clone(),
+                })
+            }
+            CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                let frac_lt = self.fraction_below(col, &atom.value);
+                let frac_eq = match &col.freqs {
+                    Some(freqs) => {
+                        freqs
+                            .iter()
+                            .filter(|(v, _)| v.sem_eq(&atom.value))
+                            .map(|(_, c)| *c)
+                            .sum::<usize>() as f64
+                            / n
+                    }
                     None => 1.0 / col.ndv.max(1) as f64,
                 };
                 match atom.op {

@@ -3,9 +3,9 @@
 
 use csqp_expr::gen::{CondGen, CondGenConfig, GenAttr};
 use csqp_expr::{Atom, CondTree};
+use csqp_expr::{Value, ValueType};
 use csqp_relation::ops::{difference, intersect, project, select, union};
 use csqp_relation::{Relation, Schema, TableStats};
-use csqp_expr::{Value, ValueType};
 use proptest::prelude::*;
 
 fn make_relation(seed: u64, n: usize) -> Relation {

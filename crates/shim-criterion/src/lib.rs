@@ -1,0 +1,240 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the subset of the criterion API its benches use: `Criterion`,
+//! `benchmark_group` (+ `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `finish`), `BenchmarkId`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: one warm-up call sizes an adaptive
+//! batch, the batch is timed wall-clock, and mean time per iteration is
+//! printed. No statistics, HTML reports, or baselines — the numbers are
+//! indicative, and benches that need machine-readable output (e13_hotpath)
+//! run their own harness.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_id}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion accepted wherever a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Units processed per iteration (recorded for display only).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Passed to bench closures; `iter` runs and times the routine.
+pub struct Bencher {
+    /// Mean seconds per iteration, recorded by [`Bencher::iter`].
+    mean_s: f64,
+    iters: u64,
+    /// Wall-clock budget for the timed batch.
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up sizes the batch: aim for the budget, clamp hard so a slow
+        // planner run doesn't stall the whole suite.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let warm = t0.elapsed().as_secs_f64();
+        let iters = ((self.budget.as_secs_f64() / warm.max(1e-9)).ceil() as u64).clamp(1, 10_000);
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.mean_s = t1.elapsed().as_secs_f64() / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            mean_s: 0.0,
+            iters: 0,
+            // Smaller sample sizes signal slow benches: shrink the budget.
+            budget: Duration::from_millis(if self.sample_size < 100 { 60 } else { 200 }),
+        };
+        f(&mut b);
+        let per = format_time(b.mean_s);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_s > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / b.mean_s)
+            }
+            Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n)) if b.mean_s > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / b.mean_s)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{:<40} {:>12}/iter  ({} iters){rate}", self.name, id.id, per, b.iters);
+        self.criterion.benches_run += 1;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark context handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benches_run: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 100, throughput: None, criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("bench");
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Re-export for benches that import it from criterion rather than
+/// `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Human formatting for per-iteration times.
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("add", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &x| {
+            b.iter(|| (0..100u64).map(|i| i * x).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn group_api_round_trip() {
+        let mut c = Criterion::default();
+        target(&mut c);
+        assert_eq!(c.benches_run, 2);
+    }
+
+    criterion_group!(benches, target);
+
+    #[test]
+    fn group_macro_expands_to_runner() {
+        benches();
+    }
+}

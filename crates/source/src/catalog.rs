@@ -84,10 +84,7 @@ impl Catalog {
     pub fn demo_small(seed: u64) -> Self {
         let mut c = Catalog::new();
         c.register(Source::new(
-            datagen::books(
-                seed,
-                &BookGenConfig { n_books: 2_000, ..BookGenConfig::default() },
-            ),
+            datagen::books(seed, &BookGenConfig { n_books: 2_000, ..BookGenConfig::default() }),
             templates::bookstore(),
             CostParams::default(),
         ));
@@ -150,9 +147,6 @@ mod tests {
     fn demo_is_deterministic() {
         let a = Catalog::demo_small(5);
         let b = Catalog::demo_small(5);
-        assert_eq!(
-            a.get("bank").unwrap().relation(),
-            b.get("bank").unwrap().relation()
-        );
+        assert_eq!(a.get("bank").unwrap().relation(), b.get("bank").unwrap().relation());
     }
 }

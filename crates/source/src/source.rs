@@ -20,9 +20,9 @@ use csqp_relation::{Relation, TableStats};
 use csqp_ssdl::check::{CompiledSource, ExportSet};
 use csqp_ssdl::closure::{fix_order, permutation_closure, DEFAULT_MAX_SEGMENTS};
 use csqp_ssdl::SsdlDesc;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors raised when querying a source.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,8 +163,8 @@ impl Source {
         }
         let selected = select(&self.relation, cond);
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
-        let result = project(&selected, &attr_refs)
-            .map_err(|e| SourceError::Schema(e.to_string()))?;
+        let result =
+            project(&selected, &attr_refs).map_err(|e| SourceError::Schema(e.to_string()))?;
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.tuples_shipped.fetch_add(result.len() as u64, Ordering::Relaxed);
         Ok(result)

@@ -168,8 +168,7 @@ impl DescBuilder {
 
     /// Declares `nt` as a condition nonterminal exporting `attrs`.
     pub fn exports(mut self, nt: &str, attrs: &[&str]) -> Self {
-        self.exports
-            .insert(nt.to_string(), attrs.iter().map(|s| s.to_string()).collect());
+        self.exports.insert(nt.to_string(), attrs.iter().map(|s| s.to_string()).collect());
         self
     }
 
@@ -305,11 +304,8 @@ mod tests {
 
     #[test]
     fn reserved_start_symbol_rejected() {
-        let e = DescBuilder::new("x")
-            .rule("s", vec![tru()])
-            .exports("s", &["a"])
-            .build()
-            .unwrap_err();
+        let e =
+            DescBuilder::new("x").rule("s", vec![tru()]).exports("s", &["a"]).build().unwrap_err();
         assert_eq!(e, SsdlError::ReservedStartSymbol);
     }
 

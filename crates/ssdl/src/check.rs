@@ -6,38 +6,88 @@
 //! match, we keep the *antichain of maximal attribute sets* — a source query
 //! `SP(C, A, R)` is supported iff `A` is covered by some element
 //! (see DESIGN.md §5 "Antichain exports").
+//!
+//! Attribute sets are stored as interned bitsets ([`SymSet`]): each
+//! compiled source owns an [`Interner`] mapping its export-attribute names
+//! to dense ids, and per-nonterminal export sets are precomputed at compile
+//! time, so a `Check` call does no string hashing or `BTreeSet` allocation
+//! (see DESIGN.md, "Implementation notes: interning & bitsets").
 
 use crate::ast::SsdlDesc;
 use crate::earley::{matching_condition_nts, recognize, ParseStats};
 use crate::grammar::Grammar;
 use crate::linearize::linearize;
 use crate::token::CondToken;
-use csqp_expr::CondTree;
+use csqp_expr::{CondTree, Interner, SymSet};
 use std::collections::BTreeSet;
+use std::sync::{Arc, OnceLock};
+
+/// Interner backing export sets constructed without a source (tests,
+/// hand-built antichains). Sources own their own interner.
+fn standalone_interner() -> Arc<Interner> {
+    static SHARED: OnceLock<Arc<Interner>> = OnceLock::new();
+    SHARED.get_or_init(|| Arc::new(Interner::new())).clone()
+}
 
 /// The set of attribute sets a source can export for a condition: a maximal
 /// antichain under `⊆`. Empty means the condition is not supported at all.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ExportSet {
-    sets: Vec<BTreeSet<String>>,
+    interner: Arc<Interner>,
+    sets: Vec<SymSet>,
 }
+
+impl Default for ExportSet {
+    fn default() -> Self {
+        ExportSet::empty()
+    }
+}
+
+impl PartialEq for ExportSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare by name so sets from different interners (e.g. a test
+        // fixture vs. a compiled source) agree with set semantics. Order of
+        // antichain elements is significant, as it was for the string
+        // representation.
+        self.sets.len() == other.sets.len() && self.sets() == other.sets()
+    }
+}
+
+impl Eq for ExportSet {}
 
 impl ExportSet {
     /// The unsupported outcome (`Check` returned "the empty set").
     pub fn empty() -> Self {
-        ExportSet::default()
+        ExportSet { interner: standalone_interner(), sets: Vec::new() }
+    }
+
+    /// An empty export set whose symbols resolve through `interner`.
+    pub fn with_interner(interner: Arc<Interner>) -> Self {
+        ExportSet { interner, sets: Vec::new() }
     }
 
     /// An export set with a single alternative.
     pub fn single(set: BTreeSet<String>) -> Self {
-        let mut e = ExportSet::default();
+        let mut e = ExportSet::empty();
         e.insert(set);
         e
+    }
+
+    /// The interner this set's symbols resolve through.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
     }
 
     /// Inserts an attribute set, maintaining maximality: dominated sets are
     /// dropped; inserting a subset of an existing set is a no-op.
     pub fn insert(&mut self, set: BTreeSet<String>) {
+        let syms = set.iter().map(|a| self.interner.intern(a)).collect();
+        self.insert_syms(syms);
+    }
+
+    /// As [`ExportSet::insert`], for a pre-interned set. The symbols must
+    /// come from this set's interner.
+    pub fn insert_syms(&mut self, set: SymSet) {
         if self.sets.iter().any(|s| set.is_subset(s)) {
             return;
         }
@@ -52,18 +102,42 @@ impl ExportSet {
 
     /// Can the source export all of `attrs` (in one supported query form)?
     pub fn covers<S: Ord + AsRef<str>>(&self, attrs: &BTreeSet<S>) -> bool {
-        self.sets.iter().any(|s| attrs.iter().all(|a| s.contains(a.as_ref())))
+        if self.sets.is_empty() {
+            return false;
+        }
+        // An attribute the interner has never seen is in no export set.
+        let mut syms = SymSet::new();
+        for a in attrs {
+            match self.interner.lookup(a.as_ref()) {
+                Some(sym) => syms.insert(sym),
+                None => return false,
+            }
+        }
+        self.covers_syms(&syms)
     }
 
-    /// The maximal attribute sets.
-    pub fn sets(&self) -> &[BTreeSet<String>] {
+    /// As [`ExportSet::covers`], for a pre-interned attribute set — the
+    /// planner's per-node fast path (no string hashing).
+    #[inline]
+    pub fn covers_syms(&self, attrs: &SymSet) -> bool {
+        self.sets.iter().any(|s| attrs.is_subset(s))
+    }
+
+    /// The maximal attribute sets, materialized as names (diagnostics and
+    /// tests; the planner iterates [`ExportSet::sym_sets`] instead).
+    pub fn sets(&self) -> Vec<BTreeSet<String>> {
+        self.sets.iter().map(|s| s.iter().map(|sym| self.interner.name(sym)).collect()).collect()
+    }
+
+    /// The maximal attribute sets as interned bitsets.
+    pub fn sym_sets(&self) -> &[SymSet] {
         &self.sets
     }
 
     /// Union of all alternatives (useful for display; NOT for feasibility —
     /// use [`ExportSet::covers`]).
     pub fn union_all(&self) -> BTreeSet<String> {
-        self.sets.iter().flatten().cloned().collect()
+        self.sets().into_iter().flatten().collect()
     }
 }
 
@@ -74,13 +148,26 @@ pub struct CompiledSource {
     /// The original description.
     pub desc: SsdlDesc,
     grammar: Grammar,
+    interner: Arc<Interner>,
+    /// Export [`SymSet`] per nonterminal id; `None` for nonterminals without
+    /// an `attributes ::` clause (helper rules).
+    nt_exports: Vec<Option<SymSet>>,
 }
 
 impl CompiledSource {
     /// Compiles a description.
     pub fn new(desc: SsdlDesc) -> Self {
         let grammar = Grammar::compile(&desc);
-        CompiledSource { desc, grammar }
+        let interner = Arc::new(Interner::new());
+        let mut nt_exports: Vec<Option<SymSet>> = vec![None; grammar.nt_names.len()];
+        // BTreeMap iteration gives a deterministic id assignment.
+        for (nt_name, attrs) in &desc.exports {
+            if let Some(nt) = grammar.nt_id(nt_name) {
+                let set = attrs.iter().map(|a| interner.intern(a)).collect();
+                nt_exports[nt as usize] = Some(set);
+            }
+        }
+        CompiledSource { desc, grammar, interner, nt_exports }
     }
 
     /// The compiled grammar.
@@ -88,16 +175,24 @@ impl CompiledSource {
         &self.grammar
     }
 
-    /// `Check(C, R)` on a pre-linearized token stream.
-    pub fn check_tokens(&self, tokens: &[CondToken]) -> ExportSet {
-        let mut out = ExportSet::empty();
-        for nt in matching_condition_nts(&self.grammar, tokens) {
-            let name = self.grammar.nt_name(nt);
-            if let Some(attrs) = self.desc.exports.get(name) {
-                out.insert(attrs.clone());
+    /// The interner mapping this source's export attributes to symbols.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    fn collect_exports(&self, nts: impl IntoIterator<Item = crate::grammar::NtId>) -> ExportSet {
+        let mut out = ExportSet::with_interner(self.interner.clone());
+        for nt in nts {
+            if let Some(Some(set)) = self.nt_exports.get(nt as usize) {
+                out.insert_syms(set.clone());
             }
         }
         out
+    }
+
+    /// `Check(C, R)` on a pre-linearized token stream.
+    pub fn check_tokens(&self, tokens: &[CondToken]) -> ExportSet {
+        self.collect_exports(matching_condition_nts(&self.grammar, tokens))
     }
 
     /// `Check(C, R)`: the attributes exported when processing `C`
@@ -128,14 +223,7 @@ impl CompiledSource {
     pub fn check_with_stats(&self, cond: Option<&CondTree>) -> (ExportSet, ParseStats) {
         let toks = linearize(cond);
         let (nts, stats) = recognize(&self.grammar, &toks);
-        let mut out = ExportSet::empty();
-        for nt in nts {
-            let name = self.grammar.nt_name(nt);
-            if let Some(attrs) = self.desc.exports.get(name) {
-                out.insert(attrs.clone());
-            }
-        }
-        (out, stats)
+        (self.collect_exports(nts), stats)
     }
 
     /// Is `SP(C, A, R)` supported? (`A ⊆ Check(C, R)` in the paper's
@@ -244,6 +332,29 @@ mod tests {
         assert!(e.covers(&attrs(&["b", "c"])));
         assert!(!e.covers(&attrs(&["a", "c"])), "union coverage would be unsound");
         assert_eq!(e.union_all(), attrs(&["a", "b", "c"]));
+    }
+
+    #[test]
+    fn covers_syms_matches_string_covers() {
+        let r = car_dealer();
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        let e = r.check(Some(&c));
+        let syms: csqp_expr::SymSet =
+            ["model", "year"].iter().map(|a| r.interner().lookup(a).unwrap()).collect();
+        assert!(e.covers_syms(&syms));
+        assert_eq!(e.sym_sets().len(), 1);
+        // Unknown attribute: string covers rejects without panicking.
+        assert!(!e.covers(&attrs(&["model", "mileage"])));
+    }
+
+    #[test]
+    fn export_set_equality_is_by_name() {
+        let r = car_dealer();
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        // Same logical antichain, different interners (source vs standalone).
+        let expected = ExportSet::single(attrs(&["make", "model", "year", "color"]));
+        assert_eq!(r.check(Some(&c)), expected);
+        assert_ne!(r.check(Some(&c)), ExportSet::empty());
     }
 
     #[test]

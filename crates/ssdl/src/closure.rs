@@ -75,8 +75,8 @@ pub fn permutation_closure(desc: &SsdlDesc, max_segments: usize) -> ClosureResul
         }
     }
 
-    let desc = SsdlDesc { name: desc.name.clone(), rules, exports: desc.exports.clone() }
-        .validate_ok();
+    let desc =
+        SsdlDesc { name: desc.name.clone(), rules, exports: desc.exports.clone() }.validate_ok();
     ClosureResult { desc, skipped, added_rules: added }
 }
 
@@ -304,10 +304,9 @@ mod tests {
         // deliberately NOT permuted (see permutation_closure docs).
         assert_eq!(result.added_rules, 1);
         let compiled = CompiledSource::new(result.desc);
-        let swapped = parse_condition(
-            "(size = \"compact\" _ size = \"midsize\") ^ style = \"sedan\"",
-        )
-        .unwrap();
+        let swapped =
+            parse_condition("(size = \"compact\" _ size = \"midsize\") ^ style = \"sedan\"")
+                .unwrap();
         assert!(compiled.supports(Some(&swapped), &attrs(&["style"])));
     }
 
@@ -384,17 +383,13 @@ mod tests {
         .unwrap();
         let original = CompiledSource::new(d);
         // Both the outer order and the inner disjunct order are wrong.
-        let c = parse_condition(
-            "(size = \"midsize\" _ size = \"compact\") ^ style = \"sedan\"",
-        )
-        .unwrap();
+        let c = parse_condition("(size = \"midsize\" _ size = \"compact\") ^ style = \"sedan\"")
+            .unwrap();
         let fixed = fix_order(&original, &c, &attrs(&["style"])).unwrap();
         assert_eq!(
             fixed,
-            parse_condition(
-                "style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\")"
-            )
-            .unwrap()
+            parse_condition("style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\")")
+                .unwrap()
         );
     }
 }

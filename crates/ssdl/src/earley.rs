@@ -74,11 +74,7 @@ pub fn recognize(g: &Grammar, tokens: &[CondToken]) -> (Vec<NtId>, ParseStats) {
     // Seed: predict every condition-nonterminal rule at position 0.
     for &nt in &g.condition_nts {
         for &ri in &g.rules_by_lhs[nt as usize] {
-            add(&mut sets, &mut in_set, &mut stats, 0, Item {
-                rule: ri as u32,
-                dot: 0,
-                origin: 0,
-            });
+            add(&mut sets, &mut in_set, &mut stats, 0, Item { rule: ri as u32, dot: 0, origin: 0 });
         }
     }
 
@@ -114,10 +110,13 @@ pub fn recognize(g: &Grammar, tokens: &[CondToken]) -> (Vec<NtId>, ParseStats) {
                         let wr = &g.rules[waiting.rule as usize];
                         if let Some(GSym::Nt(nt)) = wr.rhs.get(waiting.dot as usize) {
                             if *nt == lhs {
-                                add(&mut sets, &mut in_set, &mut stats, i, Item {
-                                    dot: waiting.dot + 1,
-                                    ..waiting
-                                });
+                                add(
+                                    &mut sets,
+                                    &mut in_set,
+                                    &mut stats,
+                                    i,
+                                    Item { dot: waiting.dot + 1, ..waiting },
+                                );
                             }
                         }
                     }
@@ -125,27 +124,35 @@ pub fn recognize(g: &Grammar, tokens: &[CondToken]) -> (Vec<NtId>, ParseStats) {
                 Some(GSym::Nt(nt)) => {
                     // PREDICT.
                     for &ri in &g.rules_by_lhs[*nt as usize] {
-                        add(&mut sets, &mut in_set, &mut stats, i, Item {
-                            rule: ri as u32,
-                            dot: 0,
-                            origin: i as u32,
-                        });
+                        add(
+                            &mut sets,
+                            &mut in_set,
+                            &mut stats,
+                            i,
+                            Item { rule: ri as u32, dot: 0, origin: i as u32 },
+                        );
                     }
                     // Aycock–Horspool nullable fix.
                     if g.nullable[*nt as usize] {
-                        add(&mut sets, &mut in_set, &mut stats, i, Item {
-                            dot: item.dot + 1,
-                            ..item
-                        });
+                        add(
+                            &mut sets,
+                            &mut in_set,
+                            &mut stats,
+                            i,
+                            Item { dot: item.dot + 1, ..item },
+                        );
                     }
                 }
                 Some(GSym::T(term)) => {
                     // SCAN.
                     if i < n && term.matches(&tokens[i]) {
-                        add(&mut sets, &mut in_set, &mut stats, i + 1, Item {
-                            dot: item.dot + 1,
-                            ..item
-                        });
+                        add(
+                            &mut sets,
+                            &mut in_set,
+                            &mut stats,
+                            i + 1,
+                            Item { dot: item.dot + 1, ..item },
+                        );
                     }
                 }
             }
@@ -244,10 +251,7 @@ mod tests {
     fn matches(g: &Grammar, cond: &str) -> Vec<String> {
         let ct = parse_condition(cond).unwrap();
         let toks = linearize(Some(&ct));
-        matching_condition_nts(g, &toks)
-            .into_iter()
-            .map(|id| g.nt_name(id).to_string())
-            .collect()
+        matching_condition_nts(g, &toks).into_iter().map(|id| g.nt_name(id).to_string()).collect()
     }
 
     const CAR_DEALER: &str = "source car_dealer {\n\
@@ -393,9 +397,6 @@ mod tests {
         }
         let first = per_token[0];
         let last = *per_token.last().unwrap();
-        assert!(
-            last < first * 1.5,
-            "expected linear scaling, got per-token items {per_token:?}"
-        );
+        assert!(last < first * 1.5, "expected linear scaling, got per-token items {per_token:?}");
     }
 }

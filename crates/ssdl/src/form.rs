@@ -141,10 +141,7 @@ impl FormBuilder {
         for f in &self.fields {
             if let FieldBody::ValueList { attr, ty } = &f.body {
                 let list_nt = format!("{}_list", f.name);
-                rules.push(Rule {
-                    lhs: list_nt.clone(),
-                    rhs: sym::atom(attr, CmpOp::Eq, *ty),
-                });
+                rules.push(Rule { lhs: list_nt.clone(), rhs: sym::atom(attr, CmpOp::Eq, *ty) });
                 let mut rec = sym::atom(attr, CmpOp::Eq, *ty);
                 rec.push(sym::or());
                 rec.push(sym::nt(&list_nt));
@@ -161,16 +158,10 @@ impl FormBuilder {
         let n = self.fields.len();
         let mut form_idx = 0usize;
         for mask in 1u32..(1 << n) {
-            let chosen: Vec<&FormField> = (0..n)
-                .filter(|i| mask & (1 << i) != 0)
-                .map(|i| &self.fields[i])
-                .collect();
+            let chosen: Vec<&FormField> =
+                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| &self.fields[i]).collect();
             if self.fields.iter().any(|f| f.required)
-                && self
-                    .fields
-                    .iter()
-                    .enumerate()
-                    .any(|(i, f)| f.required && mask & (1 << i) == 0)
+                && self.fields.iter().enumerate().any(|(i, f)| f.required && mask & (1 << i) == 0)
             {
                 continue; // missing a required field
             }
@@ -296,8 +287,7 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        let full =
-            parse_condition("origin = \"SFO\" ^ dest = \"JFK\" ^ airline = \"UA\"").unwrap();
+        let full = parse_condition("origin = \"SFO\" ^ dest = \"JFK\" ^ airline = \"UA\"").unwrap();
         assert!(r.supports(Some(&full), &attrs(&["flight_no"])));
         let partial = parse_condition("origin = \"SFO\"").unwrap();
         assert!(!r.supports(Some(&partial), &attrs(&["flight_no"])));

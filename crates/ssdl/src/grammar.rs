@@ -90,8 +90,7 @@ impl Grammar {
             rules_by_lhs[r.lhs as usize].push(i);
         }
 
-        let condition_nts: Vec<NtId> =
-            desc.exports.keys().map(|k| ids[k.as_str()]).collect();
+        let condition_nts: Vec<NtId> = desc.exports.keys().map(|k| ids[k.as_str()]).collect();
 
         let nullable = compute_nullable(&rules, nt_names.len());
 

@@ -58,4 +58,8 @@ pub mod token;
 pub use ast::SsdlDesc;
 pub use check::{CompiledSource, ExportSet};
 pub use error::SsdlError;
+pub use linearize::{
+    cond_fingerprint, linearize, linearize_masked, masked_fingerprint, tokens_fingerprint,
+    Fingerprint,
+};
 pub use parser::parse_ssdl;

@@ -17,7 +17,7 @@
 //! would see.
 
 use crate::token::CondToken;
-use csqp_expr::CondTree;
+use csqp_expr::{Atom, CmpOp, CondTree, Connector, Value};
 
 /// Linearizes a condition (`None` = the trivially-true condition).
 pub fn linearize(cond: Option<&CondTree>) -> Vec<CondToken> {
@@ -31,6 +31,42 @@ pub fn linearize(cond: Option<&CondTree>) -> Vec<CondToken> {
     }
 }
 
+/// Linearizes the sub-condition selecting the `mask`-indexed subset of an
+/// And/Or node's children, without building the intermediate [`CondTree`].
+///
+/// Equivalent to cloning the picked children into a new node and calling
+/// [`linearize`] on it — including the collapse rule: a singleton mask
+/// linearizes the picked child *as the root* (no enclosing node). The mask
+/// must select at least one child.
+pub fn linearize_masked(conn: Connector, children: &[CondTree], mask: u64) -> Vec<CondToken> {
+    debug_assert!(mask != 0, "empty mask has no sub-condition");
+    let mut out = Vec::new();
+    if mask.count_ones() == 1 {
+        emit(&children[mask.trailing_zeros() as usize], &mut out, true);
+        return out;
+    }
+    let sep = connector_token(conn);
+    let mut first = true;
+    for (i, c) in children.iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        if !first {
+            out.push(sep.clone());
+        }
+        first = false;
+        emit(c, &mut out, c.is_leaf());
+    }
+    out
+}
+
+fn connector_token(conn: Connector) -> CondToken {
+    match conn {
+        Connector::And => CondToken::AndSym,
+        Connector::Or => CondToken::OrSym,
+    }
+}
+
 fn emit(t: &CondTree, out: &mut Vec<CondToken>, is_root: bool) {
     match t {
         CondTree::Leaf(a) => {
@@ -39,10 +75,7 @@ fn emit(t: &CondTree, out: &mut Vec<CondToken>, is_root: bool) {
             out.push(CondToken::Const(a.value.clone()));
         }
         CondTree::Node(conn, children) => {
-            let sep = match conn {
-                csqp_expr::Connector::And => CondToken::AndSym,
-                csqp_expr::Connector::Or => CondToken::OrSym,
-            };
+            let sep = connector_token(*conn);
             if !is_root {
                 out.push(CondToken::LParen);
             }
@@ -65,6 +98,200 @@ pub fn tokens_to_string(tokens: &[CondToken]) -> String {
     tokens.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ")
 }
 
+// ---------------------------------------------------------------------------
+// Fingerprints
+//
+// The check cache keys on a 128-bit fingerprint of the token stream instead
+// of an owned `Vec<CondToken>`. Fingerprints are computed directly from the
+// condition tree by mirroring `emit` (no token vector, no string clones), so
+// a cache hit costs one tree walk and zero allocations. Two independent
+// 64-bit FNV-1a-style lanes make accidental collisions negligible over any
+// realistic planning run.
+// ---------------------------------------------------------------------------
+
+/// A 128-bit fingerprint of a linearized condition, suitable as a cache key.
+pub type Fingerprint = u128;
+
+#[derive(Clone, Copy)]
+struct Fp {
+    a: u64,
+    b: u64,
+}
+
+impl Fp {
+    fn new() -> Self {
+        Fp { a: 0xcbf2_9ce4_8422_2325, b: 0x6c62_272e_07bb_0142 }
+    }
+
+    #[inline]
+    fn byte(&mut self, x: u8) {
+        self.a = (self.a ^ u64::from(x)).wrapping_mul(0x0000_0100_0000_01B3);
+        self.b = (self.b ^ (u64::from(x) << 17)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn bytes(&mut self, xs: &[u8]) {
+        for &x in xs {
+            self.byte(x);
+        }
+    }
+
+    #[inline]
+    fn u64(&mut self, x: u64) {
+        self.bytes(&x.to_le_bytes());
+    }
+
+    fn finish(self) -> Fingerprint {
+        (u128::from(self.a) << 64) | u128::from(self.b)
+    }
+}
+
+// Token tags: every token writes a distinct leading tag byte, and
+// variable-length payloads are length-prefixed, so distinct token streams
+// produce distinct byte streams.
+const TAG_ATTR: u8 = 1;
+const TAG_OP: u8 = 2;
+const TAG_CONST: u8 = 3;
+const TAG_AND: u8 = 4;
+const TAG_OR: u8 = 5;
+const TAG_LPAREN: u8 = 6;
+const TAG_RPAREN: u8 = 7;
+const TAG_TRUE: u8 = 8;
+
+fn op_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+        CmpOp::Contains => 6,
+    }
+}
+
+fn fp_value(v: &Value, fp: &mut Fp) {
+    match v {
+        Value::Int(i) => {
+            fp.byte(0);
+            fp.u64(*i as u64);
+        }
+        Value::Float(f) => {
+            fp.byte(1);
+            fp.u64(f.to_bits());
+        }
+        Value::Str(s) => {
+            fp.byte(2);
+            fp.u64(s.len() as u64);
+            fp.bytes(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            fp.byte(3);
+            fp.byte(u8::from(*b));
+        }
+    }
+}
+
+fn fp_atom(a: &Atom, fp: &mut Fp) {
+    fp.byte(TAG_ATTR);
+    fp.u64(a.attr.len() as u64);
+    fp.bytes(a.attr.as_bytes());
+    fp.byte(TAG_OP);
+    fp.byte(op_code(a.op));
+    fp.byte(TAG_CONST);
+    fp_value(&a.value, fp);
+}
+
+fn fp_connector(conn: Connector, fp: &mut Fp) {
+    fp.byte(match conn {
+        Connector::And => TAG_AND,
+        Connector::Or => TAG_OR,
+    });
+}
+
+/// Mirrors `emit` byte-for-byte: same paren rule, same root handling.
+fn fp_emit(t: &CondTree, fp: &mut Fp, is_root: bool) {
+    match t {
+        CondTree::Leaf(a) => fp_atom(a, fp),
+        CondTree::Node(conn, children) => {
+            if !is_root {
+                fp.byte(TAG_LPAREN);
+            }
+            for (i, c) in children.iter().enumerate() {
+                if i > 0 {
+                    fp_connector(*conn, fp);
+                }
+                fp_emit(c, fp, c.is_leaf());
+            }
+            if !is_root {
+                fp.byte(TAG_RPAREN);
+            }
+        }
+    }
+}
+
+/// Fingerprint of `linearize(cond)` without materializing tokens.
+pub fn cond_fingerprint(cond: Option<&CondTree>) -> Fingerprint {
+    let mut fp = Fp::new();
+    match cond {
+        None => fp.byte(TAG_TRUE),
+        Some(t) => fp_emit(t, &mut fp, true),
+    }
+    fp.finish()
+}
+
+/// Fingerprint of `linearize_masked(conn, children, mask)` without
+/// materializing tokens or the sub-condition tree.
+pub fn masked_fingerprint(conn: Connector, children: &[CondTree], mask: u64) -> Fingerprint {
+    debug_assert!(mask != 0, "empty mask has no sub-condition");
+    let mut fp = Fp::new();
+    if mask.count_ones() == 1 {
+        fp_emit(&children[mask.trailing_zeros() as usize], &mut fp, true);
+        return fp.finish();
+    }
+    let mut first = true;
+    for (i, c) in children.iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        if !first {
+            fp_connector(conn, &mut fp);
+        }
+        first = false;
+        fp_emit(c, &mut fp, c.is_leaf());
+    }
+    fp.finish()
+}
+
+/// Fingerprint of an already-linearized token stream. Agrees with
+/// [`cond_fingerprint`] / [`masked_fingerprint`] on the same condition.
+pub fn tokens_fingerprint(tokens: &[CondToken]) -> Fingerprint {
+    let mut fp = Fp::new();
+    for tok in tokens {
+        match tok {
+            CondToken::Attr(name) => {
+                fp.byte(TAG_ATTR);
+                fp.u64(name.len() as u64);
+                fp.bytes(name.as_bytes());
+            }
+            CondToken::Op(op) => {
+                fp.byte(TAG_OP);
+                fp.byte(op_code(*op));
+            }
+            CondToken::Const(v) => {
+                fp.byte(TAG_CONST);
+                fp_value(v, &mut fp);
+            }
+            CondToken::AndSym => fp.byte(TAG_AND),
+            CondToken::OrSym => fp.byte(TAG_OR),
+            CondToken::LParen => fp.byte(TAG_LPAREN),
+            CondToken::RParen => fp.byte(TAG_RPAREN),
+            CondToken::True => fp.byte(TAG_TRUE),
+        }
+    }
+    fp.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,10 +310,7 @@ mod tests {
 
     #[test]
     fn flat_conjunction_no_parens() {
-        assert_eq!(
-            lin("make = \"BMW\" ^ price < 40000"),
-            "make = \"BMW\" ^ price < 40000"
-        );
+        assert_eq!(lin("make = \"BMW\" ^ price < 40000"), "make = \"BMW\" ^ price < 40000");
     }
 
     #[test]
@@ -123,5 +347,75 @@ mod tests {
         // Non-canonical tree a ^ (b ^ c): the nested node gets parens, so
         // grammars see exactly the CT structure.
         assert_eq!(lin("a = 1 ^ (b = 2 ^ c = 3)"), "a = 1 ^ ( b = 2 ^ c = 3 )");
+    }
+
+    const CORPUS: &[&str] = &[
+        "make = \"BMW\"",
+        "make = \"BMW\" ^ price < 40000",
+        "style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\")",
+        "size = \"compact\" _ size = \"midsize\"",
+        "a = 1 _ (b = 2 ^ (c = 3 _ d = 4))",
+        "a = 1 ^ (b = 2 ^ c = 3)",
+        "title contains \"dreams\" ^ price <= 12.5 ^ used = true",
+    ];
+
+    #[test]
+    fn cond_fingerprint_agrees_with_tokens_fingerprint() {
+        for text in CORPUS {
+            let t = parse_condition(text).unwrap();
+            assert_eq!(
+                cond_fingerprint(Some(&t)),
+                tokens_fingerprint(&linearize(Some(&t))),
+                "fingerprint mismatch for {text}"
+            );
+        }
+        assert_eq!(cond_fingerprint(None), tokens_fingerprint(&linearize(None)));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_corpus() {
+        let mut fps: Vec<_> =
+            CORPUS.iter().map(|t| cond_fingerprint(Some(&parse_condition(t).unwrap()))).collect();
+        fps.push(cond_fingerprint(None));
+        let n = fps.len();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), n, "corpus conditions must fingerprint uniquely");
+    }
+
+    #[test]
+    fn masked_paths_match_materialized_sub_conditions() {
+        use csqp_expr::{CondTree, Connector};
+        let children: Vec<CondTree> =
+            ["a = 1", "b = 2 _ c = 3", "d contains \"x\"", "e = 4 ^ f = 5"]
+                .iter()
+                .map(|t| parse_condition(t).unwrap())
+                .collect();
+        for conn in [Connector::And, Connector::Or] {
+            for mask in 1u64..(1 << children.len()) {
+                let picked: Vec<CondTree> = children
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, c)| c.clone())
+                    .collect();
+                let materialized = if picked.len() == 1 {
+                    picked.into_iter().next().unwrap()
+                } else {
+                    CondTree::Node(conn, picked)
+                };
+                let want = linearize(Some(&materialized));
+                assert_eq!(
+                    linearize_masked(conn, &children, mask),
+                    want,
+                    "tokens diverge at {conn:?} mask {mask:#b}"
+                );
+                assert_eq!(
+                    masked_fingerprint(conn, &children, mask),
+                    tokens_fingerprint(&want),
+                    "fingerprint diverges at {conn:?} mask {mask:#b}"
+                );
+            }
+        }
     }
 }

@@ -157,13 +157,14 @@ impl P {
                                 break;
                             }
                             other => {
-                                return self
-                                    .err(format!("expected '|' or ';', found {other:?}"))
+                                return self.err(format!("expected '|' or ';', found {other:?}"))
                             }
                         }
                     }
                 }
-                other => return self.err(format!("expected rule or attributes clause, found {other:?}")),
+                other => {
+                    return self.err(format!("expected rule or attributes clause, found {other:?}"))
+                }
             }
         }
 
@@ -223,9 +224,8 @@ impl P {
                         "bool" => Term::Placeholder(ValueType::Bool),
                         "any" => Term::AnyConst,
                         other => {
-                            return self.err(format!(
-                                "unknown placeholder `${other}` (expected $int/$float/$str/$bool/$any)"
-                            ))
+                            let hint = "expected $int/$float/$str/$bool/$any";
+                            return self.err(format!("unknown placeholder `${other}` ({hint})"));
                         }
                     })
                 }
@@ -303,10 +303,8 @@ mod tests {
 
     #[test]
     fn alternatives_become_separate_rules() {
-        let d = parse_ssdl(
-            "s1 -> make = $str | color = $str ;\nattributes :: s1 : { make } ;",
-        )
-        .unwrap();
+        let d = parse_ssdl("s1 -> make = $str | color = $str ;\nattributes :: s1 : { make } ;")
+            .unwrap();
         assert_eq!(d.rules.len(), 2);
         assert_eq!(d.rules[0].lhs, "s1");
         assert_eq!(d.rules[1].lhs, "s1");
@@ -342,10 +340,7 @@ mod tests {
 
     #[test]
     fn contains_operator() {
-        let d = parse_ssdl(
-            "s1 -> title contains $str ;\nattributes :: s1 : { title } ;",
-        )
-        .unwrap();
+        let d = parse_ssdl("s1 -> title contains $str ;\nattributes :: s1 : { title } ;").unwrap();
         assert_eq!(d.rules[0].rhs[1], sym::op(CmpOp::Contains));
     }
 
@@ -365,10 +360,9 @@ mod tests {
 
     #[test]
     fn duplicate_attributes_rejected() {
-        let e = parse_ssdl(
-            "s1 -> a = $int ;\nattributes :: s1 : { a } ;\nattributes :: s1 : { a } ;",
-        )
-        .unwrap_err();
+        let e =
+            parse_ssdl("s1 -> a = $int ;\nattributes :: s1 : { a } ;\nattributes :: s1 : { a } ;")
+                .unwrap_err();
         assert_eq!(e, SsdlError::DuplicateAttributes("s1".into()));
     }
 
@@ -386,8 +380,7 @@ mod tests {
 
     #[test]
     fn missing_close_brace_rejected() {
-        let e = parse_ssdl("source x {\ns1 -> a = $int ;\nattributes :: s1 : { a } ;")
-            .unwrap_err();
+        let e = parse_ssdl("source x {\ns1 -> a = $int ;\nattributes :: s1 : { a } ;").unwrap_err();
         assert!(matches!(e, SsdlError::Syntax { .. }), "{e}");
     }
 

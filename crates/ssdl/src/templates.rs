@@ -214,10 +214,7 @@ mod tests {
     fn bookstore_capabilities() {
         let r = CompiledSource::new(bookstore());
         // Single author + keyword: supported (the paper's good sub-query).
-        let q1 = parse_condition(
-            "author = \"Sigmund Freud\" ^ title contains \"dreams\"",
-        )
-        .unwrap();
+        let q1 = parse_condition("author = \"Sigmund Freud\" ^ title contains \"dreams\"").unwrap();
         assert!(r.supports(Some(&q1), &attrs(&["isbn", "title", "price"])));
         // Two authors at once: NOT supported (the paper's point).
         let q2 = parse_condition(
@@ -226,10 +223,7 @@ mod tests {
         .unwrap();
         assert!(!r.supports(Some(&q2), &attrs(&["isbn"])));
         // Author disjunction alone: also unsupported.
-        let q3 = parse_condition(
-            "author = \"Sigmund Freud\" _ author = \"Carl Jung\"",
-        )
-        .unwrap();
+        let q3 = parse_condition("author = \"Sigmund Freud\" _ author = \"Carl Jung\"").unwrap();
         assert!(!r.supports(Some(&q3), &attrs(&["isbn"])));
         // Keyword alone: supported.
         let q4 = parse_condition("title contains \"dreams\"").unwrap();

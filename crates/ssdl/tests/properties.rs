@@ -85,7 +85,7 @@ proptest! {
             let closed_export = closed.check(Some(&t));
             for set in orig_export.sets() {
                 prop_assert!(
-                    closed_export.covers(set),
+                    closed_export.covers(&set),
                     "closure lost export {:?} for {}",
                     set,
                     t

@@ -14,17 +14,13 @@ use csqp::ssdl::templates;
 use std::sync::Arc;
 
 fn main() {
-    let source = Arc::new(Source::new(
-        accounts(5, 1_000),
-        templates::bank(),
-        CostParams::default(),
-    ));
+    let source =
+        Arc::new(Source::new(accounts(5, 1_000), templates::bank(), CostParams::default()));
     println!("capabilities:\n{}", source.gate_view().desc);
     let mediator = Mediator::new(source.clone());
 
     // Without the PIN: owner and branch are retrievable, balance is not.
-    let no_pin =
-        TargetQuery::parse(r#"acct_no = "acct-00042""#, &["owner", "branch"]).unwrap();
+    let no_pin = TargetQuery::parse(r#"acct_no = "acct-00042""#, &["owner", "branch"]).unwrap();
     let out = mediator.run(&no_pin).unwrap();
     println!("without PIN, {no_pin}:");
     println!("  plan: {}", out.planned.plan);
@@ -54,11 +50,8 @@ fn main() {
 
     // A wrong PIN parses fine (the capability is syntactic) but matches no
     // account row — authentication by data, capability by grammar.
-    let wrong_pin = TargetQuery::parse(
-        r#"acct_no = "acct-00042" ^ pin = "pin-99999""#,
-        &["balance"],
-    )
-    .unwrap();
+    let wrong_pin =
+        TargetQuery::parse(r#"acct_no = "acct-00042" ^ pin = "pin-99999""#, &["balance"]).unwrap();
     let out = mediator.run(&wrong_pin).unwrap();
     println!("\nwith a wrong PIN: {} rows returned", out.rows.len());
     assert!(out.rows.is_empty());

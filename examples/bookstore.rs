@@ -32,13 +32,15 @@ fn main() {
 
     // The capability gate rejects the raw query.
     let raw = source.answer(Some(&query.cond), &query.attrs);
-    println!("sending the raw query to the source: {}\n", match raw {
-        Err(e) => format!("REJECTED — {e}"),
-        Ok(_) => "accepted (unexpected!)".to_string(),
-    });
+    println!(
+        "sending the raw query to the source: {}\n",
+        match raw {
+            Err(e) => format!("REJECTED — {e}"),
+            Ok(_) => "accepted (unexpected!)".to_string(),
+        }
+    );
 
-    for scheme in [Scheme::GenCompact, Scheme::Dnf, Scheme::Cnf, Scheme::Disco, Scheme::NaivePush]
-    {
+    for scheme in [Scheme::GenCompact, Scheme::Dnf, Scheme::Cnf, Scheme::Disco, Scheme::NaivePush] {
         let mediator = Mediator::new(source.clone()).with_scheme(scheme);
         match mediator.run(&query) {
             Ok(out) => {

@@ -65,10 +65,7 @@ fn main() {
     assert_eq!(gc_t, dnf_t, "paper: the same amount of data is transferred in both cases");
     assert!(gc_c < dnf_c, "two round trips beat four at equal transfer");
     let (_, cnf_t, _) = get(Scheme::Cnf).expect("CNF feasible");
-    assert!(
-        cnf_t > gc_t,
-        "paper: the CNF system may transfer many more entries than necessary"
-    );
+    assert!(cnf_t > gc_t, "paper: the CNF system may transfer many more entries than necessary");
     assert!(get(Scheme::Disco).is_none(), "paper: DISCO fails on this query");
 
     println!("All of the paper's Example 1.2 claims reproduced.");

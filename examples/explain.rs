@@ -18,8 +18,7 @@ fn main() {
         csqp::ssdl::templates::car_dealer(),
         CostParams::default(),
     ));
-    let cond_text =
-        r#"(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")"#;
+    let cond_text = r#"(make = "BMW" ^ price < 40000) ^ (color = "red" _ color = "black")"#;
     let query = TargetQuery::parse(cond_text, &["model", "year"]).unwrap();
     println!("target query: {query}\n");
 

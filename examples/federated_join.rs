@@ -24,8 +24,7 @@ fn main() {
     let review_rel = reviews(11, &isbns, 3);
     println!("  {} books, {} reviews\n", book_rel.len(), review_rel.len());
 
-    let bookstore =
-        Arc::new(Source::new(book_rel, templates::bookstore(), CostParams::default()));
+    let bookstore = Arc::new(Source::new(book_rel, templates::bookstore(), CostParams::default()));
     let review_site =
         Arc::new(Source::new(review_rel, templates::reviews(), CostParams::default()));
     println!("review-site capabilities:\n{}", review_site.gate_view().desc);
@@ -37,11 +36,8 @@ fn main() {
             &["isbn", "title"],
         )
         .unwrap(),
-        right: TargetQuery::parse(
-            r#"rating >= 4"#,
-            &["review_id", "isbn", "rating", "reviewer"],
-        )
-        .unwrap(),
+        right: TargetQuery::parse(r#"rating >= 4"#, &["review_id", "isbn", "rating", "reviewer"])
+            .unwrap(),
         left_key: "isbn".into(),
         right_key: "isbn".into(),
     };

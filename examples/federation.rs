@@ -53,10 +53,8 @@ fn main() {
         CostParams::new(10.0, 1.0),
     ));
 
-    let federation = Federation::new()
-        .with_member(fast_form)
-        .with_member(slow_dump)
-        .with_member(color_browse);
+    let federation =
+        Federation::new().with_member(fast_form).with_member(slow_dump).with_member(color_browse);
 
     let queries = [
         (r#"make = "BMW" ^ price < 40000"#, vec!["model", "year"]),

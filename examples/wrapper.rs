@@ -52,14 +52,12 @@ fn main() {
                    ((make = "Toyota" ^ price <= 20000) _ (make = "BMW" ^ price <= 40000))"#,
                 vec!["listing_id", "model", "price"],
             )],
-            "car_dealer" => vec![(
-                r#"price < 40000 ^ color = "red" ^ make = "BMW""#,
-                vec!["model", "year"],
-            )],
-            "bank" => vec![(
-                r#"acct_no = "acct-00007" ^ pin = "pin-00007""#,
-                vec!["owner", "balance"],
-            )],
+            "car_dealer" => {
+                vec![(r#"price < 40000 ^ color = "red" ^ make = "BMW""#, vec!["model", "year"])]
+            }
+            "bank" => {
+                vec![(r#"acct_no = "acct-00007" ^ pin = "pin-00007""#, vec!["owner", "balance"])]
+            }
             "flights" => vec![(
                 r#"origin = "SFO" ^ dest = "JFK" ^ price <= 400"#,
                 vec!["flight_no", "airline", "price"],

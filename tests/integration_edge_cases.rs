@@ -19,9 +19,7 @@ fn small_relation() -> Relation {
     )
     .unwrap();
     let rows: Vec<Vec<Value>> = (0..300i64)
-        .map(|i| {
-            vec![Value::Int(i), Value::Int(i % 7), Value::Int(i % 5), Value::Int(i % 3)]
-        })
+        .map(|i| vec![Value::Int(i), Value::Int(i % 7), Value::Int(i % 5), Value::Int(i % 3)])
         .collect();
     Relation::from_rows(schema, rows)
 }
@@ -172,10 +170,7 @@ fn literal_constant_forms() {
     );
     // a = 1 is the fixed form: pure.
     let q1 = TargetQuery::parse("a = 1", &["k"]).unwrap();
-    assert!(matches!(
-        Mediator::new(s.clone()).plan(&q1).unwrap().plan,
-        Plan::SourceQuery { .. }
-    ));
+    assert!(matches!(Mediator::new(s.clone()).plan(&q1).unwrap().plan, Plan::SourceQuery { .. }));
     // a = 2 is not expressible and nothing else covers attribute a: fail.
     let q2 = TargetQuery::parse("a = 2", &["k"]).unwrap();
     assert!(Mediator::new(s.clone()).plan(&q2).is_err());

@@ -59,10 +59,7 @@ fn every_feasible_scheme_returns_the_exact_answer() {
             let mediator = Mediator::new(source.clone()).with_scheme(scheme);
             match mediator.run(&q) {
                 Ok(out) => {
-                    assert_eq!(
-                        out.rows, want,
-                        "{scheme} wrong answer on {source_name}: {cond}"
-                    );
+                    assert_eq!(out.rows, want, "{scheme} wrong answer on {source_name}: {cond}");
                 }
                 Err(MediatorError::Plan(_)) => {} // infeasible for this scheme: fine
                 Err(e) => panic!("{scheme} execution error on {source_name}: {e}"),

@@ -37,10 +37,7 @@ fn executor_surfaces_gate_rejections() {
     let s = dealer();
     // Hand-built plan whose source query the gate cannot accept in any
     // ordering (year is not a grammar token at all).
-    let bad = Plan::source(
-        Some(parse_condition("year = 1995").unwrap()),
-        attrs(["model"]),
-    );
+    let bad = Plan::source(Some(parse_condition("year = 1995").unwrap()), attrs(["model"]));
     match execute(&bad, &s) {
         Err(ExecError::Source(SourceError::Unsupported { source, condition, .. })) => {
             assert_eq!(source, "car_dealer");
@@ -65,12 +62,8 @@ fn projection_beyond_exports_is_rejected_not_truncated() {
 
 #[test]
 fn empty_relation_is_not_an_error() {
-    let schema = Schema::new(
-        "empty",
-        vec![("k", ValueType::Int), ("a", ValueType::Int)],
-        &["k"],
-    )
-    .unwrap();
+    let schema =
+        Schema::new("empty", vec![("k", ValueType::Int), ("a", ValueType::Int)], &["k"]).unwrap();
     let s = Arc::new(Source::new(
         Relation::empty(schema),
         csqp::ssdl::templates::full_relational(
@@ -88,11 +81,8 @@ fn empty_relation_is_not_an_error() {
 #[test]
 fn zero_selectivity_queries_return_empty_not_error() {
     let s = dealer();
-    let q = TargetQuery::parse(
-        "make = \"NoSuchMake\" ^ price < 40000",
-        &["model", "year"],
-    )
-    .unwrap();
+    let q =
+        TargetQuery::parse("make = \"NoSuchMake\" ^ price < 40000", &["model", "year"]).unwrap();
     let out = Mediator::new(s).run(&q).unwrap();
     assert!(out.rows.is_empty());
 }
@@ -100,11 +90,8 @@ fn zero_selectivity_queries_return_empty_not_error() {
 #[test]
 fn genmodular_budget_exhaustion_is_reported_not_silent() {
     let s = dealer();
-    let q = TargetQuery::parse(
-        "price < 40000 ^ color = \"red\" ^ make = \"BMW\"",
-        &["model"],
-    )
-    .unwrap();
+    let q =
+        TargetQuery::parse("price < 40000 ^ color = \"red\" ^ make = \"BMW\"", &["model"]).unwrap();
     let tiny = GenModularConfig {
         rewrite_budget: RewriteBudget { max_cts: 3, max_atoms: 6, max_depth: 2 },
         ..Default::default()
@@ -134,11 +121,7 @@ fn huge_fanout_truncates_with_download_fallback() {
         Schema::new("t", vec![("k", ValueType::Int), ("a", ValueType::Int)], &["k"]).unwrap();
     let rows: Vec<Vec<Value>> =
         (0..100i64).map(|i| vec![Value::Int(i), Value::Int(i % 30)]).collect();
-    let s = Arc::new(Source::new(
-        Relation::from_rows(schema, rows),
-        desc,
-        CostParams::default(),
-    ));
+    let s = Arc::new(Source::new(Relation::from_rows(schema, rows), desc, CostParams::default()));
     let parts: Vec<String> = (0..20).map(|i| format!("a = {i}")).collect();
     let q = TargetQuery::parse(&parts.join(" _ "), &["k"]).unwrap();
     let cfg = GenCompactConfig {
@@ -182,11 +165,8 @@ fn degenerate_conditions_plan_fine() {
 #[test]
 fn contradictory_condition_returns_empty() {
     let s = dealer();
-    let q = TargetQuery::parse(
-        "make = \"BMW\" ^ make = \"Toyota\" ^ price < 40000",
-        &["model"],
-    )
-    .unwrap();
+    let q = TargetQuery::parse("make = \"BMW\" ^ make = \"Toyota\" ^ price < 40000", &["model"])
+        .unwrap();
     // GenCompact may or may not find this feasible (the 3-atom conjunction
     // isn't a form), but if it plans, the answer must be empty.
     if let Ok(out) = Mediator::new(s).run(&q) {

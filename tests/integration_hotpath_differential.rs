@@ -1,0 +1,227 @@
+//! Differential property test for the planner hot-path overhaul (PR 1).
+//!
+//! The interned/bitset planner must return plans with **identical cost and
+//! identical chosen source queries** as the pre-refactor string-based path.
+//! The pre-refactor behaviour is captured as a golden snapshot
+//! (`tests/golden_hotpath.txt`, generated at the seed commit); any change to
+//! plan choice or cost estimation on this corpus is a regression.
+//!
+//! Regenerate deliberately with `BLESS_GOLDEN=1 cargo test -p csqp --test
+//! integration_hotpath_differential` — and justify the diff in review.
+
+use csqp_bench::workload::{
+    random_query_shaped, random_source, scaling_query, scaling_source, CapabilityParams,
+};
+use csqp_core::genmodular::GenModularConfig;
+use csqp_core::mediator::{Mediator, Scheme};
+use csqp_core::types::TargetQuery;
+use csqp_expr::rewrite::RewriteBudget;
+use csqp_plan::attrs;
+use csqp_source::{Catalog, Source};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden_hotpath.txt");
+
+/// One corpus entry: a labelled (source, query, scheme) triple.
+struct Case {
+    label: String,
+    source: Arc<Source>,
+    query: TargetQuery,
+    scheme: Scheme,
+}
+
+fn modular_cfg(n_atoms: usize) -> GenModularConfig {
+    GenModularConfig {
+        rewrite_budget: RewriteBudget { max_cts: 20_000, max_atoms: n_atoms + 2, max_depth: 6 },
+        ..Default::default()
+    }
+}
+
+fn corpus() -> Vec<Case> {
+    let mut cases = Vec::new();
+
+    // Fixed paper examples on the demo catalog (both schemes).
+    let catalog = Catalog::demo_small(7);
+    let bookstore = catalog.get("bookstore").unwrap().clone();
+    let car_guide = catalog.get("car_guide").unwrap().clone();
+    let car_dealer = catalog.get("car_dealer").unwrap().clone();
+    let fixed: Vec<(&str, Arc<Source>, TargetQuery)> = vec![
+        (
+            "ex1.1-bookstore",
+            bookstore.clone(),
+            TargetQuery::parse(
+                "(author = \"Sigmund Freud\" _ author = \"Carl Jung\") ^ \
+                 title contains \"dreams\"",
+                &["isbn", "title", "author"],
+            )
+            .unwrap(),
+        ),
+        (
+            "ex1.2-carguide",
+            car_guide.clone(),
+            TargetQuery::parse(
+                "style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\") ^ \
+                 ((make = \"Toyota\" ^ price <= 20000) _ (make = \"BMW\" ^ price <= 40000))",
+                &["listing_id", "model", "price"],
+            )
+            .unwrap(),
+        ),
+        (
+            "ex4.1-cardealer",
+            car_dealer.clone(),
+            TargetQuery::parse(
+                "(make = \"BMW\" ^ price < 40000) ^ (color = \"red\" _ color = \"black\")",
+                &["model", "year"],
+            )
+            .unwrap(),
+        ),
+        (
+            "cardealer-scrambled",
+            car_dealer.clone(),
+            TargetQuery::parse(
+                "price < 40000 ^ color = \"red\" ^ make = \"BMW\"",
+                &["model", "year"],
+            )
+            .unwrap(),
+        ),
+    ];
+    for (label, source, query) in fixed {
+        let n = query.cond.n_atoms();
+        cases.push(Case {
+            label: format!("{label}/compact"),
+            source: source.clone(),
+            query: query.clone(),
+            scheme: Scheme::GenCompact,
+        });
+        if n <= 4 {
+            // GenModular's rewrite set explodes beyond small queries.
+            cases.push(Case {
+                label: format!("{label}/modular"),
+                source,
+                query,
+                scheme: Scheme::GenModular,
+            });
+        }
+    }
+
+    // The structured scaling family (GenCompact + GenModular on small n).
+    let scaling = scaling_source(5, 400);
+    for n in 2..=6usize {
+        for seed in [101u64, 202, 303] {
+            let cond = scaling_query(seed + n as u64, n);
+            let query = TargetQuery::new(cond, attrs(["k"]));
+            cases.push(Case {
+                label: format!("scaling-n{n}-s{seed}/compact"),
+                source: scaling.clone(),
+                query: query.clone(),
+                scheme: Scheme::GenCompact,
+            });
+            if n <= 4 {
+                cases.push(Case {
+                    label: format!("scaling-n{n}-s{seed}/modular"),
+                    source: scaling.clone(),
+                    query,
+                    scheme: Scheme::GenModular,
+                });
+            }
+        }
+    }
+
+    // Random capability/query pairs: the broad differential sweep
+    // (GenCompact only — the point is hot-path equivalence, and GenCompact
+    // exercises IPG, the cache, mark-equivalent checks and MCSC).
+    let params = CapabilityParams::default();
+    for seed in 0..40u64 {
+        let source = random_source(seed, 300, &params);
+        for (qi, and_bias) in [(0u64, 0.7), (1, 0.4)] {
+            let cond = random_query_shaped(seed * 7 + 1000 + qi, 4, 3, and_bias);
+            let query = TargetQuery::new(cond, attrs(["k"]));
+            cases.push(Case {
+                label: format!("rand-s{seed}-q{qi}/compact"),
+                source: source.clone(),
+                query,
+                scheme: Scheme::GenCompact,
+            });
+        }
+    }
+    cases
+}
+
+/// Renders the planning outcome of one case as a stable snapshot line:
+/// `label|cost|source-queries` (or `label|INFEASIBLE`). The chosen source
+/// queries — condition text plus fetched attributes — are exactly what the
+/// refactor must preserve; est_cost is printed with fixed precision so the
+/// comparison is bit-stable across runs.
+fn snapshot_line(case: &Case) -> String {
+    let mediator = match case.scheme {
+        Scheme::GenModular => Mediator::new(case.source.clone())
+            .with_scheme(Scheme::GenModular)
+            .with_modular_config(modular_cfg(case.query.cond.n_atoms())),
+        scheme => Mediator::new(case.source.clone()).with_scheme(scheme),
+    };
+    let mut line = String::new();
+    match mediator.plan(&case.query) {
+        Ok(planned) => {
+            let mut sqs: Vec<String> = planned
+                .plan
+                .source_queries()
+                .into_iter()
+                .map(|(cond, attrs)| {
+                    let cond =
+                        cond.as_ref().map(|c| c.to_string()).unwrap_or_else(|| "true".into());
+                    let attrs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                    format!("SP({cond}; {})", attrs.join(","))
+                })
+                .collect();
+            // Source-query ordering inside ∩/∪ is part of the plan, but the
+            // snapshot sorts to stay robust to cosmetic reordering.
+            sqs.sort();
+            write!(line, "{}|{:.6}|{}", case.label, planned.est_cost, sqs.join(" & "))
+                .expect("write to string");
+        }
+        Err(_) => {
+            write!(line, "{}|INFEASIBLE", case.label).expect("write to string");
+        }
+    }
+    line
+}
+
+#[test]
+fn planner_matches_prerefactor_golden_snapshot() {
+    let lines: Vec<String> = corpus().iter().map(snapshot_line).collect();
+    let generated = format!("{}\n", lines.join("\n"));
+
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &generated).expect("write golden file");
+        eprintln!("blessed {} cases to {GOLDEN_PATH}", lines.len());
+        return;
+    }
+
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run with BLESS_GOLDEN=1 to create it");
+    let golden_lines: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        golden_lines.len(),
+        lines.len(),
+        "corpus size changed: golden has {} cases, run produced {}",
+        golden_lines.len(),
+        lines.len()
+    );
+    for (got, want) in lines.iter().zip(&golden_lines) {
+        assert_eq!(
+            got, want,
+            "plan/cost diverged from the pre-refactor baseline \
+             (identical cost and chosen source queries are required)"
+        );
+    }
+}
+
+/// The snapshot itself must be deterministic run-to-run, otherwise the
+/// differential test proves nothing.
+#[test]
+fn snapshot_is_deterministic() {
+    let a: Vec<String> = corpus().iter().map(snapshot_line).collect();
+    let b: Vec<String> = corpus().iter().map(snapshot_line).collect();
+    assert_eq!(a, b);
+}

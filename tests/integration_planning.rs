@@ -12,32 +12,16 @@ fn feasible_workload() -> Vec<(&'static str, &'static str, Vec<&'static str>)> {
             r#"(author = "Sigmund Freud" _ author = "Carl Jung") ^ title contains "dreams""#,
             vec!["isbn", "title"],
         ),
-        (
-            "bookstore",
-            r#"subject = "psychology" ^ price <= 20"#,
-            vec!["isbn", "price"],
-        ),
+        ("bookstore", r#"subject = "psychology" ^ price <= 20"#, vec!["isbn", "price"]),
         (
             "car_guide",
             r#"style = "sedan" ^ (size = "compact" _ size = "midsize") ^
                ((make = "Toyota" ^ price <= 20000) _ (make = "BMW" ^ price <= 40000))"#,
             vec!["listing_id", "model"],
         ),
-        (
-            "car_guide",
-            r#"make = "Honda" ^ year >= 1995"#,
-            vec!["listing_id", "year"],
-        ),
-        (
-            "car_dealer",
-            r#"price < 40000 ^ color = "red" ^ make = "BMW""#,
-            vec!["model", "year"],
-        ),
-        (
-            "bank",
-            r#"acct_no = "acct-00007" ^ pin = "pin-00007""#,
-            vec!["owner", "balance"],
-        ),
+        ("car_guide", r#"make = "Honda" ^ year >= 1995"#, vec!["listing_id", "year"]),
+        ("car_dealer", r#"price < 40000 ^ color = "red" ^ make = "BMW""#, vec!["model", "year"]),
+        ("bank", r#"acct_no = "acct-00007" ^ pin = "pin-00007""#, vec!["owner", "balance"]),
         (
             "flights",
             r#"origin = "SFO" ^ dest = "JFK" ^ price <= 600"#,
@@ -53,9 +37,7 @@ fn gencompact_plans_the_demo_workload() {
         let source = catalog.get(source_name).unwrap().clone();
         let q = TargetQuery::parse(cond, &attrs).unwrap();
         let mediator = Mediator::new(source.clone());
-        let planned = mediator
-            .plan(&q)
-            .unwrap_or_else(|e| panic!("{source_name}: {e}"));
+        let planned = mediator.plan(&q).unwrap_or_else(|e| panic!("{source_name}: {e}"));
         assert!(planned.plan.is_concrete(), "{source_name}: {cond}");
         assert!(is_feasible(&planned.plan, &source), "{source_name}: {cond}");
         assert!(planned.est_cost.is_finite() && planned.est_cost > 0.0);
@@ -75,9 +57,7 @@ fn genmodular_plans_the_demo_workload() {
         let source = catalog.get(source_name).unwrap().clone();
         let q = TargetQuery::parse(cond, &attrs).unwrap();
         let mediator = Mediator::new(source.clone()).with_scheme(Scheme::GenModular);
-        let planned = mediator
-            .plan(&q)
-            .unwrap_or_else(|e| panic!("{source_name}: {e}"));
+        let planned = mediator.plan(&q).unwrap_or_else(|e| panic!("{source_name}: {e}"));
         assert!(is_feasible(&planned.plan, &source), "{source_name}: {cond}");
     }
 }

@@ -12,21 +12,12 @@ use proptest::prelude::*;
 use std::sync::Arc;
 
 fn gen_attrs() -> Vec<GenAttr> {
-    vec![
-        GenAttr::ints("a", 0, 6, 1),
-        GenAttr::ints("b", 0, 4, 1),
-        GenAttr::ints("c", 0, 2, 1),
-    ]
+    vec![GenAttr::ints("a", 0, 6, 1), GenAttr::ints("b", 0, 4, 1), GenAttr::ints("c", 0, 2, 1)]
 }
 
 fn random_condition(seed: u64, n_atoms: usize, depth: usize) -> CondTree {
     let mut g = CondGen::new(seed, gen_attrs());
-    g.tree(&CondGenConfig {
-        n_atoms,
-        max_depth: depth,
-        and_bias: 0.6,
-        eq_bias: 0.8,
-    })
+    g.tree(&CondGenConfig { n_atoms, max_depth: depth, and_bias: 0.6, eq_bias: 0.8 })
 }
 
 /// A source with full relational capability over (k, a, b, c) — every
@@ -78,9 +69,7 @@ fn test_relation() -> Relation {
     )
     .unwrap();
     let rows: Vec<Vec<Value>> = (0..400i64)
-        .map(|i| {
-            vec![Value::Int(i), Value::Int(i % 7), Value::Int(i % 5), Value::Int(i % 3)]
-        })
+        .map(|i| vec![Value::Int(i), Value::Int(i % 7), Value::Int(i % 5), Value::Int(i % 3)])
         .collect();
     Relation::from_rows(schema, rows)
 }
@@ -188,19 +177,17 @@ proptest! {
             .with_modular_config(modular_cfg)
             .plan(&q);
         match (compact, modular) {
-            (Ok(c), Ok(m)) => {
-                if !m.report.truncated {
-                    prop_assert!(
-                        c.est_cost <= m.est_cost + 1e-6,
-                        "{}: compact {} vs modular {}\n  c: {}\n  m: {}",
-                        cond, c.est_cost, m.est_cost, c.plan, m.plan
-                    );
-                }
+            (Ok(c), Ok(m)) if !m.report.truncated => {
+                prop_assert!(
+                    c.est_cost <= m.est_cost + 1e-6,
+                    "{}: compact {} vs modular {}\n  c: {}\n  m: {}",
+                    cond, c.est_cost, m.est_cost, c.plan, m.plan
+                );
             }
             // GenModular (budgeted) may miss plans GenCompact finds; the
             // reverse must never happen when GenModular is untruncated.
             (Err(_), Ok(m)) => {
-                prop_assert!(m.report.truncated || false, "modular feasible, compact not: {}", cond);
+                prop_assert!(m.report.truncated, "modular feasible, compact not: {}", cond);
             }
             _ => {}
         }

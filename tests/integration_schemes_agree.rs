@@ -3,8 +3,8 @@
 //! being generated". Verified on a corpus of small queries where
 //! GenModular's budgets are comfortably exhaustive.
 
-use csqp::prelude::*;
 use csqp::expr::rewrite::RewriteBudget;
+use csqp::prelude::*;
 use std::sync::Arc;
 
 /// A dedicated source with mixed capabilities: conjunctive forms, a value
@@ -40,20 +40,9 @@ fn mixed_source() -> Arc<Source> {
     )
     .unwrap();
     let rows: Vec<Vec<Value>> = (0..600i64)
-        .map(|i| {
-            vec![
-                Value::Int(i),
-                Value::Int(i % 7),
-                Value::Int(i % 5),
-                Value::Int(i % 3),
-            ]
-        })
+        .map(|i| vec![Value::Int(i), Value::Int(i % 7), Value::Int(i % 5), Value::Int(i % 3)])
         .collect();
-    Arc::new(Source::new(
-        Relation::from_rows(schema, rows),
-        desc,
-        CostParams::new(10.0, 1.0),
-    ))
+    Arc::new(Source::new(Relation::from_rows(schema, rows), desc, CostParams::new(10.0, 1.0)))
 }
 
 /// Small-query corpus: every condition where the comparison is meaningful.
