@@ -108,6 +108,8 @@ fn finish(
             Ok(PlannedQuery {
                 plan,
                 est_cost,
+                // The baselines are single-strategy: no losers to keep.
+                alternatives: Vec::new(),
                 report: PlannerReport {
                     cts_processed: 1,
                     checks: cache.calls(),

@@ -7,22 +7,128 @@
 //! the cheapest feasible plan — capability-sensitivity applied one level up
 //! from [`crate::mediator::Mediator`].
 
-use crate::mediator::{CardKind, Mediator, MediatorError, RunOutcome};
+use crate::mediator::{execute_with_failover, CardKind, Mediator, MediatorError, RunOutcome};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
-use csqp_source::Source;
+use csqp_plan::exec::{execute_measured, ExecError, RetryPolicy};
+use csqp_source::{ResilienceMeter, Source};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Circuit-breaker policy for federation members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBreakerConfig {
+    /// Consecutive execution failures that open the breaker (quarantine).
+    pub failure_threshold: u32,
+    /// Federated runs the member sits out once quarantined; afterwards it
+    /// is *half-open* — offered one probe, closing on success and
+    /// re-opening on failure.
+    pub cooldown_ticks: u64,
+}
+
+impl Default for CircuitBreakerConfig {
+    fn default() -> Self {
+        CircuitBreakerConfig { failure_threshold: 3, cooldown_ticks: 2 }
+    }
+}
+
+/// Per-member breaker state. The clock is the federation's own run counter
+/// (one tick per [`Federation::run_resilient`] call) — no wall-clock, so
+/// quarantine windows replay deterministically.
+#[derive(Debug, Default)]
+struct BreakerState {
+    consecutive_failures: AtomicU32,
+    /// 0 = closed; otherwise the tick at which the member turns half-open.
+    half_open_at: AtomicU64,
+}
+
+/// What the breaker allows a member to do in the current run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerGate {
+    Closed,
+    Quarantined,
+    HalfOpen,
+}
+
+impl BreakerState {
+    fn gate(&self, now: u64) -> BreakerGate {
+        let at = self.half_open_at.load(Ordering::Relaxed);
+        if at == 0 {
+            BreakerGate::Closed
+        } else if now < at {
+            BreakerGate::Quarantined
+        } else {
+            BreakerGate::HalfOpen
+        }
+    }
+
+    fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        self.half_open_at.store(0, Ordering::Relaxed);
+    }
+
+    fn record_failure(&self, now: u64, cfg: &CircuitBreakerConfig) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        let half_open = self.half_open_at.load(Ordering::Relaxed);
+        // A failed half-open probe re-opens immediately; otherwise open
+        // once the threshold is crossed.
+        if half_open != 0 || failures >= cfg.failure_threshold {
+            self.half_open_at.store(now + cfg.cooldown_ticks + 1, Ordering::Relaxed);
+        }
+    }
+}
 
 /// A set of interchangeable sources for one logical relation.
 #[derive(Debug)]
 pub struct Federation {
     members: Vec<Arc<Source>>,
+    breakers: Vec<BreakerState>,
     card: CardKind,
+    breaker_cfg: CircuitBreakerConfig,
+    /// Virtual clock: one tick per resilient run.
+    clock: AtomicU64,
 }
 
 impl Default for Federation {
     fn default() -> Self {
         Federation::new()
     }
+}
+
+/// One entry of a federated failover trace: what happened to a member
+/// during a resilient run, in the order members were considered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberEvent {
+    /// Skipped: the circuit breaker is open.
+    Quarantined,
+    /// Planning failed (the member cannot answer this query).
+    Infeasible,
+    /// The breaker was half-open and this attempt was its probe.
+    Probed,
+    /// Every plan (primary + alternatives) failed at execution; the last
+    /// error, rendered.
+    ExecFailed(String),
+    /// This member served the answer.
+    Served,
+}
+
+/// A member-ordered failover trace (member name, event). A member can
+/// appear twice: once `Probed`, then `Served`/`ExecFailed`.
+pub type FailoverTrace = Vec<(String, MemberEvent)>;
+
+/// The outcome of a resilient federated run.
+#[derive(Debug)]
+pub struct FederatedRun {
+    /// The plan-and-execute outcome on the serving member.
+    pub outcome: RunOutcome,
+    /// Name of the member that served the answer.
+    pub source_name: String,
+    /// Rank of the serving plan on that member (0 = its primary plan).
+    pub plan_rank: usize,
+    /// Cumulative resilience metrics across every member and plan tried
+    /// (member switches count as failovers, on top of plan switches).
+    pub resilience: ResilienceMeter,
+    /// The failover trace, for explainability and determinism checks.
+    pub trace: FailoverTrace,
 }
 
 /// A federation planning decision.
@@ -40,18 +146,32 @@ pub struct FederatedPlan {
 impl Federation {
     /// An empty federation.
     pub fn new() -> Self {
-        Federation { members: Vec::new(), card: CardKind::Stats }
+        Federation {
+            members: Vec::new(),
+            breakers: Vec::new(),
+            card: CardKind::Stats,
+            breaker_cfg: CircuitBreakerConfig::default(),
+            clock: AtomicU64::new(0),
+        }
     }
 
     /// Adds a member source.
     pub fn with_member(mut self, source: Arc<Source>) -> Self {
         self.members.push(source);
+        self.breakers.push(BreakerState::default());
         self
     }
 
     /// Selects the cardinality estimator used for every member.
     pub fn with_cardinality(mut self, card: CardKind) -> Self {
         self.card = card;
+        self
+    }
+
+    /// Overrides the circuit-breaker policy used by
+    /// [`run_resilient`](Federation::run_resilient).
+    pub fn with_breaker(mut self, cfg: CircuitBreakerConfig) -> Self {
+        self.breaker_cfg = cfg;
         self
     }
 
@@ -94,12 +214,113 @@ impl Federation {
         }
     }
 
-    /// Plans and executes on the chosen member.
+    /// Plans and executes on the chosen member. The already-chosen plan is
+    /// executed directly — the query is *not* re-planned.
     pub fn run(&self, query: &TargetQuery) -> Result<(FederatedPlan, RunOutcome), MediatorError> {
         let fp = self.plan(query)?;
-        let mediator = Mediator::new(fp.source.clone()).with_cardinality(self.card);
-        let outcome = mediator.run(query)?;
+        let (rows, meter) = execute_measured(&fp.planned.plan, &fp.source)?;
+        let measured_cost = meter.cost(fp.source.cost_params());
+        let outcome = RunOutcome { planned: fp.planned.clone(), rows, meter, measured_cost };
         Ok((fp, outcome))
+    }
+
+    /// Plans against every non-quarantined member and executes with full
+    /// resilience: members are tried cheapest-first; within a member the
+    /// mediator-level failover applies (retry/backoff per `policy`, then
+    /// ranked plan alternatives); when a member still fails the federation
+    /// fails over to the next-cheapest member. A member that fails
+    /// [`CircuitBreakerConfig::failure_threshold`] consecutive runs is
+    /// quarantined for `cooldown_ticks` runs, then offered a half-open
+    /// probe.
+    ///
+    /// The whole decision sequence is deterministic: planning fans out via
+    /// [`crate::par::par_map`] (order-preserving), execution visits members
+    /// in a cost-sorted order with member index as tie-break, and the
+    /// breaker clock counts runs, not wall time — the same seed yields the
+    /// same [`FederatedRun::trace`] with the `parallel` feature on or off.
+    pub fn run_resilient(
+        &self,
+        query: &TargetQuery,
+        policy: &RetryPolicy,
+    ) -> Result<FederatedRun, MediatorError> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut trace: FailoverTrace = Vec::new();
+
+        // Gate decisions are snapshotted up front so the planning fan-out
+        // below cannot interleave with breaker updates.
+        let gates: Vec<BreakerGate> = self.breakers.iter().map(|b| b.gate(now)).collect();
+        let card = self.card;
+        let outcomes = crate::par::par_map(&self.members, |member| {
+            Mediator::new(member.clone()).with_cardinality(card).plan(query)
+        });
+
+        // Candidates in member order, then sorted cheapest-first (stable:
+        // earliest member wins ties).
+        let mut candidates: Vec<(usize, PlannedQuery)> = Vec::new();
+        let mut any_feasible = false;
+        for (idx, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(planned) => {
+                    any_feasible = true;
+                    if gates[idx] == BreakerGate::Quarantined {
+                        trace.push((self.members[idx].name.clone(), MemberEvent::Quarantined));
+                    } else {
+                        candidates.push((idx, planned));
+                    }
+                }
+                Err(_) => trace.push((self.members[idx].name.clone(), MemberEvent::Infeasible)),
+            }
+        }
+        candidates
+            .sort_by(|a, b| a.1.est_cost.partial_cmp(&b.1.est_cost).expect("finite plan costs"));
+
+        let mut resilience = ResilienceMeter::default();
+        let mut last_error: Option<ExecError> = None;
+        let mut tried_any = false;
+        for (idx, planned) in candidates {
+            let member = &self.members[idx];
+            if gates[idx] == BreakerGate::HalfOpen {
+                trace.push((member.name.clone(), MemberEvent::Probed));
+            }
+            if tried_any {
+                resilience.failovers += 1;
+            }
+            tried_any = true;
+            match execute_with_failover(&planned, member, policy, &mut resilience) {
+                Ok((plan_rank, rows, meter, _failures)) => {
+                    self.breakers[idx].record_success();
+                    trace.push((member.name.clone(), MemberEvent::Served));
+                    let measured_cost = meter.cost(member.cost_params());
+                    return Ok(FederatedRun {
+                        outcome: RunOutcome { planned, rows, meter, measured_cost },
+                        source_name: member.name.clone(),
+                        plan_rank,
+                        resilience,
+                        trace,
+                    });
+                }
+                Err(mut failures) => {
+                    self.breakers[idx].record_failure(now, &self.breaker_cfg);
+                    let (_, err) = failures.pop().expect("at least one plan was tried");
+                    trace.push((member.name.clone(), MemberEvent::ExecFailed(err.to_string())));
+                    last_error = Some(err);
+                }
+            }
+        }
+
+        match last_error {
+            Some(err) => Err(MediatorError::Exec(err)),
+            // No member was even tried: everything was infeasible or
+            // quarantined.
+            None if any_feasible => Err(MediatorError::Plan(PlanError::NoFeasiblePlan {
+                query: query.to_string(),
+                scheme: "Federation (all capable members quarantined)",
+            })),
+            None => Err(MediatorError::Plan(PlanError::NoFeasiblePlan {
+                query: query.to_string(),
+                scheme: "Federation",
+            })),
+        }
     }
 }
 
@@ -187,6 +408,158 @@ mod tests {
         let want = csqp_relation::ops::project(
             &csqp_relation::ops::select(fp2.source.relation(), Some(&q.cond)),
             &["make", "model"],
+        )
+        .unwrap();
+        assert_eq!(out.rows, want);
+    }
+
+    /// Two mirrors: a cheap member with injected faults and an expensive,
+    /// reliable dump.
+    fn faulty_pair(profile: csqp_source::FaultProfile, cfg: CircuitBreakerConfig) -> Federation {
+        let data = datagen::cars(3, 400);
+        let flaky = Arc::new(
+            Source::new(data.clone(), templates::car_dealer(), CostParams::new(10.0, 1.0))
+                .with_fault_profile(profile),
+        );
+        let dump = Arc::new(Source::new(
+            data,
+            templates::download_only(
+                "dump",
+                &[
+                    ("make", ValueType::Str),
+                    ("model", ValueType::Str),
+                    ("year", ValueType::Int),
+                    ("color", ValueType::Str),
+                    ("price", ValueType::Int),
+                ],
+            ),
+            CostParams::new(200.0, 5.0),
+        ));
+        Federation::new().with_member(flaky).with_member(dump).with_breaker(cfg)
+    }
+
+    fn car_query() -> TargetQuery {
+        TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"]).unwrap()
+    }
+
+    #[test]
+    fn exec_failure_fails_over_to_next_member() {
+        use csqp_source::FaultProfile;
+        // The cheap member is hard-down; retries are off so it dies fast.
+        let f = faulty_pair(
+            FaultProfile::new(0).with_outage(0, u64::MAX),
+            CircuitBreakerConfig::default(),
+        );
+        let policy = RetryPolicy { max_retries: 0, ..Default::default() };
+        let q = car_query();
+        let run = f.run_resilient(&q, &policy).unwrap();
+        assert_eq!(run.source_name, "dump", "failed over to the expensive mirror");
+        assert!(run.resilience.failovers >= 1);
+        let want = csqp_relation::ops::project(
+            &csqp_relation::ops::select(f.members()[1].relation(), Some(&q.cond)),
+            &["model", "year"],
+        )
+        .unwrap();
+        assert_eq!(run.outcome.rows, want, "the failover answer is exact");
+        // Trace: the dealer failed, then the dump served.
+        assert!(run
+            .trace
+            .iter()
+            .any(|(n, e)| n == "car_dealer" && matches!(e, MemberEvent::ExecFailed(_))));
+        assert_eq!(run.trace.last().unwrap(), &("dump".to_string(), MemberEvent::Served));
+    }
+
+    #[test]
+    fn breaker_quarantines_then_probes_then_closes() {
+        use csqp_source::FaultProfile;
+        // Attempts 0 and 1 are outages, everything after succeeds. With
+        // threshold 2 / cooldown 2 the member: fails (run 1), fails + opens
+        // (run 2), sits out runs 3–4, probes successfully at run 5, and is
+        // fully closed again at run 6.
+        let f = faulty_pair(
+            FaultProfile::new(0).with_outage(0, 2),
+            CircuitBreakerConfig { failure_threshold: 2, cooldown_ticks: 2 },
+        );
+        let policy = RetryPolicy { max_retries: 0, ..Default::default() };
+        let q = car_query();
+        let event_for = |run: &FederatedRun, name: &str| -> Vec<MemberEvent> {
+            run.trace.iter().filter(|(n, _)| n == name).map(|(_, e)| e.clone()).collect()
+        };
+
+        let r1 = f.run_resilient(&q, &policy).unwrap();
+        assert!(matches!(event_for(&r1, "car_dealer")[..], [MemberEvent::ExecFailed(_)]));
+        let r2 = f.run_resilient(&q, &policy).unwrap();
+        assert!(matches!(event_for(&r2, "car_dealer")[..], [MemberEvent::ExecFailed(_)]));
+        for _ in 0..2 {
+            let r = f.run_resilient(&q, &policy).unwrap();
+            assert_eq!(event_for(&r, "car_dealer"), vec![MemberEvent::Quarantined]);
+            assert_eq!(r.source_name, "dump", "quarantine shields the run from the dealer");
+        }
+        let r5 = f.run_resilient(&q, &policy).unwrap();
+        assert_eq!(
+            event_for(&r5, "car_dealer"),
+            vec![MemberEvent::Probed, MemberEvent::Served],
+            "half-open probe succeeds"
+        );
+        assert_eq!(r5.source_name, "car_dealer");
+        let r6 = f.run_resilient(&q, &policy).unwrap();
+        assert_eq!(
+            event_for(&r6, "car_dealer"),
+            vec![MemberEvent::Served],
+            "breaker closed after the successful probe"
+        );
+    }
+
+    #[test]
+    fn failed_probe_reopens_the_breaker() {
+        use csqp_source::FaultProfile;
+        let f = faulty_pair(
+            FaultProfile::new(0).with_outage(0, u64::MAX),
+            CircuitBreakerConfig { failure_threshold: 1, cooldown_ticks: 1 },
+        );
+        let policy = RetryPolicy { max_retries: 0, ..Default::default() };
+        let q = car_query();
+        let r1 = f.run_resilient(&q, &policy).unwrap(); // fails, opens
+        assert!(r1.trace.iter().any(|(_, e)| matches!(e, MemberEvent::ExecFailed(_))));
+        let r2 = f.run_resilient(&q, &policy).unwrap(); // quarantined
+        assert!(r2.trace.iter().any(|(_, e)| *e == MemberEvent::Quarantined));
+        let r3 = f.run_resilient(&q, &policy).unwrap(); // probe fails, reopens
+        assert!(r3.trace.iter().any(|(_, e)| *e == MemberEvent::Probed));
+        let r4 = f.run_resilient(&q, &policy).unwrap(); // quarantined again
+        assert!(r4.trace.iter().any(|(_, e)| *e == MemberEvent::Quarantined));
+    }
+
+    #[test]
+    fn all_members_down_reports_exec_error() {
+        use csqp_source::FaultProfile;
+        let data = datagen::cars(3, 100);
+        let down = |name_seed: u64| {
+            Arc::new(
+                Source::new(data.clone(), templates::car_dealer(), CostParams::default())
+                    .with_fault_profile(FaultProfile::new(name_seed).with_outage(0, u64::MAX)),
+            )
+        };
+        let f = Federation::new().with_member(down(1)).with_member(down(2));
+        let policy = RetryPolicy { max_retries: 1, ..Default::default() };
+        match f.run_resilient(&car_query(), &policy) {
+            Err(MediatorError::Exec(e)) => {
+                assert!(e.to_string().contains("unavailable") || e.to_string().contains("retries"))
+            }
+            other => panic!("expected Exec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_executes_the_already_chosen_plan() {
+        let f = mirrors();
+        let q = TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"]).unwrap();
+        let (fp, out) = f.run(&q).unwrap();
+        // The outcome's plan IS the federated choice — no re-planning.
+        assert_eq!(out.planned.plan, fp.planned.plan);
+        assert_eq!(out.planned.est_cost, fp.planned.est_cost);
+        let want = csqp_relation::ops::project(
+            &csqp_relation::ops::select(fp.source.relation(), Some(&q.cond)),
+            &["model", "year"],
         )
         .unwrap();
         assert_eq!(out.rows, want);

@@ -91,12 +91,12 @@ pub fn plan_compact_with_model(
     let rewritten = enumerate_compact(&query.cond, cfg.rewrite_budget);
     let mut ctx = IpgContext::new(&cache, model, card, cfg.ipg);
 
-    let mut best: Option<(csqp_plan::Plan, f64)> = None;
+    // Keep every per-CT winner: the overall best becomes the plan, the
+    // losers become ranked failover alternatives.
+    let mut candidates: Vec<(csqp_plan::Plan, f64)> = Vec::new();
     for ct in &rewritten.cts {
         if let Some((plan, cost)) = ipg_entry(ct, &query.attrs, &mut ctx) {
-            if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-                best = Some((plan, cost));
-            }
+            candidates.push((plan, cost));
         }
     }
 
@@ -111,8 +111,10 @@ pub fn plan_compact_with_model(
         elapsed: start.elapsed(),
     };
 
-    match best {
-        Some((plan, est_cost)) => Ok(PlannedQuery { plan, est_cost, report }),
+    match crate::types::rank_candidates(candidates) {
+        Some((plan, est_cost, alternatives)) => {
+            Ok(PlannedQuery { plan, est_cost, report, alternatives })
+        }
         None => Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "GenCompact" }),
     }
 }

@@ -61,7 +61,7 @@ pub fn plan_modular_with_model(
     // Rewrite module.
     let rewritten = enumerate(&query.cond, &cfg.rules, cfg.rewrite_budget);
 
-    let mut best: Option<(csqp_plan::Plan, f64)> = None;
+    let mut candidates: Vec<(csqp_plan::Plan, f64)> = Vec::new();
     let mut plans_considered: u64 = 0;
     let mut generator_calls = 0usize;
     let mut truncated = rewritten.truncated;
@@ -79,11 +79,9 @@ pub fn plan_modular_with_model(
         generator_calls += ctx.calls;
         truncated |= ctx.truncated;
         plans_considered = plans_considered.saturating_add(space.n_alternatives());
-        // Cost module.
-        let (plan, cost) = resolve_with_cost(&space, model, card);
-        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-            best = Some((plan, cost));
-        }
+        // Cost module. Per-CT winners all survive: the overall best becomes
+        // the plan, the losers become ranked failover alternatives.
+        candidates.push(resolve_with_cost(&space, model, card));
     }
 
     let report = PlannerReport {
@@ -96,8 +94,10 @@ pub fn plan_modular_with_model(
         elapsed: start.elapsed(),
     };
 
-    match best {
-        Some((plan, est_cost)) => Ok(PlannedQuery { plan, est_cost, report }),
+    match crate::types::rank_candidates(candidates) {
+        Some((plan, est_cost, alternatives)) => {
+            Ok(PlannedQuery { plan, est_cost, report, alternatives })
+        }
         None => Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "GenModular" }),
     }
 }

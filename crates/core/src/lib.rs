@@ -50,10 +50,12 @@ pub mod mediator;
 pub mod par;
 pub mod types;
 
-pub use federation::{FederatedPlan, Federation};
+pub use federation::{
+    CircuitBreakerConfig, FailoverTrace, FederatedPlan, FederatedRun, Federation, MemberEvent,
+};
 pub use gencompact::{plan_compact, GenCompactConfig};
 pub use genmodular::{plan_modular, GenModularConfig};
 pub use ipg::IpgConfig;
 pub use join::{JoinConfig, JoinMediator, JoinOutcome, JoinQuery, JoinStrategy};
-pub use mediator::{CardKind, Mediator, RunOutcome, Scheme};
-pub use types::{PlanError, PlannedQuery, PlannerReport, TargetQuery};
+pub use mediator::{CardKind, Mediator, ResilientOutcome, RunOutcome, Scheme};
+pub use types::{PlanError, PlannedQuery, PlannerReport, RankedPlan, TargetQuery};

@@ -12,10 +12,10 @@ use crate::gencompact::{plan_compact_with_model, GenCompactConfig};
 use crate::genmodular::{plan_modular_with_model, GenModularConfig};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
 use csqp_plan::cost::{OracleCard, StatsCard, UniformCard};
-use csqp_plan::exec::{execute_measured, ExecError};
+use csqp_plan::exec::{execute_measured, execute_resilient, ExecError, RetryPolicy};
 use csqp_plan::model::CostModel;
 use csqp_relation::Relation;
-use csqp_source::{Meter, Source};
+use csqp_source::{Meter, ResilienceMeter, Source};
 use std::fmt;
 use std::sync::Arc;
 
@@ -92,6 +92,61 @@ pub struct RunOutcome {
     pub meter: Meter,
     /// Measured cost of the run under the source's §6.2 constants.
     pub measured_cost: f64,
+}
+
+/// The outcome of a resilient run ([`Mediator::run_resilient`]).
+#[derive(Debug)]
+pub struct ResilientOutcome {
+    /// The plan-and-execute outcome. `planned` holds the *primary* plan and
+    /// its ranked alternatives; `rows`/`meter` come from the plan that
+    /// actually served the answer.
+    pub outcome: RunOutcome,
+    /// Rank of the serving plan: 0 = primary, `i` = `i`-th alternative.
+    pub plan_rank: usize,
+    /// Cumulative resilience metrics across every plan tried.
+    pub resilience: ResilienceMeter,
+    /// `(rank, error)` for each plan that failed before the winner.
+    pub failures: Vec<(usize, ExecError)>,
+}
+
+/// The error trail of a failed failover chain: `(plan rank, error)` per
+/// candidate tried.
+pub(crate) type FailureTrail = Vec<(usize, ExecError)>;
+
+/// A failover win: the serving rank, its answer and transfer meter, plus
+/// the trail of candidates that failed before it.
+pub(crate) type FailoverWin = (usize, Relation, Meter, FailureTrail);
+
+/// Tries `planned.plan` then each ranked alternative in cost order under
+/// `policy`, accumulating resilience metrics (including one failover per
+/// plan switch) into `res`. Returns the winning rank, its answer, and the
+/// transfer it caused — or the error trail if every candidate failed.
+///
+/// Plan-construction bugs ([`ExecError::Unresolved`]/
+/// [`ExecError::Malformed`]) abort immediately: every sibling plan came
+/// from the same planner, and masking a bug with a fallback would hide it.
+pub(crate) fn execute_with_failover(
+    planned: &PlannedQuery,
+    source: &Source,
+    policy: &RetryPolicy,
+    res: &mut ResilienceMeter,
+) -> Result<FailoverWin, FailureTrail> {
+    let mut failures: FailureTrail = Vec::new();
+    let alternatives = planned.alternatives.iter().map(|a| &a.plan);
+    for (rank, plan) in std::iter::once(&planned.plan).chain(alternatives).enumerate() {
+        if rank > 0 {
+            res.failovers += 1;
+        }
+        match execute_resilient(plan, source, policy, res) {
+            Ok((rows, meter)) => return Ok((rank, rows, meter, failures)),
+            Err(e @ (ExecError::Unresolved | ExecError::Malformed(_))) => {
+                failures.push((rank, e));
+                return Err(failures);
+            }
+            Err(e) => failures.push((rank, e)),
+        }
+    }
+    Err(failures)
 }
 
 /// Execution-stage errors surfaced by [`Mediator::run`].
@@ -251,6 +306,35 @@ impl Mediator {
         let measured_cost = meter.cost(self.source.cost_params());
         Ok(RunOutcome { planned, rows, meter, measured_cost })
     }
+
+    /// Plans and executes with resilience: source queries retry with
+    /// backoff per `policy`, and when the chosen plan still fails the
+    /// mediator degrades gracefully to the next-cheapest ranked alternative
+    /// instead of erroring. The error of every failed candidate is kept in
+    /// [`ResilientOutcome::failures`] for explainability.
+    pub fn run_resilient(
+        &self,
+        query: &TargetQuery,
+        policy: &RetryPolicy,
+    ) -> Result<ResilientOutcome, MediatorError> {
+        let planned = self.plan(query)?;
+        let mut resilience = ResilienceMeter::default();
+        match execute_with_failover(&planned, &self.source, policy, &mut resilience) {
+            Ok((plan_rank, rows, meter, failures)) => {
+                let measured_cost = meter.cost(self.source.cost_params());
+                Ok(ResilientOutcome {
+                    outcome: RunOutcome { planned, rows, meter, measured_cost },
+                    plan_rank,
+                    resilience,
+                    failures,
+                })
+            }
+            Err(mut failures) => {
+                let (_, last) = failures.pop().expect("at least the primary plan was tried");
+                Err(MediatorError::Exec(last))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -374,6 +458,82 @@ mod tests {
         };
         let picked = resolve(&space, &model, &card);
         assert_eq!(picked, narrow, "width-aware model avoids the 8-attribute fetch");
+    }
+
+    #[test]
+    fn gencompact_keeps_ranked_alternatives() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("bookstore").unwrap().clone();
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let planned = Mediator::new(source).plan(&q).unwrap();
+        assert!(!planned.alternatives.is_empty(), "losers survive as ranked alternatives");
+        let mut prev = planned.est_cost;
+        for alt in &planned.alternatives {
+            assert!(alt.est_cost >= prev - 1e-9, "alternatives ranked cheapest-first");
+            assert!(alt.plan != planned.plan, "the winner is not duplicated");
+            assert!(alt.plan.is_concrete());
+            prev = alt.est_cost;
+        }
+    }
+
+    #[test]
+    fn run_resilient_retries_through_transient_faults() {
+        use csqp_source::FaultProfile;
+        use csqp_ssdl::templates;
+        let data = csqp_relation::datagen::books(7, &Default::default());
+        let source = Arc::new(
+            Source::new(data, templates::bookstore(), csqp_source::CostParams::default())
+                .with_fault_profile(FaultProfile::new(4).with_transient(0.5)),
+        );
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let want = project(&select(source.relation(), Some(&q.cond)), &["isbn", "author", "title"])
+            .unwrap();
+        let m = Mediator::new(source);
+        let policy = RetryPolicy { max_retries: 20, ..Default::default() };
+        let out = m.run_resilient(&q, &policy).unwrap();
+        assert_eq!(out.outcome.rows, want, "answer exact despite the storm");
+        assert!(out.resilience.retries > 0, "seed 4 at p=0.5 injects faults");
+        assert_eq!(out.plan_rank, 0, "retries alone salvaged the primary plan");
+    }
+
+    #[test]
+    fn run_resilient_fails_over_to_alternative_plan() {
+        use csqp_source::FaultProfile;
+        use csqp_ssdl::templates;
+        // The first attempt is an outage and retries are disabled: the
+        // primary plan dies, the mediator degrades to the next-ranked
+        // alternative, which starts past the outage window and succeeds.
+        let data = csqp_relation::datagen::books(7, &Default::default());
+        let source = Arc::new(
+            Source::new(data, templates::bookstore(), csqp_source::CostParams::default())
+                .with_fault_profile(FaultProfile::new(0).with_outage(0, 1)),
+        );
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let want = project(&select(source.relation(), Some(&q.cond)), &["isbn", "author", "title"])
+            .unwrap();
+        let m = Mediator::new(source);
+        let policy = RetryPolicy { max_retries: 0, ..Default::default() };
+        let out = m.run_resilient(&q, &policy).unwrap();
+        assert_eq!(out.outcome.rows, want, "the fallback plan is exact too");
+        assert!(out.plan_rank >= 1, "served by an alternative, not the primary");
+        assert_eq!(out.resilience.failovers as usize, out.plan_rank);
+        assert_eq!(out.failures.len(), out.plan_rank, "one recorded failure per dead plan");
+        assert!(matches!(out.failures[0].1, ExecError::Exhausted { .. }));
+    }
+
+    #[test]
+    fn run_resilient_errors_when_every_plan_dies() {
+        use csqp_source::FaultProfile;
+        use csqp_ssdl::templates;
+        let data = csqp_relation::datagen::books(7, &Default::default());
+        let source = Arc::new(
+            Source::new(data, templates::bookstore(), csqp_source::CostParams::default())
+                .with_fault_profile(FaultProfile::new(0).with_transient(1.0)),
+        );
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let m = Mediator::new(source);
+        let err = m.run_resilient(&q, &RetryPolicy::default()).unwrap_err();
+        assert!(matches!(err, MediatorError::Exec(ExecError::Exhausted { .. })), "{err}");
     }
 
     #[test]

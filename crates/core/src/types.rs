@@ -63,6 +63,15 @@ pub struct PlannerReport {
     pub elapsed: Duration,
 }
 
+/// A ranked fallback plan retained for execution-time failover.
+#[derive(Debug, Clone)]
+pub struct RankedPlan {
+    /// The concrete plan.
+    pub plan: Plan,
+    /// Its estimated cost under the planner's model.
+    pub est_cost: f64,
+}
+
 /// A successfully planned target query.
 #[derive(Debug, Clone)]
 pub struct PlannedQuery {
@@ -72,6 +81,41 @@ pub struct PlannedQuery {
     pub est_cost: f64,
     /// Search statistics.
     pub report: PlannerReport,
+    /// Ranked alternatives (cheapest first, `plan` excluded): the losing
+    /// candidates GenCompact/GenModular already enumerated, kept around so
+    /// execution can degrade gracefully when the winner fails at runtime.
+    pub alternatives: Vec<RankedPlan>,
+}
+
+/// Ranked alternatives kept per planned query (beyond the winner).
+pub const MAX_ALTERNATIVES: usize = 4;
+
+/// Ranks planner candidates: returns the cheapest as the winner plus up to
+/// [`MAX_ALTERNATIVES`] distinct losers sorted by cost (stable on ties, so
+/// the result is independent of thread scheduling upstream). `None` when
+/// `candidates` is empty.
+pub(crate) fn rank_candidates(
+    mut candidates: Vec<(Plan, f64)>,
+) -> Option<(Plan, f64, Vec<RankedPlan>)> {
+    if candidates.is_empty() {
+        return None;
+    }
+    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite plan costs"));
+    let mut it = candidates.into_iter();
+    let (best, best_cost) = it.next().expect("non-empty checked");
+    let mut alternatives: Vec<RankedPlan> = Vec::new();
+    for (plan, est_cost) in it {
+        if alternatives.len() >= MAX_ALTERNATIVES {
+            break;
+        }
+        // Different CTs can canonicalize to the same winning plan; a
+        // duplicate is useless as a fallback.
+        if plan == best || alternatives.iter().any(|a| a.plan == plan) {
+            continue;
+        }
+        alternatives.push(RankedPlan { plan, est_cost });
+    }
+    Some((best, best_cost, alternatives))
 }
 
 /// Planner errors.

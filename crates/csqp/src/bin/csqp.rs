@@ -11,10 +11,13 @@
 //! With `--scheme` you can compare the baselines the paper criticizes, and
 //! `--explain` prints the plan tree and search statistics.
 
-use csqp::core::mediator::{Mediator, Scheme};
+use csqp::core::federation::{CircuitBreakerConfig, Federation, MemberEvent};
+use csqp::core::mediator::{Mediator, MediatorError, Scheme};
 use csqp::core::types::TargetQuery;
+use csqp::plan::exec::RetryPolicy;
 use csqp::plan::explain::explain;
 use csqp::prelude::*;
+use csqp_source::FaultProfile;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -29,12 +32,14 @@ struct Args {
     explain: bool,
     k1: f64,
     k2: f64,
+    chaos: Option<u64>,
 }
 
 const USAGE: &str = "\
 usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
             [--key <col[,col]>] [--scheme <name>] [--run] [--explain]
             [--k1 <f64>] [--k2 <f64>]
+       csqp --chaos <seed>
 
   --ssdl     SSDL source description (see README for the syntax)
   --csv      data file; header row names the columns, types are inferred
@@ -44,7 +49,9 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
   --scheme   gencompact (default) | genmodular | cnf | dnf | disco | naive
   --run      execute the plan and print the rows
   --explain  print the plan tree and planner statistics
-  --k1/--k2  cost-model constants (default 50 / 1)";
+  --k1/--k2  cost-model constants (default 50 / 1)
+  --chaos    standalone demo: run a seeded fault storm against a federation
+             of unreliable car-data mirrors and print the failover trace";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -58,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         explain: false,
         k1: 50.0,
         k2: 1.0,
+        chaos: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -89,22 +97,115 @@ fn parse_args() -> Result<Args, String> {
             "--explain" => args.explain = true,
             "--k1" => args.k1 = value(&mut i)?.parse().map_err(|e| format!("--k1: {e}"))?,
             "--k2" => args.k2 = value(&mut i)?.parse().map_err(|e| format!("--k2: {e}"))?,
+            "--chaos" => {
+                args.chaos = Some(value(&mut i)?.parse().map_err(|e| format!("--chaos: {e}"))?)
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
     }
-    for (flag, val) in
-        [("--ssdl", &args.ssdl_path), ("--csv", &args.csv_path), ("--query", &args.query)]
-    {
-        if val.is_empty() {
-            return Err(format!("{flag} is required"));
+    // --chaos is a self-contained demo; the planning flags don't apply.
+    if args.chaos.is_none() {
+        for (flag, val) in
+            [("--ssdl", &args.ssdl_path), ("--csv", &args.csv_path), ("--query", &args.query)]
+        {
+            if val.is_empty() {
+                return Err(format!("{flag} is required"));
+            }
+        }
+        if args.attrs.is_empty() {
+            return Err("--attrs is required".into());
         }
     }
-    if args.attrs.is_empty() {
-        return Err("--attrs is required".into());
-    }
     Ok(args)
+}
+
+/// `csqp --chaos <seed>`: a seeded fault storm against a federation of three
+/// unreliable mirrors of the same car data, showing retries, failovers, and
+/// circuit-breaker quarantine. Fully deterministic per seed.
+fn chaos_demo(seed: u64) -> ExitCode {
+    let data = csqp::relation::datagen::cars(3, 400);
+    let dealer = Arc::new(
+        Source::new(data.clone(), csqp::ssdl::templates::car_dealer(), CostParams::new(10.0, 1.0))
+            .with_fault_profile(FaultProfile::storm(seed, 0.8)),
+    );
+    let dump = Arc::new(
+        Source::new(
+            data,
+            csqp::ssdl::templates::download_only(
+                "dump",
+                &[
+                    ("make", ValueType::Str),
+                    ("model", ValueType::Str),
+                    ("year", ValueType::Int),
+                    ("color", ValueType::Str),
+                    ("price", ValueType::Int),
+                ],
+            ),
+            CostParams::new(200.0, 5.0),
+        )
+        .with_fault_profile(FaultProfile::storm(seed.wrapping_add(7), 0.4)),
+    );
+    let federation = Federation::new()
+        .with_member(dealer)
+        .with_member(dump)
+        .with_breaker(CircuitBreakerConfig { failure_threshold: 2, cooldown_ticks: 2 });
+    let policy = RetryPolicy { max_retries: 2, jitter_seed: seed, ..Default::default() };
+
+    println!("chaos storm, seed {seed}: 2 mirrors (cheap flaky form, dear steadier dump)");
+    let queries = [
+        ("make = \"BMW\" ^ price < 40000", vec!["model", "year"]),
+        ("make = \"Toyota\" ^ price < 20000", vec!["model", "year"]),
+        ("make = \"Honda\" ^ price < 30000", vec!["model", "year"]),
+    ];
+    let mut total = csqp_source::ResilienceMeter::default();
+    for round in 0..3 {
+        for (cond, attrs) in &queries {
+            let attr_refs: Vec<&str> = attrs.to_vec();
+            let query = TargetQuery::parse(cond, &attr_refs).expect("demo query parses");
+            print!("r{round} {cond}: ");
+            match federation.run_resilient(&query, &policy) {
+                Ok(run) => {
+                    println!(
+                        "{} rows from `{}` (attempts {}, retries {}, failovers {})",
+                        run.outcome.rows.len(),
+                        run.source_name,
+                        run.resilience.attempts,
+                        run.resilience.retries,
+                        run.resilience.failovers,
+                    );
+                    for (member, event) in &run.trace {
+                        let what = match event {
+                            MemberEvent::Quarantined => "quarantined by circuit breaker".into(),
+                            MemberEvent::Infeasible => "no feasible plan".into(),
+                            MemberEvent::Probed => "half-open probe".into(),
+                            MemberEvent::ExecFailed(e) => format!("failed: {e}"),
+                            MemberEvent::Served => "served the answer".into(),
+                        };
+                        println!("    {member}: {what}");
+                    }
+                    total.absorb(&run.resilience);
+                }
+                Err(MediatorError::Plan(e)) => println!("infeasible everywhere: {e}"),
+                Err(MediatorError::Exec(e)) => println!("all members down: {e}"),
+            }
+        }
+    }
+    println!(
+        "storm totals: {} attempts, {} retries, {} faults ({} transient, {} timeout, \
+         {} rate-limited, {} outage), {} failovers, {} virtual ticks",
+        total.attempts,
+        total.retries,
+        total.faults(),
+        total.transients,
+        total.timeouts,
+        total.rate_limited,
+        total.outages,
+        total.failovers,
+        total.ticks,
+    );
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -118,6 +219,10 @@ fn main() -> ExitCode {
             return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
         }
     };
+
+    if let Some(seed) = args.chaos {
+        return chaos_demo(seed);
+    }
 
     // Load inputs.
     let ssdl_text = match std::fs::read_to_string(&args.ssdl_path) {

@@ -14,9 +14,13 @@
 //! dedicated test rather than silently ignored.
 
 use crate::plan::Plan;
+use csqp_expr::CondTree;
 use csqp_relation::ops::{intersect, project, select, union};
 use csqp_relation::Relation;
-use csqp_source::{Meter, Source, SourceError};
+use csqp_source::{Meter, ResilienceMeter, Source, SourceError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// Errors raised during plan execution.
@@ -29,6 +33,26 @@ pub enum ExecError {
     Schema(String),
     /// The plan still contains `Choice` operators.
     Unresolved,
+    /// The plan is structurally invalid (e.g. an empty `Intersect`/`Union`
+    /// child list).
+    Malformed(String),
+    /// A source query kept failing with retryable faults until the retry
+    /// budget ran out.
+    Exhausted {
+        /// Source name.
+        source: String,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+        /// The last fault observed.
+        last: SourceError,
+    },
+    /// The virtual-tick deadline budget was exceeded mid-run.
+    Deadline {
+        /// Ticks consumed when the run gave up.
+        used: u64,
+        /// The configured budget.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -37,6 +61,13 @@ impl fmt::Display for ExecError {
             ExecError::Source(e) => write!(f, "source error: {e}"),
             ExecError::Schema(msg) => write!(f, "mediator schema error: {msg}"),
             ExecError::Unresolved => write!(f, "plan contains unresolved Choice operators"),
+            ExecError::Malformed(msg) => write!(f, "malformed plan: {msg}"),
+            ExecError::Exhausted { source, attempts, last } => {
+                write!(f, "source `{source}`: retries exhausted after {attempts} attempts ({last})")
+            }
+            ExecError::Deadline { used, budget } => {
+                write!(f, "deadline exceeded: {used} ticks used of a {budget}-tick budget")
+            }
         }
     }
 }
@@ -62,14 +93,18 @@ pub fn execute(plan: &Plan, source: &Source) -> Result<Relation, ExecError> {
         }
         Plan::Intersect(cs) => {
             let mut results = cs.iter().map(|c| execute(c, source));
-            let first = results.next().expect("non-empty by construction")?;
+            let first = results
+                .next()
+                .ok_or_else(|| ExecError::Malformed("empty Intersect child list".into()))??;
             results.try_fold(first, |acc, r| {
                 intersect(&acc, &r?).map_err(|e| ExecError::Schema(e.to_string()))
             })
         }
         Plan::Union(cs) => {
             let mut results = cs.iter().map(|c| execute(c, source));
-            let first = results.next().expect("non-empty by construction")?;
+            let first = results
+                .next()
+                .ok_or_else(|| ExecError::Malformed("empty Union child list".into()))??;
             results.try_fold(first, |acc, r| {
                 union(&acc, &r?).map_err(|e| ExecError::Schema(e.to_string()))
             })
@@ -85,6 +120,198 @@ pub fn execute_measured(plan: &Plan, source: &Source) -> Result<(Relation, Meter
     let after = source.meter();
     Ok((
         result,
+        Meter {
+            queries: after.queries - before.queries,
+            tuples_shipped: after.tuples_shipped - before.tuples_shipped,
+            rejected: after.rejected - before.rejected,
+        },
+    ))
+}
+
+/// Retry/backoff policy for [`execute_resilient`].
+///
+/// Every quantity is in virtual **ticks** — no wall-clock enters any
+/// decision, so a fixed `jitter_seed` makes the whole retry schedule
+/// deterministic and replayable (see DESIGN.md, "Fault model & resilience").
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per source query (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// First backoff, in ticks; doubles per retry (exponential).
+    pub base_backoff_ticks: u64,
+    /// Backoff ceiling, in ticks.
+    pub max_backoff_ticks: u64,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Optional budget of virtual ticks for one [`execute_resilient`] run
+    /// (simulated source latency + backoff). `None` = unbounded.
+    pub deadline_ticks: Option<u64>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_ticks: 4,
+            max_backoff_ticks: 64,
+            jitter_seed: 0,
+            deadline_ticks: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (0-based), jitter included:
+    /// `min(base · 2^retry, max)` plus a jittered fraction of up to half of
+    /// that, drawn from `jitter` — "full jitter" halved, deterministic.
+    fn backoff_ticks(&self, retry: u32, jitter: &mut StdRng) -> u64 {
+        let mult = 1u64.checked_shl(retry).unwrap_or(u64::MAX);
+        let exp = self.base_backoff_ticks.saturating_mul(mult).min(self.max_backoff_ticks);
+        if exp <= 1 {
+            return exp;
+        }
+        exp + jitter.random_range(0..exp / 2 + 1)
+    }
+}
+
+/// Per-run resilient execution state.
+struct ResilientCtx<'a> {
+    policy: &'a RetryPolicy,
+    jitter: StdRng,
+    /// Ticks consumed by this run (source latency + backoff); checked
+    /// against `policy.deadline_ticks`.
+    ticks_used: u64,
+    res: ResilienceMeter,
+}
+
+impl ResilientCtx<'_> {
+    fn charge(&mut self, ticks: u64) -> Result<(), ExecError> {
+        self.ticks_used += ticks;
+        self.res.ticks += ticks;
+        if let Some(budget) = self.policy.deadline_ticks {
+            if self.ticks_used > budget {
+                return Err(ExecError::Deadline { used: self.ticks_used, budget });
+            }
+        }
+        Ok(())
+    }
+
+    fn note_fault(&mut self, e: &SourceError) {
+        match e {
+            SourceError::Transient { .. } => self.res.transients += 1,
+            SourceError::Timeout { .. } => self.res.timeouts += 1,
+            SourceError::RateLimited { .. } => self.res.rate_limited += 1,
+            SourceError::Unavailable { .. } => self.res.outages += 1,
+            SourceError::Unsupported { .. } | SourceError::Schema(_) => {}
+        }
+    }
+}
+
+fn query_with_retry(
+    cond: Option<&CondTree>,
+    attrs: &BTreeSet<String>,
+    source: &Source,
+    ctx: &mut ResilientCtx<'_>,
+) -> Result<Relation, ExecError> {
+    let mut retry = 0u32;
+    loop {
+        ctx.res.attempts += 1;
+        // Virtual latency is metered by the source's fault gate; charge the
+        // delta this attempt caused against the run's deadline budget.
+        let before = source.resilience_meter().ticks;
+        let outcome = source.fix_and_answer(cond, attrs);
+        ctx.charge(source.resilience_meter().ticks.saturating_sub(before))?;
+        match outcome {
+            Ok(rows) => return Ok(rows),
+            // Capability rejections and schema errors are deterministic:
+            // retrying the identical query cannot succeed — fail fast.
+            Err(e) if !e.is_retryable() => return Err(ExecError::Source(e)),
+            Err(e) => {
+                ctx.note_fault(&e);
+                if retry >= ctx.policy.max_retries {
+                    return Err(ExecError::Exhausted {
+                        source: source.name.clone(),
+                        attempts: retry + 1,
+                        last: e,
+                    });
+                }
+                let backoff = ctx.policy.backoff_ticks(retry, &mut ctx.jitter);
+                ctx.charge(backoff)?;
+                ctx.res.retries += 1;
+                retry += 1;
+            }
+        }
+    }
+}
+
+fn execute_with_ctx(
+    plan: &Plan,
+    source: &Source,
+    ctx: &mut ResilientCtx<'_>,
+) -> Result<Relation, ExecError> {
+    match plan {
+        Plan::SourceQuery { cond, attrs } => query_with_retry(cond.as_ref(), attrs, source, ctx),
+        Plan::LocalSp { cond, attrs, input } => {
+            let base = execute_with_ctx(input, source, ctx)?;
+            let filtered = select(&base, cond.as_ref());
+            let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+            project(&filtered, &attr_refs).map_err(|e| ExecError::Schema(e.to_string()))
+        }
+        Plan::Intersect(cs) => {
+            let mut children = cs.iter();
+            let first = children
+                .next()
+                .ok_or_else(|| ExecError::Malformed("empty Intersect child list".into()))?;
+            let first = execute_with_ctx(first, source, ctx)?;
+            children.try_fold(first, |acc, c| {
+                let r = execute_with_ctx(c, source, ctx)?;
+                intersect(&acc, &r).map_err(|e| ExecError::Schema(e.to_string()))
+            })
+        }
+        Plan::Union(cs) => {
+            let mut children = cs.iter();
+            let first = children
+                .next()
+                .ok_or_else(|| ExecError::Malformed("empty Union child list".into()))?;
+            let first = execute_with_ctx(first, source, ctx)?;
+            children.try_fold(first, |acc, c| {
+                let r = execute_with_ctx(c, source, ctx)?;
+                union(&acc, &r).map_err(|e| ExecError::Schema(e.to_string()))
+            })
+        }
+        Plan::Choice(_) => Err(ExecError::Unresolved),
+    }
+}
+
+/// Executes a plan against a possibly-unreliable source: bounded retries
+/// with exponential backoff and deterministic jitter on retryable faults,
+/// fail-fast on capability rejections, and an optional per-run deadline
+/// budget of virtual ticks.
+///
+/// Resilience metrics (attempts, retries, faults by kind, ticks incl.
+/// backoff) are **accumulated into** `res`, on success *and* failure, so
+/// callers that fail over across plans keep one cumulative account. With no
+/// fault profile attached to the source this behaves exactly like
+/// [`execute_measured`] (first attempt succeeds, zero retries, zero ticks).
+pub fn execute_resilient(
+    plan: &Plan,
+    source: &Source,
+    policy: &RetryPolicy,
+    res: &mut ResilienceMeter,
+) -> Result<(Relation, Meter), ExecError> {
+    let mut ctx = ResilientCtx {
+        policy,
+        jitter: StdRng::seed_from_u64(policy.jitter_seed),
+        ticks_used: 0,
+        res: ResilienceMeter::default(),
+    };
+    let before = source.meter();
+    let outcome = execute_with_ctx(plan, source, &mut ctx);
+    res.absorb(&ctx.res);
+    let rows = outcome?;
+    let after = source.meter();
+    Ok((
+        rows,
         Meter {
             queries: after.queries - before.queries,
             tuples_shipped: after.tuples_shipped - before.tuples_shipped,
@@ -209,6 +436,156 @@ mod tests {
         // A second run doubles the cumulative meter but the delta matches.
         let (_, meter2) = execute_measured(&plan, &s).unwrap();
         assert_eq!(meter, meter2);
+    }
+
+    #[test]
+    fn empty_intersect_and_union_are_malformed_not_panics() {
+        let s = dealer();
+        for plan in [Plan::Intersect(vec![]), Plan::Union(vec![])] {
+            match execute(&plan, &s) {
+                Err(ExecError::Malformed(msg)) => assert!(msg.contains("empty"), "{msg}"),
+                other => panic!("expected Malformed, got {other:?}"),
+            }
+            let mut res = ResilienceMeter::default();
+            assert!(matches!(
+                execute_resilient(&plan, &s, &RetryPolicy::default(), &mut res),
+                Err(ExecError::Malformed(_))
+            ));
+        }
+    }
+
+    fn faulty_dealer(profile: csqp_source::FaultProfile) -> Source {
+        Source::new(datagen::cars(3, 500), templates::car_dealer(), CostParams::default())
+            .with_fault_profile(profile)
+    }
+
+    #[test]
+    fn resilient_execution_rides_out_transients() {
+        use csqp_source::FaultProfile;
+        // Every other attempt fails: with retries the plan always lands.
+        let s = faulty_dealer(FaultProfile::new(21).with_transient(0.5));
+        let plan = Plan::union(vec![
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model"])),
+            Plan::source(cond("make = \"Toyota\" ^ price < 20000"), attrs(["model"])),
+        ]);
+        let policy = RetryPolicy { max_retries: 16, ..Default::default() };
+        let mut res = ResilienceMeter::default();
+        let (rows, meter) = execute_resilient(&plan, &s, &policy, &mut res).unwrap();
+        let want = oracle(
+            &s,
+            "(make = \"BMW\" ^ price < 40000) _ (make = \"Toyota\" ^ price < 20000)",
+            &["model"],
+        );
+        assert_eq!(rows, want, "answer is exact despite faults");
+        assert_eq!(meter.queries, 2, "exactly two source queries succeeded");
+        assert_eq!(res.attempts, 2 + res.retries, "attempts = successes + retries");
+        assert_eq!(res.transients, res.retries, "every retry was caused by a transient");
+    }
+
+    #[test]
+    fn retries_exhaust_within_policy_bounds() {
+        use csqp_source::FaultProfile;
+        let s = faulty_dealer(FaultProfile::new(0).with_transient(1.0));
+        let plan = Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model"]));
+        let policy = RetryPolicy { max_retries: 2, ..Default::default() };
+        let mut res = ResilienceMeter::default();
+        match execute_resilient(&plan, &s, &policy, &mut res) {
+            Err(ExecError::Exhausted { source, attempts, last }) => {
+                assert_eq!(source, "car_dealer");
+                assert_eq!(attempts, 3, "1 initial + 2 retries");
+                assert!(last.is_retryable());
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(res.attempts, 3);
+        assert_eq!(res.retries, 2);
+        assert!(res.ticks > 0, "backoff and latency were charged");
+    }
+
+    #[test]
+    fn capability_rejection_fails_fast_without_retry() {
+        use csqp_source::FaultProfile;
+        // Reliable profile attached (so the fault gate is live) but the
+        // query is unsupported: exactly one attempt, no retries.
+        let s = faulty_dealer(FaultProfile::new(9));
+        let plan = Plan::source(cond("year = 1995"), attrs(["model"]));
+        let mut res = ResilienceMeter::default();
+        match execute_resilient(&plan, &s, &RetryPolicy::default(), &mut res) {
+            Err(ExecError::Source(SourceError::Unsupported { .. })) => {}
+            other => panic!("expected fail-fast gate rejection, got {other:?}"),
+        }
+        assert_eq!(res.attempts, 1);
+        assert_eq!(res.retries, 0);
+    }
+
+    #[test]
+    fn deadline_budget_stops_the_run() {
+        use csqp_source::FaultProfile;
+        // Timeouts burn 50 ticks each; a 60-tick budget dies on the second.
+        let s = faulty_dealer(FaultProfile::new(2).with_timeout(1.0, 50));
+        let plan = Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model"]));
+        let policy =
+            RetryPolicy { max_retries: 10, deadline_ticks: Some(60), ..Default::default() };
+        let mut res = ResilienceMeter::default();
+        match execute_resilient(&plan, &s, &policy, &mut res) {
+            Err(ExecError::Deadline { used, budget }) => {
+                assert_eq!(budget, 60);
+                assert!(used > 60, "budget was exceeded, not merely met: {used}");
+            }
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        assert!(res.attempts <= 2, "the budget cut retries short: {res:?}");
+    }
+
+    #[test]
+    fn resilient_matches_plain_execution_without_faults() {
+        let s = dealer();
+        let plan = Plan::local(
+            cond("color = \"red\" _ color = \"black\""),
+            attrs(["model", "year"]),
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model", "year", "color"])),
+        );
+        let plain = execute(&plan, &s).unwrap();
+        let mut res = ResilienceMeter::default();
+        let (rows, meter) =
+            execute_resilient(&plan, &s, &RetryPolicy::default(), &mut res).unwrap();
+        assert_eq!(rows, plain);
+        assert_eq!(meter.queries, 1);
+        assert_eq!(res.retries, 0);
+        assert_eq!(res.ticks, 0, "no fault profile: no simulated latency");
+        assert_eq!(res.faults(), 0);
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_per_seed() {
+        use csqp_source::FaultProfile;
+        let run = |seed: u64| -> (Result<(Relation, Meter), ExecError>, ResilienceMeter) {
+            let s = faulty_dealer(FaultProfile::storm(77, 0.6));
+            let plan = Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model"]));
+            let policy = RetryPolicy { jitter_seed: seed, max_retries: 8, ..Default::default() };
+            let mut res = ResilienceMeter::default();
+            (execute_resilient(&plan, &s, &policy, &mut res), res)
+        };
+        let (a, ra) = run(1);
+        let (b, rb) = run(1);
+        assert_eq!(a.is_ok(), b.is_ok());
+        assert_eq!(ra, rb, "same jitter seed, same schedule and metrics");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            base_backoff_ticks: 4,
+            max_backoff_ticks: 64,
+            jitter_seed: 3,
+            ..Default::default()
+        };
+        let mut jitter = StdRng::seed_from_u64(p.jitter_seed);
+        for retry in 0..12u32 {
+            let exp = (4u64 << retry.min(6)).min(64);
+            let got = p.backoff_ticks(retry, &mut jitter);
+            assert!(got >= exp && got <= exp + exp / 2, "retry {retry}: {got} vs base {exp}");
+        }
     }
 
     /// The documented intersection anomaly: a lossy projection makes an

@@ -24,7 +24,7 @@ pub mod plan;
 pub mod resolve;
 
 pub use cost::{Cardinality, OracleCard, StatsCard, UniformCard};
-pub use exec::{execute, execute_measured, ExecError};
+pub use exec::{execute, execute_measured, execute_resilient, ExecError, RetryPolicy};
 pub use feasible::is_feasible;
 pub use model::{CostModel, LatencyBandwidthCost};
 pub use plan::{attrs, AttrSet, Plan};

@@ -10,8 +10,10 @@
 
 pub mod catalog;
 pub mod cost;
+pub mod fault;
 pub mod source;
 
 pub use catalog::Catalog;
 pub use cost::CostParams;
+pub use fault::{Fault, FaultProfile, OutageWindow, ResilienceMeter};
 pub use source::{Meter, Source, SourceError};

@@ -14,6 +14,7 @@
 //!   ([`Source::fix_and_answer`]).
 
 use crate::cost::CostParams;
+use crate::fault::{Fault, FaultProfile, ResilienceMeter};
 use csqp_expr::CondTree;
 use csqp_relation::ops::{project, select};
 use csqp_relation::{Relation, TableStats};
@@ -38,6 +39,44 @@ pub enum SourceError {
     },
     /// The query references attributes outside the source schema.
     Schema(String),
+    /// Injected fault: a momentary network-style failure; retry-worthy.
+    Transient {
+        /// Source name.
+        source: String,
+    },
+    /// Injected fault: the attempt timed out after `ticks` of simulated
+    /// latency.
+    Timeout {
+        /// Source name.
+        source: String,
+        /// Virtual ticks the attempt burned before giving up.
+        ticks: u64,
+    },
+    /// Injected fault: the source shed load (rate limit) without doing
+    /// work.
+    RateLimited {
+        /// Source name.
+        source: String,
+    },
+    /// Injected fault: the source is hard-down (outage window).
+    Unavailable {
+        /// Source name.
+        source: String,
+    },
+}
+
+impl SourceError {
+    /// Is this failure worth retrying? Injected faults are; capability
+    /// rejections and schema errors are deterministic and never are.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SourceError::Transient { .. }
+                | SourceError::Timeout { .. }
+                | SourceError::RateLimited { .. }
+                | SourceError::Unavailable { .. }
+        )
+    }
 }
 
 impl fmt::Display for SourceError {
@@ -49,6 +88,18 @@ impl fmt::Display for SourceError {
                 attrs.join(", ")
             ),
             SourceError::Schema(msg) => write!(f, "schema error: {msg}"),
+            SourceError::Transient { source } => {
+                write!(f, "source `{source}`: transient failure")
+            }
+            SourceError::Timeout { source, ticks } => {
+                write!(f, "source `{source}`: timed out after {ticks} ticks")
+            }
+            SourceError::RateLimited { source } => {
+                write!(f, "source `{source}`: rate limited")
+            }
+            SourceError::Unavailable { source } => {
+                write!(f, "source `{source}`: unavailable (outage)")
+            }
         }
     }
 }
@@ -88,6 +139,15 @@ pub struct Source {
     queries: AtomicU64,
     tuples_shipped: AtomicU64,
     rejected: AtomicU64,
+    /// Unreliability model; `None` (the default) keeps the fault path at a
+    /// single branch per query.
+    fault: Option<FaultProfile>,
+    fault_attempts: AtomicU64,
+    res_transients: AtomicU64,
+    res_timeouts: AtomicU64,
+    res_rate_limited: AtomicU64,
+    res_outages: AtomicU64,
+    res_ticks: AtomicU64,
 }
 
 impl Source {
@@ -107,7 +167,26 @@ impl Source {
             queries: AtomicU64::new(0),
             tuples_shipped: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            fault: None,
+            fault_attempts: AtomicU64::new(0),
+            res_transients: AtomicU64::new(0),
+            res_timeouts: AtomicU64::new(0),
+            res_rate_limited: AtomicU64::new(0),
+            res_outages: AtomicU64::new(0),
+            res_ticks: AtomicU64::new(0),
         }
+    }
+
+    /// Attaches a seeded unreliability model. Subsequent query attempts
+    /// draw from the profile's deterministic fault stream.
+    pub fn with_fault_profile(mut self, profile: FaultProfile) -> Self {
+        self.fault = Some(profile);
+        self
+    }
+
+    /// The attached unreliability model, if any.
+    pub fn fault_profile(&self) -> Option<&FaultProfile> {
+        self.fault.as_ref()
     }
 
     /// The underlying relation (test/experiment oracle access — a real
@@ -153,6 +232,36 @@ impl Source {
         cond: Option<&CondTree>,
         attrs: &BTreeSet<String>,
     ) -> Result<Relation, SourceError> {
+        // Fault gate: a real Internet source fails before its query engine
+        // ever sees the request, so faults fire ahead of the capability
+        // check. Zero-cost when no profile is attached (one `None` branch).
+        if let Some(profile) = &self.fault {
+            let idx = self.fault_attempts.fetch_add(1, Ordering::Relaxed);
+            let fault = profile.decide(idx);
+            self.res_ticks.fetch_add(profile.ticks_for(fault), Ordering::Relaxed);
+            match fault {
+                None => {}
+                Some(Fault::Transient) => {
+                    self.res_transients.fetch_add(1, Ordering::Relaxed);
+                    return Err(SourceError::Transient { source: self.name.clone() });
+                }
+                Some(Fault::Timeout) => {
+                    self.res_timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(SourceError::Timeout {
+                        source: self.name.clone(),
+                        ticks: profile.timeout_ticks,
+                    });
+                }
+                Some(Fault::RateLimited) => {
+                    self.res_rate_limited.fetch_add(1, Ordering::Relaxed);
+                    return Err(SourceError::RateLimited { source: self.name.clone() });
+                }
+                Some(Fault::Outage) => {
+                    self.res_outages.fetch_add(1, Ordering::Relaxed);
+                    return Err(SourceError::Unavailable { source: self.name.clone() });
+                }
+            }
+        }
         if !self.original.supports(cond, attrs) {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SourceError::Unsupported {
@@ -207,6 +316,35 @@ impl Source {
         self.queries.store(0, Ordering::Relaxed);
         self.tuples_shipped.store(0, Ordering::Relaxed);
         self.rejected.store(0, Ordering::Relaxed);
+    }
+
+    /// Source-side resilience metrics: attempts seen by the fault gate,
+    /// faults injected by kind, and virtual ticks of simulated latency.
+    /// All-zero when no [`FaultProfile`] is attached (`retries` and
+    /// `failovers` belong to the executor/federation layers and stay zero
+    /// here).
+    pub fn resilience_meter(&self) -> ResilienceMeter {
+        ResilienceMeter {
+            attempts: self.fault_attempts.load(Ordering::Relaxed),
+            retries: 0,
+            transients: self.res_transients.load(Ordering::Relaxed),
+            timeouts: self.res_timeouts.load(Ordering::Relaxed),
+            rate_limited: self.res_rate_limited.load(Ordering::Relaxed),
+            outages: self.res_outages.load(Ordering::Relaxed),
+            failovers: 0,
+            ticks: self.res_ticks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the resilience counters. Does **not** rewind the fault
+    /// stream: attempt indices keep advancing so replays stay unique
+    /// per-attempt (rebuild the source to replay a storm).
+    pub fn reset_resilience_meter(&self) {
+        self.res_transients.store(0, Ordering::Relaxed);
+        self.res_timeouts.store(0, Ordering::Relaxed);
+        self.res_rate_limited.store(0, Ordering::Relaxed);
+        self.res_outages.store(0, Ordering::Relaxed);
+        self.res_ticks.store(0, Ordering::Relaxed);
     }
 }
 
@@ -300,6 +438,74 @@ mod tests {
         let r = dl.answer(None, &attrs(&["make", "price"])).unwrap();
         assert!(!r.is_empty());
         assert!(dl.fix_and_answer(None, &attrs(&["make"])).is_ok());
+    }
+
+    #[test]
+    fn fault_gate_fires_before_capability_gate() {
+        // 100% transient: even a gate-rejected query surfaces the fault
+        // (the network fails before the source sees the query).
+        let s = Source::new(datagen::cars(3, 50), templates::car_dealer(), CostParams::default())
+            .with_fault_profile(FaultProfile::new(1).with_transient(1.0));
+        let bad = parse_condition("year = 1995").unwrap();
+        let err = s.answer(Some(&bad), &attrs(&["make"])).unwrap_err();
+        assert!(matches!(err, SourceError::Transient { .. }));
+        assert!(err.is_retryable());
+        assert_eq!(s.meter().rejected, 0, "gate never consulted");
+        let rm = s.resilience_meter();
+        assert_eq!(rm.attempts, 1);
+        assert_eq!(rm.transients, 1);
+    }
+
+    #[test]
+    fn fault_stream_is_deterministic_per_seed() {
+        let profile = FaultProfile::storm(99, 0.7);
+        let run = |profile: FaultProfile| -> Vec<bool> {
+            let s =
+                Source::new(datagen::cars(3, 100), templates::car_dealer(), CostParams::default())
+                    .with_fault_profile(profile);
+            let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+            (0..40).map(|_| s.answer(Some(&c), &attrs(&["model"])).is_ok()).collect()
+        };
+        let a = run(profile.clone());
+        let b = run(profile);
+        assert_eq!(a, b, "same seed replays the same outcome sequence");
+        assert!(a.iter().any(|ok| *ok) && a.iter().any(|ok| !ok), "storm mixes outcomes");
+    }
+
+    #[test]
+    fn outage_window_downs_then_recovers() {
+        let s = Source::new(datagen::cars(3, 50), templates::car_dealer(), CostParams::default())
+            .with_fault_profile(FaultProfile::new(0).with_outage(0, 3));
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        for _ in 0..3 {
+            let err = s.answer(Some(&c), &attrs(&["model"])).unwrap_err();
+            assert!(matches!(err, SourceError::Unavailable { .. }));
+        }
+        assert!(s.answer(Some(&c), &attrs(&["model"])).is_ok(), "outage window passed");
+        assert_eq!(s.resilience_meter().outages, 3);
+    }
+
+    #[test]
+    fn no_profile_keeps_resilience_meter_zero() {
+        let s = dealer();
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        s.answer(Some(&c), &attrs(&["model"])).unwrap();
+        assert_eq!(s.resilience_meter(), ResilienceMeter::default());
+        assert!(s.fault_profile().is_none());
+    }
+
+    #[test]
+    fn timeout_burns_ticks() {
+        let s = Source::new(datagen::cars(3, 50), templates::car_dealer(), CostParams::default())
+            .with_fault_profile(FaultProfile::new(3).with_timeout(1.0, 25));
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        let err = s.answer(Some(&c), &attrs(&["model"])).unwrap_err();
+        assert!(matches!(err, SourceError::Timeout { ticks: 25, .. }));
+        let rm = s.resilience_meter();
+        assert_eq!(rm.timeouts, 1);
+        assert_eq!(rm.ticks, 25);
+        s.reset_resilience_meter();
+        assert_eq!(s.resilience_meter().ticks, 0);
     }
 
     #[test]

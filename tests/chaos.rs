@@ -1,0 +1,346 @@
+//! Chaos suite: seeded fault storms over the E1 (bookstore) and E2
+//! (carguide) workloads.
+//!
+//! The invariants under storm:
+//!
+//! 1. **Exactness** — any run that succeeds returns exactly the oracle
+//!    relation (resilience never trades correctness);
+//! 2. **Boundedness** — attempts/retries stay within the retry policy;
+//! 3. **Determinism** — a fixed seed yields the identical retry/failover
+//!    trace on every run, and the identical trace with the `parallel`
+//!    feature on or off (this file is a `csqp-core` test so the
+//!    `--no-default-features` CI job executes it serially against the same
+//!    golden trace).
+//!
+//! Regenerate the golden trace after an intentional behaviour change with:
+//! `CHAOS_BLESS=1 cargo test -p csqp-core --test chaos`.
+
+use csqp_core::federation::{CircuitBreakerConfig, Federation, MemberEvent};
+use csqp_core::mediator::{Mediator, MediatorError};
+use csqp_core::types::TargetQuery;
+use csqp_expr::ValueType;
+use csqp_plan::exec::RetryPolicy;
+use csqp_relation::datagen::{self, BookGenConfig, CarGenConfig};
+use csqp_relation::ops::{project, select};
+use csqp_relation::Relation;
+use csqp_source::{CostParams, FaultProfile, Source};
+use csqp_ssdl::{parse_ssdl, templates};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden_chaos.txt");
+const GOLDEN_SEED: u64 = 42;
+
+fn q(cond: &str, attrs: &[&str]) -> TargetQuery {
+    TargetQuery::parse(cond, attrs).unwrap_or_else(|e| panic!("bad chaos query {cond:?}: {e}"))
+}
+
+/// E1: Example 1.1 shapes on the bookstore source.
+fn e1_workload(fault: Option<FaultProfile>) -> (Arc<Source>, Vec<TargetQuery>) {
+    let mut source = Source::new(
+        datagen::books(7, &BookGenConfig { n_books: 1500, ..Default::default() }),
+        templates::bookstore(),
+        CostParams::default(),
+    );
+    if let Some(profile) = fault {
+        source = source.with_fault_profile(profile);
+    }
+    let a = ["isbn", "title", "author"];
+    let queries = vec![
+        q("(author = \"Sigmund Freud\" _ author = \"Carl Jung\") ^ title contains \"dreams\"", &a),
+        q("author = \"Sigmund Freud\"", &a),
+        q("(subject = \"fiction\" _ subject = \"poetry\") ^ title contains \"sea\"", &a),
+        q("title contains \"history\" ^ subject = \"science\"", &a),
+    ];
+    (Arc::new(source), queries)
+}
+
+/// E2: Example 1.2 shapes on the car-guide source.
+fn e2_workload(fault: Option<FaultProfile>) -> (Arc<Source>, Vec<TargetQuery>) {
+    let mut source = Source::new(
+        datagen::car_listings(11, &CarGenConfig { n_listings: 1500 }),
+        templates::car_guide(),
+        CostParams::default(),
+    );
+    if let Some(profile) = fault {
+        source = source.with_fault_profile(profile);
+    }
+    let a = ["listing_id", "model", "price"];
+    let queries = vec![
+        q(
+            "style = \"sedan\" ^ (size = \"compact\" _ size = \"midsize\") ^ \
+             ((make = \"Toyota\" ^ price <= 20000) _ (make = \"BMW\" ^ price <= 40000))",
+            &a,
+        ),
+        q("make = \"Toyota\" ^ price <= 15000", &a),
+        q("(make = \"Honda\" _ make = \"Toyota\") ^ price <= 25000", &a),
+        q("(make = \"Audi\" ^ price <= 50000) _ (make = \"BMW\" ^ price <= 45000)", &a),
+    ];
+    (Arc::new(source), queries)
+}
+
+fn storm_policy(seed: u64) -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 6,
+        base_backoff_ticks: 4,
+        max_backoff_ticks: 64,
+        jitter_seed: seed,
+        deadline_ticks: Some(5_000),
+    }
+}
+
+fn oracle(source: &Source, query: &TargetQuery) -> Relation {
+    let attrs: Vec<&str> = query.attrs.iter().map(String::as_str).collect();
+    project(&select(source.relation(), Some(&query.cond)), &attrs).unwrap()
+}
+
+/// Runs one mediator storm over both workloads, checking exactness and
+/// policy bounds, and returns the retry/failover trace.
+fn mediator_storm(seed: u64) -> Vec<String> {
+    let policy = storm_policy(seed);
+    let mut trace = Vec::new();
+    let storms = [
+        ("e1", e1_workload(Some(FaultProfile::storm(seed, 0.6)))),
+        ("e2", e2_workload(Some(FaultProfile::storm(seed.wrapping_add(1), 0.6)))),
+        // A blackout: every attempt lands in the outage window, so every
+        // retry budget exhausts — the deterministic "nothing helps" case.
+        ("e1dark", e1_workload(Some(FaultProfile::new(seed).with_outage(0, u64::MAX)))),
+    ];
+    for (name, (source, queries)) in storms {
+        let mediator = Mediator::new(source.clone());
+        for (i, query) in queries.iter().enumerate() {
+            let mut line = format!("{name}/q{i} seed={seed}: ");
+            match mediator.run_resilient(query, &policy) {
+                Ok(out) => {
+                    // Invariant 1: a successful run is exactly the oracle.
+                    assert_eq!(
+                        out.outcome.rows,
+                        oracle(&source, query),
+                        "{name}/q{i} seed {seed}: storm answer diverged from oracle"
+                    );
+                    // Invariant 2: attempts within policy across every plan
+                    // the failover chain could have touched.
+                    let plans_sqs: u64 = std::iter::once(&out.outcome.planned.plan)
+                        .chain(out.outcome.planned.alternatives.iter().map(|a| &a.plan))
+                        .map(|p| p.source_queries().len() as u64)
+                        .sum();
+                    let per_query = (policy.max_retries as u64) + 1;
+                    assert!(
+                        out.resilience.attempts <= per_query * plans_sqs,
+                        "{name}/q{i} seed {seed}: {} attempts exceeds policy bound {}",
+                        out.resilience.attempts,
+                        per_query * plans_sqs
+                    );
+                    assert!(out.resilience.retries <= out.resilience.attempts);
+                    assert_eq!(out.resilience.failovers as usize, out.plan_rank);
+                    let r = &out.resilience;
+                    let _ = write!(
+                        line,
+                        "ok rows={} rank={} attempts={} retries={} faults={} ticks={}",
+                        out.outcome.rows.len(),
+                        out.plan_rank,
+                        r.attempts,
+                        r.retries,
+                        r.faults(),
+                        r.ticks
+                    );
+                }
+                Err(e) => {
+                    let _ = write!(line, "err {e}");
+                }
+            }
+            trace.push(line);
+        }
+    }
+    trace
+}
+
+/// Three storm-afflicted mirrors of the same car data with different
+/// capabilities, costs, and fault seeds.
+fn storm_federation(seed: u64) -> Federation {
+    let data = datagen::cars(3, 400);
+    let fast_form = Arc::new(
+        Source::new(data.clone(), templates::car_dealer(), CostParams::new(10.0, 1.0))
+            .with_fault_profile(FaultProfile::storm(seed, 0.8)),
+    );
+    let slow_dump = Arc::new(
+        Source::new(
+            data.clone(),
+            templates::download_only(
+                "dump",
+                &[
+                    ("make", ValueType::Str),
+                    ("model", ValueType::Str),
+                    ("year", ValueType::Int),
+                    ("color", ValueType::Str),
+                    ("price", ValueType::Int),
+                ],
+            ),
+            CostParams::new(200.0, 5.0),
+        )
+        .with_fault_profile(FaultProfile::storm(seed.wrapping_add(7), 0.4)),
+    );
+    let color_only = Arc::new(
+        Source::new(
+            data,
+            parse_ssdl(
+                "source color_only {\n\
+                 s1 -> color = $str ;\n\
+                 attributes :: s1 : { make, model, year, color } ;\n}",
+            )
+            .unwrap(),
+            CostParams::new(10.0, 1.0),
+        )
+        .with_fault_profile(FaultProfile::storm(seed.wrapping_add(13), 0.8)),
+    );
+    Federation::new()
+        .with_member(fast_form)
+        .with_member(slow_dump)
+        .with_member(color_only)
+        .with_breaker(CircuitBreakerConfig { failure_threshold: 2, cooldown_ticks: 2 })
+}
+
+fn render_event(e: &MemberEvent) -> String {
+    match e {
+        MemberEvent::Quarantined => "quarantined".into(),
+        MemberEvent::Infeasible => "infeasible".into(),
+        MemberEvent::Probed => "probed".into(),
+        MemberEvent::ExecFailed(msg) => format!("exec-failed({msg})"),
+        MemberEvent::Served => "served".into(),
+    }
+}
+
+/// Runs one federated storm (several passes so breakers open, cool down,
+/// and probe), checking exactness, and returns the failover trace.
+fn federation_storm(seed: u64) -> Vec<String> {
+    let f = storm_federation(seed);
+    let policy = RetryPolicy { max_retries: 1, jitter_seed: seed, ..Default::default() };
+    let queries = [
+        q("make = \"BMW\" ^ price < 40000", &["model", "year"]),
+        q("color = \"red\"", &["make", "model"]),
+        q("year = 1995", &["make", "model"]),
+        q("make = \"Toyota\" ^ price < 20000", &["model", "year"]),
+    ];
+    let mut trace = Vec::new();
+    for round in 0..4 {
+        for (i, query) in queries.iter().enumerate() {
+            let mut line = format!("fed/r{round}q{i} seed={seed}: ");
+            match f.run_resilient(query, &policy) {
+                Ok(run) => {
+                    let member = f.members().iter().find(|m| m.name == run.source_name).unwrap();
+                    assert_eq!(
+                        run.outcome.rows,
+                        oracle(member, query),
+                        "fed r{round}q{i} seed {seed}: federated answer diverged from oracle"
+                    );
+                    let events: Vec<String> =
+                        run.trace.iter().map(|(n, e)| format!("{n}:{}", render_event(e))).collect();
+                    let _ = write!(
+                        line,
+                        "ok by={} rank={} failovers={} [{}]",
+                        run.source_name,
+                        run.plan_rank,
+                        run.resilience.failovers,
+                        events.join(", ")
+                    );
+                }
+                Err(MediatorError::Plan(e)) => {
+                    let _ = write!(line, "infeasible {e}");
+                }
+                Err(MediatorError::Exec(e)) => {
+                    let _ = write!(line, "err {e}");
+                }
+            }
+            trace.push(line);
+        }
+    }
+    trace
+}
+
+fn full_trace(seed: u64) -> String {
+    let mut all = mediator_storm(seed);
+    all.extend(federation_storm(seed));
+    let mut out = String::new();
+    for line in all {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Invariants 1–2 across a spread of storm seeds (exactness and policy
+/// bounds are asserted inside the storm runners).
+#[test]
+fn chaos_storms_answer_exactly_or_fail_loud() {
+    let mut any_ok = 0usize;
+    let mut any_err = 0usize;
+    for seed in 0..6u64 {
+        for line in mediator_storm(seed) {
+            if line.contains(": ok") {
+                any_ok += 1;
+            } else {
+                any_err += 1;
+            }
+        }
+    }
+    assert!(any_ok > 0, "storms at 0.6 intensity must let some queries through");
+    assert!(any_err > 0, "the blackout workload must exhaust its retry budgets");
+}
+
+#[test]
+fn chaos_federation_storms_are_exact_and_recover() {
+    let mut served = 0usize;
+    for seed in [3u64, 17, 29] {
+        for line in federation_storm(seed) {
+            if line.contains(": ok") {
+                served += 1;
+            }
+        }
+    }
+    assert!(served > 0, "mirrored members must keep most answers flowing");
+}
+
+/// Invariant 3a: the same seed replays the identical trace in-process.
+#[test]
+fn chaos_trace_is_deterministic_per_seed() {
+    for seed in [0u64, 9, GOLDEN_SEED] {
+        assert_eq!(full_trace(seed), full_trace(seed), "seed {seed} must replay identically");
+    }
+}
+
+/// Invariant 3b: the trace is identical across *builds* — the golden file
+/// is asserted by both the default (`parallel`) and `--no-default-features`
+/// CI jobs, so a serial/parallel divergence fails one of them.
+#[test]
+fn chaos_trace_matches_golden_across_feature_sets() {
+    let got = full_trace(GOLDEN_SEED);
+    if std::env::var_os("CHAOS_BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden chaos trace");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("tests/golden_chaos.txt missing — regenerate with CHAOS_BLESS=1");
+    assert_eq!(
+        got, want,
+        "chaos trace diverged from tests/golden_chaos.txt; if the change is \
+         intentional, regenerate with CHAOS_BLESS=1 cargo test -p csqp-core --test chaos"
+    );
+}
+
+/// The fault path is inert without a profile: resilient execution equals
+/// plain execution and the resilience meters stay zero.
+#[test]
+fn chaos_layer_is_transparent_without_profiles() {
+    let (source, queries) = e1_workload(None);
+    let mediator = Mediator::new(source.clone());
+    for query in &queries {
+        let plain = mediator.run(query).unwrap();
+        let resilient = mediator.run_resilient(query, &RetryPolicy::default()).unwrap();
+        assert_eq!(plain.rows, resilient.outcome.rows);
+        assert_eq!(resilient.plan_rank, 0);
+        assert_eq!(resilient.resilience.retries, 0);
+        assert_eq!(resilient.resilience.ticks, 0);
+        assert_eq!(resilient.resilience.faults(), 0);
+    }
+    assert_eq!(source.resilience_meter(), Default::default());
+}

@@ -5,9 +5,11 @@
 
 use csqp::expr::rewrite::RewriteBudget;
 use csqp::prelude::*;
+use csqp_core::mediator::MediatorError;
 use csqp_core::types::PlanError;
-use csqp_plan::exec::ExecError;
-use csqp_source::SourceError;
+use csqp_core::Federation;
+use csqp_plan::exec::{ExecError, RetryPolicy};
+use csqp_source::{FaultProfile, SourceError};
 use std::sync::Arc;
 
 fn dealer() -> Arc<Source> {
@@ -182,4 +184,135 @@ fn mediator_error_display_is_informative() {
     let text = err.to_string();
     assert!(text.contains("GenCompact"), "{text}");
     assert!(text.contains("no feasible plan"), "{text}");
+}
+
+/// Every `SourceError` variant renders its context (source name, condition,
+/// ticks) — nothing collapses to an anonymous "error".
+#[test]
+fn source_error_display_covers_every_variant() {
+    let cases: Vec<(SourceError, &[&str])> = vec![
+        (
+            SourceError::Unsupported {
+                source: "s".into(),
+                condition: "year = 1995".into(),
+                attrs: vec!["model".into()],
+            },
+            &["`s`", "year = 1995", "model"],
+        ),
+        (SourceError::Schema("no attribute `x`".into()), &["schema", "no attribute `x`"]),
+        (SourceError::Transient { source: "s".into() }, &["`s`", "transient"]),
+        (SourceError::Timeout { source: "s".into(), ticks: 20 }, &["`s`", "timed out", "20"]),
+        (SourceError::RateLimited { source: "s".into() }, &["`s`", "rate limited"]),
+        (SourceError::Unavailable { source: "s".into() }, &["`s`", "unavailable"]),
+    ];
+    for (err, needles) in cases {
+        let text = err.to_string();
+        for needle in needles {
+            assert!(text.contains(needle), "{err:?} -> {text:?} missing {needle:?}");
+        }
+        // Retryability partitions exactly: injected faults retry, planning
+        // and schema failures never do.
+        let injected = !matches!(err, SourceError::Unsupported { .. } | SourceError::Schema(_));
+        assert_eq!(err.is_retryable(), injected, "{err:?}");
+    }
+}
+
+/// Every `ExecError` variant renders its context.
+#[test]
+fn exec_error_display_covers_every_variant() {
+    let cases: Vec<(ExecError, &[&str])> = vec![
+        (
+            ExecError::Source(SourceError::Transient { source: "s".into() }),
+            &["source error", "transient"],
+        ),
+        (ExecError::Schema("bad projection".into()), &["schema", "bad projection"]),
+        (ExecError::Unresolved, &["unresolved", "Choice"]),
+        (ExecError::Malformed("empty Union child list".into()), &["malformed", "empty Union"]),
+        (
+            ExecError::Exhausted {
+                source: "s".into(),
+                attempts: 4,
+                last: SourceError::RateLimited { source: "s".into() },
+            },
+            &["`s`", "exhausted", "4 attempts", "rate limited"],
+        ),
+        (ExecError::Deadline { used: 120, budget: 100 }, &["deadline", "120", "100"]),
+    ];
+    for (err, needles) in cases {
+        let text = err.to_string();
+        for needle in needles {
+            assert!(text.contains(needle), "{err:?} -> {text:?} missing {needle:?}");
+        }
+    }
+}
+
+/// Every `PlanError` and `MediatorError` variant renders its context, and
+/// the mediator wrapper adds no noise around the inner message.
+#[test]
+fn plan_and_mediator_error_display_cover_every_variant() {
+    let no_plan = PlanError::NoFeasiblePlan {
+        query: "SP(year = 1995, {model})".into(),
+        scheme: "GenCompact",
+    };
+    let text = no_plan.to_string();
+    assert!(text.contains("GenCompact") && text.contains("year = 1995"), "{text}");
+
+    let malformed = PlanError::MalformedQuery("empty connective".into());
+    let text = malformed.to_string();
+    assert!(text.contains("malformed") && text.contains("empty connective"), "{text}");
+
+    let wrapped_plan = MediatorError::Plan(no_plan);
+    assert_eq!(
+        wrapped_plan.to_string(),
+        "GenCompact: no feasible plan for SP(year = 1995, {model})"
+    );
+    let inner = ExecError::Deadline { used: 7, budget: 5 };
+    let wrapped_exec = MediatorError::Exec(ExecError::Deadline { used: 7, budget: 5 });
+    assert_eq!(wrapped_exec.to_string(), inner.to_string());
+}
+
+/// The cheapest federation member plans fine but dies at execution: the
+/// federation must fail over to the dearer mirror, confess the failover in
+/// its trace, and still answer exactly.
+#[test]
+fn federation_fails_over_when_cheapest_member_dies_at_execution() {
+    let data = csqp::relation::datagen::cars(3, 200);
+    // Cheap, capable — and hard-down for every attempt.
+    let dead_dealer = Arc::new(
+        Source::new(data.clone(), csqp::ssdl::templates::car_dealer(), CostParams::new(10.0, 1.0))
+            .with_fault_profile(FaultProfile::new(1).with_outage(0, u64::MAX)),
+    );
+    // Expensive but reliable full dump.
+    let dump = Arc::new(Source::new(
+        data,
+        csqp::ssdl::templates::download_only(
+            "dump",
+            &[
+                ("make", ValueType::Str),
+                ("model", ValueType::Str),
+                ("year", ValueType::Int),
+                ("color", ValueType::Str),
+                ("price", ValueType::Int),
+            ],
+        ),
+        CostParams::new(200.0, 5.0),
+    ));
+    let f = Federation::new().with_member(dead_dealer).with_member(dump.clone());
+    let q = TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"]).unwrap();
+
+    let run = f.run_resilient(&q, &RetryPolicy::default()).unwrap();
+    assert_eq!(run.source_name, "dump", "must fail over to the reliable mirror");
+    assert!(run.resilience.failovers >= 1);
+    assert!(
+        run.trace.iter().any(|(name, e)| name == "car_dealer"
+            && matches!(e, csqp_core::MemberEvent::ExecFailed(msg) if msg.contains("unavailable"))),
+        "trace must confess the dealer's execution failure: {:?}",
+        run.trace
+    );
+    let want = csqp::relation::ops::project(
+        &csqp::relation::ops::select(dump.relation(), Some(&q.cond)),
+        &["model", "year"],
+    )
+    .unwrap();
+    assert_eq!(run.outcome.rows, want, "failed-over answer must still be exact");
 }
