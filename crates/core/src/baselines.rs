@@ -117,6 +117,13 @@ fn finish(
                     generator_calls: 1,
                     max_q: 0,
                     truncated: false,
+                    stats: crate::types::PlannerStats {
+                        check_calls: cache.calls(),
+                        check_cache_hits: cache.calls() - cache.parses(),
+                        check_cache_misses: cache.parses(),
+                        rewrites_generated: 1,
+                        ..Default::default()
+                    },
                     elapsed: start.elapsed(),
                 },
             })

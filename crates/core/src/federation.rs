@@ -9,6 +9,7 @@
 
 use crate::mediator::{execute_with_failover, CardKind, Mediator, MediatorError, RunOutcome};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
+use csqp_obs::{names, Obs};
 use csqp_plan::exec::{execute_measured, ExecError, RetryPolicy};
 use csqp_source::{ResilienceMeter, Source};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -61,19 +62,25 @@ impl BreakerState {
         }
     }
 
-    fn record_success(&self) {
+    /// Resets the breaker; returns `true` when this actually closed an
+    /// open/half-open breaker (a state transition worth counting).
+    fn record_success(&self) -> bool {
         self.consecutive_failures.store(0, Ordering::Relaxed);
-        self.half_open_at.store(0, Ordering::Relaxed);
+        self.half_open_at.swap(0, Ordering::Relaxed) != 0
     }
 
-    fn record_failure(&self, now: u64, cfg: &CircuitBreakerConfig) {
+    /// Registers a failed run; returns `true` when this opened (or
+    /// re-opened) the breaker.
+    fn record_failure(&self, now: u64, cfg: &CircuitBreakerConfig) -> bool {
         let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
         let half_open = self.half_open_at.load(Ordering::Relaxed);
         // A failed half-open probe re-opens immediately; otherwise open
         // once the threshold is crossed.
         if half_open != 0 || failures >= cfg.failure_threshold {
             self.half_open_at.store(now + cfg.cooldown_ticks + 1, Ordering::Relaxed);
+            return true;
         }
+        false
     }
 }
 
@@ -86,6 +93,7 @@ pub struct Federation {
     breaker_cfg: CircuitBreakerConfig,
     /// Virtual clock: one tick per resilient run.
     clock: AtomicU64,
+    obs: Arc<Obs>,
 }
 
 impl Default for Federation {
@@ -152,7 +160,28 @@ impl Federation {
             card: CardKind::Stats,
             breaker_cfg: CircuitBreakerConfig::default(),
             clock: AtomicU64::new(0),
+            obs: Arc::new(Obs::new()),
         }
+    }
+
+    /// Shares an observability handle with this federation. Member
+    /// mediators used for the planning fan-out keep private handles — the
+    /// federation flushes their reports into this registry *after* the
+    /// order-preserving merge, so counters and trace stay deterministic
+    /// with the `parallel` feature on or off.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric this federation recorded.
+    pub fn metrics_snapshot(&self) -> csqp_obs::MetricsSnapshot {
+        self.obs.metrics.snapshot()
     }
 
     /// Adds a member source.
@@ -189,23 +218,43 @@ impl Federation {
     /// earliest member on cost ties, so the choice is identical to the
     /// sequential loop regardless of thread scheduling.
     pub fn plan(&self, query: &TargetQuery) -> Result<FederatedPlan, PlanError> {
+        let span = self.obs.tracer.span("federation plan");
         let card = self.card;
         let outcomes = crate::par::par_map(&self.members, |member| {
             Mediator::new(member.clone()).with_cardinality(card).plan(query)
         });
         let mut best: Option<(Arc<Source>, PlannedQuery)> = None;
         let mut considered = Vec::with_capacity(self.members.len());
+        // Sequential, member-ordered merge: the only place planner counters
+        // and trace events are recorded, so the output is identical with
+        // the `parallel` feature on or off.
         for (member, outcome) in self.members.iter().zip(outcomes) {
             match outcome {
                 Ok(planned) => {
+                    planned.report.record_into(&self.obs.metrics);
+                    self.obs.tracer.event_with(|| {
+                        format!("member {}: est cost {:.2}", member.name, planned.est_cost)
+                    });
                     considered.push((member.name.clone(), Ok(planned.est_cost)));
                     if best.as_ref().is_none_or(|(_, b)| planned.est_cost < b.est_cost) {
                         best = Some((member.clone(), planned));
                     }
                 }
-                Err(e) => considered.push((member.name.clone(), Err(e))),
+                Err(e) => {
+                    self.obs.metrics.inc(names::FEDERATION_INFEASIBLE);
+                    self.obs
+                        .tracer
+                        .event_with(|| format!("member {}: infeasible ({e})", member.name));
+                    considered.push((member.name.clone(), Err(e)));
+                }
             }
         }
+        if let Some((source, planned)) = &best {
+            self.obs.tracer.event_with(|| {
+                format!("chose {} at est cost {:.2}", source.name, planned.est_cost)
+            });
+        }
+        span.close();
         match best {
             Some((source, planned)) => Ok(FederatedPlan { source, planned, considered }),
             None => {
@@ -220,6 +269,8 @@ impl Federation {
         let fp = self.plan(query)?;
         let (rows, meter) = execute_measured(&fp.planned.plan, &fp.source)?;
         let measured_cost = meter.cost(fp.source.cost_params());
+        meter.record_into(&self.obs.metrics);
+        self.obs.metrics.inc(names::FEDERATION_SERVED);
         let outcome = RunOutcome { planned: fp.planned.clone(), rows, meter, measured_cost };
         Ok((fp, outcome))
     }
@@ -244,6 +295,7 @@ impl Federation {
         policy: &RetryPolicy,
     ) -> Result<FederatedRun, MediatorError> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let span = self.obs.tracer.span("federation run");
         let mut trace: FailoverTrace = Vec::new();
 
         // Gate decisions are snapshotted up front so the planning fan-out
@@ -255,20 +307,32 @@ impl Federation {
         });
 
         // Candidates in member order, then sorted cheapest-first (stable:
-        // earliest member wins ties).
+        // earliest member wins ties). Metrics/trace only from this
+        // sequential merge — deterministic across the `parallel` feature.
         let mut candidates: Vec<(usize, PlannedQuery)> = Vec::new();
         let mut any_feasible = false;
         for (idx, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
                 Ok(planned) => {
                     any_feasible = true;
+                    planned.report.record_into(&self.obs.metrics);
                     if gates[idx] == BreakerGate::Quarantined {
+                        self.obs.metrics.inc(names::FEDERATION_QUARANTINED);
+                        self.obs.tracer.event_with(|| {
+                            format!("member {}: quarantined (breaker open)", self.members[idx].name)
+                        });
                         trace.push((self.members[idx].name.clone(), MemberEvent::Quarantined));
                     } else {
                         candidates.push((idx, planned));
                     }
                 }
-                Err(_) => trace.push((self.members[idx].name.clone(), MemberEvent::Infeasible)),
+                Err(_) => {
+                    self.obs.metrics.inc(names::FEDERATION_INFEASIBLE);
+                    self.obs
+                        .tracer
+                        .event_with(|| format!("member {}: infeasible", self.members[idx].name));
+                    trace.push((self.members[idx].name.clone(), MemberEvent::Infeasible));
+                }
             }
         }
         candidates
@@ -280,6 +344,8 @@ impl Federation {
         for (idx, planned) in candidates {
             let member = &self.members[idx];
             if gates[idx] == BreakerGate::HalfOpen {
+                self.obs.metrics.inc(names::BREAKER_HALF_OPENED);
+                self.obs.tracer.event_with(|| format!("member {}: half-open probe", member.name));
                 trace.push((member.name.clone(), MemberEvent::Probed));
             }
             if tried_any {
@@ -288,8 +354,21 @@ impl Federation {
             tried_any = true;
             match execute_with_failover(&planned, member, policy, &mut resilience) {
                 Ok((plan_rank, rows, meter, _failures)) => {
-                    self.breakers[idx].record_success();
+                    if self.breakers[idx].record_success() {
+                        self.obs.metrics.inc(names::BREAKER_CLOSED);
+                    }
+                    self.obs.metrics.inc(names::FEDERATION_SERVED);
+                    meter.record_into(&self.obs.metrics);
+                    resilience.record_into(&self.obs.metrics);
+                    self.obs.tracer.event_with(|| {
+                        format!(
+                            "member {}: served (plan rank {plan_rank}, {} rows)",
+                            member.name,
+                            rows.len()
+                        )
+                    });
                     trace.push((member.name.clone(), MemberEvent::Served));
+                    span.close();
                     let measured_cost = meter.cost(member.cost_params());
                     return Ok(FederatedRun {
                         outcome: RunOutcome { planned, rows, meter, measured_cost },
@@ -300,14 +379,27 @@ impl Federation {
                     });
                 }
                 Err(mut failures) => {
-                    self.breakers[idx].record_failure(now, &self.breaker_cfg);
+                    if self.breakers[idx].record_failure(now, &self.breaker_cfg) {
+                        self.obs.metrics.inc(names::BREAKER_OPENED);
+                        self.obs
+                            .tracer
+                            .event_with(|| format!("member {}: breaker opened", member.name));
+                    }
+                    self.obs.metrics.inc(names::FEDERATION_EXEC_FAILED);
                     let (_, err) = failures.pop().expect("at least one plan was tried");
+                    self.obs
+                        .tracer
+                        .event_with(|| format!("member {}: execution failed ({err})", member.name));
                     trace.push((member.name.clone(), MemberEvent::ExecFailed(err.to_string())));
                     last_error = Some(err);
                 }
             }
         }
 
+        // Every candidate failed (or none was tried): the retry/breaker
+        // counters still reach the registry.
+        resilience.record_into(&self.obs.metrics);
+        span.close();
         match last_error {
             Some(err) => Err(MediatorError::Exec(err)),
             // No member was even tried: everything was infeasible or
@@ -527,6 +619,46 @@ mod tests {
         assert!(r3.trace.iter().any(|(_, e)| *e == MemberEvent::Probed));
         let r4 = f.run_resilient(&q, &policy).unwrap(); // quarantined again
         assert!(r4.trace.iter().any(|(_, e)| *e == MemberEvent::Quarantined));
+    }
+
+    #[test]
+    fn metrics_count_breaker_transitions_and_member_events() {
+        use csqp_source::FaultProfile;
+        // Same schedule as `breaker_quarantines_then_probes_then_closes`:
+        // fail, fail+open, 2×quarantine, successful probe (close), serve.
+        let f = faulty_pair(
+            FaultProfile::new(0).with_outage(0, 2),
+            CircuitBreakerConfig { failure_threshold: 2, cooldown_ticks: 2 },
+        );
+        let policy = RetryPolicy { max_retries: 0, ..Default::default() };
+        let q = car_query();
+        for _ in 0..6 {
+            f.run_resilient(&q, &policy).unwrap();
+        }
+        let snap = f.metrics_snapshot();
+        if f.obs().enabled() {
+            assert_eq!(snap.counter("breaker.opened"), 1, "{}", snap.to_json());
+            assert_eq!(snap.counter("breaker.half_opened"), 1, "{}", snap.to_json());
+            assert_eq!(snap.counter("breaker.closed"), 1, "{}", snap.to_json());
+            assert_eq!(snap.counter("federation.quarantined"), 2);
+            assert_eq!(snap.counter("federation.exec_failed"), 2);
+            assert_eq!(snap.counter("federation.served"), 6);
+            assert_eq!(snap.counter("resilience.failovers"), 2, "dealer→dump twice");
+            assert!(snap.counter("planner.check_calls") > 0, "planning fan-out recorded");
+            // The decision trace replays deterministically: a fresh
+            // federation with the same schedule produces the same trace.
+            let f2 = faulty_pair(
+                FaultProfile::new(0).with_outage(0, 2),
+                CircuitBreakerConfig { failure_threshold: 2, cooldown_ticks: 2 },
+            );
+            for _ in 0..6 {
+                f2.run_resilient(&q, &policy).unwrap();
+            }
+            assert_eq!(f2.obs().tracer.render(), f.obs().tracer.render());
+            assert_eq!(f2.metrics_snapshot(), snap);
+        } else {
+            assert_eq!(snap.counter("federation.served"), 0, "no-op recorder stays empty");
+        }
     }
 
     #[test]

@@ -108,6 +108,17 @@ pub fn plan_compact_with_model(
         generator_calls: stats.calls,
         max_q: stats.max_q,
         truncated: rewritten.truncated || stats.truncated,
+        stats: crate::types::PlannerStats {
+            check_calls: cache.calls(),
+            check_cache_hits: cache.calls() - cache.parses(),
+            check_cache_misses: cache.parses(),
+            rewrites_generated: rewritten.cts.len(),
+            ipg_memo_hits: stats.memo_hits,
+            pr1_prunes: stats.pr1_prunes,
+            pr2_prunes: stats.pr2_prunes,
+            pr3_prunes: stats.pr3_prunes,
+            mcsc_covers_examined: stats.mcsc_nodes,
+        },
         elapsed: start.elapsed(),
     };
 

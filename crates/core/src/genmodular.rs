@@ -91,6 +91,15 @@ pub fn plan_modular_with_model(
         generator_calls,
         max_q: 0,
         truncated,
+        // GenModular has no IPG memo or pruning rules; only the CheckCache
+        // and rewrite counters apply.
+        stats: crate::types::PlannerStats {
+            check_calls: cache.calls(),
+            check_cache_hits: cache.calls() - cache.parses(),
+            check_cache_misses: cache.parses(),
+            rewrites_generated: rewritten.cts.len(),
+            ..Default::default()
+        },
         elapsed: start.elapsed(),
     };
 

@@ -62,10 +62,22 @@ impl Default for IpgConfig {
 pub struct IpgStats {
     /// IPG invocations (including memo hits).
     pub calls: usize,
+    /// IPG invocations answered from the memo table (whole sub-searches
+    /// skipped).
+    pub memo_hits: usize,
     /// Largest sub-plan array `Q` handed to MCSC after pruning.
     pub max_q: usize,
     /// Candidate sub-plans generated (before pruning).
     pub subplans_considered: usize,
+    /// Sub-searches short-circuited or skipped by PR1 (a pure plan
+    /// existed).
+    pub pr1_prunes: usize,
+    /// Candidate sub-plans discarded by PR2 (costlier than the kept plan
+    /// for the same children subset).
+    pub pr2_prunes: usize,
+    /// Sub-plans discarded by PR3 (dominated by a superset cover at no
+    /// greater cost), plus line-12 recursions skipped on a pure superset.
+    pub pr3_prunes: usize,
     /// MCSC search nodes expanded.
     pub mcsc_nodes: usize,
     /// Set when a fan-out cap truncated subset enumeration.
@@ -163,6 +175,7 @@ fn ipg(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc<Pla
     // equal fingerprints mean equal conditions (up to 2^-128 collisions).
     let key = (cond_fingerprint(Some(n)), a.clone());
     if let Some(hit) = ctx.memo.get(&key) {
+        ctx.stats.memo_hits += 1;
         return hit.clone();
     }
 
@@ -176,6 +189,7 @@ fn ipg(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc<Pla
     };
     if ctx.cfg.pr1 {
         if let Some(p) = pure {
+            ctx.stats.pr1_prunes += 1;
             ctx.memo.insert(key, Some(p.clone()));
             return Some(p);
         }
@@ -261,13 +275,16 @@ fn push_subplan(
     if ctx.cfg.pr2 {
         match entry.first() {
             Some(existing) if existing.cost <= sub.cost => {
-                // Keep pureness information even when costs tie, so the
-                // line-12 guard of Fig. 6 stays sound.
+                // One of the two candidates loses either way; keep pureness
+                // information even when costs tie, so the line-12 guard of
+                // Fig. 6 stays sound.
+                ctx.stats.pr2_prunes += 1;
                 if sub.pure && !existing.pure && sub.cost <= existing.cost {
                     entry[0] = sub;
                 }
             }
             _ => {
+                ctx.stats.pr2_prunes += entry.len();
                 entry.clear();
                 entry.push(sub);
             }
@@ -278,10 +295,13 @@ fn push_subplan(
 }
 
 /// PR3: removes sub-plans dominated by another entry covering a superset of
-/// children at no greater cost.
-fn prune_dominated(p: &mut HashMap<u64, Vec<SubPlan>>) {
+/// children at no greater cost. Returns how many were removed (the
+/// domination test is pointwise against a snapshot, so the count is
+/// independent of map iteration order).
+fn prune_dominated(p: &mut HashMap<u64, Vec<SubPlan>>) -> usize {
     let snapshot: Vec<(u64, f64)> =
         p.iter().flat_map(|(m, subs)| subs.iter().map(move |s| (*m, s.cost))).collect();
+    let before = snapshot.len();
     p.retain(|mask, subs| {
         subs.retain(|s| {
             !snapshot.iter().any(|(m2, c2)| {
@@ -293,6 +313,7 @@ fn prune_dominated(p: &mut HashMap<u64, Vec<SubPlan>>) {
         });
         !subs.is_empty()
     });
+    before - p.values().map(Vec::len).sum::<usize>()
 }
 
 /// Runs MCSC over the sub-plan array and builds the combined plan.
@@ -304,7 +325,14 @@ fn combine(
 ) -> Option<(Rc<Plan>, f64)> {
     let mut items: Vec<CoverItem> = Vec::new();
     let mut plans: Vec<&SubPlan> = Vec::new();
-    for (mask, subs) in p {
+    // Feed MCSC in ascending-mask order, not HashMap order: solver
+    // tie-breaks between equal-cost covers and the child order of the
+    // combined plan both follow item order, and they must replay
+    // identically run to run (the EXPLAIN ANALYZE golden and the trace
+    // depend on it).
+    let mut entries: Vec<(&u64, &Vec<SubPlan>)> = p.iter().collect();
+    entries.sort_unstable_by_key(|(mask, _)| **mask);
+    for (mask, subs) in entries {
         for s in subs {
             items.push(CoverItem { set: *mask, cost: s.cost });
             plans.push(s);
@@ -364,6 +392,7 @@ fn or_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc
         let mask = 1u64 << i;
         let has_pure = p.get(&mask).is_some_and(|subs| subs.iter().any(|s| s.pure));
         if ctx.cfg.pr1 && has_pure {
+            ctx.stats.pr1_prunes += 1;
             continue;
         }
         if let Some((plan, cost)) = ipg(child, a, ctx) {
@@ -373,7 +402,7 @@ fn or_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc
 
     // Step 2 (lines 8–14): prune dominated, then MCSC with ∪ combination.
     if ctx.cfg.pr3 {
-        prune_dominated(&mut p);
+        ctx.stats.pr3_prunes += prune_dominated(&mut p);
     }
     combine(&p, full, Connector::Or, ctx)
 }
@@ -463,13 +492,18 @@ fn and_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(R
                 continue;
             }
             // Line 12 guard: skip when a pure plan exists for N' (PR1) or a
-            // superset of N' (PR3).
-            let skip = p.iter().any(|(m2, subs)| {
-                let is_superset = (mask & *m2) == mask;
-                let relevant = if *m2 == mask { ctx.cfg.pr1 } else { ctx.cfg.pr3 };
-                relevant && is_superset && subs.iter().any(|s| s.pure)
-            });
-            if skip {
+            // superset of N' (PR3). Checked in that order so the per-rule
+            // prune counters stay deterministic.
+            if ctx.cfg.pr1 && p.get(&mask).is_some_and(|subs| subs.iter().any(|s| s.pure)) {
+                ctx.stats.pr1_prunes += 1;
+                continue;
+            }
+            if ctx.cfg.pr3
+                && p.iter().any(|(m2, subs)| {
+                    *m2 != mask && (mask & *m2) == mask && subs.iter().any(|s| s.pure)
+                })
+            {
+                ctx.stats.pr3_prunes += 1;
                 continue;
             }
             let rest_mask = mask & !child_bit;
@@ -496,7 +530,7 @@ fn and_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(R
 
     // Lines 14–20.
     if ctx.cfg.pr3 {
-        prune_dominated(&mut p);
+        ctx.stats.pr3_prunes += prune_dominated(&mut p);
     }
     combine(&p, full, Connector::And, ctx)
 }

@@ -7,6 +7,11 @@
 //!
 //! With antichain exports (DESIGN.md §5) the field is an [`ExportSet`]
 //! rather than a single attribute set.
+//!
+//! Marking drives `Check(C, R)` once per node, so its capability-probe
+//! traffic shows up in the `planner.check_calls` / `planner.check_cache_*`
+//! counters that [`PlannerStats`](crate::types::PlannerStats) surfaces —
+//! the mark module itself keeps no separate statistics.
 
 use crate::cache::CheckCache;
 use csqp_expr::{Atom, CondTree, Connector};

@@ -23,6 +23,15 @@ pub struct McscStats {
     pub nodes: usize,
 }
 
+impl McscStats {
+    /// Covers examined by the solver — the quantity surfaced as the
+    /// `planner.mcsc_covers_examined` metric (see
+    /// [`PlannerStats`](crate::types::PlannerStats)).
+    pub fn covers_examined(&self) -> usize {
+        self.nodes
+    }
+}
+
 /// Exact MCSC via branch-and-bound: returns indices of the chosen items
 /// (minimal total cost whose union is `universe`), or `None` if `universe`
 /// cannot be covered.

@@ -11,7 +11,9 @@ use crate::baselines::{
 use crate::gencompact::{plan_compact_with_model, GenCompactConfig};
 use crate::genmodular::{plan_modular_with_model, GenModularConfig};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
-use csqp_plan::cost::{OracleCard, StatsCard, UniformCard};
+use csqp_obs::{names, Obs};
+use csqp_plan::analyze::{execute_analyzed, PlanAnalysis};
+use csqp_plan::cost::{Cardinality, OracleCard, StatsCard, UniformCard};
 use csqp_plan::exec::{execute_measured, execute_resilient, ExecError, RetryPolicy};
 use csqp_plan::model::CostModel;
 use csqp_relation::Relation;
@@ -92,6 +94,17 @@ pub struct RunOutcome {
     pub meter: Meter,
     /// Measured cost of the run under the source's §6.2 constants.
     pub measured_cost: f64,
+}
+
+/// The outcome of an analyzed run ([`Mediator::run_analyzed`]): the plain
+/// outcome plus the per-source-query estimated-vs-observed record that
+/// feeds `EXPLAIN ANALYZE` and the cost-model drift warnings.
+#[derive(Debug)]
+pub struct AnalyzedOutcome {
+    /// The plan-and-execute outcome.
+    pub outcome: RunOutcome,
+    /// Per-source-query observations, pre-order over the plan tree.
+    pub analysis: PlanAnalysis,
 }
 
 /// The outcome of a resilient run ([`Mediator::run_resilient`]).
@@ -189,6 +202,7 @@ pub struct Mediator {
     compact_cfg: GenCompactConfig,
     modular_cfg: GenModularConfig,
     model: Option<Arc<dyn CostModel + Send + Sync>>,
+    obs: Arc<Obs>,
 }
 
 impl fmt::Debug for Mediator {
@@ -212,7 +226,29 @@ impl Mediator {
             compact_cfg: GenCompactConfig::default(),
             modular_cfg: GenModularConfig::default(),
             model: None,
+            obs: Arc::new(Obs::new()),
         }
+    }
+
+    /// Shares an observability handle (metrics registry + tracer) with this
+    /// mediator. Several mediators can share one handle; their counters
+    /// accumulate into the same registry.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The observability handle: every planner/executor counter this
+    /// mediator records, plus its deterministic trace.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric this mediator has recorded
+    /// (empty when the `obs` feature is off — the no-op recorder drops
+    /// everything at compile time).
+    pub fn metrics_snapshot(&self) -> csqp_obs::MetricsSnapshot {
+        self.obs.metrics.snapshot()
     }
 
     /// Overrides the cost model used for planning (§7 flexibility). The
@@ -258,23 +294,56 @@ impl Mediator {
         self.scheme
     }
 
-    /// Plans a target query without executing it.
-    pub fn plan(&self, query: &TargetQuery) -> Result<PlannedQuery, PlanError> {
+    /// Runs `f` with the cardinality estimator selected by
+    /// [`Mediator::with_cardinality`].
+    fn with_card<T>(&self, f: impl FnOnce(&dyn Cardinality) -> T) -> T {
         let s = &self.source;
         match self.card {
-            CardKind::Stats => {
-                let card = StatsCard::new(s.stats());
-                self.dispatch(query, &card)
-            }
-            CardKind::Oracle => {
-                let card = OracleCard::new(s.relation());
-                self.dispatch(query, &card)
-            }
+            CardKind::Stats => f(&StatsCard::new(s.stats())),
+            CardKind::Oracle => f(&OracleCard::new(s.relation())),
             CardKind::Uniform { atom_selectivity } => {
-                let card = UniformCard { rows: s.relation().len() as f64, atom_selectivity };
-                self.dispatch(query, &card)
+                f(&UniformCard { rows: s.relation().len() as f64, atom_selectivity })
             }
         }
+    }
+
+    /// The active cost model: the caller's override, or the source's §6.2
+    /// affine constants.
+    fn active_model(&self) -> &dyn CostModel {
+        match &self.model {
+            Some(m) => m.as_ref(),
+            None => self.source.cost_params(),
+        }
+    }
+
+    /// Plans a target query without executing it.
+    pub fn plan(&self, query: &TargetQuery) -> Result<PlannedQuery, PlanError> {
+        let span = self.obs.tracer.span("plan");
+        self.obs
+            .tracer
+            .event_with(|| format!("scheme {} on source {}", self.scheme, self.source.name));
+        let planned = self.with_card(|card| self.dispatch(query, card));
+        match &planned {
+            Ok(p) => {
+                // Flush the planner's deterministic counters into the
+                // registry and leave a replayable summary in the trace
+                // (`elapsed` stays out of both — wall clock is not
+                // deterministic).
+                p.report.record_into(&self.obs.metrics);
+                self.obs.tracer.event_with(|| {
+                    format!(
+                        "planned: est cost {:.2}, {} alternatives, {} checks, {} plans considered",
+                        p.est_cost,
+                        p.alternatives.len(),
+                        p.report.checks,
+                        p.report.plans_considered
+                    )
+                });
+            }
+            Err(e) => self.obs.tracer.event_with(|| format!("plan failed: {e}")),
+        }
+        span.close();
+        planned
     }
 
     fn dispatch(
@@ -283,11 +352,7 @@ impl Mediator {
         card: &dyn csqp_plan::cost::Cardinality,
     ) -> Result<PlannedQuery, PlanError> {
         let s = &self.source;
-        let default_model = s.cost_params();
-        let model: &dyn CostModel = match &self.model {
-            Some(m) => m.as_ref(),
-            None => default_model,
-        };
+        let model = self.active_model();
         match self.scheme {
             Scheme::GenCompact => plan_compact_with_model(query, s, card, &self.compact_cfg, model),
             Scheme::GenModular => plan_modular_with_model(query, s, card, &self.modular_cfg, model),
@@ -302,9 +367,53 @@ impl Mediator {
     /// transfer it caused.
     pub fn run(&self, query: &TargetQuery) -> Result<RunOutcome, MediatorError> {
         let planned = self.plan(query)?;
+        let span = self.obs.tracer.span("execute");
         let (rows, meter) = execute_measured(&planned.plan, &self.source)?;
         let measured_cost = meter.cost(self.source.cost_params());
+        self.record_run(&planned, &rows, &meter, measured_cost);
+        span.close();
         Ok(RunOutcome { planned, rows, meter, measured_cost })
+    }
+
+    /// Records one executed run's transfer and cost into the registry and
+    /// the trace.
+    fn record_run(&self, planned: &PlannedQuery, rows: &Relation, meter: &Meter, cost: f64) {
+        meter.record_into(&self.obs.metrics);
+        self.obs.metrics.gauge_set(names::EXEC_EST_COST, planned.est_cost);
+        self.obs.metrics.gauge_set(names::EXEC_OBSERVED_COST, cost);
+        self.obs.tracer.event_with(|| {
+            format!(
+                "answered: {} rows, {} source queries, measured cost {:.2} (est {:.2})",
+                rows.len(),
+                meter.queries,
+                cost,
+                planned.est_cost
+            )
+        });
+    }
+
+    /// Plans and executes with per-source-query observation: every leaf
+    /// fetch records its observed row count and §6.2 cost next to the
+    /// planner's estimate, feeding `EXPLAIN ANALYZE`
+    /// ([`csqp_plan::analyze::explain_analyze`]) and the cost-model drift
+    /// warnings.
+    pub fn run_analyzed(&self, query: &TargetQuery) -> Result<AnalyzedOutcome, MediatorError> {
+        let planned = self.plan(query)?;
+        let span = self.obs.tracer.span("execute (analyzed)");
+        let (rows, meter, analysis) = self.with_card(|card| {
+            execute_analyzed(&planned.plan, &self.source, self.active_model(), card)
+        })?;
+        let measured_cost = meter.cost(self.source.cost_params());
+        self.record_run(&planned, &rows, &meter, measured_cost);
+        analysis.record_into(&self.obs.metrics);
+        for w in analysis.drift_warnings() {
+            self.obs.tracer.event_with(|| w.clone());
+        }
+        span.close();
+        Ok(AnalyzedOutcome {
+            outcome: RunOutcome { planned, rows, meter, measured_cost },
+            analysis,
+        })
     }
 
     /// Plans and executes with resilience: source queries retry with
@@ -318,10 +427,23 @@ impl Mediator {
         policy: &RetryPolicy,
     ) -> Result<ResilientOutcome, MediatorError> {
         let planned = self.plan(query)?;
+        let span = self.obs.tracer.span("execute (resilient)");
         let mut resilience = ResilienceMeter::default();
-        match execute_with_failover(&planned, &self.source, policy, &mut resilience) {
+        let result = execute_with_failover(&planned, &self.source, policy, &mut resilience);
+        // Resilience events always reach the registry — a failed run is
+        // exactly when the retry/breaker counters matter most.
+        resilience.record_into(&self.obs.metrics);
+        match result {
             Ok((plan_rank, rows, meter, failures)) => {
                 let measured_cost = meter.cost(self.source.cost_params());
+                self.record_run(&planned, &rows, &meter, measured_cost);
+                self.obs.tracer.event_with(|| {
+                    format!(
+                        "served by plan rank {plan_rank} after {} failover(s), {} retries",
+                        resilience.failovers, resilience.retries
+                    )
+                });
+                span.close();
                 Ok(ResilientOutcome {
                     outcome: RunOutcome { planned, rows, meter, measured_cost },
                     plan_rank,
@@ -331,6 +453,8 @@ impl Mediator {
             }
             Err(mut failures) => {
                 let (_, last) = failures.pop().expect("at least the primary plan was tried");
+                self.obs.tracer.event_with(|| format!("every plan died: {last}"));
+                span.close();
                 Err(MediatorError::Exec(last))
             }
         }
@@ -534,6 +658,68 @@ mod tests {
         let m = Mediator::new(source);
         let err = m.run_resilient(&q, &RetryPolicy::default()).unwrap_err();
         assert!(matches!(err, MediatorError::Exec(ExecError::Exhausted { .. })), "{err}");
+    }
+
+    #[test]
+    fn metrics_snapshot_counts_planner_and_exec_work() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("bookstore").unwrap().clone();
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let m = Mediator::new(source);
+        let out = m.run(&q).unwrap();
+        let snap = m.metrics_snapshot();
+        if m.obs().enabled() {
+            assert!(snap.counter("planner.check_calls") > 0, "planner counters flushed");
+            assert_eq!(snap.counter("source.queries"), out.meter.queries, "meter routed through");
+            let trace = m.obs().tracer.render();
+            assert!(trace.contains("> plan"), "trace records the planning span:\n{trace}");
+            assert!(trace.contains("> execute"), "trace records the execution span:\n{trace}");
+            // A second identical mediator produces a byte-identical trace:
+            // virtual ticks, not wall clock.
+            let m2 = Mediator::new(catalog.get("bookstore").unwrap().clone());
+            m2.run(&q).unwrap();
+            assert_eq!(m2.obs().tracer.render(), trace, "trace is deterministic");
+        } else {
+            assert_eq!(snap.counter("planner.check_calls"), 0, "no-op recorder stays empty");
+            assert!(m.obs().tracer.render().is_empty());
+        }
+    }
+
+    #[test]
+    fn run_analyzed_matches_run_and_sees_every_fetch() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("bookstore").unwrap().clone();
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let plain = Mediator::new(source.clone()).run(&q).unwrap();
+        let m = Mediator::new(source).with_cardinality(CardKind::Oracle);
+        let analyzed = m.run_analyzed(&q).unwrap();
+        assert_eq!(analyzed.outcome.rows, plain.rows, "analysis is observation-only");
+        assert_eq!(
+            analyzed.analysis.subqueries.len(),
+            analyzed.outcome.planned.plan.source_queries().len(),
+            "one observation per source query"
+        );
+        // The oracle estimator knows exact sizes, so nothing drifts.
+        assert!(analyzed.analysis.drift_warnings().is_empty());
+    }
+
+    #[test]
+    fn shared_obs_handle_accumulates_across_mediators() {
+        use csqp_obs::Obs;
+        let catalog = Catalog::demo_small(7);
+        let obs = Arc::new(Obs::new());
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let m1 = Mediator::new(catalog.get("bookstore").unwrap().clone()).with_obs(obs.clone());
+        m1.run(&q).unwrap();
+        let after_one = m1.metrics_snapshot().counter("source.queries");
+        let m2 = Mediator::new(catalog.get("bookstore").unwrap().clone()).with_obs(obs);
+        m2.run(&q).unwrap();
+        let after_two = m2.metrics_snapshot().counter("source.queries");
+        if m1.obs().enabled() {
+            assert_eq!(after_two, after_one * 2, "two identical runs, one shared registry");
+        } else {
+            assert_eq!(after_two, 0);
+        }
     }
 
     #[test]

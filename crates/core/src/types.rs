@@ -43,6 +43,50 @@ impl fmt::Display for TargetQuery {
     }
 }
 
+/// Cache and pruning statistics exposed by every planner — the previously
+/// private [`CheckCache`](crate::cache::CheckCache) `Cell`s and the IPG
+/// memo/pruning counters, surfaced for `--explain` and the metrics
+/// registry. Everything here is a deterministic function of the query and
+/// the source description (no wall clock), so it is safe to snapshot-test.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// `Check(C, R)` invocations (before caching).
+    pub check_calls: usize,
+    /// CheckCache hits (calls answered without re-parsing the template).
+    pub check_cache_hits: usize,
+    /// CheckCache misses (actual capability-template parses).
+    pub check_cache_misses: usize,
+    /// Rewritten CTs the rewrite module produced.
+    pub rewrites_generated: usize,
+    /// IPG memo-table hits (whole sub-searches skipped; GenCompact only).
+    pub ipg_memo_hits: usize,
+    /// Sub-searches short-circuited or skipped by PR1.
+    pub pr1_prunes: usize,
+    /// Candidate sub-plans discarded by PR2.
+    pub pr2_prunes: usize,
+    /// Sub-plans discarded by PR3 (dominated).
+    pub pr3_prunes: usize,
+    /// MCSC branch-and-bound nodes (covers) examined.
+    pub mcsc_covers_examined: usize,
+}
+
+impl PlannerStats {
+    /// Adds these statistics to `metrics` under the canonical `planner.*`
+    /// names.
+    pub fn record_into(&self, metrics: &csqp_obs::MetricsRegistry) {
+        use csqp_obs::names;
+        metrics.add(names::PLANNER_CHECK_CALLS, self.check_calls as u64);
+        metrics.add(names::PLANNER_CHECK_CACHE_HITS, self.check_cache_hits as u64);
+        metrics.add(names::PLANNER_CHECK_CACHE_MISSES, self.check_cache_misses as u64);
+        metrics.add(names::PLANNER_REWRITES_GENERATED, self.rewrites_generated as u64);
+        metrics.add(names::PLANNER_IPG_MEMO_HITS, self.ipg_memo_hits as u64);
+        metrics.add(names::PLANNER_PRUNED_PR1, self.pr1_prunes as u64);
+        metrics.add(names::PLANNER_PRUNED_PR2, self.pr2_prunes as u64);
+        metrics.add(names::PLANNER_PRUNED_PR3, self.pr3_prunes as u64);
+        metrics.add(names::PLANNER_MCSC_COVERS_EXAMINED, self.mcsc_covers_examined as u64);
+    }
+}
+
 /// Search statistics reported by every planner (the measurements behind
 /// experiments E3–E5).
 #[derive(Debug, Clone, Copy, Default)]
@@ -59,8 +103,23 @@ pub struct PlannerReport {
     pub max_q: usize,
     /// Whether any budget truncated the search (GenModular rewrite budgets).
     pub truncated: bool,
+    /// Cache/memo hit rates and pruning-rule dividends.
+    pub stats: PlannerStats,
     /// Wall-clock planning time.
     pub elapsed: Duration,
+}
+
+impl PlannerReport {
+    /// Records the planner-side counters into `metrics` under the
+    /// canonical `planner.*` names (`elapsed` is deliberately excluded —
+    /// only deterministic quantities enter the registry).
+    pub fn record_into(&self, metrics: &csqp_obs::MetricsRegistry) {
+        use csqp_obs::names;
+        metrics.add(names::PLANNER_CTS_CANONICALIZED, self.cts_processed as u64);
+        metrics.add(names::PLANNER_GENERATOR_CALLS, self.generator_calls as u64);
+        metrics.add(names::PLANNER_PLANS_CONSIDERED, self.plans_considered);
+        self.stats.record_into(metrics);
+    }
 }
 
 /// A ranked fallback plan retained for execution-time failover.

@@ -14,9 +14,11 @@
 use csqp::core::federation::{CircuitBreakerConfig, Federation, MemberEvent};
 use csqp::core::mediator::{Mediator, MediatorError, Scheme};
 use csqp::core::types::TargetQuery;
+use csqp::plan::analyze::explain_analyze;
 use csqp::plan::exec::RetryPolicy;
 use csqp::plan::explain::explain;
 use csqp::prelude::*;
+use csqp_obs::{names, Obs};
 use csqp_source::FaultProfile;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -33,13 +35,15 @@ struct Args {
     k1: f64,
     k2: f64,
     chaos: Option<u64>,
+    trace: bool,
+    metrics_json: bool,
 }
 
 const USAGE: &str = "\
 usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
             [--key <col[,col]>] [--scheme <name>] [--run] [--explain]
-            [--k1 <f64>] [--k2 <f64>]
-       csqp --chaos <seed>
+            [--k1 <f64>] [--k2 <f64>] [--trace] [--metrics json]
+       csqp --chaos <seed> [--trace] [--metrics json]
 
   --ssdl     SSDL source description (see README for the syntax)
   --csv      data file; header row names the columns, types are inferred
@@ -47,9 +51,13 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
   --attrs    projected attributes, comma-separated
   --key      key column(s) of the data (recommended: makes ∩-plans exact)
   --scheme   gencompact (default) | genmodular | cnf | dnf | disco | naive
-  --run      execute the plan and print the rows
+  --run      execute the plan and print the rows; with --explain, prints an
+             EXPLAIN ANALYZE tree (estimated vs observed rows and cost per
+             source query) plus cost-model drift warnings
   --explain  print the plan tree and planner statistics
   --k1/--k2  cost-model constants (default 50 / 1)
+  --trace    print the deterministic virtual-tick trace to stderr
+  --metrics  print a metrics snapshot on stdout; `json` is the only format
   --chaos    standalone demo: run a seeded fault storm against a federation
              of unreliable car-data mirrors and print the failover trace";
 
@@ -66,6 +74,8 @@ fn parse_args() -> Result<Args, String> {
         k1: 50.0,
         k2: 1.0,
         chaos: None,
+        trace: false,
+        metrics_json: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -100,6 +110,11 @@ fn parse_args() -> Result<Args, String> {
             "--chaos" => {
                 args.chaos = Some(value(&mut i)?.parse().map_err(|e| format!("--chaos: {e}"))?)
             }
+            "--trace" => args.trace = true,
+            "--metrics" => match value(&mut i)?.as_str() {
+                "json" => args.metrics_json = true,
+                other => return Err(format!("--metrics: unknown format {other:?} (try json)")),
+            },
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -124,7 +139,7 @@ fn parse_args() -> Result<Args, String> {
 /// `csqp --chaos <seed>`: a seeded fault storm against a federation of three
 /// unreliable mirrors of the same car data, showing retries, failovers, and
 /// circuit-breaker quarantine. Fully deterministic per seed.
-fn chaos_demo(seed: u64) -> ExitCode {
+fn chaos_demo(seed: u64, trace: bool, metrics_json: bool) -> ExitCode {
     let data = csqp::relation::datagen::cars(3, 400);
     let dealer = Arc::new(
         Source::new(data.clone(), csqp::ssdl::templates::car_dealer(), CostParams::new(10.0, 1.0))
@@ -147,10 +162,12 @@ fn chaos_demo(seed: u64) -> ExitCode {
         )
         .with_fault_profile(FaultProfile::storm(seed.wrapping_add(7), 0.4)),
     );
+    let obs = Arc::new(Obs::new());
     let federation = Federation::new()
         .with_member(dealer)
         .with_member(dump)
-        .with_breaker(CircuitBreakerConfig { failure_threshold: 2, cooldown_ticks: 2 });
+        .with_breaker(CircuitBreakerConfig { failure_threshold: 2, cooldown_ticks: 2 })
+        .with_obs(obs.clone());
     let policy = RetryPolicy { max_retries: 2, jitter_seed: seed, ..Default::default() };
 
     println!("chaos storm, seed {seed}: 2 mirrors (cheap flaky form, dear steadier dump)");
@@ -192,19 +209,48 @@ fn chaos_demo(seed: u64) -> ExitCode {
             }
         }
     }
+    // The storm summary is printed FROM the metrics registry (which the
+    // federation fed during the runs), so this line and `--metrics json`
+    // can never disagree. When the `obs` feature is off the no-op recorder
+    // kept nothing; fall back to the locally absorbed meter.
+    let snap = federation.metrics_snapshot();
+    let totals: [u64; 8] = if obs.enabled() {
+        let c = |name: &str| snap.counter(name);
+        [
+            c(names::RESILIENCE_ATTEMPTS),
+            c(names::RESILIENCE_RETRIES),
+            c(names::RESILIENCE_TRANSIENTS),
+            c(names::RESILIENCE_TIMEOUTS),
+            c(names::RESILIENCE_RATE_LIMITED),
+            c(names::RESILIENCE_OUTAGES),
+            c(names::RESILIENCE_FAILOVERS),
+            c(names::RESILIENCE_BACKOFF_TICKS),
+        ]
+    } else {
+        [
+            total.attempts,
+            total.retries,
+            total.transients,
+            total.timeouts,
+            total.rate_limited,
+            total.outages,
+            total.failovers,
+            total.ticks,
+        ]
+    };
+    let [attempts, retries, transients, timeouts, rate_limited, outages, failovers, ticks] = totals;
     println!(
-        "storm totals: {} attempts, {} retries, {} faults ({} transient, {} timeout, \
-         {} rate-limited, {} outage), {} failovers, {} virtual ticks",
-        total.attempts,
-        total.retries,
-        total.faults(),
-        total.transients,
-        total.timeouts,
-        total.rate_limited,
-        total.outages,
-        total.failovers,
-        total.ticks,
+        "storm totals: {attempts} attempts, {retries} retries, {} faults ({transients} \
+         transient, {timeouts} timeout, {rate_limited} rate-limited, {outages} outage), \
+         {failovers} failovers, {ticks} virtual ticks",
+        transients + timeouts + rate_limited + outages,
     );
+    if trace {
+        eprint!("{}", obs.tracer.render());
+    }
+    if metrics_json {
+        println!("{}", snap.to_json());
+    }
     ExitCode::SUCCESS
 }
 
@@ -221,7 +267,7 @@ fn main() -> ExitCode {
     };
 
     if let Some(seed) = args.chaos {
-        return chaos_demo(seed);
+        return chaos_demo(seed, args.trace, args.metrics_json);
     }
 
     // Load inputs.
@@ -279,39 +325,28 @@ fn main() -> ExitCode {
         }
     };
 
-    let mediator = Mediator::new(source.clone()).with_scheme(args.scheme);
-    let planned = match mediator.plan(&query) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            // Show what the source CAN do, to help the user reformulate.
-            eprintln!("\nthe source supports these query forms:");
-            for rule in &source.gate_view().desc.rules {
-                eprintln!("  {rule}");
-            }
-            return ExitCode::FAILURE;
-        }
-    };
+    let obs = Arc::new(Obs::new());
+    let mediator = Mediator::new(source.clone()).with_scheme(args.scheme).with_obs(obs.clone());
 
-    println!("plan ({}, est. cost {:.1}):", args.scheme.name(), planned.est_cost);
-    println!("  {}", planned.plan);
-    if args.explain {
-        print!("\nplan tree:\n{}", explain(&planned.plan));
-        let r = planned.report;
-        println!(
-            "planner stats: {} CTs, {} generator calls, {} Check calls, max Q {}, {:?}{}",
-            r.cts_processed,
-            r.generator_calls,
-            r.checks,
-            r.max_q,
-            r.elapsed,
-            if r.truncated { " (budget-truncated)" } else { "" }
-        );
-    }
-
-    if args.run {
-        match mediator.run(&query) {
-            Ok(out) => {
+    // Each mode plans exactly once (the analyzed run plans internally), so
+    // the metrics snapshot reflects a single planning pass.
+    let status = if args.run {
+        match if args.explain {
+            mediator.run_analyzed(&query).map(|a| (a.outcome, Some(a.analysis)))
+        } else {
+            mediator.run(&query).map(|o| (o, None))
+        } {
+            Ok((out, analysis)) => {
+                print_plan_header(&args, &out.planned);
+                if let Some(analysis) = &analysis {
+                    // EXPLAIN ANALYZE: the plan tree re-rendered with
+                    // observed cardinality and cost next to the estimates.
+                    print!("\nexplain analyze:\n{}", explain_analyze(&out.planned.plan, analysis));
+                    for w in analysis.drift_warnings() {
+                        eprintln!("warning: {w}");
+                    }
+                    print_planner_stats(&out.planned);
+                }
                 println!(
                     "\n{} rows ({} source queries, {} tuples shipped, measured cost {:.1}):",
                     out.rows.len(),
@@ -322,12 +357,74 @@ fn main() -> ExitCode {
                 for row in out.rows.rows() {
                     println!("  {row}");
                 }
+                ExitCode::SUCCESS
             }
+            Err(MediatorError::Plan(e)) => plan_failure(&source, &e),
             Err(e) => {
                 eprintln!("execution error: {e}");
-                return ExitCode::FAILURE;
+                ExitCode::FAILURE
             }
         }
+    } else {
+        match mediator.plan(&query) {
+            Ok(planned) => {
+                print_plan_header(&args, &planned);
+                if args.explain {
+                    print!("\nplan tree:\n{}", explain(&planned.plan));
+                    print_planner_stats(&planned);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => plan_failure(&source, &e),
+        }
+    };
+
+    if args.trace {
+        eprint!("{}", obs.tracer.render());
     }
-    ExitCode::SUCCESS
+    if args.metrics_json {
+        println!("{}", mediator.metrics_snapshot().to_json());
+    }
+    status
+}
+
+fn print_plan_header(args: &Args, planned: &csqp::core::types::PlannedQuery) {
+    println!("plan ({}, est. cost {:.1}):", args.scheme.name(), planned.est_cost);
+    println!("  {}", planned.plan);
+}
+
+fn print_planner_stats(planned: &csqp::core::types::PlannedQuery) {
+    let r = planned.report;
+    println!(
+        "planner stats: {} CTs, {} generator calls, {} Check calls, max Q {}, {:?}{}",
+        r.cts_processed,
+        r.generator_calls,
+        r.checks,
+        r.max_q,
+        r.elapsed,
+        if r.truncated { " (budget-truncated)" } else { "" }
+    );
+    let s = r.stats;
+    println!(
+        "cache stats: {}/{} CheckCache hits, {} IPG memo hits; pruned {} (PR1) / {} (PR2) / \
+         {} (PR3), {} MCSC covers examined",
+        s.check_cache_hits,
+        s.check_calls,
+        s.ipg_memo_hits,
+        s.pr1_prunes,
+        s.pr2_prunes,
+        s.pr3_prunes,
+        s.mcsc_covers_examined,
+    );
+}
+
+/// Reports a planning failure along with what the source CAN do, to help
+/// the user reformulate.
+fn plan_failure(source: &Source, e: &csqp::core::types::PlanError) -> ExitCode {
+    eprintln!("error: {e}");
+    eprintln!("\nthe source supports these query forms:");
+    for rule in &source.gate_view().desc.rules {
+        eprintln!("  {rule}");
+    }
+    ExitCode::FAILURE
 }

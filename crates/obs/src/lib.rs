@@ -1,0 +1,69 @@
+//! # csqp-obs — deterministic observability for the CSQP stack
+//!
+//! A zero-dependency tracing + metrics layer shared by the planner, the
+//! executor, and the federation/resilience machinery.
+//!
+//! Two disciplines make it safe to golden-test everything it emits:
+//!
+//! 1. **Virtual ticks, no wall clock.** The [`Tracer`] stamps events with a
+//!    monotonically increasing virtual tick that advances only when an event
+//!    is recorded or a component explicitly charges simulated latency via
+//!    [`trace::Tracer::advance`]. Two runs that perform the same logical
+//!    steps produce byte-identical traces — the same discipline the fault
+//!    layer already uses for `tests/golden_chaos.txt`.
+//! 2. **Sorted, schema-stable snapshots.** The [`MetricsRegistry`] snapshot
+//!    iterates `BTreeMap`s, so rendering (including
+//!    [`metrics::MetricsSnapshot::to_json`]) is independent of insertion
+//!    order and thread scheduling.
+//!
+//! ## Feature `obs` (default on)
+//!
+//! With the feature enabled the crate-root [`MetricsRegistry`] / [`Tracer`] /
+//! [`Span`] aliases point at the recording implementations in [`metrics`]
+//! and [`trace`]. With `--no-default-features` they point at the mirrors in
+//! [`noop`], whose methods are empty `#[inline]` bodies: no allocation, no
+//! locking, no formatting (closure-taking variants like
+//! [`noop::Tracer::event_with`] never invoke their closure). Both
+//! implementations are always compiled; the feature only selects the
+//! re-export, so the disabled path cannot bit-rot.
+
+pub mod metrics;
+pub mod names;
+pub mod noop;
+pub mod trace;
+
+#[cfg(feature = "obs")]
+pub use metrics::MetricsRegistry;
+#[cfg(feature = "obs")]
+pub use trace::{Span, Tracer};
+
+#[cfg(not(feature = "obs"))]
+pub use noop::{MetricsRegistry, Span, Tracer};
+
+pub use metrics::{HistogramSnapshot, MetricsSnapshot};
+pub use trace::TraceEvent;
+
+/// The bundle a component carries: one metrics registry plus one tracer.
+///
+/// Both members are the feature-selected types, so an `Obs` constructed
+/// under `--no-default-features` is a true zero-cost token.
+#[derive(Debug, Default)]
+pub struct Obs {
+    /// Counters, gauges and histograms.
+    pub metrics: MetricsRegistry,
+    /// The deterministic span/event tracer.
+    pub tracer: Tracer,
+}
+
+impl Obs {
+    /// A fresh, empty bundle.
+    pub fn new() -> Self {
+        Obs::default()
+    }
+
+    /// Whether this build records anything (false under
+    /// `--no-default-features`).
+    pub const fn enabled(&self) -> bool {
+        self.metrics.enabled()
+    }
+}

@@ -1,0 +1,414 @@
+//! The metrics registry: counters, gauges, and power-of-two histograms.
+//!
+//! Everything is keyed by a flat dotted name (see [`crate::names`]) and
+//! stored in `BTreeMap`s so snapshots and their JSON rendering are sorted —
+//! i.e. schema-stable and independent of the order components happened to
+//! record in.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in (`0` for `0`, else `1 + ⌊log2 v⌋`).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else if i >= 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+/// A recording histogram (log2 buckets plus count/sum/min/max).
+#[derive(Debug, Clone)]
+struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| **n > 0)
+                .map(|(i, n)| {
+                    let (lo, hi) = bucket_bounds(i);
+                    (lo, hi, *n)
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time view of one histogram: only non-empty buckets, as
+/// `(lo, hi, n)` inclusive ranges sorted ascending.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets as `(lo, hi, n)`.
+    pub buckets: Vec<(u64, u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one (bucket-wise sum).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: BTreeMap<(u64, u64), u64> =
+            self.buckets.iter().map(|&(lo, hi, n)| ((lo, hi), n)).collect();
+        for &(lo, hi, n) in &other.buckets {
+            *merged.entry((lo, hi)).or_insert(0) += n;
+        }
+        self.buckets = merged.into_iter().map(|((lo, hi), n)| (lo, hi, n)).collect();
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The recording metrics registry. Interior-mutable and `Send + Sync`
+/// (a single `Mutex` guards all three maps — hot loops keep local counters
+/// and flush once, see DESIGN.md §5c).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// This implementation records (`true`; the [`crate::noop`] mirror says
+    /// `false`).
+    pub const fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match inner.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.gauges.insert(name.to_string(), v);
+    }
+
+    /// Adds `v` to gauge `name` (creating it at zero).
+    pub fn gauge_add(&self, name: &str, v: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        *inner.gauges.entry(name.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn observe(&self, name: &str, v: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(v);
+                inner.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// A sorted point-in-time snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics lock");
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+        }
+    }
+
+    /// Drops every recorded value.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        *inner = Inner::default();
+    }
+}
+
+/// A sorted, schema-stable view of a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-set / accumulated gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms (non-empty buckets only).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value, zero when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, zero when absent.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Merges another snapshot into this one: counters and gauges sum,
+    /// histograms merge bucket-wise. Used to aggregate per-run registries
+    /// (e.g. the `--chaos` storm loop).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Renders the snapshot as JSON with sorted keys. Floats use Rust's
+    /// shortest-roundtrip formatting, so equal inputs render identically on
+    /// every platform.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        render_map(&mut out, &self.counters, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\n  \"gauges\": {");
+        render_map(&mut out, &self.gauges, |out, v| render_f64(out, *v));
+        out.push_str("},\n  \"histograms\": {");
+        render_map(&mut out, &self.histograms, |out, h| {
+            let _ = write!(
+                out,
+                "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+                h.count, h.sum, h.min, h.max
+            );
+            for (i, (lo, hi, n)) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{lo}, {hi}, {n}]");
+            }
+            out.push_str("]}");
+        });
+        out.push_str("}\n}");
+        out
+    }
+}
+
+fn render_map<V>(
+    out: &mut String,
+    map: &BTreeMap<String, V>,
+    mut render: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        render_json_string(out, k);
+        out.push_str(": ");
+        render(out, v);
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+}
+
+fn render_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `{:?}` is shortest-roundtrip and always keeps a decimal point.
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn render_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn histogram_observes_into_bounds() {
+        let reg = MetricsRegistry::new();
+        for v in [0, 1, 1, 3, 900] {
+            reg.observe("h", v);
+        }
+        let h = &reg.snapshot().histograms["h"];
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 905);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 900);
+        assert_eq!(h.buckets, vec![(0, 0, 1), (1, 1, 2), (2, 3, 1), (512, 1023, 1)]);
+    }
+
+    #[test]
+    fn counters_and_gauges() {
+        let reg = MetricsRegistry::new();
+        reg.inc("a");
+        reg.add("a", 4);
+        reg.gauge_set("g", 2.5);
+        reg.gauge_add("g", 1.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("missing"), 0);
+        assert_eq!(snap.gauge("g"), 3.5);
+    }
+
+    #[test]
+    fn snapshot_merge_sums() {
+        let a = MetricsRegistry::new();
+        a.add("c", 2);
+        a.gauge_add("g", 1.5);
+        a.observe("h", 3);
+        let b = MetricsRegistry::new();
+        b.add("c", 5);
+        b.add("only_b", 1);
+        b.gauge_add("g", 0.5);
+        b.observe("h", 900);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("c"), 7);
+        assert_eq!(merged.counter("only_b"), 1);
+        assert_eq!(merged.gauge("g"), 2.0);
+        let h = &merged.histograms["h"];
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 903);
+        assert_eq!(h.min, 3);
+        assert_eq!(h.max, 900);
+        assert_eq!(h.buckets, vec![(2, 3, 1), (512, 1023, 1)]);
+        // Merging into an empty snapshot copies.
+        let mut empty = MetricsSnapshot::default();
+        empty.merge(&b.snapshot());
+        assert_eq!(empty.counter("c"), 5);
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let reg = MetricsRegistry::new();
+        reg.add("z.last", 1);
+        reg.add("a.first", 2);
+        reg.gauge_set("mid", 62.0);
+        reg.observe("rows", 15);
+        let one = reg.snapshot().to_json();
+        let two = reg.snapshot().to_json();
+        assert_eq!(one, two, "snapshot rendering is deterministic");
+        let a = one.find("a.first").unwrap();
+        let z = one.find("z.last").unwrap();
+        assert!(a < z, "keys render sorted");
+        assert!(one.contains("\"mid\": 62.0"));
+        assert!(one.contains("[8, 15, 1]"));
+        // Empty snapshot still renders the full schema.
+        let empty = MetricsSnapshot::default().to_json();
+        assert!(empty.contains("\"counters\""));
+        assert!(empty.contains("\"gauges\""));
+        assert!(empty.contains("\"histograms\""));
+    }
+}

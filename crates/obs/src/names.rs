@@ -1,0 +1,96 @@
+//! Canonical metric names — the schema of a [`crate::MetricsSnapshot`].
+//!
+//! Every component records under these constants so the `--metrics json`
+//! output is stable across refactors: renaming a metric is an explicit,
+//! reviewable change here rather than a drive-by string edit at a call
+//! site.
+
+// ---- planner internals (§5–§6 of the paper) ----
+
+/// Rewritten CTs the rewrite module produced (GenCompact: compact
+/// enumeration output; GenModular: DNF/CNF-style rewritings).
+pub const PLANNER_REWRITES_GENERATED: &str = "planner.rewrites_generated";
+/// CTs canonicalized/processed by the plan generator.
+pub const PLANNER_CTS_CANONICALIZED: &str = "planner.cts_canonicalized";
+/// `Check(C, R)` invocations (before caching).
+pub const PLANNER_CHECK_CALLS: &str = "planner.check_calls";
+/// CheckCache hits (calls answered without re-parsing).
+pub const PLANNER_CHECK_CACHE_HITS: &str = "planner.check_cache_hits";
+/// CheckCache misses (actual capability-template parses).
+pub const PLANNER_CHECK_CACHE_MISSES: &str = "planner.check_cache_misses";
+/// IPG memo-table hits (whole sub-searches skipped).
+pub const PLANNER_IPG_MEMO_HITS: &str = "planner.ipg_memo_hits";
+/// Recursive plan-generator invocations (EPG or IPG calls).
+pub const PLANNER_GENERATOR_CALLS: &str = "planner.generator_calls";
+/// Sub-searches short-circuited by PR1 (pure plan found).
+pub const PLANNER_PRUNED_PR1: &str = "planner.pruned_pr1";
+/// Subplans discarded by PR2 (costlier than the kept plan for the same
+/// attribute subset).
+pub const PLANNER_PRUNED_PR2: &str = "planner.pruned_pr2";
+/// Subplans discarded by PR3 (dominated: subset coverage at higher cost).
+pub const PLANNER_PRUNED_PR3: &str = "planner.pruned_pr3";
+/// Branch-and-bound nodes MCSC examined across all `combine` calls.
+pub const PLANNER_MCSC_COVERS_EXAMINED: &str = "planner.mcsc_covers_examined";
+/// Distinct concrete plans represented/considered across the search.
+pub const PLANNER_PLANS_CONSIDERED: &str = "planner.plans_considered";
+
+// ---- executor internals (§6.2 cost model) ----
+
+/// Source queries (SP operations) executed.
+pub const EXEC_SOURCE_QUERIES: &str = "exec.source_queries";
+/// Rows fetched from sources, total.
+pub const EXEC_ROWS_FETCHED: &str = "exec.rows_fetched";
+/// Per-subquery row counts (histogram).
+pub const EXEC_ROWS_PER_SUBQUERY: &str = "exec.rows_per_subquery";
+/// Σ estimated `k1 + k2·|result(sq)|` over executed source queries (gauge).
+pub const EXEC_EST_COST: &str = "exec.est_cost";
+/// Σ observed `k1 + k2·|result(sq)|` over executed source queries (gauge).
+pub const EXEC_OBSERVED_COST: &str = "exec.observed_cost";
+/// Source queries whose observed cardinality drifted ≥ 2× from the
+/// estimate (either direction).
+pub const EXEC_DRIFT_WARNINGS: &str = "exec.drift_warnings";
+
+// ---- source-side transfer meter ----
+
+/// Source queries a source answered.
+pub const SOURCE_QUERIES: &str = "source.queries";
+/// Tuples shipped back to the mediator.
+pub const SOURCE_TUPLES_SHIPPED: &str = "source.tuples_shipped";
+/// Queries rejected by the capability gate.
+pub const SOURCE_REJECTED: &str = "source.rejected";
+
+// ---- resilience events (PR 2 fault layer) ----
+
+/// Source-query attempts, including retries.
+pub const RESILIENCE_ATTEMPTS: &str = "resilience.attempts";
+/// Retries after a retryable fault.
+pub const RESILIENCE_RETRIES: &str = "resilience.retries";
+/// Transient faults absorbed.
+pub const RESILIENCE_TRANSIENTS: &str = "resilience.transients";
+/// Timeouts absorbed.
+pub const RESILIENCE_TIMEOUTS: &str = "resilience.timeouts";
+/// Rate-limit rejections absorbed.
+pub const RESILIENCE_RATE_LIMITED: &str = "resilience.rate_limited";
+/// Outage windows hit.
+pub const RESILIENCE_OUTAGES: &str = "resilience.outages";
+/// Failovers to a ranked alternative plan or a federation mirror.
+pub const RESILIENCE_FAILOVERS: &str = "resilience.failovers";
+/// Virtual ticks spent on simulated latency and backoff.
+pub const RESILIENCE_BACKOFF_TICKS: &str = "resilience.backoff_ticks";
+
+// ---- federation circuit breakers ----
+
+/// Breaker transitions Closed → Open (member quarantined).
+pub const BREAKER_OPENED: &str = "breaker.opened";
+/// Breaker transitions Open → HalfOpen (cooldown elapsed, probe allowed).
+pub const BREAKER_HALF_OPENED: &str = "breaker.half_opened";
+/// Breaker transitions HalfOpen → Closed (probe succeeded).
+pub const BREAKER_CLOSED: &str = "breaker.closed";
+/// Members skipped because their breaker gate was open.
+pub const FEDERATION_QUARANTINED: &str = "federation.quarantined";
+/// Members that could not plan the query (capability-infeasible).
+pub const FEDERATION_INFEASIBLE: &str = "federation.infeasible";
+/// Member executions that failed after retries.
+pub const FEDERATION_EXEC_FAILED: &str = "federation.exec_failed";
+/// Queries ultimately served by some member.
+pub const FEDERATION_SERVED: &str = "federation.served";

@@ -1,0 +1,155 @@
+//! No-op mirrors of [`crate::metrics::MetricsRegistry`] and
+//! [`crate::trace::Tracer`].
+//!
+//! These are what the crate root re-exports when the `obs` feature is off.
+//! Every method is an empty `#[inline]` body: no `Mutex`, no `String`, no
+//! heap — the overhead-guard test (`tests/noop_overhead.rs`) pins the
+//! zero-allocation claim with a counting global allocator. The module is
+//! compiled in *both* feature configurations so the disabled path can never
+//! bit-rot while `obs` is the everyday default.
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::TraceEvent;
+
+/// Zero-cost stand-in for the recording registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsRegistry;
+
+impl MetricsRegistry {
+    /// A fresh no-op registry.
+    #[inline]
+    pub fn new() -> Self {
+        MetricsRegistry
+    }
+
+    /// This implementation records nothing.
+    #[inline]
+    pub const fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Discards the delta.
+    #[inline]
+    pub fn add(&self, _name: &str, _delta: u64) {}
+
+    /// Discards the increment.
+    #[inline]
+    pub fn inc(&self, _name: &str) {}
+
+    /// Discards the value.
+    #[inline]
+    pub fn gauge_set(&self, _name: &str, _v: f64) {}
+
+    /// Discards the value.
+    #[inline]
+    pub fn gauge_add(&self, _name: &str, _v: f64) {}
+
+    /// Discards the observation.
+    #[inline]
+    pub fn observe(&self, _name: &str, _v: u64) {}
+
+    /// Always the empty snapshot.
+    #[inline]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Nothing to clear.
+    #[inline]
+    pub fn clear(&self) {}
+}
+
+/// Zero-cost stand-in for the recording tracer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tracer;
+
+impl Tracer {
+    /// A fresh no-op tracer.
+    #[inline]
+    pub fn new() -> Self {
+        Tracer
+    }
+
+    /// This implementation records nothing.
+    #[inline]
+    pub const fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Discards the event.
+    #[inline]
+    pub fn event(&self, _text: &str) {}
+
+    /// Never invokes the closure — lazy call sites pay nothing.
+    #[inline]
+    pub fn event_with(&self, _f: impl FnOnce() -> String) {}
+
+    /// Opens nothing; the guard is a unit value.
+    #[inline]
+    pub fn span(&self, _label: &str) -> Span<'_> {
+        Span(std::marker::PhantomData)
+    }
+
+    /// The virtual clock never moves.
+    #[inline]
+    pub fn advance(&self, _ticks: u64) {}
+
+    /// Always tick zero.
+    #[inline]
+    pub fn tick(&self) -> u64 {
+        0
+    }
+
+    /// Always empty.
+    #[inline]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Always the empty string.
+    #[inline]
+    pub fn render(&self) -> String {
+        String::new()
+    }
+
+    /// Nothing to clear.
+    #[inline]
+    pub fn clear(&self) {}
+}
+
+/// Unit span guard (no exit event, no `Drop` logic).
+#[derive(Debug)]
+pub struct Span<'a>(std::marker::PhantomData<&'a Tracer>);
+
+impl Span<'_> {
+    /// Nothing to close.
+    #[inline]
+    pub fn close(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_api_mirrors_the_recorder() {
+        let m = MetricsRegistry::new();
+        m.inc("a");
+        m.add("a", 4);
+        m.gauge_set("g", 1.0);
+        m.gauge_add("g", 1.0);
+        m.observe("h", 9);
+        assert!(!m.enabled());
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        let t = Tracer::new();
+        let span = t.span("plan");
+        t.event("x");
+        t.event_with(|| unreachable!("noop tracer must not build event text"));
+        t.advance(100);
+        span.close();
+        assert!(!t.enabled());
+        assert_eq!(t.tick(), 0);
+        assert!(t.events().is_empty());
+        assert_eq!(t.render(), "");
+    }
+}

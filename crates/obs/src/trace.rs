@@ -1,0 +1,206 @@
+//! The deterministic tracer: spans and events on a virtual-tick clock.
+//!
+//! The clock has nothing to do with wall time. It starts at zero and
+//! advances by exactly one per recorded event, plus whatever simulated
+//! latency a component explicitly charges via [`Tracer::advance`] (the
+//! fault layer's backoff/latency ticks). Two runs that take the same
+//! logical steps therefore stamp the same ticks and render byte-identical —
+//! which is what lets `EXPLAIN ANALYZE` traces be golden-tested the way
+//! `tests/golden_chaos.txt` already is.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// One recorded trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual tick at which the event was recorded.
+    pub tick: u64,
+    /// Span nesting depth at record time.
+    pub depth: u16,
+    /// Rendered text (`> label` / `< label` for span enter/exit).
+    pub text: String,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    tick: u64,
+    depth: u16,
+    events: Vec<TraceEvent>,
+}
+
+impl Inner {
+    fn record(&mut self, text: String) {
+        self.events.push(TraceEvent { tick: self.tick, depth: self.depth, text });
+        self.tick += 1;
+    }
+}
+
+/// The recording tracer. Interior-mutable and `Send + Sync`; events must be
+/// recorded from deterministic (sequential) program points — parallel
+/// sections record into locals and flush after their deterministic merge.
+#[derive(Debug, Default)]
+pub struct Tracer {
+    inner: Mutex<Inner>,
+}
+
+impl Tracer {
+    /// A fresh tracer at tick zero.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// This implementation records (`true`; the [`crate::noop`] mirror says
+    /// `false`). Call sites gate expensive formatting on this.
+    pub const fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records an event.
+    pub fn event(&self, text: &str) {
+        let mut inner = self.inner.lock().expect("trace lock");
+        inner.record(text.to_string());
+    }
+
+    /// Records an event whose text is built lazily — the no-op mirror never
+    /// invokes the closure, so hot paths pay nothing when tracing is off.
+    pub fn event_with(&self, f: impl FnOnce() -> String) {
+        let mut inner = self.inner.lock().expect("trace lock");
+        inner.record(f());
+    }
+
+    /// Opens a span; the returned guard closes it on drop.
+    pub fn span(&self, label: &str) -> Span<'_> {
+        {
+            let mut inner = self.inner.lock().expect("trace lock");
+            inner.record(format!("> {label}"));
+            inner.depth += 1;
+        }
+        Span { tracer: Some(self), label: label.to_string() }
+    }
+
+    /// Advances the virtual clock by `ticks` (simulated latency/backoff).
+    pub fn advance(&self, ticks: u64) {
+        let mut inner = self.inner.lock().expect("trace lock");
+        inner.tick += ticks;
+    }
+
+    /// Current virtual tick.
+    pub fn tick(&self) -> u64 {
+        self.inner.lock().expect("trace lock").tick
+    }
+
+    /// Clones out every event recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().expect("trace lock").events.clone()
+    }
+
+    /// Renders the trace: one `[tick] indented text` line per event.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("trace lock");
+        let mut out = String::new();
+        for e in &inner.events {
+            let _ = writeln!(
+                out,
+                "[{:>6}] {:indent$}{}",
+                e.tick,
+                "",
+                e.text,
+                indent = e.depth as usize * 2
+            );
+        }
+        out
+    }
+
+    /// Drops all events and resets the clock and depth.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("trace lock");
+        *inner = Inner::default();
+    }
+
+    fn exit(&self, label: &str) {
+        let mut inner = self.inner.lock().expect("trace lock");
+        inner.depth = inner.depth.saturating_sub(1);
+        inner.record(format!("< {label}"));
+    }
+}
+
+/// RAII guard for an open span; records the exit event on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: Option<&'a Tracer>,
+    label: String,
+}
+
+impl Span<'_> {
+    /// Closes the span now instead of at end of scope.
+    pub fn close(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let Some(t) = self.tracer.take() {
+            t.exit(&self.label);
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_advance_per_event_and_by_charge() {
+        let t = Tracer::new();
+        t.event("a");
+        t.advance(10);
+        t.event("b");
+        let ev = t.events();
+        assert_eq!(ev[0].tick, 0);
+        assert_eq!(ev[1].tick, 11);
+        assert_eq!(t.tick(), 12);
+    }
+
+    #[test]
+    fn spans_nest_and_render_deterministically() {
+        let build = || {
+            let t = Tracer::new();
+            {
+                let _plan = t.span("plan");
+                t.event("rewrite: 3 CTs");
+                {
+                    let _ipg = t.span("ipg");
+                    t.event_with(|| format!("memo hits: {}", 2));
+                }
+            }
+            t.render()
+        };
+        let one = build();
+        assert_eq!(one, build(), "same steps render byte-identical");
+        let lines: Vec<&str> = one.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].ends_with("> plan"));
+        assert!(lines[1].contains("  rewrite: 3 CTs"));
+        assert!(lines[2].ends_with("> ipg"));
+        assert!(lines[3].contains("memo hits: 2"));
+        assert!(lines[4].ends_with("< ipg"));
+        assert!(lines[5].ends_with("< plan"));
+    }
+
+    #[test]
+    fn explicit_close_matches_drop() {
+        let t = Tracer::new();
+        let s = t.span("x");
+        s.close();
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[1].text, "< x");
+        assert_eq!(ev[1].depth, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Overhead guard: the no-op recorder must add ZERO allocations on the hot
+//! path. A counting global allocator wraps `System`; a tight loop of
+//! metric/trace calls against `csqp_obs::noop` must not move the counter.
+//!
+//! The `noop` module is compiled under every feature configuration, so this
+//! guard runs in the default (`obs` on) test suite too — the disabled path
+//! cannot regress unnoticed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn noop_recorder_allocates_nothing() {
+    let metrics = csqp_obs::noop::MetricsRegistry::new();
+    let tracer = csqp_obs::noop::Tracer::new();
+    // Warm up anything lazy in the harness itself.
+    metrics.inc("warmup");
+    tracer.event("warmup");
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for i in 0..10_000u64 {
+        metrics.inc(black_box("planner.check_calls"));
+        metrics.add(black_box("exec.rows_fetched"), black_box(i));
+        metrics.gauge_add(black_box("exec.est_cost"), black_box(i as f64));
+        metrics.observe(black_box("exec.rows_per_subquery"), black_box(i));
+        tracer.event(black_box("hot"));
+        tracer.event_with(|| format!("expensive text {i}")); // closure never runs
+        let span = tracer.span(black_box("sq"));
+        tracer.advance(black_box(3));
+        span.close();
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(after - before, 0, "no-op recorder must not allocate on the hot path");
+
+    // Sanity: the loop wasn't optimized into nothing observable.
+    assert!(!metrics.enabled());
+    assert_eq!(tracer.tick(), 0);
+}

@@ -10,11 +10,14 @@
 //! - [`mod@resolve`] — Choice resolution (GenModular's cost module);
 //! - [`exec`] — the mediator executor (fix order → query source →
 //!   postprocess with σ/π/∩/∪), with transfer metering;
-//! - [`explain`] — `SP(C, A, R)` notation rendering.
+//! - [`explain`] — `SP(C, A, R)` notation rendering;
+//! - [`analyze`] — `EXPLAIN ANALYZE`: execution with per-source-query
+//!   estimated-vs-observed cardinality/cost and drift detection.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod analyze;
 pub mod cost;
 pub mod exec;
 pub mod explain;
@@ -23,6 +26,7 @@ pub mod model;
 pub mod plan;
 pub mod resolve;
 
+pub use analyze::{execute_analyzed, explain_analyze, PlanAnalysis, SubQueryObs};
 pub use cost::{Cardinality, OracleCard, StatsCard, UniformCard};
 pub use exec::{execute, execute_measured, execute_resilient, ExecError, RetryPolicy};
 pub use feasible::is_feasible;

@@ -222,6 +222,22 @@ impl ResilienceMeter {
     pub fn faults(&self) -> u64 {
         self.transients + self.timeouts + self.rate_limited + self.outages
     }
+
+    /// Adds this meter's counters to `metrics` under the canonical
+    /// `resilience.*` names. Every summary of resilience activity (the
+    /// `--chaos` demo, `--metrics json`, `Mediator::metrics_snapshot`)
+    /// goes through this one adapter, so they can never disagree.
+    pub fn record_into(&self, metrics: &csqp_obs::MetricsRegistry) {
+        use csqp_obs::names;
+        metrics.add(names::RESILIENCE_ATTEMPTS, self.attempts);
+        metrics.add(names::RESILIENCE_RETRIES, self.retries);
+        metrics.add(names::RESILIENCE_TRANSIENTS, self.transients);
+        metrics.add(names::RESILIENCE_TIMEOUTS, self.timeouts);
+        metrics.add(names::RESILIENCE_RATE_LIMITED, self.rate_limited);
+        metrics.add(names::RESILIENCE_OUTAGES, self.outages);
+        metrics.add(names::RESILIENCE_FAILOVERS, self.failovers);
+        metrics.add(names::RESILIENCE_BACKOFF_TICKS, self.ticks);
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +288,21 @@ mod tests {
         assert_eq!(p.ticks_for(Some(Fault::Timeout)), 40);
         assert_eq!(p.ticks_for(Some(Fault::RateLimited)), 0);
         assert_eq!(p.ticks_for(Some(Fault::Outage)), 0);
+    }
+
+    #[test]
+    fn meter_records_into_registry() {
+        let m = ResilienceMeter { attempts: 3, retries: 1, ticks: 9, ..Default::default() };
+        let reg = csqp_obs::MetricsRegistry::new();
+        m.record_into(&reg);
+        let snap = reg.snapshot();
+        if reg.enabled() {
+            assert_eq!(snap.counter("resilience.attempts"), 3);
+            assert_eq!(snap.counter("resilience.retries"), 1);
+            assert_eq!(snap.counter("resilience.backoff_ticks"), 9);
+        } else {
+            assert!(snap.counters.is_empty(), "no-op registry records nothing");
+        }
     }
 
     #[test]

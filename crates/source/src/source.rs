@@ -122,6 +122,15 @@ impl Meter {
     pub fn cost(&self, params: &CostParams) -> f64 {
         self.queries as f64 * params.k1 + self.tuples_shipped as f64 * params.k2
     }
+
+    /// Adds this meter's counters to `metrics` under the canonical
+    /// `source.*` names.
+    pub fn record_into(&self, metrics: &csqp_obs::MetricsRegistry) {
+        use csqp_obs::names;
+        metrics.add(names::SOURCE_QUERIES, self.queries);
+        metrics.add(names::SOURCE_TUPLES_SHIPPED, self.tuples_shipped);
+        metrics.add(names::SOURCE_REJECTED, self.rejected);
+    }
 }
 
 /// A capability-gated, metered, simulated Internet source.
