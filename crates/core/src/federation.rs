@@ -9,7 +9,7 @@
 
 use crate::mediator::{execute_with_failover, CardKind, Mediator, MediatorError, RunOutcome};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
-use csqp_obs::{names, Obs};
+use csqp_obs::{names, FlightRecorder, Obs, PlanEvent};
 use csqp_plan::exec::{execute_measured, ExecError, RetryPolicy};
 use csqp_source::{ResilienceMeter, Source};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -94,6 +94,7 @@ pub struct Federation {
     /// Virtual clock: one tick per resilient run.
     clock: AtomicU64,
     obs: Arc<Obs>,
+    flight: Arc<FlightRecorder>,
 }
 
 impl Default for Federation {
@@ -161,7 +162,30 @@ impl Federation {
             breaker_cfg: CircuitBreakerConfig::default(),
             clock: AtomicU64::new(0),
             obs: Arc::new(Obs::new()),
+            flight: Arc::new(FlightRecorder::off()),
         }
+    }
+
+    /// Arms this federation with a flight recorder: every `plan` /
+    /// `run_resilient` call leaves a per-query record of member selection,
+    /// breaker transitions, and failovers, replayable via
+    /// [`Federation::explain_why`]. Events are only recorded in the
+    /// sequential merge sections, so records are identical with the
+    /// `parallel` feature on or off.
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.flight = recorder;
+        self
+    }
+
+    /// The flight recorder (disarmed by default).
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Renders the `EXPLAIN WHY` report for the most recent federated
+    /// query (see [`csqp_plan::why::explain_why`]).
+    pub fn explain_why(&self) -> String {
+        csqp_plan::why::explain_why(self.flight.latest().as_ref())
     }
 
     /// Shares an observability handle with this federation. Member
@@ -219,12 +243,16 @@ impl Federation {
     /// sequential loop regardless of thread scheduling.
     pub fn plan(&self, query: &TargetQuery) -> Result<FederatedPlan, PlanError> {
         let span = self.obs.tracer.span("federation plan");
+        let flight = self.flight.begin_with(|| (query.to_string(), "Federation".to_string()));
         let card = self.card;
         let outcomes = crate::par::par_map(&self.members, |member| {
             Mediator::new(member.clone()).with_cardinality(card).plan(query)
         });
         let mut best: Option<(Arc<Source>, PlannedQuery)> = None;
         let mut considered = Vec::with_capacity(self.members.len());
+        // Member plans retained for provenance (name, cost, rendered plan);
+        // only captured when a recorder is armed.
+        let mut member_plans: Vec<(String, f64, String)> = Vec::new();
         // Sequential, member-ordered merge: the only place planner counters
         // and trace events are recorded, so the output is identical with
         // the `parallel` feature on or off.
@@ -235,6 +263,13 @@ impl Federation {
                     self.obs.tracer.event_with(|| {
                         format!("member {}: est cost {:.2}", member.name, planned.est_cost)
                     });
+                    if flight.active() {
+                        member_plans.push((
+                            member.name.clone(),
+                            planned.est_cost,
+                            planned.plan.to_string(),
+                        ));
+                    }
                     considered.push((member.name.clone(), Ok(planned.est_cost)));
                     if best.as_ref().is_none_or(|(_, b)| planned.est_cost < b.est_cost) {
                         best = Some((member.clone(), planned));
@@ -245,6 +280,9 @@ impl Federation {
                     self.obs
                         .tracer
                         .event_with(|| format!("member {}: infeasible ({e})", member.name));
+                    flight.event_with(|| PlanEvent::Note {
+                        text: format!("member {}: infeasible ({e})", member.name),
+                    });
                     considered.push((member.name.clone(), Err(e)));
                 }
             }
@@ -253,6 +291,28 @@ impl Federation {
             self.obs.tracer.event_with(|| {
                 format!("chose {} at est cost {:.2}", source.name, planned.est_cost)
             });
+            flight.event_with(|| PlanEvent::Winner {
+                cost: planned.est_cost,
+                plan: planned.plan.to_string(),
+            });
+            // Every losing member gets an elimination reason: the winner
+            // undercut its estimated cost (earliest member wins ties).
+            let mut winner_seen = false;
+            for (name, cost, plan) in &member_plans {
+                if !winner_seen && name == &source.name && *cost == planned.est_cost {
+                    winner_seen = true;
+                    continue;
+                }
+                flight.event_with(|| PlanEvent::Eliminated {
+                    rule: "cost",
+                    cost: *cost,
+                    plan: plan.clone(),
+                    detail: format!(
+                        "member {name}: est cost {cost:.2} vs winner {:.2} on {}",
+                        planned.est_cost, source.name
+                    ),
+                });
+            }
         }
         span.close();
         match best {
@@ -296,6 +356,7 @@ impl Federation {
     ) -> Result<FederatedRun, MediatorError> {
         let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let span = self.obs.tracer.span("federation run");
+        let flight = self.flight.begin_with(|| (query.to_string(), "Federation".to_string()));
         let mut trace: FailoverTrace = Vec::new();
 
         // Gate decisions are snapshotted up front so the planning fan-out
@@ -321,6 +382,10 @@ impl Federation {
                         self.obs.tracer.event_with(|| {
                             format!("member {}: quarantined (breaker open)", self.members[idx].name)
                         });
+                        flight.event_with(|| PlanEvent::Breaker {
+                            member: self.members[idx].name.clone(),
+                            transition: "quarantined",
+                        });
                         trace.push((self.members[idx].name.clone(), MemberEvent::Quarantined));
                     } else {
                         candidates.push((idx, planned));
@@ -331,6 +396,9 @@ impl Federation {
                     self.obs
                         .tracer
                         .event_with(|| format!("member {}: infeasible", self.members[idx].name));
+                    flight.event_with(|| PlanEvent::Note {
+                        text: format!("member {}: infeasible", self.members[idx].name),
+                    });
                     trace.push((self.members[idx].name.clone(), MemberEvent::Infeasible));
                 }
             }
@@ -346,6 +414,10 @@ impl Federation {
             if gates[idx] == BreakerGate::HalfOpen {
                 self.obs.metrics.inc(names::BREAKER_HALF_OPENED);
                 self.obs.tracer.event_with(|| format!("member {}: half-open probe", member.name));
+                flight.event_with(|| PlanEvent::Breaker {
+                    member: member.name.clone(),
+                    transition: "half-open",
+                });
                 trace.push((member.name.clone(), MemberEvent::Probed));
             }
             if tried_any {
@@ -356,6 +428,10 @@ impl Federation {
                 Ok((plan_rank, rows, meter, _failures)) => {
                     if self.breakers[idx].record_success() {
                         self.obs.metrics.inc(names::BREAKER_CLOSED);
+                        flight.event_with(|| PlanEvent::Breaker {
+                            member: member.name.clone(),
+                            transition: "closed",
+                        });
                     }
                     self.obs.metrics.inc(names::FEDERATION_SERVED);
                     meter.record_into(&self.obs.metrics);
@@ -366,6 +442,13 @@ impl Federation {
                             member.name,
                             rows.len()
                         )
+                    });
+                    flight.event_with(|| PlanEvent::Winner {
+                        cost: planned.est_cost,
+                        plan: planned.plan.to_string(),
+                    });
+                    flight.event_with(|| PlanEvent::Note {
+                        text: format!("served by member {} (plan rank {plan_rank})", member.name),
                     });
                     trace.push((member.name.clone(), MemberEvent::Served));
                     span.close();
@@ -384,12 +467,20 @@ impl Federation {
                         self.obs
                             .tracer
                             .event_with(|| format!("member {}: breaker opened", member.name));
+                        flight.event_with(|| PlanEvent::Breaker {
+                            member: member.name.clone(),
+                            transition: "opened",
+                        });
                     }
                     self.obs.metrics.inc(names::FEDERATION_EXEC_FAILED);
                     let (_, err) = failures.pop().expect("at least one plan was tried");
                     self.obs
                         .tracer
                         .event_with(|| format!("member {}: execution failed ({err})", member.name));
+                    flight.event_with(|| PlanEvent::Failover {
+                        rank: idx,
+                        detail: format!("member {}: {err}", member.name),
+                    });
                     trace.push((member.name.clone(), MemberEvent::ExecFailed(err.to_string())));
                     last_error = Some(err);
                 }

@@ -9,6 +9,7 @@ use crate::cache::CheckCache;
 use crate::ipg::{ipg_entry, IpgConfig, IpgContext};
 use crate::types::{PlanError, PlannedQuery, PlannerReport, TargetQuery};
 use csqp_expr::rewrite::{enumerate_compact, RewriteBudget};
+use csqp_obs::{PlanEvent, QueryFlight};
 use csqp_plan::cost::Cardinality;
 use csqp_plan::model::CostModel;
 use csqp_source::Source;
@@ -82,6 +83,22 @@ pub fn plan_compact_with_model(
     cfg: &GenCompactConfig,
     model: &dyn CostModel,
 ) -> Result<PlannedQuery, PlanError> {
+    plan_compact_recorded(query, source, card, cfg, model, QueryFlight::disabled())
+}
+
+/// As [`plan_compact_with_model`], recording every planner decision (per-CT
+/// search, PR1/PR2/PR3 prunes, MCSC covers, candidate ranking) into the
+/// given flight-recorder handle for `EXPLAIN WHY`. The handle is `Copy` and
+/// ignores everything when disabled, so the unrecorded entry points simply
+/// delegate here.
+pub fn plan_compact_recorded(
+    query: &TargetQuery,
+    source: &Source,
+    card: &dyn Cardinality,
+    cfg: &GenCompactConfig,
+    model: &dyn CostModel,
+    flight: QueryFlight<'_>,
+) -> Result<PlannedQuery, PlanError> {
     let start = Instant::now();
     // GenCompact reasons against the permutation-closed planning view
     // (unless the E11 ablation pins it to the original grammar).
@@ -89,16 +106,30 @@ pub fn plan_compact_with_model(
     let cache = CheckCache::new(view);
 
     let rewritten = enumerate_compact(&query.cond, cfg.rewrite_budget);
-    let mut ctx = IpgContext::new(&cache, model, card, cfg.ipg);
+    let mut ctx = IpgContext::new(&cache, model, card, cfg.ipg).with_flight(flight);
 
     // Keep every per-CT winner: the overall best becomes the plan, the
     // losers become ranked failover alternatives.
     let mut candidates: Vec<(csqp_plan::Plan, f64)> = Vec::new();
-    for ct in &rewritten.cts {
-        if let Some((plan, cost)) = ipg_entry(ct, &query.attrs, &mut ctx) {
-            candidates.push((plan, cost));
+    for (index, ct) in rewritten.cts.iter().enumerate() {
+        flight.event_with(|| PlanEvent::CtBegin { index, cond: ct.to_string() });
+        match ipg_entry(ct, &query.attrs, &mut ctx) {
+            Some((plan, cost)) => {
+                flight.event_with(|| PlanEvent::CtCandidate {
+                    index,
+                    cost,
+                    plan: plan.to_string(),
+                });
+                candidates.push((plan, cost));
+            }
+            None => flight.event_with(|| PlanEvent::CtInfeasible { index }),
         }
     }
+    flight.event_with(|| PlanEvent::CheckCacheStats {
+        calls: cache.calls() as u64,
+        hits: (cache.calls() - cache.parses()) as u64,
+        misses: cache.parses() as u64,
+    });
 
     let stats = ctx.stats;
     let report = PlannerReport {
@@ -122,11 +153,25 @@ pub fn plan_compact_with_model(
         elapsed: start.elapsed(),
     };
 
+    // Snapshot the candidate list (in CT order) before ranking consumes it,
+    // so every loser's elimination can be recorded — but only when someone
+    // is listening.
+    let provenance: Vec<(String, f64)> = if flight.active() {
+        candidates.iter().map(|(p, c)| (p.to_string(), *c)).collect()
+    } else {
+        Vec::new()
+    };
     match crate::types::rank_candidates(candidates) {
         Some((plan, est_cost, alternatives)) => {
+            crate::types::record_ranking_events(flight, &provenance, &plan, est_cost);
             Ok(PlannedQuery { plan, est_cost, report, alternatives })
         }
-        None => Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "GenCompact" }),
+        None => {
+            flight.event_with(|| PlanEvent::Note {
+                text: "no feasible plan in any rewriting".to_string(),
+            });
+            Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "GenCompact" })
+        }
     }
 }
 

@@ -10,6 +10,7 @@ use crate::epg::{epg, EpgContext};
 use crate::mark::mark;
 use crate::types::{PlanError, PlannedQuery, PlannerReport, TargetQuery};
 use csqp_expr::rewrite::{enumerate, RewriteBudget, RewriteRule};
+use csqp_obs::{PlanEvent, QueryFlight};
 use csqp_plan::cost::Cardinality;
 use csqp_plan::model::CostModel;
 use csqp_plan::resolve::resolve_with_cost;
@@ -53,6 +54,23 @@ pub fn plan_modular_with_model(
     cfg: &GenModularConfig,
     model: &dyn CostModel,
 ) -> Result<PlannedQuery, PlanError> {
+    plan_modular_recorded(query, source, card, cfg, model, QueryFlight::disabled())
+}
+
+/// As [`plan_modular_with_model`], recording the decision trail (per-CT
+/// rewriting, EPG plan-space size, per-CT candidate, candidate ranking)
+/// into the given flight-recorder handle for `EXPLAIN WHY`. GenModular has
+/// no pruning rules, so its trail shows the *exhaustive* plan spaces the
+/// cost module resolved — which is exactly what a diff against GenCompact's
+/// pruned trail should surface.
+pub fn plan_modular_recorded(
+    query: &TargetQuery,
+    source: &Source,
+    card: &dyn Cardinality,
+    cfg: &GenModularConfig,
+    model: &dyn CostModel,
+    flight: QueryFlight<'_>,
+) -> Result<PlannedQuery, PlanError> {
     let start = Instant::now();
     // GenModular reasons against the original description; order variants
     // come from its own commutativity rule.
@@ -66,7 +84,8 @@ pub fn plan_modular_with_model(
     let mut generator_calls = 0usize;
     let mut truncated = rewritten.truncated;
 
-    for ct in &rewritten.cts {
+    for (index, ct) in rewritten.cts.iter().enumerate() {
+        flight.event_with(|| PlanEvent::CtBegin { index, cond: ct.to_string() });
         // Mark module.
         let marked = mark(ct, &cache);
         // Generate module (EPG).
@@ -74,15 +93,24 @@ pub fn plan_modular_with_model(
         let Some(space) = epg(&marked, &query.attrs, &mut ctx) else {
             generator_calls += ctx.calls;
             truncated |= ctx.truncated;
+            flight.event_with(|| PlanEvent::CtInfeasible { index });
             continue;
         };
         generator_calls += ctx.calls;
         truncated |= ctx.truncated;
         plans_considered = plans_considered.saturating_add(space.n_alternatives());
+        flight.event_with(|| PlanEvent::EpgSpace { index, alternatives: space.n_alternatives() });
         // Cost module. Per-CT winners all survive: the overall best becomes
         // the plan, the losers become ranked failover alternatives.
-        candidates.push(resolve_with_cost(&space, model, card));
+        let (plan, cost) = resolve_with_cost(&space, model, card);
+        flight.event_with(|| PlanEvent::CtCandidate { index, cost, plan: plan.to_string() });
+        candidates.push((plan, cost));
     }
+    flight.event_with(|| PlanEvent::CheckCacheStats {
+        calls: cache.calls() as u64,
+        hits: (cache.calls() - cache.parses()) as u64,
+        misses: cache.parses() as u64,
+    });
 
     let report = PlannerReport {
         cts_processed: rewritten.cts.len(),
@@ -103,11 +131,22 @@ pub fn plan_modular_with_model(
         elapsed: start.elapsed(),
     };
 
+    let provenance: Vec<(String, f64)> = if flight.active() {
+        candidates.iter().map(|(p, c)| (p.to_string(), *c)).collect()
+    } else {
+        Vec::new()
+    };
     match crate::types::rank_candidates(candidates) {
         Some((plan, est_cost, alternatives)) => {
+            crate::types::record_ranking_events(flight, &provenance, &plan, est_cost);
             Ok(PlannedQuery { plan, est_cost, report, alternatives })
         }
-        None => Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "GenModular" }),
+        None => {
+            flight.event_with(|| PlanEvent::Note {
+                text: "no feasible plan in any rewriting".to_string(),
+            });
+            Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "GenModular" })
+        }
     }
 }
 

@@ -28,6 +28,7 @@ use crate::maxeval::max_eval;
 use crate::mcsc::{solve_exact, solve_greedy, CoverItem};
 use csqp_expr::canonical::canonicalize;
 use csqp_expr::{CondTree, Connector, Interner, SymSet};
+use csqp_obs::{PlanEvent, QueryFlight};
 use csqp_plan::cost::Cardinality;
 use csqp_plan::model::CostModel;
 use csqp_plan::{AttrSet, Plan};
@@ -109,6 +110,9 @@ pub struct IpgContext<'a, 'b> {
     /// Materialized name sets per symbol set, shared across all plans that
     /// fetch the same attributes.
     attr_names: HashMap<SymSet, Arc<AttrSet>>,
+    /// Flight-recorder handle for plan provenance (disabled by default;
+    /// armed via [`IpgContext::with_flight`]).
+    flight: QueryFlight<'a>,
 }
 
 impl<'a, 'b> IpgContext<'a, 'b> {
@@ -129,7 +133,16 @@ impl<'a, 'b> IpgContext<'a, 'b> {
             interner: cache.source().interner().clone(),
             memo: HashMap::new(),
             attr_names: HashMap::new(),
+            flight: QueryFlight::disabled(),
         }
+    }
+
+    /// Attaches a flight-recorder handle: every PR1/PR2/PR3 decision, MCSC
+    /// cover choice, and memo hit of the search is recorded as a
+    /// [`PlanEvent`] for `EXPLAIN WHY`.
+    pub fn with_flight(mut self, flight: QueryFlight<'a>) -> Self {
+        self.flight = flight;
+        self
     }
 
     fn source_query_cost(&self, cond: Option<&CondTree>, n_attrs: usize) -> f64 {
@@ -176,6 +189,7 @@ fn ipg(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc<Pla
     let key = (cond_fingerprint(Some(n)), a.clone());
     if let Some(hit) = ctx.memo.get(&key) {
         ctx.stats.memo_hits += 1;
+        ctx.flight.event_with(|| PlanEvent::MemoHit { node: n.to_string() });
         return hit.clone();
     }
 
@@ -190,6 +204,7 @@ fn ipg(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc<Pla
     if ctx.cfg.pr1 {
         if let Some(p) = pure {
             ctx.stats.pr1_prunes += 1;
+            ctx.flight.event_with(|| PlanEvent::Pr1ShortCircuit { node: n.to_string(), cost: p.1 });
             ctx.memo.insert(key, Some(p.clone()));
             return Some(p);
         }
@@ -271,6 +286,12 @@ fn push_subplan(
     ctx: &mut IpgContext<'_, '_>,
 ) {
     ctx.stats.subplans_considered += 1;
+    ctx.flight.event_with(|| PlanEvent::Admitted {
+        mask,
+        cost: sub.cost,
+        pure: sub.pure,
+        plan: sub.plan.to_string(),
+    });
     let entry = p.entry(mask).or_default();
     if ctx.cfg.pr2 {
         match entry.first() {
@@ -279,12 +300,24 @@ fn push_subplan(
                 // information even when costs tie, so the line-12 guard of
                 // Fig. 6 stays sound.
                 ctx.stats.pr2_prunes += 1;
+                ctx.flight.event_with(|| PlanEvent::Pr2Evicted {
+                    mask,
+                    kept_cost: existing.cost,
+                    evicted_cost: sub.cost,
+                });
                 if sub.pure && !existing.pure && sub.cost <= existing.cost {
                     entry[0] = sub;
                 }
             }
             _ => {
                 ctx.stats.pr2_prunes += entry.len();
+                for evicted in entry.iter() {
+                    ctx.flight.event_with(|| PlanEvent::Pr2Evicted {
+                        mask,
+                        kept_cost: sub.cost,
+                        evicted_cost: evicted.cost,
+                    });
+                }
                 entry.clear();
                 entry.push(sub);
             }
@@ -298,10 +331,29 @@ fn push_subplan(
 /// children at no greater cost. Returns how many were removed (the
 /// domination test is pointwise against a snapshot, so the count is
 /// independent of map iteration order).
-fn prune_dominated(p: &mut HashMap<u64, Vec<SubPlan>>) -> usize {
+fn prune_dominated(p: &mut HashMap<u64, Vec<SubPlan>>, flight: QueryFlight<'_>) -> usize {
     let snapshot: Vec<(u64, f64)> =
         p.iter().flat_map(|(m, subs)| subs.iter().map(move |s| (*m, s.cost))).collect();
     let before = snapshot.len();
+    if flight.active() {
+        // Report victims from a *sorted* view (HashMap order must not leak
+        // into the flight record), naming each victim's deterministic
+        // dominator: minimal cost, then minimal mask. The predicate is the
+        // same one `retain` applies below, so events match removals 1:1.
+        let mut sorted = snapshot.clone();
+        sorted.sort_unstable_by(|x, y| x.0.cmp(&y.0).then(x.1.total_cmp(&y.1)));
+        for &(mask, cost) in &sorted {
+            let dominator = sorted
+                .iter()
+                .filter(|(m2, c2)| {
+                    (*m2 != mask || *c2 < cost) && (mask & *m2) == mask && *c2 <= cost
+                })
+                .min_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+            if let Some(&(by_mask, by_cost)) = dominator {
+                flight.event_with(|| PlanEvent::Pr3Dominated { mask, cost, by_mask, by_cost });
+            }
+        }
+    }
     p.retain(|mask, subs| {
         subs.retain(|s| {
             !snapshot.iter().any(|(m2, c2)| {
@@ -345,7 +397,24 @@ fn combine(
         solve_greedy(&items, universe)
     };
     ctx.stats.mcsc_nodes += mstats.nodes;
-    let chosen = solution?;
+    let Some(chosen) = solution else {
+        ctx.flight.event_with(|| PlanEvent::McscNoCover { universe });
+        return None;
+    };
+    if ctx.flight.active() {
+        let tie_break = if ctx.cfg.exact_mcsc {
+            "lowest-cost cover; ascending-mask item order"
+        } else {
+            "greedy best cost/coverage ratio"
+        };
+        let covers_examined = mstats.nodes;
+        ctx.flight.event_with(|| PlanEvent::McscCover {
+            chosen_masks: chosen.iter().map(|&i| items[i].set).collect(),
+            total_cost: chosen.iter().map(|&i| plans[i].cost).sum(),
+            covers_examined,
+            tie_break,
+        });
+    }
     if let [only] = chosen.as_slice() {
         // Singleton cover: share the sub-plan, no copy at all.
         return Some((plans[*only].plan.clone(), plans[*only].cost));
@@ -393,6 +462,7 @@ fn or_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc
         let has_pure = p.get(&mask).is_some_and(|subs| subs.iter().any(|s| s.pure));
         if ctx.cfg.pr1 && has_pure {
             ctx.stats.pr1_prunes += 1;
+            ctx.flight.event_with(|| PlanEvent::Pr1Skip { mask });
             continue;
         }
         if let Some((plan, cost)) = ipg(child, a, ctx) {
@@ -402,7 +472,7 @@ fn or_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(Rc
 
     // Step 2 (lines 8–14): prune dominated, then MCSC with ∪ combination.
     if ctx.cfg.pr3 {
-        ctx.stats.pr3_prunes += prune_dominated(&mut p);
+        ctx.stats.pr3_prunes += prune_dominated(&mut p, ctx.flight);
     }
     combine(&p, full, Connector::Or, ctx)
 }
@@ -496,15 +566,24 @@ fn and_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(R
             // prune counters stay deterministic.
             if ctx.cfg.pr1 && p.get(&mask).is_some_and(|subs| subs.iter().any(|s| s.pure)) {
                 ctx.stats.pr1_prunes += 1;
+                ctx.flight.event_with(|| PlanEvent::Pr1Skip { mask });
                 continue;
             }
-            if ctx.cfg.pr3
-                && p.iter().any(|(m2, subs)| {
-                    *m2 != mask && (mask & *m2) == mask && subs.iter().any(|s| s.pure)
-                })
-            {
-                ctx.stats.pr3_prunes += 1;
-                continue;
+            if ctx.cfg.pr3 {
+                // `.min()` makes the reported dominator deterministic even
+                // though any pure superset justifies the skip.
+                let dominating = p
+                    .iter()
+                    .filter(|(m2, subs)| {
+                        **m2 != mask && (mask & **m2) == mask && subs.iter().any(|s| s.pure)
+                    })
+                    .map(|(m2, _)| *m2)
+                    .min();
+                if let Some(by_mask) = dominating {
+                    ctx.stats.pr3_prunes += 1;
+                    ctx.flight.event_with(|| PlanEvent::Pr3Skip { mask, by_mask });
+                    continue;
+                }
             }
             let rest_mask = mask & !child_bit;
             let widened = if rest_mask == 0 {
@@ -530,7 +609,7 @@ fn and_node(n: &CondTree, a: &SymSet, ctx: &mut IpgContext<'_, '_>) -> Option<(R
 
     // Lines 14–20.
     if ctx.cfg.pr3 {
-        ctx.stats.pr3_prunes += prune_dominated(&mut p);
+        ctx.stats.pr3_prunes += prune_dominated(&mut p, ctx.flight);
     }
     combine(&p, full, Connector::And, ctx)
 }

@@ -53,8 +53,8 @@ pub mod types;
 pub use federation::{
     CircuitBreakerConfig, FailoverTrace, FederatedPlan, FederatedRun, Federation, MemberEvent,
 };
-pub use gencompact::{plan_compact, GenCompactConfig};
-pub use genmodular::{plan_modular, GenModularConfig};
+pub use gencompact::{plan_compact, plan_compact_recorded, GenCompactConfig};
+pub use genmodular::{plan_modular, plan_modular_recorded, GenModularConfig};
 pub use ipg::IpgConfig;
 pub use join::{JoinConfig, JoinMediator, JoinOutcome, JoinQuery, JoinStrategy};
 pub use mediator::{CardKind, Mediator, ResilientOutcome, RunOutcome, Scheme};

@@ -8,10 +8,10 @@
 use crate::baselines::{
     plan_cnf_with_model, plan_disco_with_model, plan_dnf_with_model, plan_naive_with_model,
 };
-use crate::gencompact::{plan_compact_with_model, GenCompactConfig};
-use crate::genmodular::{plan_modular_with_model, GenModularConfig};
+use crate::gencompact::{plan_compact_recorded, GenCompactConfig};
+use crate::genmodular::{plan_modular_recorded, GenModularConfig};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
-use csqp_obs::{names, Obs};
+use csqp_obs::{names, FlightRecorder, Obs, PlanEvent, QueryFlight};
 use csqp_plan::analyze::{execute_analyzed, PlanAnalysis};
 use csqp_plan::cost::{Cardinality, OracleCard, StatsCard, UniformCard};
 use csqp_plan::exec::{execute_measured, execute_resilient, ExecError, RetryPolicy};
@@ -203,6 +203,7 @@ pub struct Mediator {
     modular_cfg: GenModularConfig,
     model: Option<Arc<dyn CostModel + Send + Sync>>,
     obs: Arc<Obs>,
+    flight: Arc<FlightRecorder>,
 }
 
 impl fmt::Debug for Mediator {
@@ -227,6 +228,9 @@ impl Mediator {
             modular_cfg: GenModularConfig::default(),
             model: None,
             obs: Arc::new(Obs::new()),
+            // Disarmed by default: the planning hot path stays
+            // provenance-free until a caller explicitly arms a recorder.
+            flight: Arc::new(FlightRecorder::off()),
         }
     }
 
@@ -249,6 +253,32 @@ impl Mediator {
     /// everything at compile time).
     pub fn metrics_snapshot(&self) -> csqp_obs::MetricsSnapshot {
         self.obs.metrics.snapshot()
+    }
+
+    /// Arms this mediator with a flight recorder: every subsequent
+    /// [`Mediator::plan`] call leaves a per-query decision trail
+    /// (admissions, PR1/PR2/PR3 prunes, MCSC covers, ranking) replayable
+    /// via [`Mediator::explain_why`]. Several mediators can share one
+    /// recorder; records stay per-query. The default recorder is disarmed
+    /// ([`FlightRecorder::off`]) and costs nothing on the planning path.
+    pub fn with_flight_recorder(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.flight = recorder;
+        self
+    }
+
+    /// The flight recorder (disarmed unless one was installed with
+    /// [`Mediator::with_flight_recorder`]).
+    pub fn flight_recorder(&self) -> &Arc<FlightRecorder> {
+        &self.flight
+    }
+
+    /// Renders the `EXPLAIN WHY` report for the most recently planned
+    /// query: the winner's decision trail plus the eliminating rule for
+    /// every losing candidate. Returns a "recorder disabled" notice when no
+    /// armed recorder has captured a flight (including every `obs`-off
+    /// build, where the recorder is compiled to a no-op).
+    pub fn explain_why(&self) -> String {
+        csqp_plan::why::explain_why(self.flight.latest().as_ref())
     }
 
     /// Overrides the cost model used for planning (§7 flexibility). The
@@ -322,7 +352,8 @@ impl Mediator {
         self.obs
             .tracer
             .event_with(|| format!("scheme {} on source {}", self.scheme, self.source.name));
-        let planned = self.with_card(|card| self.dispatch(query, card));
+        let flight = self.flight.begin_with(|| (query.to_string(), self.scheme.name().to_string()));
+        let planned = self.with_card(|card| self.dispatch(query, card, flight));
         match &planned {
             Ok(p) => {
                 // Flush the planner's deterministic counters into the
@@ -350,16 +381,46 @@ impl Mediator {
         &self,
         query: &TargetQuery,
         card: &dyn csqp_plan::cost::Cardinality,
+        flight: QueryFlight<'_>,
     ) -> Result<PlannedQuery, PlanError> {
         let s = &self.source;
         let model = self.active_model();
         match self.scheme {
-            Scheme::GenCompact => plan_compact_with_model(query, s, card, &self.compact_cfg, model),
-            Scheme::GenModular => plan_modular_with_model(query, s, card, &self.modular_cfg, model),
-            Scheme::Cnf => plan_cnf_with_model(query, s, card, model),
-            Scheme::Dnf => plan_dnf_with_model(query, s, card, model),
-            Scheme::Disco => plan_disco_with_model(query, s, card, model),
-            Scheme::NaivePush => plan_naive_with_model(query, s, card, model),
+            Scheme::GenCompact => {
+                plan_compact_recorded(query, s, card, &self.compact_cfg, model, flight)
+            }
+            Scheme::GenModular => {
+                plan_modular_recorded(query, s, card, &self.modular_cfg, model, flight)
+            }
+            baseline => {
+                let planned = match baseline {
+                    Scheme::Cnf => plan_cnf_with_model(query, s, card, model),
+                    Scheme::Dnf => plan_dnf_with_model(query, s, card, model),
+                    Scheme::Disco => plan_disco_with_model(query, s, card, model),
+                    _ => plan_naive_with_model(query, s, card, model),
+                };
+                // The baselines are single-shot translations with no search
+                // to narrate; record the outcome so EXPLAIN WHY still names
+                // the winner (or the failure) for these schemes.
+                match &planned {
+                    Ok(p) => {
+                        flight.event_with(|| PlanEvent::Note {
+                            text: format!(
+                                "{} is a single-shot baseline: no per-decision provenance",
+                                baseline.name()
+                            ),
+                        });
+                        flight.event_with(|| PlanEvent::Winner {
+                            cost: p.est_cost,
+                            plan: p.plan.to_string(),
+                        });
+                    }
+                    Err(e) => {
+                        flight.event_with(|| PlanEvent::Note { text: format!("plan failed: {e}") })
+                    }
+                }
+                planned
+            }
         }
     }
 
@@ -437,6 +498,20 @@ impl Mediator {
             Ok((plan_rank, rows, meter, failures)) => {
                 let measured_cost = meter.cost(self.source.cost_params());
                 self.record_run(&planned, &rows, &meter, measured_cost);
+                // Failover is part of the query's story: append it to the
+                // flight record begun at plan time so EXPLAIN WHY shows the
+                // plan that actually served alongside the one that won.
+                for (rank, err) in &failures {
+                    self.flight.note_latest(|| PlanEvent::Failover {
+                        rank: *rank,
+                        detail: err.to_string(),
+                    });
+                }
+                if plan_rank > 0 {
+                    self.flight.note_latest(|| PlanEvent::Note {
+                        text: format!("served by ranked alternative #{plan_rank}"),
+                    });
+                }
                 self.obs.tracer.event_with(|| {
                     format!(
                         "served by plan rank {plan_rank} after {} failover(s), {} retries",
@@ -452,6 +527,12 @@ impl Mediator {
                 })
             }
             Err(mut failures) => {
+                for (rank, err) in &failures {
+                    self.flight.note_latest(|| PlanEvent::Failover {
+                        rank: *rank,
+                        detail: err.to_string(),
+                    });
+                }
                 let (_, last) = failures.pop().expect("at least the primary plan was tried");
                 self.obs.tracer.event_with(|| format!("every plan died: {last}"));
                 span.close();

@@ -177,6 +177,52 @@ pub(crate) fn rank_candidates(
     Some((best, best_cost, alternatives))
 }
 
+/// Records the ranking outcome into the flight record: one `Winner` event
+/// plus an `Eliminated` event (rule `"cost"`) for every candidate that lost
+/// the final ranking — including losers beyond the [`MAX_ALTERNATIVES`]
+/// failover window, so `EXPLAIN WHY` can name a reason for *every* loser.
+/// `provenance` is the pre-ranking candidate list in CT order (rendered
+/// plan, cost), captured only when the flight handle is active.
+pub(crate) fn record_ranking_events(
+    flight: csqp_obs::QueryFlight<'_>,
+    provenance: &[(String, f64)],
+    winner: &Plan,
+    winner_cost: f64,
+) {
+    if !flight.active() {
+        return;
+    }
+    let winner_plan = winner.to_string();
+    flight.event_with(|| csqp_obs::PlanEvent::Winner {
+        cost: winner_cost,
+        plan: winner_plan.clone(),
+    });
+    let mut winner_seen = false;
+    for (plan, cost) in provenance {
+        let is_winner = *cost == winner_cost && *plan == winner_plan;
+        if is_winner && !winner_seen {
+            winner_seen = true;
+            continue;
+        }
+        let detail = if is_winner {
+            "duplicate of the winning plan (another CT canonicalized to it)".to_string()
+        } else {
+            format!(
+                "est cost {:.2} vs winner {:.2} (Δ {:+.2})",
+                cost,
+                winner_cost,
+                cost - winner_cost
+            )
+        };
+        flight.event_with(|| csqp_obs::PlanEvent::Eliminated {
+            rule: "cost",
+            cost: *cost,
+            plan: plan.clone(),
+            detail,
+        });
+    }
+}
+
 /// Planner errors.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanError {

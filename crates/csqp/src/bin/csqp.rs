@@ -18,10 +18,21 @@ use csqp::plan::analyze::explain_analyze;
 use csqp::plan::exec::RetryPolicy;
 use csqp::plan::explain::explain;
 use csqp::prelude::*;
-use csqp_obs::{names, Obs};
+use csqp::serve::{ServeConfig, Server};
+use csqp_obs::{names, FlightRecorder, Obs};
 use csqp_source::FaultProfile;
 use std::process::ExitCode;
 use std::sync::Arc;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ExplainMode {
+    Off,
+    /// Plan tree + planner statistics (EXPLAIN / EXPLAIN ANALYZE with --run).
+    Plan,
+    /// Flight-recorder provenance: the decision trail and the eliminating
+    /// rule for every losing candidate.
+    Why,
+}
 
 struct Args {
     ssdl_path: String,
@@ -31,19 +42,26 @@ struct Args {
     attrs: Vec<String>,
     scheme: Scheme,
     run: bool,
-    explain: bool,
+    explain: ExplainMode,
     k1: f64,
     k2: f64,
     chaos: Option<u64>,
     trace: bool,
     metrics_json: bool,
+    metrics_prom: bool,
+    serve: bool,
+    addr: String,
+    slow_ms: u64,
 }
 
 const USAGE: &str = "\
 usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
-            [--key <col[,col]>] [--scheme <name>] [--run] [--explain]
-            [--k1 <f64>] [--k2 <f64>] [--trace] [--metrics json]
-       csqp --chaos <seed> [--trace] [--metrics json]
+            [--key <col[,col]>] [--scheme <name>] [--run] [--explain[=why]]
+            [--k1 <f64>] [--k2 <f64>] [--trace] [--metrics json|prom]
+       csqp serve --ssdl <file> --csv <file> [--key <col[,col]>]
+            [--addr <host:port>] [--scheme <name>] [--slow-ms <n>]
+            [--k1 <f64>] [--k2 <f64>]
+       csqp --chaos <seed> [--trace] [--metrics json|prom]
 
   --ssdl     SSDL source description (see README for the syntax)
   --csv      data file; header row names the columns, types are inferred
@@ -54,12 +72,20 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
   --run      execute the plan and print the rows; with --explain, prints an
              EXPLAIN ANALYZE tree (estimated vs observed rows and cost per
              source query) plus cost-model drift warnings
-  --explain  print the plan tree and planner statistics
+  --explain  print the plan tree and planner statistics; `--explain=why`
+             replays the flight recorder instead: the full decision trail
+             (PR1/PR2/PR3 prunes, MCSC covers, ranking) and the eliminating
+             rule for every losing candidate
   --k1/--k2  cost-model constants (default 50 / 1)
   --trace    print the deterministic virtual-tick trace to stderr
-  --metrics  print a metrics snapshot on stdout; `json` is the only format
+  --metrics  print a metrics snapshot on stdout: `json` or `prom`
+             (Prometheus text exposition)
   --chaos    standalone demo: run a seeded fault storm against a federation
-             of unreliable car-data mirrors and print the failover trace";
+             of unreliable car-data mirrors and print the failover trace
+
+serve mode keeps the mediator warm behind a tiny HTTP/1.0 listener with
+/healthz, /metrics (Prometheus), /query, /flightrecorder (EXPLAIN WHY),
+/slowlog, and /shutdown; see docs/OBSERVABILITY.md.";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -70,14 +96,22 @@ fn parse_args() -> Result<Args, String> {
         attrs: Vec::new(),
         scheme: Scheme::GenCompact,
         run: false,
-        explain: false,
+        explain: ExplainMode::Off,
         k1: 50.0,
         k2: 1.0,
         chaos: None,
         trace: false,
         metrics_json: false,
+        metrics_prom: false,
+        serve: false,
+        addr: "127.0.0.1:0".to_string(),
+        slow_ms: 100,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        args.serve = true;
+        argv.remove(0);
+    }
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
         *i += 1;
@@ -104,7 +138,8 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--run" => args.run = true,
-            "--explain" => args.explain = true,
+            "--explain" | "--explain=plan" => args.explain = ExplainMode::Plan,
+            "--explain=why" => args.explain = ExplainMode::Why,
             "--k1" => args.k1 = value(&mut i)?.parse().map_err(|e| format!("--k1: {e}"))?,
             "--k2" => args.k2 = value(&mut i)?.parse().map_err(|e| format!("--k2: {e}"))?,
             "--chaos" => {
@@ -113,24 +148,35 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = true,
             "--metrics" => match value(&mut i)?.as_str() {
                 "json" => args.metrics_json = true,
-                other => return Err(format!("--metrics: unknown format {other:?} (try json)")),
+                "prom" | "prometheus" => args.metrics_prom = true,
+                other => {
+                    return Err(format!("--metrics: unknown format {other:?} (try json or prom)"))
+                }
             },
+            "--addr" => args.addr = value(&mut i)?,
+            "--slow-ms" => {
+                args.slow_ms = value(&mut i)?.parse().map_err(|e| format!("--slow-ms: {e}"))?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
         i += 1;
     }
     // --chaos is a self-contained demo; the planning flags don't apply.
+    // serve mode takes queries over the wire, not on the command line.
     if args.chaos.is_none() {
-        for (flag, val) in
-            [("--ssdl", &args.ssdl_path), ("--csv", &args.csv_path), ("--query", &args.query)]
-        {
+        for (flag, val) in [("--ssdl", &args.ssdl_path), ("--csv", &args.csv_path)] {
             if val.is_empty() {
                 return Err(format!("{flag} is required"));
             }
         }
-        if args.attrs.is_empty() {
-            return Err("--attrs is required".into());
+        if !args.serve {
+            if args.query.is_empty() {
+                return Err("--query is required".into());
+            }
+            if args.attrs.is_empty() {
+                return Err("--attrs is required".into());
+            }
         }
     }
     Ok(args)
@@ -139,7 +185,7 @@ fn parse_args() -> Result<Args, String> {
 /// `csqp --chaos <seed>`: a seeded fault storm against a federation of three
 /// unreliable mirrors of the same car data, showing retries, failovers, and
 /// circuit-breaker quarantine. Fully deterministic per seed.
-fn chaos_demo(seed: u64, trace: bool, metrics_json: bool) -> ExitCode {
+fn chaos_demo(seed: u64, trace: bool, metrics_json: bool, metrics_prom: bool) -> ExitCode {
     let data = csqp::relation::datagen::cars(3, 400);
     let dealer = Arc::new(
         Source::new(data.clone(), csqp::ssdl::templates::car_dealer(), CostParams::new(10.0, 1.0))
@@ -251,6 +297,9 @@ fn chaos_demo(seed: u64, trace: bool, metrics_json: bool) -> ExitCode {
     if metrics_json {
         println!("{}", snap.to_json());
     }
+    if metrics_prom {
+        print!("{}", snap.to_prometheus());
+    }
     ExitCode::SUCCESS
 }
 
@@ -267,7 +316,7 @@ fn main() -> ExitCode {
     };
 
     if let Some(seed) = args.chaos {
-        return chaos_demo(seed, args.trace, args.metrics_json);
+        return chaos_demo(seed, args.trace, args.metrics_json, args.metrics_prom);
     }
 
     // Load inputs.
@@ -316,6 +365,22 @@ fn main() -> ExitCode {
     };
     let source = Arc::new(Source::new(relation, desc, cost));
 
+    if args.serve {
+        let cfg = ServeConfig {
+            addr: args.addr.clone(),
+            scheme: args.scheme,
+            slow_ms: args.slow_ms,
+            ..Default::default()
+        };
+        return match Server::bind(source, cfg).and_then(|mut s| s.run()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: serve: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
     let query = match TargetQuery::parse(&args.query, &attr_refs) {
         Ok(q) => q,
@@ -326,18 +391,26 @@ fn main() -> ExitCode {
     };
 
     let obs = Arc::new(Obs::new());
-    let mediator = Mediator::new(source.clone()).with_scheme(args.scheme).with_obs(obs.clone());
+    let mut mediator = Mediator::new(source.clone()).with_scheme(args.scheme).with_obs(obs.clone());
+    if args.explain == ExplainMode::Why {
+        // EXPLAIN WHY needs an armed recorder; armed only on demand so the
+        // default planning path stays provenance-free.
+        mediator = mediator.with_flight_recorder(Arc::new(FlightRecorder::new()));
+    }
 
     // Each mode plans exactly once (the analyzed run plans internally), so
     // the metrics snapshot reflects a single planning pass.
     let status = if args.run {
-        match if args.explain {
+        match if args.explain == ExplainMode::Plan {
             mediator.run_analyzed(&query).map(|a| (a.outcome, Some(a.analysis)))
         } else {
             mediator.run(&query).map(|o| (o, None))
         } {
             Ok((out, analysis)) => {
                 print_plan_header(&args, &out.planned);
+                if args.explain == ExplainMode::Why {
+                    print!("\n{}", mediator.explain_why());
+                }
                 if let Some(analysis) = &analysis {
                     // EXPLAIN ANALYZE: the plan tree re-rendered with
                     // observed cardinality and cost next to the estimates.
@@ -369,9 +442,13 @@ fn main() -> ExitCode {
         match mediator.plan(&query) {
             Ok(planned) => {
                 print_plan_header(&args, &planned);
-                if args.explain {
-                    print!("\nplan tree:\n{}", explain(&planned.plan));
-                    print_planner_stats(&planned);
+                match args.explain {
+                    ExplainMode::Plan => {
+                        print!("\nplan tree:\n{}", explain(&planned.plan));
+                        print_planner_stats(&planned);
+                    }
+                    ExplainMode::Why => print!("\n{}", mediator.explain_why()),
+                    ExplainMode::Off => {}
                 }
                 ExitCode::SUCCESS
             }
@@ -384,6 +461,9 @@ fn main() -> ExitCode {
     }
     if args.metrics_json {
         println!("{}", mediator.metrics_snapshot().to_json());
+    }
+    if args.metrics_prom {
+        print!("{}", mediator.metrics_snapshot().to_prometheus());
     }
     status
 }

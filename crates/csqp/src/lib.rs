@@ -12,6 +12,8 @@
 //! | sources | [`source`] | capability-gated simulated Internet sources |
 //! | plans | [`plan`] | plan ADT, §6.2 cost model, executor |
 //! | planners | [`core`] | GenModular, GenCompact, CNF/DNF/DISCO baselines |
+//! | observability | [`obs`] | metrics registry, tracer, query flight recorder |
+//! | serving | [`serve`] | long-running mediator with `/metrics` + `EXPLAIN WHY` |
 //!
 //! ## Quickstart
 //!
@@ -38,10 +40,13 @@
 
 pub use csqp_core as core;
 pub use csqp_expr as expr;
+pub use csqp_obs as obs;
 pub use csqp_plan as plan;
 pub use csqp_relation as relation;
 pub use csqp_source as source;
 pub use csqp_ssdl as ssdl;
+
+pub mod serve;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {

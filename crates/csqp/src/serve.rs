@@ -1,0 +1,397 @@
+//! `csqp serve` — a long-running mediator behind a tiny TCP server.
+//!
+//! Keeps one warm [`Mediator`] (and its armed flight recorder) behind a
+//! hand-rolled HTTP/1.0 listener built only on `std::net` — no runtime, no
+//! dependencies. Endpoints:
+//!
+//! | endpoint | answers |
+//! |----------|---------|
+//! | `GET /healthz` | `ok` |
+//! | `GET /metrics` | Prometheus text exposition of the metrics registry |
+//! | `GET /query?cond=<urlenc>&attrs=<a,b>` | plans + executes, returns rows |
+//! | `GET /flightrecorder` | index of recorded query flights |
+//! | `GET /flightrecorder?query=<id>` | `EXPLAIN WHY` replay of flight `id` |
+//! | `GET /slowlog` | recent slow queries with their decision trails |
+//! | `GET /shutdown` | stops the accept loop |
+//!
+//! A bare (non-HTTP) first line speaks the line protocol instead: `ping`,
+//! `why`, or `query <attrs,csv> <condition>`.
+//!
+//! Serve mode is the **only** place wall-clock time enters the stack: the
+//! `serve.*` metrics (latency histogram, slow-query counter) are real-time
+//! by design and excluded from every golden test, keeping the deterministic
+//! virtual-tick layer untouched.
+
+use csqp_core::mediator::{Mediator, MediatorError, Scheme};
+use csqp_core::types::TargetQuery;
+use csqp_obs::{names, FlightRecorder, Obs};
+use csqp_source::Source;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Planning scheme for served queries.
+    pub scheme: Scheme,
+    /// Wall-clock threshold (milliseconds) beyond which a query enters the
+    /// slow-query log with its full `EXPLAIN WHY` decision trail.
+    pub slow_ms: u64,
+    /// Slow-query log ring size (oldest entries evicted).
+    pub slow_log_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheme: Scheme::GenCompact,
+            slow_ms: 100,
+            slow_log_capacity: 32,
+        }
+    }
+}
+
+/// One slow-query log entry.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Wall-clock latency in microseconds.
+    pub latency_us: u64,
+    /// The query, rendered.
+    pub query: String,
+    /// The `EXPLAIN WHY` report captured at serve time.
+    pub why: String,
+}
+
+/// The serve-mode server: one warm mediator, one TCP listener.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    mediator: Mediator,
+    obs: Arc<Obs>,
+    flight: Arc<FlightRecorder>,
+    cfg: ServeConfig,
+    slow_log: VecDeque<SlowQuery>,
+}
+
+impl Server {
+    /// Binds the listener and warms up a mediator (with an armed flight
+    /// recorder) for `source`.
+    pub fn bind(source: Arc<Source>, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let obs = Arc::new(Obs::new());
+        let flight = Arc::new(FlightRecorder::new());
+        let mediator = Mediator::new(source)
+            .with_scheme(cfg.scheme)
+            .with_obs(obs.clone())
+            .with_flight_recorder(flight.clone());
+        Ok(Server { listener, mediator, obs, flight, cfg, slow_log: VecDeque::new() })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` configs).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The warm mediator serving the queries.
+    pub fn mediator(&self) -> &Mediator {
+        &self.mediator
+    }
+
+    /// The slow-query log, oldest first.
+    pub fn slow_log(&self) -> impl Iterator<Item = &SlowQuery> {
+        self.slow_log.iter()
+    }
+
+    /// Accept loop: serves connections until `/shutdown` (or a fatal
+    /// listener error). Prints the listening address on entry so scripts
+    /// can scrape the ephemeral port.
+    pub fn run(&mut self) -> io::Result<()> {
+        println!("csqp serve: listening on {}", self.local_addr()?);
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) => {
+                    self.obs.metrics.inc(names::SERVE_ERRORS);
+                    eprintln!("csqp serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            match self.handle(stream) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(e) => {
+                    // A misbehaving client must not take the server down.
+                    self.obs.metrics.inc(names::SERVE_ERRORS);
+                    eprintln!("csqp serve: connection error: {e}");
+                }
+            }
+        }
+    }
+
+    /// Serves one connection; `Ok(true)` means shutdown was requested.
+    fn handle(&mut self, mut stream: TcpStream) -> io::Result<bool> {
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut first = String::new();
+        reader.read_line(&mut first)?;
+        let first = first.trim_end();
+        self.obs.metrics.inc(names::SERVE_REQUESTS);
+        if let Some(target) = http_request_target(first) {
+            let target = target.to_string();
+            // Drain (and ignore) the request headers.
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+                    break;
+                }
+            }
+            let (status, ctype, body, shutdown) = self.route(&target);
+            write!(
+                stream,
+                "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n",
+                body.len()
+            )?;
+            stream.write_all(body.as_bytes())?;
+            Ok(shutdown)
+        } else {
+            let reply = self.handle_line(first);
+            stream.write_all(reply.as_bytes())?;
+            Ok(false)
+        }
+    }
+
+    /// Routes one HTTP request target to a `(status, content-type, body,
+    /// shutdown)` response.
+    fn route(&mut self, target: &str) -> (&'static str, &'static str, String, bool) {
+        const TEXT: &str = "text/plain; charset=utf-8";
+        const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
+        let (path, query_string) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        match path {
+            "/healthz" => ("200 OK", TEXT, "ok\n".to_string(), false),
+            "/metrics" => ("200 OK", PROM, self.mediator.metrics_snapshot().to_prometheus(), false),
+            "/flightrecorder" => match query_param(query_string, "query") {
+                Some(id) => match id.parse::<u64>().ok().and_then(|id| self.flight.record(id)) {
+                    Some(rec) => ("200 OK", TEXT, csqp_plan::why::explain_why(Some(&rec)), false),
+                    None => ("404 Not Found", TEXT, format!("no flight {id:?} recorded\n"), false),
+                },
+                None => ("200 OK", TEXT, self.flight_index(), false),
+            },
+            "/query" => {
+                let cond = query_param(query_string, "cond").map(|v| percent_decode(&v));
+                let attrs = query_param(query_string, "attrs").map(|v| percent_decode(&v));
+                match (cond, attrs) {
+                    (Some(cond), Some(attrs)) => {
+                        let attrs: Vec<String> =
+                            attrs.split(',').map(|s| s.trim().to_string()).collect();
+                        match self.serve_query(&cond, &attrs) {
+                            Ok(body) => ("200 OK", TEXT, body, false),
+                            Err(msg) => ("400 Bad Request", TEXT, msg, false),
+                        }
+                    }
+                    _ => (
+                        "400 Bad Request",
+                        TEXT,
+                        "usage: /query?cond=<urlencoded condition>&attrs=<a,b,c>\n".to_string(),
+                        false,
+                    ),
+                }
+            }
+            "/slowlog" => ("200 OK", TEXT, self.render_slow_log(), false),
+            "/shutdown" => ("200 OK", TEXT, "shutting down\n".to_string(), true),
+            _ => ("404 Not Found", TEXT, format!("no route {path}\n"), false),
+        }
+    }
+
+    /// The line protocol: `ping`, `why`, or `query <attrs,csv> <condition>`.
+    fn handle_line(&mut self, line: &str) -> String {
+        let line = line.trim();
+        if line == "ping" {
+            return "pong\n".to_string();
+        }
+        if line == "why" {
+            return self.mediator.explain_why();
+        }
+        if let Some(rest) = line.strip_prefix("query ") {
+            let Some((attrs, cond)) = rest.trim().split_once(' ') else {
+                return "ERR usage: query <attrs,csv> <condition>\n".to_string();
+            };
+            let attrs: Vec<String> = attrs.split(',').map(|s| s.trim().to_string()).collect();
+            return match self.serve_query(cond, &attrs) {
+                Ok(body) => format!("OK\n{body}"),
+                Err(msg) => format!("ERR {msg}"),
+            };
+        }
+        self.obs.metrics.inc(names::SERVE_ERRORS);
+        "ERR unknown command (try: ping | why | query <attrs,csv> <condition>)\n".to_string()
+    }
+
+    /// Plans and executes one query on the warm mediator, recording the
+    /// serve-mode wall-clock metrics and feeding the slow-query log.
+    fn serve_query(&mut self, cond: &str, attrs: &[String]) -> Result<String, String> {
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let query = TargetQuery::parse(cond, &attr_refs).map_err(|e| {
+            self.obs.metrics.inc(names::SERVE_ERRORS);
+            format!("query parse error: {e}\n")
+        })?;
+        let start = Instant::now();
+        let out = self.mediator.run(&query).map_err(|e| {
+            self.obs.metrics.inc(names::SERVE_ERRORS);
+            match e {
+                MediatorError::Plan(e) => format!("planning failed: {e}\n"),
+                e => format!("execution failed: {e}\n"),
+            }
+        })?;
+        let latency_us = start.elapsed().as_micros() as u64;
+        self.obs.metrics.inc(names::SERVE_QUERIES);
+        self.obs.metrics.observe(names::SERVE_LATENCY_US, latency_us);
+        self.obs.metrics.observe(names::SERVE_ROWS_RETURNED, out.rows.len() as u64);
+        if latency_us >= self.cfg.slow_ms.saturating_mul(1000) {
+            self.obs.metrics.inc(names::SERVE_SLOW_QUERIES);
+            if self.slow_log.len() >= self.cfg.slow_log_capacity.max(1) {
+                self.slow_log.pop_front();
+            }
+            self.slow_log.push_back(SlowQuery {
+                latency_us,
+                query: query.to_string(),
+                why: self.mediator.explain_why(),
+            });
+        }
+        let mut body = format!(
+            "{} rows (est cost {:.2}, measured cost {:.2}, {} source queries, flight #{})\n",
+            out.rows.len(),
+            out.planned.est_cost,
+            out.measured_cost,
+            out.meter.queries,
+            self.flight.latest().map(|r| r.id).unwrap_or(0),
+        );
+        for row in out.rows.rows() {
+            let _ = writeln!(body, "{row}");
+        }
+        Ok(body)
+    }
+
+    fn flight_index(&self) -> String {
+        let records = self.flight.records();
+        if records.is_empty() {
+            return "no flights recorded yet\n".to_string();
+        }
+        let mut out = String::from("recorded flights (oldest first):\n");
+        for r in &records {
+            let _ =
+                writeln!(out, "  #{} [{}] {} ({} events)", r.id, r.scheme, r.query, r.events.len());
+        }
+        let _ = writeln!(out, "evicted: {}", self.flight.evicted());
+        out
+    }
+
+    fn render_slow_log(&self) -> String {
+        if self.slow_log.is_empty() {
+            return format!("no queries slower than {} ms\n", self.cfg.slow_ms);
+        }
+        let mut out = String::new();
+        for (i, s) in self.slow_log.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "--- slow query {} ({:.3} ms): {}",
+                i,
+                s.latency_us as f64 / 1000.0,
+                s.query
+            );
+            out.push_str(&s.why);
+        }
+        out
+    }
+}
+
+/// Extracts the request target from an HTTP request line (`GET /x HTTP/1.x`),
+/// or `None` when the line is not HTTP (line-protocol fallback).
+fn http_request_target(line: &str) -> Option<&str> {
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if matches!(method, "GET" | "POST" | "HEAD") && version.starts_with("HTTP/") {
+        Some(target)
+    } else {
+        None
+    }
+}
+
+/// Finds `name=value` in a query string; returns the raw (still encoded)
+/// value.
+fn query_param(query_string: &str, name: &str) -> Option<String> {
+    query_string.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == name).then(|| v.to_string())
+    })
+}
+
+/// Decodes `%XX` escapes and `+`-as-space.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                        continue;
+                    }
+                    _ => out.push(b'%'),
+                }
+            }
+            b'+' => out.push(b' '),
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("price%20%3C%2040000"), "price < 40000");
+        assert_eq!(percent_decode("make%20%3D%20%22BMW%22"), "make = \"BMW\"");
+        assert_eq!(percent_decode("100%"), "100%", "trailing percent is literal");
+        assert_eq!(percent_decode("%zz"), "%zz", "bad hex is literal");
+    }
+
+    #[test]
+    fn http_request_lines() {
+        assert_eq!(http_request_target("GET /healthz HTTP/1.1"), Some("/healthz"));
+        assert_eq!(http_request_target("GET /metrics HTTP/1.0"), Some("/metrics"));
+        assert_eq!(http_request_target("query model,year make = \"BMW\""), None);
+        assert_eq!(http_request_target("ping"), None);
+        assert_eq!(http_request_target(""), None);
+    }
+
+    #[test]
+    fn query_params() {
+        assert_eq!(query_param("cond=a%3D1&attrs=x,y", "attrs").as_deref(), Some("x,y"));
+        assert_eq!(query_param("cond=a%3D1&attrs=x,y", "cond").as_deref(), Some("a%3D1"));
+        assert_eq!(query_param("cond=a", "attrs"), None);
+        assert_eq!(query_param("", "cond"), None);
+    }
+}

@@ -16,30 +16,44 @@
 //!    [`metrics::MetricsSnapshot::to_json`]) is independent of insertion
 //!    order and thread scheduling.
 //!
+//! A third member, the [`flight`] **query flight recorder**, answers *why*:
+//! a bounded ring buffer of per-query [`flight::QueryRecord`]s holding every
+//! planner decision (PR1/PR2/PR3 prunes, MCSC covers, candidate ranking,
+//! failover and breaker transitions) as structured [`PlanEvent`]s,
+//! replayable into the `EXPLAIN WHY` report. [`prom`] renders any
+//! [`MetricsSnapshot`] in Prometheus text exposition format for the
+//! `csqp serve` `/metrics` endpoint and `--metrics prom`.
+//!
 //! ## Feature `obs` (default on)
 //!
 //! With the feature enabled the crate-root [`MetricsRegistry`] / [`Tracer`] /
-//! [`Span`] aliases point at the recording implementations in [`metrics`]
-//! and [`trace`]. With `--no-default-features` they point at the mirrors in
-//! [`noop`], whose methods are empty `#[inline]` bodies: no allocation, no
-//! locking, no formatting (closure-taking variants like
-//! [`noop::Tracer::event_with`] never invoke their closure). Both
+//! [`Span`] / [`FlightRecorder`] / [`QueryFlight`] aliases point at the
+//! recording implementations in [`metrics`], [`trace`], and [`flight`].
+//! With `--no-default-features` they point at the mirrors in [`noop`],
+//! whose methods are empty `#[inline]` bodies: no allocation, no locking,
+//! no formatting (closure-taking variants like [`noop::Tracer::event_with`]
+//! and [`noop::QueryFlight::event_with`] never invoke their closure). Both
 //! implementations are always compiled; the feature only selects the
 //! re-export, so the disabled path cannot bit-rot.
 
+pub mod flight;
 pub mod metrics;
 pub mod names;
 pub mod noop;
+pub mod prom;
 pub mod trace;
 
+#[cfg(feature = "obs")]
+pub use flight::{FlightRecorder, QueryFlight};
 #[cfg(feature = "obs")]
 pub use metrics::MetricsRegistry;
 #[cfg(feature = "obs")]
 pub use trace::{Span, Tracer};
 
 #[cfg(not(feature = "obs"))]
-pub use noop::{MetricsRegistry, Span, Tracer};
+pub use noop::{FlightRecorder, MetricsRegistry, QueryFlight, Span, Tracer};
 
+pub use flight::{PlanEvent, QueryRecord};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot};
 pub use trace::TraceEvent;
 

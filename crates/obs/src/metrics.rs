@@ -236,6 +236,13 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Renders the snapshot in Prometheus text exposition format (the
+    /// `/metrics` endpoint of `csqp serve` and `--metrics prom`). See
+    /// [`crate::prom`] for the name-mapping conventions.
+    pub fn to_prometheus(&self) -> String {
+        crate::prom::render(self)
+    }
+
     /// Renders the snapshot as JSON with sorted keys. Floats use Rust's
     /// shortest-roundtrip formatting, so equal inputs render identically on
     /// every platform.

@@ -94,3 +94,23 @@ pub const FEDERATION_INFEASIBLE: &str = "federation.infeasible";
 pub const FEDERATION_EXEC_FAILED: &str = "federation.exec_failed";
 /// Queries ultimately served by some member.
 pub const FEDERATION_SERVED: &str = "federation.served";
+
+// ---- serve mode (`csqp serve`) ----
+//
+// These are the only wall-clock metrics in the registry. They exist solely
+// in the long-running server, are never recorded by the library planners or
+// executors, and are therefore excluded from every golden test — keeping
+// the deterministic virtual-tick layer cleanly separated from real time.
+
+/// HTTP/line-protocol requests accepted.
+pub const SERVE_REQUESTS: &str = "serve.requests";
+/// Requests that produced an error response.
+pub const SERVE_ERRORS: &str = "serve.errors";
+/// Queries answered over the serve surface.
+pub const SERVE_QUERIES: &str = "serve.queries";
+/// Queries slower than the configured slow-query threshold.
+pub const SERVE_SLOW_QUERIES: &str = "serve.slow_queries";
+/// End-to-end wall-clock query latency in microseconds (histogram).
+pub const SERVE_LATENCY_US: &str = "serve.latency_us";
+/// Rows returned to serve-mode clients.
+pub const SERVE_ROWS_RETURNED: &str = "serve.rows_returned";

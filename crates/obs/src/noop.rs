@@ -1,5 +1,5 @@
-//! No-op mirrors of [`crate::metrics::MetricsRegistry`] and
-//! [`crate::trace::Tracer`].
+//! No-op mirrors of [`crate::metrics::MetricsRegistry`],
+//! [`crate::trace::Tracer`], and [`crate::flight::FlightRecorder`].
 //!
 //! These are what the crate root re-exports when the `obs` feature is off.
 //! Every method is an empty `#[inline]` body: no `Mutex`, no `String`, no
@@ -8,6 +8,7 @@
 //! compiled in *both* feature configurations so the disabled path can never
 //! bit-rot while `obs` is the everyday default.
 
+use crate::flight::{PlanEvent, QueryRecord};
 use crate::metrics::MetricsSnapshot;
 use crate::trace::TraceEvent;
 
@@ -127,6 +128,102 @@ impl Span<'_> {
     pub fn close(self) {}
 }
 
+/// Zero-cost stand-in for the recording flight recorder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlightRecorder;
+
+impl FlightRecorder {
+    /// A fresh no-op recorder.
+    #[inline]
+    pub fn new() -> Self {
+        FlightRecorder
+    }
+
+    /// Capacities are irrelevant here.
+    #[inline]
+    pub fn with_capacity(_max_queries: usize, _max_events: usize) -> Self {
+        FlightRecorder
+    }
+
+    /// A disarmed recorder (indistinguishable from any other no-op one).
+    #[inline]
+    pub fn off() -> Self {
+        FlightRecorder
+    }
+
+    /// This implementation never records.
+    #[inline]
+    pub fn armed(&self) -> bool {
+        false
+    }
+
+    /// Never invokes the closure; the handle records nothing.
+    #[inline]
+    pub fn begin_with(&self, _f: impl FnOnce() -> (String, String)) -> QueryFlight<'_> {
+        QueryFlight(std::marker::PhantomData)
+    }
+
+    /// Never invokes the closure.
+    #[inline]
+    pub fn note_latest(&self, _f: impl FnOnce() -> PlanEvent) {}
+
+    /// Nothing is ever retained.
+    #[inline]
+    pub fn record(&self, _id: u64) -> Option<QueryRecord> {
+        None
+    }
+
+    /// Nothing is ever retained.
+    #[inline]
+    pub fn latest(&self) -> Option<QueryRecord> {
+        None
+    }
+
+    /// Always empty.
+    #[inline]
+    pub fn records(&self) -> Vec<QueryRecord> {
+        Vec::new()
+    }
+
+    /// Nothing is ever evicted.
+    #[inline]
+    pub fn evicted(&self) -> u64 {
+        0
+    }
+
+    /// Nothing to clear.
+    #[inline]
+    pub fn clear(&self) {}
+}
+
+/// Zero-cost stand-in for the per-query recording handle.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryFlight<'a>(std::marker::PhantomData<&'a FlightRecorder>);
+
+impl QueryFlight<'_> {
+    /// A handle that records nothing (they all do, here).
+    #[inline]
+    pub const fn disabled() -> Self {
+        QueryFlight(std::marker::PhantomData)
+    }
+
+    /// Never active — call sites skip event construction entirely.
+    #[inline]
+    pub fn active(&self) -> bool {
+        false
+    }
+
+    /// Always id zero.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        0
+    }
+
+    /// Never invokes the closure — lazy call sites pay nothing.
+    #[inline]
+    pub fn event_with(&self, _f: impl FnOnce() -> PlanEvent) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +248,23 @@ mod tests {
         assert_eq!(t.tick(), 0);
         assert!(t.events().is_empty());
         assert_eq!(t.render(), "");
+    }
+
+    #[test]
+    fn noop_flight_recorder_never_builds_events() {
+        let rec = FlightRecorder::new();
+        assert!(!rec.armed());
+        let q = rec.begin_with(|| unreachable!("noop recorder must not build the label"));
+        assert!(!q.active());
+        assert_eq!(q.id(), 0);
+        q.event_with(|| unreachable!("noop recorder must not build events"));
+        rec.note_latest(|| unreachable!("noop recorder must not build notes"));
+        assert!(rec.record(0).is_none());
+        assert!(rec.latest().is_none());
+        assert!(rec.records().is_empty());
+        assert_eq!(rec.evicted(), 0);
+        rec.clear();
+        let q2 = QueryFlight::disabled();
+        q2.event_with(|| unreachable!("disabled handle must not build events"));
     }
 }

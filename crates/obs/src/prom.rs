@@ -1,0 +1,134 @@
+//! Prometheus text exposition (version 0.0.4) for [`MetricsSnapshot`].
+//!
+//! Serve mode scrapes this from `/metrics`; `csqp --metrics prom` emits the
+//! identical text for one-shot runs, so the format is pinned by a single
+//! golden test. Dotted registry names map to Prometheus conventions:
+//!
+//! * every name gains a `csqp_` prefix and dots become underscores;
+//! * counters gain the `_total` suffix;
+//! * log2 histograms render as cumulative `_bucket{le="..."}` series plus
+//!   `_sum` and `_count`;
+//! * each `# HELP` line carries the original dotted registry name, so a
+//!   scrape can be traced back to `crate::names` without a mapping table.
+//!
+//! The output inherits the snapshot's `BTreeMap` ordering — sorted, and as
+//! schema-stable as the JSON rendering.
+
+use crate::metrics::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Renders a snapshot in Prometheus text exposition format.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let prom = prom_name(name);
+        let _ = writeln!(out, "# HELP {prom}_total counter `{name}`");
+        let _ = writeln!(out, "# TYPE {prom}_total counter");
+        let _ = writeln!(out, "{prom}_total {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let prom = prom_name(name);
+        let _ = writeln!(out, "# HELP {prom} gauge `{name}`");
+        let _ = writeln!(out, "# TYPE {prom} gauge");
+        let _ = writeln!(out, "{prom} {}", prom_f64(*v));
+    }
+    for (name, h) in &snap.histograms {
+        let prom = prom_name(name);
+        let _ = writeln!(out, "# HELP {prom} log2 histogram `{name}`");
+        let _ = writeln!(out, "# TYPE {prom} histogram");
+        let mut cumulative = 0u64;
+        for &(_, hi, n) in &h.buckets {
+            cumulative += n;
+            let _ = writeln!(out, "{prom}_bucket{{le=\"{hi}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.count);
+        let _ = writeln!(out, "{prom}_sum {}", h.sum);
+        let _ = writeln!(out, "{prom}_count {}", h.count);
+    }
+    out
+}
+
+/// `planner.pruned_pr3` → `csqp_planner_pruned_pr3`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 5);
+    out.push_str("csqp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Prometheus float rendering: shortest-roundtrip for finite values, the
+/// spec's spellings for the rest.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn renders_counters_gauges_and_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.add("planner.pruned_pr3", 4);
+        reg.gauge_set("exec.est_cost", 62.5);
+        for v in [0, 1, 1, 3, 900] {
+            reg.observe("exec.rows_per_subquery", v);
+        }
+        let text = render(&reg.snapshot());
+        assert!(text.contains("# TYPE csqp_planner_pruned_pr3_total counter\n"));
+        assert!(text.contains("csqp_planner_pruned_pr3_total 4\n"));
+        assert!(text.contains("# HELP csqp_planner_pruned_pr3_total counter `planner.pruned_pr3`"));
+        assert!(text.contains("csqp_exec_est_cost 62.5\n"));
+        // Cumulative buckets: zeros(1) → ones(3) → [2,3](4) → [512,1023](5).
+        assert!(text.contains("csqp_exec_rows_per_subquery_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("csqp_exec_rows_per_subquery_bucket{le=\"1\"} 3\n"));
+        assert!(text.contains("csqp_exec_rows_per_subquery_bucket{le=\"3\"} 4\n"));
+        assert!(text.contains("csqp_exec_rows_per_subquery_bucket{le=\"1023\"} 5\n"));
+        assert!(text.contains("csqp_exec_rows_per_subquery_bucket{le=\"+Inf\"} 5\n"));
+        assert!(text.contains("csqp_exec_rows_per_subquery_sum 905\n"));
+        assert!(text.contains("csqp_exec_rows_per_subquery_count 5\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_use_prometheus_spellings() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("a", f64::NAN);
+        reg.gauge_set("b", f64::INFINITY);
+        reg.gauge_set("c", f64::NEG_INFINITY);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("csqp_a NaN\n"));
+        assert!(text.contains("csqp_b +Inf\n"));
+        assert!(text.contains("csqp_c -Inf\n"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert_eq!(render(&MetricsSnapshot::default()), "");
+    }
+
+    #[test]
+    fn rendering_is_deterministic_and_sorted() {
+        let reg = MetricsRegistry::new();
+        reg.inc("z.last");
+        reg.inc("a.first");
+        let one = render(&reg.snapshot());
+        let two = render(&reg.snapshot());
+        assert_eq!(one, two);
+        assert!(one.find("csqp_a_first_total").unwrap() < one.find("csqp_z_last_total").unwrap());
+    }
+}

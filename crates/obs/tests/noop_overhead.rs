@@ -37,6 +37,7 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 fn noop_recorder_allocates_nothing() {
     let metrics = csqp_obs::noop::MetricsRegistry::new();
     let tracer = csqp_obs::noop::Tracer::new();
+    let flight = csqp_obs::noop::FlightRecorder::new();
     // Warm up anything lazy in the harness itself.
     metrics.inc("warmup");
     tracer.event("warmup");
@@ -52,6 +53,11 @@ fn noop_recorder_allocates_nothing() {
         let span = tracer.span(black_box("sq"));
         tracer.advance(black_box(3));
         span.close();
+        // Flight recorder: label and event closures never run either.
+        let qf = flight.begin_with(|| (format!("query {i}"), "GenCompact".to_string()));
+        qf.event_with(|| csqp_obs::PlanEvent::Note { text: format!("expensive event {i}") });
+        flight.note_latest(|| csqp_obs::PlanEvent::Note { text: format!("note {i}") });
+        black_box(qf.active());
     }
     let after = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(after - before, 0, "no-op recorder must not allocate on the hot path");
@@ -59,4 +65,5 @@ fn noop_recorder_allocates_nothing() {
     // Sanity: the loop wasn't optimized into nothing observable.
     assert!(!metrics.enabled());
     assert_eq!(tracer.tick(), 0);
+    assert!(!flight.armed());
 }

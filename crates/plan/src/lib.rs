@@ -12,7 +12,9 @@
 //!   postprocess with σ/π/∩/∪), with transfer metering;
 //! - [`explain`] — `SP(C, A, R)` notation rendering;
 //! - [`analyze`] — `EXPLAIN ANALYZE`: execution with per-source-query
-//!   estimated-vs-observed cardinality/cost and drift detection.
+//!   estimated-vs-observed cardinality/cost and drift detection;
+//! - [`why`] — `EXPLAIN WHY`: replays a flight-recorder decision trail
+//!   into a report naming the eliminating rule for every losing candidate.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,6 +27,7 @@ pub mod feasible;
 pub mod model;
 pub mod plan;
 pub mod resolve;
+pub mod why;
 
 pub use analyze::{execute_analyzed, explain_analyze, PlanAnalysis, SubQueryObs};
 pub use cost::{Cardinality, OracleCard, StatsCard, UniformCard};
@@ -33,3 +36,4 @@ pub use feasible::is_feasible;
 pub use model::{CostModel, LatencyBandwidthCost};
 pub use plan::{attrs, AttrSet, Plan};
 pub use resolve::{resolve, resolve_with_cost};
+pub use why::explain_why;

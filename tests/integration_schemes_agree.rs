@@ -118,6 +118,54 @@ fn both_schemes_agree_with_execution_oracle() {
 }
 
 #[test]
+fn agreeing_schemes_record_scheme_specific_trails() {
+    // The schemes agree on *what* wins, but the flight recorder shows they
+    // disagree on *how*: GenCompact's trail is an IPG pruning narrative
+    // (PR1/PR3/MCSC tags), GenModular's an exhaustive per-CT EPG narrative.
+    use csqp::obs::FlightRecorder;
+    let source = mixed_source();
+    let q = TargetQuery::parse("a = 1 ^ (c = 0 _ c = 1)", &["k"]).unwrap();
+
+    let compact_rec = Arc::new(FlightRecorder::new());
+    let compact = Mediator::new(source.clone())
+        .with_flight_recorder(compact_rec.clone())
+        .plan(&q)
+        .expect("GenCompact plans");
+    let modular_rec = Arc::new(FlightRecorder::with_capacity(4, 1 << 16));
+    let modular = Mediator::new(source)
+        .with_scheme(Scheme::GenModular)
+        .with_flight_recorder(modular_rec.clone())
+        .plan(&q)
+        .expect("GenModular plans");
+    assert!(
+        (compact.est_cost - modular.est_cost).abs() < 1e-6,
+        "schemes agree on winner cost: {} vs {}",
+        compact.est_cost,
+        modular.est_cost
+    );
+
+    if !compact_rec.armed() {
+        return; // obs off: no-op recorder, nothing to compare
+    }
+    let compact_why = csqp::plan::explain_why(compact_rec.latest().as_ref());
+    let modular_why = csqp::plan::explain_why(modular_rec.latest().as_ref());
+    assert!(compact_why.contains("scheme: GenCompact"), "{compact_why}");
+    assert!(modular_why.contains("scheme: GenModular"), "{modular_why}");
+    // Both trails end at the same winner...
+    for why in [&compact_why, &modular_why] {
+        assert!(why.contains("winner (cost"), "{why}");
+    }
+    // ...but GenCompact got there by pruning the interleaved plan graph,
+    assert!(compact_why.contains("[PR1]") || compact_why.contains("[PR3]"), "{compact_why}");
+    assert!(!compact_why.contains("[EPG]"), "GenCompact never walks EPG spaces:\n{compact_why}");
+    // ...while GenModular enumerated every CT's plan space.
+    assert!(modular_why.contains("[EPG]"), "{modular_why}");
+    for tag in ["[PR1]", "[PR2]", "[PR3]"] {
+        assert!(!modular_why.contains(tag), "GenModular never prunes ({tag}):\n{modular_why}");
+    }
+}
+
+#[test]
 fn gencompact_never_loses_feasibility_to_baselines() {
     // Guarantee (2): GenCompact explores a superset of the baselines'
     // strategies, so whenever any baseline finds a feasible plan, GenCompact

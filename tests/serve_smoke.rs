@@ -1,0 +1,116 @@
+//! Smoke test for `csqp serve`: a real server on an ephemeral port answers
+//! `/healthz` and `/metrics` (valid Prometheus text carrying the planner
+//! counters) *while* serving queries over both HTTP and the line protocol,
+//! exposes per-query `EXPLAIN WHY` replays via `/flightrecorder`, and shuts
+//! down cleanly — the library-level twin of the CI serve-mode smoke job.
+
+use csqp::serve::{ServeConfig, Server};
+use csqp_relation::datagen;
+use csqp_source::{CostParams, Source};
+use csqp_ssdl::templates;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect to serve");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    let mut s = connect(addr);
+    write!(s, "GET {path} HTTP/1.0\r\nHost: smoke\r\n\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    buf
+}
+
+fn line(addr: SocketAddr, cmd: &str) -> String {
+    let mut s = connect(addr);
+    writeln!(s, "{cmd}").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read reply");
+    buf
+}
+
+#[test]
+fn serve_smoke() {
+    let source = Arc::new(Source::new(
+        datagen::cars(3, 400),
+        templates::car_dealer(),
+        CostParams::default(),
+    ));
+    let mut server = Server::bind(source, ServeConfig::default()).expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let obs_on = server.mediator().obs().enabled();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Health while idle.
+    let health = http_get(addr, "/healthz");
+    assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+    assert!(health.ends_with("ok\n"), "{health}");
+
+    // A query over HTTP (urlencoded condition).
+    let q = http_get(
+        addr,
+        "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year",
+    );
+    assert!(q.starts_with("HTTP/1.0 200"), "{q}");
+    assert!(q.contains("rows (est cost"), "{q}");
+
+    // The same query over the line protocol, plus ping and why.
+    assert_eq!(line(addr, "ping"), "pong\n");
+    let lp = line(addr, "query model,year make = \"Toyota\" ^ price < 30000");
+    assert!(lp.starts_with("OK\n"), "{lp}");
+    let why = line(addr, "why");
+    if obs_on {
+        assert!(why.contains("EXPLAIN WHY"), "{why}");
+        assert!(why.contains("winner (cost"), "{why}");
+    } else {
+        assert!(why.contains("flight recorder disabled"), "{why}");
+    }
+
+    // A bad query is a 400, not a crash.
+    let bad = http_get(addr, "/query?cond=make%20%3D&attrs=model");
+    assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
+
+    // /metrics scrapes while the mediator is warm: Prometheus text with the
+    // planner counters the acceptance criteria name and the serve-mode
+    // wall-clock series.
+    let metrics = http_get(addr, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.0 200"), "{metrics}");
+    if obs_on {
+        for series in [
+            "csqp_planner_pruned_pr3",
+            "csqp_planner_check_calls",
+            "csqp_serve_queries_total",
+            "csqp_serve_requests_total",
+            "csqp_serve_latency_us_bucket",
+        ] {
+            assert!(metrics.contains(series), "{series} missing from scrape:\n{metrics}");
+        }
+        assert!(metrics.contains("# TYPE"), "{metrics}");
+
+        // Flight recorder: index plus a per-query EXPLAIN WHY replay.
+        let index = http_get(addr, "/flightrecorder");
+        assert!(index.contains("recorded flights"), "{index}");
+        let replay = http_get(addr, "/flightrecorder?query=0");
+        assert!(replay.contains("EXPLAIN WHY — flight #0"), "{replay}");
+        let missing = http_get(addr, "/flightrecorder?query=9999");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    }
+
+    // Unknown routes 404; unknown line commands error without killing the
+    // server.
+    assert!(http_get(addr, "/nope").starts_with("HTTP/1.0 404"));
+    assert!(line(addr, "frobnicate").starts_with("ERR"));
+
+    // Still healthy after the error traffic, then a clean shutdown.
+    assert!(http_get(addr, "/healthz").ends_with("ok\n"));
+    let bye = http_get(addr, "/shutdown");
+    assert!(bye.contains("shutting down"), "{bye}");
+    handle.join().expect("server thread").expect("accept loop exits cleanly");
+}
