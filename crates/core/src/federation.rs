@@ -11,6 +11,7 @@ use crate::mediator::{execute_with_failover, CardKind, Mediator, MediatorError, 
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
 use csqp_obs::{names, FlightRecorder, Obs, PlanEvent};
 use csqp_plan::exec::{execute_measured, ExecError, RetryPolicy};
+use csqp_plan::exec_stream::{execute_stream_measured, StreamConfig, StreamStats};
 use csqp_source::{ResilienceMeter, Source};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -333,6 +334,26 @@ impl Federation {
         self.obs.metrics.inc(names::FEDERATION_SERVED);
         let outcome = RunOutcome { planned: fp.planned.clone(), rows, meter, measured_cost };
         Ok((fp, outcome))
+    }
+
+    /// Plans and executes on the chosen member through the streaming
+    /// engine: the member's answer pulls through a bounded batch pipeline
+    /// (honoring [`StreamConfig::limit`] for early termination) instead of
+    /// materializing at once, and the run's [`StreamStats`] land in the
+    /// `exec.*` metrics.
+    pub fn run_streamed(
+        &self,
+        query: &TargetQuery,
+        cfg: &StreamConfig,
+    ) -> Result<(FederatedPlan, RunOutcome, StreamStats), MediatorError> {
+        let fp = self.plan(query)?;
+        let (rows, meter, stats) = execute_stream_measured(&fp.planned.plan, &fp.source, cfg)?;
+        let measured_cost = meter.cost(fp.source.cost_params());
+        meter.record_into(&self.obs.metrics);
+        stats.record_into(&self.obs.metrics);
+        self.obs.metrics.inc(names::FEDERATION_SERVED);
+        let outcome = RunOutcome { planned: fp.planned.clone(), rows, meter, measured_cost };
+        Ok((fp, outcome, stats))
     }
 
     /// Plans against every non-quarantined member and executes with full

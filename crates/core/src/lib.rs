@@ -57,5 +57,8 @@ pub use gencompact::{plan_compact, plan_compact_recorded, GenCompactConfig};
 pub use genmodular::{plan_modular, plan_modular_recorded, GenModularConfig};
 pub use ipg::IpgConfig;
 pub use join::{JoinConfig, JoinMediator, JoinOutcome, JoinQuery, JoinStrategy};
-pub use mediator::{CardKind, Mediator, ResilientOutcome, RunOutcome, Scheme};
+pub use mediator::{
+    AnalyzedStreamOutcome, CardKind, Mediator, ResilientOutcome, RunOutcome, Scheme,
+    StreamedOutcome,
+};
 pub use types::{PlanError, PlannedQuery, PlannerReport, RankedPlan, TargetQuery};

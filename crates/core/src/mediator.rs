@@ -15,7 +15,12 @@ use csqp_obs::{names, FlightRecorder, Obs, PlanEvent, QueryFlight};
 use csqp_plan::analyze::{execute_analyzed, PlanAnalysis};
 use csqp_plan::cost::{Cardinality, OracleCard, StatsCard, UniformCard};
 use csqp_plan::exec::{execute_measured, execute_resilient, ExecError, RetryPolicy};
+use csqp_plan::exec_stream::{
+    execute_stream_analyzed, execute_stream_each, execute_stream_measured,
+    execute_stream_resilient, StreamConfig, StreamStats,
+};
 use csqp_plan::model::CostModel;
+use csqp_relation::stream::TupleBatch;
 use csqp_relation::Relation;
 use csqp_source::{Meter, ResilienceMeter, Source};
 use std::fmt;
@@ -94,6 +99,43 @@ pub struct RunOutcome {
     pub meter: Meter,
     /// Measured cost of the run under the source's §6.2 constants.
     pub measured_cost: f64,
+}
+
+/// The outcome of a streaming run ([`Mediator::run_streamed`] and
+/// friends): the plain outcome plus the pipeline's batch/memory stats.
+#[derive(Debug)]
+pub struct StreamedOutcome {
+    /// The plan-and-execute outcome. For [`Mediator::run_streamed_each`]
+    /// `rows` holds only what the sink did not consume — an empty relation
+    /// when the sink accepted every batch.
+    pub outcome: RunOutcome,
+    /// Batch count, peak pipeline-resident tuples, overlap ticks.
+    pub stats: StreamStats,
+}
+
+/// The outcome of an analyzed streaming run
+/// ([`Mediator::run_streamed_analyzed`]).
+#[derive(Debug)]
+pub struct AnalyzedStreamOutcome {
+    /// The plan-and-execute outcome.
+    pub outcome: RunOutcome,
+    /// Per-source-query observations, pre-order over the plan tree
+    /// (leaves the run never opened are absent — early termination).
+    pub analysis: PlanAnalysis,
+    /// Batch/memory stats for the `EXPLAIN ANALYZE` streaming footer.
+    pub stats: StreamStats,
+}
+
+impl AnalyzedStreamOutcome {
+    /// Renders `EXPLAIN ANALYZE` with the streaming footer (batches and
+    /// peak resident tuples).
+    pub fn explain(&self) -> String {
+        csqp_plan::exec_stream::explain_analyze_streamed(
+            &self.outcome.planned.plan,
+            &self.analysis,
+            &self.stats,
+        )
+    }
 }
 
 /// The outcome of an analyzed run ([`Mediator::run_analyzed`]): the plain
@@ -540,6 +582,186 @@ impl Mediator {
             }
         }
     }
+
+    /// Records one streaming run's stats into the registry, the trace, and
+    /// the query's flight record. `exec.overlap_ticks` reaches metrics only
+    /// (nondeterministic under `parallel`); the flight note sticks to the
+    /// deterministic pair so EXPLAIN WHY stays golden-testable.
+    fn record_stream(&self, stats: &StreamStats) {
+        stats.record_into(&self.obs.metrics);
+        self.obs.tracer.event_with(|| {
+            format!(
+                "streamed: {} batches, peak resident {} tuples",
+                stats.batches, stats.peak_resident_tuples
+            )
+        });
+        self.flight.note_latest(|| PlanEvent::Note {
+            text: format!(
+                "streamed: {} batches, peak resident {} tuples",
+                stats.batches, stats.peak_resident_tuples
+            ),
+        });
+    }
+
+    /// Plans and executes a target query on the streaming engine: batches
+    /// pull through the pipeline under bounded memory, accumulate into the
+    /// answer relation, and the run's [`StreamStats`] land in the `exec.*`
+    /// metrics. Honors [`StreamConfig::limit`] for early termination.
+    pub fn run_streamed(
+        &self,
+        query: &TargetQuery,
+        cfg: &StreamConfig,
+    ) -> Result<StreamedOutcome, MediatorError> {
+        let planned = self.plan(query)?;
+        let span = self.obs.tracer.span("execute (streamed)");
+        let (rows, meter, stats) = execute_stream_measured(&planned.plan, &self.source, cfg)?;
+        let measured_cost = meter.cost(self.source.cost_params());
+        self.record_run(&planned, &rows, &meter, measured_cost);
+        self.record_stream(&stats);
+        span.close();
+        Ok(StreamedOutcome { outcome: RunOutcome { planned, rows, meter, measured_cost }, stats })
+    }
+
+    /// Plans and streams a target query, handing each deduplicated answer
+    /// batch to `sink` as it is produced (return `false` to stop early) —
+    /// the incremental entry point `csqp serve` uses for chunked responses.
+    /// The returned outcome's `rows` is empty (the sink consumed the
+    /// answer); `meter`/`measured_cost`/`stats` cover the whole run.
+    pub fn run_streamed_each(
+        &self,
+        query: &TargetQuery,
+        cfg: &StreamConfig,
+        sink: &mut dyn FnMut(TupleBatch) -> bool,
+    ) -> Result<StreamedOutcome, MediatorError> {
+        let planned = self.plan(query)?;
+        let span = self.obs.tracer.span("execute (streamed)");
+        let before = self.source.meter();
+        let mut emitted = 0u64;
+        let mut schema = None;
+        let (_, stats) = execute_stream_each(&planned.plan, &self.source, cfg, &mut |b| {
+            emitted += b.len() as u64;
+            schema.get_or_insert_with(|| b.schema().clone());
+            sink(b)
+        })?;
+        let after = self.source.meter();
+        let meter = Meter {
+            queries: after.queries - before.queries,
+            tuples_shipped: after.tuples_shipped - before.tuples_shipped,
+            rejected: after.rejected - before.rejected,
+        };
+        let measured_cost = meter.cost(self.source.cost_params());
+        let rows = Relation::empty(match schema {
+            Some(s) => s,
+            None => {
+                let attrs: Vec<&str> =
+                    planned.plan.output_attrs().iter().map(String::as_str).collect();
+                self.source
+                    .relation()
+                    .schema()
+                    .project(&attrs)
+                    .map_err(|e| MediatorError::Exec(ExecError::Schema(e.to_string())))?
+            }
+        });
+        self.obs.tracer.event_with(|| format!("streamed {emitted} rows to sink"));
+        self.record_run(&planned, &rows, &meter, measured_cost);
+        self.record_stream(&stats);
+        span.close();
+        Ok(StreamedOutcome { outcome: RunOutcome { planned, rows, meter, measured_cost }, stats })
+    }
+
+    /// Streaming twin of [`Mediator::run_resilient`]: per-batch retries
+    /// (a mid-stream fault repeats only the failed round-trip), then
+    /// failover to the next-cheapest ranked alternative when a plan still
+    /// dies mid-stream.
+    pub fn run_streamed_resilient(
+        &self,
+        query: &TargetQuery,
+        policy: &RetryPolicy,
+        cfg: &StreamConfig,
+    ) -> Result<(StreamedOutcome, ResilienceMeter), MediatorError> {
+        let planned = self.plan(query)?;
+        let span = self.obs.tracer.span("execute (streamed, resilient)");
+        let mut resilience = ResilienceMeter::default();
+        let mut failures: Vec<(usize, ExecError)> = Vec::new();
+        let alternatives = planned.alternatives.iter().map(|a| &a.plan);
+        let mut win = None;
+        for (rank, plan) in std::iter::once(&planned.plan).chain(alternatives).enumerate() {
+            if rank > 0 {
+                resilience.failovers += 1;
+            }
+            match execute_stream_resilient(plan, &self.source, policy, &mut resilience, cfg) {
+                Ok((rows, meter, stats)) => {
+                    win = Some((rank, rows, meter, stats));
+                    break;
+                }
+                Err(e @ (ExecError::Unresolved | ExecError::Malformed(_))) => {
+                    failures.push((rank, e));
+                    break;
+                }
+                Err(e) => failures.push((rank, e)),
+            }
+        }
+        resilience.record_into(&self.obs.metrics);
+        for (rank, err) in &failures {
+            self.flight
+                .note_latest(|| PlanEvent::Failover { rank: *rank, detail: err.to_string() });
+        }
+        match win {
+            Some((rank, rows, meter, stats)) => {
+                let measured_cost = meter.cost(self.source.cost_params());
+                self.record_run(&planned, &rows, &meter, measured_cost);
+                self.record_stream(&stats);
+                if rank > 0 {
+                    self.flight.note_latest(|| PlanEvent::Note {
+                        text: format!("served by ranked alternative #{rank}"),
+                    });
+                }
+                span.close();
+                Ok((
+                    StreamedOutcome {
+                        outcome: RunOutcome { planned, rows, meter, measured_cost },
+                        stats,
+                    },
+                    resilience,
+                ))
+            }
+            None => {
+                let (_, last) = failures.pop().expect("at least the primary plan was tried");
+                self.obs.tracer.event_with(|| format!("every plan died: {last}"));
+                span.close();
+                Err(MediatorError::Exec(last))
+            }
+        }
+    }
+
+    /// Streaming twin of [`Mediator::run_analyzed`]: per-source-query
+    /// estimated-vs-observed observation plus the pipeline's batch/memory
+    /// stats, rendered by [`AnalyzedStreamOutcome::explain`] as `EXPLAIN
+    /// ANALYZE` with a streaming footer.
+    pub fn run_streamed_analyzed(
+        &self,
+        query: &TargetQuery,
+        cfg: &StreamConfig,
+    ) -> Result<AnalyzedStreamOutcome, MediatorError> {
+        let planned = self.plan(query)?;
+        let span = self.obs.tracer.span("execute (streamed, analyzed)");
+        let (rows, meter, analysis, stats) = self.with_card(|card| {
+            execute_stream_analyzed(&planned.plan, &self.source, self.active_model(), card, cfg)
+        })?;
+        let measured_cost = meter.cost(self.source.cost_params());
+        self.record_run(&planned, &rows, &meter, measured_cost);
+        self.record_stream(&stats);
+        analysis.record_into(&self.obs.metrics);
+        for w in analysis.drift_warnings() {
+            self.obs.tracer.event_with(|| w.clone());
+        }
+        span.close();
+        Ok(AnalyzedStreamOutcome {
+            outcome: RunOutcome { planned, rows, meter, measured_cost },
+            analysis,
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -818,5 +1040,112 @@ mod tests {
         assert_eq!(out.rows.len(), 1);
         assert!(out.meter.queries >= 1);
         assert!(out.measured_cost > 0.0);
+    }
+
+    #[test]
+    fn run_streamed_matches_run() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("bookstore").unwrap().clone();
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let plain = Mediator::new(source.clone()).run(&q).unwrap();
+        let m = Mediator::new(source);
+        let streamed = m.run_streamed(&q, &StreamConfig::serial()).unwrap();
+        assert_eq!(streamed.outcome.rows, plain.rows, "streaming is a pure execution change");
+        assert_eq!(streamed.outcome.meter, plain.meter, "identical transfer");
+        assert_eq!(streamed.outcome.measured_cost, plain.measured_cost);
+        let snap = m.metrics_snapshot();
+        if m.obs().enabled() && cfg!(feature = "stream") {
+            assert_eq!(snap.counter("exec.batches"), streamed.stats.batches);
+            assert!(streamed.stats.batches > 0);
+        }
+    }
+
+    #[test]
+    fn run_streamed_each_feeds_the_sink_incrementally() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("bookstore").unwrap().clone();
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let want = Mediator::new(source.clone()).run(&q).unwrap().rows;
+        let m = Mediator::new(source);
+        let mut got: Vec<csqp_relation::tuple::Tuple> = Vec::new();
+        let out = m
+            .run_streamed_each(&q, &StreamConfig::serial(), &mut |b| {
+                got.extend(b.into_tuples());
+                true
+            })
+            .unwrap();
+        assert!(out.outcome.rows.is_empty(), "the sink consumed the answer");
+        assert_eq!(Relation::from_tuples(want.schema().clone(), got), want);
+        assert_eq!(
+            out.outcome.meter,
+            Mediator::new(catalog.get("bookstore").unwrap().clone()).run(&q).unwrap().meter
+        );
+    }
+
+    #[test]
+    fn run_streamed_limit_stops_early() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("bookstore").unwrap().clone();
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let full = Mediator::new(source.clone()).run(&q).unwrap().rows;
+        assert!(full.len() > 1, "need more than one row for the limit to bite");
+        let m = Mediator::new(source);
+        let limited = m.run_streamed(&q, &StreamConfig::serial().with_limit(1)).unwrap();
+        assert_eq!(limited.outcome.rows.len(), 1);
+        assert!(full.contains(&limited.outcome.rows.tuples()[0]));
+    }
+
+    #[test]
+    fn run_streamed_resilient_survives_transient_faults() {
+        use csqp_source::FaultProfile;
+        use csqp_ssdl::templates;
+        let data = csqp_relation::datagen::books(7, &Default::default());
+        let source = Arc::new(
+            Source::new(data, templates::bookstore(), csqp_source::CostParams::default())
+                .with_fault_profile(FaultProfile::new(4).with_transient(0.5)),
+        );
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let want = project(&select(source.relation(), Some(&q.cond)), &["isbn", "author", "title"])
+            .unwrap();
+        let m = Mediator::new(source);
+        let policy = RetryPolicy { max_retries: 20, ..Default::default() };
+        let (out, res) = m.run_streamed_resilient(&q, &policy, &StreamConfig::serial()).unwrap();
+        assert_eq!(out.outcome.rows, want, "answer exact despite the storm");
+        assert!(res.retries > 0, "seed 4 at p=0.5 injects faults");
+    }
+
+    #[test]
+    fn run_streamed_analyzed_renders_the_memory_footer() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("bookstore").unwrap().clone();
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let want = Mediator::new(source.clone()).run(&q).unwrap().rows;
+        let m = Mediator::new(source).with_cardinality(CardKind::Oracle);
+        let out = m.run_streamed_analyzed(&q, &StreamConfig::serial()).unwrap();
+        assert_eq!(out.outcome.rows, want);
+        let text = out.explain();
+        assert!(text.contains("peak resident"), "{text}");
+        assert_eq!(
+            out.analysis.subqueries.len(),
+            out.outcome.planned.plan.source_queries().len(),
+            "no early termination: every source query observed"
+        );
+    }
+
+    #[test]
+    fn federation_run_streamed_matches_run() {
+        use crate::federation::Federation;
+        let catalog = Catalog::demo_small(7);
+        let fed = Federation::new()
+            .with_member(catalog.get("bookstore").unwrap().clone())
+            .with_member(catalog.get("car_dealer").unwrap().clone());
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let (_, plain) = fed.run(&q).unwrap();
+        let (fp, streamed, stats) = fed.run_streamed(&q, &StreamConfig::serial()).unwrap();
+        assert_eq!(streamed.rows, plain.rows, "federation streaming is execution-only");
+        assert_eq!(fp.planned.plan, plain.planned.plan, "same chosen member plan");
+        if cfg!(feature = "stream") {
+            assert!(stats.batches > 0);
+        }
     }
 }

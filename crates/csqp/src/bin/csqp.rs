@@ -16,6 +16,7 @@ use csqp::core::mediator::{Mediator, MediatorError, Scheme};
 use csqp::core::types::TargetQuery;
 use csqp::plan::analyze::explain_analyze;
 use csqp::plan::exec::RetryPolicy;
+use csqp::plan::exec_stream::{explain_analyze_streamed, StreamConfig};
 use csqp::plan::explain::explain;
 use csqp::prelude::*;
 use csqp::serve::{ServeConfig, Server};
@@ -42,6 +43,7 @@ struct Args {
     attrs: Vec<String>,
     scheme: Scheme,
     run: bool,
+    limit: Option<u64>,
     explain: ExplainMode,
     k1: f64,
     k2: f64,
@@ -56,8 +58,9 @@ struct Args {
 
 const USAGE: &str = "\
 usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
-            [--key <col[,col]>] [--scheme <name>] [--run] [--explain[=why]]
-            [--k1 <f64>] [--k2 <f64>] [--trace] [--metrics json|prom]
+            [--key <col[,col]>] [--scheme <name>] [--run] [--limit <n>]
+            [--explain[=why]] [--k1 <f64>] [--k2 <f64>] [--trace]
+            [--metrics json|prom]
        csqp serve --ssdl <file> --csv <file> [--key <col[,col]>]
             [--addr <host:port>] [--scheme <name>] [--slow-ms <n>]
             [--k1 <f64>] [--k2 <f64>]
@@ -72,6 +75,9 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
   --run      execute the plan and print the rows; with --explain, prints an
              EXPLAIN ANALYZE tree (estimated vs observed rows and cost per
              source query) plus cost-model drift warnings
+  --limit    with --run: stream the execution and stop after <n> answer
+             rows — the pipeline terminates early, so sources stop
+             shipping (not just a display truncation)
   --explain  print the plan tree and planner statistics; `--explain=why`
              replays the flight recorder instead: the full decision trail
              (PR1/PR2/PR3 prunes, MCSC covers, ranking) and the eliminating
@@ -96,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
         attrs: Vec::new(),
         scheme: Scheme::GenCompact,
         run: false,
+        limit: None,
         explain: ExplainMode::Off,
         k1: 50.0,
         k2: 1.0,
@@ -138,6 +145,9 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--run" => args.run = true,
+            "--limit" => {
+                args.limit = Some(value(&mut i)?.parse().map_err(|e| format!("--limit: {e}"))?)
+            }
             "--explain" | "--explain=plan" => args.explain = ExplainMode::Plan,
             "--explain=why" => args.explain = ExplainMode::Why,
             "--k1" => args.k1 = value(&mut i)?.parse().map_err(|e| format!("--k1: {e}"))?,
@@ -176,6 +186,9 @@ fn parse_args() -> Result<Args, String> {
             }
             if args.attrs.is_empty() {
                 return Err("--attrs is required".into());
+            }
+            if args.limit.is_some() && !args.run {
+                return Err("--limit only applies with --run".into());
             }
         }
     }
@@ -401,20 +414,34 @@ fn main() -> ExitCode {
     // Each mode plans exactly once (the analyzed run plans internally), so
     // the metrics snapshot reflects a single planning pass.
     let status = if args.run {
-        match if args.explain == ExplainMode::Plan {
-            mediator.run_analyzed(&query).map(|a| (a.outcome, Some(a.analysis)))
-        } else {
-            mediator.run(&query).map(|o| (o, None))
+        // --limit switches to the streaming engine: the pipeline stops as
+        // soon as enough answer rows exist. Without it the materialized
+        // executor keeps serving the default path.
+        let stream_cfg = args.limit.map(|n| StreamConfig::default().with_limit(n));
+        match match (args.explain == ExplainMode::Plan, &stream_cfg) {
+            (true, Some(cfg)) => mediator
+                .run_streamed_analyzed(&query, cfg)
+                .map(|a| (a.outcome, Some((a.analysis, Some(a.stats))))),
+            (true, None) => {
+                mediator.run_analyzed(&query).map(|a| (a.outcome, Some((a.analysis, None))))
+            }
+            (false, Some(cfg)) => mediator.run_streamed(&query, cfg).map(|o| (o.outcome, None)),
+            (false, None) => mediator.run(&query).map(|o| (o, None)),
         } {
             Ok((out, analysis)) => {
                 print_plan_header(&args, &out.planned);
                 if args.explain == ExplainMode::Why {
                     print!("\n{}", mediator.explain_why());
                 }
-                if let Some(analysis) = &analysis {
+                if let Some((analysis, stats)) = &analysis {
                     // EXPLAIN ANALYZE: the plan tree re-rendered with
-                    // observed cardinality and cost next to the estimates.
-                    print!("\nexplain analyze:\n{}", explain_analyze(&out.planned.plan, analysis));
+                    // observed cardinality and cost next to the estimates
+                    // (streamed runs add the batch/peak-memory footer).
+                    let rendered = match stats {
+                        Some(stats) => explain_analyze_streamed(&out.planned.plan, analysis, stats),
+                        None => explain_analyze(&out.planned.plan, analysis),
+                    };
+                    print!("\nexplain analyze:\n{rendered}");
                     for w in analysis.drift_warnings() {
                         eprintln!("warning: {w}");
                     }

@@ -8,7 +8,7 @@
 //! |----------|---------|
 //! | `GET /healthz` | `ok` |
 //! | `GET /metrics` | Prometheus text exposition of the metrics registry |
-//! | `GET /query?cond=<urlenc>&attrs=<a,b>` | plans + executes, returns rows |
+//! | `GET /query?cond=<urlenc>&attrs=<a,b>[&limit=<n>]` | plans + streams rows incrementally, summary trailer last |
 //! | `GET /flightrecorder` | index of recorded query flights |
 //! | `GET /flightrecorder?query=<id>` | `EXPLAIN WHY` replay of flight `id` |
 //! | `GET /slowlog` | recent slow queries with their decision trails |
@@ -16,6 +16,13 @@
 //!
 //! A bare (non-HTTP) first line speaks the line protocol instead: `ping`,
 //! `why`, or `query <attrs,csv> <condition>`.
+//!
+//! `/query` responses are **incremental**: rows go out the socket as the
+//! streaming executor produces batches (no `Content-Length`; HTTP/1.0
+//! read-until-close framing), and the `N rows (est cost …)` summary is a
+//! trailer line once the pipeline drains. `limit=` terminates the pipeline
+//! early after N rows — the source stops shipping, not just the client
+//! display.
 //!
 //! Serve mode is the **only** place wall-clock time enters the stack: the
 //! `serve.*` metrics (latency histogram, slow-query counter) are real-time
@@ -25,6 +32,7 @@
 use csqp_core::mediator::{Mediator, MediatorError, Scheme};
 use csqp_core::types::TargetQuery;
 use csqp_obs::{names, FlightRecorder, Obs};
+use csqp_plan::exec_stream::StreamConfig;
 use csqp_source::Source;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
@@ -154,6 +162,16 @@ impl Server {
                     break;
                 }
             }
+            let (path, query_string) = match target.split_once('?') {
+                Some((p, q)) => (p, q.to_string()),
+                None => (target.as_str(), String::new()),
+            };
+            if path == "/query" {
+                // Streamed response: rows leave as batches arrive, so the
+                // generic buffered write below does not apply.
+                self.handle_query_http(&mut stream, &query_string)?;
+                return Ok(false);
+            }
             let (status, ctype, body, shutdown) = self.route(&target);
             write!(
                 stream,
@@ -189,26 +207,9 @@ impl Server {
                 },
                 None => ("200 OK", TEXT, self.flight_index(), false),
             },
-            "/query" => {
-                let cond = query_param(query_string, "cond").map(|v| percent_decode(&v));
-                let attrs = query_param(query_string, "attrs").map(|v| percent_decode(&v));
-                match (cond, attrs) {
-                    (Some(cond), Some(attrs)) => {
-                        let attrs: Vec<String> =
-                            attrs.split(',').map(|s| s.trim().to_string()).collect();
-                        match self.serve_query(&cond, &attrs) {
-                            Ok(body) => ("200 OK", TEXT, body, false),
-                            Err(msg) => ("400 Bad Request", TEXT, msg, false),
-                        }
-                    }
-                    _ => (
-                        "400 Bad Request",
-                        TEXT,
-                        "usage: /query?cond=<urlencoded condition>&attrs=<a,b,c>\n".to_string(),
-                        false,
-                    ),
-                }
-            }
+            // `/query` is handled by `handle_query_http` before routing
+            // (streamed response); reaching it here means a programming
+            // error, answered like any unknown route.
             "/slowlog" => ("200 OK", TEXT, self.render_slow_log(), false),
             "/shutdown" => ("200 OK", TEXT, "shutting down\n".to_string(), true),
             _ => ("404 Not Found", TEXT, format!("no route {path}\n"), false),
@@ -229,8 +230,12 @@ impl Server {
                 return "ERR usage: query <attrs,csv> <condition>\n".to_string();
             };
             let attrs: Vec<String> = attrs.split(',').map(|s| s.trim().to_string()).collect();
-            return match self.serve_query(cond, &attrs) {
-                Ok(body) => format!("OK\n{body}"),
+            let mut body = String::new();
+            return match self.serve_query_streamed(cond, &attrs, None, &mut |chunk| {
+                body.push_str(chunk);
+                true
+            }) {
+                Ok(trailer) => format!("OK\n{body}{trailer}"),
                 Err(msg) => format!("ERR {msg}"),
             };
         }
@@ -238,26 +243,138 @@ impl Server {
         "ERR unknown command (try: ping | why | query <attrs,csv> <condition>)\n".to_string()
     }
 
-    /// Plans and executes one query on the warm mediator, recording the
-    /// serve-mode wall-clock metrics and feeding the slow-query log.
-    fn serve_query(&mut self, cond: &str, attrs: &[String]) -> Result<String, String> {
+    /// Serves `/query` with an incremental response: the 200 header goes
+    /// out with the first row batch (no `Content-Length` — HTTP/1.0
+    /// read-until-close framing) and the summary is a trailer line. Errors
+    /// before the first byte still get a proper `400`; a failure mid-stream
+    /// is appended as an `ERR` line (the status is already on the wire).
+    fn handle_query_http(&mut self, stream: &mut TcpStream, query_string: &str) -> io::Result<()> {
+        const TEXT: &str = "text/plain; charset=utf-8";
+        let respond_400 = |stream: &mut TcpStream, body: &str| {
+            write!(
+                stream,
+                "HTTP/1.0 400 Bad Request\r\nContent-Type: {TEXT}\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            )
+        };
+        let cond = query_param(query_string, "cond").map(|v| percent_decode(&v));
+        let attrs = query_param(query_string, "attrs").map(|v| percent_decode(&v));
+        let (cond, attrs) = match (cond, attrs) {
+            (Some(c), Some(a)) => (c, a),
+            _ => {
+                self.obs.metrics.inc(names::SERVE_ERRORS);
+                return respond_400(
+                    stream,
+                    "usage: /query?cond=<urlencoded condition>&attrs=<a,b,c>[&limit=<n>]\n",
+                );
+            }
+        };
+        let limit = match query_param(query_string, "limit") {
+            None => None,
+            Some(v) => match v.parse::<u64>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    self.obs.metrics.inc(names::SERVE_ERRORS);
+                    return respond_400(stream, "limit must be a non-negative integer\n");
+                }
+            },
+        };
+        let attrs: Vec<String> = attrs.split(',').map(|s| s.trim().to_string()).collect();
+        let mut wrote_header = false;
+        let mut io_err: Option<io::Error> = None;
+        let outcome = {
+            let sink = &mut |chunk: &str| {
+                if !wrote_header {
+                    if let Err(e) = write!(
+                        stream,
+                        "HTTP/1.0 200 OK\r\nContent-Type: {TEXT}\r\nConnection: close\r\n\r\n"
+                    ) {
+                        io_err = Some(e);
+                        return false;
+                    }
+                    wrote_header = true;
+                }
+                match stream.write_all(chunk.as_bytes()) {
+                    Ok(()) => true,
+                    Err(e) => {
+                        io_err = Some(e);
+                        false
+                    }
+                }
+            };
+            self.serve_query_streamed(&cond, &attrs, limit, sink)
+        };
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        match outcome {
+            Ok(trailer) => {
+                if !wrote_header {
+                    // Empty result: nothing streamed yet, the trailer is
+                    // the whole body.
+                    write!(
+                        stream,
+                        "HTTP/1.0 200 OK\r\nContent-Type: {TEXT}\r\nConnection: close\r\n\r\n"
+                    )?;
+                }
+                stream.write_all(trailer.as_bytes())
+            }
+            Err(msg) => {
+                if wrote_header {
+                    write!(stream, "ERR {msg}")
+                } else {
+                    respond_400(stream, &msg)
+                }
+            }
+        }
+    }
+
+    /// Plans and streams one query on the warm mediator, feeding each row
+    /// batch to `sink` as rendered lines (return `false` to stop) and
+    /// recording the serve-mode wall-clock metrics and the slow-query log.
+    /// Returns the `N rows (est cost …)` summary trailer, or the error
+    /// body.
+    fn serve_query_streamed(
+        &mut self,
+        cond: &str,
+        attrs: &[String],
+        limit: Option<u64>,
+        sink: &mut dyn FnMut(&str) -> bool,
+    ) -> Result<String, String> {
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         let query = TargetQuery::parse(cond, &attr_refs).map_err(|e| {
             self.obs.metrics.inc(names::SERVE_ERRORS);
             format!("query parse error: {e}\n")
         })?;
+        let cfg = match limit {
+            Some(n) => StreamConfig::default().with_limit(n),
+            None => StreamConfig::default(),
+        };
         let start = Instant::now();
-        let out = self.mediator.run(&query).map_err(|e| {
-            self.obs.metrics.inc(names::SERVE_ERRORS);
-            match e {
-                MediatorError::Plan(e) => format!("planning failed: {e}\n"),
-                e => format!("execution failed: {e}\n"),
-            }
-        })?;
+        let mut emitted = 0u64;
+        let mut chunk = String::new();
+        let out = self
+            .mediator
+            .run_streamed_each(&query, &cfg, &mut |batch| {
+                emitted += batch.len() as u64;
+                chunk.clear();
+                for row in batch.rows() {
+                    let _ = writeln!(chunk, "{row}");
+                }
+                sink(&chunk)
+            })
+            .map_err(|e| {
+                self.obs.metrics.inc(names::SERVE_ERRORS);
+                match e {
+                    MediatorError::Plan(e) => format!("planning failed: {e}\n"),
+                    e => format!("execution failed: {e}\n"),
+                }
+            })?;
         let latency_us = start.elapsed().as_micros() as u64;
         self.obs.metrics.inc(names::SERVE_QUERIES);
         self.obs.metrics.observe(names::SERVE_LATENCY_US, latency_us);
-        self.obs.metrics.observe(names::SERVE_ROWS_RETURNED, out.rows.len() as u64);
+        self.obs.metrics.observe(names::SERVE_ROWS_RETURNED, emitted);
         if latency_us >= self.cfg.slow_ms.saturating_mul(1000) {
             self.obs.metrics.inc(names::SERVE_SLOW_QUERIES);
             if self.slow_log.len() >= self.cfg.slow_log_capacity.max(1) {
@@ -269,18 +386,14 @@ impl Server {
                 why: self.mediator.explain_why(),
             });
         }
-        let mut body = format!(
+        Ok(format!(
             "{} rows (est cost {:.2}, measured cost {:.2}, {} source queries, flight #{})\n",
-            out.rows.len(),
-            out.planned.est_cost,
-            out.measured_cost,
-            out.meter.queries,
+            emitted,
+            out.outcome.planned.est_cost,
+            out.outcome.measured_cost,
+            out.outcome.meter.queries,
             self.flight.latest().map(|r| r.id).unwrap_or(0),
-        );
-        for row in out.rows.rows() {
-            let _ = writeln!(body, "{row}");
-        }
-        Ok(body)
+        ))
     }
 
     fn flight_index(&self) -> String {

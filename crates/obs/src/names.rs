@@ -49,6 +49,16 @@ pub const EXEC_OBSERVED_COST: &str = "exec.observed_cost";
 /// Source queries whose observed cardinality drifted ≥ 2× from the
 /// estimate (either direction).
 pub const EXEC_DRIFT_WARNINGS: &str = "exec.drift_warnings";
+/// Batches pulled through the streaming executor.
+pub const EXEC_BATCHES: &str = "exec.batches";
+/// Peak tuples resident in pipeline batch buffers during a streaming run
+/// (gauge; excludes dedup/sketch state and the caller's accumulated answer).
+pub const EXEC_PEAK_RESIDENT_TUPLES: &str = "exec.peak_resident_tuples";
+/// Virtual ticks of simulated source latency absorbed while sibling
+/// streams overlapped (counter). **Nondeterministic under `parallel`** —
+/// depends on thread interleaving, so goldens must not include it
+/// (quarantined like the `serve.*` family).
+pub const EXEC_OVERLAP_TICKS: &str = "exec.overlap_ticks";
 
 // ---- source-side transfer meter ----
 

@@ -164,7 +164,7 @@ impl RetryPolicy {
     /// The backoff before retry number `retry` (0-based), jitter included:
     /// `min(base · 2^retry, max)` plus a jittered fraction of up to half of
     /// that, drawn from `jitter` — "full jitter" halved, deterministic.
-    fn backoff_ticks(&self, retry: u32, jitter: &mut StdRng) -> u64 {
+    pub(crate) fn backoff_ticks(&self, retry: u32, jitter: &mut StdRng) -> u64 {
         let mult = 1u64.checked_shl(retry).unwrap_or(u64::MAX);
         let exp = self.base_backoff_ticks.saturating_mul(mult).min(self.max_backoff_ticks);
         if exp <= 1 {
@@ -174,18 +174,27 @@ impl RetryPolicy {
     }
 }
 
-/// Per-run resilient execution state.
-struct ResilientCtx<'a> {
-    policy: &'a RetryPolicy,
-    jitter: StdRng,
+/// Per-run resilient execution state (shared with the streaming executor).
+pub(crate) struct ResilientCtx<'a> {
+    pub(crate) policy: &'a RetryPolicy,
+    pub(crate) jitter: StdRng,
     /// Ticks consumed by this run (source latency + backoff); checked
     /// against `policy.deadline_ticks`.
-    ticks_used: u64,
-    res: ResilienceMeter,
+    pub(crate) ticks_used: u64,
+    pub(crate) res: ResilienceMeter,
 }
 
 impl ResilientCtx<'_> {
-    fn charge(&mut self, ticks: u64) -> Result<(), ExecError> {
+    pub(crate) fn new(policy: &RetryPolicy) -> ResilientCtx<'_> {
+        ResilientCtx {
+            policy,
+            jitter: StdRng::seed_from_u64(policy.jitter_seed),
+            ticks_used: 0,
+            res: ResilienceMeter::default(),
+        }
+    }
+
+    pub(crate) fn charge(&mut self, ticks: u64) -> Result<(), ExecError> {
         self.ticks_used += ticks;
         self.res.ticks += ticks;
         if let Some(budget) = self.policy.deadline_ticks {
@@ -196,7 +205,7 @@ impl ResilientCtx<'_> {
         Ok(())
     }
 
-    fn note_fault(&mut self, e: &SourceError) {
+    pub(crate) fn note_fault(&mut self, e: &SourceError) {
         match e {
             SourceError::Transient { .. } => self.res.transients += 1,
             SourceError::Timeout { .. } => self.res.timeouts += 1,
@@ -299,12 +308,7 @@ pub fn execute_resilient(
     policy: &RetryPolicy,
     res: &mut ResilienceMeter,
 ) -> Result<(Relation, Meter), ExecError> {
-    let mut ctx = ResilientCtx {
-        policy,
-        jitter: StdRng::seed_from_u64(policy.jitter_seed),
-        ticks_used: 0,
-        res: ResilienceMeter::default(),
-    };
+    let mut ctx = ResilientCtx::new(policy);
     let before = source.meter();
     let outcome = execute_with_ctx(plan, source, &mut ctx);
     res.absorb(&ctx.res);

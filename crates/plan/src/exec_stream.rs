@@ -1,0 +1,1224 @@
+//! The streaming executor: pull-based batch pipelines over concrete plans.
+//!
+//! Where [`crate::exec::execute`] materializes every intermediate
+//! [`Relation`] in full and fetches Intersect/Union children strictly
+//! sequentially, this module runs the same plans as Volcano-style pull
+//! pipelines exchanging bounded [`TupleBatch`]es:
+//!
+//! - **Bounded memory** — pipeline-resident tuples are proportional to
+//!   `batch_size × pipeline depth`, not `|result|`. Set-semantics state
+//!   (dedup sketches, intersect membership sides) is accounted separately
+//!   and excluded from [`StreamStats::peak_resident_tuples`], as is the
+//!   caller's accumulated answer.
+//! - **Overlapped fetch** — with the `parallel` feature and
+//!   [`StreamConfig::overlap`], Union children prefetch batches on scoped
+//!   producer threads into bounded queues while earlier siblings drain, and
+//!   Intersect membership sides build concurrently. Emission order stays
+//!   the serial order, so answers are byte-identical with overlap on or off.
+//! - **Early termination** — a row [`StreamConfig::limit`] stops the
+//!   pipeline as soon as enough answer tuples exist; dropped receivers
+//!   unwind producers, and sources stop shipping.
+//! - **Per-batch resilience** — [`execute_stream_resilient`] retries only
+//!   the faulted batch pull (the source stream keeps its scan cursor), so a
+//!   mid-stream fault never re-ships or re-fetches earlier batches.
+//!
+//! The materialized executor remains the differential oracle: a drained
+//! stream returns a set-equal relation and (fault-free) identical meter
+//! deltas; `crates/plan/tests/stream_differential.rs` enforces this over
+//! randomized plans and workloads. With the `stream` feature disabled every
+//! entry point here delegates to the materialized executor behind the same
+//! signatures (whole-relation memory profile, zero new code paths).
+
+use crate::analyze::PlanAnalysis;
+use crate::cost::Cardinality;
+use crate::exec::{ExecError, RetryPolicy};
+use crate::model::CostModel;
+use crate::plan::Plan;
+use csqp_relation::stream::{TupleBatch, DEFAULT_BATCH_SIZE};
+use csqp_relation::Relation;
+use csqp_source::{Meter, ResilienceMeter, Source};
+
+/// Knobs for one streaming execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Tuples per batch (the unit of transfer and of memory accounting).
+    pub batch_size: usize,
+    /// Stop after this many answer rows (early termination). `None` drains
+    /// the pipeline.
+    pub limit: Option<u64>,
+    /// Overlap sibling Intersect/Union children on scoped threads. Only
+    /// effective with the `parallel` feature; forced off on the resilient
+    /// and analyzed paths, which are serial by construction.
+    pub overlap: bool,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            batch_size: DEFAULT_BATCH_SIZE,
+            limit: None,
+            overlap: cfg!(feature = "parallel"),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// A serial (no-overlap) configuration — deterministic stats, used by
+    /// the differential tests and the analyzed path.
+    pub fn serial() -> Self {
+        StreamConfig { overlap: false, ..Default::default() }
+    }
+
+    /// Sets the early-termination row limit.
+    pub fn with_limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Sets the batch size (must be non-zero).
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "batch size must be non-zero");
+        self.batch_size = n;
+        self
+    }
+}
+
+/// What one streaming execution did, memory-wise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Batches produced across every pipeline operator.
+    pub batches: u64,
+    /// Peak tuples simultaneously resident in pipeline batch buffers
+    /// (including overlap queues; excluding dedup/membership sketches and
+    /// the caller's accumulated answer).
+    pub peak_resident_tuples: u64,
+    /// Batches the overlapped producers had parked ahead of consumer
+    /// demand — a proxy for absorbed source latency. **Nondeterministic
+    /// under `parallel`**; always 0 on serial runs.
+    pub overlap_ticks: u64,
+}
+
+impl StreamStats {
+    /// Records the stats into `metrics` under the canonical `exec.*` names.
+    pub fn record_into(&self, metrics: &csqp_obs::MetricsRegistry) {
+        use csqp_obs::names;
+        metrics.add(names::EXEC_BATCHES, self.batches);
+        metrics.gauge_set(names::EXEC_PEAK_RESIDENT_TUPLES, self.peak_resident_tuples as f64);
+        metrics.add(names::EXEC_OVERLAP_TICKS, self.overlap_ticks);
+    }
+}
+
+/// Truncates a relation to its first `limit` tuples (insertion order) — the
+/// materialized fallback's limit semantics.
+#[cfg(not(feature = "stream"))]
+fn truncate(rel: Relation, limit: Option<u64>) -> Relation {
+    match limit {
+        Some(n) if (rel.len() as u64) > n => {
+            let schema = rel.schema().clone();
+            Relation::from_tuples(schema, rel.into_tuples().into_iter().take(n as usize))
+        }
+        _ => rel,
+    }
+}
+
+fn meter_delta(before: Meter, after: Meter) -> Meter {
+    Meter {
+        queries: after.queries - before.queries,
+        tuples_shipped: after.tuples_shipped - before.tuples_shipped,
+        rejected: after.rejected - before.rejected,
+    }
+}
+
+#[cfg(feature = "stream")]
+mod engine {
+    use super::*;
+    use crate::analyze::SubQueryObs;
+    use crate::exec::ResilientCtx;
+    use csqp_expr::CondTree;
+    use csqp_relation::schema::Schema;
+    use csqp_relation::stream::{project_batch, project_indices, select_batch, DedupSketch};
+    use csqp_relation::tuple::Tuple;
+    use csqp_source::SourceStream;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+    use std::sync::Arc;
+    use std::thread::Scope;
+
+    /// Batches an overlap queue may hold per Union child: enough to absorb
+    /// source latency, small enough to keep queue residency bounded.
+    const OVERLAP_QUEUE_BATCHES: usize = 2;
+
+    /// Shared memory/batch accounting. `current` tracks tuples resident in
+    /// pipeline buffers (batches in flight plus overlap queues); `peak` is
+    /// its high-water mark.
+    #[derive(Debug, Default)]
+    pub(super) struct Account {
+        current: AtomicU64,
+        peak: AtomicU64,
+        batches: AtomicU64,
+        overlap_ticks: AtomicU64,
+    }
+
+    impl Account {
+        fn charge(&self, n: usize) {
+            let cur = self.current.fetch_add(n as u64, Ordering::Relaxed) + n as u64;
+            self.peak.fetch_max(cur, Ordering::Relaxed);
+        }
+
+        fn release(&self, n: usize) {
+            self.current.fetch_sub(n as u64, Ordering::Relaxed);
+        }
+
+        fn emitted(&self) {
+            self.batches.fetch_add(1, Ordering::Relaxed);
+        }
+
+        fn overlap_tick(&self) {
+            self.overlap_ticks.fetch_add(1, Ordering::Relaxed);
+        }
+
+        pub(super) fn stats(&self) -> StreamStats {
+            StreamStats {
+                batches: self.batches.load(Ordering::Relaxed),
+                peak_resident_tuples: self.peak.load(Ordering::Relaxed),
+                overlap_ticks: self.overlap_ticks.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    /// Per-leaf EXPLAIN ANALYZE state (serial runs only).
+    pub(super) struct AnalyzedState<'m> {
+        pub(super) model: &'m dyn CostModel,
+        pub(super) card: &'m dyn Cardinality,
+        /// One slot per source query, indexed in plan pre-order; filled at
+        /// leaf open, updated as batches ship.
+        pub(super) slots: Vec<Option<SubQueryObs>>,
+    }
+
+    /// Serial-path extras threaded through pulls. Overlap producers always
+    /// run with both off (resilience and analysis force `overlap: false`).
+    pub(super) struct Extras<'a, 'b> {
+        pub(super) resilient: Option<&'a mut ResilientCtx<'b>>,
+        pub(super) analyzed: Option<&'a mut AnalyzedState<'b>>,
+    }
+
+    impl Extras<'_, '_> {
+        pub(super) fn none() -> Extras<'static, 'static> {
+            Extras { resilient: None, analyzed: None }
+        }
+    }
+
+    /// Opens a leaf stream, retrying retryable open faults under the run's
+    /// policy (the streaming twin of `query_with_retry`'s open half).
+    fn open_with_retry<'env>(
+        cond: Option<&CondTree>,
+        attrs: &BTreeSet<String>,
+        source: &'env Source,
+        batch_size: usize,
+        ctx: &mut ResilientCtx<'_>,
+    ) -> Result<SourceStream<'env>, ExecError> {
+        let mut retry = 0u32;
+        loop {
+            ctx.res.attempts += 1;
+            let before = source.resilience_meter().ticks;
+            let outcome = source.fix_and_answer_stream(cond, attrs, batch_size);
+            ctx.charge(source.resilience_meter().ticks.saturating_sub(before))?;
+            match outcome {
+                Ok(stream) => return Ok(stream),
+                Err(e) if !e.is_retryable() => return Err(ExecError::Source(e)),
+                Err(e) => {
+                    ctx.note_fault(&e);
+                    if retry >= ctx.policy.max_retries {
+                        return Err(ExecError::Exhausted {
+                            source: source.name.clone(),
+                            attempts: retry + 1,
+                            last: e,
+                        });
+                    }
+                    let backoff = ctx.policy.backoff_ticks(retry, &mut ctx.jitter);
+                    ctx.charge(backoff)?;
+                    ctx.res.retries += 1;
+                    retry += 1;
+                }
+            }
+        }
+    }
+
+    /// Retries one batch pull. The stream's scan cursor survives faults, so
+    /// only the failed round-trip repeats — earlier batches never re-ship.
+    fn pull_with_retry(
+        stream: &mut SourceStream<'_>,
+        source: &Source,
+        ctx: &mut ResilientCtx<'_>,
+    ) -> Result<Option<TupleBatch>, ExecError> {
+        let mut retry = 0u32;
+        loop {
+            let before = source.resilience_meter().ticks;
+            let outcome = stream.next_batch();
+            ctx.charge(source.resilience_meter().ticks.saturating_sub(before))?;
+            match outcome {
+                Ok(b) => return Ok(b),
+                Err(e) if !e.is_retryable() => return Err(ExecError::Source(e)),
+                Err(e) => {
+                    // Faulted pulls count as attempts; clean pulls don't,
+                    // keeping fault-free parity with the materialized path
+                    // (attempts == source queries).
+                    ctx.res.attempts += 1;
+                    ctx.note_fault(&e);
+                    if retry >= ctx.policy.max_retries {
+                        return Err(ExecError::Exhausted {
+                            source: source.name.clone(),
+                            attempts: retry + 1,
+                            last: e,
+                        });
+                    }
+                    let backoff = ctx.policy.backoff_ticks(retry, &mut ctx.jitter);
+                    ctx.charge(backoff)?;
+                    ctx.res.retries += 1;
+                    retry += 1;
+                }
+            }
+        }
+    }
+
+    /// One operator of an open pipeline.
+    pub(super) enum Node<'env> {
+        Leaf {
+            stream: SourceStream<'env>,
+            source: &'env Source,
+            /// Pre-order source-query index (EXPLAIN ANALYZE slot).
+            idx: usize,
+            /// Condition/arity kept for observed-cost accounting.
+            cond: Option<CondTree>,
+            n_attrs: usize,
+            rows_out: u64,
+        },
+        Local {
+            input: Box<Node<'env>>,
+            cond: Option<CondTree>,
+            out_schema: Arc<Schema>,
+            indices: Vec<usize>,
+        },
+        Inter {
+            probe: Box<Node<'env>>,
+            members: Vec<DedupSketch>,
+            sketch: DedupSketch,
+        },
+        UnionSerial {
+            children: Vec<Node<'env>>,
+            current: usize,
+            sketch: DedupSketch,
+            schema: Arc<Schema>,
+        },
+        UnionOverlap {
+            rxs: Vec<Receiver<Result<TupleBatch, ExecError>>>,
+            current: usize,
+            sketch: DedupSketch,
+            schema: Arc<Schema>,
+        },
+    }
+
+    impl<'env> Node<'env> {
+        fn schema(&self) -> &Arc<Schema> {
+            match self {
+                Node::Leaf { stream, .. } => stream.schema(),
+                Node::Local { out_schema, .. } => out_schema,
+                Node::Inter { probe, .. } => probe.schema(),
+                Node::UnionSerial { schema, .. } | Node::UnionOverlap { schema, .. } => schema,
+            }
+        }
+
+        /// Is this operator's output already duplicate-free? (Leaves dedup
+        /// their projection, set operators carry sketches; only a lossy
+        /// Local projection can emit duplicates.)
+        pub(super) fn dedup_free(&self) -> bool {
+            !matches!(self, Node::Local { .. })
+        }
+
+        /// Pulls the next batch through this operator. Every emitted batch
+        /// is charged to the account; the consumer releases it.
+        pub(super) fn next(
+            &mut self,
+            account: &Account,
+            extras: &mut Extras<'_, '_>,
+        ) -> Result<Option<TupleBatch>, ExecError> {
+            match self {
+                Node::Leaf { stream, source, idx, cond, n_attrs, rows_out } => {
+                    let pulled = match &mut extras.resilient {
+                        None => stream.next_batch().map_err(ExecError::Source)?,
+                        Some(ctx) => pull_with_retry(stream, source, ctx)?,
+                    };
+                    if let Some(b) = &pulled {
+                        account.charge(b.len());
+                        account.emitted();
+                        *rows_out += b.len() as u64;
+                        if let Some(a) = &mut extras.analyzed {
+                            if let Some(slot) = a.slots[*idx].as_mut() {
+                                slot.observed_rows = *rows_out;
+                                slot.observed_cost = a.model.source_query_cost(
+                                    cond.as_ref(),
+                                    *n_attrs,
+                                    *rows_out as f64,
+                                );
+                            }
+                        }
+                    }
+                    Ok(pulled)
+                }
+                Node::Local { input, cond, out_schema, indices } => {
+                    match input.next(account, extras)? {
+                        None => Ok(None),
+                        Some(b) => {
+                            let n = b.len();
+                            let selected = select_batch(&b, cond.as_ref());
+                            let out = project_batch(&selected, out_schema, indices);
+                            account.release(n);
+                            account.charge(out.len());
+                            account.emitted();
+                            Ok(Some(out))
+                        }
+                    }
+                }
+                Node::Inter { probe, members, sketch } => match probe.next(account, extras)? {
+                    None => Ok(None),
+                    Some(b) => {
+                        let n = b.len();
+                        let schema = b.schema().clone();
+                        let kept: Vec<Tuple> = b
+                            .into_tuples()
+                            .into_iter()
+                            .filter(|t| members.iter().all(|m| m.contains(t)) && sketch.insert(t))
+                            .collect();
+                        account.release(n);
+                        account.charge(kept.len());
+                        account.emitted();
+                        Ok(Some(TupleBatch::new(schema, kept)))
+                    }
+                },
+                Node::UnionSerial { children, current, sketch, schema } => {
+                    while *current < children.len() {
+                        match children[*current].next(account, extras)? {
+                            Some(b) => {
+                                let n = b.len();
+                                let fresh: Vec<Tuple> = b
+                                    .into_tuples()
+                                    .into_iter()
+                                    .filter(|t| sketch.insert(t))
+                                    .collect();
+                                account.release(n);
+                                account.charge(fresh.len());
+                                account.emitted();
+                                return Ok(Some(TupleBatch::new(schema.clone(), fresh)));
+                            }
+                            None => *current += 1,
+                        }
+                    }
+                    Ok(None)
+                }
+                Node::UnionOverlap { rxs, current, sketch, schema } => {
+                    // Consume queues in child order — prefetch overlaps, but
+                    // emission order (and thus the answer) is the serial one.
+                    while *current < rxs.len() {
+                        match rxs[*current].recv() {
+                            Ok(Ok(b)) => {
+                                let n = b.len();
+                                let fresh: Vec<Tuple> = b
+                                    .into_tuples()
+                                    .into_iter()
+                                    .filter(|t| sketch.insert(t))
+                                    .collect();
+                                account.release(n);
+                                account.charge(fresh.len());
+                                account.emitted();
+                                return Ok(Some(TupleBatch::new(schema.clone(), fresh)));
+                            }
+                            Ok(Err(e)) => return Err(e),
+                            // Producer done: its sender dropped.
+                            Err(_) => *current += 1,
+                        }
+                    }
+                    Ok(None)
+                }
+            }
+        }
+    }
+
+    /// Drains a subtree into an exact membership sketch (Intersect sides).
+    fn drain_into_sketch(
+        node: &mut Node<'_>,
+        account: &Account,
+        extras: &mut Extras<'_, '_>,
+    ) -> Result<DedupSketch, ExecError> {
+        let mut m = DedupSketch::new();
+        while let Some(b) = node.next(account, extras)? {
+            let n = b.len();
+            for t in b.tuples() {
+                m.insert(t);
+            }
+            account.release(n);
+        }
+        Ok(m)
+    }
+
+    /// Feeds a subtree's batches into a bounded queue. `try_send` first:
+    /// when it lands, the batch was ready ahead of consumer demand — one
+    /// overlap tick of absorbed latency.
+    fn produce<'env>(
+        mut child: Node<'env>,
+        tx: SyncSender<Result<TupleBatch, ExecError>>,
+        account: &Account,
+    ) {
+        let mut extras = Extras::none();
+        loop {
+            match child.next(account, &mut extras) {
+                Ok(Some(b)) => match tx.try_send(Ok(b)) {
+                    Ok(()) => account.overlap_tick(),
+                    Err(TrySendError::Full(v)) => {
+                        if tx.send(v).is_err() {
+                            // Consumer gone (limit hit or error): unwind.
+                            return;
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => return,
+                },
+                Ok(None) => return, // sender drops → EOS for this child
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn incompatible(left: &Schema, right: &Schema) -> ExecError {
+        ExecError::Schema(format!("schemas `{}` and `{}` are incompatible", left.name, right.name))
+    }
+
+    /// Opens the pipeline for `plan`: recursively builds operators, opens
+    /// leaf streams (capability gate + `queries` metering happen here), and
+    /// drains Intersect membership sides. With `scope` present (overlap
+    /// mode), Union children get producer threads and Intersect sides drain
+    /// concurrently.
+    pub(super) fn build<'env, 's>(
+        plan: &Plan,
+        source: &'env Source,
+        cfg: &StreamConfig,
+        scope: Option<&'s Scope<'s, 'env>>,
+        account: &'env Account,
+        next_leaf: &mut usize,
+        extras: &mut Extras<'_, '_>,
+    ) -> Result<Node<'env>, ExecError> {
+        match plan {
+            Plan::SourceQuery { cond, attrs } => {
+                let idx = *next_leaf;
+                *next_leaf += 1;
+                let stream = match &mut extras.resilient {
+                    None => source
+                        .fix_and_answer_stream(cond.as_ref(), attrs, cfg.batch_size)
+                        .map_err(ExecError::Source)?,
+                    Some(ctx) => {
+                        open_with_retry(cond.as_ref(), attrs, source, cfg.batch_size, ctx)?
+                    }
+                };
+                if let Some(a) = &mut extras.analyzed {
+                    let est_rows = a.card.estimate(cond.as_ref());
+                    let est_cost = a.model.source_query_cost(cond.as_ref(), attrs.len(), est_rows);
+                    a.slots[idx] = Some(SubQueryObs {
+                        rendered: plan.to_string(),
+                        est_rows,
+                        est_cost,
+                        observed_rows: 0,
+                        observed_cost: a.model.source_query_cost(cond.as_ref(), attrs.len(), 0.0),
+                    });
+                }
+                Ok(Node::Leaf {
+                    stream,
+                    source,
+                    idx,
+                    cond: cond.clone(),
+                    n_attrs: attrs.len(),
+                    rows_out: 0,
+                })
+            }
+            Plan::LocalSp { cond, attrs, input } => {
+                let input = build(input, source, cfg, scope, account, next_leaf, extras)?;
+                let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+                let (out_schema, indices) = project_indices(input.schema(), &attr_refs)
+                    .map_err(|e| ExecError::Schema(e.to_string()))?;
+                Ok(Node::Local { input: Box::new(input), cond: cond.clone(), out_schema, indices })
+            }
+            Plan::Intersect(cs) => {
+                if cs.is_empty() {
+                    return Err(ExecError::Malformed("empty Intersect child list".into()));
+                }
+                let probe = build(&cs[0], source, cfg, scope, account, next_leaf, extras)?;
+                let mut member_nodes = Vec::with_capacity(cs.len() - 1);
+                for c in &cs[1..] {
+                    let m = build(c, source, cfg, scope, account, next_leaf, extras)?;
+                    if !probe.schema().compatible_with(m.schema()) {
+                        return Err(incompatible(probe.schema(), m.schema()));
+                    }
+                    member_nodes.push(m);
+                }
+                let members = if scope.is_some() && member_nodes.len() > 1 {
+                    // Membership sides are independent: drain them
+                    // concurrently behind a barrier (each side gets its own
+                    // extras-free context — overlap mode is never resilient
+                    // or analyzed).
+                    let results: Vec<Result<DedupSketch, ExecError>> = std::thread::scope(|ms| {
+                        let handles: Vec<_> = member_nodes
+                            .into_iter()
+                            .map(|mut m| {
+                                ms.spawn(move || {
+                                    drain_into_sketch(&mut m, account, &mut Extras::none())
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("intersect member drain thread"))
+                            .collect()
+                    });
+                    results.into_iter().collect::<Result<Vec<_>, _>>()?
+                } else {
+                    let mut out = Vec::with_capacity(member_nodes.len());
+                    for m in &mut member_nodes {
+                        out.push(drain_into_sketch(m, account, extras)?);
+                    }
+                    out
+                };
+                Ok(Node::Inter { probe: Box::new(probe), members, sketch: DedupSketch::new() })
+            }
+            Plan::Union(cs) => {
+                if cs.is_empty() {
+                    return Err(ExecError::Malformed("empty Union child list".into()));
+                }
+                let mut children = Vec::with_capacity(cs.len());
+                for c in cs {
+                    children.push(build(c, source, cfg, scope, account, next_leaf, extras)?);
+                }
+                let schema = children[0].schema().clone();
+                for c in &children[1..] {
+                    if !schema.compatible_with(c.schema()) {
+                        return Err(incompatible(&schema, c.schema()));
+                    }
+                }
+                match scope {
+                    Some(s) if children.len() > 1 => {
+                        let rxs = children
+                            .into_iter()
+                            .map(|child| {
+                                let (tx, rx) = sync_channel(OVERLAP_QUEUE_BATCHES);
+                                s.spawn(move || produce(child, tx, account));
+                                rx
+                            })
+                            .collect();
+                        Ok(Node::UnionOverlap {
+                            rxs,
+                            current: 0,
+                            sketch: DedupSketch::new(),
+                            schema,
+                        })
+                    }
+                    _ => Ok(Node::UnionSerial {
+                        children,
+                        current: 0,
+                        sketch: DedupSketch::new(),
+                        schema,
+                    }),
+                }
+            }
+            Plan::Choice(_) => Err(ExecError::Unresolved),
+        }
+    }
+
+    /// Drives an open pipeline to completion (or to `limit`), applying
+    /// root-level dedup when the root operator can emit duplicates, and
+    /// handing each non-empty answer batch to `sink` (return `false` to
+    /// stop early). Returns rows emitted.
+    pub(super) fn drive(
+        root: &mut Node<'_>,
+        account: &Account,
+        extras: &mut Extras<'_, '_>,
+        limit: Option<u64>,
+        sink: &mut dyn FnMut(TupleBatch) -> bool,
+    ) -> Result<u64, ExecError> {
+        let mut sketch = if root.dedup_free() { None } else { Some(DedupSketch::new()) };
+        let mut emitted = 0u64;
+        loop {
+            if limit.is_some_and(|l| emitted >= l) {
+                break;
+            }
+            match root.next(account, extras)? {
+                None => break,
+                Some(b) => {
+                    let n = b.len();
+                    let schema = b.schema().clone();
+                    let mut tuples = b.into_tuples();
+                    if let Some(sk) = &mut sketch {
+                        tuples.retain(|t| sk.insert(t));
+                    }
+                    if let Some(l) = limit {
+                        let remaining = (l - emitted) as usize;
+                        if tuples.len() > remaining {
+                            tuples.truncate(remaining);
+                        }
+                    }
+                    account.release(n);
+                    emitted += tuples.len() as u64;
+                    if !tuples.is_empty() && !sink(TupleBatch::new(schema, tuples)) {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(emitted)
+    }
+
+    /// Full run: open, drive, account. The single entry the public API
+    /// wraps. `extras` carrying resilience/analysis state forces the serial
+    /// path regardless of `cfg.overlap`.
+    pub(super) fn run(
+        plan: &Plan,
+        source: &Source,
+        cfg: &StreamConfig,
+        extras: &mut Extras<'_, '_>,
+        sink: &mut dyn FnMut(TupleBatch) -> bool,
+    ) -> Result<(u64, StreamStats), ExecError> {
+        let serial_only = extras.resilient.is_some() || extras.analyzed.is_some();
+        let overlap = cfg.overlap && cfg!(feature = "parallel") && !serial_only;
+        let account = Account::default();
+        let mut next_leaf = 0usize;
+        let emitted = if overlap {
+            std::thread::scope(|s| {
+                let mut root = build(plan, source, cfg, Some(s), &account, &mut next_leaf, extras)?;
+                // Dropping `root` on any exit unwinds producers (their
+                // sends fail once the receivers are gone).
+                drive(&mut root, &account, extras, cfg.limit, sink)
+            })?
+        } else {
+            let mut root = build(plan, source, cfg, None, &account, &mut next_leaf, extras)?;
+            drive(&mut root, &account, extras, cfg.limit, sink)?
+        };
+        Ok((emitted, account.stats()))
+    }
+}
+
+/// Fallback schema for empty streaming results: the plan's output attrs
+/// projected out of the source schema (what every leaf batch carries).
+fn output_schema(
+    plan: &Plan,
+    source: &Source,
+) -> Result<std::sync::Arc<csqp_relation::Schema>, ExecError> {
+    let attrs: Vec<&str> = plan.output_attrs().iter().map(String::as_str).collect();
+    source.relation().schema().project(&attrs).map_err(|e| ExecError::Schema(e.to_string()))
+}
+
+/// Streams a concrete plan, handing each answer batch to `sink` as it is
+/// produced (return `false` to stop early). Returns rows emitted plus the
+/// run's [`StreamStats`]. Batches arrive deduplicated — the concatenation
+/// of all sinks' batches is exactly the set the materialized executor
+/// returns (in the same order on serial runs and overlapped runs alike).
+#[cfg(feature = "stream")]
+pub fn execute_stream_each(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+    sink: &mut dyn FnMut(csqp_relation::stream::TupleBatch) -> bool,
+) -> Result<(u64, StreamStats), ExecError> {
+    engine::run(plan, source, cfg, &mut engine::Extras::none(), sink)
+}
+
+/// Streams a concrete plan into a [`Relation`] (the root accumulates the
+/// answer; pipeline memory stays bounded by `batch_size × depth`).
+#[cfg(feature = "stream")]
+pub fn execute_stream(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+) -> Result<(Relation, StreamStats), ExecError> {
+    let mut acc: Option<Relation> = None;
+    let (_, stats) = execute_stream_each(plan, source, cfg, &mut |b| {
+        let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
+        for t in b.into_tuples() {
+            rel.insert(t);
+        }
+        true
+    })?;
+    let rel = match acc {
+        Some(r) => r,
+        None => Relation::empty(output_schema(plan, source)?),
+    };
+    Ok((rel, stats))
+}
+
+/// [`execute_stream`] plus the meter delta it caused — the streaming twin
+/// of [`execute_measured`](crate::exec::execute_measured).
+pub fn execute_stream_measured(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+) -> Result<(Relation, Meter, StreamStats), ExecError> {
+    let before = source.meter();
+    let (rel, stats) = execute_stream(plan, source, cfg)?;
+    Ok((rel, meter_delta(before, source.meter()), stats))
+}
+
+/// Streams a plan against a possibly-unreliable source with **per-batch**
+/// retries: a mid-stream fault repeats only the failed round-trip (the
+/// source stream keeps its scan cursor), under the same backoff/deadline
+/// policy as [`execute_resilient`](crate::exec::execute_resilient).
+/// Serial by construction (deterministic retry schedule); resilience
+/// metrics accumulate into `res` on success and failure alike.
+#[cfg(feature = "stream")]
+pub fn execute_stream_resilient(
+    plan: &Plan,
+    source: &Source,
+    policy: &RetryPolicy,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+) -> Result<(Relation, Meter, StreamStats), ExecError> {
+    use crate::exec::ResilientCtx;
+    let mut ctx = ResilientCtx::new(policy);
+    let before = source.meter();
+    let mut acc: Option<Relation> = None;
+    let outcome = engine::run(
+        plan,
+        source,
+        cfg,
+        &mut engine::Extras { resilient: Some(&mut ctx), analyzed: None },
+        &mut |b| {
+            let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
+            for t in b.into_tuples() {
+                rel.insert(t);
+            }
+            true
+        },
+    );
+    res.absorb(&ctx.res);
+    let (_, stats) = outcome?;
+    let rel = match acc {
+        Some(r) => r,
+        None => Relation::empty(output_schema(plan, source)?),
+    };
+    Ok((rel, meter_delta(before, source.meter()), stats))
+}
+
+/// Streams a plan while recording estimated-vs-observed numbers per source
+/// query, like [`execute_analyzed`](crate::analyze::execute_analyzed) —
+/// plus the run's [`StreamStats`], so EXPLAIN ANALYZE can report peak
+/// memory alongside cardinality. Serial by construction. Source queries the
+/// run never opened (early termination) are absent from the analysis and
+/// render as `[not executed]`.
+#[cfg(feature = "stream")]
+pub fn execute_stream_analyzed(
+    plan: &Plan,
+    source: &Source,
+    model: &dyn CostModel,
+    card: &dyn Cardinality,
+    cfg: &StreamConfig,
+) -> Result<(Relation, Meter, PlanAnalysis, StreamStats), ExecError> {
+    let mut state =
+        engine::AnalyzedState { model, card, slots: vec![None; plan.source_queries().len()] };
+    let before = source.meter();
+    let mut acc: Option<Relation> = None;
+    let (_, stats) = engine::run(
+        plan,
+        source,
+        cfg,
+        &mut engine::Extras { resilient: None, analyzed: Some(&mut state) },
+        &mut |b| {
+            let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
+            for t in b.into_tuples() {
+                rel.insert(t);
+            }
+            true
+        },
+    )?;
+    let rel = match acc {
+        Some(r) => r,
+        None => Relation::empty(output_schema(plan, source)?),
+    };
+    // Executed leaves form a pre-order prefix on the serial path; stop at
+    // the first unopened slot so the renderer's sequential index stays
+    // aligned and tail leaves show as `[not executed]`.
+    let analysis = PlanAnalysis { subqueries: state.slots.into_iter().map_while(|s| s).collect() };
+    Ok((rel, meter_delta(before, source.meter()), analysis, stats))
+}
+
+/// Appends the streaming footer to an
+/// [`explain_analyze`](crate::analyze::explain_analyze) rendering: batch
+/// count and peak pipeline memory next to the cost-model summary.
+/// (`overlap_ticks` is deliberately omitted — it is nondeterministic and
+/// must stay out of golden-testable output.)
+pub fn explain_analyze_streamed(
+    plan: &Plan,
+    analysis: &PlanAnalysis,
+    stats: &StreamStats,
+) -> String {
+    let mut out = crate::analyze::explain_analyze(plan, analysis);
+    out.push_str(&format!(
+        "streaming: {} batches, peak resident {} tuples\n",
+        stats.batches, stats.peak_resident_tuples
+    ));
+    out
+}
+
+// ---- stream-feature-off fallbacks: same signatures, materialized engine ----
+
+/// Stream-off fallback: materializes via [`execute`](crate::exec::execute),
+/// then replays the result to `sink` in `batch_size` chunks. `StreamStats`
+/// reports the materialized memory profile (peak = `|result|`).
+#[cfg(not(feature = "stream"))]
+pub fn execute_stream_each(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+    sink: &mut dyn FnMut(csqp_relation::stream::TupleBatch) -> bool,
+) -> Result<(u64, StreamStats), ExecError> {
+    use csqp_relation::stream::TupleBatch;
+    let rel = crate::exec::execute(plan, source)?;
+    let stats = StreamStats {
+        batches: (rel.len() as u64).div_ceil(cfg.batch_size as u64),
+        peak_resident_tuples: rel.len() as u64,
+        overlap_ticks: 0,
+    };
+    let schema = rel.schema().clone();
+    let mut emitted = 0u64;
+    let mut chunk = Vec::with_capacity(cfg.batch_size);
+    for t in rel.into_tuples() {
+        if cfg.limit.is_some_and(|l| emitted >= l) {
+            break;
+        }
+        chunk.push(t);
+        emitted += 1;
+        if chunk.len() == cfg.batch_size {
+            if !sink(TupleBatch::new(schema.clone(), std::mem::take(&mut chunk))) {
+                return Ok((emitted, stats));
+            }
+        }
+    }
+    if !chunk.is_empty() {
+        sink(TupleBatch::new(schema, chunk));
+    }
+    Ok((emitted, stats))
+}
+
+/// Stream-off fallback: [`execute`](crate::exec::execute) plus limit
+/// truncation.
+#[cfg(not(feature = "stream"))]
+pub fn execute_stream(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+) -> Result<(Relation, StreamStats), ExecError> {
+    let rel = crate::exec::execute(plan, source)?;
+    let stats = StreamStats {
+        batches: (rel.len() as u64).div_ceil(cfg.batch_size as u64),
+        peak_resident_tuples: rel.len() as u64,
+        overlap_ticks: 0,
+    };
+    Ok((truncate(rel, cfg.limit), stats))
+}
+
+/// Stream-off fallback:
+/// [`execute_resilient`](crate::exec::execute_resilient) (whole-query
+/// retries) plus limit truncation.
+#[cfg(not(feature = "stream"))]
+pub fn execute_stream_resilient(
+    plan: &Plan,
+    source: &Source,
+    policy: &RetryPolicy,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+) -> Result<(Relation, Meter, StreamStats), ExecError> {
+    let (rel, meter) = crate::exec::execute_resilient(plan, source, policy, res)?;
+    let stats = StreamStats {
+        batches: (rel.len() as u64).div_ceil(cfg.batch_size as u64),
+        peak_resident_tuples: rel.len() as u64,
+        overlap_ticks: 0,
+    };
+    Ok((truncate(rel, cfg.limit), meter, stats))
+}
+
+/// Stream-off fallback:
+/// [`execute_analyzed`](crate::analyze::execute_analyzed) plus limit
+/// truncation.
+#[cfg(not(feature = "stream"))]
+pub fn execute_stream_analyzed(
+    plan: &Plan,
+    source: &Source,
+    model: &dyn CostModel,
+    card: &dyn Cardinality,
+    cfg: &StreamConfig,
+) -> Result<(Relation, Meter, PlanAnalysis, StreamStats), ExecError> {
+    let (rel, meter, analysis) = crate::analyze::execute_analyzed(plan, source, model, card)?;
+    let stats = StreamStats {
+        batches: (rel.len() as u64).div_ceil(cfg.batch_size as u64),
+        peak_resident_tuples: rel.len() as u64,
+        overlap_ticks: 0,
+    };
+    Ok((truncate(rel, cfg.limit), meter, analysis, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{execute, execute_measured, execute_resilient};
+    use crate::plan::attrs;
+    use csqp_expr::parse::parse_condition;
+    use csqp_expr::CondTree;
+    use csqp_relation::datagen;
+    use csqp_source::{CostParams, FaultProfile};
+    use csqp_ssdl::templates;
+
+    fn cond(s: &str) -> Option<CondTree> {
+        Some(parse_condition(s).unwrap())
+    }
+
+    fn dealer() -> Source {
+        Source::new(datagen::cars(3, 500), templates::car_dealer(), CostParams::default())
+    }
+
+    fn union_plan() -> Plan {
+        Plan::union(vec![
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model", "year"])),
+            Plan::source(cond("make = \"Toyota\" ^ price < 30000"), attrs(["model", "year"])),
+            Plan::source(cond("make = \"Ford\" ^ price < 30000"), attrs(["model", "year"])),
+        ])
+    }
+
+    fn nested_plan() -> Plan {
+        Plan::local(
+            cond("color = \"red\" _ color = \"black\""),
+            attrs(["model", "year"]),
+            Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model", "year", "color"])),
+        )
+    }
+
+    fn intersect_plan() -> Plan {
+        Plan::intersect(vec![
+            Plan::source(cond("make = \"BMW\" ^ price < 60000"), attrs(["model"])),
+            Plan::source(cond("make = \"BMW\" ^ color = \"red\""), attrs(["model"])),
+        ])
+    }
+
+    #[test]
+    fn stream_matches_materialized_on_plan_shapes() {
+        for plan in [union_plan(), nested_plan(), intersect_plan()] {
+            let s = dealer();
+            let want = execute(&plan, &s).unwrap();
+            s.reset_meter();
+            let (want_again, want_meter) = execute_measured(&plan, &s).unwrap();
+            assert_eq!(want, want_again);
+            for cfg in [StreamConfig::serial(), StreamConfig::default()] {
+                s.reset_meter();
+                let (got, meter, stats) = execute_stream_measured(&plan, &s, &cfg).unwrap();
+                assert_eq!(got, want, "stream ≡ materialized for {plan}");
+                assert_eq!(meter, want_meter, "meter deltas agree for {plan}");
+                if cfg!(feature = "stream") {
+                    assert!(stats.batches > 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_order_matches_overlapped_order() {
+        let plan = union_plan();
+        let s = dealer();
+        let (serial, _) = execute_stream(&plan, &s, &StreamConfig::serial()).unwrap();
+        let (overlapped, _) = execute_stream(&plan, &s, &StreamConfig::default()).unwrap();
+        assert_eq!(serial.tuples(), overlapped.tuples(), "overlap must not change emission order");
+    }
+
+    #[test]
+    fn limit_terminates_early_and_bounds_shipping() {
+        let plan = union_plan();
+        let s = dealer();
+        let (full, _) = execute_stream(&plan, &s, &StreamConfig::serial()).unwrap();
+        assert!(full.len() > 4, "need a result bigger than the limit");
+        s.reset_meter();
+        let cfg = StreamConfig::serial().with_limit(4);
+        let (limited, stats) = execute_stream(&plan, &s, &cfg).unwrap();
+        assert_eq!(limited.len(), 4);
+        assert_eq!(limited.tuples(), &full.tuples()[..4], "limit keeps the serial prefix");
+        if cfg!(feature = "stream") {
+            assert!(
+                s.meter().tuples_shipped < full.len() as u64,
+                "early termination stopped the source from shipping everything"
+            );
+            assert!(stats.batches > 0);
+        }
+    }
+
+    #[test]
+    fn limit_with_overlap_unwinds_producers() {
+        let plan = union_plan();
+        let s = dealer();
+        let cfg = StreamConfig { limit: Some(3), ..Default::default() };
+        let (limited, _) = execute_stream(&plan, &s, &cfg).unwrap();
+        assert_eq!(limited.len(), 3);
+    }
+
+    #[test]
+    fn peak_resident_is_bounded_by_batches_not_result() {
+        let plan = union_plan();
+        let s = dealer();
+        let cfg = StreamConfig { batch_size: 8, limit: None, overlap: false };
+        let (rel, stats) = execute_stream(&plan, &s, &cfg).unwrap();
+        if cfg!(feature = "stream") {
+            // Pipeline depth here is 2 (leaf → union root); generous ×4
+            // slack covers transient double-accounting at operator handoff.
+            assert!(
+                stats.peak_resident_tuples <= (8 * 4 * 2) as u64,
+                "peak {} not bounded by batch × depth (result {})",
+                stats.peak_resident_tuples,
+                rel.len()
+            );
+            assert!(stats.peak_resident_tuples < rel.len() as u64);
+        }
+    }
+
+    #[test]
+    fn streamed_sink_batches_concatenate_to_the_answer() {
+        let plan = nested_plan();
+        let s = dealer();
+        let want = execute(&plan, &s).unwrap();
+        let mut seen = Vec::new();
+        let (emitted, _) = execute_stream_each(&plan, &s, &StreamConfig::serial(), &mut |b| {
+            seen.extend(b.into_tuples());
+            true
+        })
+        .unwrap();
+        assert_eq!(emitted as usize, seen.len());
+        assert_eq!(Relation::from_tuples(want.schema().clone(), seen), want);
+    }
+
+    #[test]
+    fn empty_result_still_has_a_schema() {
+        let plan = Plan::source(cond("make = \"BMW\" ^ price < 1"), attrs(["model"]));
+        let s = dealer();
+        let (rel, _) = execute_stream(&plan, &s, &StreamConfig::serial()).unwrap();
+        assert!(rel.is_empty());
+        assert_eq!(rel.schema().columns.len(), 1);
+    }
+
+    #[test]
+    fn malformed_and_unresolved_plans_error_like_materialized() {
+        let s = dealer();
+        for plan in [Plan::Intersect(vec![]), Plan::Union(vec![])] {
+            assert!(matches!(
+                execute_stream(&plan, &s, &StreamConfig::serial()),
+                Err(ExecError::Malformed(_))
+            ));
+        }
+        let choice = Plan::Choice(vec![Plan::source(
+            cond("make = \"BMW\" ^ price < 40000"),
+            attrs(["model"]),
+        )]);
+        assert!(matches!(
+            execute_stream(&choice, &s, &StreamConfig::serial()),
+            Err(ExecError::Unresolved)
+        ));
+    }
+
+    #[test]
+    fn resilient_stream_rides_out_mid_stream_faults() {
+        let s = Source::new(datagen::cars(3, 500), templates::car_dealer(), CostParams::default())
+            .with_fault_profile(FaultProfile::new(21).with_transient(0.4));
+        let plan = union_plan();
+        let policy = RetryPolicy { max_retries: 16, ..Default::default() };
+        let mut res = ResilienceMeter::default();
+        let (rows, meter, _) =
+            execute_stream_resilient(&plan, &s, &policy, &mut res, &StreamConfig::serial())
+                .unwrap();
+        let oracle = dealer();
+        let want = execute(&plan, &oracle).unwrap();
+        assert_eq!(rows, want, "per-batch retries keep the answer exact");
+        assert_eq!(meter.queries, 3);
+        assert_eq!(
+            meter.tuples_shipped,
+            oracle.meter().tuples_shipped,
+            "faulted pulls never re-ship tuples"
+        );
+        if cfg!(feature = "stream") {
+            assert!(res.retries > 0, "the storm actually hit the stream");
+        }
+    }
+
+    #[test]
+    fn resilient_stream_matches_plain_without_faults() {
+        let s = dealer();
+        let plan = nested_plan();
+        let mut res = ResilienceMeter::default();
+        let (rows, meter, _) = execute_stream_resilient(
+            &plan,
+            &s,
+            &RetryPolicy::default(),
+            &mut res,
+            &StreamConfig::serial(),
+        )
+        .unwrap();
+        let s2 = dealer();
+        let mut res2 = ResilienceMeter::default();
+        let (want, want_meter) =
+            execute_resilient(&plan, &s2, &RetryPolicy::default(), &mut res2).unwrap();
+        assert_eq!(rows, want);
+        assert_eq!(meter, want_meter);
+        assert_eq!(res.attempts, res2.attempts, "fault-free attempts = source queries");
+        assert_eq!(res.retries, 0);
+        assert_eq!(res.ticks, 0);
+    }
+
+    #[test]
+    fn retries_exhaust_with_per_batch_accounting() {
+        let s = Source::new(datagen::cars(3, 100), templates::car_dealer(), CostParams::default())
+            .with_fault_profile(FaultProfile::new(0).with_transient(1.0));
+        let plan = Plan::source(cond("make = \"BMW\" ^ price < 40000"), attrs(["model"]));
+        let policy = RetryPolicy { max_retries: 2, ..Default::default() };
+        let mut res = ResilienceMeter::default();
+        match execute_stream_resilient(&plan, &s, &policy, &mut res, &StreamConfig::serial()) {
+            Err(ExecError::Exhausted { attempts, .. }) => assert_eq!(attempts, 3),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(res.retries, 2);
+    }
+
+    #[test]
+    fn analyzed_stream_reports_peak_memory() {
+        let plan = union_plan();
+        let s = dealer();
+        let model = CostParams::new(50.0, 1.0);
+        let card = crate::cost::OracleCard::new(s.relation());
+        let (rel, meter, analysis, stats) =
+            execute_stream_analyzed(&plan, &s, &model, &card, &StreamConfig::serial()).unwrap();
+        let want = execute(&plan, &dealer()).unwrap();
+        assert_eq!(rel, want);
+        assert_eq!(analysis.subqueries.len(), 3);
+        assert_eq!(analysis.rows_fetched(), meter.tuples_shipped);
+        let text = explain_analyze_streamed(&plan, &analysis, &stats);
+        assert!(text.contains("cost model: estimated"), "{text}");
+        assert!(text.contains("peak resident"), "{text}");
+        // Deterministic rendering, run to run.
+        let s2 = dealer();
+        let (_, _, analysis2, stats2) =
+            execute_stream_analyzed(&plan, &s2, &model, &card, &StreamConfig::serial()).unwrap();
+        assert_eq!(text, explain_analyze_streamed(&plan, &analysis2, &stats2));
+    }
+
+    #[test]
+    fn stats_record_into_metrics() {
+        let plan = union_plan();
+        let s = dealer();
+        let (_, stats) = execute_stream(&plan, &s, &StreamConfig::serial()).unwrap();
+        let reg = csqp_obs::MetricsRegistry::new();
+        stats.record_into(&reg);
+        let snap = reg.snapshot();
+        if reg.enabled() {
+            assert_eq!(snap.counter("exec.batches"), stats.batches);
+            assert_eq!(snap.gauge("exec.peak_resident_tuples"), stats.peak_resident_tuples as f64);
+        }
+    }
+}

@@ -11,6 +11,9 @@
 //! - [`exec`] — the mediator executor (fix order → query source →
 //!   postprocess with σ/π/∩/∪), with transfer metering;
 //! - [`explain`] — `SP(C, A, R)` notation rendering;
+//! - [`exec_stream`] — the pull-based batch streaming executor: bounded
+//!   memory (`batch_size × pipeline depth`), overlapped sibling fetch,
+//!   row-limit early termination, per-batch retry;
 //! - [`analyze`] — `EXPLAIN ANALYZE`: execution with per-source-query
 //!   estimated-vs-observed cardinality/cost and drift detection;
 //! - [`why`] — `EXPLAIN WHY`: replays a flight-recorder decision trail
@@ -22,6 +25,7 @@
 pub mod analyze;
 pub mod cost;
 pub mod exec;
+pub mod exec_stream;
 pub mod explain;
 pub mod feasible;
 pub mod model;
@@ -32,6 +36,10 @@ pub mod why;
 pub use analyze::{execute_analyzed, explain_analyze, PlanAnalysis, SubQueryObs};
 pub use cost::{Cardinality, OracleCard, StatsCard, UniformCard};
 pub use exec::{execute, execute_measured, execute_resilient, ExecError, RetryPolicy};
+pub use exec_stream::{
+    execute_stream, execute_stream_analyzed, execute_stream_each, execute_stream_measured,
+    execute_stream_resilient, explain_analyze_streamed, StreamConfig, StreamStats,
+};
 pub use feasible::is_feasible;
 pub use model::{CostModel, LatencyBandwidthCost};
 pub use plan::{attrs, AttrSet, Plan};

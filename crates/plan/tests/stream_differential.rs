@@ -1,0 +1,193 @@
+//! Differential property tests: the streaming executor against the
+//! materialized oracle.
+//!
+//! Over randomized concrete plan shapes (σ/π leaves, nested LocalSp, ∪, ∩)
+//! and workloads, streaming must return the same answer set as
+//! [`execute`], leave the source's transfer meter with the same delta on
+//! serial runs, and keep both guarantees when transient faults are
+//! injected mid-stream (per-batch retries must neither lose nor re-ship
+//! tuples). With the `stream` feature off the streaming entry points
+//! delegate to the materialized engine, so these properties hold trivially
+//! — the point of running this suite on the stream-off CI leg is proving
+//! the API surface behaves identically either way.
+
+use csqp_expr::gen::{CondGen, CondGenConfig, GenAttr};
+use csqp_expr::{CondTree, Value, ValueType};
+use csqp_plan::exec::RetryPolicy;
+use csqp_plan::exec_stream::{execute_stream, execute_stream_measured, execute_stream_resilient};
+use csqp_plan::{attrs, execute, execute_measured, Plan, StreamConfig};
+use csqp_relation::{Relation, Schema};
+use csqp_source::{CostParams, FaultProfile, ResilienceMeter, Source};
+use csqp_ssdl::templates;
+use proptest::prelude::*;
+
+fn gen_attrs() -> Vec<GenAttr> {
+    vec![
+        GenAttr::ints("a", 0, 5, 1),
+        GenAttr::ints("b", 0, 3, 1),
+        GenAttr::strings("c", &["s0", "s1", "s2"]),
+    ]
+}
+
+fn cond(seed: u64, n: usize) -> CondTree {
+    let mut g = CondGen::new(seed, gen_attrs());
+    g.tree(&CondGenConfig { n_atoms: n, max_depth: 3, and_bias: 0.5, eq_bias: 0.7 })
+}
+
+/// A random **concrete** plan (no Choice): source-query leaves under
+/// unions, intersections, and local σ/π wrappers, all projecting the key so
+/// every shape is exact and schema-compatible.
+fn concrete_plan(seed: u64, depth: usize) -> Plan {
+    let mk_leaf = |s: u64| Plan::source(Some(cond(s, 1 + (s % 3) as usize)), attrs(["k"]));
+    if depth == 0 {
+        return mk_leaf(seed);
+    }
+    match seed % 4 {
+        0 => Plan::local(
+            Some(cond(seed / 4 + 7, 1)),
+            attrs(["k"]),
+            Plan::source(Some(cond(seed / 4 + 8, 1)), attrs(["k", "a", "b", "c"])),
+        ),
+        1 => Plan::Union(vec![
+            concrete_plan(seed / 4 + 3, depth - 1),
+            concrete_plan(seed / 4 + 4, depth - 1),
+        ]),
+        2 => Plan::Intersect(vec![
+            concrete_plan(seed / 4 + 5, depth - 1),
+            concrete_plan(seed / 4 + 6, depth - 1),
+        ]),
+        _ => mk_leaf(seed),
+    }
+}
+
+fn source_data(seed: u64) -> (std::sync::Arc<Schema>, Vec<Vec<Value>>) {
+    let schema = Schema::new(
+        "t",
+        vec![
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Str),
+        ],
+        &["k"],
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = (0..200i64)
+        .map(|i| {
+            let x = i.wrapping_mul(seed as i64 | 1);
+            vec![
+                Value::Int(i),
+                Value::Int(x.rem_euclid(6)),
+                Value::Int(x.rem_euclid(4)),
+                Value::str(format!("s{}", x.rem_euclid(3))),
+            ]
+        })
+        .collect();
+    (schema, rows)
+}
+
+fn full_source(seed: u64) -> Source {
+    let (schema, rows) = source_data(seed);
+    let desc = templates::full_relational(
+        "full",
+        &[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+            ("c", ValueType::Str),
+        ],
+    );
+    Source::new(Relation::from_rows(schema, rows), desc, CostParams::new(10.0, 1.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Serial streaming is a drop-in for the materialized executor:
+    /// set-equal answer AND an identical transfer-meter delta, at any
+    /// batch size.
+    #[test]
+    fn stream_equals_materialized_with_meter_parity(
+        seed in 1u64..50_000,
+        plan_seed in 0u64..100_000,
+        depth in 0usize..4,
+        batch in 1usize..97,
+    ) {
+        let plan = concrete_plan(plan_seed, depth);
+        let source = full_source(seed);
+        let (want, want_meter) = execute_measured(&plan, &source).unwrap();
+        source.reset_meter();
+        let cfg = StreamConfig::serial().with_batch_size(batch);
+        let (got, meter, _) = execute_stream_measured(&plan, &source, &cfg).unwrap();
+        prop_assert_eq!(&got, &want, "streaming answer diverged");
+        prop_assert_eq!(meter, want_meter, "meter deltas diverged");
+    }
+
+    /// Overlapped streaming (the default config under `parallel`) returns
+    /// the same answer in the same order as the serial schedule.
+    #[test]
+    fn overlapped_stream_equals_serial(
+        seed in 1u64..50_000,
+        plan_seed in 0u64..100_000,
+        depth in 0usize..4,
+    ) {
+        let plan = concrete_plan(plan_seed, depth);
+        let source = full_source(seed);
+        let (serial, _) = execute_stream(&plan, &source, &StreamConfig::serial()).unwrap();
+        let (overlapped, _) = execute_stream(&plan, &source, &StreamConfig::default()).unwrap();
+        prop_assert_eq!(serial.tuples(), overlapped.tuples(), "overlap changed the output order");
+    }
+
+    /// Early termination returns exactly the first `limit` tuples of the
+    /// serial stream.
+    #[test]
+    fn limit_is_a_prefix_of_the_full_stream(
+        seed in 1u64..50_000,
+        plan_seed in 0u64..100_000,
+        depth in 0usize..4,
+        limit in 0u64..40,
+    ) {
+        let plan = concrete_plan(plan_seed, depth);
+        let source = full_source(seed);
+        let (full, _) = execute_stream(&plan, &source, &StreamConfig::serial()).unwrap();
+        let (limited, _) =
+            execute_stream(&plan, &source, &StreamConfig::serial().with_limit(limit)).unwrap();
+        let n = (limit as usize).min(full.len());
+        prop_assert_eq!(limited.len(), n);
+        prop_assert_eq!(limited.tuples(), &full.tuples()[..n]);
+    }
+
+    /// Under injected transient faults, resilient streaming still matches
+    /// the fault-free materialized oracle — same answer set, same source
+    /// queries, and no tuple ever shipped twice (the per-batch retry
+    /// resumes the scan cursor instead of restarting the query).
+    #[test]
+    fn resilient_stream_matches_oracle_under_faults(
+        seed in 1u64..20_000,
+        plan_seed in 0u64..100_000,
+        depth in 0usize..3,
+        fault_seed in 0u64..1_000,
+        batch in 1usize..41,
+    ) {
+        let plan = concrete_plan(plan_seed, depth);
+        let oracle = full_source(seed);
+        let want = execute(&plan, &oracle).unwrap();
+
+        let faulty = full_source(seed)
+            .with_fault_profile(FaultProfile::new(fault_seed).with_transient(0.3));
+        let policy = RetryPolicy { max_retries: 32, ..Default::default() };
+        let mut res = ResilienceMeter::default();
+        let cfg = StreamConfig::serial().with_batch_size(batch);
+        let (got, meter, _) =
+            execute_stream_resilient(&plan, &faulty, &policy, &mut res, &cfg).unwrap();
+        prop_assert_eq!(&got, &want, "faults corrupted the streamed answer");
+        prop_assert_eq!(
+            meter.queries, oracle.meter().queries,
+            "retries must not re-open source queries that succeeded"
+        );
+        prop_assert_eq!(
+            meter.tuples_shipped, oracle.meter().tuples_shipped,
+            "a faulted pull re-shipped (or dropped) tuples"
+        );
+    }
+}

@@ -8,6 +8,9 @@
 //!   duplicate-free in-memory relations;
 //! - [`ops`] — selection, projection, union, intersection, difference (the
 //!   mediator postprocessing operators of §3);
+//! - [`stream`] — pull-based batch streaming: [`stream::TupleBatch`],
+//!   the [`stream::TupleStream`] protocol, and bounded-memory operator
+//!   implementations used by the streaming executor;
 //! - [`stats`] — single-column statistics and selectivity estimation for the
 //!   §6.2 cost model;
 //! - [`csv`] — a small CSV loader for user data (the CLI's input format);
@@ -24,9 +27,11 @@ pub mod ops;
 pub mod relation;
 pub mod schema;
 pub mod stats;
+pub mod stream;
 pub mod tuple;
 
 pub use relation::Relation;
 pub use schema::{Schema, SchemaError};
 pub use stats::TableStats;
+pub use stream::{DedupSketch, TupleBatch, TupleStream, DEFAULT_BATCH_SIZE};
 pub use tuple::{Row, Tuple};

@@ -7,22 +7,37 @@
 use crate::schema::{Schema, SchemaError};
 use crate::tuple::{Row, Tuple};
 use csqp_expr::Value;
-use std::collections::HashSet;
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// 64-bit fingerprint of a tuple, used by [`Relation`]'s dedup index and the
+/// streaming dedup sketch. `DefaultHasher::new()` is keyed with fixed
+/// constants, so fingerprints are stable across runs (reproducibility).
+pub fn tuple_fingerprint(t: &Tuple) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
 
 /// An in-memory relation: a schema plus a duplicate-free set of tuples
 /// (insertion order preserved for reproducibility).
+///
+/// Dedup runs on a fingerprint index — `fingerprint → indices into tuples` —
+/// so each tuple is stored once; colliding fingerprints fall back to an exact
+/// comparison against the indexed tuples.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Arc<Schema>,
     tuples: Vec<Tuple>,
-    seen: HashSet<Tuple>,
+    index: HashMap<u64, Vec<u32>>,
 }
 
 impl Relation {
     /// An empty relation with the given schema.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        Relation { schema, tuples: Vec::new(), seen: HashSet::new() }
+        Relation { schema, tuples: Vec::new(), index: HashMap::new() }
     }
 
     /// Builds a relation from rows, deduplicating.
@@ -52,12 +67,20 @@ impl Relation {
             tuple.arity(),
             self.schema
         );
-        if self.seen.insert(tuple.clone()) {
-            self.tuples.push(tuple);
-            true
-        } else {
-            false
+        let fp = tuple_fingerprint(&tuple);
+        match self.index.entry(fp) {
+            Entry::Occupied(mut e) => {
+                if e.get().iter().any(|&i| self.tuples[i as usize] == tuple) {
+                    return false;
+                }
+                e.get_mut().push(self.tuples.len() as u32);
+            }
+            Entry::Vacant(e) => {
+                e.insert(vec![self.tuples.len() as u32]);
+            }
         }
+        self.tuples.push(tuple);
+        true
     }
 
     /// The schema.
@@ -80,9 +103,17 @@ impl Relation {
         &self.tuples
     }
 
+    /// Consumes the relation, yielding its tuples in insertion order (the
+    /// streaming scan uses this to avoid a second copy).
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.seen.contains(t)
+        self.index
+            .get(&tuple_fingerprint(t))
+            .is_some_and(|ids| ids.iter().any(|&i| self.tuples[i as usize] == *t))
     }
 
     /// Iterates schema-aware rows.

@@ -15,8 +15,12 @@
 
 use crate::cost::CostParams;
 use crate::fault::{Fault, FaultProfile, ResilienceMeter};
+use csqp_expr::semantics::eval;
 use csqp_expr::CondTree;
 use csqp_relation::ops::{project, select};
+use csqp_relation::schema::Schema;
+use csqp_relation::stream::{project_indices, DedupSketch, TupleBatch};
+use csqp_relation::tuple::Row;
 use csqp_relation::{Relation, TableStats};
 use csqp_ssdl::check::{CompiledSource, ExportSet};
 use csqp_ssdl::closure::{fix_order, permutation_closure, DEFAULT_MAX_SEGMENTS};
@@ -24,6 +28,7 @@ use csqp_ssdl::SsdlDesc;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Errors raised when querying a source.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -241,36 +246,7 @@ impl Source {
         cond: Option<&CondTree>,
         attrs: &BTreeSet<String>,
     ) -> Result<Relation, SourceError> {
-        // Fault gate: a real Internet source fails before its query engine
-        // ever sees the request, so faults fire ahead of the capability
-        // check. Zero-cost when no profile is attached (one `None` branch).
-        if let Some(profile) = &self.fault {
-            let idx = self.fault_attempts.fetch_add(1, Ordering::Relaxed);
-            let fault = profile.decide(idx);
-            self.res_ticks.fetch_add(profile.ticks_for(fault), Ordering::Relaxed);
-            match fault {
-                None => {}
-                Some(Fault::Transient) => {
-                    self.res_transients.fetch_add(1, Ordering::Relaxed);
-                    return Err(SourceError::Transient { source: self.name.clone() });
-                }
-                Some(Fault::Timeout) => {
-                    self.res_timeouts.fetch_add(1, Ordering::Relaxed);
-                    return Err(SourceError::Timeout {
-                        source: self.name.clone(),
-                        ticks: profile.timeout_ticks,
-                    });
-                }
-                Some(Fault::RateLimited) => {
-                    self.res_rate_limited.fetch_add(1, Ordering::Relaxed);
-                    return Err(SourceError::RateLimited { source: self.name.clone() });
-                }
-                Some(Fault::Outage) => {
-                    self.res_outages.fetch_add(1, Ordering::Relaxed);
-                    return Err(SourceError::Unavailable { source: self.name.clone() });
-                }
-            }
-        }
+        self.fault_gate()?;
         if !self.original.supports(cond, attrs) {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SourceError::Unsupported {
@@ -307,6 +283,112 @@ impl Source {
                     }
                 })?;
                 self.answer(Some(&fixed), attrs)
+            }
+        }
+    }
+
+    /// Fault gate: a real Internet source fails before its query engine
+    /// ever sees the request, so faults fire ahead of the capability
+    /// check. Zero-cost when no profile is attached (one `None` branch).
+    /// The streaming path draws once per batch pull, so every network
+    /// round-trip faces the same weather.
+    fn fault_gate(&self) -> Result<(), SourceError> {
+        if let Some(profile) = &self.fault {
+            let idx = self.fault_attempts.fetch_add(1, Ordering::Relaxed);
+            let fault = profile.decide(idx);
+            self.res_ticks.fetch_add(profile.ticks_for(fault), Ordering::Relaxed);
+            match fault {
+                None => {}
+                Some(Fault::Transient) => {
+                    self.res_transients.fetch_add(1, Ordering::Relaxed);
+                    return Err(SourceError::Transient { source: self.name.clone() });
+                }
+                Some(Fault::Timeout) => {
+                    self.res_timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(SourceError::Timeout {
+                        source: self.name.clone(),
+                        ticks: profile.timeout_ticks,
+                    });
+                }
+                Some(Fault::RateLimited) => {
+                    self.res_rate_limited.fetch_add(1, Ordering::Relaxed);
+                    return Err(SourceError::RateLimited { source: self.name.clone() });
+                }
+                Some(Fault::Outage) => {
+                    self.res_outages.fetch_add(1, Ordering::Relaxed);
+                    return Err(SourceError::Unavailable { source: self.name.clone() });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Opens a **streaming** answer to a source query: the capability gate
+    /// runs up front (enforcing the original description, metering
+    /// rejections), then tuples ship in batches of at most `batch_size` as
+    /// the consumer pulls.
+    ///
+    /// Metering parity with [`Source::answer`]: `queries` increments once at
+    /// open, `tuples_shipped` per batch as tuples actually ship (atomics, so
+    /// overlapped consumers account correctly), and the stream dedups its
+    /// output exactly like the materialized projection — a fully drained
+    /// stream leaves the meter exactly where `answer` would have.
+    ///
+    /// Fault injection is per *pull*: the gate draws once at open and once
+    /// per subsequent batch, so a mid-stream fault surfaces on that pull
+    /// while the scan cursor stays put — the consumer can retry the same
+    /// pull without re-shipping earlier tuples.
+    pub fn answer_stream(
+        &self,
+        cond: Option<&CondTree>,
+        attrs: &BTreeSet<String>,
+        batch_size: usize,
+    ) -> Result<SourceStream<'_>, SourceError> {
+        assert!(batch_size > 0, "batch size must be non-zero");
+        self.fault_gate()?;
+        if !self.original.supports(cond, attrs) {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SourceError::Unsupported {
+                source: self.name.clone(),
+                condition: cond.map(|c| c.to_string()).unwrap_or_else(|| "true".into()),
+                attrs: attrs.iter().cloned().collect(),
+            });
+        }
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let (out_schema, indices) = project_indices(self.relation.schema(), &attr_refs)
+            .map_err(|e| SourceError::Schema(e.to_string()))?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(SourceStream {
+            source: self,
+            cond: cond.cloned(),
+            out_schema,
+            indices,
+            batch_size,
+            cursor: 0,
+            sketch: DedupSketch::new(),
+        })
+    }
+
+    /// Streaming twin of [`Source::fix_and_answer`]: fixes the condition's
+    /// ordering to one the gate accepts (§6.1), then opens the stream.
+    pub fn fix_and_answer_stream(
+        &self,
+        cond: Option<&CondTree>,
+        attrs: &BTreeSet<String>,
+        batch_size: usize,
+    ) -> Result<SourceStream<'_>, SourceError> {
+        match cond {
+            None => self.answer_stream(None, attrs, batch_size),
+            Some(c) => {
+                let fixed = fix_order(&self.original, c, attrs).ok_or_else(|| {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    SourceError::Unsupported {
+                        source: self.name.clone(),
+                        condition: c.to_string(),
+                        attrs: attrs.iter().cloned().collect(),
+                    }
+                })?;
+                self.answer_stream(Some(&fixed), attrs, batch_size)
             }
         }
     }
@@ -354,6 +436,61 @@ impl Source {
         self.res_rate_limited.store(0, Ordering::Relaxed);
         self.res_outages.store(0, Ordering::Relaxed);
         self.res_ticks.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An open streaming answer: a batched scan over one source query's result.
+///
+/// Created by [`Source::answer_stream`]. Each [`SourceStream::next_batch`]
+/// is one simulated network round-trip: the fault gate draws, then up to
+/// `batch_size` fresh (selected, projected, deduplicated) tuples ship and
+/// are metered. A fault leaves the cursor untouched, so retrying the pull
+/// resumes the scan without double-shipping.
+#[derive(Debug)]
+pub struct SourceStream<'a> {
+    source: &'a Source,
+    cond: Option<CondTree>,
+    out_schema: Arc<Schema>,
+    indices: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    sketch: DedupSketch,
+}
+
+impl SourceStream<'_> {
+    /// The schema of every shipped batch (the projected attributes).
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.out_schema
+    }
+
+    /// Pulls the next batch; `Ok(None)` once the scan is exhausted.
+    pub fn next_batch(&mut self) -> Result<Option<TupleBatch>, SourceError> {
+        let tuples = self.source.relation.tuples();
+        if self.cursor >= tuples.len() {
+            return Ok(None);
+        }
+        self.source.fault_gate()?;
+        let schema = self.source.relation.schema();
+        let mut fresh = Vec::new();
+        while self.cursor < tuples.len() && fresh.len() < self.batch_size {
+            let t = &tuples[self.cursor];
+            self.cursor += 1;
+            let keep = match &self.cond {
+                None => true,
+                Some(c) => eval(c, &Row { schema, tuple: t }),
+            };
+            if keep {
+                let p = t.project(&self.indices);
+                if self.sketch.insert(&p) {
+                    fresh.push(p);
+                }
+            }
+        }
+        if fresh.is_empty() && self.cursor >= tuples.len() {
+            return Ok(None);
+        }
+        self.source.tuples_shipped.fetch_add(fresh.len() as u64, Ordering::Relaxed);
+        Ok(Some(TupleBatch::new(self.out_schema.clone(), fresh)))
     }
 }
 
@@ -515,6 +652,75 @@ mod tests {
         assert_eq!(rm.ticks, 25);
         s.reset_resilience_meter();
         assert_eq!(s.resilience_meter().ticks, 0);
+    }
+
+    #[test]
+    fn stream_matches_materialized_answer_and_meter() {
+        let s = dealer();
+        let c = parse_condition("make = \"BMW\" ^ price < 90000").unwrap();
+        let a = attrs(&["make", "model"]);
+        let oracle = s.answer(Some(&c), &a).unwrap();
+        let oracle_meter = s.meter();
+        s.reset_meter();
+
+        let mut stream = s.answer_stream(Some(&c), &a, 7).unwrap();
+        let mut got = Relation::empty(stream.schema().clone());
+        let mut max_batch = 0;
+        while let Some(b) = stream.next_batch().unwrap() {
+            max_batch = max_batch.max(b.len());
+            for t in b.into_tuples() {
+                assert!(got.insert(t), "stream output is already deduplicated");
+            }
+        }
+        assert!(max_batch <= 7);
+        assert_eq!(got, oracle);
+        assert_eq!(s.meter(), oracle_meter, "drained stream meters like answer");
+    }
+
+    #[test]
+    fn stream_gate_rejects_at_open() {
+        let s = dealer();
+        let bad = parse_condition("year = 1995").unwrap();
+        assert!(s.answer_stream(Some(&bad), &attrs(&["make"]), 8).is_err());
+        assert_eq!(s.meter().rejected, 1);
+        assert_eq!(s.meter().queries, 0);
+        // fix_and_answer_stream repairs orderings like fix_and_answer.
+        let swapped = parse_condition("price < 40000 ^ make = \"BMW\"").unwrap();
+        assert!(s.answer_stream(Some(&swapped), &attrs(&["model"]), 8).is_err());
+        assert!(s.fix_and_answer_stream(Some(&swapped), &attrs(&["model"]), 8).is_ok());
+    }
+
+    #[test]
+    fn mid_stream_fault_is_resumable() {
+        // Outage covers attempts 1..4: the open succeeds (attempt 0), then
+        // three pulls fault, then the scan resumes where it left off.
+        let s = Source::new(datagen::cars(3, 200), templates::car_dealer(), CostParams::default())
+            .with_fault_profile(FaultProfile::new(0).with_outage(1, 3));
+        let c = parse_condition("make = \"BMW\" ^ price < 90000").unwrap();
+        let a = attrs(&["make", "model"]);
+        let mut stream = s.answer_stream(Some(&c), &a, 4).unwrap();
+        let mut rows = Relation::empty(stream.schema().clone());
+        let mut faults = 0;
+        loop {
+            match stream.next_batch() {
+                Ok(Some(b)) => {
+                    for t in b.into_tuples() {
+                        assert!(rows.insert(t), "no tuple ships twice across retries");
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    assert!(e.is_retryable());
+                    faults += 1;
+                    assert!(faults < 100, "outage must end");
+                }
+            }
+        }
+        assert_eq!(faults, 3);
+        let oracle =
+            Source::new(datagen::cars(3, 200), templates::car_dealer(), CostParams::default());
+        assert_eq!(rows, oracle.answer(Some(&c), &a).unwrap());
+        assert_eq!(s.meter().tuples_shipped, rows.len() as u64);
     }
 
     #[test]

@@ -73,6 +73,43 @@ fn serve_smoke() {
         assert!(why.contains("flight recorder disabled"), "{why}");
     }
 
+    // Rows stream incrementally with the summary as a trailer: the body is
+    // row lines followed by the "N rows (est cost …)" line.
+    let body = q.split("\r\n\r\n").nth(1).expect("response has a body");
+    let lines: Vec<&str> = body.lines().collect();
+    let trailer = lines.last().unwrap();
+    assert!(trailer.contains("rows (est cost"), "summary is the trailer: {body}");
+    let n: usize = trailer.split(' ').next().unwrap().parse().expect("row count leads the trailer");
+    assert_eq!(lines.len() - 1, n, "one line per row plus the trailer: {body}");
+
+    // limit=1 terminates the stream early: exactly one row plus the trailer,
+    // and the trailer reports the limited count.
+    let limited = http_get(
+        addr,
+        "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year&limit=1",
+    );
+    assert!(limited.starts_with("HTTP/1.0 200"), "{limited}");
+    let body = limited.split("\r\n\r\n").nth(1).expect("limited response has a body");
+    let lines: Vec<&str> = body.lines().collect();
+    assert_eq!(lines.len(), 2, "one row + one trailer: {body}");
+    assert!(lines[1].starts_with("1 rows (est cost"), "{body}");
+
+    // limit=0: no rows, just the trailer.
+    let zero = http_get(
+        addr,
+        "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year&limit=0",
+    );
+    assert!(zero.starts_with("HTTP/1.0 200"), "{zero}");
+    assert!(zero.contains("0 rows (est cost"), "{zero}");
+
+    // A malformed limit is a 400, not a crash.
+    let bad_limit = http_get(
+        addr,
+        "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model&limit=nope",
+    );
+    assert!(bad_limit.starts_with("HTTP/1.0 400"), "{bad_limit}");
+    assert!(bad_limit.contains("limit must be"), "{bad_limit}");
+
     // A bad query is a 400, not a crash.
     let bad = http_get(addr, "/query?cond=make%20%3D&attrs=model");
     assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
@@ -113,4 +150,91 @@ fn serve_smoke() {
     let bye = http_get(addr, "/shutdown");
     assert!(bye.contains("shutting down"), "{bye}");
     handle.join().expect("server thread").expect("accept loop exits cleanly");
+}
+
+/// The CLI twin of the serve-mode `limit=` coverage: `--run --limit N`
+/// streams the execution and stops after N answer rows.
+#[test]
+fn cli_limit_flag() {
+    let dir = std::env::temp_dir().join(format!("csqp-cli-limit-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ssdl = dir.join("dealer.ssdl");
+    let csv = dir.join("cars.csv");
+    std::fs::write(
+        &ssdl,
+        "source dealer {\n  s1 -> make = $str ^ price <= $int ;\n  \
+         attributes :: s1 : { make, model, year, price } ;\n}\n",
+    )
+    .unwrap();
+    std::fs::write(
+        &csv,
+        "vin,make,model,year,price\n\
+         1,BMW,330i,2020,39000\n\
+         2,BMW,X5,2021,61000\n\
+         3,Toyota,Camry,2019,24000\n\
+         4,BMW,320i,2018,28000\n",
+    )
+    .unwrap();
+    let run = |extra: &[&str]| {
+        let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_csqp"));
+        cmd.args([
+            "--ssdl",
+            ssdl.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+            "--key",
+            "vin",
+            "--query",
+            "make = \"BMW\" ^ price <= 40000",
+            "--attrs",
+            "model,year",
+            "--run",
+        ]);
+        cmd.args(extra);
+        cmd.output().expect("run csqp binary")
+    };
+
+    let full = run(&[]);
+    assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+    let full_stdout = String::from_utf8_lossy(&full.stdout).into_owned();
+    assert!(full_stdout.contains("2 rows ("), "both matching cars print:\n{full_stdout}");
+
+    let limited = run(&["--limit", "1"]);
+    assert!(limited.status.success(), "{}", String::from_utf8_lossy(&limited.stderr));
+    let limited_stdout = String::from_utf8_lossy(&limited.stdout).into_owned();
+    assert!(
+        limited_stdout.contains("1 rows ("),
+        "the stream stops at the limit:\n{limited_stdout}"
+    );
+
+    // --limit with --explain renders EXPLAIN ANALYZE with the streaming
+    // memory footer.
+    let analyzed = run(&["--limit", "1", "--explain"]);
+    assert!(analyzed.status.success(), "{}", String::from_utf8_lossy(&analyzed.stderr));
+    let analyzed_stdout = String::from_utf8_lossy(&analyzed.stdout).into_owned();
+    assert!(analyzed_stdout.contains("peak resident"), "{analyzed_stdout}");
+
+    // --limit without --run is a usage error.
+    let mut cmd = std::process::Command::new(env!("CARGO_BIN_EXE_csqp"));
+    cmd.args([
+        "--ssdl",
+        ssdl.to_str().unwrap(),
+        "--csv",
+        csv.to_str().unwrap(),
+        "--query",
+        "make = \"BMW\"",
+        "--attrs",
+        "model",
+        "--limit",
+        "1",
+    ]);
+    let out = cmd.output().expect("run csqp binary");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--limit only applies with --run"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
