@@ -1,0 +1,209 @@
+//! Synthetic federation corpus for the capability-index experiments (e16).
+//!
+//! Models a federation-scale registry: thousands of sources partitioned
+//! into *domains* (car listings, book catalogs, weather stations, …), each
+//! domain with its own attribute namespace and a fixed handful of mirrors.
+//! A query targets one domain, so the number of truly feasible sources is
+//! constant as the federation grows — exactly the regime where compiled
+//! capability pre-selection must turn O(members) planning into near-O(1).
+
+use csqp_core::types::TargetQuery;
+use csqp_core::Federation;
+use csqp_expr::{Value, ValueType};
+use csqp_relation::{Relation, Schema};
+use csqp_source::{CostParams, Source};
+use csqp_ssdl::parse_ssdl;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// Shape of the synthetic federation.
+#[derive(Debug, Clone)]
+pub struct FedCorpusConfig {
+    /// Total sources (rounded down to a multiple of `sources_per_domain`).
+    pub n_sources: usize,
+    /// Mirrors per domain — the per-query feasible-set size stays at most
+    /// this as `n_sources` grows.
+    pub sources_per_domain: usize,
+    /// Rows per source relation (tiny: the experiments measure planning).
+    pub rows_per_source: usize,
+    /// Corpus seed.
+    pub seed: u64,
+}
+
+impl Default for FedCorpusConfig {
+    fn default() -> Self {
+        FedCorpusConfig { n_sources: 1000, sources_per_domain: 8, rows_per_source: 24, seed: 7 }
+    }
+}
+
+/// Domain `d`'s private attribute names (plus the shared key `k`).
+fn domain_attrs(d: usize) -> [String; 3] {
+    [format!("a{d}"), format!("b{d}"), format!("c{d}")]
+}
+
+/// One domain's relation: `(k, a{d}, b{d}, c{d})`, shared by its mirrors.
+fn domain_relation(d: usize, rows: usize, seed: u64) -> Relation {
+    let [a, b, c] = domain_attrs(d);
+    let schema = Schema::new(
+        format!("dom{d}"),
+        vec![
+            ("k", ValueType::Int),
+            (a.as_str(), ValueType::Int),
+            (b.as_str(), ValueType::Int),
+            (c.as_str(), ValueType::Str),
+        ],
+        &["k"],
+    )
+    .expect("domain schema is valid");
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(d as u64));
+    let rows: Vec<Vec<Value>> = (0..rows as i64)
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(rng.random_range(0..7)),
+                Value::Int(rng.random_range(0..5)),
+                Value::str(format!("c{}", rng.random_range(0..3))),
+            ]
+        })
+        .collect();
+    Relation::from_rows(schema, rows)
+}
+
+/// Mirror `m` of domain `d`: capability variety within the domain — one
+/// slow downloadable mirror (the feasibility backstop), the rest
+/// form-limited over domain attributes with varied costs.
+fn mirror_source(d: usize, m: usize, data: Relation) -> Arc<Source> {
+    let [a, b, c] = domain_attrs(d);
+    let name = format!("d{d}m{m}");
+    let ssdl = if m == 0 {
+        // The domain's dump: downloadable, exports everything, expensive.
+        format!(
+            "source {name} {{\n\
+             s1 -> true ;\n\
+             attributes :: s1 : {{ k, {a}, {b}, {c} }} ;\n}}"
+        )
+    } else {
+        // Form mirrors cycle through three capability shapes.
+        match m % 3 {
+            1 => format!(
+                "source {name} {{\n\
+                 s1 -> {a} = $int ;\n\
+                 s2 -> {a} = $int ^ {b} = $int ;\n\
+                 attributes :: s1 : {{ k, {a}, {b} }} ;\n\
+                 attributes :: s2 : {{ k, {a}, {b}, {c} }} ;\n}}"
+            ),
+            2 => format!(
+                "source {name} {{\n\
+                 s1 -> {b} = $int ^ {c} = $str ;\n\
+                 attributes :: s1 : {{ k, {b}, {c} }} ;\n}}"
+            ),
+            _ => format!(
+                "source {name} {{\n\
+                 s1 -> {a} = $int _ {a} = $int ;\n\
+                 s2 -> {c} = $str ;\n\
+                 attributes :: s1 : {{ k, {a} }} ;\n\
+                 attributes :: s2 : {{ k, {a}, {c} }} ;\n}}"
+            ),
+        }
+    };
+    let desc = parse_ssdl(&ssdl).expect("corpus capability is valid");
+    let cost = if m == 0 {
+        CostParams::new(500.0, 5.0)
+    } else {
+        CostParams::new(20.0 + 7.0 * m as f64, 1.0)
+    };
+    Arc::new(Source::new(data, desc, cost))
+}
+
+/// Builds the corpus members in domain-major order.
+pub fn corpus_members(cfg: &FedCorpusConfig) -> Vec<Arc<Source>> {
+    let domains = (cfg.n_sources / cfg.sources_per_domain).max(1);
+    let mut members = Vec::with_capacity(domains * cfg.sources_per_domain);
+    for d in 0..domains {
+        let data = domain_relation(d, cfg.rows_per_source, cfg.seed);
+        for m in 0..cfg.sources_per_domain {
+            members.push(mirror_source(d, m, data.clone()));
+        }
+    }
+    members
+}
+
+/// Assembles a federation over `members`, with the capability index on or
+/// off.
+pub fn corpus_federation(members: &[Arc<Source>], index_on: bool) -> Federation {
+    members
+        .iter()
+        .fold(Federation::new(), |f, m| f.with_member(m.clone()))
+        .with_capability_index(index_on)
+}
+
+/// A query against domain `d` (seeded shape variety). Every query is
+/// answerable — at worst by the domain's downloadable mirror.
+pub fn domain_query(d: usize, seed: u64) -> TargetQuery {
+    let [a, b, c] = domain_attrs(d);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31).wrapping_add(d as u64));
+    let cond = match rng.random_range(0..3) {
+        0 => format!("{a} = {} ^ {b} = {}", rng.random_range(0..7), rng.random_range(0..5)),
+        1 => format!("{a} = {}", rng.random_range(0..7)),
+        _ => format!("{b} = {} ^ {c} = \"c{}\"", rng.random_range(0..5), rng.random_range(0..3)),
+    };
+    TargetQuery::parse(&cond, &["k", a.as_str()]).expect("corpus query parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_and_sized() {
+        let cfg = FedCorpusConfig { n_sources: 64, ..Default::default() };
+        let m1 = corpus_members(&cfg);
+        assert_eq!(m1.len(), 64);
+        let names: Vec<_> = m1.iter().map(|s| s.name.clone()).collect();
+        assert_eq!(names[0], "d0m0");
+        assert_eq!(names[63], "d7m7");
+        let m2 = corpus_members(&cfg);
+        assert_eq!(names, m2.iter().map(|s| s.name.clone()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queries_stay_answerable_and_pruning_is_domain_sharp() {
+        let cfg = FedCorpusConfig { n_sources: 96, ..Default::default() };
+        let members = corpus_members(&cfg);
+        let fed = corpus_federation(&members, true);
+        for d in [0usize, 5, 11] {
+            for qs in 0..3u64 {
+                let q = domain_query(d, qs);
+                let fp = fed.plan(&q).unwrap_or_else(|e| panic!("domain {d} q{qs}: {e}"));
+                assert!(
+                    fp.source.name.starts_with(&format!("d{d}m")),
+                    "served cross-domain: {} for domain {d}",
+                    fp.source.name
+                );
+                // The index must confine candidates to the query's domain.
+                let decision = fed.capability_index().unwrap().candidates(&q);
+                assert!(
+                    decision.candidates.len() <= cfg.sources_per_domain,
+                    "domain {d} q{qs}: {} candidates leak past one domain",
+                    decision.candidates.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_on_and_off_pick_identical_plans() {
+        let cfg = FedCorpusConfig { n_sources: 48, ..Default::default() };
+        let members = corpus_members(&cfg);
+        let on = corpus_federation(&members, true);
+        let off = corpus_federation(&members, false);
+        for d in 0..6usize {
+            let q = domain_query(d, 17);
+            let (p_on, p_off) = (on.plan(&q).unwrap(), off.plan(&q).unwrap());
+            assert_eq!(p_on.source.name, p_off.source.name);
+            assert_eq!(p_on.planned.plan, p_off.planned.plan);
+            assert_eq!(p_on.planned.est_cost, p_off.planned.est_cost);
+        }
+    }
+}

@@ -9,5 +9,6 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod fedcorpus;
 pub mod table;
 pub mod workload;

@@ -9,53 +9,47 @@
 //! interning & bitsets").
 
 use csqp_expr::{CondTree, Connector};
-use csqp_ssdl::check::{CompiledSource, ExportSet};
+use csqp_ssdl::check::{CompiledSource, ExportSet, SharedCheckCache};
 use csqp_ssdl::linearize::{
     cond_fingerprint, linearize, linearize_masked, masked_fingerprint, Fingerprint,
+    FingerprintHasher,
 };
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// Keys are already uniform 128-bit fingerprints: fold to 64 bits and skip
-/// the default SipHash pass entirely.
-#[derive(Default)]
-struct FingerprintHasher(u64);
-
-impl Hasher for FingerprintHasher {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, _bytes: &[u8]) {
-        unreachable!("fingerprint keys hash via write_u128");
-    }
-
-    fn write_u128(&mut self, x: u128) {
-        self.0 = (x as u64) ^ ((x >> 64) as u64);
-    }
-}
+use std::hash::BuildHasherDefault;
 
 type FpMap = HashMap<Fingerprint, ExportSet, BuildHasherDefault<FingerprintHasher>>;
 
 /// A memoizing `Check` front-end with call counters.
+///
+/// Optionally layered over a source's persistent [`SharedCheckCache`]: a
+/// local miss then probes the shared map before parsing, and a parse
+/// backfills both — so repeated plans against the same source (the
+/// federation's per-member feasibility probes) stop re-parsing the grammar.
 #[derive(Debug)]
 pub struct CheckCache<'a> {
     source: &'a CompiledSource,
+    shared: Option<&'a SharedCheckCache>,
     map: RefCell<FpMap>,
     calls: Cell<usize>,
     parses: Cell<usize>,
 }
 
 impl<'a> CheckCache<'a> {
-    /// Wraps a compiled source.
+    /// Wraps a compiled source (plan-local memoization only).
     pub fn new(source: &'a CompiledSource) -> Self {
         CheckCache {
             source,
+            shared: None,
             map: RefCell::new(FpMap::default()),
             calls: Cell::new(0),
             parses: Cell::new(0),
         }
+    }
+
+    /// Wraps a compiled source with a persistent shared layer underneath.
+    pub fn with_shared(source: &'a CompiledSource, shared: &'a SharedCheckCache) -> Self {
+        CheckCache { shared: Some(shared), ..CheckCache::new(source) }
     }
 
     /// The wrapped source.
@@ -72,8 +66,15 @@ impl<'a> CheckCache<'a> {
         if let Some(hit) = self.map.borrow().get(&fp) {
             return hit.clone();
         }
+        if let Some(hit) = self.shared.and_then(|s| s.get(fp)) {
+            self.map.borrow_mut().insert(fp, hit.clone());
+            return hit;
+        }
         self.parses.set(self.parses.get() + 1);
         let result = self.source.check_tokens(&tokens());
+        if let Some(shared) = self.shared {
+            shared.insert(fp, result.clone());
+        }
         self.map.borrow_mut().insert(fp, result.clone());
         result
     }
@@ -156,6 +157,29 @@ mod tests {
         let single = cache.check_masked(Connector::And, &children, 0b01);
         assert_eq!(single, cache.check(Some(&children[0])));
         assert_eq!(cache.parses(), 2);
+    }
+
+    #[test]
+    fn shared_layer_survives_across_plan_caches() {
+        let compiled = CompiledSource::new(templates::car_dealer());
+        let shared = SharedCheckCache::new();
+        let c = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+
+        let first = CheckCache::with_shared(&compiled, &shared);
+        let e1 = first.check(Some(&c));
+        assert_eq!(first.parses(), 1);
+        assert_eq!(shared.len(), 1, "parse backfills the shared layer");
+
+        // A fresh per-plan cache (a new planning call) hits shared instead
+        // of re-parsing; the hit still counts as a call, not a parse.
+        let second = CheckCache::with_shared(&compiled, &shared);
+        let e2 = second.check(Some(&c));
+        assert_eq!(e1, e2);
+        assert_eq!(second.calls(), 1);
+        assert_eq!(second.parses(), 0, "shared hit skips the Earley parse");
+        // And the local backfill makes the next probe lock-free.
+        second.check(Some(&c));
+        assert_eq!(second.parses(), 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! the cheapest feasible plan — capability-sensitivity applied one level up
 //! from [`crate::mediator::Mediator`].
 
+use crate::capindex::{CapabilityIndex, IndexDecision};
 use crate::mediator::{execute_with_failover, CardKind, Mediator, MediatorError, RunOutcome};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
 use csqp_obs::{names, FlightRecorder, Obs, PlanEvent};
@@ -14,7 +15,7 @@ use csqp_plan::exec::{execute_measured, ExecError, RetryPolicy};
 use csqp_plan::exec_stream::{execute_stream_measured, StreamConfig, StreamStats};
 use csqp_source::{ResilienceMeter, Source};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Circuit-breaker policy for federation members.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,6 +97,10 @@ pub struct Federation {
     clock: AtomicU64,
     obs: Arc<Obs>,
     flight: Arc<FlightRecorder>,
+    /// Compiled capability index over the members (source pre-selection).
+    /// Built lazily on first plan; invalidated by membership changes.
+    capindex: OnceLock<CapabilityIndex>,
+    use_capindex: bool,
 }
 
 impl Default for Federation {
@@ -164,6 +169,8 @@ impl Federation {
             clock: AtomicU64::new(0),
             obs: Arc::new(Obs::new()),
             flight: Arc::new(FlightRecorder::off()),
+            capindex: OnceLock::new(),
+            use_capindex: true,
         }
     }
 
@@ -213,7 +220,63 @@ impl Federation {
     pub fn with_member(mut self, source: Arc<Source>) -> Self {
         self.members.push(source);
         self.breakers.push(BreakerState::default());
+        // Membership changed: any compiled index is stale.
+        self.capindex = OnceLock::new();
         self
+    }
+
+    /// Enables or disables the compiled capability index pre-filter
+    /// (enabled by default). With the index off every member is planned in
+    /// full — the reference behaviour the differential suite compares
+    /// against; plans and answers are identical either way.
+    pub fn with_capability_index(mut self, on: bool) -> Self {
+        self.use_capindex = on;
+        self
+    }
+
+    /// The compiled capability index, building it on first use. `None`
+    /// when the pre-filter is disabled.
+    pub fn capability_index(&self) -> Option<&CapabilityIndex> {
+        if !self.use_capindex {
+            return None;
+        }
+        Some(self.capindex.get_or_init(|| {
+            let idx = CapabilityIndex::build(&self.members);
+            // One virtual tick per member's facts compilation —
+            // deterministic, so it is safe under golden snapshots.
+            self.obs.metrics.add(names::CAPINDEX_BUILD_TICKS, idx.len() as u64);
+            idx
+        }))
+    }
+
+    /// Runs the capability-index pre-filter for one query (when enabled)
+    /// and records the candidate/pruned counters.
+    fn index_decision(&self, query: &TargetQuery) -> Option<IndexDecision> {
+        let decision = self.capability_index().map(|idx| idx.candidates(query))?;
+        self.obs.metrics.add(names::CAPINDEX_CANDIDATES, decision.candidates.len() as u64);
+        self.obs.metrics.add(names::CAPINDEX_PRUNED, decision.pruned as u64);
+        Some(decision)
+    }
+
+    /// Fans full planning out over the members that survive `decision`
+    /// (all members when `decision` is `None`), returning `(member index,
+    /// outcome)` pairs in member order — pruned members are absent, so the
+    /// planning cost and the result size scale with the candidate set, not
+    /// the federation.
+    #[allow(clippy::type_complexity)]
+    fn plan_candidates(
+        &self,
+        query: &TargetQuery,
+        decision: Option<&IndexDecision>,
+    ) -> Vec<(usize, Result<PlannedQuery, PlanError>)> {
+        let work: Vec<usize> = (0..self.members.len())
+            .filter(|&i| decision.is_none_or(|d| d.is_candidate(i)))
+            .collect();
+        let card = self.card;
+        let outcomes = crate::par::par_map(&work, |&i| {
+            Mediator::new(self.members[i].clone()).with_cardinality(card).plan(query)
+        });
+        work.into_iter().zip(outcomes).collect()
     }
 
     /// Selects the cardinality estimator used for every member.
@@ -245,10 +308,8 @@ impl Federation {
     pub fn plan(&self, query: &TargetQuery) -> Result<FederatedPlan, PlanError> {
         let span = self.obs.tracer.span("federation plan");
         let flight = self.flight.begin_with(|| (query.to_string(), "Federation".to_string()));
-        let card = self.card;
-        let outcomes = crate::par::par_map(&self.members, |member| {
-            Mediator::new(member.clone()).with_cardinality(card).plan(query)
-        });
+        let decision = self.index_decision(query);
+        let outcomes = self.plan_candidates(query, decision.as_ref());
         let mut best: Option<(Arc<Source>, PlannedQuery)> = None;
         let mut considered = Vec::with_capacity(self.members.len());
         // Member plans retained for provenance (name, cost, rendered plan);
@@ -257,7 +318,48 @@ impl Federation {
         // Sequential, member-ordered merge: the only place planner counters
         // and trace events are recorded, so the output is identical with
         // the `parallel` feature on or off.
-        for (member, outcome) in self.members.iter().zip(outcomes) {
+        if let Some(d) = &decision {
+            // Pruned members are aggregated — one metric add, one trace
+            // event, one flight event — so the per-query bookkeeping cost
+            // scales with the candidate set, not the federation.
+            self.obs.metrics.add(names::FEDERATION_INFEASIBLE, d.pruned as u64);
+            self.obs.tracer.event_with(|| {
+                format!(
+                    "capability index: {} of {} members remain ({} pruned)",
+                    d.candidates.len(),
+                    d.total,
+                    d.pruned
+                )
+            });
+            flight.event_with(|| PlanEvent::IndexPrune {
+                total: d.total,
+                candidates: d.candidates.len(),
+                pruned: d.pruned,
+            });
+        }
+        // One pre-rendered query string shared by every pruned member's
+        // `considered` entry (cloning beats re-rendering 10k times).
+        let pruned_query = if decision.as_ref().is_some_and(|d| d.pruned > 0) {
+            query.to_string()
+        } else {
+            String::new()
+        };
+        let mut next = outcomes.into_iter().peekable();
+        for (idx, member) in self.members.iter().enumerate() {
+            let outcome = if next.peek().is_some_and(|(i, _)| *i == idx) {
+                next.next().expect("peeked entry exists").1
+            } else {
+                // Pruned by the capability index: infeasible with
+                // certainty, no full planning was spent on it.
+                considered.push((
+                    member.name.clone(),
+                    Err(PlanError::NoFeasiblePlan {
+                        query: pruned_query.clone(),
+                        scheme: "CapIndex",
+                    }),
+                ));
+                continue;
+            };
             match outcome {
                 Ok(planned) => {
                     planned.report.record_into(&self.obs.metrics);
@@ -383,22 +485,40 @@ impl Federation {
         // Gate decisions are snapshotted up front so the planning fan-out
         // below cannot interleave with breaker updates.
         let gates: Vec<BreakerGate> = self.breakers.iter().map(|b| b.gate(now)).collect();
-        let card = self.card;
-        let outcomes = crate::par::par_map(&self.members, |member| {
-            Mediator::new(member.clone()).with_cardinality(card).plan(query)
-        });
+        let decision = self.index_decision(query);
+        let outcomes = self.plan_candidates(query, decision.as_ref());
 
         // Candidates in member order, then sorted cheapest-first (stable:
         // earliest member wins ties). Metrics/trace only from this
         // sequential merge — deterministic across the `parallel` feature.
+        if let Some(d) = &decision {
+            // Aggregated like in `plan`: pruned-member bookkeeping must not
+            // scale with the federation.
+            self.obs.metrics.add(names::FEDERATION_INFEASIBLE, d.pruned as u64);
+            flight.event_with(|| PlanEvent::IndexPrune {
+                total: d.total,
+                candidates: d.candidates.len(),
+                pruned: d.pruned,
+            });
+        }
         let mut candidates: Vec<(usize, PlannedQuery)> = Vec::new();
         let mut any_feasible = false;
-        for (idx, outcome) in outcomes.into_iter().enumerate() {
+        let mut next = outcomes.into_iter().peekable();
+        for (idx, gate) in gates.iter().enumerate() {
+            let outcome = if next.peek().is_some_and(|(i, _)| *i == idx) {
+                next.next().expect("peeked entry exists").1
+            } else {
+                // Pruned by the capability index without planning: the
+                // member is infeasible with certainty, so the trace entry
+                // is identical to a planning failure's.
+                trace.push((self.members[idx].name.clone(), MemberEvent::Infeasible));
+                continue;
+            };
             match outcome {
                 Ok(planned) => {
                     any_feasible = true;
                     planned.report.record_into(&self.obs.metrics);
-                    if gates[idx] == BreakerGate::Quarantined {
+                    if *gate == BreakerGate::Quarantined {
                         self.obs.metrics.inc(names::FEDERATION_QUARANTINED);
                         self.obs.tracer.event_with(|| {
                             format!("member {}: quarantined (breaker open)", self.members[idx].name)

@@ -102,8 +102,13 @@ pub fn plan_compact_recorded(
     let start = Instant::now();
     // GenCompact reasons against the permutation-closed planning view
     // (unless the E11 ablation pins it to the original grammar).
-    let view = if cfg.use_gate_view { source.gate_view() } else { source.planning_view() };
-    let cache = CheckCache::new(view);
+    let cache = if cfg.use_gate_view {
+        CheckCache::new(source.gate_view())
+    } else {
+        // Layered over the source's persistent memo: a federation planning
+        // the same query repeatedly stops re-parsing the member's grammar.
+        CheckCache::with_shared(source.planning_view(), source.planning_check_cache())
+    };
 
     let rewritten = enumerate_compact(&query.cond, cfg.rewrite_budget);
     let mut ctx = IpgContext::new(&cache, model, card, cfg.ipg).with_flight(flight);

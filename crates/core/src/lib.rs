@@ -37,6 +37,7 @@
 
 pub mod baselines;
 pub mod cache;
+pub mod capindex;
 pub mod epg;
 pub mod federation;
 pub mod gencompact;
@@ -50,6 +51,7 @@ pub mod mediator;
 pub mod par;
 pub mod types;
 
+pub use capindex::{CapabilityIndex, IndexDecision};
 pub use federation::{
     CircuitBreakerConfig, FailoverTrace, FederatedPlan, FederatedRun, Federation, MemberEvent,
 };

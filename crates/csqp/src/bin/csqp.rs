@@ -36,8 +36,8 @@ enum ExplainMode {
 }
 
 struct Args {
-    ssdl_path: String,
-    csv_path: String,
+    ssdl_paths: Vec<String>,
+    csv_paths: Vec<String>,
     key: Vec<String>,
     query: String,
     attrs: Vec<String>,
@@ -66,7 +66,9 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
             [--k1 <f64>] [--k2 <f64>]
        csqp --chaos <seed> [--trace] [--metrics json|prom]
 
-  --ssdl     SSDL source description (see README for the syntax)
+  --ssdl     SSDL source description (see README for the syntax); repeat
+             --ssdl/--csv pairs to federate: queries route through the
+             compiled capability index and the cheapest feasible member wins
   --csv      data file; header row names the columns, types are inferred
   --query    target condition, e.g. 'price < 40000 ^ make = \"BMW\"'
   --attrs    projected attributes, comma-separated
@@ -95,8 +97,8 @@ serve mode keeps the mediator warm behind a tiny HTTP/1.0 listener with
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        ssdl_path: String::new(),
-        csv_path: String::new(),
+        ssdl_paths: Vec::new(),
+        csv_paths: Vec::new(),
         key: Vec::new(),
         query: String::new(),
         attrs: Vec::new(),
@@ -126,8 +128,8 @@ fn parse_args() -> Result<Args, String> {
     };
     while i < argv.len() {
         match argv[i].as_str() {
-            "--ssdl" => args.ssdl_path = value(&mut i)?,
-            "--csv" => args.csv_path = value(&mut i)?,
+            "--ssdl" => args.ssdl_paths.push(value(&mut i)?),
+            "--csv" => args.csv_paths.push(value(&mut i)?),
             "--query" => args.query = value(&mut i)?,
             "--attrs" => {
                 args.attrs = value(&mut i)?.split(',').map(|s| s.trim().to_string()).collect()
@@ -175,10 +177,17 @@ fn parse_args() -> Result<Args, String> {
     // --chaos is a self-contained demo; the planning flags don't apply.
     // serve mode takes queries over the wire, not on the command line.
     if args.chaos.is_none() {
-        for (flag, val) in [("--ssdl", &args.ssdl_path), ("--csv", &args.csv_path)] {
+        for (flag, val) in [("--ssdl", &args.ssdl_paths), ("--csv", &args.csv_paths)] {
             if val.is_empty() {
                 return Err(format!("{flag} is required"));
             }
+        }
+        if args.ssdl_paths.len() != args.csv_paths.len() {
+            return Err(format!(
+                "--ssdl and --csv come in pairs: got {} descriptions for {} data files",
+                args.ssdl_paths.len(),
+                args.csv_paths.len()
+            ));
         }
         if !args.serve {
             if args.query.is_empty() {
@@ -332,43 +341,8 @@ fn main() -> ExitCode {
         return chaos_demo(seed, args.trace, args.metrics_json, args.metrics_prom);
     }
 
-    // Load inputs.
-    let ssdl_text = match std::fs::read_to_string(&args.ssdl_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", args.ssdl_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let desc = match parse_ssdl(&ssdl_text) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("error: {}: {e}", args.ssdl_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let csv_text = match std::fs::read_to_string(&args.csv_path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", args.csv_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    let key_refs: Vec<&str> = args.key.iter().map(String::as_str).collect();
-    let relation = match csqp::relation::csv::load_csv(&desc.name.clone(), &csv_text, &key_refs) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {}: {e}", args.csv_path);
-            return ExitCode::FAILURE;
-        }
-    };
-    eprintln!(
-        "loaded {} rows into {} ({} supported query forms)",
-        relation.len(),
-        relation.schema(),
-        desc.exports.len()
-    );
-
+    // Load inputs: each --ssdl/--csv pair becomes one source; two or more
+    // pairs federate behind the compiled capability index.
     let cost = match std::panic::catch_unwind(|| CostParams::new(args.k1, args.k2)) {
         Ok(c) => c,
         Err(_) => {
@@ -376,7 +350,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let source = Arc::new(Source::new(relation, desc, cost));
+    let key_refs: Vec<&str> = args.key.iter().map(String::as_str).collect();
+    let mut sources: Vec<Arc<Source>> = Vec::with_capacity(args.ssdl_paths.len());
+    for (ssdl_path, csv_path) in args.ssdl_paths.iter().zip(&args.csv_paths) {
+        match load_source(ssdl_path, csv_path, &key_refs, cost) {
+            Ok(s) => sources.push(s),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     if args.serve {
         let cfg = ServeConfig {
@@ -385,7 +369,7 @@ fn main() -> ExitCode {
             slow_ms: args.slow_ms,
             ..Default::default()
         };
-        return match Server::bind(source, cfg).and_then(|mut s| s.run()) {
+        return match Server::bind_federation(sources, cfg).and_then(|mut s| s.run()) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: serve: {e}");
@@ -393,6 +377,11 @@ fn main() -> ExitCode {
             }
         };
     }
+
+    if sources.len() > 1 {
+        return federated_query(&args, sources);
+    }
+    let source = sources.into_iter().next().expect("one --ssdl/--csv pair loaded");
 
     let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
     let query = match TargetQuery::parse(&args.query, &attr_refs) {
@@ -491,6 +480,142 @@ fn main() -> ExitCode {
     }
     if args.metrics_prom {
         print!("{}", mediator.metrics_snapshot().to_prometheus());
+    }
+    status
+}
+
+/// Loads one `--ssdl`/`--csv` pair into a source.
+fn load_source(
+    ssdl_path: &str,
+    csv_path: &str,
+    key: &[&str],
+    cost: CostParams,
+) -> Result<Arc<Source>, String> {
+    let ssdl_text =
+        std::fs::read_to_string(ssdl_path).map_err(|e| format!("cannot read {ssdl_path}: {e}"))?;
+    let desc = parse_ssdl(&ssdl_text).map_err(|e| format!("{ssdl_path}: {e}"))?;
+    let csv_text =
+        std::fs::read_to_string(csv_path).map_err(|e| format!("cannot read {csv_path}: {e}"))?;
+    let relation = csqp::relation::csv::load_csv(&desc.name.clone(), &csv_text, key)
+        .map_err(|e| format!("{csv_path}: {e}"))?;
+    eprintln!(
+        "loaded {} rows into {} ({} supported query forms)",
+        relation.len(),
+        relation.schema(),
+        desc.exports.len()
+    );
+    Ok(Arc::new(Source::new(relation, desc, cost)))
+}
+
+/// One-shot federated query: plans across all sources behind the compiled
+/// capability index, reports the index's prune decision, and (with `--run`)
+/// executes on the winning member.
+fn federated_query(args: &Args, sources: Vec<Arc<Source>>) -> ExitCode {
+    if args.scheme != Scheme::GenCompact {
+        eprintln!(
+            "warning: --scheme {} is ignored in federated mode (members plan with gencompact)",
+            args.scheme.name()
+        );
+    }
+    let obs = Arc::new(Obs::new());
+    let mut federation =
+        sources.into_iter().fold(Federation::new(), |f, s| f.with_member(s)).with_obs(obs.clone());
+    if args.explain == ExplainMode::Why {
+        federation = federation.with_flight_recorder(Arc::new(FlightRecorder::new()));
+    }
+    let attr_refs: Vec<&str> = args.attrs.iter().map(String::as_str).collect();
+    let query = match TargetQuery::parse(&args.query, &attr_refs) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("error: --query: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let print_header = |federation: &Federation, fp: &csqp::core::federation::FederatedPlan| {
+        println!(
+            "federated plan: member `{}` wins at est cost {:.1} ({} members considered):",
+            fp.source.name,
+            fp.planned.est_cost,
+            fp.considered.len()
+        );
+        println!("  {}", fp.planned.plan);
+        if let Some(idx) = federation.capability_index() {
+            let d = idx.candidates(&query);
+            println!(
+                "capability index: {} of {} members remained ({} pruned without planning)",
+                d.candidates.len(),
+                d.total,
+                d.pruned
+            );
+        }
+        match args.explain {
+            ExplainMode::Plan => {
+                print!("\nplan tree:\n{}", explain(&fp.planned.plan));
+                for (member, outcome) in &fp.considered {
+                    match outcome {
+                        Ok(cost) => println!("  member {member}: est cost {cost:.1}"),
+                        Err(e) => println!("  member {member}: infeasible ({e})"),
+                    }
+                }
+                print_planner_stats(&fp.planned);
+            }
+            ExplainMode::Why => print!("\n{}", federation.explain_why()),
+            ExplainMode::Off => {}
+        }
+    };
+
+    let status = if args.run {
+        let stream_cfg = args.limit.map(|n| StreamConfig::default().with_limit(n));
+        let result = match &stream_cfg {
+            Some(cfg) => federation.run_streamed(&query, cfg).map(|(fp, out, _stats)| (fp, out)),
+            None => federation.run(&query),
+        };
+        match result {
+            Ok((fp, out)) => {
+                print_header(&federation, &fp);
+                println!(
+                    "\n{} rows ({} source queries, {} tuples shipped, measured cost {:.1}):",
+                    out.rows.len(),
+                    out.meter.queries,
+                    out.meter.tuples_shipped,
+                    out.measured_cost
+                );
+                for row in out.rows.rows() {
+                    println!("  {row}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(MediatorError::Plan(e)) => {
+                eprintln!("error: no member can serve the query: {e}");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("execution error: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        match federation.plan(&query) {
+            Ok(fp) => {
+                print_header(&federation, &fp);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: no member can serve the query: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    };
+
+    if args.trace {
+        eprint!("{}", obs.tracer.render());
+    }
+    if args.metrics_json {
+        println!("{}", federation.metrics_snapshot().to_json());
+    }
+    if args.metrics_prom {
+        print!("{}", federation.metrics_snapshot().to_prometheus());
     }
     status
 }

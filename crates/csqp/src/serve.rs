@@ -1,7 +1,8 @@
-//! `csqp serve` — a long-running mediator behind a tiny TCP server.
+//! `csqp serve` — a long-running federation behind a tiny TCP server.
 //!
-//! Keeps one warm [`Mediator`] (and its armed flight recorder) behind a
-//! hand-rolled HTTP/1.0 listener built only on `std::net` — no runtime, no
+//! Keeps one warm [`Federation`] (compiled capability index, armed flight
+//! recorder, and a warm per-member [`Mediator`]) behind a hand-rolled
+//! HTTP/1.0 listener built only on `std::net` — no runtime, no
 //! dependencies. Endpoints:
 //!
 //! | endpoint | answers |
@@ -29,6 +30,7 @@
 //! by design and excluded from every golden test, keeping the deterministic
 //! virtual-tick layer untouched.
 
+use csqp_core::federation::Federation;
 use csqp_core::mediator::{Mediator, MediatorError, Scheme};
 use csqp_core::types::TargetQuery;
 use csqp_obs::{names, FlightRecorder, Obs};
@@ -77,11 +79,16 @@ pub struct SlowQuery {
     pub why: String,
 }
 
-/// The serve-mode server: one warm mediator, one TCP listener.
+/// The serve-mode server: one warm federation (capability index + one warm
+/// mediator per member), one TCP listener.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    mediator: Mediator,
+    federation: Federation,
+    /// One warm mediator per federation member, in member order; the
+    /// federation's capability index + plan pick the member, the member's
+    /// mediator streams the answer.
+    mediators: Vec<Mediator>,
     obs: Arc<Obs>,
     flight: Arc<FlightRecorder>,
     cfg: ServeConfig,
@@ -89,17 +96,32 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and warms up a mediator (with an armed flight
-    /// recorder) for `source`.
+    /// Binds the listener and warms up a single-member federation for
+    /// `source` (see [`Server::bind_federation`]).
     pub fn bind(source: Arc<Source>, cfg: ServeConfig) -> io::Result<Server> {
+        Server::bind_federation(vec![source], cfg)
+    }
+
+    /// Binds the listener and warms up a federation over `members`: every
+    /// query is routed through the compiled capability index and planned
+    /// federation-wide (the index's prune counts land in the `capindex.*`
+    /// metrics and the flight recorder), then streamed by the winning
+    /// member's warm mediator.
+    pub fn bind_federation(members: Vec<Arc<Source>>, cfg: ServeConfig) -> io::Result<Server> {
+        assert!(!members.is_empty(), "serve needs at least one source");
         let listener = TcpListener::bind(&cfg.addr)?;
         let obs = Arc::new(Obs::new());
         let flight = Arc::new(FlightRecorder::new());
-        let mediator = Mediator::new(source)
-            .with_scheme(cfg.scheme)
+        let federation = members
+            .iter()
+            .fold(Federation::new(), |f, m| f.with_member(m.clone()))
             .with_obs(obs.clone())
             .with_flight_recorder(flight.clone());
-        Ok(Server { listener, mediator, obs, flight, cfg, slow_log: VecDeque::new() })
+        let mediators = members
+            .iter()
+            .map(|m| Mediator::new(m.clone()).with_scheme(cfg.scheme).with_obs(obs.clone()))
+            .collect();
+        Ok(Server { listener, federation, mediators, obs, flight, cfg, slow_log: VecDeque::new() })
     }
 
     /// The bound address (resolves the ephemeral port of `:0` configs).
@@ -107,9 +129,15 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// The warm mediator serving the queries.
+    /// The first member's warm mediator (the only one in single-source
+    /// serve mode).
     pub fn mediator(&self) -> &Mediator {
-        &self.mediator
+        &self.mediators[0]
+    }
+
+    /// The federation routing the served queries.
+    pub fn federation(&self) -> &Federation {
+        &self.federation
     }
 
     /// The slow-query log, oldest first.
@@ -199,7 +227,9 @@ impl Server {
         };
         match path {
             "/healthz" => ("200 OK", TEXT, "ok\n".to_string(), false),
-            "/metrics" => ("200 OK", PROM, self.mediator.metrics_snapshot().to_prometheus(), false),
+            "/metrics" => {
+                ("200 OK", PROM, self.federation.metrics_snapshot().to_prometheus(), false)
+            }
             "/flightrecorder" => match query_param(query_string, "query") {
                 Some(id) => match id.parse::<u64>().ok().and_then(|id| self.flight.record(id)) {
                     Some(rec) => ("200 OK", TEXT, csqp_plan::why::explain_why(Some(&rec)), false),
@@ -223,7 +253,7 @@ impl Server {
             return "pong\n".to_string();
         }
         if line == "why" {
-            return self.mediator.explain_why();
+            return self.federation.explain_why();
         }
         if let Some(rest) = line.strip_prefix("query ") {
             let Some((attrs, cond)) = rest.trim().split_once(' ') else {
@@ -352,10 +382,32 @@ impl Server {
             None => StreamConfig::default(),
         };
         let start = Instant::now();
+        // Federated member selection first: the capability index prunes
+        // members that cannot possibly serve the shape, the survivors are
+        // planned, and the cheapest feasible member wins. The winner's warm
+        // mediator then streams the answer (its fingerprint-keyed check
+        // cache makes the replan cheap).
+        let fp = self.federation.plan(&query).map_err(|e| {
+            self.obs.metrics.inc(names::SERVE_ERRORS);
+            format!("planning failed: {e}\n")
+        })?;
+        let winner = self
+            .federation
+            .members()
+            .iter()
+            .position(|m| Arc::ptr_eq(m, &fp.source))
+            .expect("federation winner is a member");
+        let (index_candidates, index_total) = self
+            .federation
+            .capability_index()
+            .map(|idx| {
+                let d = idx.candidates(&query);
+                (d.candidates.len(), d.total)
+            })
+            .unwrap_or((fp.considered.len(), fp.considered.len()));
         let mut emitted = 0u64;
         let mut chunk = String::new();
-        let out = self
-            .mediator
+        let out = self.mediators[winner]
             .run_streamed_each(&query, &cfg, &mut |batch| {
                 emitted += batch.len() as u64;
                 chunk.clear();
@@ -383,11 +435,12 @@ impl Server {
             self.slow_log.push_back(SlowQuery {
                 latency_us,
                 query: query.to_string(),
-                why: self.mediator.explain_why(),
+                why: self.federation.explain_why(),
             });
         }
         Ok(format!(
-            "{} rows (est cost {:.2}, measured cost {:.2}, {} source queries, flight #{})\n",
+            "{} rows (est cost {:.2}, measured cost {:.2}, {} source queries, capindex \
+             {index_candidates}/{index_total} candidates, flight #{})\n",
             emitted,
             out.outcome.planned.est_cost,
             out.outcome.measured_cost,

@@ -186,6 +186,27 @@ impl SymSet {
         out
     }
 
+    /// In-place intersection (the capability-index candidate primitive).
+    pub fn intersect_with(&mut self, other: &SymSet) {
+        self.lo &= other.lo;
+        if self.hi.len() > other.hi.len() {
+            self.hi.truncate(other.hi.len());
+        }
+        for (a, b) in self.hi.iter_mut().zip(&other.hi) {
+            *a &= *b;
+        }
+        while self.hi.last() == Some(&0) {
+            self.hi.pop();
+        }
+    }
+
+    /// Intersection as a new set.
+    pub fn intersection(&self, other: &SymSet) -> SymSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
     /// Iterates members in ascending id order.
     pub fn iter(&self) -> impl Iterator<Item = Sym> + '_ {
         std::iter::once(self.lo).chain(self.hi.iter().copied()).enumerate().flat_map(
@@ -294,6 +315,20 @@ mod tests {
             h.finish()
         };
         assert_eq!(hash(&a), hash(&b));
+    }
+
+    #[test]
+    fn intersection_keeps_invariant() {
+        let a = SymSet::from_syms([1, 63, 64, 200]);
+        let b = SymSet::from_syms([1, 64, 199]);
+        let i = a.intersection(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![1, 64]);
+        // Trailing zero words are trimmed so Eq/Hash stay set-semantic.
+        assert_eq!(i, SymSet::from_syms([1, 64]));
+        let mut c = SymSet::from_syms([300]);
+        c.intersect_with(&SymSet::from_syms([2]));
+        assert!(c.is_empty());
+        assert_eq!(c, SymSet::new());
     }
 
     #[test]

@@ -184,6 +184,16 @@ pub enum PlanEvent {
         /// What happened, rendered.
         detail: String,
     },
+    /// The federation capability index pre-filtered the member set before
+    /// full `Check`-based planning.
+    IndexPrune {
+        /// Members in the federation.
+        total: usize,
+        /// Members surviving the index pre-filter.
+        candidates: usize,
+        /// Members pruned without planning (`total - candidates`).
+        pruned: usize,
+    },
     /// A circuit breaker (or its gate) changed state for a member.
     Breaker {
         /// The federation member.
@@ -263,6 +273,13 @@ impl fmt::Display for PlanEvent {
             }
             PlanEvent::Failover { rank, detail } => {
                 write!(f, "[failover] rank {rank} failed: {detail}")
+            }
+            PlanEvent::IndexPrune { total, candidates, pruned } => {
+                write!(
+                    f,
+                    "[capindex] {candidates} of {total} members remain ({pruned} pruned \
+                     without planning)"
+                )
             }
             PlanEvent::Breaker { member, transition } => {
                 write!(f, "[breaker] member {member}: {transition}")

@@ -105,6 +105,19 @@ pub const FEDERATION_EXEC_FAILED: &str = "federation.exec_failed";
 /// Queries ultimately served by some member.
 pub const FEDERATION_SERVED: &str = "federation.served";
 
+// ---- federation capability index (compiled source pre-selection) ----
+
+/// Members surviving the capability-index pre-filter across federated
+/// planning calls (Σ per-query candidate counts).
+pub const CAPINDEX_CANDIDATES: &str = "capindex.candidates_total";
+/// Members pruned by the capability index before full `Check`-based
+/// planning (Σ per-query pruned counts).
+pub const CAPINDEX_PRUNED: &str = "capindex.pruned_total";
+/// Virtual ticks spent building the index: one tick per member whose
+/// capability facts were compiled (deterministic — **not** wall-clock, so
+/// it is safe in goldens; real build latency is measured by the e16 bench).
+pub const CAPINDEX_BUILD_TICKS: &str = "capindex.build_ticks";
+
 // ---- serve mode (`csqp serve`) ----
 //
 // These are the only wall-clock metrics in the registry. They exist solely

@@ -5,7 +5,8 @@
 //! golden test. Dotted registry names map to Prometheus conventions:
 //!
 //! * every name gains a `csqp_` prefix and dots become underscores;
-//! * counters gain the `_total` suffix;
+//! * counters gain the `_total` suffix (names already carrying it keep a
+//!   single copy);
 //! * log2 histograms render as cumulative `_bucket{le="..."}` series plus
 //!   `_sum` and `_count`;
 //! * each `# HELP` line carries the original dotted registry name, so a
@@ -21,10 +22,16 @@ use std::fmt::Write as _;
 pub fn render(snap: &MetricsSnapshot) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
-        let prom = prom_name(name);
-        let _ = writeln!(out, "# HELP {prom}_total counter `{name}`");
-        let _ = writeln!(out, "# TYPE {prom}_total counter");
-        let _ = writeln!(out, "{prom}_total {v}");
+        let mut prom = prom_name(name);
+        // Counters gain `_total` per convention; registry names that
+        // already carry the suffix (e.g. `capindex.candidates_total`)
+        // keep a single copy.
+        if !prom.ends_with("_total") {
+            prom.push_str("_total");
+        }
+        let _ = writeln!(out, "# HELP {prom} counter `{name}`");
+        let _ = writeln!(out, "# TYPE {prom} counter");
+        let _ = writeln!(out, "{prom} {v}");
     }
     for (name, v) in &snap.gauges {
         let prom = prom_name(name);

@@ -45,6 +45,7 @@ pub fn explain_why(record: Option<&QueryRecord>) -> String {
     let mut runtime: Vec<String> = Vec::new();
     let mut winner: Option<String> = None;
     let mut check_cache: Option<String> = None;
+    let mut index_prune: Option<String> = None;
     let mut in_ct = false;
     let (mut admitted, mut memo, mut pr1, mut pr2, mut pr3, mut mcsc) =
         (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
@@ -61,6 +62,7 @@ pub fn explain_why(record: Option<&QueryRecord>) -> String {
                 runtime.push(format!("  {e}"))
             }
             PlanEvent::CheckCacheStats { .. } => check_cache = Some(e.to_string()),
+            PlanEvent::IndexPrune { .. } => index_prune = Some(e.to_string()),
             PlanEvent::Note { .. } if i > winner_idx => runtime.push(format!("  {e}")),
             PlanEvent::CtBegin { .. } => {
                 in_ct = true;
@@ -102,6 +104,10 @@ pub fn explain_why(record: Option<&QueryRecord>) -> String {
              {pr1} PR1 prunes, {pr2} PR2 evictions, {pr3} PR3 dominations, \
              {mcsc} MCSC combinations"
         );
+    }
+
+    if let Some(ip) = &index_prune {
+        let _ = writeln!(out, "\n{ip}");
     }
 
     if let Some(cc) = &check_cache {

@@ -3,7 +3,8 @@
 //! The build environment has no registry access, so the workspace vendors
 //! the subset of the proptest API its property tests use: the `proptest!`
 //! macro with an optional `#![proptest_config(...)]` header, integer-range
-//! strategies (`lo..hi`, `lo..=hi`), and `prop_assert!`/`prop_assert_eq!`.
+//! strategies (`lo..hi`, `lo..=hi`), `collection::vec`, and
+//! `prop_assert!`/`prop_assert_eq!`.
 //!
 //! Differences from real proptest, by design:
 //! - **No shrinking.** A failing case reports its sampled inputs; re-run
@@ -112,6 +113,31 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// `proptest::collection` subset: the `vec` strategy, sized by a length
+/// range and filled by an element strategy.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec-size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = Strategy::sample(&self.size, rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
 
 /// Executes the cases of one property. Used by the `proptest!` expansion.
 pub struct TestRunner {
@@ -242,6 +268,12 @@ mod tests {
         #[test]
         fn arithmetic_property(x in 0i64..1000, y in 0i64..1000) {
             prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn vec_strategy_respects_bounds(v in crate::collection::vec(0u8..4, 1..6)) {
+            prop_assert!((1..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 4));
         }
     }
 

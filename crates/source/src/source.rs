@@ -22,13 +22,14 @@ use csqp_relation::schema::Schema;
 use csqp_relation::stream::{project_indices, DedupSketch, TupleBatch};
 use csqp_relation::tuple::Row;
 use csqp_relation::{Relation, TableStats};
-use csqp_ssdl::check::{CompiledSource, ExportSet};
+use csqp_ssdl::check::{CompiledSource, ExportSet, SharedCheckCache};
 use csqp_ssdl::closure::{fix_order, permutation_closure, DEFAULT_MAX_SEGMENTS};
+use csqp_ssdl::facts::CapabilityFacts;
 use csqp_ssdl::SsdlDesc;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Errors raised when querying a source.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +149,12 @@ pub struct Source {
     original: CompiledSource,
     /// The permutation-closed planning view.
     planning: CompiledSource,
+    /// Cross-plan `Check` memo for the planning view (the gate view stays
+    /// uncached: execution must exercise the real order-sensitive parser).
+    planning_check_cache: SharedCheckCache,
+    /// Capability facts of the planning view, compiled on first use (the
+    /// federation capability index is built from these).
+    facts: OnceLock<CapabilityFacts>,
     stats: TableStats,
     cost: CostParams,
     queries: AtomicU64,
@@ -176,6 +183,8 @@ impl Source {
             relation,
             original: CompiledSource::new(desc),
             planning: CompiledSource::new(closed.desc),
+            planning_check_cache: SharedCheckCache::new(),
+            facts: OnceLock::new(),
             stats,
             cost,
             queries: AtomicU64::new(0),
@@ -227,6 +236,20 @@ impl Source {
     /// The original (gate) description.
     pub fn gate_view(&self) -> &CompiledSource {
         &self.original
+    }
+
+    /// The cross-plan `Check` memo for the planning view. Planners layer
+    /// their per-plan cache over this, so repeated identical conditions —
+    /// e.g. a federation planning the same query again — skip the Earley
+    /// parse entirely.
+    pub fn planning_check_cache(&self) -> &SharedCheckCache {
+        &self.planning_check_cache
+    }
+
+    /// Capability facts of the planning view, compiled once on first use.
+    /// These feed the federation capability index (source pre-selection).
+    pub fn capability_facts(&self) -> &CapabilityFacts {
+        self.facts.get_or_init(|| CapabilityFacts::compile(&self.planning))
     }
 
     /// `Check(C, R)` against the planning view.

@@ -141,6 +141,55 @@ impl ExportSet {
     }
 }
 
+/// A thread-safe, fingerprint-keyed `Check(C, R)` memo that persists across
+/// planning calls.
+///
+/// Per-plan check caches die with the plan, so a federation planning the
+/// same query twice re-parses every member's grammar from scratch. A source
+/// owns one `SharedCheckCache` for its planning view; planners layer their
+/// per-plan cache on top and backfill both, so repeated identical
+/// conditions cost one read-locked map probe instead of an Earley parse.
+///
+/// Reads take a shared lock; a racing double-insert is harmless (`Check` is
+/// deterministic, so both writers store the same value).
+#[derive(Debug, Default)]
+pub struct SharedCheckCache {
+    map: std::sync::RwLock<
+        std::collections::HashMap<
+            crate::linearize::Fingerprint,
+            ExportSet,
+            std::hash::BuildHasherDefault<crate::linearize::FingerprintHasher>,
+        >,
+    >,
+}
+
+impl SharedCheckCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        SharedCheckCache::default()
+    }
+
+    /// Looks up a memoized `Check` result by condition fingerprint.
+    pub fn get(&self, fp: crate::linearize::Fingerprint) -> Option<ExportSet> {
+        self.map.read().expect("shared check cache poisoned").get(&fp).cloned()
+    }
+
+    /// Memoizes a `Check` result.
+    pub fn insert(&self, fp: crate::linearize::Fingerprint, exports: ExportSet) {
+        self.map.write().expect("shared check cache poisoned").insert(fp, exports);
+    }
+
+    /// Number of memoized conditions.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("shared check cache poisoned").len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A source description compiled for fast `Check` calls (grammar built once,
 /// when the source joins the system — §6.1).
 #[derive(Debug, Clone)]

@@ -47,6 +47,7 @@ pub mod check;
 pub mod closure;
 pub mod earley;
 pub mod error;
+pub mod facts;
 pub mod form;
 pub mod grammar;
 pub mod lexer;
@@ -56,8 +57,9 @@ pub mod templates;
 pub mod token;
 
 pub use ast::SsdlDesc;
-pub use check::{CompiledSource, ExportSet};
+pub use check::{CompiledSource, ExportSet, SharedCheckCache};
 pub use error::SsdlError;
+pub use facts::{AtomClass, CapabilityFacts, FormFacts};
 pub use linearize::{
     cond_fingerprint, linearize, linearize_masked, masked_fingerprint, tokens_fingerprint,
     Fingerprint,

@@ -112,6 +112,27 @@ pub fn tokens_to_string(tokens: &[CondToken]) -> String {
 /// A 128-bit fingerprint of a linearized condition, suitable as a cache key.
 pub type Fingerprint = u128;
 
+/// Hasher for [`Fingerprint`] keys: they are already uniform 128-bit
+/// values, so fold to 64 bits and skip the default SipHash pass entirely.
+/// Shared by the per-plan check cache and the cross-plan
+/// [`SharedCheckCache`](crate::check::SharedCheckCache).
+#[derive(Default)]
+pub struct FingerprintHasher(u64);
+
+impl std::hash::Hasher for FingerprintHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint keys hash via write_u128");
+    }
+
+    fn write_u128(&mut self, x: u128) {
+        self.0 = (x as u64) ^ ((x >> 64) as u64);
+    }
+}
+
 #[derive(Clone, Copy)]
 struct Fp {
     a: u64,

@@ -74,11 +74,14 @@ fn serve_smoke() {
     }
 
     // Rows stream incrementally with the summary as a trailer: the body is
-    // row lines followed by the "N rows (est cost …)" line.
+    // row lines followed by the "N rows (est cost …)" line. The trailer
+    // carries the capability-index decision (single-member federation: one
+    // candidate of one member).
     let body = q.split("\r\n\r\n").nth(1).expect("response has a body");
     let lines: Vec<&str> = body.lines().collect();
     let trailer = lines.last().unwrap();
     assert!(trailer.contains("rows (est cost"), "summary is the trailer: {body}");
+    assert!(trailer.contains("capindex 1/1 candidates"), "index decision in trailer: {trailer}");
     let n: usize = trailer.split(' ').next().unwrap().parse().expect("row count leads the trailer");
     assert_eq!(lines.len() - 1, n, "one line per row plus the trailer: {body}");
 
@@ -126,6 +129,11 @@ fn serve_smoke() {
             "csqp_serve_queries_total",
             "csqp_serve_requests_total",
             "csqp_serve_latency_us_bucket",
+            // Serve routes every query through the federation's compiled
+            // capability index, so the scrape carries its counters too.
+            "csqp_capindex_candidates_total",
+            "csqp_capindex_pruned_total",
+            "csqp_capindex_build_ticks_total",
         ] {
             assert!(metrics.contains(series), "{series} missing from scrape:\n{metrics}");
         }
@@ -147,6 +155,44 @@ fn serve_smoke() {
 
     // Still healthy after the error traffic, then a clean shutdown.
     assert!(http_get(addr, "/healthz").ends_with("ok\n"));
+    let bye = http_get(addr, "/shutdown");
+    assert!(bye.contains("shutting down"), "{bye}");
+    handle.join().expect("server thread").expect("accept loop exits cleanly");
+}
+
+/// Federated serve: two members behind one listener. The compiled
+/// capability index prunes the member that cannot export the projection
+/// before any planning happens, and the trailer reports the decision.
+#[test]
+fn serve_federation_routes_and_prunes() {
+    let dealer = Arc::new(Source::new(
+        datagen::cars(3, 400),
+        templates::car_dealer(),
+        CostParams::default(),
+    ));
+    // Exports only make/color: pruned by the index (rule 1) for any query
+    // projecting model/year.
+    let colors = Arc::new(Source::new(
+        datagen::cars(3, 400),
+        csqp_ssdl::parse_ssdl(
+            "source colors {\n  s1 -> color = $str ;\n  attributes :: s1 : { make, color } ;\n}",
+        )
+        .expect("colors SSDL parses"),
+        CostParams::default(),
+    ));
+    let mut server = Server::bind_federation(vec![dealer, colors], ServeConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.run());
+
+    let q = http_get(
+        addr,
+        "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year",
+    );
+    assert!(q.starts_with("HTTP/1.0 200"), "{q}");
+    assert!(q.contains("rows (est cost"), "{q}");
+    assert!(q.contains("capindex 1/2 candidates"), "colors member is index-pruned: {q}");
+
     let bye = http_get(addr, "/shutdown");
     assert!(bye.contains("shutting down"), "{bye}");
     handle.join().expect("server thread").expect("accept loop exits cleanly");
