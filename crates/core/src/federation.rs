@@ -10,10 +10,15 @@
 use crate::capindex::{CapabilityIndex, IndexDecision};
 use crate::mediator::{execute_with_failover, CardKind, Mediator, MediatorError, RunOutcome};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
-use csqp_obs::{names, FlightRecorder, Obs, PlanEvent};
+use csqp_obs::{names, FlightRecorder, Obs, PlanEvent, QueryFlight};
 use csqp_plan::exec::{execute_measured, ExecError, RetryPolicy};
-use csqp_plan::exec_stream::{execute_stream_measured, StreamConfig, StreamStats};
-use csqp_source::{ResilienceMeter, Source};
+use csqp_plan::exec_stream::{
+    execute_stream_adaptive, execute_stream_measured, plan_condition, ReplanController,
+    ReplanProbe, SpliceAction, StreamConfig, StreamStats,
+};
+use csqp_plan::AttrSet;
+use csqp_source::{Meter, ResilienceMeter, Source};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -122,8 +127,45 @@ pub enum MemberEvent {
     /// Every plan (primary + alternatives) failed at execution; the last
     /// error, rendered.
     ExecFailed(String),
+    /// This member was spliced into a running adaptive pipeline to serve
+    /// the residual of the named member, which failed mid-stream.
+    Spliced(String),
     /// This member served the answer.
     Served,
+}
+
+/// Externally observable health of one member's circuit breaker, as
+/// exposed by [`Federation::breaker_states`] and the `breaker.state.*`
+/// gauges: what the breaker would allow the *next* federated run to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerHealth {
+    /// Healthy: the member participates normally.
+    Closed,
+    /// Cooling down: the member sits runs out.
+    Open,
+    /// Cooldown elapsed: the member gets one probe attempt.
+    HalfOpen,
+}
+
+impl BreakerHealth {
+    /// Stable gauge encoding: 0 closed, 1 half-open, 2 open.
+    pub fn as_gauge(&self) -> f64 {
+        match self {
+            BreakerHealth::Closed => 0.0,
+            BreakerHealth::HalfOpen => 1.0,
+            BreakerHealth::Open => 2.0,
+        }
+    }
+
+    /// Human-readable label (`closed` / `half-open` / `open`), used by the
+    /// serve trailer.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerHealth::Closed => "closed",
+            BreakerHealth::HalfOpen => "half-open",
+            BreakerHealth::Open => "open",
+        }
+    }
 }
 
 /// A member-ordered failover trace (member name, event). A member can
@@ -144,6 +186,29 @@ pub struct FederatedRun {
     pub resilience: ResilienceMeter,
     /// The failover trace, for explainability and determinism checks.
     pub trace: FailoverTrace,
+}
+
+/// The outcome of an adaptive federated run
+/// ([`Federation::run_adaptive`]).
+#[derive(Debug)]
+pub struct FederatedAdaptiveRun {
+    /// The resilient-run outcome. `outcome.planned` is the *primary*
+    /// member's plan; `source_name` names the member that finished the
+    /// stream (the last splice target when splices fired); `outcome.meter`
+    /// and `measured_cost` aggregate over every member that shipped
+    /// tuples, each charged at its own §6.2 constants.
+    pub run: FederatedRun,
+    /// Batch/memory stats accumulated across every pipeline segment.
+    pub stats: StreamStats,
+    /// How many mid-stream member splices the breaker controller made.
+    pub splices: u64,
+}
+
+impl FederatedAdaptiveRun {
+    /// The per-member event trace, in the order events happened.
+    pub fn trace(&self) -> &FailoverTrace {
+        &self.run.trace
+    }
 }
 
 /// A federation planning decision.
@@ -212,8 +277,35 @@ impl Federation {
     }
 
     /// A point-in-time snapshot of every metric this federation recorded.
+    /// The per-member `breaker.state.<member>` gauges are refreshed from
+    /// the live breakers first, so `/metrics` always shows current health
+    /// (the refresh is a pure function of the deterministic run clock).
     pub fn metrics_snapshot(&self) -> csqp_obs::MetricsSnapshot {
+        for (name, health) in self.breaker_states() {
+            self.obs
+                .metrics
+                .gauge_set(&format!("{}{name}", names::BREAKER_STATE_PREFIX), health.as_gauge());
+        }
         self.obs.metrics.snapshot()
+    }
+
+    /// Live per-member breaker health, in member order: what the breaker
+    /// would allow each member to do in the next federated run. Reads the
+    /// run clock without advancing it.
+    pub fn breaker_states(&self) -> Vec<(String, BreakerHealth)> {
+        let next = self.clock.load(Ordering::Relaxed) + 1;
+        self.members
+            .iter()
+            .zip(&self.breakers)
+            .map(|(m, b)| {
+                let health = match b.gate(next) {
+                    BreakerGate::Closed => BreakerHealth::Closed,
+                    BreakerGate::Quarantined => BreakerHealth::Open,
+                    BreakerGate::HalfOpen => BreakerHealth::HalfOpen,
+                };
+                (m.name.clone(), health)
+            })
+            .collect()
     }
 
     /// Adds a member source.
@@ -458,39 +550,28 @@ impl Federation {
         Ok((fp, outcome, stats))
     }
 
-    /// Plans against every non-quarantined member and executes with full
-    /// resilience: members are tried cheapest-first; within a member the
-    /// mediator-level failover applies (retry/backoff per `policy`, then
-    /// ranked plan alternatives); when a member still fails the federation
-    /// fails over to the next-cheapest member. A member that fails
-    /// [`CircuitBreakerConfig::failure_threshold`] consecutive runs is
-    /// quarantined for `cooldown_ticks` runs, then offered a half-open
-    /// probe.
-    ///
-    /// The whole decision sequence is deterministic: planning fans out via
-    /// [`crate::par::par_map`] (order-preserving), execution visits members
-    /// in a cost-sorted order with member index as tie-break, and the
-    /// breaker clock counts runs, not wall time — the same seed yields the
-    /// same [`FederatedRun::trace`] with the `parallel` feature on or off.
-    pub fn run_resilient(
+    /// Snapshots the breaker gates at tick `now`, fans planning out over
+    /// the capability-index survivors, and merges the results into a
+    /// cheapest-first candidate list (stable: earliest member wins ties).
+    /// Pruned, infeasible and quarantined members are traced and counted
+    /// here — [`Federation::run_resilient`] and
+    /// [`Federation::run_adaptive`] record identical selection events.
+    /// Metrics/trace only from the sequential merge — deterministic across
+    /// the `parallel` feature.
+    #[allow(clippy::type_complexity)]
+    fn gated_candidates(
         &self,
         query: &TargetQuery,
-        policy: &RetryPolicy,
-    ) -> Result<FederatedRun, MediatorError> {
-        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
-        let span = self.obs.tracer.span("federation run");
-        let flight = self.flight.begin_with(|| (query.to_string(), "Federation".to_string()));
-        let mut trace: FailoverTrace = Vec::new();
-
+        now: u64,
+        flight: QueryFlight<'_>,
+        trace: &mut FailoverTrace,
+    ) -> (Vec<(usize, PlannedQuery)>, Vec<BreakerGate>, bool) {
         // Gate decisions are snapshotted up front so the planning fan-out
         // below cannot interleave with breaker updates.
         let gates: Vec<BreakerGate> = self.breakers.iter().map(|b| b.gate(now)).collect();
         let decision = self.index_decision(query);
         let outcomes = self.plan_candidates(query, decision.as_ref());
 
-        // Candidates in member order, then sorted cheapest-first (stable:
-        // earliest member wins ties). Metrics/trace only from this
-        // sequential merge — deterministic across the `parallel` feature.
         if let Some(d) = &decision {
             // Aggregated like in `plan`: pruned-member bookkeeping must not
             // scale with the federation.
@@ -546,6 +627,34 @@ impl Federation {
         }
         candidates
             .sort_by(|a, b| a.1.est_cost.partial_cmp(&b.1.est_cost).expect("finite plan costs"));
+        (candidates, gates, any_feasible)
+    }
+
+    /// Plans against every non-quarantined member and executes with full
+    /// resilience: members are tried cheapest-first; within a member the
+    /// mediator-level failover applies (retry/backoff per `policy`, then
+    /// ranked plan alternatives); when a member still fails the federation
+    /// fails over to the next-cheapest member. A member that fails
+    /// [`CircuitBreakerConfig::failure_threshold`] consecutive runs is
+    /// quarantined for `cooldown_ticks` runs, then offered a half-open
+    /// probe.
+    ///
+    /// The whole decision sequence is deterministic: planning fans out via
+    /// [`crate::par::par_map`] (order-preserving), execution visits members
+    /// in a cost-sorted order with member index as tie-break, and the
+    /// breaker clock counts runs, not wall time — the same seed yields the
+    /// same [`FederatedRun::trace`] with the `parallel` feature on or off.
+    pub fn run_resilient(
+        &self,
+        query: &TargetQuery,
+        policy: &RetryPolicy,
+    ) -> Result<FederatedRun, MediatorError> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let span = self.obs.tracer.span("federation run");
+        let flight = self.flight.begin_with(|| (query.to_string(), "Federation".to_string()));
+        let mut trace: FailoverTrace = Vec::new();
+        let (candidates, gates, any_feasible) =
+            self.gated_candidates(query, now, flight, &mut trace);
 
         let mut resilience = ResilienceMeter::default();
         let mut last_error: Option<ExecError> = None;
@@ -645,6 +754,254 @@ impl Federation {
                 scheme: "Federation",
             })),
         }
+    }
+
+    /// Streams the cheapest member's plan adaptively: when the serving
+    /// member dies *mid-pipeline* (per-batch retries exhausted), its
+    /// breaker opens, the residual condition of the paused pipeline is
+    /// re-planned on the next-cheapest gated candidate, and that member's
+    /// plan is spliced into the running stream — already-emitted tuples
+    /// are deduplicated away, so the answer matches a fault-free run.
+    /// Unlike [`Federation::run_resilient`], work done before the fault is
+    /// not thrown away and the failed member's whole plan is not re-run.
+    ///
+    /// With the `adaptive` (or `stream`) feature off this degrades to
+    /// resilient streaming on the primary member only (splices stay 0).
+    pub fn run_adaptive(
+        &self,
+        query: &TargetQuery,
+        policy: &RetryPolicy,
+        cfg: &StreamConfig,
+    ) -> Result<FederatedAdaptiveRun, MediatorError> {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let span = self.obs.tracer.span("federation run (adaptive)");
+        let flight = self.flight.begin_with(|| (query.to_string(), "Federation".to_string()));
+        let mut trace: FailoverTrace = Vec::new();
+        let (mut candidates, gates, any_feasible) =
+            self.gated_candidates(query, now, flight, &mut trace);
+
+        if candidates.is_empty() {
+            span.close();
+            let scheme = if any_feasible {
+                "Federation (all capable members quarantined)"
+            } else {
+                "Federation"
+            };
+            return Err(MediatorError::Plan(PlanError::NoFeasiblePlan {
+                query: query.to_string(),
+                scheme,
+            }));
+        }
+        let (primary_idx, primary) = candidates.remove(0);
+        let primary_member = &self.members[primary_idx];
+        if gates[primary_idx] == BreakerGate::HalfOpen {
+            self.obs.metrics.inc(names::BREAKER_HALF_OPENED);
+            self.obs
+                .tracer
+                .event_with(|| format!("member {}: half-open probe", primary_member.name));
+            flight.event_with(|| PlanEvent::Breaker {
+                member: primary_member.name.clone(),
+                transition: "half-open",
+            });
+            trace.push((primary_member.name.clone(), MemberEvent::Probed));
+        }
+
+        // Transfer is metered per member and summed afterwards — a spliced
+        // run legitimately ships tuples from several members, each charged
+        // at its own cost constants.
+        let before: Vec<Meter> = self.members.iter().map(|m| m.meter()).collect();
+        let mut resilience = ResilienceMeter::default();
+        let mut ctl = BreakerSpliceController {
+            fed: self,
+            now,
+            flight,
+            queue: candidates.into_iter().collect(),
+            current: primary_idx,
+            attrs: query.attrs.clone(),
+            trace: &mut trace,
+            gates,
+            splices: 0,
+        };
+        let result = execute_stream_adaptive(
+            &primary.plan,
+            primary_member,
+            Some(policy),
+            &mut resilience,
+            cfg,
+            &mut ctl,
+        );
+        let serving_idx = ctl.current;
+        let (rows, stats, splices) = match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                // The controller already opened breakers and traced every
+                // member that died; nobody was left to splice to.
+                resilience.record_into(&self.obs.metrics);
+                self.obs.tracer.event_with(|| format!("adaptive run died: {e}"));
+                span.close();
+                return Err(MediatorError::Exec(e));
+            }
+        };
+
+        let member = &self.members[serving_idx];
+        if self.breakers[serving_idx].record_success() {
+            self.obs.metrics.inc(names::BREAKER_CLOSED);
+            flight.event_with(|| PlanEvent::Breaker {
+                member: member.name.clone(),
+                transition: "closed",
+            });
+        }
+        self.obs.metrics.inc(names::FEDERATION_SERVED);
+        let mut meter = Meter::default();
+        let mut measured_cost = 0.0;
+        for (i, m) in self.members.iter().enumerate() {
+            let after = m.meter();
+            let delta = Meter {
+                queries: after.queries - before[i].queries,
+                tuples_shipped: after.tuples_shipped - before[i].tuples_shipped,
+                rejected: after.rejected - before[i].rejected,
+            };
+            measured_cost += delta.cost(m.cost_params());
+            meter.queries += delta.queries;
+            meter.tuples_shipped += delta.tuples_shipped;
+            meter.rejected += delta.rejected;
+        }
+        meter.record_into(&self.obs.metrics);
+        stats.record_into(&self.obs.metrics);
+        // A mid-stream member switch is a failover, just a cheaper one.
+        resilience.failovers += splices;
+        resilience.record_into(&self.obs.metrics);
+        self.obs.tracer.event_with(|| {
+            format!(
+                "member {}: served adaptively ({} rows, {splices} splice(s))",
+                member.name,
+                rows.len()
+            )
+        });
+        flight.event_with(|| PlanEvent::Winner {
+            cost: primary.est_cost,
+            plan: primary.plan.to_string(),
+        });
+        flight.event_with(|| PlanEvent::Note {
+            text: format!("served by member {} after {splices} splice(s)", member.name),
+        });
+        trace.push((member.name.clone(), MemberEvent::Served));
+        span.close();
+        Ok(FederatedAdaptiveRun {
+            run: FederatedRun {
+                outcome: RunOutcome { planned: primary, rows, meter, measured_cost },
+                source_name: member.name.clone(),
+                plan_rank: 0,
+                resilience,
+                trace,
+            },
+            stats,
+            splices,
+        })
+    }
+}
+
+/// The breaker-triggered [`ReplanController`] of
+/// [`Federation::run_adaptive`]: on a terminal mid-stream leaf failure it
+/// opens the serving member's breaker, re-plans the pipeline's residual
+/// condition on the next-cheapest gated candidate, and splices that
+/// member in. Batch boundaries are left alone — cardinality drift is the
+/// mediator-level controller's job.
+struct BreakerSpliceController<'a> {
+    fed: &'a Federation,
+    now: u64,
+    flight: QueryFlight<'a>,
+    /// Remaining gated candidates, cheapest-first.
+    queue: VecDeque<(usize, PlannedQuery)>,
+    /// Index of the member currently feeding the pipeline.
+    current: usize,
+    attrs: AttrSet,
+    trace: &'a mut FailoverTrace,
+    gates: Vec<BreakerGate>,
+    splices: u64,
+}
+
+impl ReplanController for BreakerSpliceController<'_> {
+    fn on_batch(&mut self, _probe: &ReplanProbe<'_>) -> Option<SpliceAction> {
+        None
+    }
+
+    fn on_leaf_error(&mut self, probe: &ReplanProbe<'_>, err: &ExecError) -> Option<SpliceAction> {
+        let fed = self.fed;
+        let failed = &fed.members[self.current];
+        if fed.breakers[self.current].record_failure(self.now, &fed.breaker_cfg) {
+            fed.obs.metrics.inc(names::BREAKER_OPENED);
+            fed.obs.tracer.event_with(|| format!("member {}: breaker opened", failed.name));
+            self.flight.event_with(|| PlanEvent::Breaker {
+                member: failed.name.clone(),
+                transition: "opened",
+            });
+        }
+        fed.obs.metrics.inc(names::FEDERATION_EXEC_FAILED);
+        fed.obs.metrics.inc(names::REPLAN_TRIGGERED);
+        fed.obs.metrics.inc(names::REPLAN_BREAKER_TRIGGERS);
+        fed.obs.tracer.event_with(|| format!("member {}: died mid-stream ({err})", failed.name));
+        self.trace.push((failed.name.clone(), MemberEvent::ExecFailed(err.to_string())));
+
+        let remaining = probe.remaining_plan()?;
+        let residual = plan_condition(&remaining)?;
+        while let Some((idx, _)) = self.queue.pop_front() {
+            let next = &fed.members[idx];
+            if self.gates[idx] == BreakerGate::HalfOpen {
+                fed.obs.metrics.inc(names::BREAKER_HALF_OPENED);
+                fed.obs.tracer.event_with(|| format!("member {}: half-open probe", next.name));
+                self.flight.event_with(|| PlanEvent::Breaker {
+                    member: next.name.clone(),
+                    transition: "half-open",
+                });
+                self.trace.push((next.name.clone(), MemberEvent::Probed));
+            }
+            // Re-plan the *residual* on the splice target — its
+            // capabilities may shape the cover differently than the dead
+            // member's did. The fan-out plan for the full query is not
+            // reused: the pipeline only needs what has not been emitted.
+            let q = TargetQuery::new(residual.clone(), self.attrs.clone());
+            let planned = Mediator::new(next.clone()).with_cardinality(fed.card).plan(&q);
+            match planned {
+                Ok(p) => {
+                    p.report.record_into(&fed.obs.metrics);
+                    self.splices += 1;
+                    fed.obs.metrics.inc(names::REPLAN_SPLICES);
+                    self.flight.event_with(|| PlanEvent::Replan {
+                        trigger: "breaker-open",
+                        detail: format!("member {} died mid-stream: {err}", failed.name),
+                        batch: probe.batches,
+                        emitted: probe.emitted,
+                        old_plan: remaining.to_string(),
+                        new_plan: p.plan.to_string(),
+                    });
+                    fed.obs.tracer.event_with(|| {
+                        format!(
+                            "replan (breaker): splice to member {} at batch {} after {} rows",
+                            next.name, probe.batches, probe.emitted
+                        )
+                    });
+                    self.trace.push((next.name.clone(), MemberEvent::Spliced(failed.name.clone())));
+                    self.current = idx;
+                    return Some(SpliceAction { plan: p.plan, source: next.clone() });
+                }
+                Err(_) => {
+                    // The residual may be narrower than the original query,
+                    // so a member that was feasible for the whole query can
+                    // still fail here (and vice versa never happens — the
+                    // residual only drops satisfied disjuncts).
+                    fed.obs.metrics.inc(names::FEDERATION_INFEASIBLE);
+                    fed.obs
+                        .tracer
+                        .event_with(|| format!("member {}: residual infeasible", next.name));
+                    self.flight.event_with(|| PlanEvent::Note {
+                        text: format!("member {}: residual infeasible", next.name),
+                    });
+                    self.trace.push((next.name.clone(), MemberEvent::Infeasible));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -950,5 +1307,118 @@ mod tests {
         let f = Federation::new();
         let q = TargetQuery::parse("a = 1", &["k"]).unwrap();
         assert!(f.plan(&q).is_err());
+    }
+
+    #[test]
+    fn breaker_states_report_live_health() {
+        use csqp_source::FaultProfile;
+        let f = faulty_pair(
+            FaultProfile::new(0).with_outage(0, 2),
+            CircuitBreakerConfig { failure_threshold: 2, cooldown_ticks: 2 },
+        );
+        let states = f.breaker_states();
+        assert_eq!(states.len(), 2);
+        assert!(states.iter().all(|(_, h)| *h == BreakerHealth::Closed), "fresh: all closed");
+        assert_eq!(BreakerHealth::Closed.as_gauge(), 0.0);
+        assert_eq!(BreakerHealth::Open.as_gauge(), 2.0);
+        assert_eq!(BreakerHealth::HalfOpen.as_gauge(), 1.0);
+        assert_eq!(BreakerHealth::Open.label(), "open");
+
+        // Two failed runs trip the dealer's breaker; the gauge follows.
+        let policy = RetryPolicy { max_retries: 0, ..Default::default() };
+        let q = car_query();
+        f.run_resilient(&q, &policy).unwrap();
+        f.run_resilient(&q, &policy).unwrap();
+        let states = f.breaker_states();
+        assert_eq!(states.iter().find(|(n, _)| n == "car_dealer").unwrap().1, BreakerHealth::Open);
+        assert_eq!(states.iter().find(|(n, _)| n == "dump").unwrap().1, BreakerHealth::Closed);
+        let snap = f.metrics_snapshot();
+        assert!(snap.gauges.contains_key("breaker.state.car_dealer"), "breaker gauge exported");
+        assert_eq!(snap.gauge("breaker.state.car_dealer"), BreakerHealth::Open.as_gauge());
+    }
+
+    #[test]
+    fn run_adaptive_matches_resilient_when_healthy() {
+        let f = mirrors();
+        let q = car_query();
+        let policy = RetryPolicy::default();
+        let run = f.run_adaptive(&q, &policy, &StreamConfig::serial()).unwrap();
+        assert_eq!(run.splices, 0, "healthy federation never splices");
+        assert_eq!(run.run.source_name, "car_dealer");
+        let want = csqp_relation::ops::project(
+            &csqp_relation::ops::select(f.members()[0].relation(), Some(&q.cond)),
+            &["model", "year"],
+        )
+        .unwrap();
+        assert_eq!(run.run.outcome.rows, want);
+        assert_eq!(run.run.trace.last().unwrap(), &("car_dealer".to_string(), MemberEvent::Served));
+    }
+
+    #[cfg(all(feature = "stream", feature = "adaptive"))]
+    #[test]
+    fn mid_stream_outage_splices_to_the_dump() {
+        use csqp_source::FaultProfile;
+        // The first source-query attempt on the dealer succeeds, every later
+        // one is an outage: the first union branch streams its rows, then
+        // the second branch dies mid-pipeline.
+        let f = faulty_pair(
+            FaultProfile::new(0).with_outage(1, u64::MAX),
+            CircuitBreakerConfig { failure_threshold: 1, cooldown_ticks: 4 },
+        );
+        let policy = RetryPolicy { max_retries: 0, ..Default::default() };
+        let q = TargetQuery::parse(
+            "(make = \"BMW\" _ make = \"Audi\") ^ price < 40000",
+            &["model", "year"],
+        )
+        .unwrap();
+        let cfg = StreamConfig { batch_size: 16, ..StreamConfig::serial() };
+        let run = f.run_adaptive(&q, &policy, &cfg).unwrap();
+        assert!(run.splices >= 1, "the breaker-open must splice, not fail over from scratch");
+        assert_eq!(run.run.source_name, "dump", "the dump finishes the stream");
+        // Despite the mid-stream member switch the answer is exact.
+        let want = csqp_relation::ops::project(
+            &csqp_relation::ops::select(f.members()[1].relation(), Some(&q.cond)),
+            &["model", "year"],
+        )
+        .unwrap();
+        assert_eq!(run.run.outcome.rows, want);
+        // The trace shows the dealer dying and the dump splicing in for it.
+        assert!(run
+            .trace()
+            .iter()
+            .any(|(n, e)| n == "car_dealer" && matches!(e, MemberEvent::ExecFailed(_))));
+        assert!(run
+            .trace()
+            .iter()
+            .any(|(n, e)| n == "dump"
+                && matches!(e, MemberEvent::Spliced(from) if from == "car_dealer")));
+        // The dealer's breaker opened (threshold 1) and the gauges agree.
+        let states = f.breaker_states();
+        assert_eq!(states.iter().find(|(n, _)| n == "car_dealer").unwrap().1, BreakerHealth::Open);
+        let snap = f.metrics_snapshot();
+        assert_eq!(snap.counter(names::REPLAN_BREAKER_TRIGGERS), 1);
+        assert_eq!(snap.counter(names::REPLAN_SPLICES), run.splices);
+        assert_eq!(snap.counter(names::BREAKER_OPENED), 1);
+        // A mid-stream splice counts as a failover in the resilience meter.
+        assert!(run.run.resilience.failovers >= run.splices);
+    }
+
+    #[cfg(all(feature = "stream", feature = "adaptive"))]
+    #[test]
+    fn adaptive_with_no_splice_target_reports_exec_error() {
+        use csqp_source::FaultProfile;
+        let data = datagen::cars(3, 100);
+        let down = |seed: u64| {
+            Arc::new(
+                Source::new(data.clone(), templates::car_dealer(), CostParams::default())
+                    .with_fault_profile(FaultProfile::new(seed).with_outage(0, u64::MAX)),
+            )
+        };
+        let f = Federation::new().with_member(down(1)).with_member(down(2));
+        let policy = RetryPolicy { max_retries: 0, ..Default::default() };
+        match f.run_adaptive(&car_query(), &policy, &StreamConfig::serial()) {
+            Err(MediatorError::Exec(_)) => {}
+            other => panic!("expected Exec error, got {other:?}"),
+        }
     }
 }

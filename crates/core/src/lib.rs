@@ -37,6 +37,7 @@
 
 pub mod baselines;
 pub mod cache;
+pub mod calibrate;
 pub mod capindex;
 pub mod epg;
 pub mod federation;
@@ -51,16 +52,18 @@ pub mod mediator;
 pub mod par;
 pub mod types;
 
+pub use calibrate::{CalibratedCard, CalibratingCostModel};
 pub use capindex::{CapabilityIndex, IndexDecision};
 pub use federation::{
-    CircuitBreakerConfig, FailoverTrace, FederatedPlan, FederatedRun, Federation, MemberEvent,
+    BreakerHealth, CircuitBreakerConfig, FailoverTrace, FederatedAdaptiveRun, FederatedPlan,
+    FederatedRun, Federation, MemberEvent,
 };
 pub use gencompact::{plan_compact, plan_compact_recorded, GenCompactConfig};
 pub use genmodular::{plan_modular, plan_modular_recorded, GenModularConfig};
 pub use ipg::IpgConfig;
 pub use join::{JoinConfig, JoinMediator, JoinOutcome, JoinQuery, JoinStrategy};
 pub use mediator::{
-    AnalyzedStreamOutcome, CardKind, Mediator, ResilientOutcome, RunOutcome, Scheme,
-    StreamedOutcome,
+    AdaptiveConfig, AdaptiveOutcome, AnalyzedStreamOutcome, CardKind, Mediator, ResilientOutcome,
+    RunOutcome, Scheme, StreamedOutcome,
 };
 pub use types::{PlanError, PlannedQuery, PlannerReport, RankedPlan, TargetQuery};

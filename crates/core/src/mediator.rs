@@ -8,6 +8,7 @@
 use crate::baselines::{
     plan_cnf_with_model, plan_disco_with_model, plan_dnf_with_model, plan_naive_with_model,
 };
+use crate::calibrate::{CalibratedCard, CalibratingCostModel};
 use crate::gencompact::{plan_compact_recorded, GenCompactConfig};
 use crate::genmodular::{plan_modular_recorded, GenModularConfig};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
@@ -16,13 +17,17 @@ use csqp_plan::analyze::{execute_analyzed, PlanAnalysis};
 use csqp_plan::cost::{Cardinality, OracleCard, StatsCard, UniformCard};
 use csqp_plan::exec::{execute_measured, execute_resilient, ExecError, RetryPolicy};
 use csqp_plan::exec_stream::{
-    execute_stream_analyzed, execute_stream_each, execute_stream_measured,
-    execute_stream_resilient, StreamConfig, StreamStats,
+    execute_stream_adaptive, execute_stream_adaptive_each, execute_stream_analyzed,
+    execute_stream_each, execute_stream_measured, execute_stream_resilient, ReplanController,
+    ReplanProbe, SpliceAction, StreamConfig, StreamStats,
 };
 use csqp_plan::model::CostModel;
+use csqp_plan::AttrSet;
 use csqp_relation::stream::TupleBatch;
 use csqp_relation::Relation;
 use csqp_source::{Meter, ResilienceMeter, Source};
+use csqp_ssdl::linearize::{cond_fingerprint, Fingerprint};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -149,6 +154,195 @@ pub struct AnalyzedOutcome {
     pub analysis: PlanAnalysis,
 }
 
+/// Knobs for an adaptive run ([`Mediator::run_adaptive`]).
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Streaming knobs (batch size, limit). Adaptive runs are forced
+    /// serial by the engine regardless of the overlap setting.
+    pub stream: StreamConfig,
+    /// Per-batch retry policy applied *before* a leaf failure would reach
+    /// the controller. `None` means any leaf fault is terminal.
+    pub policy: Option<RetryPolicy>,
+    /// Upper bound on drift-triggered splices for one run (the engine
+    /// additionally enforces its own global cap).
+    pub max_splices: u64,
+    /// Drift band half-width: a subquery drifts when its observed
+    /// cardinality exits `[est/factor, est·factor]` (the paper-motivated
+    /// default of 2.0 gives the `[½, 2]×` band). Values below 1.0 clamp
+    /// to 1.0.
+    pub drift_factor: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            stream: StreamConfig::serial(),
+            policy: None,
+            max_splices: 4,
+            drift_factor: 2.0,
+        }
+    }
+}
+
+/// The outcome of an adaptive run ([`Mediator::run_adaptive`]).
+#[derive(Debug)]
+pub struct AdaptiveOutcome {
+    /// The plan-and-execute outcome. `planned` holds the *original*
+    /// chosen plan; when splices fired, the served pipeline diverged from
+    /// it mid-flight (see the flight record's `[replan]` events). For
+    /// [`Mediator::run_adaptive_each`] `rows` is empty (the sink consumed
+    /// the answer).
+    pub outcome: RunOutcome,
+    /// Batch/memory stats accumulated across every pipeline segment.
+    pub stats: StreamStats,
+    /// Retry/fault metrics accumulated across the run.
+    pub resilience: ResilienceMeter,
+    /// How many re-planned sub-plans were spliced into the pipeline.
+    pub splices: u64,
+    /// How many times the drift detector fired (a trigger re-plans, but
+    /// only splices when the re-planned residual structurally differs).
+    pub drift_triggers: u64,
+}
+
+/// The drift-triggered [`ReplanController`]: watches per-leaf observed
+/// cardinality against the planner's estimates at every batch boundary,
+/// and when a subquery exits the drift band, re-runs the planner over the
+/// residual condition with estimates floored at the observed counts.
+struct DriftController<'a> {
+    med: &'a Mediator,
+    attrs: AttrSet,
+    drift_factor: f64,
+    max_splices: u64,
+    /// Observed-cardinality floors, monotonically raised — a re-plan can
+    /// only get better-informed, so splice loops cannot oscillate.
+    floors: BTreeMap<Fingerprint, f64>,
+    /// Planner estimates per leaf condition, memoized for the run: the
+    /// estimate of a fixed condition never changes mid-query, and an
+    /// oracle-backed estimator rescans the relation per call — without the
+    /// cache every batch boundary would pay that scan for every leaf.
+    est_cache: BTreeMap<Fingerprint, f64>,
+    splices: u64,
+    drift_triggers: u64,
+    /// Next `probe.batches` value worth checking at; doubles after each
+    /// trigger so a persistently drifting pipeline is not re-planned at
+    /// every single batch.
+    next_check: u64,
+}
+
+impl<'a> DriftController<'a> {
+    fn new(med: &'a Mediator, query: &TargetQuery, cfg: &AdaptiveConfig) -> Self {
+        DriftController {
+            med,
+            attrs: query.attrs.clone(),
+            drift_factor: cfg.drift_factor.max(1.0),
+            max_splices: cfg.max_splices,
+            floors: BTreeMap::new(),
+            est_cache: BTreeMap::new(),
+            splices: 0,
+            drift_triggers: 0,
+            next_check: 1,
+        }
+    }
+}
+
+impl ReplanController for DriftController<'_> {
+    fn on_batch(&mut self, probe: &ReplanProbe<'_>) -> Option<SpliceAction> {
+        if self.splices >= self.max_splices || probe.batches < self.next_check {
+            return None;
+        }
+        let med = self.med;
+        let factor = self.drift_factor;
+        // Scan the open leaves: raise floors where a source shipped past
+        // the band's upper edge (mid-flight counts only grow, so upward
+        // drift is provable before the leaf finishes); note low-side
+        // drift on exhausted leaves (their exact cardinality is known).
+        let mut raised = false;
+        let mut low_drift = false;
+        let mut detail: Option<String> = None;
+        med.with_card(|card| {
+            for leaf in probe.leaves {
+                let fp = cond_fingerprint(leaf.cond.as_ref());
+                let est = *self.est_cache.entry(fp).or_insert_with(|| {
+                    let e = card.estimate(leaf.cond.as_ref());
+                    if e.is_finite() {
+                        e.max(0.0)
+                    } else {
+                        0.0
+                    }
+                });
+                let obs = leaf.rows_out as f64;
+                if (obs + 1.0) > factor * (est + 1.0) {
+                    let floor = self.floors.entry(fp).or_insert(0.0);
+                    if obs > *floor {
+                        *floor = obs;
+                        raised = true;
+                        detail.get_or_insert_with(|| {
+                            format!("{} shipped {obs:.0} rows against est {est:.1}", leaf.rendered)
+                        });
+                    }
+                } else if leaf.done && (obs + 1.0) * factor < (est + 1.0) {
+                    low_drift = true;
+                    detail.get_or_insert_with(|| {
+                        format!("{} finished at {obs:.0} rows against est {est:.1}", leaf.rendered)
+                    });
+                }
+            }
+        });
+        if !raised && !low_drift {
+            self.next_check = probe.batches + 1;
+            return None;
+        }
+        self.drift_triggers += 1;
+        med.obs.metrics.inc(names::REPLAN_TRIGGERED);
+        med.obs.metrics.inc(names::REPLAN_DRIFT_TRIGGERS);
+        self.next_check = probe.batches.max(1) * 2;
+        if !raised {
+            // A pure overestimate: floors cannot lower an estimate, so a
+            // re-plan would reproduce the same plan. Count the trigger
+            // (the calibration layer still learns from the finished run)
+            // and keep streaming.
+            return None;
+        }
+        let remaining = probe.remaining_plan()?;
+        let residual = probe.residual_condition()?;
+        let planned =
+            med.replan_with_floors(&TargetQuery::new(residual, self.attrs.clone()), &self.floors)?;
+        if planned.plan == remaining {
+            // Better-informed MCSC stands by the running pipeline: no
+            // structural change, nothing to splice.
+            return None;
+        }
+        self.splices += 1;
+        med.obs.metrics.inc(names::REPLAN_SPLICES);
+        let detail = detail.unwrap_or_else(|| "cardinality drift".to_string());
+        med.flight.note_latest(|| PlanEvent::Replan {
+            trigger: "drift",
+            detail: detail.clone(),
+            batch: probe.batches,
+            emitted: probe.emitted,
+            old_plan: remaining.to_string(),
+            new_plan: planned.plan.to_string(),
+        });
+        med.obs.tracer.event_with(|| {
+            format!(
+                "replan (drift) at batch {} after {} rows: {detail}",
+                probe.batches, probe.emitted
+            )
+        });
+        Some(SpliceAction { plan: planned.plan, source: med.source.clone() })
+    }
+
+    fn on_leaf_error(
+        &mut self,
+        _probe: &ReplanProbe<'_>,
+        _err: &ExecError,
+    ) -> Option<SpliceAction> {
+        // A single-source mediator has nowhere else to send the residual;
+        // member-level recovery lives in `Federation::run_adaptive`.
+        None
+    }
+}
+
 /// The outcome of a resilient run ([`Mediator::run_resilient`]).
 #[derive(Debug)]
 pub struct ResilientOutcome {
@@ -244,6 +438,7 @@ pub struct Mediator {
     compact_cfg: GenCompactConfig,
     modular_cfg: GenModularConfig,
     model: Option<Arc<dyn CostModel + Send + Sync>>,
+    calibration: Option<Arc<CalibratingCostModel>>,
     obs: Arc<Obs>,
     flight: Arc<FlightRecorder>,
 }
@@ -269,6 +464,7 @@ impl Mediator {
             compact_cfg: GenCompactConfig::default(),
             modular_cfg: GenModularConfig::default(),
             model: None,
+            calibration: None,
             obs: Arc::new(Obs::new()),
             // Disarmed by default: the planning hot path stays
             // provenance-free until a caller explicitly arms a recorder.
@@ -330,6 +526,22 @@ impl Mediator {
     pub fn with_cost_model(mut self, model: Arc<dyn CostModel + Send + Sync>) -> Self {
         self.model = Some(model);
         self
+    }
+
+    /// Installs a [`CalibratingCostModel`]: the mediator plans with it
+    /// (initially delegating to the model it wraps) and feeds every
+    /// finished adaptive run's transfer meter and measured cost back into
+    /// its `k1`/`k2` fit — so estimates converge toward the source's real
+    /// §6.2 constants across runs.
+    pub fn with_calibration(mut self, model: Arc<CalibratingCostModel>) -> Self {
+        self.calibration = Some(model.clone());
+        self.model = Some(model);
+        self
+    }
+
+    /// The installed calibration layer, if any.
+    pub fn calibration(&self) -> Option<&Arc<CalibratingCostModel>> {
+        self.calibration.as_ref()
     }
 
     /// Selects the planning scheme.
@@ -762,6 +974,182 @@ impl Mediator {
             stats,
         })
     }
+
+    /// Re-plans a (residual) query with cardinality estimates floored at
+    /// the observed per-condition counts in `floors`. Used mid-flight by
+    /// the adaptive controllers; the planner's search runs disarmed (no
+    /// flight record of its own — the splice is narrated as a `Replan`
+    /// event on the original query's record) but its deterministic work
+    /// counters still land in the registry. `None` when the residual is
+    /// infeasible — the caller keeps the running pipeline.
+    pub(crate) fn replan_with_floors(
+        &self,
+        query: &TargetQuery,
+        floors: &BTreeMap<Fingerprint, f64>,
+    ) -> Option<PlannedQuery> {
+        let off = FlightRecorder::off();
+        let flight = off.begin_with(|| (query.to_string(), self.scheme.name().to_string()));
+        let planned = self.with_card(|card| {
+            let cal = CalibratedCard::new(card, floors);
+            self.dispatch(query, &cal, flight)
+        });
+        match planned {
+            Ok(p) => {
+                p.report.record_into(&self.obs.metrics);
+                Some(p)
+            }
+            Err(e) => {
+                self.obs.tracer.event_with(|| format!("replan infeasible: {e}"));
+                None
+            }
+        }
+    }
+
+    /// Feeds a finished run's transfer meter and measured cost into the
+    /// calibration layer, when one is installed.
+    fn record_calibration(&self, meter: &Meter, measured_cost: f64) {
+        if let Some(cal) = &self.calibration {
+            cal.observe_run(meter.queries, meter.tuples_shipped, measured_cost);
+            self.obs.tracer.event_with(|| {
+                format!("calibration: {} run(s) observed, fitted {:?}", cal.samples(), cal.fitted())
+            });
+        }
+    }
+
+    /// Plans and executes on the streaming engine with mid-query adaptive
+    /// re-planning: after every emitted batch a drift detector compares
+    /// each source query's observed cardinality against its estimate, and
+    /// when one exits the `[est/f, est·f]` band the pipeline pauses at the
+    /// batch boundary, MCSC re-runs over the *residual* condition with
+    /// estimates floored at the observed counts, and a structurally
+    /// different winner is spliced in. Cross-segment deduplication keeps
+    /// the answer set-identical to a non-adaptive run; with the `adaptive`
+    /// feature off this delegates to plain streaming (splices always 0).
+    pub fn run_adaptive(
+        &self,
+        query: &TargetQuery,
+        cfg: &AdaptiveConfig,
+    ) -> Result<AdaptiveOutcome, MediatorError> {
+        let planned = self.plan(query)?;
+        let span = self.obs.tracer.span("execute (adaptive)");
+        let before = self.source.meter();
+        let mut resilience = ResilienceMeter::default();
+        let mut ctl = DriftController::new(self, query, cfg);
+        let result = execute_stream_adaptive(
+            &planned.plan,
+            &self.source,
+            cfg.policy.as_ref(),
+            &mut resilience,
+            &cfg.stream,
+            &mut ctl,
+        );
+        let drift_triggers = ctl.drift_triggers;
+        resilience.record_into(&self.obs.metrics);
+        let (rows, stats, splices) = match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.obs.tracer.event_with(|| format!("adaptive run died: {e}"));
+                span.close();
+                return Err(MediatorError::Exec(e));
+            }
+        };
+        let after = self.source.meter();
+        let meter = Meter {
+            queries: after.queries - before.queries,
+            tuples_shipped: after.tuples_shipped - before.tuples_shipped,
+            rejected: after.rejected - before.rejected,
+        };
+        let measured_cost = meter.cost(self.source.cost_params());
+        self.record_run(&planned, &rows, &meter, measured_cost);
+        self.record_stream(&stats);
+        self.record_calibration(&meter, measured_cost);
+        if splices > 0 {
+            self.obs.tracer.event_with(|| {
+                format!("adaptive: {splices} splice(s) from {drift_triggers} drift trigger(s)")
+            });
+        }
+        span.close();
+        Ok(AdaptiveOutcome {
+            outcome: RunOutcome { planned, rows, meter, measured_cost },
+            stats,
+            resilience,
+            splices,
+            drift_triggers,
+        })
+    }
+
+    /// Sink-driven twin of [`Mediator::run_adaptive`]: each deduplicated
+    /// answer batch goes to `sink` as it is produced (return `false` to
+    /// stop early) — the adaptive entry point `csqp serve` streams chunked
+    /// responses through. The returned outcome's `rows` is empty.
+    pub fn run_adaptive_each(
+        &self,
+        query: &TargetQuery,
+        cfg: &AdaptiveConfig,
+        sink: &mut dyn FnMut(TupleBatch) -> bool,
+    ) -> Result<AdaptiveOutcome, MediatorError> {
+        let planned = self.plan(query)?;
+        let span = self.obs.tracer.span("execute (adaptive)");
+        let before = self.source.meter();
+        let mut resilience = ResilienceMeter::default();
+        let mut ctl = DriftController::new(self, query, cfg);
+        let mut emitted = 0u64;
+        let mut schema = None;
+        let result = execute_stream_adaptive_each(
+            &planned.plan,
+            &self.source,
+            cfg.policy.as_ref(),
+            &mut resilience,
+            &cfg.stream,
+            &mut ctl,
+            &mut |b| {
+                emitted += b.len() as u64;
+                schema.get_or_insert_with(|| b.schema().clone());
+                sink(b)
+            },
+        );
+        let drift_triggers = ctl.drift_triggers;
+        resilience.record_into(&self.obs.metrics);
+        let (_, stats, splices) = match result {
+            Ok(ok) => ok,
+            Err(e) => {
+                self.obs.tracer.event_with(|| format!("adaptive run died: {e}"));
+                span.close();
+                return Err(MediatorError::Exec(e));
+            }
+        };
+        let after = self.source.meter();
+        let meter = Meter {
+            queries: after.queries - before.queries,
+            tuples_shipped: after.tuples_shipped - before.tuples_shipped,
+            rejected: after.rejected - before.rejected,
+        };
+        let measured_cost = meter.cost(self.source.cost_params());
+        let rows = Relation::empty(match schema {
+            Some(s) => s,
+            None => {
+                let attrs: Vec<&str> =
+                    planned.plan.output_attrs().iter().map(String::as_str).collect();
+                self.source
+                    .relation()
+                    .schema()
+                    .project(&attrs)
+                    .map_err(|e| MediatorError::Exec(ExecError::Schema(e.to_string())))?
+            }
+        });
+        self.obs.tracer.event_with(|| format!("streamed {emitted} rows to sink"));
+        self.record_run(&planned, &rows, &meter, measured_cost);
+        self.record_stream(&stats);
+        self.record_calibration(&meter, measured_cost);
+        span.close();
+        Ok(AdaptiveOutcome {
+            outcome: RunOutcome { planned, rows, meter, measured_cost },
+            stats,
+            resilience,
+            splices,
+            drift_triggers,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -1130,6 +1518,148 @@ mod tests {
             out.outcome.planned.plan.source_queries().len(),
             "no early termination: every source query observed"
         );
+    }
+
+    /// A source whose real data contradicts a uniform estimator: the
+    /// `a ^ b` form looks vanishingly selective but actually matches 150
+    /// of 200 rows, while the `c` form looks expensive but matches 5.
+    fn drifty_source() -> Arc<Source> {
+        use csqp_expr::{Value, ValueType};
+        use csqp_relation::Schema;
+        use csqp_ssdl::parse_ssdl;
+        let schema = Schema::new(
+            "t",
+            vec![
+                ("k", ValueType::Int),
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+                ("c", ValueType::Int),
+            ],
+            &["k"],
+        )
+        .unwrap();
+        let rows: Vec<Vec<Value>> = (0..200i64)
+            .map(|i| {
+                let ab = i64::from(i < 150);
+                let c = i64::from(i < 150 && i % 40 == 0);
+                vec![Value::Int(i), Value::Int(ab), Value::Int(ab), Value::Int(c)]
+            })
+            .collect();
+        let desc = parse_ssdl(
+            "source drifty {\n\
+             s1 -> a = $int ^ b = $int ;\n\
+             s2 -> c = $int ;\n\
+             attributes :: s1 : { k, a, b, c } ;\n\
+             attributes :: s2 : { k, a, b, c } ;\n\
+             }",
+        )
+        .unwrap();
+        Arc::new(Source::new(
+            Relation::from_rows(schema, rows),
+            desc,
+            csqp_source::CostParams::new(10.0, 1.0),
+        ))
+    }
+
+    #[test]
+    fn run_adaptive_matches_run_when_nothing_drifts() {
+        let catalog = Catalog::demo_small(7);
+        let source = catalog.get("bookstore").unwrap().clone();
+        let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
+        let plain = Mediator::new(source.clone()).run(&q).unwrap();
+        // The oracle estimator is exact, so the drift band never trips.
+        let m = Mediator::new(source).with_cardinality(CardKind::Oracle);
+        let out = m.run_adaptive(&q, &AdaptiveConfig::default()).unwrap();
+        assert_eq!(out.outcome.rows, plain.rows, "adaptive execution is answer-preserving");
+        assert_eq!(out.splices, 0, "exact estimates leave nothing to re-plan");
+        assert_eq!(out.outcome.meter, plain.meter, "no splice: identical transfer");
+    }
+
+    #[test]
+    fn run_adaptive_splices_on_cardinality_drift() {
+        use csqp_obs::FlightRecorder;
+        let source = drifty_source();
+        let q = TargetQuery::parse("a = 1 ^ b = 1 ^ c = 1", &["k"]).unwrap();
+        let want = project(&select(source.relation(), Some(&q.cond)), &["k"]).unwrap();
+        assert_eq!(want.len(), 4, "rows 0, 40, 80, 120 match all three atoms");
+        // The uniform estimator prices `a ^ b` at 200·0.05² = 0.5 rows and
+        // `c` at 10, so planning picks the a^b form — which actually ships
+        // 150 tuples.
+        let recorder = Arc::new(FlightRecorder::new());
+        let m = Mediator::new(source.clone())
+            .with_cardinality(CardKind::Uniform { atom_selectivity: 0.05 })
+            .with_flight_recorder(recorder);
+        let cfg = AdaptiveConfig {
+            stream: StreamConfig::serial().with_batch_size(2),
+            ..Default::default()
+        };
+        let out = m.run_adaptive(&q, &cfg).unwrap();
+        assert_eq!(out.outcome.rows, want, "splicing never changes the answer set");
+        if cfg!(all(feature = "stream", feature = "adaptive")) {
+            assert!(out.drift_triggers >= 1, "the a^b leaf exits the [½,2]× band");
+            assert!(out.splices >= 1, "floored re-plan switches to the c form");
+            let snap = m.metrics_snapshot();
+            if m.obs().enabled() {
+                assert_eq!(snap.counter(names::REPLAN_SPLICES), out.splices);
+                assert!(snap.counter(names::REPLAN_DRIFT_TRIGGERS) >= out.drift_triggers);
+                let why = m.explain_why();
+                assert!(why.contains("[replan] drift"), "EXPLAIN WHY renders the splice:\n{why}");
+            }
+        } else {
+            assert_eq!(out.splices, 0, "fallback path never consults the controller");
+        }
+        // Determinism: a second identical run takes the same decisions.
+        let m2 = Mediator::new(drifty_source())
+            .with_cardinality(CardKind::Uniform { atom_selectivity: 0.05 });
+        let out2 = m2.run_adaptive(&q, &cfg).unwrap();
+        assert_eq!(out2.outcome.rows, want);
+        assert_eq!(out2.splices, out.splices);
+        assert_eq!(out2.drift_triggers, out.drift_triggers);
+        assert_eq!(out2.outcome.meter, out.outcome.meter);
+    }
+
+    #[test]
+    fn run_adaptive_each_streams_the_same_answer() {
+        let source = drifty_source();
+        let q = TargetQuery::parse("a = 1 ^ b = 1 ^ c = 1", &["k"]).unwrap();
+        let want = project(&select(source.relation(), Some(&q.cond)), &["k"]).unwrap();
+        let m =
+            Mediator::new(source).with_cardinality(CardKind::Uniform { atom_selectivity: 0.05 });
+        let cfg = AdaptiveConfig {
+            stream: StreamConfig::serial().with_batch_size(2),
+            ..Default::default()
+        };
+        let mut got: Vec<csqp_relation::tuple::Tuple> = Vec::new();
+        let out = m
+            .run_adaptive_each(&q, &cfg, &mut |b| {
+                got.extend(b.into_tuples());
+                true
+            })
+            .unwrap();
+        assert!(out.outcome.rows.is_empty(), "the sink consumed the answer");
+        assert_eq!(Relation::from_tuples(want.schema().clone(), got), want);
+    }
+
+    #[test]
+    fn calibration_learns_the_real_cost_constants() {
+        use crate::calibrate::CalibratingCostModel;
+        use csqp_plan::model::LatencyBandwidthCost;
+        let source = drifty_source();
+        // Start from a wildly wrong inner model; the source's real §6.2
+        // constants are (10, 1) and measured cost is exact in them.
+        let cal = Arc::new(CalibratingCostModel::new(Arc::new(LatencyBandwidthCost::default())));
+        let m = Mediator::new(source)
+            .with_cardinality(CardKind::Uniform { atom_selectivity: 0.05 })
+            .with_calibration(cal.clone());
+        let q1 = TargetQuery::parse("a = 1 ^ b = 1 ^ c = 1", &["k"]).unwrap();
+        let q2 = TargetQuery::parse("c = 1", &["k"]).unwrap();
+        m.run_adaptive(&q1, &AdaptiveConfig::default()).unwrap();
+        m.run_adaptive(&q2, &AdaptiveConfig::default()).unwrap();
+        assert_eq!(cal.samples(), 2, "every finished adaptive run feeds the fit");
+        let (k1, k2) = cal.fitted().expect("two independent runs pin the constants");
+        assert!((k1 - 10.0).abs() < 1e-6, "k1 converged: {k1}");
+        assert!((k2 - 1.0).abs() < 1e-6, "k2 converged: {k2}");
+        assert!(m.calibration().is_some());
     }
 
     #[test]

@@ -54,6 +54,7 @@ struct Args {
     serve: bool,
     addr: String,
     slow_ms: u64,
+    adaptive: bool,
 }
 
 const USAGE: &str = "\
@@ -63,7 +64,7 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
             [--metrics json|prom]
        csqp serve --ssdl <file> --csv <file> [--key <col[,col]>]
             [--addr <host:port>] [--scheme <name>] [--slow-ms <n>]
-            [--k1 <f64>] [--k2 <f64>]
+            [--k1 <f64>] [--k2 <f64>] [--no-adaptive]
        csqp --chaos <seed> [--trace] [--metrics json|prom]
 
   --ssdl     SSDL source description (see README for the syntax); repeat
@@ -90,6 +91,8 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
              (Prometheus text exposition)
   --chaos    standalone demo: run a seeded fault storm against a federation
              of unreliable car-data mirrors and print the failover trace
+  --no-adaptive  serve mode: disable mid-query adaptive re-planning (served
+             pipelines then never splice; the trailer reports `0 replans`)
 
 serve mode keeps the mediator warm behind a tiny HTTP/1.0 listener with
 /healthz, /metrics (Prometheus), /query, /flightrecorder (EXPLAIN WHY),
@@ -115,6 +118,7 @@ fn parse_args() -> Result<Args, String> {
         serve: false,
         addr: "127.0.0.1:0".to_string(),
         slow_ms: 100,
+        adaptive: true,
     };
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
@@ -165,6 +169,8 @@ fn parse_args() -> Result<Args, String> {
                     return Err(format!("--metrics: unknown format {other:?} (try json or prom)"))
                 }
             },
+            "--adaptive" => args.adaptive = true,
+            "--no-adaptive" => args.adaptive = false,
             "--addr" => args.addr = value(&mut i)?,
             "--slow-ms" => {
                 args.slow_ms = value(&mut i)?.parse().map_err(|e| format!("--slow-ms: {e}"))?
@@ -267,6 +273,9 @@ fn chaos_demo(seed: u64, trace: bool, metrics_json: bool, metrics_prom: bool) ->
                             MemberEvent::Probed => "half-open probe".into(),
                             MemberEvent::ExecFailed(e) => format!("failed: {e}"),
                             MemberEvent::Served => "served the answer".into(),
+                            MemberEvent::Spliced(from) => {
+                                format!("spliced in mid-stream for {from}")
+                            }
                         };
                         println!("    {member}: {what}");
                     }
@@ -367,6 +376,7 @@ fn main() -> ExitCode {
             addr: args.addr.clone(),
             scheme: args.scheme,
             slow_ms: args.slow_ms,
+            adaptive: args.adaptive,
             ..Default::default()
         };
         return match Server::bind_federation(sources, cfg).and_then(|mut s| s.run()) {

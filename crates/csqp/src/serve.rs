@@ -31,7 +31,7 @@
 //! virtual-tick layer untouched.
 
 use csqp_core::federation::Federation;
-use csqp_core::mediator::{Mediator, MediatorError, Scheme};
+use csqp_core::mediator::{AdaptiveConfig, Mediator, MediatorError, Scheme};
 use csqp_core::types::TargetQuery;
 use csqp_obs::{names, FlightRecorder, Obs};
 use csqp_plan::exec_stream::StreamConfig;
@@ -55,6 +55,11 @@ pub struct ServeConfig {
     pub slow_ms: u64,
     /// Slow-query log ring size (oldest entries evicted).
     pub slow_log_capacity: usize,
+    /// Serve queries through the adaptive executor: mid-query cardinality
+    /// drift pauses the pipeline and splices in a re-planned residual
+    /// (answers stay set-identical; the trailer reports the splice count).
+    /// On by default; a no-op in builds without the `adaptive` feature.
+    pub adaptive: bool,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +69,7 @@ impl Default for ServeConfig {
             scheme: Scheme::GenCompact,
             slow_ms: 100,
             slow_log_capacity: 32,
+            adaptive: true,
         }
     }
 }
@@ -407,22 +413,38 @@ impl Server {
             .unwrap_or((fp.considered.len(), fp.considered.len()));
         let mut emitted = 0u64;
         let mut chunk = String::new();
-        let out = self.mediators[winner]
-            .run_streamed_each(&query, &cfg, &mut |batch| {
-                emitted += batch.len() as u64;
-                chunk.clear();
-                for row in batch.rows() {
-                    let _ = writeln!(chunk, "{row}");
-                }
-                sink(&chunk)
-            })
-            .map_err(|e| {
-                self.obs.metrics.inc(names::SERVE_ERRORS);
-                match e {
-                    MediatorError::Plan(e) => format!("planning failed: {e}\n"),
-                    e => format!("execution failed: {e}\n"),
-                }
-            })?;
+        let mut batch_sink = |batch: csqp_relation::TupleBatch| {
+            emitted += batch.len() as u64;
+            chunk.clear();
+            for row in batch.rows() {
+                let _ = writeln!(chunk, "{row}");
+            }
+            sink(&chunk)
+        };
+        let map_err = |obs: &Obs, e: MediatorError| {
+            obs.metrics.inc(names::SERVE_ERRORS);
+            match e {
+                MediatorError::Plan(e) => format!("planning failed: {e}\n"),
+                e => format!("execution failed: {e}\n"),
+            }
+        };
+        // Adaptive serving: the pipeline may pause at a batch boundary and
+        // splice in a re-planned residual when observed cardinalities drift
+        // off the estimates; the answer stays set-identical and the splice
+        // count lands in the trailer.
+        let (out, replans) = if self.cfg.adaptive {
+            let acfg = AdaptiveConfig { stream: cfg, ..Default::default() };
+            let out = self.mediators[winner]
+                .run_adaptive_each(&query, &acfg, &mut batch_sink)
+                .map_err(|e| map_err(&self.obs, e))?;
+            let splices = out.splices;
+            (out.outcome, splices)
+        } else {
+            let out = self.mediators[winner]
+                .run_streamed_each(&query, &cfg, &mut batch_sink)
+                .map_err(|e| map_err(&self.obs, e))?;
+            (out.outcome, 0)
+        };
         let latency_us = start.elapsed().as_micros() as u64;
         self.obs.metrics.inc(names::SERVE_QUERIES);
         self.obs.metrics.observe(names::SERVE_LATENCY_US, latency_us);
@@ -438,13 +460,21 @@ impl Server {
                 why: self.federation.explain_why(),
             });
         }
+        let breakers: Vec<String> = self
+            .federation
+            .breaker_states()
+            .iter()
+            .map(|(name, health)| format!("{name}:{}", health.label()))
+            .collect();
         Ok(format!(
             "{} rows (est cost {:.2}, measured cost {:.2}, {} source queries, capindex \
-             {index_candidates}/{index_total} candidates, flight #{})\n",
+             {index_candidates}/{index_total} candidates, {replans} replans, breakers [{}], \
+             flight #{})\n",
             emitted,
-            out.outcome.planned.est_cost,
-            out.outcome.measured_cost,
-            out.outcome.meter.queries,
+            out.planned.est_cost,
+            out.measured_cost,
+            out.meter.queries,
+            breakers.join(" "),
             self.flight.latest().map(|r| r.id).unwrap_or(0),
         ))
     }

@@ -201,6 +201,22 @@ pub enum PlanEvent {
         /// The transition (`opened`, `half-open`, `closed`, `quarantined`).
         transition: &'static str,
     },
+    /// Mid-query adaptive re-planning spliced a new sub-plan into a
+    /// running pipeline at a batch boundary.
+    Replan {
+        /// What fired the replan (`drift` or `breaker-open`).
+        trigger: &'static str,
+        /// Human-readable trigger detail (drifted subquery, failed member…).
+        detail: String,
+        /// Batch boundary (batches pulled so far) where the pipeline paused.
+        batch: u64,
+        /// Tuples already emitted downstream when the splice happened.
+        emitted: u64,
+        /// The superseded remaining sub-plan, rendered.
+        old_plan: String,
+        /// The spliced-in replacement sub-plan, rendered.
+        new_plan: String,
+    },
     /// Free-form annotation.
     Note {
         /// The annotation.
@@ -283,6 +299,13 @@ impl fmt::Display for PlanEvent {
             }
             PlanEvent::Breaker { member, transition } => {
                 write!(f, "[breaker] member {member}: {transition}")
+            }
+            PlanEvent::Replan { trigger, detail, batch, emitted, old_plan, new_plan } => {
+                write!(
+                    f,
+                    "[replan] {trigger} at batch {batch} ({emitted} rows emitted): \
+                     {detail}; splice {old_plan} -> {new_plan}"
+                )
             }
             PlanEvent::Note { text } => f.write_str(text),
         }

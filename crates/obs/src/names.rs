@@ -105,6 +105,24 @@ pub const FEDERATION_EXEC_FAILED: &str = "federation.exec_failed";
 /// Queries ultimately served by some member.
 pub const FEDERATION_SERVED: &str = "federation.served";
 
+// ---- mid-query adaptive re-planning ----
+
+/// Replan triggers observed (drift + breaker), whether or not a splice
+/// followed.
+pub const REPLAN_TRIGGERED: &str = "replan.triggered";
+/// Replan triggers caused by observed-cardinality drift outside the
+/// [½,2]× band.
+pub const REPLAN_DRIFT_TRIGGERS: &str = "replan.drift_triggers";
+/// Replan triggers caused by a circuit breaker opening mid-pipeline.
+pub const REPLAN_BREAKER_TRIGGERS: &str = "replan.breaker_triggers";
+/// Sub-plans actually spliced into a running pipeline (a trigger whose
+/// re-planned residual matched the remaining plan splices nothing).
+pub const REPLAN_SPLICES: &str = "replan.splices";
+/// Per-member live breaker-state gauge prefix: `breaker.state.<member>`
+/// with 0 = closed, 1 = half-open, 2 = open/quarantined. Set from
+/// `Federation::metrics_snapshot` without advancing the breaker clock.
+pub const BREAKER_STATE_PREFIX: &str = "breaker.state.";
+
 // ---- federation capability index (compiled source pre-selection) ----
 
 /// Members surviving the capability-index pre-filter across federated

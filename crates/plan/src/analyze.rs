@@ -40,8 +40,14 @@ const DRIFT_FACTOR: f64 = 2.0;
 impl SubQueryObs {
     /// Observed/estimated cardinality ratio, smoothed so empty results
     /// don't divide by zero (`> 1` means the model under-estimated).
+    ///
+    /// Estimates that are NaN, infinite, or negative (a broken cardinality
+    /// model) are clamped to 0 before smoothing, so the ratio is always a
+    /// finite positive number — replan triggers and drift warnings never
+    /// see Inf/NaN.
     pub fn drift_ratio(&self) -> f64 {
-        (self.observed_rows as f64 + 1.0) / (self.est_rows + 1.0)
+        let est = if self.est_rows.is_finite() { self.est_rows.max(0.0) } else { 0.0 };
+        (self.observed_rows as f64 + 1.0) / (est + 1.0)
     }
 
     /// Did the observed cardinality drift ≥ 2× from the estimate?
@@ -353,6 +359,44 @@ mod tests {
         // Deterministic: same inputs, same bytes.
         let (_, _, analysis2) = execute_analyzed(&plan, &s, &model, &card).unwrap();
         assert_eq!(text, explain_analyze(&plan, &analysis2));
+    }
+
+    #[test]
+    fn zero_estimate_yields_finite_drift_ratio() {
+        let obs = SubQueryObs {
+            rendered: "SP(true, {a}, R)".into(),
+            est_rows: 0.0,
+            est_cost: 0.0,
+            observed_rows: 100,
+            observed_cost: 100.0,
+        };
+        assert_eq!(obs.drift_ratio(), 101.0);
+        assert!(obs.drifted());
+    }
+
+    #[test]
+    fn degenerate_estimates_never_produce_inf_or_nan() {
+        for est in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -5.0] {
+            let obs = SubQueryObs {
+                rendered: "SP(true, {a}, R)".into(),
+                est_rows: est,
+                est_cost: 0.0,
+                observed_rows: 3,
+                observed_cost: 3.0,
+            };
+            let r = obs.drift_ratio();
+            assert!(r.is_finite() && r > 0.0, "est {est} gave ratio {r}");
+        }
+        // Zero observed against a degenerate estimate is quiet, not a panic.
+        let obs = SubQueryObs {
+            rendered: "SP(true, {a}, R)".into(),
+            est_rows: f64::NAN,
+            est_cost: 0.0,
+            observed_rows: 0,
+            observed_cost: 0.0,
+        };
+        assert_eq!(obs.drift_ratio(), 1.0);
+        assert!(!obs.drifted());
     }
 
     #[test]

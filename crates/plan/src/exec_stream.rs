@@ -34,9 +34,11 @@ use crate::cost::Cardinality;
 use crate::exec::{ExecError, RetryPolicy};
 use crate::model::CostModel;
 use crate::plan::Plan;
+use csqp_expr::CondTree;
 use csqp_relation::stream::{TupleBatch, DEFAULT_BATCH_SIZE};
 use csqp_relation::Relation;
 use csqp_source::{Meter, ResilienceMeter, Source};
+use std::sync::Arc;
 
 /// Knobs for one streaming execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -105,6 +107,147 @@ impl StreamStats {
         metrics.add(names::EXEC_BATCHES, self.batches);
         metrics.gauge_set(names::EXEC_PEAK_RESIDENT_TUPLES, self.peak_resident_tuples as f64);
         metrics.add(names::EXEC_OVERLAP_TICKS, self.overlap_ticks);
+    }
+}
+
+// ---- mid-query adaptive re-planning: controller-facing types ----
+//
+// These types (and the `ReplanController` trait) are compiled in every
+// feature combination so callers can hold controllers unconditionally; the
+// engine only consults them when both `stream` and `adaptive` are on.
+
+/// Progress of one opened source-query leaf, as exposed to a
+/// [`ReplanController`] at batch boundaries and on leaf failure. Leaves are
+/// listed in plan pre-order for the current pipeline segment.
+#[derive(Debug, Clone)]
+pub struct LeafProgress {
+    /// The source query, rendered (`SP(C, A, R)` notation).
+    pub rendered: String,
+    /// The leaf's condition (what the source was asked to satisfy).
+    pub cond: Option<CondTree>,
+    /// Rows the leaf has shipped so far in the current segment.
+    pub rows_out: u64,
+    /// Whether the leaf stream is exhausted.
+    pub done: bool,
+}
+
+/// A snapshot of a paused pipeline handed to a [`ReplanController`]. Cheap
+/// to build per batch; the residual-plan helpers only allocate when a
+/// controller actually decides to re-plan.
+#[derive(Debug)]
+pub struct ReplanProbe<'a> {
+    /// The plan the current pipeline segment is executing.
+    pub plan: &'a Plan,
+    /// For a `Union` root: index of the first top-level child that is not
+    /// fully drained (children before it are complete; the indexed child
+    /// may be partially drained). `None` when the root is not a union or
+    /// progress is unknown (leaf-failure probes).
+    pub union_progress: Option<usize>,
+    /// Per-leaf progress, in plan pre-order.
+    pub leaves: &'a [LeafProgress],
+    /// Batches pulled so far across the whole adaptive run.
+    pub batches: u64,
+    /// Answer rows emitted downstream so far across the whole run.
+    pub emitted: u64,
+}
+
+impl ReplanProbe<'_> {
+    /// The part of the plan that still has answers to produce: for a
+    /// `Union` root, the not-yet-drained top-level children (a partially
+    /// drained child is included whole — root dedup absorbs the overlap);
+    /// for any other root, the whole plan. `None` when nothing remains.
+    pub fn remaining_plan(&self) -> Option<Plan> {
+        match (self.plan, self.union_progress) {
+            (Plan::Union(cs), Some(k)) => {
+                if k < cs.len() {
+                    Some(Plan::union(cs[k..].to_vec()))
+                } else {
+                    None
+                }
+            }
+            _ => Some(self.plan.clone()),
+        }
+    }
+
+    /// The condition the remaining answers satisfy — what MCSC should be
+    /// re-run over. `None` when nothing remains *or* the residual is
+    /// unconstrained/unknown (an unconditional branch, a `Choice`); both
+    /// cases mean "do not splice".
+    pub fn residual_condition(&self) -> Option<CondTree> {
+        self.remaining_plan().as_ref().and_then(plan_condition)
+    }
+}
+
+/// A controller's decision to splice: abandon the current pipeline segment
+/// at this batch boundary and continue with `plan` against `source`.
+/// Already-emitted tuples are deduplicated away automatically, so a splice
+/// can only add missing answers, never duplicate or drop them.
+#[derive(Debug, Clone)]
+pub struct SpliceAction {
+    /// The replacement sub-plan covering the residual condition.
+    pub plan: Plan,
+    /// The source to run it against (the same source for drift splices;
+    /// the next-cheapest healthy member for breaker splices).
+    pub source: Arc<Source>,
+}
+
+/// Decides when a running pipeline should pause and re-plan.
+///
+/// The streaming engine stays mechanical: it calls
+/// [`on_batch`](ReplanController::on_batch) at every emitted root batch and
+/// [`on_leaf_error`](ReplanController::on_leaf_error) when a leaf
+/// open/pull fails terminally (retries exhausted or non-retryable). All
+/// drift math, breaker bookkeeping, and MCSC re-planning live in the
+/// controller — `csqp-core` provides drift- and breaker-triggered
+/// implementations. Returning `None` continues (or, from `on_leaf_error`,
+/// fails) the run unchanged.
+pub trait ReplanController {
+    /// Called after every emitted root batch; return a splice to re-plan
+    /// the residual at this batch boundary.
+    fn on_batch(&mut self, probe: &ReplanProbe<'_>) -> Option<SpliceAction>;
+
+    /// Called when a leaf failed terminally. Return a splice to recover on
+    /// another plan/source; `None` propagates the error.
+    fn on_leaf_error(&mut self, probe: &ReplanProbe<'_>, err: &ExecError) -> Option<SpliceAction>;
+}
+
+/// The condition a concrete plan's answer satisfies, composed structurally:
+/// a source query contributes its own condition, `Local` selections AND
+/// onto their input, `Union` ORs its branches, `Intersect` ANDs its
+/// members. `None` means unconstrained (`true`) — or, for `Choice`,
+/// unknown. Used to derive the *residual* condition of a partially drained
+/// pipeline so MCSC can re-plan exactly what is missing. (Like `Intersect`
+/// execution itself, the conjunctive reading is exact when the projected
+/// attributes determine condition satisfaction — the workloads here
+/// project key attributes.)
+pub fn plan_condition(plan: &Plan) -> Option<CondTree> {
+    match plan {
+        Plan::SourceQuery { cond, .. } => cond.clone(),
+        Plan::LocalSp { cond, input, .. } => match (cond.clone(), plan_condition(input)) {
+            (Some(a), Some(b)) => Some(CondTree::and(vec![a, b])),
+            (a, b) => a.or(b),
+        },
+        Plan::Intersect(cs) => {
+            let parts: Vec<CondTree> = cs.iter().filter_map(plan_condition).collect();
+            match parts.len() {
+                0 => None,
+                1 => parts.into_iter().next(),
+                _ => Some(CondTree::and(parts)),
+            }
+        }
+        Plan::Union(cs) => {
+            let mut parts = Vec::with_capacity(cs.len());
+            for c in cs {
+                // An unconstrained branch makes the whole union `true`.
+                parts.push(plan_condition(c)?);
+            }
+            match parts.len() {
+                0 => None,
+                1 => parts.into_iter().next(),
+                _ => Some(CondTree::or(parts)),
+            }
+        }
+        Plan::Choice(_) => None,
     }
 }
 
@@ -196,16 +339,32 @@ mod engine {
         pub(super) slots: Vec<Option<SubQueryObs>>,
     }
 
+    /// Per-leaf progress shared between the adaptive segment driver and the
+    /// pipeline's leaf nodes (filled at leaf open, updated per pull).
+    #[cfg(feature = "adaptive")]
+    #[derive(Default)]
+    pub(super) struct AdaptiveTrack {
+        pub(super) leaves: Vec<LeafProgress>,
+    }
+
     /// Serial-path extras threaded through pulls. Overlap producers always
-    /// run with both off (resilience and analysis force `overlap: false`).
+    /// run with all of them off (resilience, analysis, and adaptive
+    /// tracking force `overlap: false`).
     pub(super) struct Extras<'a, 'b> {
         pub(super) resilient: Option<&'a mut ResilientCtx<'b>>,
         pub(super) analyzed: Option<&'a mut AnalyzedState<'b>>,
+        #[cfg(feature = "adaptive")]
+        pub(super) adaptive: Option<&'a mut AdaptiveTrack>,
     }
 
     impl Extras<'_, '_> {
         pub(super) fn none() -> Extras<'static, 'static> {
-            Extras { resilient: None, analyzed: None }
+            Extras {
+                resilient: None,
+                analyzed: None,
+                #[cfg(feature = "adaptive")]
+                adaptive: None,
+            }
         }
     }
 
@@ -336,6 +495,33 @@ mod engine {
             !matches!(self, Node::Local { .. })
         }
 
+        /// Takes this operator's own dedup sketch, when it keeps one
+        /// (union and intersect roots). The sketch holds every tuple the
+        /// operator has passed, so on an adaptive segment exit it *is* the
+        /// segment's emitted set — stealing it costs nothing, where
+        /// re-inserting each emitted tuple into a parallel persistent
+        /// sketch would have doubled the per-tuple dedup work.
+        #[cfg(feature = "adaptive")]
+        pub(super) fn take_sketch(&mut self) -> Option<DedupSketch> {
+            match self {
+                Node::Inter { sketch, .. }
+                | Node::UnionSerial { sketch, .. }
+                | Node::UnionOverlap { sketch, .. } => Some(std::mem::take(sketch)),
+                Node::Leaf { .. } | Node::Local { .. } => None,
+            }
+        }
+
+        /// For a union root: index of the first child not fully drained.
+        #[cfg(feature = "adaptive")]
+        pub(super) fn union_progress(&self) -> Option<usize> {
+            match self {
+                Node::UnionSerial { current, .. } | Node::UnionOverlap { current, .. } => {
+                    Some(*current)
+                }
+                _ => None,
+            }
+        }
+
         /// Pulls the next batch through this operator. Every emitted batch
         /// is charged to the account; the consumer releases it.
         pub(super) fn next(
@@ -361,6 +547,15 @@ mod engine {
                                     *n_attrs,
                                     *rows_out as f64,
                                 );
+                            }
+                        }
+                    }
+                    #[cfg(feature = "adaptive")]
+                    if let Some(track) = &mut extras.adaptive {
+                        if let Some(lp) = track.leaves.get_mut(*idx) {
+                            match &pulled {
+                                Some(_) => lp.rows_out = *rows_out,
+                                None => lp.done = true,
                             }
                         }
                     }
@@ -530,6 +725,16 @@ mod engine {
                         est_cost,
                         observed_rows: 0,
                         observed_cost: a.model.source_query_cost(cond.as_ref(), attrs.len(), 0.0),
+                    });
+                }
+                #[cfg(feature = "adaptive")]
+                if let Some(track) = &mut extras.adaptive {
+                    debug_assert_eq!(track.leaves.len(), idx, "leaf open order is pre-order");
+                    track.leaves.push(LeafProgress {
+                        rendered: plan.to_string(),
+                        cond: cond.clone(),
+                        rows_out: 0,
+                        done: false,
                     });
                 }
                 Ok(Node::Leaf {
@@ -703,6 +908,168 @@ mod engine {
         };
         Ok((emitted, account.stats()))
     }
+
+    /// How an adaptive pipeline segment ended.
+    #[cfg(feature = "adaptive")]
+    pub(super) enum SegmentEnd {
+        /// Drained (or limit hit, or the sink stopped the run).
+        Done,
+        /// The controller spliced: continue on a new plan/source.
+        Spliced(SpliceAction),
+    }
+
+    /// Hard cap on splices per adaptive run — a backstop against a
+    /// controller that keeps re-planning without converging. Once hit the
+    /// run stops consulting the controller and drains the current plan.
+    #[cfg(feature = "adaptive")]
+    pub(super) const MAX_SPLICES: u64 = 16;
+
+    #[cfg(feature = "adaptive")]
+    #[allow(clippy::too_many_arguments)]
+    fn segment_inner(
+        plan: &Plan,
+        source: &Source,
+        cfg: &StreamConfig,
+        account: &Account,
+        controller: &mut dyn ReplanController,
+        allow_splice: bool,
+        emitted_sketch: &mut DedupSketch,
+        emitted: &mut u64,
+        base_batches: u64,
+        extras: &mut Extras<'_, '_>,
+        sink: &mut dyn FnMut(TupleBatch) -> bool,
+    ) -> Result<SegmentEnd, ExecError> {
+        let mut next_leaf = 0usize;
+        let mut root = build(plan, source, cfg, None, account, &mut next_leaf, extras)?;
+        // A union/intersect root already dedups everything it emits through
+        // its own sketch, which we steal on any exit that can lead to a
+        // further segment — so while the segment runs, the persistent
+        // sketch is only *consulted* (and only once a splice has actually
+        // happened). Leaf and Local roots have no sketch to steal and pay
+        // the explicit insert: for Local that matches the plain path's
+        // root dedup, for a bare Leaf it is the price of splice-readiness.
+        let self_dedups = matches!(
+            root,
+            Node::Inter { .. } | Node::UnionSerial { .. } | Node::UnionOverlap { .. }
+        );
+        loop {
+            if cfg.limit.is_some_and(|l| *emitted >= l) {
+                return Ok(SegmentEnd::Done);
+            }
+            let pulled = match root.next(account, extras) {
+                Ok(p) => p,
+                Err(e) => {
+                    // The segment died mid-stream. Its emissions must
+                    // survive into whatever segment a controller splices
+                    // in next, or recovered ground would re-emit.
+                    if let Some(s) = root.take_sketch() {
+                        emitted_sketch.absorb(s);
+                    }
+                    return Err(e);
+                }
+            };
+            match pulled {
+                None => return Ok(SegmentEnd::Done),
+                Some(b) => {
+                    let n = b.len();
+                    let schema = b.schema().clone();
+                    let mut tuples = b.into_tuples();
+                    // Keep the emitted set identical to a non-adaptive run
+                    // of the original plan: a spliced plan re-covering
+                    // already-drained ground must emit nothing twice.
+                    if self_dedups {
+                        if !emitted_sketch.is_empty() {
+                            tuples.retain(|t| !emitted_sketch.contains(t));
+                        }
+                    } else {
+                        tuples.retain(|t| emitted_sketch.insert(t));
+                    }
+                    if let Some(l) = cfg.limit {
+                        let remaining = (l - *emitted) as usize;
+                        if tuples.len() > remaining {
+                            tuples.truncate(remaining);
+                        }
+                    }
+                    account.release(n);
+                    *emitted += tuples.len() as u64;
+                    if !tuples.is_empty() && !sink(TupleBatch::new(schema, tuples)) {
+                        return Ok(SegmentEnd::Done);
+                    }
+                    if !allow_splice {
+                        continue;
+                    }
+                    // Pause point: the pipeline is at a batch boundary with
+                    // no borrows in flight — consult the controller.
+                    let progress = root.union_progress();
+                    let track = extras.adaptive.as_deref().expect("adaptive track present");
+                    let probe = ReplanProbe {
+                        plan,
+                        union_progress: progress,
+                        leaves: &track.leaves,
+                        batches: base_batches + account.stats().batches,
+                        emitted: *emitted,
+                    };
+                    if let Some(action) = controller.on_batch(&probe) {
+                        if let Some(s) = root.take_sketch() {
+                            emitted_sketch.absorb(s);
+                        }
+                        return Ok(SegmentEnd::Spliced(action));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one adaptive pipeline segment: build, drive with per-batch
+    /// controller consultation, absorb stats and resilience counters on
+    /// every exit path. Leaf progress lands in `track` so the caller can
+    /// still probe the controller after a terminal leaf error.
+    #[cfg(feature = "adaptive")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn run_segment(
+        plan: &Plan,
+        source: &Source,
+        cfg: &StreamConfig,
+        policy: Option<&RetryPolicy>,
+        res: &mut ResilienceMeter,
+        controller: &mut dyn ReplanController,
+        allow_splice: bool,
+        emitted_sketch: &mut DedupSketch,
+        emitted: &mut u64,
+        total: &mut StreamStats,
+        track: &mut AdaptiveTrack,
+        sink: &mut dyn FnMut(TupleBatch) -> bool,
+    ) -> Result<SegmentEnd, ExecError> {
+        track.leaves.clear();
+        let account = Account::default();
+        let base_batches = total.batches;
+        let mut ctx = policy.map(ResilientCtx::new);
+        let outcome = {
+            let mut extras =
+                Extras { resilient: ctx.as_mut(), analyzed: None, adaptive: Some(track) };
+            segment_inner(
+                plan,
+                source,
+                cfg,
+                &account,
+                controller,
+                allow_splice,
+                emitted_sketch,
+                emitted,
+                base_batches,
+                &mut extras,
+                sink,
+            )
+        };
+        if let Some(c) = &ctx {
+            res.absorb(&c.res);
+        }
+        let s = account.stats();
+        total.batches += s.batches;
+        total.peak_resident_tuples = total.peak_resident_tuples.max(s.peak_resident_tuples);
+        total.overlap_ticks += s.overlap_ticks;
+        outcome
+    }
 }
 
 /// Fallback schema for empty streaming results: the plan's output attrs
@@ -787,7 +1154,12 @@ pub fn execute_stream_resilient(
         plan,
         source,
         cfg,
-        &mut engine::Extras { resilient: Some(&mut ctx), analyzed: None },
+        &mut engine::Extras {
+            resilient: Some(&mut ctx),
+            analyzed: None,
+            #[cfg(feature = "adaptive")]
+            adaptive: None,
+        },
         &mut |b| {
             let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
             for t in b.into_tuples() {
@@ -827,7 +1199,12 @@ pub fn execute_stream_analyzed(
         plan,
         source,
         cfg,
-        &mut engine::Extras { resilient: None, analyzed: Some(&mut state) },
+        &mut engine::Extras {
+            resilient: None,
+            analyzed: Some(&mut state),
+            #[cfg(feature = "adaptive")]
+            adaptive: None,
+        },
         &mut |b| {
             let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
             for t in b.into_tuples() {
@@ -845,6 +1222,164 @@ pub fn execute_stream_analyzed(
     // aligned and tail leaves show as `[not executed]`.
     let analysis = PlanAnalysis { subqueries: state.slots.into_iter().map_while(|s| s).collect() };
     Ok((rel, meter_delta(before, source.meter()), analysis, stats))
+}
+
+/// Streams a concrete plan adaptively: after every emitted batch (and on
+/// terminal leaf failure) the `controller` may pause the pipeline and
+/// splice a re-planned residual sub-plan — possibly against a different
+/// source — into the run. A persistent dedup sketch spanning all segments
+/// keeps the emitted set identical to a non-adaptive run of the original
+/// plan. Serial by construction; `policy` adds per-batch retries *before*
+/// a leaf failure reaches the controller. Returns `(rows emitted,
+/// accumulated stats, splices performed)`.
+#[cfg(all(feature = "stream", feature = "adaptive"))]
+pub fn execute_stream_adaptive_each(
+    plan: &Plan,
+    source: &Arc<Source>,
+    policy: Option<&RetryPolicy>,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    controller: &mut dyn ReplanController,
+    sink: &mut dyn FnMut(TupleBatch) -> bool,
+) -> Result<(u64, StreamStats, u64), ExecError> {
+    use csqp_relation::stream::DedupSketch;
+    let mut cur_plan = plan.clone();
+    let mut cur_source = Arc::clone(source);
+    let mut emitted_sketch = DedupSketch::new();
+    let mut emitted = 0u64;
+    let mut total = StreamStats::default();
+    let mut track = engine::AdaptiveTrack::default();
+    let mut splices = 0u64;
+    loop {
+        let allow = splices < engine::MAX_SPLICES;
+        let seg = engine::run_segment(
+            &cur_plan,
+            &cur_source,
+            cfg,
+            policy,
+            res,
+            controller,
+            allow,
+            &mut emitted_sketch,
+            &mut emitted,
+            &mut total,
+            &mut track,
+            sink,
+        );
+        match seg {
+            Ok(engine::SegmentEnd::Done) => break,
+            Ok(engine::SegmentEnd::Spliced(a)) => {
+                splices += 1;
+                cur_plan = a.plan;
+                cur_source = a.source;
+            }
+            Err(e) => {
+                // The segment died on a leaf. Give the controller one look
+                // (progress state survives in `track`); without a splice
+                // the error propagates as it would non-adaptively.
+                let probe = ReplanProbe {
+                    plan: &cur_plan,
+                    union_progress: None,
+                    leaves: &track.leaves,
+                    batches: total.batches,
+                    emitted,
+                };
+                match if allow { controller.on_leaf_error(&probe, &e) } else { None } {
+                    Some(a) => {
+                        splices += 1;
+                        cur_plan = a.plan;
+                        cur_source = a.source;
+                    }
+                    None => return Err(e),
+                }
+            }
+        }
+    }
+    Ok((emitted, total, splices))
+}
+
+/// [`execute_stream_adaptive_each`] accumulated into a [`Relation`]. The
+/// caller meters sources itself (a splice may involve more than one).
+#[cfg(all(feature = "stream", feature = "adaptive"))]
+pub fn execute_stream_adaptive(
+    plan: &Plan,
+    source: &Arc<Source>,
+    policy: Option<&RetryPolicy>,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    controller: &mut dyn ReplanController,
+) -> Result<(Relation, StreamStats, u64), ExecError> {
+    let mut acc: Option<Relation> = None;
+    let (_, stats, splices) =
+        execute_stream_adaptive_each(plan, source, policy, res, cfg, controller, &mut |b| {
+            let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
+            for t in b.into_tuples() {
+                rel.insert(t);
+            }
+            true
+        })?;
+    let rel = match acc {
+        Some(r) => r,
+        None => Relation::empty(output_schema(plan, source)?),
+    };
+    Ok((rel, stats, splices))
+}
+
+/// Adaptive-off (or stream-off) fallback: plain (resilient when `policy`
+/// is given) execution behind the adaptive signature. The controller is
+/// never consulted and the splice count is always 0 — the differential
+/// suite pins this path and the adaptive engine to identical answers.
+#[cfg(not(all(feature = "stream", feature = "adaptive")))]
+pub fn execute_stream_adaptive(
+    plan: &Plan,
+    source: &Arc<Source>,
+    policy: Option<&RetryPolicy>,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    _controller: &mut dyn ReplanController,
+) -> Result<(Relation, StreamStats, u64), ExecError> {
+    match policy {
+        Some(p) => {
+            let (rel, _meter, stats) = execute_stream_resilient(plan, source, p, res, cfg)?;
+            Ok((rel, stats, 0))
+        }
+        None => {
+            let (rel, stats) = execute_stream(plan, source, cfg)?;
+            Ok((rel, stats, 0))
+        }
+    }
+}
+
+/// Adaptive-off (or stream-off) fallback for the sink-driven variant:
+/// materializes via [`execute_stream_adaptive`], then replays the answer
+/// to `sink` in `batch_size` chunks.
+#[cfg(not(all(feature = "stream", feature = "adaptive")))]
+pub fn execute_stream_adaptive_each(
+    plan: &Plan,
+    source: &Arc<Source>,
+    policy: Option<&RetryPolicy>,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    controller: &mut dyn ReplanController,
+    sink: &mut dyn FnMut(TupleBatch) -> bool,
+) -> Result<(u64, StreamStats, u64), ExecError> {
+    let (rel, stats, _) = execute_stream_adaptive(plan, source, policy, res, cfg, controller)?;
+    let schema = rel.schema().clone();
+    let mut emitted = 0u64;
+    let mut chunk = Vec::with_capacity(cfg.batch_size);
+    for t in rel.into_tuples() {
+        chunk.push(t);
+        emitted += 1;
+        if chunk.len() == cfg.batch_size {
+            if !sink(TupleBatch::new(schema.clone(), std::mem::take(&mut chunk))) {
+                return Ok((emitted, stats, 0));
+            }
+        }
+    }
+    if !chunk.is_empty() {
+        sink(TupleBatch::new(schema, chunk));
+    }
+    Ok((emitted, stats, 0))
 }
 
 /// Appends the streaming footer to an

@@ -58,7 +58,7 @@ pub fn explain_why(record: Option<&QueryRecord>) -> String {
                 }
             }
             PlanEvent::Eliminated { .. } => losers.push(format!("  {e}")),
-            PlanEvent::Failover { .. } | PlanEvent::Breaker { .. } => {
+            PlanEvent::Failover { .. } | PlanEvent::Breaker { .. } | PlanEvent::Replan { .. } => {
                 runtime.push(format!("  {e}"))
             }
             PlanEvent::CheckCacheStats { .. } => check_cache = Some(e.to_string()),
@@ -185,6 +185,31 @@ mod tests {
         assert!(r.contains("check cache: 4 calls"));
         assert!(r.contains("[failover] rank 0"));
         assert!(r.contains("1 PR2 evictions"));
+    }
+
+    #[test]
+    fn replan_events_render_in_runtime_section() {
+        let rec = QueryRecord {
+            id: 9,
+            query: "SP(a = 1, {a}, R)".into(),
+            scheme: "GenCompact".into(),
+            events: vec![
+                PlanEvent::Winner { cost: 2.0, plan: "SQ(a = 1)".into() },
+                PlanEvent::Replan {
+                    trigger: "drift",
+                    detail: "SP(a = 1, {a}, R) under-estimated".into(),
+                    batch: 3,
+                    emitted: 192,
+                    old_plan: "SQ(a = 1)".into(),
+                    new_plan: "SQ(b = 2)".into(),
+                },
+            ],
+            dropped: 0,
+        };
+        let r = explain_why(Some(&rec));
+        assert!(r.contains("\nruntime\n"), "{r}");
+        assert!(r.contains("[replan] drift at batch 3 (192 rows emitted)"), "{r}");
+        assert!(r.contains("splice SQ(a = 1) -> SQ(b = 2)"), "{r}");
     }
 
     #[test]

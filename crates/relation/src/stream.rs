@@ -133,6 +133,26 @@ impl DedupSketch {
         self.buckets.get(&tuple_fingerprint(t)).is_some_and(|b| b.iter().any(|u| u == t))
     }
 
+    /// Absorbs another sketch: afterwards `self` contains the union of
+    /// both tuple sets. Used by the adaptive executor to fold a finished
+    /// pipeline segment's root sketch into the persistent emitted set
+    /// instead of double-inserting every tuple while the segment runs.
+    pub fn absorb(&mut self, other: DedupSketch) {
+        if self.is_empty() {
+            *self = other;
+            return;
+        }
+        for (fp, bucket) in other.buckets {
+            let mine = self.buckets.entry(fp).or_default();
+            for t in bucket {
+                if !mine.iter().any(|u| u == &t) {
+                    mine.push(t);
+                    self.len += 1;
+                }
+            }
+        }
+    }
+
     /// Number of distinct tuples inserted.
     pub fn len(&self) -> usize {
         self.len

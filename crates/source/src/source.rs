@@ -25,11 +25,12 @@ use csqp_relation::{Relation, TableStats};
 use csqp_ssdl::check::{CompiledSource, ExportSet, SharedCheckCache};
 use csqp_ssdl::closure::{fix_order, permutation_closure, DEFAULT_MAX_SEGMENTS};
 use csqp_ssdl::facts::CapabilityFacts;
+use csqp_ssdl::linearize::{cond_fingerprint, Fingerprint};
 use csqp_ssdl::SsdlDesc;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Errors raised when querying a source.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +161,10 @@ pub struct Source {
     queries: AtomicU64,
     tuples_shipped: AtomicU64,
     rejected: AtomicU64,
+    /// Observed result cardinalities by condition fingerprint: the largest
+    /// deduplicated result size ever shipped for each distinct condition.
+    /// Feeds mid-query re-planning (cost recalibration floors).
+    observed_cards: Mutex<BTreeMap<Fingerprint, u64>>,
     /// Unreliability model; `None` (the default) keeps the fault path at a
     /// single branch per query.
     fault: Option<FaultProfile>,
@@ -190,6 +195,7 @@ impl Source {
             queries: AtomicU64::new(0),
             tuples_shipped: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            observed_cards: Mutex::new(BTreeMap::new()),
             fault: None,
             fault_attempts: AtomicU64::new(0),
             res_transients: AtomicU64::new(0),
@@ -284,7 +290,39 @@ impl Source {
             project(&selected, &attr_refs).map_err(|e| SourceError::Schema(e.to_string()))?;
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.tuples_shipped.fetch_add(result.len() as u64, Ordering::Relaxed);
+        self.record_observed(cond_fingerprint(cond), result.len() as u64);
         Ok(result)
+    }
+
+    /// Records an observed result cardinality under a condition
+    /// fingerprint. Floors are monotonic: the map keeps the largest result
+    /// ever seen per condition, so a partially drained stream can never
+    /// *lower* a previously recorded full-scan observation.
+    fn record_observed(&self, fp: Fingerprint, rows: u64) {
+        let mut map = self.observed_cards.lock().expect("observed-cards lock");
+        let entry = map.entry(fp).or_insert(0);
+        *entry = (*entry).max(rows);
+    }
+
+    /// A snapshot of every observed result cardinality, keyed by condition
+    /// fingerprint ([`cond_fingerprint`]). Materialized answers record on
+    /// completion; streamed answers record at exhaustion (a stream
+    /// abandoned mid-scan records nothing — its count would be a lower
+    /// bound, not a cardinality). [`Source::fix_and_answer`] records under
+    /// the caller's original condition ordering as well as the fixed one,
+    /// so planning-view lookups hit.
+    pub fn observed_cardinalities(&self) -> BTreeMap<Fingerprint, u64> {
+        self.observed_cards.lock().expect("observed-cards lock").clone()
+    }
+
+    /// The observed result cardinality for one condition, if any query with
+    /// that condition has completed against this source.
+    pub fn observed_cardinality(&self, cond: Option<&CondTree>) -> Option<u64> {
+        self.observed_cards
+            .lock()
+            .expect("observed-cards lock")
+            .get(&cond_fingerprint(cond))
+            .copied()
     }
 
     /// Answers a source query phrased against the planning view: first fixes
@@ -305,7 +343,12 @@ impl Source {
                         attrs: attrs.iter().cloned().collect(),
                     }
                 })?;
-                self.answer(Some(&fixed), attrs)
+                let result = self.answer(Some(&fixed), attrs)?;
+                // Key the observation under the caller's ordering too, so
+                // planning-view conditions (which may differ from the fixed
+                // order) find their floor.
+                self.record_observed(cond_fingerprint(Some(c)), result.len() as u64);
+                Ok(result)
             }
         }
     }
@@ -383,11 +426,14 @@ impl Source {
         self.queries.fetch_add(1, Ordering::Relaxed);
         Ok(SourceStream {
             source: self,
+            fp: cond_fingerprint(cond),
             cond: cond.cloned(),
             out_schema,
             indices,
             batch_size,
             cursor: 0,
+            shipped: 0,
+            recorded: false,
             sketch: DedupSketch::new(),
         })
     }
@@ -411,7 +457,11 @@ impl Source {
                         attrs: attrs.iter().cloned().collect(),
                     }
                 })?;
-                self.answer_stream(Some(&fixed), attrs, batch_size)
+                let mut stream = self.answer_stream(Some(&fixed), attrs, batch_size)?;
+                // Record the exhaustion observation under the caller's
+                // ordering (see `fix_and_answer`).
+                stream.fp = cond_fingerprint(Some(c));
+                Ok(stream)
             }
         }
     }
@@ -472,11 +522,16 @@ impl Source {
 #[derive(Debug)]
 pub struct SourceStream<'a> {
     source: &'a Source,
+    /// Fingerprint the exhaustion observation is recorded under (the
+    /// caller's condition ordering, not the gate-fixed one).
+    fp: Fingerprint,
     cond: Option<CondTree>,
     out_schema: Arc<Schema>,
     indices: Vec<usize>,
     batch_size: usize,
     cursor: usize,
+    shipped: u64,
+    recorded: bool,
     sketch: DedupSketch,
 }
 
@@ -490,6 +545,7 @@ impl SourceStream<'_> {
     pub fn next_batch(&mut self) -> Result<Option<TupleBatch>, SourceError> {
         let tuples = self.source.relation.tuples();
         if self.cursor >= tuples.len() {
+            self.record_exhausted();
             return Ok(None);
         }
         self.source.fault_gate()?;
@@ -510,10 +566,27 @@ impl SourceStream<'_> {
             }
         }
         if fresh.is_empty() && self.cursor >= tuples.len() {
+            self.record_exhausted();
             return Ok(None);
         }
         self.source.tuples_shipped.fetch_add(fresh.len() as u64, Ordering::Relaxed);
+        self.shipped += fresh.len() as u64;
+        if self.cursor >= tuples.len() {
+            // The scan just drained: the shipped count is now the full
+            // deduplicated cardinality, record it without waiting for the
+            // consumer to pull the trailing `None`.
+            self.record_exhausted();
+        }
         Ok(Some(TupleBatch::new(self.out_schema.clone(), fresh)))
+    }
+
+    /// Records the full observed cardinality once the scan is exhausted
+    /// (idempotent).
+    fn record_exhausted(&mut self) {
+        if !self.recorded {
+            self.recorded = true;
+            self.source.record_observed(self.fp, self.shipped);
+        }
     }
 }
 
@@ -744,6 +817,34 @@ mod tests {
             Source::new(datagen::cars(3, 200), templates::car_dealer(), CostParams::default());
         assert_eq!(rows, oracle.answer(Some(&c), &a).unwrap());
         assert_eq!(s.meter().tuples_shipped, rows.len() as u64);
+    }
+
+    #[test]
+    fn observed_cardinalities_track_completed_queries() {
+        let s = dealer();
+        let c = parse_condition("make = \"BMW\" ^ price < 90000").unwrap();
+        let a = attrs(&["make", "model"]);
+        assert!(s.observed_cardinality(Some(&c)).is_none(), "nothing observed yet");
+
+        let r = s.answer(Some(&c), &a).unwrap();
+        assert_eq!(s.observed_cardinality(Some(&c)), Some(r.len() as u64));
+
+        // A swapped ordering records under the caller's fingerprint too.
+        let swapped = parse_condition("price < 90000 ^ make = \"BMW\"").unwrap();
+        let r2 = s.fix_and_answer(Some(&swapped), &a).unwrap();
+        assert_eq!(s.observed_cardinality(Some(&swapped)), Some(r2.len() as u64));
+
+        // A drained stream records the same cardinality as the
+        // materialized answer; an abandoned stream records nothing new.
+        let s2 = dealer();
+        let mut half = s2.answer_stream(Some(&c), &a, 4).unwrap();
+        let _ = half.next_batch().unwrap();
+        drop(half);
+        assert!(s2.observed_cardinality(Some(&c)).is_none(), "partial scans don't record");
+        let mut full = s2.answer_stream(Some(&c), &a, 4).unwrap();
+        while full.next_batch().unwrap().is_some() {}
+        assert_eq!(s2.observed_cardinality(Some(&c)), Some(r.len() as u64));
+        assert!(s2.observed_cardinalities().len() == 1);
     }
 
     #[test]

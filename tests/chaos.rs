@@ -207,6 +207,7 @@ fn render_event(e: &MemberEvent) -> String {
         MemberEvent::Probed => "probed".into(),
         MemberEvent::ExecFailed(msg) => format!("exec-failed({msg})"),
         MemberEvent::Served => "served".into(),
+        MemberEvent::Spliced(from) => format!("spliced-for({from})"),
     }
 }
 
@@ -324,6 +325,151 @@ fn chaos_trace_matches_golden_across_feature_sets() {
         got, want,
         "chaos trace diverged from tests/golden_chaos.txt; if the change is \
          intentional, regenerate with CHAOS_BLESS=1 cargo test -p csqp-core --test chaos"
+    );
+}
+
+#[cfg(all(feature = "stream", feature = "adaptive"))]
+const GOLDEN_REPLAN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden_chaos_replan.txt");
+
+/// A cheap dealer that answers its first source query and then goes dark
+/// mid-stream (with seeded transient noise on top), mirrored by a
+/// reliable but expensive dump. Breaker threshold 1: the first mid-stream
+/// death opens it.
+#[cfg(all(feature = "stream", feature = "adaptive"))]
+fn replan_federation(seed: u64) -> Federation {
+    let data = datagen::cars(3, 400);
+    let flaky = Arc::new(
+        Source::new(data.clone(), templates::car_dealer(), CostParams::new(10.0, 1.0))
+            .with_fault_profile(
+                FaultProfile::new(seed).with_transient(0.25).with_outage(1, u64::MAX),
+            ),
+    );
+    let dump = Arc::new(Source::new(
+        data,
+        templates::download_only(
+            "dump",
+            &[
+                ("make", ValueType::Str),
+                ("model", ValueType::Str),
+                ("year", ValueType::Int),
+                ("color", ValueType::Str),
+                ("price", ValueType::Int),
+            ],
+        ),
+        CostParams::new(200.0, 5.0),
+    ));
+    Federation::new()
+        .with_member(flaky)
+        .with_member(dump)
+        .with_breaker(CircuitBreakerConfig { failure_threshold: 1, cooldown_ticks: 4 })
+        // Armed so the storm can assert EXPLAIN WHY renders the splices.
+        .with_flight_recorder(Arc::new(csqp_obs::FlightRecorder::new()))
+}
+
+/// Runs the mid-stream-outage workload adaptively: the dealer dies inside
+/// a union pipeline, the breaker opens, and the dump must be *spliced in*
+/// for the residual rather than the run failing over from scratch. Checks
+/// exactness on every success and that EXPLAIN WHY renders the splice;
+/// returns the trace.
+#[cfg(all(feature = "stream", feature = "adaptive"))]
+fn replan_storm(seed: u64) -> Vec<String> {
+    use csqp_plan::exec_stream::StreamConfig;
+    let f = replan_federation(seed);
+    let policy = RetryPolicy { max_retries: 2, jitter_seed: seed, ..Default::default() };
+    let cfg = StreamConfig { batch_size: 16, ..StreamConfig::serial() };
+    let queries = [
+        q(
+            "(make = \"BMW\" _ make = \"Audi\" _ make = \"Toyota\") ^ price < 40000",
+            &["model", "year"],
+        ),
+        q("(make = \"Honda\" _ make = \"BMW\") ^ price < 30000", &["model", "year"]),
+        q("year = 1995", &["make", "model"]),
+    ];
+    let mut trace = Vec::new();
+    let mut spliced = 0u64;
+    for round in 0..2 {
+        for (i, query) in queries.iter().enumerate() {
+            let mut line = format!("replan/r{round}q{i} seed={seed}: ");
+            match f.run_adaptive(query, &policy, &cfg) {
+                Ok(run) => {
+                    let member =
+                        f.members().iter().find(|m| m.name == run.run.source_name).unwrap();
+                    assert_eq!(
+                        run.run.outcome.rows,
+                        oracle(member, query),
+                        "replan r{round}q{i} seed {seed}: spliced answer diverged from oracle"
+                    );
+                    spliced += run.splices;
+                    #[cfg(feature = "obs")]
+                    if run.splices > 0 {
+                        let why = f.explain_why();
+                        assert!(
+                            why.contains("[replan]"),
+                            "replan r{round}q{i} seed {seed}: EXPLAIN WHY must render the \
+                             mid-flight splice:\n{why}"
+                        );
+                    }
+                    let events: Vec<String> = run
+                        .trace()
+                        .iter()
+                        .map(|(n, e)| format!("{n}:{}", render_event(e)))
+                        .collect();
+                    let _ = write!(
+                        line,
+                        "ok by={} splices={} rows={} [{}]",
+                        run.run.source_name,
+                        run.splices,
+                        run.run.outcome.rows.len(),
+                        events.join(", ")
+                    );
+                }
+                Err(MediatorError::Plan(e)) => {
+                    let _ = write!(line, "infeasible {e}");
+                }
+                Err(MediatorError::Exec(e)) => {
+                    let _ = write!(line, "err {e}");
+                }
+            }
+            trace.push(line);
+        }
+    }
+    assert!(spliced >= 1, "seed {seed}: the outage must force at least one mid-stream splice");
+    trace
+}
+
+/// Mid-pipeline breaker-open recovery: exact answers, at least one splice,
+/// and a per-seed deterministic trace. Seed set overridable with
+/// `CHAOS_REPLAN_SEED=<n>` (the CI chaos matrix runs one seed per job).
+#[cfg(all(feature = "stream", feature = "adaptive"))]
+#[test]
+fn chaos_replan_recovers_mid_stream() {
+    let seeds: Vec<u64> = match std::env::var("CHAOS_REPLAN_SEED") {
+        Ok(s) => vec![s.trim().parse().expect("CHAOS_REPLAN_SEED must be a u64")],
+        Err(_) => vec![3, 17, 29],
+    };
+    for seed in seeds {
+        let first = replan_storm(seed);
+        assert_eq!(replan_storm(seed), first, "seed {seed} must replay identically");
+    }
+}
+
+/// The replan trace at the golden seed is identical across builds, like
+/// the main chaos golden. Regenerate with `CHAOS_BLESS=1`.
+#[cfg(all(feature = "stream", feature = "adaptive"))]
+#[test]
+fn chaos_replan_trace_matches_golden() {
+    let got: String = replan_storm(GOLDEN_SEED).iter().map(|l| format!("{l}\n")).collect();
+    if std::env::var_os("CHAOS_BLESS").is_some() {
+        std::fs::write(GOLDEN_REPLAN_PATH, &got).expect("write golden replan trace");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_REPLAN_PATH)
+        .expect("tests/golden_chaos_replan.txt missing — regenerate with CHAOS_BLESS=1");
+    assert_eq!(
+        got, want,
+        "replan chaos trace diverged from tests/golden_chaos_replan.txt; if the change \
+         is intentional, regenerate with CHAOS_BLESS=1 cargo test -p csqp-core --test chaos"
     );
 }
 

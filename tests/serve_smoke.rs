@@ -28,6 +28,12 @@ fn http_get(addr: SocketAddr, path: &str) -> String {
     buf
 }
 
+/// Whether the scraped `/metrics` body came from an obs-enabled build (a
+/// disabled registry scrapes empty, with no `# TYPE` lines at all).
+fn server_obs_enabled(metrics: &str) -> bool {
+    metrics.contains("# TYPE")
+}
+
 fn line(addr: SocketAddr, cmd: &str) -> String {
     let mut s = connect(addr);
     writeln!(s, "{cmd}").unwrap();
@@ -82,6 +88,10 @@ fn serve_smoke() {
     let trailer = lines.last().unwrap();
     assert!(trailer.contains("rows (est cost"), "summary is the trailer: {body}");
     assert!(trailer.contains("capindex 1/1 candidates"), "index decision in trailer: {trailer}");
+    // Adaptive serve mode reports its splice count and the live breaker
+    // state of every member in the trailer.
+    assert!(trailer.contains(" replans, breakers ["), "adaptive trailer fields: {trailer}");
+    assert!(trailer.contains("car_dealer:closed"), "live breaker state in trailer: {trailer}");
     let n: usize = trailer.split(' ').next().unwrap().parse().expect("row count leads the trailer");
     assert_eq!(lines.len() - 1, n, "one line per row plus the trailer: {body}");
 
@@ -134,6 +144,9 @@ fn serve_smoke() {
             "csqp_capindex_candidates_total",
             "csqp_capindex_pruned_total",
             "csqp_capindex_build_ticks_total",
+            // Live per-member breaker health (closed=0 / half-open=1 /
+            // open=2), refreshed on every scrape.
+            "csqp_breaker_state_car_dealer 0",
         ] {
             assert!(metrics.contains(series), "{series} missing from scrape:\n{metrics}");
         }
@@ -192,6 +205,14 @@ fn serve_federation_routes_and_prunes() {
     assert!(q.starts_with("HTTP/1.0 200"), "{q}");
     assert!(q.contains("rows (est cost"), "{q}");
     assert!(q.contains("capindex 1/2 candidates"), "colors member is index-pruned: {q}");
+    // No drift on the demo data: the adaptive path serves without a splice,
+    // and both members' breakers scrape as closed.
+    assert!(q.contains("0 replans"), "{q}");
+    assert!(q.contains("breakers [car_dealer:closed colors:closed]"), "{q}");
+    let metrics = http_get(addr, "/metrics");
+    if server_obs_enabled(&metrics) {
+        assert!(metrics.contains("csqp_breaker_state_colors 0"), "{metrics}");
+    }
 
     let bye = http_get(addr, "/shutdown");
     assert!(bye.contains("shutting down"), "{bye}");
