@@ -13,8 +13,8 @@ use crate::types::{PlanError, PlannedQuery, TargetQuery};
 use csqp_obs::{names, FlightRecorder, Obs, PlanEvent, QueryFlight};
 use csqp_plan::exec::{execute_measured, ExecError, RetryPolicy};
 use csqp_plan::exec_stream::{
-    execute_stream_adaptive, execute_stream_measured, plan_condition, ReplanController,
-    ReplanProbe, SpliceAction, StreamConfig, StreamStats,
+    execute_stream_adaptive_traced, execute_stream_measured_traced, plan_condition,
+    ReplanController, ReplanProbe, SpliceAction, StreamConfig, StreamStats,
 };
 use csqp_plan::AttrSet;
 use csqp_source::{Meter, ResilienceMeter, Source};
@@ -344,7 +344,9 @@ impl Federation {
     /// Runs the capability-index pre-filter for one query (when enabled)
     /// and records the candidate/pruned counters.
     fn index_decision(&self, query: &TargetQuery) -> Option<IndexDecision> {
-        let decision = self.capability_index().map(|idx| idx.candidates(query))?;
+        let idx = self.capability_index()?;
+        let _span = self.obs.tracer.span("capindex select");
+        let decision = idx.candidates(query);
         self.obs.metrics.add(names::CAPINDEX_CANDIDATES, decision.candidates.len() as u64);
         self.obs.metrics.add(names::CAPINDEX_PRUNED, decision.pruned as u64);
         Some(decision)
@@ -452,6 +454,14 @@ impl Federation {
                 ));
                 continue;
             };
+            // One span per *planned* candidate; pruned members keep their
+            // O(1) aggregated bookkeeping above. Guarded so a disabled
+            // tracer skips the label formatting entirely.
+            let _member_span = self
+                .obs
+                .tracer
+                .is_enabled()
+                .then(|| self.obs.tracer.span(&format!("member {}", member.name)));
             match outcome {
                 Ok(planned) => {
                     planned.report.record_into(&self.obs.metrics);
@@ -541,7 +551,12 @@ impl Federation {
         cfg: &StreamConfig,
     ) -> Result<(FederatedPlan, RunOutcome, StreamStats), MediatorError> {
         let fp = self.plan(query)?;
-        let (rows, meter, stats) = execute_stream_measured(&fp.planned.plan, &fp.source, cfg)?;
+        let (rows, meter, stats) = execute_stream_measured_traced(
+            &fp.planned.plan,
+            &fp.source,
+            cfg,
+            Some(&self.obs.tracer),
+        )?;
         let measured_cost = meter.cost(fp.source.cost_params());
         meter.record_into(&self.obs.metrics);
         stats.record_into(&self.obs.metrics);
@@ -595,6 +610,12 @@ impl Federation {
                 trace.push((self.members[idx].name.clone(), MemberEvent::Infeasible));
                 continue;
             };
+            // Planned candidates get a span each; pruned members stay O(1).
+            let _member_span = self
+                .obs
+                .tracer
+                .is_enabled()
+                .then(|| self.obs.tracer.span(&format!("member {}", self.members[idx].name)));
             match outcome {
                 Ok(planned) => {
                     any_feasible = true;
@@ -822,13 +843,14 @@ impl Federation {
             gates,
             splices: 0,
         };
-        let result = execute_stream_adaptive(
+        let result = execute_stream_adaptive_traced(
             &primary.plan,
             primary_member,
             Some(policy),
             &mut resilience,
             cfg,
             &mut ctl,
+            Some(&self.obs.tracer),
         );
         let serving_idx = ctl.current;
         let (rows, stats, splices) = match result {
@@ -1226,14 +1248,14 @@ mod tests {
         }
         let snap = f.metrics_snapshot();
         if f.obs().enabled() {
-            assert_eq!(snap.counter("breaker.opened"), 1, "{}", snap.to_json());
-            assert_eq!(snap.counter("breaker.half_opened"), 1, "{}", snap.to_json());
-            assert_eq!(snap.counter("breaker.closed"), 1, "{}", snap.to_json());
-            assert_eq!(snap.counter("federation.quarantined"), 2);
-            assert_eq!(snap.counter("federation.exec_failed"), 2);
-            assert_eq!(snap.counter("federation.served"), 6);
-            assert_eq!(snap.counter("resilience.failovers"), 2, "dealer→dump twice");
-            assert!(snap.counter("planner.check_calls") > 0, "planning fan-out recorded");
+            assert_eq!(snap.counter(names::BREAKER_OPENED), 1, "{}", snap.to_json());
+            assert_eq!(snap.counter(names::BREAKER_HALF_OPENED), 1, "{}", snap.to_json());
+            assert_eq!(snap.counter(names::BREAKER_CLOSED), 1, "{}", snap.to_json());
+            assert_eq!(snap.counter(names::FEDERATION_QUARANTINED), 2);
+            assert_eq!(snap.counter(names::FEDERATION_EXEC_FAILED), 2);
+            assert_eq!(snap.counter(names::FEDERATION_SERVED), 6);
+            assert_eq!(snap.counter(names::RESILIENCE_FAILOVERS), 2, "dealer→dump twice");
+            assert!(snap.counter(names::PLANNER_CHECK_CALLS) > 0, "planning fan-out recorded");
             // The decision trace replays deterministically: a fresh
             // federation with the same schedule produces the same trace.
             let f2 = faulty_pair(
@@ -1246,7 +1268,7 @@ mod tests {
             assert_eq!(f2.obs().tracer.render(), f.obs().tracer.render());
             assert_eq!(f2.metrics_snapshot(), snap);
         } else {
-            assert_eq!(snap.counter("federation.served"), 0, "no-op recorder stays empty");
+            assert_eq!(snap.counter(names::FEDERATION_SERVED), 0, "no-op recorder stays empty");
         }
     }
 
@@ -1332,9 +1354,20 @@ mod tests {
         let states = f.breaker_states();
         assert_eq!(states.iter().find(|(n, _)| n == "car_dealer").unwrap().1, BreakerHealth::Open);
         assert_eq!(states.iter().find(|(n, _)| n == "dump").unwrap().1, BreakerHealth::Closed);
-        let snap = f.metrics_snapshot();
-        assert!(snap.gauges.contains_key("breaker.state.car_dealer"), "breaker gauge exported");
-        assert_eq!(snap.gauge("breaker.state.car_dealer"), BreakerHealth::Open.as_gauge());
+        // The exported gauge needs a live registry; the noop registry of an
+        // obs-off build scrapes empty.
+        #[cfg(feature = "obs")]
+        {
+            let snap = f.metrics_snapshot();
+            assert!(
+                snap.gauges.contains_key(&format!("{}car_dealer", names::BREAKER_STATE_PREFIX)),
+                "breaker gauge exported"
+            );
+            assert_eq!(
+                snap.gauge(&format!("{}car_dealer", names::BREAKER_STATE_PREFIX)),
+                BreakerHealth::Open.as_gauge()
+            );
+        }
     }
 
     #[test]

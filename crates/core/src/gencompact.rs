@@ -99,6 +99,25 @@ pub fn plan_compact_recorded(
     model: &dyn CostModel,
     flight: QueryFlight<'_>,
 ) -> Result<PlannedQuery, PlanError> {
+    plan_compact_traced(query, source, card, cfg, model, flight, None)
+}
+
+/// As [`plan_compact_recorded`], additionally opening hierarchical spans
+/// (`rewrite`, one `ct N` per rewriting with nested `mcsc` covers, `rank`)
+/// on the given tracer for query profiles. The tracer must only be supplied
+/// from sequential program points — federation fan-outs pass `None` and let
+/// the sequential merge loop do the recording.
+pub fn plan_compact_traced(
+    query: &TargetQuery,
+    source: &Source,
+    card: &dyn Cardinality,
+    cfg: &GenCompactConfig,
+    model: &dyn CostModel,
+    flight: QueryFlight<'_>,
+    tracer: Option<&csqp_obs::Tracer>,
+) -> Result<PlannedQuery, PlanError> {
+    // Runtime-disabled tracers drop out here so span labels are never built.
+    let tracer = tracer.filter(|t| t.is_enabled());
     let start = Instant::now();
     // GenCompact reasons against the permutation-closed planning view
     // (unless the E11 ablation pins it to the original grammar).
@@ -110,15 +129,25 @@ pub fn plan_compact_recorded(
         CheckCache::with_shared(source.planning_view(), source.planning_check_cache())
     };
 
+    let rewrite_span = tracer.map(|t| t.span("rewrite"));
     let rewritten = enumerate_compact(&query.cond, cfg.rewrite_budget);
-    let mut ctx = IpgContext::new(&cache, model, card, cfg.ipg).with_flight(flight);
+    drop(rewrite_span);
+    let mut ctx =
+        IpgContext::new(&cache, model, card, cfg.ipg).with_flight(flight).with_tracer(tracer);
 
     // Keep every per-CT winner: the overall best becomes the plan, the
     // losers become ranked failover alternatives.
     let mut candidates: Vec<(csqp_plan::Plan, f64)> = Vec::new();
     for (index, ct) in rewritten.cts.iter().enumerate() {
         flight.event_with(|| PlanEvent::CtBegin { index, cond: ct.to_string() });
-        match ipg_entry(ct, &query.attrs, &mut ctx) {
+        // Detailed spans (`ct N` + nested `mcsc`) stop past MAX_CT_SPANS so
+        // CT-heavy queries don't drown the profile in micro-spans.
+        let ct_tracer = if (index as u64) < crate::types::MAX_CT_SPANS { tracer } else { None };
+        ctx.set_tracer(ct_tracer);
+        let ct_span = ct_tracer.map(|t| t.span(&format!("ct {index}")));
+        let outcome = ipg_entry(ct, &query.attrs, &mut ctx);
+        drop(ct_span);
+        match outcome {
             Some((plan, cost)) => {
                 flight.event_with(|| PlanEvent::CtCandidate {
                     index,
@@ -166,6 +195,7 @@ pub fn plan_compact_recorded(
     } else {
         Vec::new()
     };
+    let _rank_span = tracer.map(|t| t.span("rank"));
     match crate::types::rank_candidates(candidates) {
         Some((plan, est_cost, alternatives)) => {
             crate::types::record_ranking_events(flight, &provenance, &plan, est_cost);

@@ -71,13 +71,32 @@ pub fn plan_modular_recorded(
     model: &dyn CostModel,
     flight: QueryFlight<'_>,
 ) -> Result<PlannedQuery, PlanError> {
+    plan_modular_traced(query, source, card, cfg, model, flight, None)
+}
+
+/// As [`plan_modular_recorded`], additionally opening hierarchical spans
+/// (`rewrite`, one `maxeval ct N` per rewriting around mark/EPG/resolve,
+/// `rank`) on the given tracer for query profiles. Sequential call sites
+/// only — federation fan-outs pass `None`.
+pub fn plan_modular_traced(
+    query: &TargetQuery,
+    source: &Source,
+    card: &dyn Cardinality,
+    cfg: &GenModularConfig,
+    model: &dyn CostModel,
+    flight: QueryFlight<'_>,
+    tracer: Option<&csqp_obs::Tracer>,
+) -> Result<PlannedQuery, PlanError> {
+    let tracer = tracer.filter(|t| t.is_enabled());
     let start = Instant::now();
     // GenModular reasons against the original description; order variants
     // come from its own commutativity rule.
     let cache = CheckCache::new(source.gate_view());
 
     // Rewrite module.
+    let rewrite_span = tracer.map(|t| t.span("rewrite"));
     let rewritten = enumerate(&query.cond, &cfg.rules, cfg.rewrite_budget);
+    drop(rewrite_span);
 
     let mut candidates: Vec<(csqp_plan::Plan, f64)> = Vec::new();
     let mut plans_considered: u64 = 0;
@@ -86,6 +105,11 @@ pub fn plan_modular_recorded(
 
     for (index, ct) in rewritten.cts.iter().enumerate() {
         flight.event_with(|| PlanEvent::CtBegin { index, cond: ct.to_string() });
+        // MaxEval: the mark → EPG → cost-resolve chain for one rewriting.
+        // Detailed per-CT spans stop past MAX_CT_SPANS (see types.rs).
+        let _ct_span = ((index as u64) < crate::types::MAX_CT_SPANS)
+            .then(|| tracer.map(|t| t.span(&format!("maxeval ct {index}"))))
+            .flatten();
         // Mark module.
         let marked = mark(ct, &cache);
         // Generate module (EPG).
@@ -136,6 +160,7 @@ pub fn plan_modular_recorded(
     } else {
         Vec::new()
     };
+    let _rank_span = tracer.map(|t| t.span("rank"));
     match crate::types::rank_candidates(candidates) {
         Some((plan, est_cost, alternatives)) => {
             crate::types::record_ranking_events(flight, &provenance, &plan, est_cost);

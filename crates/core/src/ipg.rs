@@ -113,6 +113,10 @@ pub struct IpgContext<'a, 'b> {
     /// Flight-recorder handle for plan provenance (disabled by default;
     /// armed via [`IpgContext::with_flight`]).
     flight: QueryFlight<'a>,
+    /// Span tracer for the hierarchical query profile (absent by default;
+    /// attached via [`IpgContext::with_tracer`]). Must only be set when the
+    /// search runs from a sequential program point.
+    tracer: Option<&'a csqp_obs::Tracer>,
 }
 
 impl<'a, 'b> IpgContext<'a, 'b> {
@@ -134,6 +138,7 @@ impl<'a, 'b> IpgContext<'a, 'b> {
             memo: HashMap::new(),
             attr_names: HashMap::new(),
             flight: QueryFlight::disabled(),
+            tracer: None,
         }
     }
 
@@ -143,6 +148,21 @@ impl<'a, 'b> IpgContext<'a, 'b> {
     pub fn with_flight(mut self, flight: QueryFlight<'a>) -> Self {
         self.flight = flight;
         self
+    }
+
+    /// Attaches a span tracer: MCSC cover searches open `mcsc` spans under
+    /// the caller's per-CT span, so query profiles attribute planning ticks
+    /// to the cover solver.
+    pub fn with_tracer(mut self, tracer: Option<&'a csqp_obs::Tracer>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Swaps (or detaches) the tracer mid-search: the planners cap per-CT
+    /// span detail at [`crate::types::MAX_CT_SPANS`] and hand later CTs a
+    /// `None` here so their cover searches stop opening `mcsc` spans.
+    pub fn set_tracer(&mut self, tracer: Option<&'a csqp_obs::Tracer>) {
+        self.tracer = tracer;
     }
 
     fn source_query_cost(&self, cond: Option<&CondTree>, n_attrs: usize) -> f64 {
@@ -391,6 +411,7 @@ fn combine(
         }
     }
     ctx.stats.max_q = ctx.stats.max_q.max(items.len());
+    let _mcsc_span = ctx.tracer.map(|t| t.span("mcsc"));
     let (solution, mstats) = if ctx.cfg.exact_mcsc {
         solve_exact(&items, universe)
     } else {

@@ -9,17 +9,20 @@ use crate::baselines::{
     plan_cnf_with_model, plan_disco_with_model, plan_dnf_with_model, plan_naive_with_model,
 };
 use crate::calibrate::{CalibratedCard, CalibratingCostModel};
-use crate::gencompact::{plan_compact_recorded, GenCompactConfig};
-use crate::genmodular::{plan_modular_recorded, GenModularConfig};
+use crate::gencompact::{plan_compact_traced, GenCompactConfig};
+use crate::genmodular::{plan_modular_traced, GenModularConfig};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
-use csqp_obs::{names, FlightRecorder, Obs, PlanEvent, QueryFlight};
+use csqp_obs::{
+    names, CardRow, FlightRecorder, LatencyKey, Obs, PlanEvent, QueryFlight, QueryProfile,
+};
 use csqp_plan::analyze::{execute_analyzed, PlanAnalysis};
 use csqp_plan::cost::{Cardinality, OracleCard, StatsCard, UniformCard};
 use csqp_plan::exec::{execute_measured, execute_resilient, ExecError, RetryPolicy};
 use csqp_plan::exec_stream::{
-    execute_stream_adaptive, execute_stream_adaptive_each, execute_stream_analyzed,
-    execute_stream_each, execute_stream_measured, execute_stream_resilient, ReplanController,
-    ReplanProbe, SpliceAction, StreamConfig, StreamStats,
+    execute_stream_adaptive_each_traced, execute_stream_adaptive_traced,
+    execute_stream_analyzed_traced, execute_stream_each_traced, execute_stream_measured_traced,
+    execute_stream_resilient_traced, ReplanController, ReplanProbe, SpliceAction, StreamConfig,
+    StreamStats,
 };
 use csqp_plan::model::CostModel;
 use csqp_plan::AttrSet;
@@ -607,7 +610,8 @@ impl Mediator {
             .tracer
             .event_with(|| format!("scheme {} on source {}", self.scheme, self.source.name));
         let flight = self.flight.begin_with(|| (query.to_string(), self.scheme.name().to_string()));
-        let planned = self.with_card(|card| self.dispatch(query, card, flight));
+        let planned =
+            self.with_card(|card| self.dispatch(query, card, flight, Some(&self.obs.tracer)));
         match &planned {
             Ok(p) => {
                 // Flush the planner's deterministic counters into the
@@ -636,15 +640,16 @@ impl Mediator {
         query: &TargetQuery,
         card: &dyn csqp_plan::cost::Cardinality,
         flight: QueryFlight<'_>,
+        tracer: Option<&csqp_obs::Tracer>,
     ) -> Result<PlannedQuery, PlanError> {
         let s = &self.source;
         let model = self.active_model();
         match self.scheme {
             Scheme::GenCompact => {
-                plan_compact_recorded(query, s, card, &self.compact_cfg, model, flight)
+                plan_compact_traced(query, s, card, &self.compact_cfg, model, flight, tracer)
             }
             Scheme::GenModular => {
-                plan_modular_recorded(query, s, card, &self.modular_cfg, model, flight)
+                plan_modular_traced(query, s, card, &self.modular_cfg, model, flight, tracer)
             }
             baseline => {
                 let planned = match baseline {
@@ -826,7 +831,12 @@ impl Mediator {
     ) -> Result<StreamedOutcome, MediatorError> {
         let planned = self.plan(query)?;
         let span = self.obs.tracer.span("execute (streamed)");
-        let (rows, meter, stats) = execute_stream_measured(&planned.plan, &self.source, cfg)?;
+        let (rows, meter, stats) = execute_stream_measured_traced(
+            &planned.plan,
+            &self.source,
+            cfg,
+            Some(&self.obs.tracer),
+        )?;
         let measured_cost = meter.cost(self.source.cost_params());
         self.record_run(&planned, &rows, &meter, measured_cost);
         self.record_stream(&stats);
@@ -850,11 +860,17 @@ impl Mediator {
         let before = self.source.meter();
         let mut emitted = 0u64;
         let mut schema = None;
-        let (_, stats) = execute_stream_each(&planned.plan, &self.source, cfg, &mut |b| {
-            emitted += b.len() as u64;
-            schema.get_or_insert_with(|| b.schema().clone());
-            sink(b)
-        })?;
+        let (_, stats) = execute_stream_each_traced(
+            &planned.plan,
+            &self.source,
+            cfg,
+            Some(&self.obs.tracer),
+            &mut |b| {
+                emitted += b.len() as u64;
+                schema.get_or_insert_with(|| b.schema().clone());
+                sink(b)
+            },
+        )?;
         let after = self.source.meter();
         let meter = Meter {
             queries: after.queries - before.queries,
@@ -901,7 +917,14 @@ impl Mediator {
             if rank > 0 {
                 resilience.failovers += 1;
             }
-            match execute_stream_resilient(plan, &self.source, policy, &mut resilience, cfg) {
+            match execute_stream_resilient_traced(
+                plan,
+                &self.source,
+                policy,
+                &mut resilience,
+                cfg,
+                Some(&self.obs.tracer),
+            ) {
                 Ok((rows, meter, stats)) => {
                     win = Some((rank, rows, meter, stats));
                     break;
@@ -958,7 +981,14 @@ impl Mediator {
         let planned = self.plan(query)?;
         let span = self.obs.tracer.span("execute (streamed, analyzed)");
         let (rows, meter, analysis, stats) = self.with_card(|card| {
-            execute_stream_analyzed(&planned.plan, &self.source, self.active_model(), card, cfg)
+            execute_stream_analyzed_traced(
+                &planned.plan,
+                &self.source,
+                self.active_model(),
+                card,
+                cfg,
+                Some(&self.obs.tracer),
+            )
         })?;
         let measured_cost = meter.cost(self.source.cost_params());
         self.record_run(&planned, &rows, &meter, measured_cost);
@@ -989,9 +1019,13 @@ impl Mediator {
     ) -> Option<PlannedQuery> {
         let off = FlightRecorder::off();
         let flight = off.begin_with(|| (query.to_string(), self.scheme.name().to_string()));
+        // Replans run from sequential pause points (batch boundaries), so
+        // their search legitimately nests a `replan` span under the running
+        // execute span.
+        let _replan_span = self.obs.tracer.span("replan");
         let planned = self.with_card(|card| {
             let cal = CalibratedCard::new(card, floors);
-            self.dispatch(query, &cal, flight)
+            self.dispatch(query, &cal, flight, Some(&self.obs.tracer))
         });
         match planned {
             Ok(p) => {
@@ -1035,13 +1069,14 @@ impl Mediator {
         let before = self.source.meter();
         let mut resilience = ResilienceMeter::default();
         let mut ctl = DriftController::new(self, query, cfg);
-        let result = execute_stream_adaptive(
+        let result = execute_stream_adaptive_traced(
             &planned.plan,
             &self.source,
             cfg.policy.as_ref(),
             &mut resilience,
             &cfg.stream,
             &mut ctl,
+            Some(&self.obs.tracer),
         );
         let drift_triggers = ctl.drift_triggers;
         resilience.record_into(&self.obs.metrics);
@@ -1095,13 +1130,14 @@ impl Mediator {
         let mut ctl = DriftController::new(self, query, cfg);
         let mut emitted = 0u64;
         let mut schema = None;
-        let result = execute_stream_adaptive_each(
+        let result = execute_stream_adaptive_each_traced(
             &planned.plan,
             &self.source,
             cfg.policy.as_ref(),
             &mut resilience,
             &cfg.stream,
             &mut ctl,
+            Some(&self.obs.tracer),
             &mut |b| {
                 emitted += b.len() as u64;
                 schema.get_or_insert_with(|| b.schema().clone());
@@ -1150,6 +1186,90 @@ impl Mediator {
             drift_triggers,
         })
     }
+
+    /// Plans a query and captures a [`QueryProfile`] of the planning work:
+    /// the span tree under `plan`, the registry delta, and the flight
+    /// trail. `rows`/cardinalities stay empty — nothing executed.
+    pub fn plan_profiled(
+        &self,
+        query: &TargetQuery,
+    ) -> Result<(PlannedQuery, QueryProfile), PlanError> {
+        let capture = self.begin_profile();
+        let planned = self.plan(query)?;
+        let mut profile = self.finish_profile(capture, query);
+        profile.est_cost = planned.est_cost;
+        Ok((planned, profile))
+    }
+
+    /// Plans and executes with per-source-query observation
+    /// ([`Mediator::run_analyzed`]) and captures the full [`QueryProfile`]:
+    /// span tree, metrics delta, flight trail, and est-vs-observed
+    /// cardinalities per subquery. This is what `--explain=profile` renders.
+    pub fn run_profiled(
+        &self,
+        query: &TargetQuery,
+    ) -> Result<(AnalyzedOutcome, QueryProfile), MediatorError> {
+        let capture = self.begin_profile();
+        let outcome = self.run_analyzed(query)?;
+        let mut profile = self.finish_profile(capture, query);
+        profile.rows = outcome.outcome.rows.len() as u64;
+        profile.est_cost = outcome.outcome.planned.est_cost;
+        profile.observed_cost = outcome.outcome.measured_cost;
+        profile.cardinalities = outcome
+            .analysis
+            .subqueries
+            .iter()
+            .map(|sq| CardRow {
+                label: sq.rendered.clone(),
+                est_rows: sq.est_rows,
+                observed_rows: sq.observed_rows,
+            })
+            .collect();
+        Ok((outcome, profile))
+    }
+
+    /// Marks the start of a profile capture window on the shared registry,
+    /// tracer, and clock.
+    fn begin_profile(&self) -> ProfileCapture {
+        ProfileCapture {
+            metrics_before: self.obs.metrics.snapshot(),
+            span_mark: self.obs.tracer.span_mark(),
+            tick0: self.obs.tracer.tick(),
+        }
+    }
+
+    /// Assembles the profile skeleton for everything recorded since
+    /// `capture`: spans, metrics delta, flight trail, virtual-tick latency.
+    /// The caller fills in outcome-specific fields (rows, costs,
+    /// cardinalities).
+    fn finish_profile(&self, capture: ProfileCapture, query: &TargetQuery) -> QueryProfile {
+        self.obs.metrics.inc(names::PROFILE_CAPTURED);
+        let (id, flight) = match self.flight.latest() {
+            Some(rec) => (rec.id, rec.events.iter().map(|e| e.to_string()).collect()),
+            None => (0, Vec::new()),
+        };
+        QueryProfile {
+            id,
+            query: query.to_string(),
+            scheme: self.scheme.name().to_string(),
+            latency: Some(LatencyKey {
+                wall_us: None,
+                ticks: self.obs.tracer.tick().saturating_sub(capture.tick0),
+            }),
+            spans: self.obs.tracer.spans_from(capture.span_mark),
+            flight,
+            metrics: self.obs.metrics.snapshot().diff(&capture.metrics_before),
+            ..Default::default()
+        }
+    }
+}
+
+/// The "before" edge of a profile capture window (see
+/// [`Mediator::begin_profile`]).
+struct ProfileCapture {
+    metrics_before: csqp_obs::MetricsSnapshot,
+    span_mark: usize,
+    tick0: u64,
 }
 
 #[cfg(test)]
@@ -1360,8 +1480,12 @@ mod tests {
         let out = m.run(&q).unwrap();
         let snap = m.metrics_snapshot();
         if m.obs().enabled() {
-            assert!(snap.counter("planner.check_calls") > 0, "planner counters flushed");
-            assert_eq!(snap.counter("source.queries"), out.meter.queries, "meter routed through");
+            assert!(snap.counter(names::PLANNER_CHECK_CALLS) > 0, "planner counters flushed");
+            assert_eq!(
+                snap.counter(names::SOURCE_QUERIES),
+                out.meter.queries,
+                "meter routed through"
+            );
             let trace = m.obs().tracer.render();
             assert!(trace.contains("> plan"), "trace records the planning span:\n{trace}");
             assert!(trace.contains("> execute"), "trace records the execution span:\n{trace}");
@@ -1371,7 +1495,7 @@ mod tests {
             m2.run(&q).unwrap();
             assert_eq!(m2.obs().tracer.render(), trace, "trace is deterministic");
         } else {
-            assert_eq!(snap.counter("planner.check_calls"), 0, "no-op recorder stays empty");
+            assert_eq!(snap.counter(names::PLANNER_CHECK_CALLS), 0, "no-op recorder stays empty");
             assert!(m.obs().tracer.render().is_empty());
         }
     }
@@ -1402,10 +1526,10 @@ mod tests {
         let q = TargetQuery::parse(EX11, &["isbn", "author", "title"]).unwrap();
         let m1 = Mediator::new(catalog.get("bookstore").unwrap().clone()).with_obs(obs.clone());
         m1.run(&q).unwrap();
-        let after_one = m1.metrics_snapshot().counter("source.queries");
+        let after_one = m1.metrics_snapshot().counter(names::SOURCE_QUERIES);
         let m2 = Mediator::new(catalog.get("bookstore").unwrap().clone()).with_obs(obs);
         m2.run(&q).unwrap();
-        let after_two = m2.metrics_snapshot().counter("source.queries");
+        let after_two = m2.metrics_snapshot().counter(names::SOURCE_QUERIES);
         if m1.obs().enabled() {
             assert_eq!(after_two, after_one * 2, "two identical runs, one shared registry");
         } else {
@@ -1443,7 +1567,7 @@ mod tests {
         assert_eq!(streamed.outcome.measured_cost, plain.measured_cost);
         let snap = m.metrics_snapshot();
         if m.obs().enabled() && cfg!(feature = "stream") {
-            assert_eq!(snap.counter("exec.batches"), streamed.stats.batches);
+            assert_eq!(snap.counter(names::EXEC_BATCHES), streamed.stats.batches);
             assert!(streamed.stats.batches > 0);
         }
     }

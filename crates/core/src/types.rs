@@ -149,6 +149,14 @@ pub struct PlannedQuery {
 /// Ranked alternatives kept per planned query (beyond the winner).
 pub const MAX_ALTERNATIVES: usize = 4;
 
+/// Per-plan cap on detailed per-CT spans (`ct N` / `maxeval ct N` and the
+/// `mcsc` spans nested inside them): rewritings beyond this index plan
+/// without span bookkeeping. Queries enumerating dozens of CTs would
+/// otherwise open a micro-span per rewriting and dominate the profile's
+/// cost — the executor caps per-batch spans the same way
+/// (`exec_stream`'s `MAX_BATCH_SPANS`).
+pub const MAX_CT_SPANS: u64 = 8;
+
 /// Ranks planner candidates: returns the cheapest as the winner plus up to
 /// [`MAX_ALTERNATIVES`] distinct losers sorted by cost (stable on ties, so
 /// the result is independent of thread scheduling upstream). `None` when

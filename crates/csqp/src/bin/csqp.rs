@@ -33,6 +33,9 @@ enum ExplainMode {
     /// Flight-recorder provenance: the decision trail and the eliminating
     /// rule for every losing candidate.
     Why,
+    /// Unified per-query profile: one JSON document with the span tree,
+    /// metrics delta, flight trail and est-vs-observed cardinalities.
+    Profile,
 }
 
 struct Args {
@@ -60,7 +63,7 @@ struct Args {
 const USAGE: &str = "\
 usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
             [--key <col[,col]>] [--scheme <name>] [--run] [--limit <n>]
-            [--explain[=why]] [--k1 <f64>] [--k2 <f64>] [--trace]
+            [--explain[=why|=profile]] [--k1 <f64>] [--k2 <f64>] [--trace]
             [--metrics json|prom]
        csqp serve --ssdl <file> --csv <file> [--key <col[,col]>]
             [--addr <host:port>] [--scheme <name>] [--slow-ms <n>]
@@ -84,7 +87,9 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
   --explain  print the plan tree and planner statistics; `--explain=why`
              replays the flight recorder instead: the full decision trail
              (PR1/PR2/PR3 prunes, MCSC covers, ranking) and the eliminating
-             rule for every losing candidate
+             rule for every losing candidate; `--explain=profile` emits the
+             unified query profile as JSON (span tree, metrics delta,
+             flight trail, est-vs-observed cardinalities)
   --k1/--k2  cost-model constants (default 50 / 1)
   --trace    print the deterministic virtual-tick trace to stderr
   --metrics  print a metrics snapshot on stdout: `json` or `prom`
@@ -95,8 +100,10 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
              pipelines then never splice; the trailer reports `0 replans`)
 
 serve mode keeps the mediator warm behind a tiny HTTP/1.0 listener with
-/healthz, /metrics (Prometheus), /query, /flightrecorder (EXPLAIN WHY),
-/slowlog, and /shutdown; see docs/OBSERVABILITY.md.";
+/healthz, /metrics (Prometheus; `?exemplars=1` adds query-id exemplars),
+/query, /flightrecorder (EXPLAIN WHY), /slowlog, /profile (worst retained
+query profiles), /profile/<id>, /spans, and /shutdown; see
+docs/OBSERVABILITY.md.";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -156,6 +163,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--explain" | "--explain=plan" => args.explain = ExplainMode::Plan,
             "--explain=why" => args.explain = ExplainMode::Why,
+            "--explain=profile" => args.explain = ExplainMode::Profile,
             "--k1" => args.k1 = value(&mut i)?.parse().map_err(|e| format!("--k1: {e}"))?,
             "--k2" => args.k2 = value(&mut i)?.parse().map_err(|e| format!("--k2: {e}"))?,
             "--chaos" => {
@@ -404,15 +412,53 @@ fn main() -> ExitCode {
 
     let obs = Arc::new(Obs::new());
     let mut mediator = Mediator::new(source.clone()).with_scheme(args.scheme).with_obs(obs.clone());
-    if args.explain == ExplainMode::Why {
-        // EXPLAIN WHY needs an armed recorder; armed only on demand so the
-        // default planning path stays provenance-free.
+    if matches!(args.explain, ExplainMode::Why | ExplainMode::Profile) {
+        // EXPLAIN WHY and the query profile both need an armed recorder;
+        // armed only on demand so the default planning path stays
+        // provenance-free.
         mediator = mediator.with_flight_recorder(Arc::new(FlightRecorder::new()));
     }
 
     // Each mode plans exactly once (the analyzed run plans internally), so
     // the metrics snapshot reflects a single planning pass.
-    let status = if args.run {
+    let status = if args.explain == ExplainMode::Profile {
+        // The query black box: capture the whole plan/run window into one
+        // schema-stable JSON document. `--run` profiles an analyzed
+        // execution; without it the profile covers planning only.
+        if args.run {
+            match mediator.run_profiled(&query) {
+                Ok((analyzed, profile)) => {
+                    print_plan_header(&args, &analyzed.outcome.planned);
+                    println!(
+                        "\n{} rows ({} source queries, {} tuples shipped, measured cost {:.1}):",
+                        analyzed.outcome.rows.len(),
+                        analyzed.outcome.meter.queries,
+                        analyzed.outcome.meter.tuples_shipped,
+                        analyzed.outcome.measured_cost
+                    );
+                    for row in analyzed.outcome.rows.rows() {
+                        println!("  {row}");
+                    }
+                    print!("\nquery profile:\n{}", profile.to_json());
+                    ExitCode::SUCCESS
+                }
+                Err(MediatorError::Plan(e)) => plan_failure(&source, &e),
+                Err(e) => {
+                    eprintln!("execution error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        } else {
+            match mediator.plan_profiled(&query) {
+                Ok((planned, profile)) => {
+                    print_plan_header(&args, &planned);
+                    print!("\nquery profile:\n{}", profile.to_json());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => plan_failure(&source, &e),
+            }
+        }
+    } else if args.run {
         // --limit switches to the streaming engine: the pipeline stops as
         // soon as enough answer rows exist. Without it the materialized
         // executor keeps serving the default path.
@@ -474,7 +520,8 @@ fn main() -> ExitCode {
                         print_planner_stats(&planned);
                     }
                     ExplainMode::Why => print!("\n{}", mediator.explain_why()),
-                    ExplainMode::Off => {}
+                    // Profile mode takes the dedicated branch above.
+                    ExplainMode::Profile | ExplainMode::Off => {}
                 }
                 ExitCode::SUCCESS
             }
@@ -571,6 +618,10 @@ fn federated_query(args: &Args, sources: Vec<Arc<Source>>) -> ExitCode {
                 print_planner_stats(&fp.planned);
             }
             ExplainMode::Why => print!("\n{}", federation.explain_why()),
+            ExplainMode::Profile => eprintln!(
+                "note: --explain=profile is per-mediator; federated profiles are served via \
+                 `csqp serve` at /profile and /profile/<id>"
+            ),
             ExplainMode::Off => {}
         }
     };

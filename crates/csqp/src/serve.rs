@@ -13,6 +13,9 @@
 //! | `GET /flightrecorder` | index of recorded query flights |
 //! | `GET /flightrecorder?query=<id>` | `EXPLAIN WHY` replay of flight `id` |
 //! | `GET /slowlog` | recent slow queries with their decision trails |
+//! | `GET /profile` | index of the worst-N retained query profiles |
+//! | `GET /profile/<id>` | full [`QueryProfile`] JSON for flight `id` |
+//! | `GET /spans` | the tracer's hierarchical span tree, rendered |
 //! | `GET /shutdown` | stops the accept loop |
 //!
 //! A bare (non-HTTP) first line speaks the line protocol instead: `ping`,
@@ -33,7 +36,7 @@
 use csqp_core::federation::Federation;
 use csqp_core::mediator::{AdaptiveConfig, Mediator, MediatorError, Scheme};
 use csqp_core::types::TargetQuery;
-use csqp_obs::{names, FlightRecorder, Obs};
+use csqp_obs::{names, FlightRecorder, LatencyKey, Obs, ProfileRing, QueryProfile};
 use csqp_plan::exec_stream::StreamConfig;
 use csqp_source::Source;
 use std::collections::VecDeque;
@@ -60,6 +63,9 @@ pub struct ServeConfig {
     /// (answers stay set-identical; the trailer reports the splice count).
     /// On by default; a no-op in builds without the `adaptive` feature.
     pub adaptive: bool,
+    /// How many worst-latency query profiles the tail-sampling ring keeps
+    /// resident for `/profile` post-mortems.
+    pub profile_ring_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +76,7 @@ impl Default for ServeConfig {
             slow_ms: 100,
             slow_log_capacity: 32,
             adaptive: true,
+            profile_ring_capacity: 8,
         }
     }
 }
@@ -77,8 +84,10 @@ impl Default for ServeConfig {
 /// One slow-query log entry.
 #[derive(Debug, Clone)]
 pub struct SlowQuery {
-    /// Wall-clock latency in microseconds.
-    pub latency_us: u64,
+    /// Wall-clock plus virtual-tick latency. Ranking and rendering prefer
+    /// wall time and fall back to ticks, so builds without a wall clock
+    /// still order the log deterministically.
+    pub latency: LatencyKey,
     /// The query, rendered.
     pub query: String,
     /// The `EXPLAIN WHY` report captured at serve time.
@@ -99,6 +108,9 @@ pub struct Server {
     flight: Arc<FlightRecorder>,
     cfg: ServeConfig,
     slow_log: VecDeque<SlowQuery>,
+    /// Tail-sampling store: the worst-N served queries by latency, each
+    /// with its full profile.
+    profiles: ProfileRing,
 }
 
 impl Server {
@@ -127,7 +139,17 @@ impl Server {
             .iter()
             .map(|m| Mediator::new(m.clone()).with_scheme(cfg.scheme).with_obs(obs.clone()))
             .collect();
-        Ok(Server { listener, federation, mediators, obs, flight, cfg, slow_log: VecDeque::new() })
+        let profiles = ProfileRing::new(cfg.profile_ring_capacity);
+        Ok(Server {
+            listener,
+            federation,
+            mediators,
+            obs,
+            flight,
+            cfg,
+            slow_log: VecDeque::new(),
+            profiles,
+        })
     }
 
     /// The bound address (resolves the ephemeral port of `:0` configs).
@@ -231,10 +253,21 @@ impl Server {
             Some((p, q)) => (p, q),
             None => (target, ""),
         };
+        const JSON: &str = "application/json; charset=utf-8";
+        if let Some(id) = path.strip_prefix("/profile/") {
+            return match id.parse::<u64>().ok().and_then(|id| self.profile(id)) {
+                Some(p) => ("200 OK", JSON, p.to_json(), false),
+                None => ("404 Not Found", TEXT, format!("no profile {id:?} retained\n"), false),
+            };
+        }
         match path {
             "/healthz" => ("200 OK", TEXT, "ok\n".to_string(), false),
             "/metrics" => {
-                ("200 OK", PROM, self.federation.metrics_snapshot().to_prometheus(), false)
+                // `?exemplars=1` upgrades histogram buckets to the
+                // OpenMetrics-style exemplar syntax carrying query ids.
+                let exemplars = query_param(query_string, "exemplars").is_some_and(|v| v == "1");
+                let snap = self.federation.metrics_snapshot();
+                ("200 OK", PROM, csqp_obs::prom::render_opts(&snap, exemplars), false)
             }
             "/flightrecorder" => match query_param(query_string, "query") {
                 Some(id) => match id.parse::<u64>().ok().and_then(|id| self.flight.record(id)) {
@@ -247,6 +280,16 @@ impl Server {
             // (streamed response); reaching it here means a programming
             // error, answered like any unknown route.
             "/slowlog" => ("200 OK", TEXT, self.render_slow_log(), false),
+            "/profile" => ("200 OK", TEXT, self.profile_index(), false),
+            "/spans" => {
+                let spans = self.obs.tracer.spans();
+                let body = if spans.is_empty() {
+                    "no spans recorded\n".to_string()
+                } else {
+                    csqp_obs::span::render_tree(&spans)
+                };
+                ("200 OK", TEXT, body, false)
+            }
             "/shutdown" => ("200 OK", TEXT, "shutting down\n".to_string(), true),
             _ => ("404 Not Found", TEXT, format!("no route {path}\n"), false),
         }
@@ -388,6 +431,12 @@ impl Server {
             None => StreamConfig::default(),
         };
         let start = Instant::now();
+        // Profile capture window: everything the shared registry, tracer
+        // and flight recorder see from here until the run finishes is this
+        // query's.
+        let metrics_before = self.obs.metrics.snapshot();
+        let span_mark = self.obs.tracer.span_mark();
+        let tick0 = self.obs.tracer.tick();
         // Federated member selection first: the capability index prunes
         // members that cannot possibly serve the shape, the survivors are
         // planned, and the cheapest feasible member wins. The winner's warm
@@ -432,37 +481,69 @@ impl Server {
         // splice in a re-planned residual when observed cardinalities drift
         // off the estimates; the answer stays set-identical and the splice
         // count lands in the trailer.
-        let (out, replans) = if self.cfg.adaptive {
+        let (out, replans, drift_triggers) = if self.cfg.adaptive {
             let acfg = AdaptiveConfig { stream: cfg, ..Default::default() };
             let out = self.mediators[winner]
                 .run_adaptive_each(&query, &acfg, &mut batch_sink)
                 .map_err(|e| map_err(&self.obs, e))?;
-            let splices = out.splices;
-            (out.outcome, splices)
+            let (splices, drift) = (out.splices, out.drift_triggers);
+            (out.outcome, splices, drift)
         } else {
             let out = self.mediators[winner]
                 .run_streamed_each(&query, &cfg, &mut batch_sink)
                 .map_err(|e| map_err(&self.obs, e))?;
-            (out.outcome, 0)
+            (out.outcome, 0, 0)
         };
         let latency_us = start.elapsed().as_micros() as u64;
+        let flight_id = self.flight.latest().map(|r| r.id).unwrap_or(0);
         self.obs.metrics.inc(names::SERVE_QUERIES);
-        self.obs.metrics.observe(names::SERVE_LATENCY_US, latency_us);
+        // The latency observation carries the flight id as an exemplar, so
+        // a `/metrics?exemplars=1` scrape can walk from a suspicious bucket
+        // straight to `/profile/<id>`.
+        self.obs.metrics.observe_exemplar(names::SERVE_LATENCY_US, latency_us, flight_id);
         self.obs.metrics.observe(names::SERVE_ROWS_RETURNED, emitted);
+        let latency = LatencyKey {
+            wall_us: Some(latency_us),
+            ticks: self.obs.tracer.tick().saturating_sub(tick0),
+        };
+        let breaker_states = self.federation.breaker_states();
         if latency_us >= self.cfg.slow_ms.saturating_mul(1000) {
             self.obs.metrics.inc(names::SERVE_SLOW_QUERIES);
             if self.slow_log.len() >= self.cfg.slow_log_capacity.max(1) {
                 self.slow_log.pop_front();
             }
             self.slow_log.push_back(SlowQuery {
-                latency_us,
+                latency,
                 query: query.to_string(),
                 why: self.federation.explain_why(),
             });
         }
-        let breakers: Vec<String> = self
-            .federation
-            .breaker_states()
+        // Assemble the query's black box and offer it to the worst-N ring.
+        self.obs.metrics.inc(names::PROFILE_CAPTURED);
+        self.profiles.push(QueryProfile {
+            id: flight_id,
+            query: query.to_string(),
+            scheme: "Federation".to_string(),
+            rows: emitted,
+            latency: Some(latency),
+            est_cost: out.planned.est_cost,
+            observed_cost: out.measured_cost,
+            splices: replans,
+            drift_triggers,
+            breakers: breaker_states
+                .iter()
+                .map(|(name, health)| (name.clone(), health.label().to_string()))
+                .collect(),
+            cardinalities: Vec::new(),
+            spans: self.obs.tracer.spans_from(span_mark),
+            flight: self
+                .flight
+                .latest()
+                .map(|r| r.events.iter().map(|e| e.to_string()).collect())
+                .unwrap_or_default(),
+            metrics: self.obs.metrics.snapshot().diff(&metrics_before),
+        });
+        let breakers: Vec<String> = breaker_states
             .iter()
             .map(|(name, health)| format!("{name}:{}", health.label()))
             .collect();
@@ -501,14 +582,50 @@ impl Server {
         for (i, s) in self.slow_log.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "--- slow query {} ({:.3} ms): {}",
+                "--- slow query {} ({:.3} ms, {} ticks): {}",
                 i,
-                s.latency_us as f64 / 1000.0,
+                s.latency.wall_us.unwrap_or(0) as f64 / 1000.0,
+                s.latency.ticks,
                 s.query
             );
             out.push_str(&s.why);
         }
         out
+    }
+
+    /// A retained profile by flight id, worst-first on ties.
+    fn profile(&self, id: u64) -> Option<&QueryProfile> {
+        self.profiles.worst().iter().find(|p| p.id == id)
+    }
+
+    /// The worst-N profile index: one line per retained profile.
+    fn profile_index(&self) -> String {
+        if self.profiles.is_empty() {
+            return "no profiles retained yet\n".to_string();
+        }
+        let mut out = String::from("worst retained profiles (worst first):\n");
+        for p in self.profiles.worst() {
+            let (wall, ticks) = match p.latency {
+                Some(l) => (l.wall_us.unwrap_or(0), l.ticks),
+                None => (0, 0),
+            };
+            let _ = writeln!(
+                out,
+                "  #{} ({:.3} ms, {} ticks, {} rows, {} splices) {}",
+                p.id,
+                wall as f64 / 1000.0,
+                ticks,
+                p.rows,
+                p.splices,
+                p.query
+            );
+        }
+        out
+    }
+
+    /// The worst-N retained profiles, worst first.
+    pub fn profiles(&self) -> &[QueryProfile] {
+        self.profiles.worst()
     }
 }
 

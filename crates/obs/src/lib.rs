@@ -40,7 +40,9 @@ pub mod flight;
 pub mod metrics;
 pub mod names;
 pub mod noop;
+pub mod profile;
 pub mod prom;
+pub mod span;
 pub mod trace;
 
 #[cfg(feature = "obs")]
@@ -55,6 +57,8 @@ pub use noop::{FlightRecorder, MetricsRegistry, QueryFlight, Span, Tracer};
 
 pub use flight::{PlanEvent, QueryRecord};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot};
+pub use profile::{CardRow, LatencyKey, ProfileRing, QueryProfile};
+pub use span::SpanRecord;
 pub use trace::TraceEvent;
 
 /// The bundle a component carries: one metrics registry plus one tracer.

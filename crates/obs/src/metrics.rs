@@ -71,6 +71,7 @@ impl Histogram {
                     (lo, hi, *n)
                 })
                 .collect(),
+            exemplars: Vec::new(),
         }
     }
 }
@@ -89,6 +90,13 @@ pub struct HistogramSnapshot {
     pub max: u64,
     /// Non-empty buckets as `(lo, hi, n)`.
     pub buckets: Vec<(u64, u64, u64)>,
+    /// Exemplars as `(bucket_hi, query_id, value)` sorted by `bucket_hi`:
+    /// the most recent query id observed into that bucket via
+    /// [`MetricsRegistry::observe_exemplar`]. Empty for plain `observe`
+    /// traffic; deliberately *not* part of `to_json`, so the JSON schema
+    /// (and its goldens) are unchanged — only the Prometheus exposition
+    /// renders them, behind a flag (see [`crate::prom::render_opts`]).
+    pub exemplars: Vec<(u64, u64, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -111,6 +119,15 @@ impl HistogramSnapshot {
             *merged.entry((lo, hi)).or_insert(0) += n;
         }
         self.buckets = merged.into_iter().map(|((lo, hi), n)| (lo, hi, n)).collect();
+        if !other.exemplars.is_empty() {
+            // Union per bucket; the incoming (more recent) exemplar wins.
+            let mut ex: BTreeMap<u64, (u64, u64)> =
+                self.exemplars.iter().map(|&(hi, q, v)| (hi, (q, v))).collect();
+            for &(hi, q, v) in &other.exemplars {
+                ex.insert(hi, (q, v));
+            }
+            self.exemplars = ex.into_iter().map(|(hi, (q, v))| (hi, q, v)).collect();
+        }
     }
 }
 
@@ -119,6 +136,9 @@ struct Inner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// Per-histogram exemplars: bucket hi bound → latest `(query_id, value)`
+    /// observed into that bucket through `observe_exemplar`.
+    exemplars: BTreeMap<String, BTreeMap<u64, (u64, u64)>>,
 }
 
 /// The recording metrics registry. Interior-mutable and `Send + Sync`
@@ -182,13 +202,41 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records `v` into histogram `name` and remembers `query_id` as the
+    /// exemplar for the bucket `v` lands in (latest observation wins). Used
+    /// by serve mode so a tail-latency bucket names a query that landed
+    /// there — the id joins against `/profile/<id>` and the flight recorder.
+    pub fn observe_exemplar(&self, name: &str, v: u64, query_id: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        match inner.histograms.get_mut(name) {
+            Some(h) => h.observe(v),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(v);
+                inner.histograms.insert(name.to_string(), h);
+            }
+        }
+        let (_, hi) = bucket_bounds(bucket_index(v));
+        inner.exemplars.entry(name.to_string()).or_default().insert(hi, (query_id, v));
+    }
+
     /// A sorted point-in-time snapshot of everything recorded so far.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().expect("metrics lock");
         MetricsSnapshot {
             counters: inner.counters.clone(),
             gauges: inner.gauges.clone(),
-            histograms: inner.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let mut snap = h.snapshot();
+                    if let Some(ex) = inner.exemplars.get(k) {
+                        snap.exemplars = ex.iter().map(|(&hi, &(q, v))| (hi, q, v)).collect();
+                    }
+                    (k.clone(), snap)
+                })
+                .collect(),
         }
     }
 
@@ -234,6 +282,53 @@ impl MetricsSnapshot {
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
+    }
+
+    /// The delta from `before` (an earlier snapshot of the same registry)
+    /// to `self`: counters subtract (entries whose delta is zero are
+    /// dropped), gauges keep their current values (they are states, not
+    /// accumulations), histograms subtract count/sum/per-bucket tallies
+    /// (empty deltas dropped; min/max are kept from `self` since deltas for
+    /// extremes are not recoverable). This is how a [`crate::profile::QueryProfile`]
+    /// attributes registry activity to one query on a shared registry.
+    pub fn diff(&self, before: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot { gauges: self.gauges.clone(), ..Default::default() };
+        for (k, &v) in &self.counters {
+            let d = v.saturating_sub(before.counter(k));
+            if d > 0 {
+                out.counters.insert(k.clone(), d);
+            }
+        }
+        for (k, h) in &self.histograms {
+            let prev = before.histograms.get(k);
+            let d_count = h.count.saturating_sub(prev.map_or(0, |p| p.count));
+            if d_count == 0 {
+                continue;
+            }
+            let prev_buckets: BTreeMap<(u64, u64), u64> = prev
+                .map(|p| p.buckets.iter().map(|&(lo, hi, n)| ((lo, hi), n)).collect())
+                .unwrap_or_default();
+            out.histograms.insert(
+                k.clone(),
+                HistogramSnapshot {
+                    count: d_count,
+                    sum: h.sum.saturating_sub(prev.map_or(0, |p| p.sum)),
+                    min: h.min,
+                    max: h.max,
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .filter_map(|&(lo, hi, n)| {
+                            let d =
+                                n.saturating_sub(prev_buckets.get(&(lo, hi)).copied().unwrap_or(0));
+                            (d > 0).then_some((lo, hi, d))
+                        })
+                        .collect(),
+                    exemplars: Vec::new(),
+                },
+            );
+        }
+        out
     }
 
     /// Renders the snapshot in Prometheus text exposition format (the
@@ -294,7 +389,7 @@ fn render_map<V>(
     }
 }
 
-fn render_f64(out: &mut String, v: f64) {
+pub(crate) fn render_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         // `{:?}` is shortest-roundtrip and always keeps a decimal point.
         let _ = write!(out, "{v:?}");
@@ -303,7 +398,7 @@ fn render_f64(out: &mut String, v: f64) {
     }
 }
 
-fn render_json_string(out: &mut String, s: &str) {
+pub(crate) fn render_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -395,6 +490,51 @@ mod tests {
         let mut empty = MetricsSnapshot::default();
         empty.merge(&b.snapshot());
         assert_eq!(empty.counter("c"), 5);
+    }
+
+    #[test]
+    fn diff_attributes_one_querys_activity() {
+        let reg = MetricsRegistry::new();
+        reg.add("planner.checks", 3);
+        reg.observe("exec.rows", 10);
+        let before = reg.snapshot();
+        reg.add("planner.checks", 2);
+        reg.add("exec.queries", 1);
+        reg.gauge_set("breaker.state.a", 1.0);
+        reg.observe("exec.rows", 3);
+        let delta = reg.snapshot().diff(&before);
+        assert_eq!(delta.counter("planner.checks"), 2);
+        assert_eq!(delta.counter("exec.queries"), 1);
+        assert!(!delta.counters.contains_key("missing"));
+        assert_eq!(delta.gauge("breaker.state.a"), 1.0);
+        let h = &delta.histograms["exec.rows"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 3);
+        assert_eq!(h.buckets, vec![(2, 3, 1)]);
+        // Untouched histograms drop out entirely.
+        let noop = reg.snapshot().diff(&reg.snapshot());
+        assert!(noop.counters.is_empty());
+        assert!(noop.histograms.is_empty());
+    }
+
+    #[test]
+    fn exemplars_tag_buckets_with_query_ids() {
+        let reg = MetricsRegistry::new();
+        reg.observe_exemplar("lat", 3, 7);
+        reg.observe_exemplar("lat", 2, 8); // same bucket [2,3] — latest wins
+        reg.observe_exemplar("lat", 900, 9);
+        reg.observe("lat", 1); // plain observation leaves no exemplar
+        let h = &reg.snapshot().histograms["lat"];
+        assert_eq!(h.count, 4);
+        assert_eq!(h.exemplars, vec![(3, 8, 2), (1023, 9, 900)]);
+        // Exemplars stay out of the JSON schema.
+        assert!(!reg.snapshot().to_json().contains("exemplar"));
+        // Snapshot merge unions, incoming side wins per bucket.
+        let other = MetricsRegistry::new();
+        other.observe_exemplar("lat", 3, 42);
+        let mut merged = reg.snapshot();
+        merged.merge(&other.snapshot());
+        assert_eq!(merged.histograms["lat"].exemplars, vec![(3, 42, 3), (1023, 9, 900)]);
     }
 
     #[test]

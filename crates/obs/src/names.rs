@@ -155,3 +155,144 @@ pub const SERVE_SLOW_QUERIES: &str = "serve.slow_queries";
 pub const SERVE_LATENCY_US: &str = "serve.latency_us";
 /// Rows returned to serve-mode clients.
 pub const SERVE_ROWS_RETURNED: &str = "serve.rows_returned";
+
+// ---- query profiles (span layer) ----
+
+/// `QueryProfile` documents captured (CLI `--explain=profile` runs and
+/// serve-mode queries whose profile entered the slowlog ring).
+pub const PROFILE_CAPTURED: &str = "profile.captured";
+
+// ---- static catalog ----
+
+/// The Prometheus-facing kind of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonic counter (`_total` in the exposition).
+    Counter,
+    /// Last-set or accumulated gauge.
+    Gauge,
+    /// Log2 histogram (`_bucket`/`_sum`/`_count` series).
+    Histogram,
+}
+
+/// One catalog row: a canonical name, its kind, and a one-line help text
+/// for the `# HELP` exposition line and the docs catalog.
+#[derive(Debug, Clone, Copy)]
+pub struct MetricMeta {
+    /// The dotted registry name (one of the constants above).
+    pub name: &'static str,
+    /// Counter / gauge / histogram.
+    pub kind: MetricKind,
+    /// One-line description, also asserted to appear in
+    /// docs/OBSERVABILITY.md by the catalog coverage test.
+    pub help: &'static str,
+}
+
+const fn meta(name: &'static str, kind: MetricKind, help: &'static str) -> MetricMeta {
+    MetricMeta { name, kind, help }
+}
+
+/// Every metric the stack exports, with kind and help text. `prom` renders
+/// `# HELP` from this; the coverage test pins that each row is documented
+/// in docs/OBSERVABILITY.md.
+pub const CATALOG: &[MetricMeta] = &[
+    meta(PLANNER_REWRITES_GENERATED, MetricKind::Counter, "rewritten CTs produced"),
+    meta(PLANNER_CTS_CANONICALIZED, MetricKind::Counter, "CTs canonicalized by the generator"),
+    meta(PLANNER_CHECK_CALLS, MetricKind::Counter, "Check(C, R) invocations before caching"),
+    meta(PLANNER_CHECK_CACHE_HITS, MetricKind::Counter, "CheckCache hits"),
+    meta(PLANNER_CHECK_CACHE_MISSES, MetricKind::Counter, "CheckCache misses (real parses)"),
+    meta(PLANNER_IPG_MEMO_HITS, MetricKind::Counter, "IPG memo-table hits"),
+    meta(PLANNER_GENERATOR_CALLS, MetricKind::Counter, "recursive plan-generator invocations"),
+    meta(PLANNER_PRUNED_PR1, MetricKind::Counter, "sub-searches short-circuited by PR1"),
+    meta(PLANNER_PRUNED_PR2, MetricKind::Counter, "subplans discarded by PR2"),
+    meta(PLANNER_PRUNED_PR3, MetricKind::Counter, "subplans discarded by PR3 domination"),
+    meta(PLANNER_MCSC_COVERS_EXAMINED, MetricKind::Counter, "MCSC branch-and-bound nodes examined"),
+    meta(PLANNER_PLANS_CONSIDERED, MetricKind::Counter, "distinct concrete plans considered"),
+    meta(EXEC_SOURCE_QUERIES, MetricKind::Counter, "source queries executed"),
+    meta(EXEC_ROWS_FETCHED, MetricKind::Counter, "rows fetched from sources"),
+    meta(EXEC_ROWS_PER_SUBQUERY, MetricKind::Histogram, "per-subquery row counts"),
+    meta(EXEC_EST_COST, MetricKind::Gauge, "estimated cost over executed source queries"),
+    meta(EXEC_OBSERVED_COST, MetricKind::Gauge, "observed cost over executed source queries"),
+    meta(EXEC_DRIFT_WARNINGS, MetricKind::Counter, "cardinality drift warnings"),
+    meta(EXEC_BATCHES, MetricKind::Counter, "batches pulled through the streaming executor"),
+    meta(EXEC_PEAK_RESIDENT_TUPLES, MetricKind::Gauge, "peak tuples resident in pipeline buffers"),
+    meta(EXEC_OVERLAP_TICKS, MetricKind::Counter, "latency ticks absorbed by overlapped fetch"),
+    meta(SOURCE_QUERIES, MetricKind::Counter, "source queries answered"),
+    meta(SOURCE_TUPLES_SHIPPED, MetricKind::Counter, "tuples shipped to the mediator"),
+    meta(SOURCE_REJECTED, MetricKind::Counter, "queries rejected by the capability gate"),
+    meta(RESILIENCE_ATTEMPTS, MetricKind::Counter, "source-query attempts including retries"),
+    meta(RESILIENCE_RETRIES, MetricKind::Counter, "retries after retryable faults"),
+    meta(RESILIENCE_TRANSIENTS, MetricKind::Counter, "transient faults absorbed"),
+    meta(RESILIENCE_TIMEOUTS, MetricKind::Counter, "timeouts absorbed"),
+    meta(RESILIENCE_RATE_LIMITED, MetricKind::Counter, "rate-limit rejections absorbed"),
+    meta(RESILIENCE_OUTAGES, MetricKind::Counter, "outage windows hit"),
+    meta(RESILIENCE_FAILOVERS, MetricKind::Counter, "failovers to alternative plans or mirrors"),
+    meta(RESILIENCE_BACKOFF_TICKS, MetricKind::Counter, "virtual ticks of latency and backoff"),
+    meta(BREAKER_OPENED, MetricKind::Counter, "breaker transitions to open"),
+    meta(BREAKER_HALF_OPENED, MetricKind::Counter, "breaker transitions to half-open"),
+    meta(BREAKER_CLOSED, MetricKind::Counter, "breaker transitions back to closed"),
+    meta(FEDERATION_QUARANTINED, MetricKind::Counter, "members skipped on an open breaker"),
+    meta(FEDERATION_INFEASIBLE, MetricKind::Counter, "members that could not plan the query"),
+    meta(FEDERATION_EXEC_FAILED, MetricKind::Counter, "member executions failed after retries"),
+    meta(FEDERATION_SERVED, MetricKind::Counter, "queries served by some member"),
+    meta(REPLAN_TRIGGERED, MetricKind::Counter, "replan triggers observed"),
+    meta(REPLAN_DRIFT_TRIGGERS, MetricKind::Counter, "replan triggers from cardinality drift"),
+    meta(REPLAN_BREAKER_TRIGGERS, MetricKind::Counter, "replan triggers from breaker opens"),
+    meta(REPLAN_SPLICES, MetricKind::Counter, "sub-plans spliced into running pipelines"),
+    meta(BREAKER_STATE_PREFIX, MetricKind::Gauge, "live breaker state per member (0/1/2)"),
+    meta(CAPINDEX_CANDIDATES, MetricKind::Counter, "members surviving the capability index"),
+    meta(CAPINDEX_PRUNED, MetricKind::Counter, "members pruned by the capability index"),
+    meta(CAPINDEX_BUILD_TICKS, MetricKind::Counter, "virtual ticks compiling capability facts"),
+    meta(SERVE_REQUESTS, MetricKind::Counter, "requests accepted"),
+    meta(SERVE_ERRORS, MetricKind::Counter, "error responses produced"),
+    meta(SERVE_QUERIES, MetricKind::Counter, "queries answered over the serve surface"),
+    meta(SERVE_SLOW_QUERIES, MetricKind::Counter, "queries over the slow threshold"),
+    meta(SERVE_LATENCY_US, MetricKind::Histogram, "wall-clock query latency in microseconds"),
+    meta(SERVE_ROWS_RETURNED, MetricKind::Counter, "rows returned to clients"),
+    meta(PROFILE_CAPTURED, MetricKind::Counter, "QueryProfile documents captured"),
+];
+
+/// Catalog lookup: exact name match, or the `breaker.state.` prefix row for
+/// its dynamically named per-member gauges. `None` for ad-hoc names (tests,
+/// future metrics not yet cataloged) — the exposition falls back to its
+/// generic help line.
+pub fn help_for(name: &str) -> Option<&'static MetricMeta> {
+    CATALOG.iter().find(|m| m.name == name).or_else(|| {
+        name.starts_with(BREAKER_STATE_PREFIX)
+            .then(|| CATALOG.iter().find(|m| m.name == BREAKER_STATE_PREFIX))
+            .flatten()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_no_duplicates_and_resolves_prefixes() {
+        let mut seen = std::collections::BTreeSet::new();
+        for m in CATALOG {
+            assert!(seen.insert(m.name), "duplicate catalog row {}", m.name);
+            assert!(!m.help.is_empty());
+        }
+        assert_eq!(help_for(SERVE_LATENCY_US).unwrap().kind, MetricKind::Histogram);
+        assert_eq!(help_for("breaker.state.books-eu").unwrap().kind, MetricKind::Gauge);
+        assert!(help_for("not.a.metric").is_none());
+    }
+
+    #[test]
+    fn every_catalog_name_is_documented() {
+        // The docs catalog (docs/OBSERVABILITY.md) must mention every
+        // exported metric name, so renaming or adding a metric forces the
+        // documentation to follow.
+        let docs = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../docs/OBSERVABILITY.md"
+        ))
+        .expect("docs/OBSERVABILITY.md readable from crates/obs");
+        let mut missing: Vec<&str> =
+            CATALOG.iter().map(|m| m.name).filter(|n| !docs.contains(*n)).collect();
+        missing.sort_unstable();
+        assert!(missing.is_empty(), "metric names missing from docs/OBSERVABILITY.md: {missing:?}");
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::flight::{PlanEvent, QueryRecord};
 use crate::metrics::MetricsSnapshot;
+use crate::span::SpanRecord;
 use crate::trace::TraceEvent;
 
 /// Zero-cost stand-in for the recording registry.
@@ -49,6 +50,10 @@ impl MetricsRegistry {
     #[inline]
     pub fn observe(&self, _name: &str, _v: u64) {}
 
+    /// Discards the observation and the exemplar.
+    #[inline]
+    pub fn observe_exemplar(&self, _name: &str, _v: u64, _query_id: u64) {}
+
     /// Always the empty snapshot.
     #[inline]
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -76,6 +81,16 @@ impl Tracer {
     pub const fn enabled(&self) -> bool {
         false
     }
+
+    /// Recording can never be switched on here.
+    #[inline]
+    pub const fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// The toggle has nothing to toggle.
+    #[inline]
+    pub fn set_enabled(&self, _on: bool) {}
 
     /// Discards the event.
     #[inline]
@@ -107,6 +122,24 @@ impl Tracer {
         Vec::new()
     }
 
+    /// Always the zero cursor.
+    #[inline]
+    pub fn span_mark(&self) -> usize {
+        0
+    }
+
+    /// Always empty (`Vec::new()` does not allocate).
+    #[inline]
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        Vec::new()
+    }
+
+    /// Always empty.
+    #[inline]
+    pub fn spans_from(&self, _mark: usize) -> Vec<SpanRecord> {
+        Vec::new()
+    }
+
     /// Always the empty string.
     #[inline]
     pub fn render(&self) -> String {
@@ -123,6 +156,12 @@ impl Tracer {
 pub struct Span<'a>(std::marker::PhantomData<&'a Tracer>);
 
 impl Span<'_> {
+    /// Always id zero — no record exists to point at.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        0
+    }
+
     /// Nothing to close.
     #[inline]
     pub fn close(self) {}
@@ -240,13 +279,19 @@ mod tests {
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
         let t = Tracer::new();
         let span = t.span("plan");
+        assert_eq!(span.id(), 0);
         t.event("x");
         t.event_with(|| unreachable!("noop tracer must not build event text"));
         t.advance(100);
         span.close();
+        t.set_enabled(true);
         assert!(!t.enabled());
+        assert!(!t.is_enabled(), "the noop toggle never switches recording on");
         assert_eq!(t.tick(), 0);
         assert!(t.events().is_empty());
+        assert_eq!(t.span_mark(), 0);
+        assert!(t.spans().is_empty());
+        assert!(t.spans_from(0).is_empty());
         assert_eq!(t.render(), "");
     }
 

@@ -1,0 +1,269 @@
+//! Per-query profiles: the "query black box".
+//!
+//! A [`QueryProfile`] is one schema-stable JSON document that ties a single
+//! query's whole life together — the hierarchical span tree, the metrics
+//! the query moved on the shared registry (as a delta), the flight-recorder
+//! decision trail, the adaptive splice/breaker summary, and est-vs-observed
+//! cardinalities per subquery. The CLI renders it for `--explain=profile`,
+//! serve mode exposes it at `/profile/<id>`, and the slowlog keeps the N
+//! worst profiles in a [`ProfileRing`] so a p99 outlier can be post-mortemed
+//! after the fact.
+//!
+//! Everything here is plain data compiled unconditionally: with `obs` off
+//! the span/metric sections are simply empty, and the JSON schema — pinned
+//! byte-for-byte by `tests/query_profile.rs` across every CI feature leg —
+//! does not change shape.
+
+use crate::metrics::{render_f64, render_json_string, MetricsSnapshot};
+use crate::span::{render_json as render_spans_json, SpanRecord};
+use std::fmt::Write as _;
+
+/// One est-vs-observed cardinality row (a subquery of the executed plan).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CardRow {
+    /// Rendered subquery / plan-leaf label.
+    pub label: String,
+    /// Planner-estimated result cardinality.
+    pub est_rows: f64,
+    /// Rows actually observed.
+    pub observed_rows: u64,
+}
+
+/// The latency a profile is ranked by: wall-clock microseconds when a clock
+/// is available (serve mode), otherwise virtual ticks — so obs-only builds
+/// rank the slowlog deterministically instead of not at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyKey {
+    /// Wall-clock latency in microseconds, if a wall clock was consulted.
+    /// Always `None` outside serve mode, keeping goldens quarantined.
+    pub wall_us: Option<u64>,
+    /// Virtual ticks elapsed over the query (deterministic).
+    pub ticks: u64,
+}
+
+impl LatencyKey {
+    /// The ranking value: wall microseconds when present, else ticks.
+    pub fn value(&self) -> u64 {
+        self.wall_us.unwrap_or(self.ticks)
+    }
+}
+
+/// The unified per-query profile document. See the module docs; field order
+/// here is the JSON key order of [`QueryProfile::to_json`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryProfile {
+    /// Query id (the flight-recorder id in serve mode, 0 for one-shots).
+    pub id: u64,
+    /// The query text as submitted.
+    pub query: String,
+    /// Plan-generation scheme used (`GenCompact` / `GenModular`).
+    pub scheme: String,
+    /// Rows the query returned.
+    pub rows: u64,
+    /// Ranking latency (wall µs in serve mode, virtual ticks otherwise).
+    pub latency: Option<LatencyKey>,
+    /// Planner-estimated total plan cost.
+    pub est_cost: f64,
+    /// Observed total cost after execution.
+    pub observed_cost: f64,
+    /// Adaptive sub-plan splices performed mid-query.
+    pub splices: u64,
+    /// Drift-band replan triggers observed mid-query.
+    pub drift_triggers: u64,
+    /// Breaker states touching this query, as `(member, state)` pairs.
+    pub breakers: Vec<(String, String)>,
+    /// Est-vs-observed cardinalities per executed subquery.
+    pub cardinalities: Vec<CardRow>,
+    /// The hierarchical span tree (empty with `obs` off).
+    pub spans: Vec<SpanRecord>,
+    /// Rendered flight-recorder events, in decision order.
+    pub flight: Vec<String>,
+    /// Registry delta attributed to this query (empty with `obs` off).
+    pub metrics: MetricsSnapshot,
+}
+
+impl QueryProfile {
+    /// Renders the profile as one schema-stable JSON document. Key order is
+    /// fixed, floats use shortest-roundtrip formatting, and every section
+    /// renders even when empty — byte-identical input state yields
+    /// byte-identical output on every platform and feature combination.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"id\": ");
+        let _ = write!(out, "{}", self.id);
+        out.push_str(",\n  \"query\": ");
+        render_json_string(&mut out, &self.query);
+        out.push_str(",\n  \"scheme\": ");
+        render_json_string(&mut out, &self.scheme);
+        let _ = write!(out, ",\n  \"rows\": {}", self.rows);
+        out.push_str(",\n  \"latency\": ");
+        match &self.latency {
+            Some(l) => {
+                out.push_str("{\"wall_us\": ");
+                match l.wall_us {
+                    Some(us) => {
+                        let _ = write!(out, "{us}");
+                    }
+                    None => out.push_str("null"),
+                }
+                let _ = write!(out, ", \"ticks\": {}}}", l.ticks);
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"est_cost\": ");
+        render_f64(&mut out, self.est_cost);
+        out.push_str(",\n  \"observed_cost\": ");
+        render_f64(&mut out, self.observed_cost);
+        let _ = write!(out, ",\n  \"splices\": {}", self.splices);
+        let _ = write!(out, ",\n  \"drift_triggers\": {}", self.drift_triggers);
+        out.push_str(",\n  \"breakers\": [");
+        for (i, (member, state)) in self.breakers.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"member\": ");
+            render_json_string(&mut out, member);
+            out.push_str(", \"state\": ");
+            render_json_string(&mut out, state);
+            out.push('}');
+        }
+        out.push_str("],\n  \"cardinalities\": [");
+        for (i, c) in self.cardinalities.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str("{\"label\": ");
+            render_json_string(&mut out, &c.label);
+            out.push_str(", \"est_rows\": ");
+            render_f64(&mut out, c.est_rows);
+            let _ = write!(out, ", \"observed_rows\": {}}}", c.observed_rows);
+        }
+        out.push_str("],\n  \"spans\": ");
+        out.push_str(&render_spans_json(&self.spans));
+        out.push_str(",\n  \"flight\": [");
+        for (i, line) in self.flight.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            render_json_string(&mut out, line);
+        }
+        out.push_str("],\n  \"metrics\": ");
+        out.push_str(&self.metrics.to_json());
+        out.push_str("\n}");
+        out
+    }
+}
+
+/// A bounded ring keeping the N *worst* profiles by [`LatencyKey::value`]
+/// (descending; ties keep the earlier arrival). This is the slowlog's
+/// tail-sampling store: cheap to push, and the victims of a p99 spike stay
+/// resident with their full profile until N worse queries displace them.
+#[derive(Debug, Default)]
+pub struct ProfileRing {
+    cap: usize,
+    entries: Vec<QueryProfile>,
+}
+
+impl ProfileRing {
+    /// An empty ring retaining at most `cap` profiles.
+    pub fn new(cap: usize) -> Self {
+        ProfileRing { cap, entries: Vec::new() }
+    }
+
+    /// Offers a profile; it is retained iff it ranks among the `cap` worst
+    /// seen so far. Profiles without a latency key rank as zero.
+    pub fn push(&mut self, profile: QueryProfile) {
+        if self.cap == 0 {
+            return;
+        }
+        let v = profile.latency.map_or(0, |l| l.value());
+        // First position whose value is strictly smaller keeps the order
+        // descending and makes ties stable (new entry goes after equals).
+        let pos = self
+            .entries
+            .iter()
+            .position(|e| e.latency.map_or(0, |l| l.value()) < v)
+            .unwrap_or(self.entries.len());
+        if pos >= self.cap {
+            return;
+        }
+        self.entries.insert(pos, profile);
+        self.entries.truncate(self.cap);
+    }
+
+    /// The retained profiles, worst first.
+    pub fn worst(&self) -> &[QueryProfile] {
+        &self.entries
+    }
+
+    /// Number of profiles currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keyed(id: u64, wall_us: Option<u64>, ticks: u64) -> QueryProfile {
+        QueryProfile { id, latency: Some(LatencyKey { wall_us, ticks }), ..Default::default() }
+    }
+
+    #[test]
+    fn empty_profile_renders_full_schema() {
+        let json = QueryProfile::default().to_json();
+        for key in [
+            "\"id\"",
+            "\"query\"",
+            "\"scheme\"",
+            "\"rows\"",
+            "\"latency\"",
+            "\"est_cost\"",
+            "\"observed_cost\"",
+            "\"splices\"",
+            "\"drift_triggers\"",
+            "\"breakers\"",
+            "\"cardinalities\"",
+            "\"spans\"",
+            "\"flight\"",
+            "\"metrics\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert!(json.contains("\"latency\": null"));
+        assert_eq!(json, QueryProfile::default().to_json(), "rendering is deterministic");
+    }
+
+    #[test]
+    fn latency_key_prefers_wall_clock() {
+        assert_eq!(LatencyKey { wall_us: Some(900), ticks: 4 }.value(), 900);
+        assert_eq!(LatencyKey { wall_us: None, ticks: 4 }.value(), 4);
+    }
+
+    #[test]
+    fn ring_keeps_the_worst_n_stable_on_ties() {
+        let mut ring = ProfileRing::new(3);
+        for (id, ticks) in [(1, 10), (2, 50), (3, 10), (4, 99), (5, 20)] {
+            ring.push(keyed(id, None, ticks));
+        }
+        let ids: Vec<u64> = ring.worst().iter().map(|p| p.id).collect();
+        // 99, 50, 20 survive; the tied 10s fell off the tail.
+        assert_eq!(ids, vec![4, 2, 5]);
+        // Ties keep the earlier arrival ahead.
+        let mut tied = ProfileRing::new(2);
+        tied.push(keyed(1, None, 7));
+        tied.push(keyed(2, None, 7));
+        let ids: Vec<u64> = tied.worst().iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        // Wall-clock outranks ticks when present.
+        let mut mixed = ProfileRing::new(2);
+        mixed.push(keyed(1, None, 1000));
+        mixed.push(keyed(2, Some(2000), 1));
+        assert_eq!(mixed.worst()[0].id, 2);
+    }
+}

@@ -16,10 +16,20 @@
 //! schema-stable as the JSON rendering.
 
 use crate::metrics::MetricsSnapshot;
+use crate::names;
 use std::fmt::Write as _;
 
-/// Renders a snapshot in Prometheus text exposition format.
+/// Renders a snapshot in Prometheus text exposition format (no exemplars).
 pub fn render(snap: &MetricsSnapshot) -> String {
+    render_opts(snap, false)
+}
+
+/// Renders a snapshot in Prometheus text exposition format. With
+/// `exemplars` set, histogram bucket lines gain an OpenMetrics-style
+/// exemplar suffix (`# {query_id="7"} 812`) for buckets that carry one —
+/// serve mode exposes this behind `/metrics?exemplars=1` since the suffix
+/// is an OpenMetrics extension some text-format scrapers reject.
+pub fn render_opts(snap: &MetricsSnapshot, exemplars: bool) -> String {
     let mut out = String::new();
     for (name, v) in &snap.counters {
         let mut prom = prom_name(name);
@@ -29,30 +39,41 @@ pub fn render(snap: &MetricsSnapshot) -> String {
         if !prom.ends_with("_total") {
             prom.push_str("_total");
         }
-        let _ = writeln!(out, "# HELP {prom} counter `{name}`");
+        let _ = writeln!(out, "# HELP {prom} counter `{name}`{}", help_suffix(name));
         let _ = writeln!(out, "# TYPE {prom} counter");
         let _ = writeln!(out, "{prom} {v}");
     }
     for (name, v) in &snap.gauges {
         let prom = prom_name(name);
-        let _ = writeln!(out, "# HELP {prom} gauge `{name}`");
+        let _ = writeln!(out, "# HELP {prom} gauge `{name}`{}", help_suffix(name));
         let _ = writeln!(out, "# TYPE {prom} gauge");
         let _ = writeln!(out, "{prom} {}", prom_f64(*v));
     }
     for (name, h) in &snap.histograms {
         let prom = prom_name(name);
-        let _ = writeln!(out, "# HELP {prom} log2 histogram `{name}`");
+        let _ = writeln!(out, "# HELP {prom} log2 histogram `{name}`{}", help_suffix(name));
         let _ = writeln!(out, "# TYPE {prom} histogram");
         let mut cumulative = 0u64;
         for &(_, hi, n) in &h.buckets {
             cumulative += n;
-            let _ = writeln!(out, "{prom}_bucket{{le=\"{hi}\"}} {cumulative}");
+            let _ = write!(out, "{prom}_bucket{{le=\"{hi}\"}} {cumulative}");
+            if exemplars {
+                if let Some(&(_, q, v)) = h.exemplars.iter().find(|&&(b, _, _)| b == hi) {
+                    let _ = write!(out, " # {{query_id=\"{q}\"}} {v}");
+                }
+            }
+            out.push('\n');
         }
         let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.count);
         let _ = writeln!(out, "{prom}_sum {}", h.sum);
         let _ = writeln!(out, "{prom}_count {}", h.count);
     }
     out
+}
+
+/// ` — help text` when the catalog knows the name, empty otherwise.
+fn help_suffix(name: &str) -> String {
+    names::help_for(name).map_or_else(String::new, |m| format!(" — {}", m.help))
 }
 
 /// `planner.pruned_pr3` → `csqp_planner_pruned_pr3`.
@@ -91,15 +112,17 @@ mod tests {
     #[test]
     fn renders_counters_gauges_and_histograms() {
         let reg = MetricsRegistry::new();
-        reg.add("planner.pruned_pr3", 4);
-        reg.gauge_set("exec.est_cost", 62.5);
+        reg.add(crate::names::PLANNER_PRUNED_PR3, 4);
+        reg.gauge_set(crate::names::EXEC_EST_COST, 62.5);
         for v in [0, 1, 1, 3, 900] {
-            reg.observe("exec.rows_per_subquery", v);
+            reg.observe(crate::names::EXEC_ROWS_PER_SUBQUERY, v);
         }
         let text = render(&reg.snapshot());
         assert!(text.contains("# TYPE csqp_planner_pruned_pr3_total counter\n"));
         assert!(text.contains("csqp_planner_pruned_pr3_total 4\n"));
         assert!(text.contains("# HELP csqp_planner_pruned_pr3_total counter `planner.pruned_pr3`"));
+        // Catalog help rides on the HELP line.
+        assert!(text.contains("`planner.pruned_pr3` — subplans discarded by PR3 domination\n"));
         assert!(text.contains("csqp_exec_est_cost 62.5\n"));
         // Cumulative buckets: zeros(1) → ones(3) → [2,3](4) → [512,1023](5).
         assert!(text.contains("csqp_exec_rows_per_subquery_bucket{le=\"0\"} 1\n"));
@@ -109,6 +132,22 @@ mod tests {
         assert!(text.contains("csqp_exec_rows_per_subquery_bucket{le=\"+Inf\"} 5\n"));
         assert!(text.contains("csqp_exec_rows_per_subquery_sum 905\n"));
         assert!(text.contains("csqp_exec_rows_per_subquery_count 5\n"));
+    }
+
+    #[test]
+    fn exemplars_render_only_behind_the_flag() {
+        let reg = MetricsRegistry::new();
+        reg.observe_exemplar(crate::names::SERVE_LATENCY_US, 812, 7);
+        reg.observe(crate::names::SERVE_LATENCY_US, 3);
+        let snap = reg.snapshot();
+        let plain = render(&snap);
+        assert!(!plain.contains("query_id"), "default exposition stays plain text format");
+        let with = render_opts(&snap, true);
+        assert!(
+            with.contains("csqp_serve_latency_us_bucket{le=\"1023\"} 2 # {query_id=\"7\"} 812\n")
+        );
+        // The plain-observed bucket has no exemplar suffix.
+        assert!(with.contains("csqp_serve_latency_us_bucket{le=\"3\"} 1\n"));
     }
 
     #[test]

@@ -48,11 +48,19 @@ fn noop_recorder_allocates_nothing() {
         metrics.add(black_box("exec.rows_fetched"), black_box(i));
         metrics.gauge_add(black_box("exec.est_cost"), black_box(i as f64));
         metrics.observe(black_box("exec.rows_per_subquery"), black_box(i));
+        metrics.observe_exemplar(black_box("serve.latency_us"), black_box(i), black_box(i));
         tracer.event(black_box("hot"));
         tracer.event_with(|| format!("expensive text {i}")); // closure never runs
         let span = tracer.span(black_box("sq"));
+        black_box(span.id());
         tracer.advance(black_box(3));
         span.close();
+        // Span-layer surface: marks and empty span lists must stay free too.
+        black_box(tracer.span_mark());
+        black_box(tracer.spans());
+        black_box(tracer.spans_from(black_box(0)));
+        tracer.set_enabled(black_box(true));
+        black_box(tracer.is_enabled());
         // Flight recorder: label and event closures never run either.
         let qf = flight.begin_with(|| (format!("query {i}"), "GenCompact".to_string()));
         qf.event_with(|| csqp_obs::PlanEvent::Note { text: format!("expensive event {i}") });

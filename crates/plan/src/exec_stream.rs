@@ -292,6 +292,10 @@ mod engine {
     /// source latency, small enough to keep queue residency bounded.
     const OVERLAP_QUEUE_BATCHES: usize = 2;
 
+    /// Per-batch spans recorded per drive (or adaptive segment) before the
+    /// trace goes quiet — bounds trace growth on large results.
+    pub(super) const MAX_BATCH_SPANS: u64 = 32;
+
     /// Shared memory/batch accounting. `current` tracks tuples resident in
     /// pipeline buffers (batches in flight plus overlap queues); `peak` is
     /// its high-water mark.
@@ -355,16 +359,29 @@ mod engine {
         pub(super) analyzed: Option<&'a mut AnalyzedState<'b>>,
         #[cfg(feature = "adaptive")]
         pub(super) adaptive: Option<&'a mut AdaptiveTrack>,
+        /// Span sink for leaf-open and per-batch spans. Overlap producers
+        /// always run with `None`: spans are recorded only at sequential
+        /// program points, keeping traces deterministic.
+        pub(super) tracer: Option<&'a csqp_obs::Tracer>,
     }
 
-    impl Extras<'_, '_> {
+    impl<'a> Extras<'a, '_> {
         pub(super) fn none() -> Extras<'static, 'static> {
             Extras {
                 resilient: None,
                 analyzed: None,
                 #[cfg(feature = "adaptive")]
                 adaptive: None,
+                tracer: None,
             }
+        }
+
+        /// The tracer, when present *and* enabled — callers format span
+        /// labels behind this so a disabled tracer costs nothing. Returns
+        /// the full-lifetime reference so a held span does not freeze the
+        /// (mutably borrowed) extras.
+        pub(super) fn live_tracer(&self) -> Option<&'a csqp_obs::Tracer> {
+            self.tracer.filter(|t| t.is_enabled())
         }
     }
 
@@ -708,6 +725,9 @@ mod engine {
             Plan::SourceQuery { cond, attrs } => {
                 let idx = *next_leaf;
                 *next_leaf += 1;
+                // Leaf opens are where the capability gate fires and the
+                // first round-trip happens — worth a span of their own.
+                let _open_span = extras.live_tracer().map(|t| t.span(&format!("open leaf {idx}")));
                 let stream = match &mut extras.resilient {
                     None => source
                         .fix_and_answer_stream(cond.as_ref(), attrs, cfg.batch_size)
@@ -851,11 +871,20 @@ mod engine {
     ) -> Result<u64, ExecError> {
         let mut sketch = if root.dedup_free() { None } else { Some(DedupSketch::new()) };
         let mut emitted = 0u64;
+        let mut batch_no = 0u64;
         loop {
             if limit.is_some_and(|l| emitted >= l) {
                 break;
             }
-            match root.next(account, extras)? {
+            // One span per answer-batch pull, capped so a long drain cannot
+            // balloon the trace — after the cap the pipeline runs unspanned.
+            let batch_span = (batch_no < MAX_BATCH_SPANS)
+                .then(|| extras.live_tracer().map(|t| t.span(&format!("batch {batch_no}"))))
+                .flatten();
+            let pulled = root.next(account, extras);
+            drop(batch_span);
+            batch_no += 1;
+            match pulled? {
                 None => break,
                 Some(b) => {
                     let n = b.len();
@@ -952,11 +981,20 @@ mod engine {
             root,
             Node::Inter { .. } | Node::UnionSerial { .. } | Node::UnionOverlap { .. }
         );
+        let mut batch_no = 0u64;
         loop {
             if cfg.limit.is_some_and(|l| *emitted >= l) {
                 return Ok(SegmentEnd::Done);
             }
-            let pulled = match root.next(account, extras) {
+            // Same capped per-batch spans as `drive` — the adaptive path
+            // must not trace differently from the plain serial path.
+            let batch_span = (batch_no < MAX_BATCH_SPANS)
+                .then(|| extras.live_tracer().map(|t| t.span(&format!("batch {batch_no}"))))
+                .flatten();
+            let outcome = root.next(account, extras);
+            drop(batch_span);
+            batch_no += 1;
+            let pulled = match outcome {
                 Ok(p) => p,
                 Err(e) => {
                     // The segment died mid-stream. Its emissions must
@@ -1038,6 +1076,7 @@ mod engine {
         emitted: &mut u64,
         total: &mut StreamStats,
         track: &mut AdaptiveTrack,
+        tracer: Option<&csqp_obs::Tracer>,
         sink: &mut dyn FnMut(TupleBatch) -> bool,
     ) -> Result<SegmentEnd, ExecError> {
         track.leaves.clear();
@@ -1046,7 +1085,7 @@ mod engine {
         let mut ctx = policy.map(ResilientCtx::new);
         let outcome = {
             let mut extras =
-                Extras { resilient: ctx.as_mut(), analyzed: None, adaptive: Some(track) };
+                Extras { resilient: ctx.as_mut(), analyzed: None, adaptive: Some(track), tracer };
             segment_inner(
                 plan,
                 source,
@@ -1094,7 +1133,24 @@ pub fn execute_stream_each(
     cfg: &StreamConfig,
     sink: &mut dyn FnMut(csqp_relation::stream::TupleBatch) -> bool,
 ) -> Result<(u64, StreamStats), ExecError> {
-    engine::run(plan, source, cfg, &mut engine::Extras::none(), sink)
+    execute_stream_each_traced(plan, source, cfg, None, sink)
+}
+
+/// As [`execute_stream_each`], recording leaf-open and per-batch spans on
+/// `tracer` for query profiles. Spans are recorded only at sequential
+/// program points (overlap producers stay unspanned), so traces are
+/// deterministic for a given configuration.
+#[cfg(feature = "stream")]
+pub fn execute_stream_each_traced(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+    tracer: Option<&csqp_obs::Tracer>,
+    sink: &mut dyn FnMut(csqp_relation::stream::TupleBatch) -> bool,
+) -> Result<(u64, StreamStats), ExecError> {
+    let mut extras = engine::Extras::none();
+    extras.tracer = tracer;
+    engine::run(plan, source, cfg, &mut extras, sink)
 }
 
 /// Streams a concrete plan into a [`Relation`] (the root accumulates the
@@ -1105,8 +1161,20 @@ pub fn execute_stream(
     source: &Source,
     cfg: &StreamConfig,
 ) -> Result<(Relation, StreamStats), ExecError> {
+    execute_stream_traced(plan, source, cfg, None)
+}
+
+/// [`execute_stream`] with executor spans (see
+/// [`execute_stream_each_traced`]).
+#[cfg(feature = "stream")]
+pub fn execute_stream_traced(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+    tracer: Option<&csqp_obs::Tracer>,
+) -> Result<(Relation, StreamStats), ExecError> {
     let mut acc: Option<Relation> = None;
-    let (_, stats) = execute_stream_each(plan, source, cfg, &mut |b| {
+    let (_, stats) = execute_stream_each_traced(plan, source, cfg, tracer, &mut |b| {
         let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
         for t in b.into_tuples() {
             rel.insert(t);
@@ -1127,8 +1195,19 @@ pub fn execute_stream_measured(
     source: &Source,
     cfg: &StreamConfig,
 ) -> Result<(Relation, Meter, StreamStats), ExecError> {
+    execute_stream_measured_traced(plan, source, cfg, None)
+}
+
+/// [`execute_stream_measured`] with executor spans (see
+/// [`execute_stream_each_traced`]).
+pub fn execute_stream_measured_traced(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+    tracer: Option<&csqp_obs::Tracer>,
+) -> Result<(Relation, Meter, StreamStats), ExecError> {
     let before = source.meter();
-    let (rel, stats) = execute_stream(plan, source, cfg)?;
+    let (rel, stats) = execute_stream_traced(plan, source, cfg, tracer)?;
     Ok((rel, meter_delta(before, source.meter()), stats))
 }
 
@@ -1146,6 +1225,20 @@ pub fn execute_stream_resilient(
     res: &mut ResilienceMeter,
     cfg: &StreamConfig,
 ) -> Result<(Relation, Meter, StreamStats), ExecError> {
+    execute_stream_resilient_traced(plan, source, policy, res, cfg, None)
+}
+
+/// [`execute_stream_resilient`] with executor spans (see
+/// [`execute_stream_each_traced`]).
+#[cfg(feature = "stream")]
+pub fn execute_stream_resilient_traced(
+    plan: &Plan,
+    source: &Source,
+    policy: &RetryPolicy,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    tracer: Option<&csqp_obs::Tracer>,
+) -> Result<(Relation, Meter, StreamStats), ExecError> {
     use crate::exec::ResilientCtx;
     let mut ctx = ResilientCtx::new(policy);
     let before = source.meter();
@@ -1159,6 +1252,7 @@ pub fn execute_stream_resilient(
             analyzed: None,
             #[cfg(feature = "adaptive")]
             adaptive: None,
+            tracer,
         },
         &mut |b| {
             let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
@@ -1191,6 +1285,20 @@ pub fn execute_stream_analyzed(
     card: &dyn Cardinality,
     cfg: &StreamConfig,
 ) -> Result<(Relation, Meter, PlanAnalysis, StreamStats), ExecError> {
+    execute_stream_analyzed_traced(plan, source, model, card, cfg, None)
+}
+
+/// [`execute_stream_analyzed`] with executor spans (see
+/// [`execute_stream_each_traced`]).
+#[cfg(feature = "stream")]
+pub fn execute_stream_analyzed_traced(
+    plan: &Plan,
+    source: &Source,
+    model: &dyn CostModel,
+    card: &dyn Cardinality,
+    cfg: &StreamConfig,
+    tracer: Option<&csqp_obs::Tracer>,
+) -> Result<(Relation, Meter, PlanAnalysis, StreamStats), ExecError> {
     let mut state =
         engine::AnalyzedState { model, card, slots: vec![None; plan.source_queries().len()] };
     let before = source.meter();
@@ -1204,6 +1312,7 @@ pub fn execute_stream_analyzed(
             analyzed: Some(&mut state),
             #[cfg(feature = "adaptive")]
             adaptive: None,
+            tracer,
         },
         &mut |b| {
             let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
@@ -1242,7 +1351,26 @@ pub fn execute_stream_adaptive_each(
     controller: &mut dyn ReplanController,
     sink: &mut dyn FnMut(TupleBatch) -> bool,
 ) -> Result<(u64, StreamStats, u64), ExecError> {
+    execute_stream_adaptive_each_traced(plan, source, policy, res, cfg, controller, None, sink)
+}
+
+/// [`execute_stream_adaptive_each`] with executor spans: one `segment N`
+/// span per pipeline segment (a splice starts a new segment) wrapping the
+/// segment's leaf-open and per-batch spans.
+#[cfg(all(feature = "stream", feature = "adaptive"))]
+#[allow(clippy::too_many_arguments)]
+pub fn execute_stream_adaptive_each_traced(
+    plan: &Plan,
+    source: &Arc<Source>,
+    policy: Option<&RetryPolicy>,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    controller: &mut dyn ReplanController,
+    tracer: Option<&csqp_obs::Tracer>,
+    sink: &mut dyn FnMut(TupleBatch) -> bool,
+) -> Result<(u64, StreamStats, u64), ExecError> {
     use csqp_relation::stream::DedupSketch;
+    let live = tracer.filter(|t| t.is_enabled());
     let mut cur_plan = plan.clone();
     let mut cur_source = Arc::clone(source);
     let mut emitted_sketch = DedupSketch::new();
@@ -1252,6 +1380,7 @@ pub fn execute_stream_adaptive_each(
     let mut splices = 0u64;
     loop {
         let allow = splices < engine::MAX_SPLICES;
+        let seg_span = live.map(|t| t.span(&format!("segment {splices}")));
         let seg = engine::run_segment(
             &cur_plan,
             &cur_source,
@@ -1264,8 +1393,10 @@ pub fn execute_stream_adaptive_each(
             &mut emitted,
             &mut total,
             &mut track,
+            tracer,
             sink,
         );
+        drop(seg_span);
         match seg {
             Ok(engine::SegmentEnd::Done) => break,
             Ok(engine::SegmentEnd::Spliced(a)) => {
@@ -1309,15 +1440,38 @@ pub fn execute_stream_adaptive(
     cfg: &StreamConfig,
     controller: &mut dyn ReplanController,
 ) -> Result<(Relation, StreamStats, u64), ExecError> {
+    execute_stream_adaptive_traced(plan, source, policy, res, cfg, controller, None)
+}
+
+/// [`execute_stream_adaptive`] with executor spans (see
+/// [`execute_stream_adaptive_each_traced`]).
+#[cfg(all(feature = "stream", feature = "adaptive"))]
+pub fn execute_stream_adaptive_traced(
+    plan: &Plan,
+    source: &Arc<Source>,
+    policy: Option<&RetryPolicy>,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    controller: &mut dyn ReplanController,
+    tracer: Option<&csqp_obs::Tracer>,
+) -> Result<(Relation, StreamStats, u64), ExecError> {
     let mut acc: Option<Relation> = None;
-    let (_, stats, splices) =
-        execute_stream_adaptive_each(plan, source, policy, res, cfg, controller, &mut |b| {
+    let (_, stats, splices) = execute_stream_adaptive_each_traced(
+        plan,
+        source,
+        policy,
+        res,
+        cfg,
+        controller,
+        tracer,
+        &mut |b| {
             let rel = acc.get_or_insert_with(|| Relation::empty(b.schema().clone()));
             for t in b.into_tuples() {
                 rel.insert(t);
             }
             true
-        })?;
+        },
+    )?;
     let rel = match acc {
         Some(r) => r,
         None => Relation::empty(output_schema(plan, source)?),
@@ -1350,6 +1504,21 @@ pub fn execute_stream_adaptive(
     }
 }
 
+/// Adaptive-off (or stream-off) fallback: the adaptive engine never runs,
+/// so there are no segments to span — the tracer is accepted and ignored.
+#[cfg(not(all(feature = "stream", feature = "adaptive")))]
+pub fn execute_stream_adaptive_traced(
+    plan: &Plan,
+    source: &Arc<Source>,
+    policy: Option<&RetryPolicy>,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    controller: &mut dyn ReplanController,
+    _tracer: Option<&csqp_obs::Tracer>,
+) -> Result<(Relation, StreamStats, u64), ExecError> {
+    execute_stream_adaptive(plan, source, policy, res, cfg, controller)
+}
+
 /// Adaptive-off (or stream-off) fallback for the sink-driven variant:
 /// materializes via [`execute_stream_adaptive`], then replays the answer
 /// to `sink` in `batch_size` chunks.
@@ -1380,6 +1549,23 @@ pub fn execute_stream_adaptive_each(
         sink(TupleBatch::new(schema, chunk));
     }
     Ok((emitted, stats, 0))
+}
+
+/// Adaptive-off (or stream-off) fallback for the traced sink-driven
+/// variant: the tracer is accepted and ignored.
+#[cfg(not(all(feature = "stream", feature = "adaptive")))]
+#[allow(clippy::too_many_arguments)]
+pub fn execute_stream_adaptive_each_traced(
+    plan: &Plan,
+    source: &Arc<Source>,
+    policy: Option<&RetryPolicy>,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    controller: &mut dyn ReplanController,
+    _tracer: Option<&csqp_obs::Tracer>,
+    sink: &mut dyn FnMut(TupleBatch) -> bool,
+) -> Result<(u64, StreamStats, u64), ExecError> {
+    execute_stream_adaptive_each(plan, source, policy, res, cfg, controller, sink)
 }
 
 /// Appends the streaming footer to an
@@ -1495,6 +1681,59 @@ pub fn execute_stream_analyzed(
         overlap_ticks: 0,
     };
     Ok((truncate(rel, cfg.limit), meter, analysis, stats))
+}
+
+// Stream-off fallbacks for the `_traced` variants: the materialized engine
+// has no leaf/batch pipeline to span, so the tracer is accepted and
+// ignored — profiles still carry the planner's spans.
+
+/// Stream-off fallback: as [`execute_stream_each`], tracer ignored.
+#[cfg(not(feature = "stream"))]
+pub fn execute_stream_each_traced(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+    _tracer: Option<&csqp_obs::Tracer>,
+    sink: &mut dyn FnMut(csqp_relation::stream::TupleBatch) -> bool,
+) -> Result<(u64, StreamStats), ExecError> {
+    execute_stream_each(plan, source, cfg, sink)
+}
+
+/// Stream-off fallback: as [`execute_stream`], tracer ignored.
+#[cfg(not(feature = "stream"))]
+pub fn execute_stream_traced(
+    plan: &Plan,
+    source: &Source,
+    cfg: &StreamConfig,
+    _tracer: Option<&csqp_obs::Tracer>,
+) -> Result<(Relation, StreamStats), ExecError> {
+    execute_stream(plan, source, cfg)
+}
+
+/// Stream-off fallback: as [`execute_stream_resilient`], tracer ignored.
+#[cfg(not(feature = "stream"))]
+pub fn execute_stream_resilient_traced(
+    plan: &Plan,
+    source: &Source,
+    policy: &RetryPolicy,
+    res: &mut ResilienceMeter,
+    cfg: &StreamConfig,
+    _tracer: Option<&csqp_obs::Tracer>,
+) -> Result<(Relation, Meter, StreamStats), ExecError> {
+    execute_stream_resilient(plan, source, policy, res, cfg)
+}
+
+/// Stream-off fallback: as [`execute_stream_analyzed`], tracer ignored.
+#[cfg(not(feature = "stream"))]
+pub fn execute_stream_analyzed_traced(
+    plan: &Plan,
+    source: &Source,
+    model: &dyn CostModel,
+    card: &dyn Cardinality,
+    cfg: &StreamConfig,
+    _tracer: Option<&csqp_obs::Tracer>,
+) -> Result<(Relation, Meter, PlanAnalysis, StreamStats), ExecError> {
+    execute_stream_analyzed(plan, source, model, card, cfg)
 }
 
 #[cfg(test)]

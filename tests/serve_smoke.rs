@@ -161,6 +161,39 @@ fn serve_smoke() {
         assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
     }
 
+    // The query black box over HTTP: span tree, worst-N profile ring and
+    // the slow-query log. Profiles are plain data, so the ring retains
+    // queries even in builds with `obs` compiled out; only the span tree
+    // and exemplars need the tracer/registry.
+    let spans = http_get(addr, "/spans");
+    if obs_on {
+        assert!(spans.contains("federation plan"), "serve queries open spans: {spans}");
+        assert!(spans.contains("execute (adaptive)"), "execution spans render: {spans}");
+    } else {
+        assert!(spans.contains("no spans recorded"), "{spans}");
+    }
+    let profiles = http_get(addr, "/profile");
+    assert!(profiles.contains("worst retained profiles"), "{profiles}");
+    let profile = http_get(addr, "/profile/0");
+    assert!(profile.starts_with("HTTP/1.0 200"), "{profile}");
+    assert!(profile.contains("application/json"), "profiles serve as JSON: {profile}");
+    for key in ["\"id\"", "\"latency\"", "\"breakers\"", "\"spans\"", "\"metrics\""] {
+        assert!(profile.contains(key), "{key} missing from profile:\n{profile}");
+    }
+    let missing = http_get(addr, "/profile/9999");
+    assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    // Demo queries stay under the default slow threshold: the log is
+    // reachable and empty.
+    let slowlog = http_get(addr, "/slowlog");
+    assert!(slowlog.starts_with("HTTP/1.0 200"), "{slowlog}");
+    assert!(slowlog.contains("no queries slower than"), "{slowlog}");
+    // `?exemplars=1` upgrades latency buckets with query-id exemplars that
+    // link straight back to `/profile/<id>`.
+    if obs_on {
+        let ex = http_get(addr, "/metrics?exemplars=1");
+        assert!(ex.contains("query_id="), "exemplar suffix present:\n{ex}");
+    }
+
     // Unknown routes 404; unknown line commands error without killing the
     // server.
     assert!(http_get(addr, "/nope").starts_with("HTTP/1.0 404"));
