@@ -276,6 +276,29 @@ impl Federation {
         &self.obs
     }
 
+    /// Member-attributed health-tap counter: `<prefix><member>` += 1. The
+    /// suffix-named `member.*` families feed the windowed health scorer
+    /// (`csqp_obs::health::signals_from_window`). Gated on the recording
+    /// build so obs-off pays for neither the formatting nor the lock.
+    fn tap(&self, prefix: &str, member: &str) {
+        self.tap_add(prefix, member, 1);
+    }
+
+    /// Like [`Federation::tap`] with an explicit delta; zero deltas are
+    /// skipped so windows only carry members with activity.
+    fn tap_add(&self, prefix: &str, member: &str, delta: u64) {
+        if self.obs.enabled() && delta > 0 {
+            self.obs.metrics.add(&format!("{prefix}{member}"), delta);
+        }
+    }
+
+    /// Cost tap: both cost signals are kept in integral millis so they ride
+    /// the counter machinery (and its windowed deltas) unchanged.
+    fn tap_costs(&self, member: &str, est_cost: f64, observed_cost: f64) {
+        self.tap_add(names::MEMBER_EST_COST_MILLI_PREFIX, member, to_milli(est_cost));
+        self.tap_add(names::MEMBER_OBS_COST_MILLI_PREFIX, member, to_milli(observed_cost));
+    }
+
     /// A point-in-time snapshot of every metric this federation recorded.
     /// The per-member `breaker.state.<member>` gauges are refreshed from
     /// the live breakers first, so `/metrics` always shows current health
@@ -536,6 +559,8 @@ impl Federation {
         let measured_cost = meter.cost(fp.source.cost_params());
         meter.record_into(&self.obs.metrics);
         self.obs.metrics.inc(names::FEDERATION_SERVED);
+        self.tap(names::MEMBER_QUERIES_PREFIX, &fp.source.name);
+        self.tap_costs(&fp.source.name, fp.planned.est_cost, measured_cost);
         let outcome = RunOutcome { planned: fp.planned.clone(), rows, meter, measured_cost };
         Ok((fp, outcome))
     }
@@ -561,6 +586,8 @@ impl Federation {
         meter.record_into(&self.obs.metrics);
         stats.record_into(&self.obs.metrics);
         self.obs.metrics.inc(names::FEDERATION_SERVED);
+        self.tap(names::MEMBER_QUERIES_PREFIX, &fp.source.name);
+        self.tap_costs(&fp.source.name, fp.planned.est_cost, measured_cost);
         let outcome = RunOutcome { planned: fp.planned.clone(), rows, meter, measured_cost };
         Ok((fp, outcome, stats))
     }
@@ -622,6 +649,7 @@ impl Federation {
                     planned.report.record_into(&self.obs.metrics);
                     if *gate == BreakerGate::Quarantined {
                         self.obs.metrics.inc(names::FEDERATION_QUARANTINED);
+                        self.tap(names::MEMBER_QUARANTINED_PREFIX, &self.members[idx].name);
                         self.obs.tracer.event_with(|| {
                             format!("member {}: quarantined (breaker open)", self.members[idx].name)
                         });
@@ -695,6 +723,7 @@ impl Federation {
                 resilience.failovers += 1;
             }
             tried_any = true;
+            let retries_before = resilience.retries;
             match execute_with_failover(&planned, member, policy, &mut resilience) {
                 Ok((plan_rank, rows, meter, _failures)) => {
                     if self.breakers[idx].record_success() {
@@ -705,6 +734,12 @@ impl Federation {
                         });
                     }
                     self.obs.metrics.inc(names::FEDERATION_SERVED);
+                    self.tap(names::MEMBER_QUERIES_PREFIX, &member.name);
+                    self.tap_add(
+                        names::MEMBER_RETRIES_PREFIX,
+                        &member.name,
+                        resilience.retries - retries_before,
+                    );
                     meter.record_into(&self.obs.metrics);
                     resilience.record_into(&self.obs.metrics);
                     self.obs.tracer.event_with(|| {
@@ -724,6 +759,7 @@ impl Federation {
                     trace.push((member.name.clone(), MemberEvent::Served));
                     span.close();
                     let measured_cost = meter.cost(member.cost_params());
+                    self.tap_costs(&member.name, planned.est_cost, measured_cost);
                     return Ok(FederatedRun {
                         outcome: RunOutcome { planned, rows, meter, measured_cost },
                         source_name: member.name.clone(),
@@ -735,6 +771,7 @@ impl Federation {
                 Err(mut failures) => {
                     if self.breakers[idx].record_failure(now, &self.breaker_cfg) {
                         self.obs.metrics.inc(names::BREAKER_OPENED);
+                        self.tap(names::BREAKER_OPENED_PREFIX, &member.name);
                         self.obs
                             .tracer
                             .event_with(|| format!("member {}: breaker opened", member.name));
@@ -744,6 +781,12 @@ impl Federation {
                         });
                     }
                     self.obs.metrics.inc(names::FEDERATION_EXEC_FAILED);
+                    self.tap(names::MEMBER_ERRORS_PREFIX, &member.name);
+                    self.tap_add(
+                        names::MEMBER_RETRIES_PREFIX,
+                        &member.name,
+                        resilience.retries - retries_before,
+                    );
                     let (_, err) = failures.pop().expect("at least one plan was tried");
                     self.obs
                         .tracer
@@ -888,6 +931,8 @@ impl Federation {
             meter.tuples_shipped += delta.tuples_shipped;
             meter.rejected += delta.rejected;
         }
+        self.tap(names::MEMBER_QUERIES_PREFIX, &member.name);
+        self.tap_costs(&member.name, primary.est_cost, measured_cost);
         meter.record_into(&self.obs.metrics);
         stats.record_into(&self.obs.metrics);
         // A mid-stream member switch is a failover, just a cheaper one.
@@ -923,6 +968,15 @@ impl Federation {
     }
 }
 
+/// Cost-to-counter conversion for the `member.*_cost_milli.*` taps.
+fn to_milli(cost: f64) -> u64 {
+    if cost.is_finite() && cost > 0.0 {
+        (cost * 1000.0).round() as u64
+    } else {
+        0
+    }
+}
+
 /// The breaker-triggered [`ReplanController`] of
 /// [`Federation::run_adaptive`]: on a terminal mid-stream leaf failure it
 /// opens the serving member's breaker, re-plans the pipeline's residual
@@ -953,6 +1007,7 @@ impl ReplanController for BreakerSpliceController<'_> {
         let failed = &fed.members[self.current];
         if fed.breakers[self.current].record_failure(self.now, &fed.breaker_cfg) {
             fed.obs.metrics.inc(names::BREAKER_OPENED);
+            fed.tap(names::BREAKER_OPENED_PREFIX, &failed.name);
             fed.obs.tracer.event_with(|| format!("member {}: breaker opened", failed.name));
             self.flight.event_with(|| PlanEvent::Breaker {
                 member: failed.name.clone(),
@@ -960,6 +1015,7 @@ impl ReplanController for BreakerSpliceController<'_> {
             });
         }
         fed.obs.metrics.inc(names::FEDERATION_EXEC_FAILED);
+        fed.tap(names::MEMBER_ERRORS_PREFIX, &failed.name);
         fed.obs.metrics.inc(names::REPLAN_TRIGGERED);
         fed.obs.metrics.inc(names::REPLAN_BREAKER_TRIGGERS);
         fed.obs.tracer.event_with(|| format!("member {}: died mid-stream ({err})", failed.name));
@@ -989,6 +1045,9 @@ impl ReplanController for BreakerSpliceController<'_> {
                     p.report.record_into(&fed.obs.metrics);
                     self.splices += 1;
                     fed.obs.metrics.inc(names::REPLAN_SPLICES);
+                    // The splice is charged to the member that died — it is
+                    // the health signal, not the rescuer.
+                    fed.tap(names::MEMBER_SPLICES_PREFIX, &failed.name);
                     self.flight.event_with(|| PlanEvent::Replan {
                         trigger: "breaker-open",
                         detail: format!("member {} died mid-stream: {err}", failed.name),

@@ -20,7 +20,7 @@ use csqp::plan::exec_stream::{explain_analyze_streamed, StreamConfig};
 use csqp::plan::explain::explain;
 use csqp::prelude::*;
 use csqp::serve::{ServeConfig, Server};
-use csqp_obs::{names, FlightRecorder, Obs};
+use csqp_obs::{audit, names, FlightRecorder, Obs};
 use csqp_source::FaultProfile;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -58,6 +58,10 @@ struct Args {
     addr: String,
     slow_ms: u64,
     adaptive: bool,
+    journal: Option<String>,
+    window_queries: u64,
+    slo_latency_ms: u64,
+    slo_error_budget: f64,
 }
 
 const USAGE: &str = "\
@@ -67,7 +71,10 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
             [--metrics json|prom]
        csqp serve --ssdl <file> --csv <file> [--key <col[,col]>]
             [--addr <host:port>] [--scheme <name>] [--slow-ms <n>]
-            [--k1 <f64>] [--k2 <f64>] [--no-adaptive]
+            [--k1 <f64>] [--k2 <f64>] [--no-adaptive] [--journal <path>]
+            [--window-queries <n>] [--slo-latency-ms <n>]
+            [--slo-error-budget <f64>]
+       csqp audit <journal> [<journal2>] [--diff]
        csqp --chaos <seed> [--trace] [--metrics json|prom]
 
   --ssdl     SSDL source description (see README for the syntax); repeat
@@ -98,12 +105,25 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
              of unreliable car-data mirrors and print the failover trace
   --no-adaptive  serve mode: disable mid-query adaptive re-planning (served
              pipelines then never splice; the trailer reports `0 replans`)
+  --journal  serve mode: append one flat JSONL audit record per completed
+             query to <path> (size-rotated to <path>.1); analyze later with
+             `csqp audit`
+  --window-queries   serve mode: close a telemetry window every <n>
+             completed queries (default 4)
+  --slo-latency-ms / --slo-error-budget   serve mode: the latency objective
+             and breach budget behind the /status burn-rate gauges
+             (default 100 ms / 0.01)
 
 serve mode keeps the mediator warm behind a tiny HTTP/1.0 listener with
 /healthz, /metrics (Prometheus; `?exemplars=1` adds query-id exemplars),
 /query, /flightrecorder (EXPLAIN WHY), /slowlog, /profile (worst retained
-query profiles), /profile/<id>, /spans, and /shutdown; see
-docs/OBSERVABILITY.md.";
+query profiles), /profile/<id>, /spans, /status (health scoreboard;
+`?format=json`), /timeseries?metric=<name>[&windows=<n>], and /shutdown;
+see docs/OBSERVABILITY.md.
+
+`csqp audit` summarizes a serve-mode journal; with two journals and --diff
+it reports the latency shift, error-rate shift, and plan-scheme churn by
+condition fingerprint between the two runs.";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -126,11 +146,29 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:0".to_string(),
         slow_ms: 100,
         adaptive: true,
+        journal: None,
+        window_queries: 4,
+        slo_latency_ms: 100,
+        slo_error_budget: 0.01,
     };
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
         args.serve = true;
         argv.remove(0);
+    }
+    if argv.first().map(String::as_str) == Some("audit") {
+        // `csqp audit` never reaches the planner; handled entirely here.
+        std::process::exit(match audit_main(&argv[1..]) {
+            Ok(()) => 0,
+            Err(msg) => {
+                if msg.is_empty() {
+                    eprintln!("{USAGE}");
+                } else {
+                    eprintln!("error: audit: {msg}");
+                }
+                1
+            }
+        });
     }
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -183,6 +221,19 @@ fn parse_args() -> Result<Args, String> {
             "--slow-ms" => {
                 args.slow_ms = value(&mut i)?.parse().map_err(|e| format!("--slow-ms: {e}"))?
             }
+            "--journal" => args.journal = Some(value(&mut i)?),
+            "--window-queries" => {
+                args.window_queries =
+                    value(&mut i)?.parse().map_err(|e| format!("--window-queries: {e}"))?
+            }
+            "--slo-latency-ms" => {
+                args.slo_latency_ms =
+                    value(&mut i)?.parse().map_err(|e| format!("--slo-latency-ms: {e}"))?
+            }
+            "--slo-error-budget" => {
+                args.slo_error_budget =
+                    value(&mut i)?.parse().map_err(|e| format!("--slo-error-budget: {e}"))?
+            }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -216,6 +267,47 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     Ok(args)
+}
+
+/// `csqp audit <journal> [<journal2>] [--diff]`: summarize one serve-mode
+/// audit journal, or compare two (latency shift, error-rate shift, and
+/// plan-scheme churn by condition fingerprint).
+fn audit_main(argv: &[String]) -> Result<(), String> {
+    let mut paths: Vec<&String> = Vec::new();
+    let mut diff = false;
+    for arg in argv {
+        match arg.as_str() {
+            "--diff" => diff = true,
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with("--") => return Err(format!("unknown argument {other:?}")),
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        return Err("a journal path is required".into());
+    }
+    if paths.len() > 2 {
+        return Err(format!("at most two journals, got {}", paths.len()));
+    }
+    if diff && paths.len() != 2 {
+        return Err("--diff needs exactly two journals".into());
+    }
+    let mut loaded = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let (records, errors) = audit::read_journal(std::path::Path::new(path))?;
+        for e in &errors {
+            eprintln!("warning: {path}: {e}");
+        }
+        loaded.push(audit::summarize(&records));
+    }
+    if diff {
+        print!("{}", audit::render_diff(&loaded[0], &loaded[1]));
+    } else {
+        for (path, summary) in paths.iter().zip(&loaded) {
+            print!("{}", audit::render_summary(path, summary));
+        }
+    }
+    Ok(())
 }
 
 /// `csqp --chaos <seed>`: a seeded fault storm against a federation of three
@@ -385,6 +477,10 @@ fn main() -> ExitCode {
             scheme: args.scheme,
             slow_ms: args.slow_ms,
             adaptive: args.adaptive,
+            journal_path: args.journal.clone(),
+            window_queries: args.window_queries,
+            slo_latency_ms: args.slo_latency_ms,
+            slo_error_budget: args.slo_error_budget,
             ..Default::default()
         };
         return match Server::bind_federation(sources, cfg).and_then(|mut s| s.run()) {

@@ -36,9 +36,13 @@
 use csqp_core::federation::Federation;
 use csqp_core::mediator::{AdaptiveConfig, Mediator, MediatorError, Scheme};
 use csqp_core::types::TargetQuery;
-use csqp_obs::{names, FlightRecorder, LatencyKey, Obs, ProfileRing, QueryProfile};
+use csqp_obs::{
+    health, names, timeseries::TimeSeries, AuditRecord, FlightRecorder, JournalWriter, LatencyKey,
+    Obs, ProfileRing, QueryProfile, SloConfig,
+};
 use csqp_plan::exec_stream::StreamConfig;
 use csqp_source::Source;
+use csqp_ssdl::linearize::cond_fingerprint;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::{self, BufRead, BufReader, Write};
@@ -66,6 +70,22 @@ pub struct ServeConfig {
     /// How many worst-latency query profiles the tail-sampling ring keeps
     /// resident for `/profile` post-mortems.
     pub profile_ring_capacity: usize,
+    /// Append an [`AuditRecord`] per completed query to this JSONL path
+    /// (`--journal`); `None` disables journaling.
+    pub journal_path: Option<String>,
+    /// Size-based journal rotation threshold (`<path>` → `<path>.1`).
+    pub journal_max_bytes: u64,
+    /// Queries per telemetry window: every N completed queries the registry
+    /// delta is rolled into the time-series ring.
+    pub window_queries: u64,
+    /// Windows the time-series ring retains.
+    pub timeseries_capacity: usize,
+    /// SLO latency objective in milliseconds: queries at or above it count
+    /// against the latency budget (`slo.latency_burn_rate`).
+    pub slo_latency_ms: u64,
+    /// SLO error budget: the fraction of queries allowed to breach
+    /// (latency or error) before the burn rate exceeds 1.0.
+    pub slo_error_budget: f64,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +97,12 @@ impl Default for ServeConfig {
             slow_log_capacity: 32,
             adaptive: true,
             profile_ring_capacity: 8,
+            journal_path: None,
+            journal_max_bytes: 1 << 20,
+            window_queries: 4,
+            timeseries_capacity: 64,
+            slo_latency_ms: 100,
+            slo_error_budget: 0.01,
         }
     }
 }
@@ -111,6 +137,16 @@ pub struct Server {
     /// Tail-sampling store: the worst-N served queries by latency, each
     /// with its full profile.
     profiles: ProfileRing,
+    /// Windowed registry deltas for `/status` and `/timeseries`.
+    timeseries: TimeSeries,
+    /// Optional on-disk audit journal (`--journal`).
+    journal: Option<JournalWriter>,
+    /// Completed queries since the last window roll.
+    queries_since_roll: u64,
+    /// The SLO objective `/status` burn rates are computed against.
+    slo: SloConfig,
+    /// Serve start, the zero point of window wall-clock stamps.
+    started: Instant,
 }
 
 impl Server {
@@ -140,6 +176,17 @@ impl Server {
             .map(|m| Mediator::new(m.clone()).with_scheme(cfg.scheme).with_obs(obs.clone()))
             .collect();
         let profiles = ProfileRing::new(cfg.profile_ring_capacity);
+        let timeseries = TimeSeries::new(cfg.timeseries_capacity);
+        let journal = match &cfg.journal_path {
+            Some(path) => {
+                Some(JournalWriter::open(path, cfg.journal_max_bytes).map_err(io::Error::other)?)
+            }
+            None => None,
+        };
+        let slo = SloConfig {
+            latency_objective_us: cfg.slo_latency_ms.saturating_mul(1000),
+            error_budget: cfg.slo_error_budget,
+        };
         Ok(Server {
             listener,
             federation,
@@ -149,6 +196,11 @@ impl Server {
             cfg,
             slow_log: VecDeque::new(),
             profiles,
+            timeseries,
+            journal,
+            queries_since_roll: 0,
+            slo,
+            started: Instant::now(),
         })
     }
 
@@ -279,6 +331,28 @@ impl Server {
             // `/query` is handled by `handle_query_http` before routing
             // (streamed response); reaching it here means a programming
             // error, answered like any unknown route.
+            "/status" => {
+                let json = query_param(query_string, "format").is_some_and(|v| v == "json");
+                let (ctype, body) = self.render_status(json);
+                ("200 OK", ctype, body, false)
+            }
+            "/timeseries" => match query_param(query_string, "metric") {
+                Some(metric) => {
+                    let windows = query_param(query_string, "windows")
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or(usize::MAX);
+                    ("200 OK", JSON, self.timeseries.render_json(&metric, windows), false)
+                }
+                None => {
+                    self.obs.metrics.inc(names::SERVE_ERRORS);
+                    (
+                        "400 Bad Request",
+                        TEXT,
+                        "usage: /timeseries?metric=<name>[&windows=<n>]\n".to_string(),
+                        false,
+                    )
+                }
+            },
             "/slowlog" => ("200 OK", TEXT, self.render_slow_log(), false),
             "/profile" => ("200 OK", TEXT, self.profile_index(), false),
             "/spans" => {
@@ -477,24 +551,59 @@ impl Server {
                 e => format!("execution failed: {e}\n"),
             }
         };
+        let member_name = fp.source.name.clone();
+        let fingerprint = format!("{:032x}", cond_fingerprint(Some(&query.cond)));
         // Adaptive serving: the pipeline may pause at a batch boundary and
         // splice in a re-planned residual when observed cardinalities drift
         // off the estimates; the answer stays set-identical and the splice
         // count lands in the trailer.
-        let (out, replans, drift_triggers) = if self.cfg.adaptive {
+        let run = if self.cfg.adaptive {
             let acfg = AdaptiveConfig { stream: cfg, ..Default::default() };
-            let out = self.mediators[winner]
-                .run_adaptive_each(&query, &acfg, &mut batch_sink)
-                .map_err(|e| map_err(&self.obs, e))?;
-            let (splices, drift) = (out.splices, out.drift_triggers);
-            (out.outcome, splices, drift)
+            self.mediators[winner].run_adaptive_each(&query, &acfg, &mut batch_sink).map(|out| {
+                let (splices, drift) = (out.splices, out.drift_triggers);
+                (out.outcome, splices, drift)
+            })
         } else {
-            let out = self.mediators[winner]
+            self.mediators[winner]
                 .run_streamed_each(&query, &cfg, &mut batch_sink)
-                .map_err(|e| map_err(&self.obs, e))?;
-            (out.outcome, 0, 0)
+                .map(|out| (out.outcome, 0, 0))
+        };
+        let (out, replans, drift_triggers) = match run {
+            Ok(v) => v,
+            Err(e) => {
+                // The failure is the winner's: tap its error counter, leave
+                // an audit record, and still close the telemetry window.
+                let latency_us = start.elapsed().as_micros() as u64;
+                let ticks = self.obs.tracer.tick().saturating_sub(tick0);
+                if self.obs.enabled() {
+                    self.obs.metrics.inc(&format!("{}{member_name}", names::MEMBER_ERRORS_PREFIX));
+                }
+                let msg = map_err(&self.obs, e);
+                self.journal_append(&AuditRecord {
+                    id: self.flight.latest().map(|r| r.id).unwrap_or(0),
+                    fingerprint,
+                    query: query.to_string(),
+                    scheme: self.cfg.scheme.name().to_string(),
+                    status: "error".to_string(),
+                    rows: 0,
+                    wall_us: Some(latency_us),
+                    ticks,
+                    splices: 0,
+                    drift_triggers: 0,
+                    breaker_events: 0,
+                    capindex_candidates: index_candidates as u64,
+                    capindex_total: index_total as u64,
+                });
+                self.maybe_roll();
+                return Err(msg);
+            }
         };
         let latency_us = start.elapsed().as_micros() as u64;
+        // SLO accounting happens before the profile delta is cut so the
+        // breach lands in this query's attribution window.
+        if latency_us >= self.slo.latency_objective_us {
+            self.obs.metrics.inc(names::SLO_LATENCY_BREACHES);
+        }
         let flight_id = self.flight.latest().map(|r| r.id).unwrap_or(0);
         self.obs.metrics.inc(names::SERVE_QUERIES);
         // The latency observation carries the flight id as an exemplar, so
@@ -518,6 +627,12 @@ impl Server {
                 why: self.federation.explain_why(),
             });
         }
+        // Cut the query's metrics delta once: the profile keeps it, and the
+        // winner attribution + audit record below read from it.
+        let delta = self.obs.metrics.snapshot().diff(&metrics_before);
+        let breaker_events = delta.counter(names::BREAKER_OPENED)
+            + delta.counter(names::BREAKER_HALF_OPENED)
+            + delta.counter(names::BREAKER_CLOSED);
         // Assemble the query's black box and offer it to the worst-N ring.
         self.obs.metrics.inc(names::PROFILE_CAPTURED);
         self.profiles.push(QueryProfile {
@@ -541,8 +656,42 @@ impl Server {
                 .latest()
                 .map(|r| r.events.iter().map(|e| e.to_string()).collect())
                 .unwrap_or_default(),
-            metrics: self.obs.metrics.snapshot().diff(&metrics_before),
+            metrics: delta.clone(),
         });
+        // Winner attribution: fold this query's delta onto the per-member
+        // counters the health scoreboard reads. The formatting is gated on
+        // `enabled()` so the obs-off build never allocates the names.
+        if self.obs.enabled() {
+            for (prefix, v) in [
+                (names::MEMBER_QUERIES_PREFIX, 1),
+                (names::MEMBER_RETRIES_PREFIX, delta.counter(names::RESILIENCE_RETRIES)),
+                (names::MEMBER_SPLICES_PREFIX, replans),
+                (names::MEMBER_DRIFT_PREFIX, drift_triggers),
+                (names::BREAKER_OPENED_PREFIX, delta.counter(names::BREAKER_OPENED)),
+                (names::MEMBER_EST_COST_MILLI_PREFIX, to_milli(out.planned.est_cost)),
+                (names::MEMBER_OBS_COST_MILLI_PREFIX, to_milli(out.measured_cost)),
+            ] {
+                if v > 0 {
+                    self.obs.metrics.add(&format!("{prefix}{member_name}"), v);
+                }
+            }
+        }
+        self.journal_append(&AuditRecord {
+            id: flight_id,
+            fingerprint,
+            query: query.to_string(),
+            scheme: self.cfg.scheme.name().to_string(),
+            status: "ok".to_string(),
+            rows: emitted,
+            wall_us: Some(latency_us),
+            ticks: self.obs.tracer.tick().saturating_sub(tick0),
+            splices: replans,
+            drift_triggers,
+            breaker_events,
+            capindex_candidates: index_candidates as u64,
+            capindex_total: index_total as u64,
+        });
+        self.maybe_roll();
         let breakers: Vec<String> = breaker_states
             .iter()
             .map(|(name, health)| format!("{name}:{}", health.label()))
@@ -558,6 +707,93 @@ impl Server {
             breakers.join(" "),
             self.flight.latest().map(|r| r.id).unwrap_or(0),
         ))
+    }
+
+    /// Renders the `/status` scoreboard: every retained window plus the
+    /// still-open live delta folded into one signal window, scored per
+    /// member against the live breaker state.
+    fn render_status(&mut self, json: bool) -> (&'static str, String) {
+        let now = self.federation.metrics_snapshot();
+        let mut window = self.timeseries.folded(usize::MAX);
+        window.merge(&self.timeseries.live_delta(&now));
+        let breaker_states = self.federation.breaker_states();
+        let mut reports: Vec<health::HealthReport> = breaker_states
+            .iter()
+            .map(|(name, state)| {
+                health::score(health::signals_from_window(&window, name, state.as_gauge() as u8))
+            })
+            .collect();
+        // Worst first so the member that needs attention leads the table;
+        // ties break by name for a deterministic page.
+        reports.sort_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.signals.member.cmp(&b.signals.member))
+        });
+        let queries = window.counter(names::SERVE_QUERIES);
+        let error_burn = self.slo.burn_rate(window.counter(names::SERVE_ERRORS), queries);
+        let latency_burn = self.slo.burn_rate(window.counter(names::SLO_LATENCY_BREACHES), queries);
+        // Publish the scoreboard back into the registry so `/metrics`
+        // scrapers see the same numbers the page shows.
+        self.obs.metrics.gauge_set(names::SLO_ERROR_BURN, error_burn);
+        self.obs.metrics.gauge_set(names::SLO_LATENCY_BURN, latency_burn);
+        self.obs.metrics.gauge_set(names::TIMESERIES_WINDOWS, self.timeseries.len() as f64);
+        if self.obs.enabled() {
+            for report in &reports {
+                self.obs.metrics.gauge_set(
+                    &format!("{}{}", names::HEALTH_SCORE_PREFIX, report.signals.member),
+                    report.score,
+                );
+            }
+        }
+        let summary = health::StatusSummary {
+            slo: self.slo,
+            error_burn,
+            latency_burn,
+            queries,
+            windows: self.timeseries.len(),
+            dropped: self.timeseries.dropped(),
+        };
+        if json {
+            ("application/json; charset=utf-8", health::render_status_json(&summary, &reports))
+        } else {
+            ("text/plain; charset=utf-8", health::render_status_text(&summary, &reports))
+        }
+    }
+
+    /// Appends one audit record to the journal (when configured), keeping
+    /// the `journal.*` counters in step. Append failures are reported on
+    /// stderr but never fail the query — the answer already streamed.
+    fn journal_append(&mut self, record: &AuditRecord) {
+        let Some(journal) = self.journal.as_mut() else { return };
+        let rotations_before = journal.rotations;
+        match journal.append(record) {
+            Ok(()) => {
+                self.obs.metrics.inc(names::JOURNAL_RECORDS);
+                let rotated = journal.rotations - rotations_before;
+                if rotated > 0 {
+                    self.obs.metrics.add(names::JOURNAL_ROTATIONS, rotated);
+                }
+            }
+            Err(e) => eprintln!("csqp serve: journal append failed: {e}"),
+        }
+    }
+
+    /// Closes the current telemetry window once `window_queries` queries
+    /// have completed since the last boundary. Serve is the one wall-clock
+    /// place in the stack, so windows carry a wall stamp here.
+    fn maybe_roll(&mut self) {
+        self.queries_since_roll += 1;
+        if self.queries_since_roll < self.cfg.window_queries.max(1) {
+            return;
+        }
+        self.queries_since_roll = 0;
+        let now = self.federation.metrics_snapshot();
+        let ticks = self.obs.tracer.tick();
+        let wall_us = self.started.elapsed().as_micros() as u64;
+        self.timeseries.roll(now, ticks, Some(wall_us));
+        self.obs.metrics.gauge_set(names::TIMESERIES_WINDOWS, self.timeseries.len() as f64);
     }
 
     fn flight_index(&self) -> String {
@@ -631,6 +867,13 @@ impl Server {
 
 /// Extracts the request target from an HTTP request line (`GET /x HTTP/1.x`),
 /// or `None` when the line is not HTTP (line-protocol fallback).
+/// Cost units are fractional; the per-member counters keep them as integral
+/// milli-units so the registry stays u64 (same convention as the
+/// federation-side taps).
+fn to_milli(cost: f64) -> u64 {
+    (cost * 1000.0).round() as u64
+}
+
 fn http_request_target(line: &str) -> Option<&str> {
     let mut parts = line.split_whitespace();
     let method = parts.next()?;

@@ -1,0 +1,464 @@
+//! Per-source health scoring and SLO burn-rate gauges.
+//!
+//! The federation layer already records everything needed to judge a member
+//! — errors, retries, breaker transitions, drift triggers, splices, and the
+//! est-vs-observed cost band — but only as raw counters. This module folds a
+//! window of those signals ([`SourceSignals`], extracted from a
+//! [`MetricsSnapshot`] delta by [`signals_from_window`]) into one number a
+//! human can triage on: a 0–100 [`HealthReport::score`] with an explicit,
+//! documented rubric and a coarse [`Grade`]. Serve mode renders the
+//! scoreboard at `/status` (text table or `?format=json`) and republishes
+//! each score as a `health.score.<member>` gauge.
+//!
+//! Scoring rubric (deterministic; applied to one window of signals):
+//!
+//! * start at 100;
+//! * error rate `e = errors / max(1, queries)`: subtract `min(60, 300·e)`
+//!   — 20% errors alone is critical;
+//! * retry rate `r = retries / max(1, queries)`: subtract `min(15, 30·r)`;
+//! * breaker state now: open −40, half-open −15;
+//! * breaker opens in the window: subtract `min(20, 10·opens)`;
+//! * drift-trigger rate `d`: subtract `min(10, 20·d)`;
+//! * splice rate `s`: subtract `min(10, 20·s)`;
+//! * cost band: observed/estimated cost outside `[0.5, 2]×` −10;
+//! * clamp to `[0, 100]`.
+//!
+//! Grades: `score ≥ 80` healthy, `≥ 50` degraded, else critical
+//! ([`HEALTHY_THRESHOLD`]). The rubric weights are part of the observable
+//! schema — pinned by `tests/golden_status.txt` — so retuning them is an
+//! explicit, reviewable change.
+//!
+//! SLO burn rates follow the standard error-budget formulation: with budget
+//! `b` (fraction of requests allowed to breach), a window where fraction `f`
+//! breaches burns at rate `f / b` — 1.0 means exactly on budget, 10 means
+//! burning ten times too fast. Plain data, compiled unconditionally.
+
+use crate::metrics::{render_f64, render_json_string, MetricsSnapshot};
+use crate::names;
+use std::fmt::Write as _;
+
+/// Scores at or above this grade "healthy"; at or above [`DEGRADED_THRESHOLD`]
+/// "degraded"; below, "critical".
+pub const HEALTHY_THRESHOLD: f64 = 80.0;
+/// Lower bound of the "degraded" grade band.
+pub const DEGRADED_THRESHOLD: f64 = 50.0;
+
+/// Coarse triage grade derived from a score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grade {
+    /// Score ≥ 80: serving normally.
+    Healthy,
+    /// Score in [50, 80): usable but showing elevated failure signals.
+    Degraded,
+    /// Score < 50: effectively unusable (often breaker-open).
+    Critical,
+}
+
+impl Grade {
+    /// Grade for a score under the documented thresholds.
+    pub fn for_score(score: f64) -> Grade {
+        if score >= HEALTHY_THRESHOLD {
+            Grade::Healthy
+        } else if score >= DEGRADED_THRESHOLD {
+            Grade::Degraded
+        } else {
+            Grade::Critical
+        }
+    }
+
+    /// Lower-case label (`healthy` / `degraded` / `critical`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Grade::Healthy => "healthy",
+            Grade::Degraded => "degraded",
+            Grade::Critical => "critical",
+        }
+    }
+}
+
+/// One window of raw per-member signals, the input to [`score`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceSignals {
+    /// Member name.
+    pub member: String,
+    /// Queries this member served in the window.
+    pub queries: u64,
+    /// Member executions that failed after retries.
+    pub errors: u64,
+    /// Retries attributed to this member.
+    pub retries: u64,
+    /// Live breaker state: 0 closed, 1 half-open, 2 open (same encoding as
+    /// the `breaker.state.<member>` gauge).
+    pub breaker_state: u8,
+    /// Breaker open transitions in the window.
+    pub breaker_opened: u64,
+    /// Drift-band replan triggers attributed to this member.
+    pub drift_triggers: u64,
+    /// Mid-query splices attributed to this member.
+    pub splices: u64,
+    /// Σ planner-estimated cost over the window (0 when unknown).
+    pub est_cost: f64,
+    /// Σ observed cost over the window (0 when unknown).
+    pub observed_cost: f64,
+}
+
+/// A scored member: signals plus the rubric's verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// The window of signals the score was computed from.
+    pub signals: SourceSignals,
+    /// 0–100 rubric score.
+    pub score: f64,
+    /// Coarse grade for the score.
+    pub grade: Grade,
+    /// Human-readable rubric deductions, in application order.
+    pub notes: Vec<String>,
+}
+
+/// Applies the module-level rubric to one window of signals.
+pub fn score(signals: SourceSignals) -> HealthReport {
+    let mut s = 100.0;
+    let mut notes = Vec::new();
+    let q = signals.queries.max(1) as f64;
+
+    let error_rate = signals.errors as f64 / q;
+    if signals.errors > 0 {
+        let d = (300.0 * error_rate).min(60.0);
+        s -= d;
+        notes.push(format!("error rate {:.0}%: -{d:.1}", error_rate * 100.0));
+    }
+    let retry_rate = signals.retries as f64 / q;
+    if signals.retries > 0 {
+        let d = (30.0 * retry_rate).min(15.0);
+        s -= d;
+        notes.push(format!("retry rate {:.0}%: -{d:.1}", retry_rate * 100.0));
+    }
+    match signals.breaker_state {
+        2 => {
+            s -= 40.0;
+            notes.push("breaker open: -40.0".to_string());
+        }
+        1 => {
+            s -= 15.0;
+            notes.push("breaker half-open: -15.0".to_string());
+        }
+        _ => {}
+    }
+    if signals.breaker_opened > 0 {
+        let d = (10.0 * signals.breaker_opened as f64).min(20.0);
+        s -= d;
+        notes.push(format!("breaker opened {}x: -{d:.1}", signals.breaker_opened));
+    }
+    if signals.drift_triggers > 0 {
+        let d = (20.0 * signals.drift_triggers as f64 / q).min(10.0);
+        s -= d;
+        notes.push(format!("drift triggers {}: -{d:.1}", signals.drift_triggers));
+    }
+    if signals.splices > 0 {
+        let d = (20.0 * signals.splices as f64 / q).min(10.0);
+        s -= d;
+        notes.push(format!("splices {}: -{d:.1}", signals.splices));
+    }
+    if signals.est_cost > 0.0 && signals.observed_cost > 0.0 {
+        let ratio = signals.observed_cost / signals.est_cost;
+        if !(0.5..=2.0).contains(&ratio) {
+            s -= 10.0;
+            notes.push(format!("cost band {ratio:.2}x outside [0.5, 2]: -10.0"));
+        }
+    }
+    let score = s.clamp(0.0, 100.0);
+    HealthReport { signals, score, grade: Grade::for_score(score), notes }
+}
+
+/// Extracts one member's [`SourceSignals`] from a windowed registry delta.
+/// `breaker_state` is passed in live (window folding sums gauges into
+/// nonsense — breaker state must come from `Federation::breaker_states`).
+pub fn signals_from_window(
+    window: &MetricsSnapshot,
+    member: &str,
+    breaker_state: u8,
+) -> SourceSignals {
+    let c = |prefix: &str| window.counter(&format!("{prefix}{member}"));
+    SourceSignals {
+        member: member.to_string(),
+        queries: c(names::MEMBER_QUERIES_PREFIX),
+        errors: c(names::MEMBER_ERRORS_PREFIX),
+        retries: c(names::MEMBER_RETRIES_PREFIX),
+        breaker_state,
+        breaker_opened: c(names::BREAKER_OPENED_PREFIX),
+        drift_triggers: c(names::MEMBER_DRIFT_PREFIX),
+        splices: c(names::MEMBER_SPLICES_PREFIX),
+        est_cost: c(names::MEMBER_EST_COST_MILLI_PREFIX) as f64 / 1000.0,
+        observed_cost: c(names::MEMBER_OBS_COST_MILLI_PREFIX) as f64 / 1000.0,
+    }
+}
+
+/// The latency/error objective `slo.*` burn rates are computed against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloConfig {
+    /// A query breaching this latency (µs wall-clock, or virtual ticks when
+    /// quarantined) counts against the latency budget.
+    pub latency_objective_us: u64,
+    /// Fraction of queries allowed to breach (errors or latency) before the
+    /// budget burns at rate 1.0.
+    pub error_budget: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        // 500 ms and 1% — a deliberately loose default; serve flags tighten it.
+        SloConfig { latency_objective_us: 500_000, error_budget: 0.01 }
+    }
+}
+
+impl SloConfig {
+    /// Burn rate for `bad` breaches out of `total` events: the breach
+    /// fraction divided by the budget. 0 when nothing happened.
+    pub fn burn_rate(&self, bad: u64, total: u64) -> f64 {
+        if total == 0 || self.error_budget <= 0.0 {
+            return 0.0;
+        }
+        (bad as f64 / total as f64) / self.error_budget
+    }
+}
+
+/// Everything `/status` shows besides the per-member reports: the SLO
+/// objective and its burn rates, plus the time-series window bookkeeping.
+/// Kept as plain data so the page can be rendered (and golden-tested) away
+/// from a live server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusSummary {
+    /// The objective burn rates are measured against.
+    pub slo: SloConfig,
+    /// Error-budget burn rate over the reported windows.
+    pub error_burn: f64,
+    /// Latency-budget burn rate over the reported windows.
+    pub latency_burn: f64,
+    /// Queries observed over the reported windows.
+    pub queries: u64,
+    /// Windows folded into the report (retained + the live one).
+    pub windows: usize,
+    /// Windows evicted from the ring so far.
+    pub dropped: u64,
+}
+
+/// Renders the full `/status` page as text: SLO header, then the
+/// scoreboard table. Deterministic for deterministic inputs — the
+/// `tests/golden_status.txt` surface.
+pub fn render_status_text(summary: &StatusSummary, reports: &[HealthReport]) -> String {
+    let mut out = String::from("csqp serve status\n");
+    let _ = writeln!(
+        out,
+        "windows {} (dropped {})  queries {}",
+        summary.windows, summary.dropped, summary.queries
+    );
+    let _ = writeln!(
+        out,
+        "slo: latency objective {} us, error budget {:.4}; error burn {:.2}, latency burn {:.2}",
+        summary.slo.latency_objective_us,
+        summary.slo.error_budget,
+        summary.error_burn,
+        summary.latency_burn
+    );
+    out.push('\n');
+    out.push_str(&render_table(reports));
+    out
+}
+
+/// Renders the full `/status` page as JSON (the `?format=json` variant).
+/// Key order pinned; floats shortest-roundtrip.
+pub fn render_status_json(summary: &StatusSummary, reports: &[HealthReport]) -> String {
+    let mut out = String::from("{\n  \"slo\": {\"latency_objective_us\": ");
+    let _ = write!(out, "{}", summary.slo.latency_objective_us);
+    out.push_str(", \"error_budget\": ");
+    render_f64(&mut out, summary.slo.error_budget);
+    out.push_str(", \"error_burn\": ");
+    render_f64(&mut out, summary.error_burn);
+    out.push_str(", \"latency_burn\": ");
+    render_f64(&mut out, summary.latency_burn);
+    let _ = write!(
+        out,
+        "}},\n  \"queries\": {},\n  \"windows\": {},\n  \"dropped\": {},\n  \"sources\": [",
+        summary.queries, summary.windows, summary.dropped
+    );
+    for (i, r) in reports.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        render_report_json(&mut out, r);
+    }
+    if !reports.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+/// Renders the scoreboard as the `/status` text table: one header, one row
+/// per report (caller sorts), score to one decimal, rubric notes inline.
+pub fn render_table(reports: &[HealthReport]) -> String {
+    let mut out =
+        String::from("member              score  grade     queries errors  breaker  notes\n");
+    for r in reports {
+        let breaker = match r.signals.breaker_state {
+            2 => "open",
+            1 => "half-open",
+            _ => "closed",
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>6.1}  {:<8} {:>8} {:>6}  {:<8} {}",
+            r.signals.member,
+            r.score,
+            r.grade.label(),
+            r.signals.queries,
+            r.signals.errors,
+            breaker,
+            if r.notes.is_empty() { "-".to_string() } else { r.notes.join("; ") },
+        );
+    }
+    out
+}
+
+/// Renders one report as a JSON object (schema-stable key order).
+pub fn render_report_json(out: &mut String, r: &HealthReport) {
+    out.push_str("{\"member\": ");
+    render_json_string(out, &r.signals.member);
+    out.push_str(", \"score\": ");
+    render_f64(out, r.score);
+    out.push_str(", \"grade\": ");
+    render_json_string(out, r.grade.label());
+    let _ = write!(
+        out,
+        ", \"queries\": {}, \"errors\": {}, \"retries\": {}, \"breaker_state\": {}, \
+         \"breaker_opened\": {}, \"drift_triggers\": {}, \"splices\": {}, \"est_cost\": ",
+        r.signals.queries,
+        r.signals.errors,
+        r.signals.retries,
+        r.signals.breaker_state,
+        r.signals.breaker_opened,
+        r.signals.drift_triggers,
+        r.signals.splices,
+    );
+    render_f64(out, r.signals.est_cost);
+    out.push_str(", \"observed_cost\": ");
+    render_f64(out, r.signals.observed_cost);
+    out.push_str(", \"notes\": [");
+    for (i, n) in r.notes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        render_json_string(out, n);
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn base(member: &str, queries: u64) -> SourceSignals {
+        SourceSignals { member: member.to_string(), queries, ..Default::default() }
+    }
+
+    #[test]
+    fn clean_member_scores_100() {
+        let r = score(base("books", 10));
+        assert_eq!(r.score, 100.0);
+        assert_eq!(r.grade, Grade::Healthy);
+        assert!(r.notes.is_empty());
+    }
+
+    #[test]
+    fn breaker_open_member_drops_below_healthy() {
+        // The acceptance-criteria scenario: a chaos storm opens the breaker.
+        let r = score(SourceSignals {
+            breaker_state: 2,
+            breaker_opened: 1,
+            errors: 3,
+            queries: 10,
+            ..base("flaky", 10)
+        });
+        assert!(r.score < HEALTHY_THRESHOLD, "breaker-open member is not healthy: {}", r.score);
+        assert_eq!(r.grade, Grade::Critical, "open breaker + 30% errors is critical");
+    }
+
+    #[test]
+    fn rubric_deductions_cap_and_clamp() {
+        // 100% errors caps at -60, not -300.
+        let r = score(SourceSignals { errors: 10, ..base("m", 10) });
+        assert_eq!(r.score, 40.0);
+        // Everything at once clamps at zero.
+        let r = score(SourceSignals {
+            errors: 10,
+            retries: 10,
+            breaker_state: 2,
+            breaker_opened: 5,
+            drift_triggers: 10,
+            splices: 10,
+            est_cost: 1.0,
+            observed_cost: 10.0,
+            ..base("m", 10)
+        });
+        assert_eq!(r.score, 0.0);
+        assert_eq!(r.grade, Grade::Critical);
+    }
+
+    #[test]
+    fn cost_band_only_fires_outside_2x() {
+        let ok = score(SourceSignals { est_cost: 10.0, observed_cost: 19.0, ..base("m", 5) });
+        assert_eq!(ok.score, 100.0);
+        let bad = score(SourceSignals { est_cost: 10.0, observed_cost: 25.0, ..base("m", 5) });
+        assert_eq!(bad.score, 90.0);
+        let low = score(SourceSignals { est_cost: 10.0, observed_cost: 4.0, ..base("m", 5) });
+        assert_eq!(low.score, 90.0);
+    }
+
+    #[test]
+    fn signals_extract_from_member_counters() {
+        let reg = MetricsRegistry::new();
+        reg.add("member.queries.books", 7);
+        reg.add("member.errors.books", 2);
+        reg.add("member.retries.books", 1);
+        reg.add("member.breaker_opened.books", 1);
+        reg.add("member.est_cost_milli.books", 1500);
+        reg.add("member.observed_cost_milli.books", 4000);
+        let s = signals_from_window(&reg.snapshot(), "books", 2);
+        assert_eq!(s.queries, 7);
+        assert_eq!(s.errors, 2);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.breaker_opened, 1);
+        assert_eq!(s.breaker_state, 2);
+        assert_eq!(s.est_cost, 1.5);
+        assert_eq!(s.observed_cost, 4.0);
+        // Absent members read as all-zero signals.
+        let none = signals_from_window(&reg.snapshot(), "ghost", 0);
+        assert_eq!(none.queries, 0);
+    }
+
+    #[test]
+    fn burn_rate_is_breach_fraction_over_budget() {
+        let slo = SloConfig { latency_objective_us: 1000, error_budget: 0.01 };
+        assert_eq!(slo.burn_rate(0, 100), 0.0);
+        assert_eq!(slo.burn_rate(1, 100), 1.0);
+        assert_eq!(slo.burn_rate(10, 100), 10.0);
+        assert_eq!(slo.burn_rate(0, 0), 0.0);
+        assert_eq!(SloConfig { error_budget: 0.0, ..slo }.burn_rate(5, 10), 0.0);
+    }
+
+    #[test]
+    fn renders_are_deterministic() {
+        let reports = vec![score(base("a", 3)), score(SourceSignals { errors: 1, ..base("b", 4) })];
+        let table = render_table(&reports);
+        assert_eq!(table, render_table(&reports));
+        assert!(table.contains("member"));
+        assert!(table.lines().count() == 3);
+        let mut json = String::new();
+        render_report_json(&mut json, &reports[1]);
+        assert!(json.contains("\"member\": \"b\""));
+        assert!(json.contains("\"grade\": \"critical\""), "25% errors deducts the full 60: {json}");
+        assert!(json.contains("error rate 25%"));
+    }
+}

@@ -36,13 +36,30 @@
 //! implementations are always compiled; the feature only selects the
 //! re-export, so the disabled path cannot bit-rot.
 
+//!
+//! ## Fleet-level telemetry (plain data, always compiled)
+//!
+//! Three modules extend the per-query layer across queries and runs:
+//! [`timeseries`] keeps a fixed ring of windowed [`MetricsSnapshot`] deltas
+//! (windowed rates and histogram-merge p50/p99 with no hot-path cost),
+//! [`health`] folds a window of per-member signals into a scored
+//! [`health::HealthReport`] plus SLO burn rates, and [`audit`] journals one
+//! flat JSONL [`audit::AuditRecord`] per completed serve query with
+//! size-based rotation and summarize/diff analysis for `csqp audit`. Like
+//! [`profile`], they are plain data compiled unconditionally — with `obs`
+//! off the snapshots they consume are empty and every rendering keeps its
+//! schema.
+
+pub mod audit;
 pub mod flight;
+pub mod health;
 pub mod metrics;
 pub mod names;
 pub mod noop;
 pub mod profile;
 pub mod prom;
 pub mod span;
+pub mod timeseries;
 pub mod trace;
 
 #[cfg(feature = "obs")]
@@ -55,10 +72,13 @@ pub use trace::{Span, Tracer};
 #[cfg(not(feature = "obs"))]
 pub use noop::{FlightRecorder, MetricsRegistry, QueryFlight, Span, Tracer};
 
+pub use audit::{AuditRecord, JournalSummary, JournalWriter};
 pub use flight::{PlanEvent, QueryRecord};
+pub use health::{Grade, HealthReport, SloConfig, SourceSignals, StatusSummary};
 pub use metrics::{HistogramSnapshot, MetricsSnapshot};
 pub use profile::{CardRow, LatencyKey, ProfileRing, QueryProfile};
 pub use span::SpanRecord;
+pub use timeseries::{TimeSeries, Window, WindowStamp};
 pub use trace::TraceEvent;
 
 /// The bundle a component carries: one metrics registry plus one tracer.

@@ -123,6 +123,44 @@ pub const REPLAN_SPLICES: &str = "replan.splices";
 /// `Federation::metrics_snapshot` without advancing the breaker clock.
 pub const BREAKER_STATE_PREFIX: &str = "breaker.state.";
 
+// ---- per-member health taps (windowed health scoring inputs) ----
+//
+// Suffix-named counter families: `<prefix><member>`. The Prometheus
+// exposition renders each family as one labeled series
+// (`csqp_member_queries_total{member="..."}`) via `names::LABELED`; the
+// health scorer reads them back per window through
+// `health::signals_from_window`.
+
+/// Queries a federation member ultimately served: `member.queries.<member>`.
+pub const MEMBER_QUERIES_PREFIX: &str = "member.queries.";
+/// Member executions that failed after retries: `member.errors.<member>`.
+pub const MEMBER_ERRORS_PREFIX: &str = "member.errors.";
+/// Times a member was skipped on an open breaker gate:
+/// `member.quarantined.<member>`.
+pub const MEMBER_QUARANTINED_PREFIX: &str = "member.quarantined.";
+/// Retries attributed to a member's executions: `member.retries.<member>`.
+pub const MEMBER_RETRIES_PREFIX: &str = "member.retries.";
+/// Mid-query splices while a member was executing:
+/// `member.splices.<member>`.
+pub const MEMBER_SPLICES_PREFIX: &str = "member.splices.";
+/// Drift-band replan triggers while a member was executing:
+/// `member.drift_triggers.<member>`.
+pub const MEMBER_DRIFT_PREFIX: &str = "member.drift_triggers.";
+/// Σ planner-estimated cost of a member's executions, in cost millis
+/// (×1000, so the counter stays integral): `member.est_cost_milli.<member>`.
+pub const MEMBER_EST_COST_MILLI_PREFIX: &str = "member.est_cost_milli.";
+/// Σ observed cost of a member's executions, in cost millis:
+/// `member.observed_cost_milli.<member>`.
+pub const MEMBER_OBS_COST_MILLI_PREFIX: &str = "member.observed_cost_milli.";
+/// Breaker open transitions per member: `member.breaker_opened.<member>`
+/// (the member-attributed sibling of the aggregate `breaker.opened`; named
+/// under `member.` so its Prometheus family never collides with the
+/// aggregate's).
+pub const BREAKER_OPENED_PREFIX: &str = "member.breaker_opened.";
+/// Health score gauge per member, republished by `/status`:
+/// `health.score.<member>` in [0, 100].
+pub const HEALTH_SCORE_PREFIX: &str = "health.score.";
+
 // ---- federation capability index (compiled source pre-selection) ----
 
 /// Members surviving the capability-index pre-filter across federated
@@ -162,6 +200,28 @@ pub const SERVE_ROWS_RETURNED: &str = "serve.rows_returned";
 /// serve-mode queries whose profile entered the slowlog ring).
 pub const PROFILE_CAPTURED: &str = "profile.captured";
 
+// ---- SLO burn rates (serve `/status`) ----
+
+/// Error-budget burn rate over the retained windows (gauge): the fraction
+/// of serve queries that errored, divided by the configured error budget.
+/// 1.0 = exactly on budget.
+pub const SLO_ERROR_BURN: &str = "slo.error_burn_rate";
+/// Latency-budget burn rate over the retained windows (gauge): the
+/// fraction of serve queries breaching the latency objective, divided by
+/// the error budget.
+pub const SLO_LATENCY_BURN: &str = "slo.latency_burn_rate";
+/// Serve queries that breached the configured latency objective.
+pub const SLO_LATENCY_BREACHES: &str = "slo.latency_breaches";
+
+// ---- windowed time-series & audit journal ----
+
+/// Windows currently retained by the serve time-series ring (gauge).
+pub const TIMESERIES_WINDOWS: &str = "timeseries.windows";
+/// Audit-journal records appended.
+pub const JOURNAL_RECORDS: &str = "journal.records";
+/// Audit-journal size-based rotations performed.
+pub const JOURNAL_ROTATIONS: &str = "journal.rotations";
+
 // ---- static catalog ----
 
 /// The Prometheus-facing kind of a metric.
@@ -190,6 +250,50 @@ pub struct MetricMeta {
 
 const fn meta(name: &'static str, kind: MetricKind, help: &'static str) -> MetricMeta {
     MetricMeta { name, kind, help }
+}
+
+/// A suffix-named metric family rendered as one labeled Prometheus series:
+/// every registry name `"<prefix><suffix>"` becomes
+/// `family{label="<suffix>"}` in the exposition, with a single shared
+/// `# HELP`/`# TYPE` block per family.
+#[derive(Debug, Clone, Copy)]
+pub struct LabeledFamily {
+    /// Dotted-name prefix, including the trailing dot (a `CATALOG` row).
+    pub prefix: &'static str,
+    /// Prometheus family name (already `csqp_`-prefixed; counters get
+    /// `_total` appended at render time).
+    pub family: &'static str,
+    /// The label key carrying the suffix.
+    pub label: &'static str,
+}
+
+const fn fam(prefix: &'static str, family: &'static str) -> LabeledFamily {
+    LabeledFamily { prefix, family, label: "member" }
+}
+
+/// Every suffix-named family the exposition renders with labels. Sorted by
+/// prefix; each prefix also has a `CATALOG` row carrying kind + help.
+pub const LABELED: &[LabeledFamily] = &[
+    fam(BREAKER_STATE_PREFIX, "csqp_breaker_state"),
+    fam(HEALTH_SCORE_PREFIX, "csqp_health_score"),
+    fam(BREAKER_OPENED_PREFIX, "csqp_member_breaker_opened"),
+    fam(MEMBER_DRIFT_PREFIX, "csqp_member_drift_triggers"),
+    fam(MEMBER_ERRORS_PREFIX, "csqp_member_errors"),
+    fam(MEMBER_EST_COST_MILLI_PREFIX, "csqp_member_est_cost_milli"),
+    fam(MEMBER_OBS_COST_MILLI_PREFIX, "csqp_member_observed_cost_milli"),
+    fam(MEMBER_QUARANTINED_PREFIX, "csqp_member_quarantined"),
+    fam(MEMBER_QUERIES_PREFIX, "csqp_member_queries"),
+    fam(MEMBER_RETRIES_PREFIX, "csqp_member_retries"),
+    fam(MEMBER_SPLICES_PREFIX, "csqp_member_splices"),
+];
+
+/// The labeled family a registry name belongs to (with the suffix split
+/// off), or `None` for ordinary flat names. A bare prefix with an empty
+/// suffix does not match — it would render an empty label value.
+pub fn labeled_for(name: &str) -> Option<(&'static LabeledFamily, &str)> {
+    LABELED.iter().find_map(|f| {
+        name.strip_prefix(f.prefix).filter(|s| !s.is_empty()).map(|suffix| (f, suffix))
+    })
 }
 
 /// Every metric the stack exports, with kind and help text. `prom` renders
@@ -250,17 +354,32 @@ pub const CATALOG: &[MetricMeta] = &[
     meta(SERVE_LATENCY_US, MetricKind::Histogram, "wall-clock query latency in microseconds"),
     meta(SERVE_ROWS_RETURNED, MetricKind::Counter, "rows returned to clients"),
     meta(PROFILE_CAPTURED, MetricKind::Counter, "QueryProfile documents captured"),
+    meta(MEMBER_QUERIES_PREFIX, MetricKind::Counter, "queries served per federation member"),
+    meta(MEMBER_ERRORS_PREFIX, MetricKind::Counter, "failed executions per federation member"),
+    meta(MEMBER_QUARANTINED_PREFIX, MetricKind::Counter, "breaker-gate skips per member"),
+    meta(MEMBER_RETRIES_PREFIX, MetricKind::Counter, "retries per federation member"),
+    meta(MEMBER_SPLICES_PREFIX, MetricKind::Counter, "mid-query splices per member"),
+    meta(MEMBER_DRIFT_PREFIX, MetricKind::Counter, "drift replan triggers per member"),
+    meta(MEMBER_EST_COST_MILLI_PREFIX, MetricKind::Counter, "estimated cost millis per member"),
+    meta(MEMBER_OBS_COST_MILLI_PREFIX, MetricKind::Counter, "observed cost millis per member"),
+    meta(BREAKER_OPENED_PREFIX, MetricKind::Counter, "breaker opens attributed per member"),
+    meta(HEALTH_SCORE_PREFIX, MetricKind::Gauge, "health score per member (0-100)"),
+    meta(SLO_ERROR_BURN, MetricKind::Gauge, "error-budget burn rate over retained windows"),
+    meta(SLO_LATENCY_BURN, MetricKind::Gauge, "latency-budget burn rate over retained windows"),
+    meta(SLO_LATENCY_BREACHES, MetricKind::Counter, "queries breaching the latency objective"),
+    meta(TIMESERIES_WINDOWS, MetricKind::Gauge, "windows retained by the time-series ring"),
+    meta(JOURNAL_RECORDS, MetricKind::Counter, "audit-journal records appended"),
+    meta(JOURNAL_ROTATIONS, MetricKind::Counter, "audit-journal rotations performed"),
 ];
 
-/// Catalog lookup: exact name match, or the `breaker.state.` prefix row for
-/// its dynamically named per-member gauges. `None` for ad-hoc names (tests,
+/// Catalog lookup: exact name match, or the labeled-family prefix row for
+/// dynamically suffix-named metrics (`breaker.state.<member>` and the
+/// `member.*` / `health.score.*` families). `None` for ad-hoc names (tests,
 /// future metrics not yet cataloged) — the exposition falls back to its
 /// generic help line.
 pub fn help_for(name: &str) -> Option<&'static MetricMeta> {
     CATALOG.iter().find(|m| m.name == name).or_else(|| {
-        name.starts_with(BREAKER_STATE_PREFIX)
-            .then(|| CATALOG.iter().find(|m| m.name == BREAKER_STATE_PREFIX))
-            .flatten()
+        labeled_for(name).and_then(|(f, _)| CATALOG.iter().find(|m| m.name == f.prefix))
     })
 }
 
@@ -277,7 +396,30 @@ mod tests {
         }
         assert_eq!(help_for(SERVE_LATENCY_US).unwrap().kind, MetricKind::Histogram);
         assert_eq!(help_for("breaker.state.books-eu").unwrap().kind, MetricKind::Gauge);
+        assert_eq!(help_for("member.queries.books-eu").unwrap().kind, MetricKind::Counter);
         assert!(help_for("not.a.metric").is_none());
+    }
+
+    #[test]
+    fn labeled_families_resolve_and_are_cataloged() {
+        let (f, suffix) = labeled_for("breaker.state.books-eu").unwrap();
+        assert_eq!(f.family, "csqp_breaker_state");
+        assert_eq!(f.label, "member");
+        assert_eq!(suffix, "books-eu");
+        assert!(labeled_for("breaker.state.").is_none(), "empty suffix never matches");
+        assert!(labeled_for("serve.queries").is_none());
+        // Every labeled family has a catalog row, a unique prom family, and
+        // the aggregate `breaker.opened` never collides with a family name.
+        let mut families = std::collections::BTreeSet::new();
+        for f in LABELED {
+            assert!(
+                CATALOG.iter().any(|m| m.name == f.prefix),
+                "labeled prefix {} missing from CATALOG",
+                f.prefix
+            );
+            assert!(families.insert(f.family), "duplicate prom family {}", f.family);
+            assert!(f.prefix.ends_with('.'), "prefix {} must end with a dot", f.prefix);
+        }
     }
 
     #[test]

@@ -154,7 +154,7 @@ impl QueryProfile {
 }
 
 /// A bounded ring keeping the N *worst* profiles by [`LatencyKey::value`]
-/// (descending; ties keep the earlier arrival). This is the slowlog's
+/// (descending; ties break by ascending query id). This is the slowlog's
 /// tail-sampling store: cheap to push, and the victims of a p99 spike stay
 /// resident with their full profile until N worse queries displace them.
 #[derive(Debug, Default)]
@@ -176,12 +176,16 @@ impl ProfileRing {
             return;
         }
         let v = profile.latency.map_or(0, |l| l.value());
-        // First position whose value is strictly smaller keeps the order
-        // descending and makes ties stable (new entry goes after equals).
+        // Descending by value; ties break ascending by query id, so the
+        // ranking is a pure function of the retained set — identical across
+        // serial and parallel legs regardless of arrival order.
         let pos = self
             .entries
             .iter()
-            .position(|e| e.latency.map_or(0, |l| l.value()) < v)
+            .position(|e| {
+                let ev = e.latency.map_or(0, |l| l.value());
+                ev < v || (ev == v && e.id > profile.id)
+            })
             .unwrap_or(self.entries.len());
         if pos >= self.cap {
             return;
@@ -254,10 +258,10 @@ mod tests {
         let ids: Vec<u64> = ring.worst().iter().map(|p| p.id).collect();
         // 99, 50, 20 survive; the tied 10s fell off the tail.
         assert_eq!(ids, vec![4, 2, 5]);
-        // Ties keep the earlier arrival ahead.
+        // Ties order by query id regardless of arrival order.
         let mut tied = ProfileRing::new(2);
-        tied.push(keyed(1, None, 7));
         tied.push(keyed(2, None, 7));
+        tied.push(keyed(1, None, 7));
         let ids: Vec<u64> = tied.worst().iter().map(|p| p.id).collect();
         assert_eq!(ids, vec![1, 2]);
         // Wall-clock outranks ticks when present.
@@ -265,5 +269,24 @@ mod tests {
         mixed.push(keyed(1, None, 1000));
         mixed.push(keyed(2, Some(2000), 1));
         assert_eq!(mixed.worst()[0].id, 2);
+    }
+
+    #[test]
+    fn tied_rankings_are_arrival_order_independent() {
+        // Regression for the serial-vs-parallel divergence: any permutation
+        // of the same tied profiles must retain the same set in the same
+        // order.
+        let perms: [[u64; 4]; 4] = [[1, 2, 3, 4], [4, 3, 2, 1], [3, 1, 4, 2], [2, 4, 1, 3]];
+        let mut renderings = Vec::new();
+        for perm in perms {
+            let mut ring = ProfileRing::new(3);
+            for id in perm {
+                ring.push(keyed(id, None, 7));
+            }
+            renderings.push(ring.worst().iter().map(|p| p.id).collect::<Vec<_>>());
+        }
+        for r in &renderings {
+            assert_eq!(r, &vec![1, 2, 3], "ties resolve by id: {renderings:?}");
+        }
     }
 }

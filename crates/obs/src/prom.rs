@@ -31,7 +31,27 @@ pub fn render(snap: &MetricsSnapshot) -> String {
 /// is an OpenMetrics extension some text-format scrapers reject.
 pub fn render_opts(snap: &MetricsSnapshot, exemplars: bool) -> String {
     let mut out = String::new();
+    // Suffix-named families (`names::LABELED`) render as one labeled series
+    // per member with a single HELP/TYPE block. BTreeMap ordering keeps a
+    // family's members adjacent, so tracking the last family emitted is
+    // enough to dedupe the block.
+    let mut last_family: Option<String> = None;
     for (name, v) in &snap.counters {
+        if let Some((f, suffix)) = names::labeled_for(name) {
+            let mut prom = f.family.to_string();
+            if !prom.ends_with("_total") {
+                prom.push_str("_total");
+            }
+            if last_family.as_deref() != Some(prom.as_str()) {
+                let _ =
+                    writeln!(out, "# HELP {prom} counter `{}`{}", f.prefix, help_suffix(f.prefix));
+                let _ = writeln!(out, "# TYPE {prom} counter");
+                last_family = Some(prom.clone());
+            }
+            let _ = writeln!(out, "{prom}{{{}=\"{}\"}} {v}", f.label, label_escape(suffix));
+            continue;
+        }
+        last_family = None;
         let mut prom = prom_name(name);
         // Counters gain `_total` per convention; registry names that
         // already carry the suffix (e.g. `capindex.candidates_total`)
@@ -43,7 +63,31 @@ pub fn render_opts(snap: &MetricsSnapshot, exemplars: bool) -> String {
         let _ = writeln!(out, "# TYPE {prom} counter");
         let _ = writeln!(out, "{prom} {v}");
     }
+    last_family = None;
     for (name, v) in &snap.gauges {
+        if let Some((f, suffix)) = names::labeled_for(name) {
+            if last_family.as_deref() != Some(f.family) {
+                let _ = writeln!(
+                    out,
+                    "# HELP {} gauge `{}`{}",
+                    f.family,
+                    f.prefix,
+                    help_suffix(f.prefix)
+                );
+                let _ = writeln!(out, "# TYPE {} gauge", f.family);
+                last_family = Some(f.family.to_string());
+            }
+            let _ = writeln!(
+                out,
+                "{}{{{}=\"{}\"}} {}",
+                f.family,
+                f.label,
+                label_escape(suffix),
+                prom_f64(*v)
+            );
+            continue;
+        }
+        last_family = None;
         let prom = prom_name(name);
         let _ = writeln!(out, "# HELP {prom} gauge `{name}`{}", help_suffix(name));
         let _ = writeln!(out, "# TYPE {prom} gauge");
@@ -74,6 +118,20 @@ pub fn render_opts(snap: &MetricsSnapshot, exemplars: bool) -> String {
 /// ` — help text` when the catalog knows the name, empty otherwise.
 fn help_suffix(name: &str) -> String {
     names::help_for(name).map_or_else(String::new, |m| format!(" — {}", m.help))
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// `planner.pruned_pr3` → `csqp_planner_pruned_pr3`.
@@ -148,6 +206,36 @@ mod tests {
         );
         // The plain-observed bucket has no exemplar suffix.
         assert!(with.contains("csqp_serve_latency_us_bucket{le=\"3\"} 1\n"));
+    }
+
+    #[test]
+    fn suffix_named_families_render_as_labels() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("breaker.state.car_dealer", 0.0);
+        reg.gauge_set("breaker.state.colors", 2.0);
+        reg.add("member.queries.car_dealer", 7);
+        reg.add("member.queries.colors", 1);
+        reg.inc("federation.served");
+        let text = render(&reg.snapshot());
+        assert!(text.contains("csqp_breaker_state{member=\"car_dealer\"} 0.0\n"), "{text}");
+        assert!(text.contains("csqp_breaker_state{member=\"colors\"} 2.0\n"), "{text}");
+        assert!(text.contains("csqp_member_queries_total{member=\"car_dealer\"} 7\n"), "{text}");
+        assert!(!text.contains("csqp_breaker_state_car_dealer"), "no suffix-mangled series");
+        // One HELP/TYPE block per family, not per member.
+        assert_eq!(text.matches("# TYPE csqp_breaker_state gauge").count(), 1, "{text}");
+        assert_eq!(text.matches("# TYPE csqp_member_queries_total counter").count(), 1, "{text}");
+        // Catalog help rides on the shared block.
+        assert!(text.contains("# HELP csqp_breaker_state gauge `breaker.state.`"), "{text}");
+        // Plain names around the family still render flat.
+        assert!(text.contains("csqp_federation_served_total 1\n"), "{text}");
+    }
+
+    #[test]
+    fn label_values_escape_prometheus_specials() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("breaker.state.we\"ird\\src", 1.0);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("csqp_breaker_state{member=\"we\\\"ird\\\\src\"} 1.0\n"), "{text}");
     }
 
     #[test]

@@ -145,8 +145,9 @@ fn serve_smoke() {
             "csqp_capindex_pruned_total",
             "csqp_capindex_build_ticks_total",
             // Live per-member breaker health (closed=0 / half-open=1 /
-            // open=2), refreshed on every scrape.
-            "csqp_breaker_state_car_dealer 0",
+            // open=2), refreshed on every scrape and rendered as one
+            // labeled family.
+            "csqp_breaker_state{member=\"car_dealer\"} 0.0",
         ] {
             assert!(metrics.contains(series), "{series} missing from scrape:\n{metrics}");
         }
@@ -193,6 +194,26 @@ fn serve_smoke() {
         let ex = http_get(addr, "/metrics?exemplars=1");
         assert!(ex.contains("query_id="), "exemplar suffix present:\n{ex}");
     }
+
+    // The fleet view: /status scores every member from windowed telemetry
+    // (schema-stable on every build — obs-off just sees empty signals), and
+    // /timeseries exposes the windowed deltas of one metric as JSON.
+    let status = http_get(addr, "/status");
+    assert!(status.starts_with("HTTP/1.0 200"), "{status}");
+    assert!(status.contains("csqp serve status"), "{status}");
+    assert!(status.contains("slo: latency objective"), "{status}");
+    assert!(status.contains("car_dealer"), "every member appears on the scoreboard: {status}");
+    let status_json = http_get(addr, "/status?format=json");
+    assert!(status_json.contains("application/json"), "{status_json}");
+    for key in ["\"slo\"", "\"sources\"", "\"member\"", "\"score\"", "\"grade\""] {
+        assert!(status_json.contains(key), "{key} missing from /status json:\n{status_json}");
+    }
+    let ts = http_get(addr, "/timeseries?metric=serve.queries");
+    assert!(ts.starts_with("HTTP/1.0 200"), "{ts}");
+    assert!(ts.contains("\"metric\": \"serve.queries\""), "{ts}");
+    assert!(ts.contains("\"windows\""), "{ts}");
+    let ts_missing = http_get(addr, "/timeseries");
+    assert!(ts_missing.starts_with("HTTP/1.0 400"), "metric param is required: {ts_missing}");
 
     // Unknown routes 404; unknown line commands error without killing the
     // server.
@@ -244,12 +265,106 @@ fn serve_federation_routes_and_prunes() {
     assert!(q.contains("breakers [car_dealer:closed colors:closed]"), "{q}");
     let metrics = http_get(addr, "/metrics");
     if server_obs_enabled(&metrics) {
-        assert!(metrics.contains("csqp_breaker_state_colors 0"), "{metrics}");
+        assert!(metrics.contains("csqp_breaker_state{member=\"colors\"} 0.0"), "{metrics}");
+        // One HELP/TYPE block covers both members of the labeled family.
+        assert_eq!(metrics.matches("# TYPE csqp_breaker_state gauge").count(), 1, "{metrics}");
     }
 
     let bye = http_get(addr, "/shutdown");
     assert!(bye.contains("shutting down"), "{bye}");
     handle.join().expect("server thread").expect("accept loop exits cleanly");
+}
+
+/// Concurrent hammer: several clients interleave `/query`, `/metrics`,
+/// `/status`, and `/timeseries` traffic against one server with the audit
+/// journal armed and a tight window size, so windows roll mid-storm.
+/// Afterwards the telemetry must be coherent: every health score in
+/// [0, 100], windowed deltas parse as non-negative integers, and the
+/// journal replays with zero torn or corrupt lines.
+#[test]
+fn serve_hammer_keeps_telemetry_coherent() {
+    let dir = std::env::temp_dir();
+    let journal = dir.join(format!("csqp-serve-hammer-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let dealer = Arc::new(Source::new(
+        datagen::cars(3, 400),
+        templates::car_dealer(),
+        CostParams::default(),
+    ));
+    let cfg = ServeConfig {
+        journal_path: Some(journal.to_str().unwrap().to_string()),
+        window_queries: 2,
+        ..ServeConfig::default()
+    };
+    let mut server = Server::bind_federation(vec![dealer], cfg).expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.run());
+
+    let paths = [
+        "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year",
+        "/metrics",
+        "/status",
+        "/timeseries?metric=serve.queries",
+        "/query?cond=make%20%3D%20%22Toyota%22%20%5E%20price%20%3C%2030000&attrs=model,year",
+        "/status?format=json",
+    ];
+    let mut clients = Vec::new();
+    for t in 0..4usize {
+        let handle = std::thread::spawn(move || {
+            let mut queries = 0u64;
+            for round in 0..6usize {
+                let path = paths[(t + round) % paths.len()];
+                let resp = http_get(addr, path);
+                assert!(resp.starts_with("HTTP/1.0 200"), "hammer {t}/{round} {path}: {resp}");
+                queries += u64::from(path.starts_with("/query"));
+            }
+            queries
+        });
+        clients.push(handle);
+    }
+    let queries_sent: u64 = clients.into_iter().map(|c| c.join().expect("client thread")).sum();
+    assert!(queries_sent > 0, "the mix must include queries");
+
+    // Scores stay in [0, 100] under interleaved load.
+    let status_json = http_get(addr, "/status?format=json");
+    let mut scores = 0usize;
+    for part in status_json.split("\"score\": ").skip(1) {
+        let score: f64 = part
+            .split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap_or_else(|e| panic!("score parses ({e}): {status_json}"));
+        assert!((0.0..=100.0).contains(&score), "score out of range: {status_json}");
+        scores += 1;
+    }
+    assert!(scores > 0, "scoreboard renders every member: {status_json}");
+
+    // Windowed deltas are non-negative integers that sum to at most the
+    // queries sent (the live window holds the remainder).
+    let ts = http_get(addr, "/timeseries?metric=serve.queries");
+    let mut windowed = 0u64;
+    for part in ts.split("\"value\": ").skip(1) {
+        let raw = part.split([',', '\n', '}']).next().unwrap().trim();
+        if raw == "null" {
+            continue;
+        }
+        windowed += raw.parse::<u64>().unwrap_or_else(|e| panic!("delta parses ({e}): {ts}"));
+    }
+    assert!(windowed <= queries_sent, "windows cannot hold more than was sent: {ts}");
+
+    let bye = http_get(addr, "/shutdown");
+    assert!(bye.contains("shutting down"), "{bye}");
+    handle.join().expect("server thread").expect("accept loop exits cleanly");
+
+    // The journal replays cleanly: one record per served query, no torn
+    // lines, every record status "ok".
+    let (records, errors) = csqp_obs::audit::read_journal(&journal).expect("journal readable");
+    assert!(errors.is_empty(), "torn/corrupt journal lines: {errors:?}");
+    assert_eq!(records.len() as u64, queries_sent, "one audit record per served query");
+    assert!(records.iter().all(|r| r.status == "ok"), "{records:?}");
+    let _ = std::fs::remove_file(&journal);
 }
 
 /// The CLI twin of the serve-mode `limit=` coverage: `--run --limit N`
