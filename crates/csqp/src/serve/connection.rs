@@ -1,0 +1,170 @@
+//! Per-connection protocol handling: one accepted TCP stream is either an
+//! HTTP request (routed or streamed) or a bare line-protocol command.
+
+use super::http::{http_request_target, percent_decode, query_param};
+use super::Server;
+use csqp_obs::names;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+impl Server {
+    /// Serves one connection; `Ok(true)` means shutdown was requested.
+    pub(super) fn handle(&mut self, mut stream: TcpStream) -> io::Result<bool> {
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut first = String::new();
+        reader.read_line(&mut first)?;
+        let first = first.trim_end();
+        self.obs.metrics.inc(names::SERVE_REQUESTS);
+        if let Some(target) = http_request_target(first) {
+            let target = target.to_string();
+            // Drain (and ignore) the request headers.
+            let mut line = String::new();
+            loop {
+                line.clear();
+                if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
+                    break;
+                }
+            }
+            let (path, query_string) = match target.split_once('?') {
+                Some((p, q)) => (p, q.to_string()),
+                None => (target.as_str(), String::new()),
+            };
+            if path == "/query" {
+                // Streamed response: rows leave as batches arrive, so the
+                // generic buffered write below does not apply.
+                self.handle_query_http(&mut stream, &query_string)?;
+                return Ok(false);
+            }
+            let (status, ctype, body, shutdown) = self.route(&target);
+            write!(
+                stream,
+                "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n",
+                body.len()
+            )?;
+            stream.write_all(body.as_bytes())?;
+            Ok(shutdown)
+        } else {
+            let reply = self.handle_line(first);
+            stream.write_all(reply.as_bytes())?;
+            Ok(false)
+        }
+    }
+
+    /// The line protocol: `ping`, `why`, or `query <attrs,csv> <condition>`.
+    fn handle_line(&mut self, line: &str) -> String {
+        let line = line.trim();
+        if line == "ping" {
+            return "pong\n".to_string();
+        }
+        if line == "why" {
+            return self.federation.explain_why();
+        }
+        if let Some(rest) = line.strip_prefix("query ") {
+            let Some((attrs, cond)) = rest.trim().split_once(' ') else {
+                return "ERR usage: query <attrs,csv> <condition>\n".to_string();
+            };
+            let attrs: Vec<String> = attrs.split(',').map(|s| s.trim().to_string()).collect();
+            let mut body = String::new();
+            return match self.serve_query_streamed(cond, &attrs, None, &mut |chunk| {
+                body.push_str(chunk);
+                true
+            }) {
+                Ok(trailer) => format!("OK\n{body}{trailer}"),
+                Err(msg) => format!("ERR {msg}"),
+            };
+        }
+        self.obs.metrics.inc(names::SERVE_ERRORS);
+        "ERR unknown command (try: ping | why | query <attrs,csv> <condition>)\n".to_string()
+    }
+
+    /// Serves `/query` with an incremental response: the 200 header goes
+    /// out with the first row batch (no `Content-Length` — HTTP/1.0
+    /// read-until-close framing) and the summary is a trailer line. Errors
+    /// before the first byte still get a proper `400`; a failure mid-stream
+    /// is appended as an `ERR` line (the status is already on the wire).
+    fn handle_query_http(&mut self, stream: &mut TcpStream, query_string: &str) -> io::Result<()> {
+        const TEXT: &str = "text/plain; charset=utf-8";
+        let respond_400 = |stream: &mut TcpStream, body: &str| {
+            write!(
+                stream,
+                "HTTP/1.0 400 Bad Request\r\nContent-Type: {TEXT}\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            )
+        };
+        let cond = query_param(query_string, "cond").map(|v| percent_decode(&v));
+        let attrs = query_param(query_string, "attrs").map(|v| percent_decode(&v));
+        let (cond, attrs) = match (cond, attrs) {
+            (Some(c), Some(a)) => (c, a),
+            _ => {
+                self.obs.metrics.inc(names::SERVE_ERRORS);
+                return respond_400(
+                    stream,
+                    "usage: /query?cond=<urlencoded condition>&attrs=<a,b,c>[&limit=<n>]\n",
+                );
+            }
+        };
+        let limit = match query_param(query_string, "limit") {
+            None => None,
+            Some(v) => match v.parse::<u64>() {
+                Ok(n) => Some(n),
+                Err(_) => {
+                    self.obs.metrics.inc(names::SERVE_ERRORS);
+                    return respond_400(stream, "limit must be a non-negative integer\n");
+                }
+            },
+        };
+        let attrs: Vec<String> = attrs.split(',').map(|s| s.trim().to_string()).collect();
+        let mut wrote_header = false;
+        let mut io_err: Option<io::Error> = None;
+        let outcome = {
+            let sink = &mut |chunk: &str| {
+                if !wrote_header {
+                    if let Err(e) = write!(
+                        stream,
+                        "HTTP/1.0 200 OK\r\nContent-Type: {TEXT}\r\nConnection: close\r\n\r\n"
+                    ) {
+                        io_err = Some(e);
+                        return false;
+                    }
+                    wrote_header = true;
+                }
+                match stream.write_all(chunk.as_bytes()) {
+                    Ok(()) => true,
+                    Err(e) => {
+                        io_err = Some(e);
+                        false
+                    }
+                }
+            };
+            self.serve_query_streamed(&cond, &attrs, limit, sink)
+        };
+        if let Some(e) = io_err {
+            return Err(e);
+        }
+        match outcome {
+            Ok(trailer) => {
+                if !wrote_header {
+                    // Empty result: nothing streamed yet, the trailer is
+                    // the whole body.
+                    write!(
+                        stream,
+                        "HTTP/1.0 200 OK\r\nContent-Type: {TEXT}\r\nConnection: close\r\n\r\n"
+                    )?;
+                }
+                stream.write_all(trailer.as_bytes())
+            }
+            Err(msg) => {
+                if wrote_header {
+                    write!(stream, "ERR {msg}")
+                } else {
+                    respond_400(stream, &msg)
+                }
+            }
+        }
+    }
+}

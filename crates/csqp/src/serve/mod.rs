@@ -1,0 +1,301 @@
+//! `csqp serve` — a long-running federation behind a tiny TCP server.
+//!
+//! Keeps one warm [`Federation`] (compiled capability index, armed flight
+//! recorder, and a warm per-member [`Mediator`]) behind a hand-rolled
+//! HTTP/1.0 listener built only on `std::net` — no runtime, no
+//! dependencies. Endpoints:
+//!
+//! | endpoint | answers |
+//! |----------|---------|
+//! | `GET /healthz` | `ok` |
+//! | `GET /metrics` | Prometheus text exposition of the metrics registry |
+//! | `GET /query?cond=<urlenc>&attrs=<a,b>[&limit=<n>]` | plans + streams rows incrementally, summary trailer last |
+//! | `GET /flightrecorder` | index of recorded query flights |
+//! | `GET /flightrecorder?query=<id>` | `EXPLAIN WHY` replay of flight `id` |
+//! | `GET /slowlog` | recent slow queries with their decision trails |
+//! | `GET /profile` | index of the worst-N retained query profiles |
+//! | `GET /profile/<id>` | full [`QueryProfile`] JSON for flight `id` |
+//! | `GET /spans` | the tracer's hierarchical span tree, rendered |
+//! | `GET /shutdown` | stops the accept loop |
+//!
+//! A bare (non-HTTP) first line speaks the line protocol instead: `ping`,
+//! `why`, or `query <attrs,csv> <condition>`.
+//!
+//! `/query` responses are **incremental**: rows go out the socket as the
+//! streaming executor produces batches (no `Content-Length`; HTTP/1.0
+//! read-until-close framing), and the `N rows (est cost …)` summary is a
+//! trailer line once the pipeline drains. `limit=` terminates the pipeline
+//! early after N rows — the source stops shipping, not just the client
+//! display.
+//!
+//! Serve mode is the **only** place wall-clock time enters the stack: the
+//! `serve.*` metrics (latency histogram, slow-query counter) are real-time
+//! by design and excluded from every golden test, keeping the deterministic
+//! virtual-tick layer untouched.
+//!
+//! The implementation is a small module tree: [`self`] holds the
+//! configuration and the `Server` handle, `listener` the accept loop,
+//! `connection` the per-connection protocol state machine, `router` the
+//! non-query endpoints, and `state` the query path plus the telemetry
+//! stores every connection shares.
+
+mod connection;
+mod http;
+mod router;
+mod state;
+
+use csqp_core::federation::Federation;
+use csqp_core::mediator::{Mediator, Scheme};
+use csqp_obs::{
+    timeseries::TimeSeries, FlightRecorder, JournalWriter, LatencyKey, Obs, ProfileRing,
+    QueryProfile, SloConfig,
+};
+use csqp_source::Source;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Planning scheme for served queries.
+    pub scheme: Scheme,
+    /// Wall-clock threshold (milliseconds) beyond which a query enters the
+    /// slow-query log with its full `EXPLAIN WHY` decision trail.
+    pub slow_ms: u64,
+    /// Slow-query log ring size (oldest entries evicted).
+    pub slow_log_capacity: usize,
+    /// Serve queries through the adaptive executor: mid-query cardinality
+    /// drift pauses the pipeline and splices in a re-planned residual
+    /// (answers stay set-identical; the trailer reports the splice count).
+    /// On by default; a no-op in builds without the `adaptive` feature.
+    pub adaptive: bool,
+    /// How many worst-latency query profiles the tail-sampling ring keeps
+    /// resident for `/profile` post-mortems.
+    pub profile_ring_capacity: usize,
+    /// Append an [`csqp_obs::AuditRecord`] per completed query to this
+    /// JSONL path (`--journal`); `None` disables journaling.
+    pub journal_path: Option<String>,
+    /// Size-based journal rotation threshold (`<path>` → `<path>.1`).
+    pub journal_max_bytes: u64,
+    /// Queries per telemetry window: every N completed queries the registry
+    /// delta is rolled into the time-series ring.
+    pub window_queries: u64,
+    /// Windows the time-series ring retains.
+    pub timeseries_capacity: usize,
+    /// SLO latency objective in milliseconds: queries at or above it count
+    /// against the latency budget (`slo.latency_burn_rate`).
+    pub slo_latency_ms: u64,
+    /// SLO error budget: the fraction of queries allowed to breach
+    /// (latency or error) before the burn rate exceeds 1.0.
+    pub slo_error_budget: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheme: Scheme::GenCompact,
+            slow_ms: 100,
+            slow_log_capacity: 32,
+            adaptive: true,
+            profile_ring_capacity: 8,
+            journal_path: None,
+            journal_max_bytes: 1 << 20,
+            window_queries: 4,
+            timeseries_capacity: 64,
+            slo_latency_ms: 100,
+            slo_error_budget: 0.01,
+        }
+    }
+}
+
+/// One slow-query log entry.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Wall-clock plus virtual-tick latency. Ranking and rendering prefer
+    /// wall time and fall back to ticks, so builds without a wall clock
+    /// still order the log deterministically.
+    pub latency: LatencyKey,
+    /// The query, rendered.
+    pub query: String,
+    /// The `EXPLAIN WHY` report captured at serve time.
+    pub why: String,
+}
+
+/// The serve-mode server: one warm federation (capability index + one warm
+/// mediator per member), one TCP listener.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    federation: Federation,
+    /// One warm mediator per federation member, in member order; the
+    /// federation's capability index + plan pick the member, the member's
+    /// mediator streams the answer.
+    mediators: Vec<Mediator>,
+    obs: Arc<Obs>,
+    flight: Arc<FlightRecorder>,
+    cfg: ServeConfig,
+    slow_log: VecDeque<SlowQuery>,
+    /// Tail-sampling store: the worst-N served queries by latency, each
+    /// with its full profile.
+    profiles: ProfileRing,
+    /// Windowed registry deltas for `/status` and `/timeseries`.
+    timeseries: TimeSeries,
+    /// Optional on-disk audit journal (`--journal`).
+    journal: Option<JournalWriter>,
+    /// Completed queries since the last window roll.
+    queries_since_roll: u64,
+    /// The SLO objective `/status` burn rates are computed against.
+    slo: SloConfig,
+    /// Serve start, the zero point of window wall-clock stamps.
+    started: Instant,
+}
+
+impl Server {
+    /// Binds the listener and warms up a single-member federation for
+    /// `source` (see [`Server::bind_federation`]).
+    pub fn bind(source: Arc<Source>, cfg: ServeConfig) -> io::Result<Server> {
+        Server::bind_federation(vec![source], cfg)
+    }
+
+    /// Binds the listener and warms up a federation over `members`: every
+    /// query is routed through the compiled capability index and planned
+    /// federation-wide (the index's prune counts land in the `capindex.*`
+    /// metrics and the flight recorder), then streamed by the winning
+    /// member's warm mediator.
+    pub fn bind_federation(members: Vec<Arc<Source>>, cfg: ServeConfig) -> io::Result<Server> {
+        assert!(!members.is_empty(), "serve needs at least one source");
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let obs = Arc::new(Obs::new());
+        let flight = Arc::new(FlightRecorder::new());
+        let federation = members
+            .iter()
+            .fold(Federation::new(), |f, m| f.with_member(m.clone()))
+            .with_obs(obs.clone())
+            .with_flight_recorder(flight.clone());
+        let mediators = members
+            .iter()
+            .map(|m| Mediator::new(m.clone()).with_scheme(cfg.scheme).with_obs(obs.clone()))
+            .collect();
+        let profiles = ProfileRing::new(cfg.profile_ring_capacity);
+        let timeseries = TimeSeries::new(cfg.timeseries_capacity);
+        let journal = match &cfg.journal_path {
+            Some(path) => {
+                Some(JournalWriter::open(path, cfg.journal_max_bytes).map_err(io::Error::other)?)
+            }
+            None => None,
+        };
+        let slo = SloConfig {
+            latency_objective_us: cfg.slo_latency_ms.saturating_mul(1000),
+            error_budget: cfg.slo_error_budget,
+        };
+        Ok(Server {
+            listener,
+            federation,
+            mediators,
+            obs,
+            flight,
+            cfg,
+            slow_log: VecDeque::new(),
+            profiles,
+            timeseries,
+            journal,
+            queries_since_roll: 0,
+            slo,
+            started: Instant::now(),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` configs).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The first member's warm mediator (the only one in single-source
+    /// serve mode).
+    pub fn mediator(&self) -> &Mediator {
+        &self.mediators[0]
+    }
+
+    /// The federation routing the served queries.
+    pub fn federation(&self) -> &Federation {
+        &self.federation
+    }
+
+    /// The slow-query log, oldest first.
+    pub fn slow_log(&self) -> impl Iterator<Item = &SlowQuery> {
+        self.slow_log.iter()
+    }
+
+    /// Accept loop: serves connections until `/shutdown` (or a fatal
+    /// listener error). Prints the listening address on entry so scripts
+    /// can scrape the ephemeral port.
+    pub fn run(&mut self) -> io::Result<()> {
+        println!("csqp serve: listening on {}", self.local_addr()?);
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e) => {
+                    self.obs.metrics.inc(csqp_obs::names::SERVE_ERRORS);
+                    eprintln!("csqp serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            match self.handle(stream) {
+                Ok(true) => return Ok(()),
+                Ok(false) => {}
+                Err(e) => {
+                    // A misbehaving client must not take the server down.
+                    self.obs.metrics.inc(csqp_obs::names::SERVE_ERRORS);
+                    eprintln!("csqp serve: connection error: {e}");
+                }
+            }
+        }
+    }
+
+    /// A retained profile by flight id, worst-first on ties.
+    fn profile(&self, id: u64) -> Option<&QueryProfile> {
+        self.profiles.worst().iter().find(|p| p.id == id)
+    }
+
+    /// The worst-N retained profiles, worst first.
+    pub fn profiles(&self) -> &[QueryProfile] {
+        self.profiles.worst()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::http::{http_request_target, percent_decode, query_param};
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("price%20%3C%2040000"), "price < 40000");
+        assert_eq!(percent_decode("make%20%3D%20%22BMW%22"), "make = \"BMW\"");
+        assert_eq!(percent_decode("100%"), "100%", "trailing percent is literal");
+        assert_eq!(percent_decode("%zz"), "%zz", "bad hex is literal");
+    }
+
+    #[test]
+    fn http_request_lines() {
+        assert_eq!(http_request_target("GET /healthz HTTP/1.1"), Some("/healthz"));
+        assert_eq!(http_request_target("GET /metrics HTTP/1.0"), Some("/metrics"));
+        assert_eq!(http_request_target("query model,year make = \"BMW\""), None);
+        assert_eq!(http_request_target("ping"), None);
+        assert_eq!(http_request_target(""), None);
+    }
+
+    #[test]
+    fn query_params() {
+        assert_eq!(query_param("cond=a%3D1&attrs=x,y", "attrs").as_deref(), Some("x,y"));
+        assert_eq!(query_param("cond=a%3D1&attrs=x,y", "cond").as_deref(), Some("a%3D1"));
+        assert_eq!(query_param("cond=a", "attrs"), None);
+        assert_eq!(query_param("", "cond"), None);
+    }
+}

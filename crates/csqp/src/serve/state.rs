@@ -1,0 +1,282 @@
+//! The query path plus the per-server telemetry stores every connection
+//! shares: streamed serving, SLO accounting, audit journaling, and the
+//! windowed time-series roll.
+
+use super::{Server, SlowQuery};
+use csqp_core::mediator::{AdaptiveConfig, MediatorError};
+use csqp_core::types::TargetQuery;
+use csqp_obs::{names, AuditRecord, LatencyKey, Obs, QueryProfile};
+use csqp_plan::exec_stream::StreamConfig;
+use csqp_ssdl::linearize::cond_fingerprint;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+impl Server {
+    /// Plans and streams one query on the warm mediator, feeding each row
+    /// batch to `sink` as rendered lines (return `false` to stop) and
+    /// recording the serve-mode wall-clock metrics and the slow-query log.
+    /// Returns the `N rows (est cost …)` summary trailer, or the error
+    /// body.
+    pub(super) fn serve_query_streamed(
+        &mut self,
+        cond: &str,
+        attrs: &[String],
+        limit: Option<u64>,
+        sink: &mut dyn FnMut(&str) -> bool,
+    ) -> Result<String, String> {
+        let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
+        let query = TargetQuery::parse(cond, &attr_refs).map_err(|e| {
+            self.obs.metrics.inc(names::SERVE_ERRORS);
+            format!("query parse error: {e}\n")
+        })?;
+        let cfg = match limit {
+            Some(n) => StreamConfig::default().with_limit(n),
+            None => StreamConfig::default(),
+        };
+        let start = Instant::now();
+        // Profile capture window: everything the shared registry, tracer
+        // and flight recorder see from here until the run finishes is this
+        // query's.
+        let metrics_before = self.obs.metrics.snapshot();
+        let span_mark = self.obs.tracer.span_mark();
+        let tick0 = self.obs.tracer.tick();
+        // Federated member selection first: the capability index prunes
+        // members that cannot possibly serve the shape, the survivors are
+        // planned, and the cheapest feasible member wins. The winner's warm
+        // mediator then streams the answer (its fingerprint-keyed check
+        // cache makes the replan cheap).
+        let fp = self.federation.plan(&query).map_err(|e| {
+            self.obs.metrics.inc(names::SERVE_ERRORS);
+            format!("planning failed: {e}\n")
+        })?;
+        let winner = self
+            .federation
+            .members()
+            .iter()
+            .position(|m| Arc::ptr_eq(m, &fp.source))
+            .expect("federation winner is a member");
+        let (index_candidates, index_total) = self
+            .federation
+            .capability_index()
+            .map(|idx| {
+                let d = idx.candidates(&query);
+                (d.candidates.len(), d.total)
+            })
+            .unwrap_or((fp.considered.len(), fp.considered.len()));
+        let mut emitted = 0u64;
+        let mut chunk = String::new();
+        let mut batch_sink = |batch: csqp_relation::TupleBatch| {
+            emitted += batch.len() as u64;
+            chunk.clear();
+            for row in batch.rows() {
+                let _ = writeln!(chunk, "{row}");
+            }
+            sink(&chunk)
+        };
+        let map_err = |obs: &Obs, e: MediatorError| {
+            obs.metrics.inc(names::SERVE_ERRORS);
+            match e {
+                MediatorError::Plan(e) => format!("planning failed: {e}\n"),
+                e => format!("execution failed: {e}\n"),
+            }
+        };
+        let member_name = fp.source.name.clone();
+        let fingerprint = format!("{:032x}", cond_fingerprint(Some(&query.cond)));
+        // Adaptive serving: the pipeline may pause at a batch boundary and
+        // splice in a re-planned residual when observed cardinalities drift
+        // off the estimates; the answer stays set-identical and the splice
+        // count lands in the trailer.
+        let run = if self.cfg.adaptive {
+            let acfg = AdaptiveConfig { stream: cfg, ..Default::default() };
+            self.mediators[winner].run_adaptive_each(&query, &acfg, &mut batch_sink).map(|out| {
+                let (splices, drift) = (out.splices, out.drift_triggers);
+                (out.outcome, splices, drift)
+            })
+        } else {
+            self.mediators[winner]
+                .run_streamed_each(&query, &cfg, &mut batch_sink)
+                .map(|out| (out.outcome, 0, 0))
+        };
+        let (out, replans, drift_triggers) = match run {
+            Ok(v) => v,
+            Err(e) => {
+                // The failure is the winner's: tap its error counter, leave
+                // an audit record, and still close the telemetry window.
+                let latency_us = start.elapsed().as_micros() as u64;
+                let ticks = self.obs.tracer.tick().saturating_sub(tick0);
+                if self.obs.enabled() {
+                    self.obs.metrics.inc(&format!("{}{member_name}", names::MEMBER_ERRORS_PREFIX));
+                }
+                let msg = map_err(&self.obs, e);
+                self.journal_append(&AuditRecord {
+                    id: self.flight.latest().map(|r| r.id).unwrap_or(0),
+                    fingerprint,
+                    query: query.to_string(),
+                    scheme: self.cfg.scheme.name().to_string(),
+                    status: "error".to_string(),
+                    rows: 0,
+                    wall_us: Some(latency_us),
+                    ticks,
+                    splices: 0,
+                    drift_triggers: 0,
+                    breaker_events: 0,
+                    capindex_candidates: index_candidates as u64,
+                    capindex_total: index_total as u64,
+                });
+                self.maybe_roll();
+                return Err(msg);
+            }
+        };
+        let latency_us = start.elapsed().as_micros() as u64;
+        // SLO accounting happens before the profile delta is cut so the
+        // breach lands in this query's attribution window.
+        if latency_us >= self.slo.latency_objective_us {
+            self.obs.metrics.inc(names::SLO_LATENCY_BREACHES);
+        }
+        let flight_id = self.flight.latest().map(|r| r.id).unwrap_or(0);
+        self.obs.metrics.inc(names::SERVE_QUERIES);
+        // The latency observation carries the flight id as an exemplar, so
+        // a `/metrics?exemplars=1` scrape can walk from a suspicious bucket
+        // straight to `/profile/<id>`.
+        self.obs.metrics.observe_exemplar(names::SERVE_LATENCY_US, latency_us, flight_id);
+        self.obs.metrics.observe(names::SERVE_ROWS_RETURNED, emitted);
+        let latency = LatencyKey {
+            wall_us: Some(latency_us),
+            ticks: self.obs.tracer.tick().saturating_sub(tick0),
+        };
+        let breaker_states = self.federation.breaker_states();
+        if latency_us >= self.cfg.slow_ms.saturating_mul(1000) {
+            self.obs.metrics.inc(names::SERVE_SLOW_QUERIES);
+            if self.slow_log.len() >= self.cfg.slow_log_capacity.max(1) {
+                self.slow_log.pop_front();
+            }
+            self.slow_log.push_back(SlowQuery {
+                latency,
+                query: query.to_string(),
+                why: self.federation.explain_why(),
+            });
+        }
+        // Cut the query's metrics delta once: the profile keeps it, and the
+        // winner attribution + audit record below read from it.
+        let delta = self.obs.metrics.snapshot().diff(&metrics_before);
+        let breaker_events = delta.counter(names::BREAKER_OPENED)
+            + delta.counter(names::BREAKER_HALF_OPENED)
+            + delta.counter(names::BREAKER_CLOSED);
+        // Assemble the query's black box and offer it to the worst-N ring.
+        self.obs.metrics.inc(names::PROFILE_CAPTURED);
+        self.profiles.push(QueryProfile {
+            id: flight_id,
+            query: query.to_string(),
+            scheme: "Federation".to_string(),
+            rows: emitted,
+            latency: Some(latency),
+            est_cost: out.planned.est_cost,
+            observed_cost: out.measured_cost,
+            splices: replans,
+            drift_triggers,
+            breakers: breaker_states
+                .iter()
+                .map(|(name, health)| (name.clone(), health.label().to_string()))
+                .collect(),
+            cardinalities: Vec::new(),
+            spans: self.obs.tracer.spans_from(span_mark),
+            flight: self
+                .flight
+                .latest()
+                .map(|r| r.events.iter().map(|e| e.to_string()).collect())
+                .unwrap_or_default(),
+            metrics: delta.clone(),
+        });
+        // Winner attribution: fold this query's delta onto the per-member
+        // counters the health scoreboard reads. The formatting is gated on
+        // `enabled()` so the obs-off build never allocates the names.
+        if self.obs.enabled() {
+            for (prefix, v) in [
+                (names::MEMBER_QUERIES_PREFIX, 1),
+                (names::MEMBER_RETRIES_PREFIX, delta.counter(names::RESILIENCE_RETRIES)),
+                (names::MEMBER_SPLICES_PREFIX, replans),
+                (names::MEMBER_DRIFT_PREFIX, drift_triggers),
+                (names::BREAKER_OPENED_PREFIX, delta.counter(names::BREAKER_OPENED)),
+                (names::MEMBER_EST_COST_MILLI_PREFIX, to_milli(out.planned.est_cost)),
+                (names::MEMBER_OBS_COST_MILLI_PREFIX, to_milli(out.measured_cost)),
+            ] {
+                if v > 0 {
+                    self.obs.metrics.add(&format!("{prefix}{member_name}"), v);
+                }
+            }
+        }
+        self.journal_append(&AuditRecord {
+            id: flight_id,
+            fingerprint,
+            query: query.to_string(),
+            scheme: self.cfg.scheme.name().to_string(),
+            status: "ok".to_string(),
+            rows: emitted,
+            wall_us: Some(latency_us),
+            ticks: self.obs.tracer.tick().saturating_sub(tick0),
+            splices: replans,
+            drift_triggers,
+            breaker_events,
+            capindex_candidates: index_candidates as u64,
+            capindex_total: index_total as u64,
+        });
+        self.maybe_roll();
+        let breakers: Vec<String> = breaker_states
+            .iter()
+            .map(|(name, health)| format!("{name}:{}", health.label()))
+            .collect();
+        Ok(format!(
+            "{} rows (est cost {:.2}, measured cost {:.2}, {} source queries, capindex \
+             {index_candidates}/{index_total} candidates, {replans} replans, breakers [{}], \
+             flight #{})\n",
+            emitted,
+            out.planned.est_cost,
+            out.measured_cost,
+            out.meter.queries,
+            breakers.join(" "),
+            self.flight.latest().map(|r| r.id).unwrap_or(0),
+        ))
+    }
+
+    /// Appends one audit record to the journal (when configured), keeping
+    /// the `journal.*` counters in step. Append failures are reported on
+    /// stderr but never fail the query — the answer already streamed.
+    pub(super) fn journal_append(&mut self, record: &AuditRecord) {
+        let Some(journal) = self.journal.as_mut() else { return };
+        let rotations_before = journal.rotations;
+        match journal.append(record) {
+            Ok(()) => {
+                self.obs.metrics.inc(names::JOURNAL_RECORDS);
+                let rotated = journal.rotations - rotations_before;
+                if rotated > 0 {
+                    self.obs.metrics.add(names::JOURNAL_ROTATIONS, rotated);
+                }
+            }
+            Err(e) => eprintln!("csqp serve: journal append failed: {e}"),
+        }
+    }
+
+    /// Closes the current telemetry window once `window_queries` queries
+    /// have completed since the last boundary. Serve is the one wall-clock
+    /// place in the stack, so windows carry a wall stamp here.
+    pub(super) fn maybe_roll(&mut self) {
+        self.queries_since_roll += 1;
+        if self.queries_since_roll < self.cfg.window_queries.max(1) {
+            return;
+        }
+        self.queries_since_roll = 0;
+        let now = self.federation.metrics_snapshot();
+        let ticks = self.obs.tracer.tick();
+        let wall_us = self.started.elapsed().as_micros() as u64;
+        self.timeseries.roll(now, ticks, Some(wall_us));
+        self.obs.metrics.gauge_set(names::TIMESERIES_WINDOWS, self.timeseries.len() as f64);
+    }
+}
+
+/// Cost units are fractional; the per-member counters keep them as integral
+/// milli-units so the registry stays u64 (same convention as the
+/// federation-side taps).
+fn to_milli(cost: f64) -> u64 {
+    (cost * 1000.0).round() as u64
+}
