@@ -9,6 +9,7 @@
 
 use crate::capindex::{CapabilityIndex, IndexDecision};
 use crate::mediator::{execute_with_failover, CardKind, Mediator, MediatorError, RunOutcome};
+use crate::plancache::{CacheDecision, Lookup, PlanCache};
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
 use csqp_obs::{names, FlightRecorder, Obs, PlanEvent, QueryFlight};
 use csqp_plan::exec::{execute_measured, ExecError, RetryPolicy};
@@ -106,6 +107,9 @@ pub struct Federation {
     /// Built lazily on first plan; invalidated by membership changes.
     capindex: OnceLock<CapabilityIndex>,
     use_capindex: bool,
+    /// Prepared-plan cache consulted by [`Federation::prepare`]; absent by
+    /// default (every prepare bypasses to cold planning).
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl Default for Federation {
@@ -211,6 +215,26 @@ impl FederatedAdaptiveRun {
     }
 }
 
+/// Outcome of [`Federation::prepare`]: the member to execute on, the plan
+/// (rebound from the prepared-plan cache, or cold-planned), and how the
+/// cache answered.
+#[derive(Debug)]
+pub struct PreparedFederated {
+    /// Index of the winning member in [`Federation::members`].
+    pub member: usize,
+    /// The plan to execute on that member.
+    pub planned: PlannedQuery,
+    /// How the prepared-plan cache probe went.
+    pub decision: CacheDecision,
+    /// Per-member planning outcomes — empty on a cache hit, where no
+    /// fan-out ran.
+    pub considered: Vec<(String, Result<f64, PlanError>)>,
+    /// The flight record narrating this prepare (0 with a disarmed
+    /// recorder). Captured from the begin handle itself, so it stays
+    /// correct when concurrent queries interleave their flights.
+    pub flight_id: u64,
+}
+
 /// A federation planning decision.
 #[derive(Debug)]
 pub struct FederatedPlan {
@@ -221,6 +245,8 @@ pub struct FederatedPlan {
     /// Per-member outcomes (member name, estimated cost or the error),
     /// for explainability.
     pub considered: Vec<(String, Result<f64, PlanError>)>,
+    /// The flight record narrating this plan (0 with a disarmed recorder).
+    pub flight_id: u64,
 }
 
 impl Federation {
@@ -236,6 +262,7 @@ impl Federation {
             flight: Arc::new(FlightRecorder::off()),
             capindex: OnceLock::new(),
             use_capindex: true,
+            plan_cache: None,
         }
     }
 
@@ -335,9 +362,41 @@ impl Federation {
     pub fn with_member(mut self, source: Arc<Source>) -> Self {
         self.members.push(source);
         self.breakers.push(BreakerState::default());
-        // Membership changed: any compiled index is stale.
+        // Membership changed: any compiled index is stale, and cached
+        // prepared plans chose their winner against the old member set.
         self.capindex = OnceLock::new();
+        self.plancache_invalidate("membership change");
         self
+    }
+
+    /// Installs a prepared-plan cache: [`Federation::prepare`] serves
+    /// repeat query *shapes* out of it instead of re-running the planning
+    /// fan-out, and every breaker transition or membership change wipes it
+    /// (the cached winners were chosen against a world that no longer
+    /// holds). Share the same handle with the member mediators
+    /// ([`Mediator::with_plan_cache`]) so cost-model recalibration wipes
+    /// it too.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// The installed prepared-plan cache, if any.
+    pub fn plan_cache(&self) -> Option<&Arc<PlanCache>> {
+        self.plan_cache.as_ref()
+    }
+
+    /// Wipes the prepared-plan cache (no-op without one): the world the
+    /// cached winners were ranked against changed.
+    fn plancache_invalidate(&self, why: &str) {
+        if let Some(cache) = &self.plan_cache {
+            let dropped = cache.invalidate_all();
+            self.obs.metrics.inc(names::PLANCACHE_INVALIDATIONS);
+            self.obs.metrics.gauge_set(names::PLANCACHE_ENTRIES, 0.0);
+            self.obs.tracer.event_with(|| {
+                format!("plan cache invalidated ({why}): {dropped} entries dropped")
+            });
+        }
     }
 
     /// Enables or disables the compiled capability index pre-filter
@@ -544,11 +603,89 @@ impl Federation {
         }
         span.close();
         match best {
-            Some((source, planned)) => Ok(FederatedPlan { source, planned, considered }),
+            Some((source, planned)) => {
+                Ok(FederatedPlan { source, planned, considered, flight_id: flight.id() })
+            }
             None => {
                 Err(PlanError::NoFeasiblePlan { query: query.to_string(), scheme: "Federation" })
             }
         }
+    }
+
+    /// Plans `query`, consulting the prepared-plan cache first (when one
+    /// is installed with [`Federation::with_plan_cache`]).
+    ///
+    /// - **Hit**: the query's parameterized shape matched a cached entry
+    ///   and its constants rebound cleanly — the planning fan-out is
+    ///   skipped entirely. A fresh flight record still narrates the hit so
+    ///   journal/profile ids stay unique per query.
+    /// - **Miss / rejected**: falls back to [`Federation::plan`]
+    ///   (byte-identical behaviour to calling it directly) and stores the
+    ///   winner for the next query of this shape.
+    pub fn prepare(&self, query: &TargetQuery) -> Result<PreparedFederated, PlanError> {
+        let decision = match &self.plan_cache {
+            None => CacheDecision::Bypass,
+            Some(cache) => match cache.lookup(query, &self.members) {
+                Lookup::Hit { member, planned } => {
+                    self.obs.metrics.inc(names::PLANCACHE_HITS);
+                    self.obs.metrics.gauge_set(names::PLANCACHE_ENTRIES, cache.len() as f64);
+                    let flight =
+                        self.flight.begin_with(|| (query.to_string(), "Federation".to_string()));
+                    let name = &self.members[member].name;
+                    self.obs.tracer.event_with(|| {
+                        format!(
+                            "plan cache hit: member {name}, prepared est cost {:.2}",
+                            planned.est_cost
+                        )
+                    });
+                    flight.event_with(|| PlanEvent::Note {
+                        text: format!(
+                            "prepared-plan cache hit on member {name}: constants rebound, \
+                             planner skipped"
+                        ),
+                    });
+                    flight.event_with(|| PlanEvent::Winner {
+                        cost: planned.est_cost,
+                        plan: planned.plan.to_string(),
+                    });
+                    return Ok(PreparedFederated {
+                        member,
+                        planned: *planned,
+                        decision: CacheDecision::Hit,
+                        considered: Vec::new(),
+                        flight_id: flight.id(),
+                    });
+                }
+                Lookup::Miss => {
+                    self.obs.metrics.inc(names::PLANCACHE_MISSES);
+                    CacheDecision::Miss
+                }
+                Lookup::Rejected(reason) => {
+                    self.obs.metrics.inc(names::PLANCACHE_REJECTED);
+                    self.obs.tracer.event_with(|| {
+                        format!("plan cache entry rejected ({reason}); planning cold")
+                    });
+                    CacheDecision::Rejected(reason)
+                }
+            },
+        };
+        let fp = self.plan(query)?;
+        let member = self
+            .members
+            .iter()
+            .position(|m| Arc::ptr_eq(m, &fp.source))
+            .expect("federated winner is a member");
+        if let Some(cache) = &self.plan_cache {
+            cache.insert(query, member, fp.planned.clone());
+            self.obs.metrics.gauge_set(names::PLANCACHE_ENTRIES, cache.len() as f64);
+        }
+        Ok(PreparedFederated {
+            member,
+            planned: fp.planned,
+            decision,
+            considered: fp.considered,
+            flight_id: fp.flight_id,
+        })
     }
 
     /// Plans and executes on the chosen member. The already-chosen plan is
@@ -732,6 +869,7 @@ impl Federation {
                             member: member.name.clone(),
                             transition: "closed",
                         });
+                        self.plancache_invalidate("breaker closed");
                     }
                     self.obs.metrics.inc(names::FEDERATION_SERVED);
                     self.tap(names::MEMBER_QUERIES_PREFIX, &member.name);
@@ -779,6 +917,7 @@ impl Federation {
                             member: member.name.clone(),
                             transition: "opened",
                         });
+                        self.plancache_invalidate("breaker opened");
                     }
                     self.obs.metrics.inc(names::FEDERATION_EXEC_FAILED);
                     self.tap(names::MEMBER_ERRORS_PREFIX, &member.name);
@@ -915,6 +1054,7 @@ impl Federation {
                 member: member.name.clone(),
                 transition: "closed",
             });
+            self.plancache_invalidate("breaker closed");
         }
         self.obs.metrics.inc(names::FEDERATION_SERVED);
         let mut meter = Meter::default();
@@ -1013,6 +1153,7 @@ impl ReplanController for BreakerSpliceController<'_> {
                 member: failed.name.clone(),
                 transition: "opened",
             });
+            fed.plancache_invalidate("breaker opened");
         }
         fed.obs.metrics.inc(names::FEDERATION_EXEC_FAILED);
         fed.tap(names::MEMBER_ERRORS_PREFIX, &failed.name);
@@ -1145,6 +1286,37 @@ mod tests {
         // color_only cannot answer a price query.
         let co = fp.considered.iter().find(|(n, _)| n == "color_only").unwrap();
         assert!(co.1.is_err());
+    }
+
+    #[test]
+    fn prepare_hits_on_repeat_shapes_and_breaker_transitions_invalidate() {
+        let f = mirrors().with_plan_cache(Arc::new(PlanCache::new()));
+        let q1 = TargetQuery::parse("make = \"BMW\" ^ price < 40000", &["model", "year"]).unwrap();
+        let q2 = TargetQuery::parse("make = \"Audi\" ^ price < 25000", &["model", "year"]).unwrap();
+        let cold = f.prepare(&q1).unwrap();
+        assert_eq!(cold.decision, CacheDecision::Miss);
+        assert_eq!(f.members()[cold.member].name, "car_dealer");
+        assert_eq!(cold.considered.len(), 3, "miss runs the full fan-out");
+        let warm = f.prepare(&q2).unwrap();
+        assert_eq!(warm.decision, CacheDecision::Hit);
+        assert_eq!(warm.member, cold.member);
+        assert!(warm.considered.is_empty(), "hit skips the fan-out");
+        // The rebound plan equals what cold planning would have produced.
+        assert_eq!(warm.planned.plan, f.plan(&q2).unwrap().planned.plan);
+        // A breaker transition wipes the cache: the next prepare is cold.
+        f.plancache_invalidate("test");
+        assert_eq!(f.prepare(&q2).unwrap().decision, CacheDecision::Miss);
+        let stats = f.plan_cache().unwrap().stats();
+        assert_eq!((stats.hits, stats.invalidations), (1, 1));
+    }
+
+    #[test]
+    fn prepare_without_a_cache_bypasses() {
+        let f = mirrors();
+        let q = TargetQuery::parse("color = \"red\"", &["make", "model"]).unwrap();
+        let p = f.prepare(&q).unwrap();
+        assert_eq!(p.decision, CacheDecision::Bypass);
+        assert_eq!(f.members()[p.member].name, "color_only");
     }
 
     #[test]

@@ -50,13 +50,14 @@ pub mod maxeval;
 pub mod mcsc;
 pub mod mediator;
 pub mod par;
+pub mod plancache;
 pub mod types;
 
 pub use calibrate::{CalibratedCard, CalibratingCostModel};
 pub use capindex::{CapabilityIndex, IndexDecision};
 pub use federation::{
     BreakerHealth, CircuitBreakerConfig, FailoverTrace, FederatedAdaptiveRun, FederatedPlan,
-    FederatedRun, Federation, MemberEvent,
+    FederatedRun, Federation, MemberEvent, PreparedFederated,
 };
 pub use gencompact::{plan_compact, plan_compact_recorded, GenCompactConfig};
 pub use genmodular::{plan_modular, plan_modular_recorded, GenModularConfig};
@@ -66,4 +67,5 @@ pub use mediator::{
     AdaptiveConfig, AdaptiveOutcome, AnalyzedStreamOutcome, CardKind, Mediator, ResilientOutcome,
     RunOutcome, Scheme, StreamedOutcome,
 };
+pub use plancache::{CacheDecision, CacheStats, PlanCache};
 pub use types::{PlanError, PlannedQuery, PlannerReport, RankedPlan, TargetQuery};

@@ -11,6 +11,7 @@ use crate::baselines::{
 use crate::calibrate::{CalibratedCard, CalibratingCostModel};
 use crate::gencompact::{plan_compact_traced, GenCompactConfig};
 use crate::genmodular::{plan_modular_traced, GenModularConfig};
+use crate::plancache::PlanCache;
 use crate::types::{PlanError, PlannedQuery, TargetQuery};
 use csqp_obs::{
     names, CardRow, FlightRecorder, LatencyKey, Obs, PlanEvent, QueryFlight, QueryProfile,
@@ -444,6 +445,7 @@ pub struct Mediator {
     calibration: Option<Arc<CalibratingCostModel>>,
     obs: Arc<Obs>,
     flight: Arc<FlightRecorder>,
+    plan_cache: Option<Arc<PlanCache>>,
 }
 
 impl fmt::Debug for Mediator {
@@ -472,6 +474,7 @@ impl Mediator {
             // Disarmed by default: the planning hot path stays
             // provenance-free until a caller explicitly arms a recorder.
             flight: Arc::new(FlightRecorder::off()),
+            plan_cache: None,
         }
     }
 
@@ -545,6 +548,16 @@ impl Mediator {
     /// The installed calibration layer, if any.
     pub fn calibration(&self) -> Option<&Arc<CalibratingCostModel>> {
         self.calibration.as_ref()
+    }
+
+    /// Ties a shared [`PlanCache`] to this mediator's calibration layer:
+    /// when an observed run *changes* the fitted `(k1, k2)` — i.e. the cost
+    /// model the cached plans were ranked under is no longer the cost model
+    /// in force — every prepared plan is invalidated. Install the same
+    /// cache handle on the [`crate::Federation`] that serves lookups.
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
     }
 
     /// Selects the planning scheme.
@@ -856,6 +869,19 @@ impl Mediator {
         sink: &mut dyn FnMut(TupleBatch) -> bool,
     ) -> Result<StreamedOutcome, MediatorError> {
         let planned = self.plan(query)?;
+        self.run_streamed_each_planned(planned, cfg, sink)
+    }
+
+    /// [`Mediator::run_streamed_each`] with planning already done — the
+    /// executor for prepared plans served out of a
+    /// [`PlanCache`]: the rebound plan goes straight to
+    /// the streaming engine without touching the planner.
+    pub fn run_streamed_each_planned(
+        &self,
+        planned: PlannedQuery,
+        cfg: &StreamConfig,
+        sink: &mut dyn FnMut(TupleBatch) -> bool,
+    ) -> Result<StreamedOutcome, MediatorError> {
         let span = self.obs.tracer.span("execute (streamed)");
         let before = self.source.meter();
         let mut emitted = 0u64;
@@ -1043,10 +1069,26 @@ impl Mediator {
     /// calibration layer, when one is installed.
     fn record_calibration(&self, meter: &Meter, measured_cost: f64) {
         if let Some(cal) = &self.calibration {
+            let before = cal.fitted();
             cal.observe_run(meter.queries, meter.tuples_shipped, measured_cost);
+            let after = cal.fitted();
             self.obs.tracer.event_with(|| {
-                format!("calibration: {} run(s) observed, fitted {:?}", cal.samples(), cal.fitted())
+                format!("calibration: {} run(s) observed, fitted {after:?}", cal.samples())
             });
+            // A refit means cached plans were ranked under a cost model
+            // that is no longer in force: drop them.
+            if before != after {
+                if let Some(cache) = &self.plan_cache {
+                    let dropped = cache.invalidate_all();
+                    self.obs.metrics.inc(names::PLANCACHE_INVALIDATIONS);
+                    self.obs.tracer.event_with(|| {
+                        format!(
+                            "plan cache invalidated (cost-model refit {before:?} -> {after:?}): \
+                             {dropped} entries dropped"
+                        )
+                    });
+                }
+            }
         }
     }
 
@@ -1124,6 +1166,20 @@ impl Mediator {
         sink: &mut dyn FnMut(TupleBatch) -> bool,
     ) -> Result<AdaptiveOutcome, MediatorError> {
         let planned = self.plan(query)?;
+        self.run_adaptive_each_planned(query, planned, cfg, sink)
+    }
+
+    /// [`Mediator::run_adaptive_each`] with planning already done — the
+    /// executor for prepared plans served out of a
+    /// [`PlanCache`]. `query` is still needed: the drift
+    /// controller re-plans the *residual* condition when a splice fires.
+    pub fn run_adaptive_each_planned(
+        &self,
+        query: &TargetQuery,
+        planned: PlannedQuery,
+        cfg: &AdaptiveConfig,
+        sink: &mut dyn FnMut(TupleBatch) -> bool,
+    ) -> Result<AdaptiveOutcome, MediatorError> {
         let span = self.obs.tracer.span("execute (adaptive)");
         let before = self.source.meter();
         let mut resilience = ResilienceMeter::default();

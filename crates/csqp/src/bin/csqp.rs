@@ -62,6 +62,10 @@ struct Args {
     window_queries: u64,
     slo_latency_ms: u64,
     slo_error_budget: f64,
+    workers: usize,
+    max_inflight: u64,
+    tenant_rate: f64,
+    tenant_burst: f64,
 }
 
 const USAGE: &str = "\
@@ -73,7 +77,8 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
             [--addr <host:port>] [--scheme <name>] [--slow-ms <n>]
             [--k1 <f64>] [--k2 <f64>] [--no-adaptive] [--journal <path>]
             [--window-queries <n>] [--slo-latency-ms <n>]
-            [--slo-error-budget <f64>]
+            [--slo-error-budget <f64>] [--workers <n>] [--max-inflight <n>]
+            [--tenant-rate <qps>] [--tenant-burst <n>]
        csqp audit <journal> [<journal2>] [--diff]
        csqp --chaos <seed> [--trace] [--metrics json|prom]
 
@@ -113,13 +118,25 @@ usage: csqp --ssdl <file> --csv <file> --query <condition> --attrs <a,b,c>
   --slo-latency-ms / --slo-error-budget   serve mode: the latency objective
              and breach budget behind the /status burn-rate gauges
              (default 100 ms / 0.01)
+  --workers  serve mode: worker threads serving connections (default 4);
+             the accept loop feeds them through a bounded queue
+  --max-inflight     serve mode: global concurrent-query ceiling — queries
+             beyond it shed with a fast 429 before planning (default 64;
+             0 disables)
+  --tenant-rate / --tenant-burst   serve mode: per-tenant token-bucket
+             admission (queries/sec refill + burst capacity; rate 0
+             disables quotas). Tenants identify via the `tenant=` query
+             param or the `X-Tenant` header; anonymous traffic pools
+             under `anon`
 
-serve mode keeps the mediator warm behind a tiny HTTP/1.0 listener with
-/healthz, /metrics (Prometheus; `?exemplars=1` adds query-id exemplars),
-/query, /flightrecorder (EXPLAIN WHY), /slowlog, /profile (worst retained
-query profiles), /profile/<id>, /spans, /status (health scoreboard;
-`?format=json`), /timeseries?metric=<name>[&windows=<n>], and /shutdown;
-see docs/OBSERVABILITY.md.
+serve mode keeps the federation warm behind a tiny keep-alive HTTP
+listener (worker-pool accept loop, per-tenant admission, a federation-wide
+prepared-plan cache) with /healthz, /metrics (Prometheus; `?exemplars=1`
+adds query-id exemplars), /query, /flightrecorder (EXPLAIN WHY), /slowlog,
+/profile (worst retained query profiles), /profile/<id>, /spans, /status
+(health scoreboard; `?format=json`),
+/timeseries?metric=<name>[&windows=<n>], and /shutdown (drains in-flight
+connections); see docs/SERVING.md and docs/OBSERVABILITY.md.
 
 `csqp audit` summarizes a serve-mode journal; with two journals and --diff
 it reports the latency shift, error-rate shift, and plan-scheme churn by
@@ -150,6 +167,10 @@ fn parse_args() -> Result<Args, String> {
         window_queries: 4,
         slo_latency_ms: 100,
         slo_error_budget: 0.01,
+        workers: 4,
+        max_inflight: 64,
+        tenant_rate: 0.0,
+        tenant_burst: 8.0,
     };
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("serve") {
@@ -233,6 +254,21 @@ fn parse_args() -> Result<Args, String> {
             "--slo-error-budget" => {
                 args.slo_error_budget =
                     value(&mut i)?.parse().map_err(|e| format!("--slo-error-budget: {e}"))?
+            }
+            "--workers" => {
+                args.workers = value(&mut i)?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--max-inflight" => {
+                args.max_inflight =
+                    value(&mut i)?.parse().map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--tenant-rate" => {
+                args.tenant_rate =
+                    value(&mut i)?.parse().map_err(|e| format!("--tenant-rate: {e}"))?
+            }
+            "--tenant-burst" => {
+                args.tenant_burst =
+                    value(&mut i)?.parse().map_err(|e| format!("--tenant-burst: {e}"))?
             }
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
@@ -481,9 +517,13 @@ fn main() -> ExitCode {
             window_queries: args.window_queries,
             slo_latency_ms: args.slo_latency_ms,
             slo_error_budget: args.slo_error_budget,
+            workers: args.workers,
+            max_inflight: args.max_inflight,
+            tenant_rate: args.tenant_rate,
+            tenant_burst: args.tenant_burst,
             ..Default::default()
         };
-        return match Server::bind_federation(sources, cfg).and_then(|mut s| s.run()) {
+        return match Server::bind_federation(sources, cfg).and_then(|s| s.run()) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("error: serve: {e}");

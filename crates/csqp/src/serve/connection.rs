@@ -1,61 +1,114 @@
-//! Per-connection protocol handling: one accepted TCP stream is either an
-//! HTTP request (routed or streamed) or a bare line-protocol command.
+//! Per-connection protocol handling: one accepted TCP stream carries HTTP
+//! requests (routed or streamed) or bare line-protocol commands.
+//!
+//! Connections are **persistent**: framed HTTP responses answer with
+//! `Connection: keep-alive` (HTTP/1.1 default semantics; HTTP/1.0 clients
+//! must opt in) and the handler loops for the next request, and the line
+//! protocol answers every line until the client closes — so a client can
+//! pipeline requests without reconnecting. `/query` responses stream
+//! unframed (read-until-close) and therefore always close the connection,
+//! exactly as before.
 
+use super::admission::sanitize_tenant;
 use super::http::{http_request_target, percent_decode, query_param};
+use super::state::QueryError;
 use super::Server;
 use csqp_obs::names;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
+/// Reads one line, mapping EOF and an idle read timeout to `None` — both
+/// just mean "the client is done with this connection".
+fn next_line(reader: &mut BufReader<TcpStream>, buf: &mut String) -> io::Result<Option<()>> {
+    buf.clear();
+    match reader.read_line(buf) {
+        Ok(0) => Ok(None),
+        Ok(_) => Ok(Some(())),
+        Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
 impl Server {
-    /// Serves one connection; `Ok(true)` means shutdown was requested.
-    pub(super) fn handle(&mut self, mut stream: TcpStream) -> io::Result<bool> {
+    /// Serves one connection to completion; `Ok(true)` means shutdown was
+    /// requested.
+    pub(super) fn handle(&self, mut stream: TcpStream) -> io::Result<bool> {
         stream.set_read_timeout(Some(Duration::from_secs(5)))?;
         stream.set_write_timeout(Some(Duration::from_secs(5)))?;
         let mut reader = BufReader::new(stream.try_clone()?);
-        let mut first = String::new();
-        reader.read_line(&mut first)?;
-        let first = first.trim_end();
-        self.obs.metrics.inc(names::SERVE_REQUESTS);
-        if let Some(target) = http_request_target(first) {
-            let target = target.to_string();
-            // Drain (and ignore) the request headers.
-            let mut line = String::new();
-            loop {
-                line.clear();
-                if reader.read_line(&mut line)? == 0 || line.trim_end().is_empty() {
-                    break;
-                }
-            }
-            let (path, query_string) = match target.split_once('?') {
-                Some((p, q)) => (p, q.to_string()),
-                None => (target.as_str(), String::new()),
-            };
-            if path == "/query" {
-                // Streamed response: rows leave as batches arrive, so the
-                // generic buffered write below does not apply.
-                self.handle_query_http(&mut stream, &query_string)?;
+        let mut line = String::new();
+        loop {
+            if next_line(&mut reader, &mut line)?.is_none() {
                 return Ok(false);
             }
-            let (status, ctype, body, shutdown) = self.route(&target);
-            write!(
-                stream,
-                "HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n\
-                 Connection: close\r\n\r\n",
-                body.len()
-            )?;
-            stream.write_all(body.as_bytes())?;
-            Ok(shutdown)
-        } else {
-            let reply = self.handle_line(first);
-            stream.write_all(reply.as_bytes())?;
-            Ok(false)
+            let first = line.trim_end().to_string();
+            if first.is_empty() {
+                // Stray blank line between pipelined requests: tolerate.
+                continue;
+            }
+            self.obs.metrics.inc(names::SERVE_REQUESTS);
+            if let Some(target) = http_request_target(&first) {
+                let target = target.to_string();
+                // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; a
+                // `Connection` header overrides either way.
+                let mut keep_alive = first.ends_with("HTTP/1.1");
+                // Drain the request headers, keeping the two we understand.
+                let mut tenant_header: Option<String> = None;
+                let mut hdr = String::new();
+                loop {
+                    if next_line(&mut reader, &mut hdr)?.is_none() || hdr.trim_end().is_empty() {
+                        break;
+                    }
+                    if let Some((name, value)) = hdr.trim_end().split_once(':') {
+                        let value = value.trim();
+                        if name.eq_ignore_ascii_case("x-tenant") {
+                            tenant_header = Some(value.to_string());
+                        } else if name.eq_ignore_ascii_case("connection") {
+                            keep_alive = value.eq_ignore_ascii_case("keep-alive");
+                        }
+                    }
+                }
+                let (path, query_string) = match target.split_once('?') {
+                    Some((p, q)) => (p, q.to_string()),
+                    None => (target.as_str(), String::new()),
+                };
+                if path == "/query" {
+                    // Streamed response: rows leave as batches arrive, with
+                    // no Content-Length — the connection must close to
+                    // frame the body.
+                    self.handle_query_http(&mut stream, &query_string, tenant_header)?;
+                    return Ok(false);
+                }
+                let (status, ctype, body, shutdown) = self.route(&target);
+                let keep = keep_alive && !shutdown;
+                write!(
+                    stream,
+                    "HTTP/1.1 {status}\r\nContent-Type: {ctype}\r\nContent-Length: {}\r\n\
+                     Connection: {}\r\n\r\n",
+                    body.len(),
+                    if keep { "keep-alive" } else { "close" }
+                )?;
+                stream.write_all(body.as_bytes())?;
+                if shutdown {
+                    return Ok(true);
+                }
+                if !keep {
+                    return Ok(false);
+                }
+            } else {
+                // Line protocol: answer and keep reading — a client can
+                // pipeline `ping` / `query …` lines on one connection.
+                let reply = self.handle_line(&first);
+                stream.write_all(reply.as_bytes())?;
+            }
         }
     }
 
     /// The line protocol: `ping`, `why`, or `query <attrs,csv> <condition>`.
-    fn handle_line(&mut self, line: &str) -> String {
+    fn handle_line(&self, line: &str) -> String {
         let line = line.trim();
         if line == "ping" {
             return "pong\n".to_string();
@@ -68,13 +121,14 @@ impl Server {
                 return "ERR usage: query <attrs,csv> <condition>\n".to_string();
             };
             let attrs: Vec<String> = attrs.split(',').map(|s| s.trim().to_string()).collect();
+            let tenant = sanitize_tenant(None);
             let mut body = String::new();
-            return match self.serve_query_streamed(cond, &attrs, None, &mut |chunk| {
+            return match self.serve_query_streamed(cond, &attrs, None, &tenant, &mut |chunk| {
                 body.push_str(chunk);
                 true
             }) {
                 Ok(trailer) => format!("OK\n{body}{trailer}"),
-                Err(msg) => format!("ERR {msg}"),
+                Err(e) => format!("ERR {}", e.body),
             };
         }
         self.obs.metrics.inc(names::SERVE_ERRORS);
@@ -82,29 +136,45 @@ impl Server {
     }
 
     /// Serves `/query` with an incremental response: the 200 header goes
-    /// out with the first row batch (no `Content-Length` — HTTP/1.0
+    /// out with the first row batch (no `Content-Length` —
     /// read-until-close framing) and the summary is a trailer line. Errors
-    /// before the first byte still get a proper `400`; a failure mid-stream
-    /// is appended as an `ERR` line (the status is already on the wire).
-    fn handle_query_http(&mut self, stream: &mut TcpStream, query_string: &str) -> io::Result<()> {
+    /// before the first byte still get a proper status (`400`, or `429`
+    /// when admission shed the query); a failure mid-stream is appended as
+    /// an `ERR` line (the status is already on the wire).
+    fn handle_query_http(
+        &self,
+        stream: &mut TcpStream,
+        query_string: &str,
+        tenant_header: Option<String>,
+    ) -> io::Result<()> {
         const TEXT: &str = "text/plain; charset=utf-8";
-        let respond_400 = |stream: &mut TcpStream, body: &str| {
+        let respond_err = |stream: &mut TcpStream, status: &str, body: &str| {
             write!(
                 stream,
-                "HTTP/1.0 400 Bad Request\r\nContent-Type: {TEXT}\r\nContent-Length: {}\r\n\
+                "HTTP/1.1 {status}\r\nContent-Type: {TEXT}\r\nContent-Length: {}\r\n\
                  Connection: close\r\n\r\n{body}",
                 body.len()
             )
         };
+        // The tenant rides in on the `tenant=` query param (which wins) or
+        // the `X-Tenant` header; anonymous traffic pools under `anon`.
+        let tenant = sanitize_tenant(
+            query_param(query_string, "tenant")
+                .map(|v| percent_decode(&v))
+                .or(tenant_header)
+                .as_deref(),
+        );
         let cond = query_param(query_string, "cond").map(|v| percent_decode(&v));
         let attrs = query_param(query_string, "attrs").map(|v| percent_decode(&v));
         let (cond, attrs) = match (cond, attrs) {
             (Some(c), Some(a)) => (c, a),
             _ => {
                 self.obs.metrics.inc(names::SERVE_ERRORS);
-                return respond_400(
+                return respond_err(
                     stream,
-                    "usage: /query?cond=<urlencoded condition>&attrs=<a,b,c>[&limit=<n>]\n",
+                    "400 Bad Request",
+                    "usage: /query?cond=<urlencoded condition>&attrs=<a,b,c>[&limit=<n>]\
+                     [&tenant=<id>]\n",
                 );
             }
         };
@@ -114,7 +184,11 @@ impl Server {
                 Ok(n) => Some(n),
                 Err(_) => {
                     self.obs.metrics.inc(names::SERVE_ERRORS);
-                    return respond_400(stream, "limit must be a non-negative integer\n");
+                    return respond_err(
+                        stream,
+                        "400 Bad Request",
+                        "limit must be a non-negative integer\n",
+                    );
                 }
             },
         };
@@ -126,7 +200,7 @@ impl Server {
                 if !wrote_header {
                     if let Err(e) = write!(
                         stream,
-                        "HTTP/1.0 200 OK\r\nContent-Type: {TEXT}\r\nConnection: close\r\n\r\n"
+                        "HTTP/1.1 200 OK\r\nContent-Type: {TEXT}\r\nConnection: close\r\n\r\n"
                     ) {
                         io_err = Some(e);
                         return false;
@@ -141,7 +215,7 @@ impl Server {
                     }
                 }
             };
-            self.serve_query_streamed(&cond, &attrs, limit, sink)
+            self.serve_query_streamed(&cond, &attrs, limit, &tenant, sink)
         };
         if let Some(e) = io_err {
             return Err(e);
@@ -153,16 +227,16 @@ impl Server {
                     // the whole body.
                     write!(
                         stream,
-                        "HTTP/1.0 200 OK\r\nContent-Type: {TEXT}\r\nConnection: close\r\n\r\n"
+                        "HTTP/1.1 200 OK\r\nContent-Type: {TEXT}\r\nConnection: close\r\n\r\n"
                     )?;
                 }
                 stream.write_all(trailer.as_bytes())
             }
-            Err(msg) => {
+            Err(QueryError { status, body }) => {
                 if wrote_header {
-                    write!(stream, "ERR {msg}")
+                    write!(stream, "ERR {body}")
                 } else {
-                    respond_400(stream, &msg)
+                    respond_err(stream, status, &body)
                 }
             }
         }

@@ -1,28 +1,45 @@
 //! `csqp serve` — a long-running federation behind a tiny TCP server.
 //!
 //! Keeps one warm [`Federation`] (compiled capability index, armed flight
-//! recorder, and a warm per-member [`Mediator`]) behind a hand-rolled
-//! HTTP/1.0 listener built only on `std::net` — no runtime, no
-//! dependencies. Endpoints:
+//! recorder, a federation-wide prepared-plan cache, and a warm per-member
+//! [`Mediator`]) behind a hand-rolled HTTP/1.x listener built only on
+//! `std::net` — no runtime, no dependencies. Endpoints:
 //!
 //! | endpoint | answers |
 //! |----------|---------|
 //! | `GET /healthz` | `ok` |
 //! | `GET /metrics` | Prometheus text exposition of the metrics registry |
-//! | `GET /query?cond=<urlenc>&attrs=<a,b>[&limit=<n>]` | plans + streams rows incrementally, summary trailer last |
+//! | `GET /query?cond=<urlenc>&attrs=<a,b>[&limit=<n>][&tenant=<id>]` | plans + streams rows incrementally, summary trailer last |
 //! | `GET /flightrecorder` | index of recorded query flights |
 //! | `GET /flightrecorder?query=<id>` | `EXPLAIN WHY` replay of flight `id` |
 //! | `GET /slowlog` | recent slow queries with their decision trails |
 //! | `GET /profile` | index of the worst-N retained query profiles |
 //! | `GET /profile/<id>` | full [`QueryProfile`] JSON for flight `id` |
 //! | `GET /spans` | the tracer's hierarchical span tree, rendered |
-//! | `GET /shutdown` | stops the accept loop |
+//! | `GET /shutdown` | drains and stops the accept loop |
 //!
 //! A bare (non-HTTP) first line speaks the line protocol instead: `ping`,
 //! `why`, or `query <attrs,csv> <condition>`.
 //!
+//! ## The front door
+//!
+//! [`Server::run`] is a **worker pool**: the caller's thread accepts and a
+//! fixed set of scoped worker threads serve connections off a bounded
+//! queue, so one slow client never blocks the listener. Connections are
+//! **keep-alive** (HTTP/1.1 semantics, pipelined line-protocol commands),
+//! and every query passes **admission control** first — a global in-flight
+//! cap sheds overload and per-tenant token buckets (`tenant=` query param
+//! or `X-Tenant` header) shed quota breaches, both as fast `429`s that cost
+//! no planning. `/shutdown` *drains*: the listener stops accepting but
+//! queued and in-progress connections are served to completion.
+//!
+//! Served queries go through [`Federation::prepare`]: the prepared-plan
+//! cache keyed on parameterized condition fingerprints rebinds constants
+//! into a cached plan on a hit, skipping the planner fan-out entirely; the
+//! `/query` trailer and the query profile report the decision.
+//!
 //! `/query` responses are **incremental**: rows go out the socket as the
-//! streaming executor produces batches (no `Content-Length`; HTTP/1.0
+//! streaming executor produces batches (no `Content-Length`;
 //! read-until-close framing), and the `N rows (est cost …)` summary is a
 //! trailer line once the pipeline drains. `limit=` terminates the pipeline
 //! early after N rows — the source stops shipping, not just the client
@@ -34,18 +51,22 @@
 //! virtual-tick layer untouched.
 //!
 //! The implementation is a small module tree: [`self`] holds the
-//! configuration and the `Server` handle, `listener` the accept loop,
-//! `connection` the per-connection protocol state machine, `router` the
-//! non-query endpoints, and `state` the query path plus the telemetry
-//! stores every connection shares.
+//! configuration and the `Server` handle plus the worker-pool accept loop,
+//! `admission` the tenant quotas and the in-flight cap, `connection` the
+//! per-connection protocol state machine, `router` the non-query
+//! endpoints, and `state` the query path plus the telemetry stores every
+//! worker shares.
 
+mod admission;
 mod connection;
 mod http;
 mod router;
 mod state;
 
+use admission::Admission;
 use csqp_core::federation::Federation;
 use csqp_core::mediator::{Mediator, Scheme};
+use csqp_core::plancache::PlanCache;
 use csqp_obs::{
     timeseries::TimeSeries, FlightRecorder, JournalWriter, LatencyKey, Obs, ProfileRing,
     QueryProfile, SloConfig,
@@ -53,8 +74,9 @@ use csqp_obs::{
 use csqp_source::Source;
 use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener};
-use std::sync::Arc;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
 /// Configuration for [`Server::bind`].
@@ -93,6 +115,23 @@ pub struct ServeConfig {
     /// SLO error budget: the fraction of queries allowed to breach
     /// (latency or error) before the burn rate exceeds 1.0.
     pub slo_error_budget: f64,
+    /// Worker threads serving connections (minimum 1). The accept loop
+    /// runs on the calling thread and feeds a bounded queue.
+    pub workers: usize,
+    /// Global concurrent-query ceiling: queries beyond it shed with a fast
+    /// `429` before any planning. `0` disables overload shedding.
+    pub max_inflight: u64,
+    /// Per-tenant admission rate in queries per second (token-bucket
+    /// refill). `0.0` disables tenant quotas (the default, so single-user
+    /// serving needs no flags).
+    pub tenant_rate: f64,
+    /// Token-bucket burst capacity per tenant (how far a tenant may exceed
+    /// the rate momentarily).
+    pub tenant_burst: f64,
+    /// Prepared-plan cache capacity (distinct parameterized shapes kept).
+    /// `0` disables the cache: every query plans cold, as a
+    /// single-threaded pre-cache server would (the bench baseline).
+    pub plan_cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +149,11 @@ impl Default for ServeConfig {
             timeseries_capacity: 64,
             slo_latency_ms: 100,
             slo_error_budget: 0.01,
+            workers: 4,
+            max_inflight: 64,
+            tenant_rate: 0.0,
+            tenant_burst: 8.0,
+            plan_cache_capacity: 256,
         }
     }
 }
@@ -127,8 +171,12 @@ pub struct SlowQuery {
     pub why: String,
 }
 
-/// The serve-mode server: one warm federation (capability index + one warm
-/// mediator per member), one TCP listener.
+/// The serve-mode server: one warm federation (capability index, prepared-
+/// plan cache, one warm mediator per member), one TCP listener, N workers.
+///
+/// Everything mutable is behind its own lock or atomic so the worker pool
+/// shares one `&Server`; the locks are per-store (slow log, profile ring,
+/// time series, journal), never held across query execution.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
@@ -140,16 +188,24 @@ pub struct Server {
     obs: Arc<Obs>,
     flight: Arc<FlightRecorder>,
     cfg: ServeConfig,
-    slow_log: VecDeque<SlowQuery>,
+    /// The federation-wide prepared-plan cache (also installed on the
+    /// federation and every member mediator).
+    plan_cache: Arc<PlanCache>,
+    /// Tenant quotas + the global in-flight cap, consulted before parsing.
+    admission: Admission,
+    slow_log: Mutex<VecDeque<SlowQuery>>,
     /// Tail-sampling store: the worst-N served queries by latency, each
     /// with its full profile.
-    profiles: ProfileRing,
+    profiles: Mutex<ProfileRing>,
     /// Windowed registry deltas for `/status` and `/timeseries`.
-    timeseries: TimeSeries,
+    timeseries: Mutex<TimeSeries>,
     /// Optional on-disk audit journal (`--journal`).
-    journal: Option<JournalWriter>,
-    /// Completed queries since the last window roll.
-    queries_since_roll: u64,
+    journal: Mutex<Option<JournalWriter>>,
+    /// Completed queries since serve start (windows roll on multiples of
+    /// `window_queries`).
+    queries_done: AtomicU64,
+    /// Set by `/shutdown`; the accept loop stops, workers drain.
+    shutdown: AtomicBool,
     /// The SLO objective `/status` burn rates are computed against.
     slo: SloConfig,
     /// Serve start, the zero point of window wall-clock stamps.
@@ -167,23 +223,36 @@ impl Server {
     /// query is routed through the compiled capability index and planned
     /// federation-wide (the index's prune counts land in the `capindex.*`
     /// metrics and the flight recorder), then streamed by the winning
-    /// member's warm mediator.
+    /// member's warm mediator. A shared prepared-plan cache sits in front
+    /// of the planner: repeat query *shapes* skip the fan-out entirely.
     pub fn bind_federation(members: Vec<Arc<Source>>, cfg: ServeConfig) -> io::Result<Server> {
         assert!(!members.is_empty(), "serve needs at least one source");
         let listener = TcpListener::bind(&cfg.addr)?;
         let obs = Arc::new(Obs::new());
         let flight = Arc::new(FlightRecorder::new());
-        let federation = members
+        let plan_cache = Arc::new(PlanCache::with_capacity(cfg.plan_cache_capacity.max(1)));
+        let caching = cfg.plan_cache_capacity > 0;
+        let mut federation = members
             .iter()
             .fold(Federation::new(), |f, m| f.with_member(m.clone()))
             .with_obs(obs.clone())
             .with_flight_recorder(flight.clone());
+        if caching {
+            federation = federation.with_plan_cache(plan_cache.clone());
+        }
         let mediators = members
             .iter()
-            .map(|m| Mediator::new(m.clone()).with_scheme(cfg.scheme).with_obs(obs.clone()))
+            .map(|m| {
+                let m = Mediator::new(m.clone()).with_scheme(cfg.scheme).with_obs(obs.clone());
+                if caching {
+                    m.with_plan_cache(plan_cache.clone())
+                } else {
+                    m
+                }
+            })
             .collect();
-        let profiles = ProfileRing::new(cfg.profile_ring_capacity);
-        let timeseries = TimeSeries::new(cfg.timeseries_capacity);
+        let profiles = Mutex::new(ProfileRing::new(cfg.profile_ring_capacity));
+        let timeseries = Mutex::new(TimeSeries::new(cfg.timeseries_capacity));
         let journal = match &cfg.journal_path {
             Some(path) => {
                 Some(JournalWriter::open(path, cfg.journal_max_bytes).map_err(io::Error::other)?)
@@ -194,6 +263,7 @@ impl Server {
             latency_objective_us: cfg.slo_latency_ms.saturating_mul(1000),
             error_budget: cfg.slo_error_budget,
         };
+        let admission = Admission::new(cfg.max_inflight, cfg.tenant_rate, cfg.tenant_burst);
         Ok(Server {
             listener,
             federation,
@@ -201,11 +271,14 @@ impl Server {
             obs,
             flight,
             cfg,
-            slow_log: VecDeque::new(),
+            plan_cache,
+            admission,
+            slow_log: Mutex::new(VecDeque::new()),
             profiles,
             timeseries,
-            journal,
-            queries_since_roll: 0,
+            journal: Mutex::new(journal),
+            queries_done: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
             slo,
             started: Instant::now(),
         })
@@ -227,45 +300,102 @@ impl Server {
         &self.federation
     }
 
-    /// The slow-query log, oldest first.
-    pub fn slow_log(&self) -> impl Iterator<Item = &SlowQuery> {
-        self.slow_log.iter()
+    /// The prepared-plan cache in front of the federation planner.
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
     }
 
-    /// Accept loop: serves connections until `/shutdown` (or a fatal
-    /// listener error). Prints the listening address on entry so scripts
-    /// can scrape the ephemeral port.
-    pub fn run(&mut self) -> io::Result<()> {
+    /// A snapshot of the slow-query log, oldest first.
+    pub fn slow_log(&self) -> Vec<SlowQuery> {
+        self.slow_log.lock().expect("slow log lock").iter().cloned().collect()
+    }
+
+    /// Accept loop with a worker pool: the calling thread accepts and N
+    /// scoped workers serve connections off a bounded queue, until
+    /// `/shutdown` (or a fatal listener error). On shutdown the listener
+    /// stops accepting but every queued and in-progress connection is
+    /// served to completion (drain). Prints the listening address on entry
+    /// so scripts can scrape the ephemeral port.
+    pub fn run(&self) -> io::Result<()> {
         println!("csqp serve: listening on {}", self.local_addr()?);
-        loop {
-            let stream = match self.listener.accept() {
-                Ok((s, _)) => s,
-                Err(e) => {
-                    self.obs.metrics.inc(csqp_obs::names::SERVE_ERRORS);
-                    eprintln!("csqp serve: accept failed: {e}");
-                    continue;
+        let workers = self.cfg.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
+        let rx = Mutex::new(rx);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // Hold the queue lock only for the dequeue, never while
+                    // serving: workers drain the queue independently.
+                    let next = rx.lock().expect("worker queue lock").recv();
+                    let Ok(stream) = next else { break };
+                    match self.handle(stream) {
+                        Ok(true) => self.begin_shutdown(),
+                        Ok(false) => {}
+                        Err(e) => {
+                            // A misbehaving client must not take a worker
+                            // (let alone the server) down.
+                            self.obs.metrics.inc(csqp_obs::names::SERVE_ERRORS);
+                            eprintln!("csqp serve: connection error: {e}");
+                        }
+                    }
+                });
+            }
+            loop {
+                if self.shutdown.load(Ordering::Acquire) {
+                    break;
                 }
-            };
-            match self.handle(stream) {
-                Ok(true) => return Ok(()),
-                Ok(false) => {}
-                Err(e) => {
-                    // A misbehaving client must not take the server down.
-                    self.obs.metrics.inc(csqp_obs::names::SERVE_ERRORS);
-                    eprintln!("csqp serve: connection error: {e}");
+                let stream = match self.listener.accept() {
+                    Ok((s, _)) => s,
+                    Err(e) => {
+                        if self.shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        self.obs.metrics.inc(csqp_obs::names::SERVE_ERRORS);
+                        eprintln!("csqp serve: accept failed: {e}");
+                        continue;
+                    }
+                };
+                if self.shutdown.load(Ordering::Acquire) {
+                    // The self-connect wake (or a straggler): drop it —
+                    // nothing was promised to this connection yet.
+                    break;
+                }
+                if tx.send(stream).is_err() {
+                    break;
                 }
             }
+            // Closing the channel is the drain signal: workers finish the
+            // queued connections, then their `recv` errors and they exit.
+            drop(tx);
+        });
+        Ok(())
+    }
+
+    /// Flips the shutdown flag and wakes the (possibly blocked) acceptor
+    /// with a throwaway self-connection. Idempotent.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        if let Ok(addr) = self.local_addr() {
+            let _ = TcpStream::connect(addr);
         }
     }
 
     /// A retained profile by flight id, worst-first on ties.
-    fn profile(&self, id: u64) -> Option<&QueryProfile> {
-        self.profiles.worst().iter().find(|p| p.id == id)
+    fn profile(&self, id: u64) -> Option<QueryProfile> {
+        self.profiles
+            .lock()
+            .expect("profile ring lock")
+            .worst()
+            .iter()
+            .find(|p| p.id == id)
+            .cloned()
     }
 
-    /// The worst-N retained profiles, worst first.
-    pub fn profiles(&self) -> &[QueryProfile] {
-        self.profiles.worst()
+    /// A snapshot of the worst-N retained profiles, worst first.
+    pub fn profiles(&self) -> Vec<QueryProfile> {
+        self.profiles.lock().expect("profile ring lock").worst().to_vec()
     }
 }
 

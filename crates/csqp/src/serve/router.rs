@@ -9,7 +9,7 @@ use std::fmt::Write as _;
 impl Server {
     /// Routes one HTTP request target to a `(status, content-type, body,
     /// shutdown)` response.
-    pub(super) fn route(&mut self, target: &str) -> (&'static str, &'static str, String, bool) {
+    pub(super) fn route(&self, target: &str) -> (&'static str, &'static str, String, bool) {
         const TEXT: &str = "text/plain; charset=utf-8";
         const PROM: &str = "text/plain; version=0.0.4; charset=utf-8";
         let (path, query_string) = match target.split_once('?') {
@@ -52,7 +52,12 @@ impl Server {
                     let windows = query_param(query_string, "windows")
                         .and_then(|v| v.parse::<usize>().ok())
                         .unwrap_or(usize::MAX);
-                    ("200 OK", JSON, self.timeseries.render_json(&metric, windows), false)
+                    let body = self
+                        .timeseries
+                        .lock()
+                        .expect("timeseries lock")
+                        .render_json(&metric, windows);
+                    ("200 OK", JSON, body, false)
                 }
                 None => {
                     self.obs.metrics.inc(names::SERVE_ERRORS);
@@ -83,10 +88,14 @@ impl Server {
     /// Renders the `/status` scoreboard: every retained window plus the
     /// still-open live delta folded into one signal window, scored per
     /// member against the live breaker state.
-    pub(super) fn render_status(&mut self, json: bool) -> (&'static str, String) {
+    pub(super) fn render_status(&self, json: bool) -> (&'static str, String) {
         let now = self.federation.metrics_snapshot();
-        let mut window = self.timeseries.folded(usize::MAX);
-        window.merge(&self.timeseries.live_delta(&now));
+        let (window, windows, dropped) = {
+            let timeseries = self.timeseries.lock().expect("timeseries lock");
+            let mut window = timeseries.folded(usize::MAX);
+            window.merge(&timeseries.live_delta(&now));
+            (window, timeseries.len(), timeseries.dropped())
+        };
         let breaker_states = self.federation.breaker_states();
         let mut reports: Vec<health::HealthReport> = breaker_states
             .iter()
@@ -107,9 +116,10 @@ impl Server {
         let latency_burn = self.slo.burn_rate(window.counter(names::SLO_LATENCY_BREACHES), queries);
         // Publish the scoreboard back into the registry so `/metrics`
         // scrapers see the same numbers the page shows.
+        self.obs.metrics.gauge_set(names::ADMISSION_INFLIGHT, self.admission.inflight() as f64);
         self.obs.metrics.gauge_set(names::SLO_ERROR_BURN, error_burn);
         self.obs.metrics.gauge_set(names::SLO_LATENCY_BURN, latency_burn);
-        self.obs.metrics.gauge_set(names::TIMESERIES_WINDOWS, self.timeseries.len() as f64);
+        self.obs.metrics.gauge_set(names::TIMESERIES_WINDOWS, windows as f64);
         if self.obs.enabled() {
             for report in &reports {
                 self.obs.metrics.gauge_set(
@@ -123,8 +133,8 @@ impl Server {
             error_burn,
             latency_burn,
             queries,
-            windows: self.timeseries.len(),
-            dropped: self.timeseries.dropped(),
+            windows,
+            dropped,
         };
         if json {
             ("application/json; charset=utf-8", health::render_status_json(&summary, &reports))
@@ -148,11 +158,12 @@ impl Server {
     }
 
     pub(super) fn render_slow_log(&self) -> String {
-        if self.slow_log.is_empty() {
+        let slow_log = self.slow_log.lock().expect("slow log lock");
+        if slow_log.is_empty() {
             return format!("no queries slower than {} ms\n", self.cfg.slow_ms);
         }
         let mut out = String::new();
-        for (i, s) in self.slow_log.iter().enumerate() {
+        for (i, s) in slow_log.iter().enumerate() {
             let _ = writeln!(
                 out,
                 "--- slow query {} ({:.3} ms, {} ticks): {}",
@@ -168,23 +179,25 @@ impl Server {
 
     /// The worst-N profile index: one line per retained profile.
     pub(super) fn profile_index(&self) -> String {
-        if self.profiles.is_empty() {
+        let profiles = self.profiles.lock().expect("profile ring lock");
+        if profiles.is_empty() {
             return "no profiles retained yet\n".to_string();
         }
         let mut out = String::from("worst retained profiles (worst first):\n");
-        for p in self.profiles.worst() {
+        for p in profiles.worst() {
             let (wall, ticks) = match p.latency {
                 Some(l) => (l.wall_us.unwrap_or(0), l.ticks),
                 None => (0, 0),
             };
             let _ = writeln!(
                 out,
-                "  #{} ({:.3} ms, {} ticks, {} rows, {} splices) {}",
+                "  #{} ({:.3} ms, {} ticks, {} rows, {} splices, plan cache {}) {}",
                 p.id,
                 wall as f64 / 1000.0,
                 ticks,
                 p.rows,
                 p.splices,
+                if p.plan_cache.is_empty() { "-" } else { &p.plan_cache },
                 p.query
             );
         }

@@ -1,7 +1,8 @@
-//! The query path plus the per-server telemetry stores every connection
-//! shares: streamed serving, SLO accounting, audit journaling, and the
-//! windowed time-series roll.
+//! The query path plus the per-server telemetry stores every worker
+//! shares: admission, prepared-plan serving, SLO accounting, audit
+//! journaling, and the windowed time-series roll.
 
+use super::admission::Admit;
 use super::{Server, SlowQuery};
 use csqp_core::mediator::{AdaptiveConfig, MediatorError};
 use csqp_core::types::TargetQuery;
@@ -9,26 +10,63 @@ use csqp_obs::{names, AuditRecord, LatencyKey, Obs, QueryProfile};
 use csqp_plan::exec_stream::StreamConfig;
 use csqp_ssdl::linearize::cond_fingerprint;
 use std::fmt::Write as _;
-use std::sync::Arc;
 use std::time::Instant;
 
+/// A failed query: the HTTP status it maps to plus the error body. The line
+/// protocol renders only the body (`ERR …`).
+#[derive(Debug)]
+pub(super) struct QueryError {
+    pub(super) status: &'static str,
+    pub(super) body: String,
+}
+
+impl QueryError {
+    fn bad_request(body: String) -> QueryError {
+        QueryError { status: "400 Bad Request", body }
+    }
+
+    fn shed(body: String) -> QueryError {
+        QueryError { status: "429 Too Many Requests", body }
+    }
+}
+
 impl Server {
-    /// Plans and streams one query on the warm mediator, feeding each row
-    /// batch to `sink` as rendered lines (return `false` to stop) and
-    /// recording the serve-mode wall-clock metrics and the slow-query log.
-    /// Returns the `N rows (est cost …)` summary trailer, or the error
-    /// body.
+    /// Admits, prepares and streams one query, feeding each row batch to
+    /// `sink` as rendered lines (return `false` to stop) and recording the
+    /// serve-mode wall-clock metrics and the slow-query log. Returns the
+    /// `N rows (est cost …)` summary trailer, or the error.
+    ///
+    /// The order is deliberate: admission control runs **first** — a shed
+    /// query costs a counter bump, not a parse or a planner fan-out — and
+    /// the prepared-plan cache probe (`Federation::prepare`) replaces the
+    /// plan-then-find-winner dance, so a cache hit skips planning entirely.
     pub(super) fn serve_query_streamed(
-        &mut self,
+        &self,
         cond: &str,
         attrs: &[String],
         limit: Option<u64>,
+        tenant: &str,
         sink: &mut dyn FnMut(&str) -> bool,
-    ) -> Result<String, String> {
+    ) -> Result<String, QueryError> {
+        // Admission: the guard holds this query's in-flight slot until the
+        // function exits, however it exits.
+        let _inflight = match self.admission.try_admit(tenant, &self.obs) {
+            Admit::Granted(guard) => guard,
+            Admit::ShedQuota => {
+                return Err(QueryError::shed(format!(
+                    "tenant {tenant} is over its query rate — retry later\n"
+                )));
+            }
+            Admit::ShedOverload => {
+                return Err(QueryError::shed(
+                    "server is at its concurrent-query limit — retry later\n".to_string(),
+                ));
+            }
+        };
         let attr_refs: Vec<&str> = attrs.iter().map(String::as_str).collect();
         let query = TargetQuery::parse(cond, &attr_refs).map_err(|e| {
             self.obs.metrics.inc(names::SERVE_ERRORS);
-            format!("query parse error: {e}\n")
+            QueryError::bad_request(format!("query parse error: {e}\n"))
         })?;
         let cfg = match limit {
             Some(n) => StreamConfig::default().with_limit(n),
@@ -36,26 +74,26 @@ impl Server {
         };
         let start = Instant::now();
         // Profile capture window: everything the shared registry, tracer
-        // and flight recorder see from here until the run finishes is this
-        // query's.
+        // and flight recorder see from here until the run finishes is
+        // attributed to this query (approximate under concurrent workers —
+        // the registry is shared; the per-query span tree and flight trail
+        // stay exact because they key on marks and flight ids).
         let metrics_before = self.obs.metrics.snapshot();
         let span_mark = self.obs.tracer.span_mark();
         let tick0 = self.obs.tracer.tick();
-        // Federated member selection first: the capability index prunes
-        // members that cannot possibly serve the shape, the survivors are
-        // planned, and the cheapest feasible member wins. The winner's warm
-        // mediator then streams the answer (its fingerprint-keyed check
-        // cache makes the replan cheap).
-        let fp = self.federation.plan(&query).map_err(|e| {
+        // Prepared-plan probe: a shape hit rebinds this query's constants
+        // into the cached winner plan and skips the planner fan-out; a miss
+        // plans federation-wide (capability index prunes, cheapest feasible
+        // member wins) and caches the winner under the parameterized
+        // fingerprint.
+        let prepared = self.federation.prepare(&query).map_err(|e| {
             self.obs.metrics.inc(names::SERVE_ERRORS);
-            format!("planning failed: {e}\n")
+            QueryError::bad_request(format!("planning failed: {e}\n"))
         })?;
-        let winner = self
-            .federation
-            .members()
-            .iter()
-            .position(|m| Arc::ptr_eq(m, &fp.source))
-            .expect("federation winner is a member");
+        let winner = prepared.member;
+        let cache_label = prepared.decision.label();
+        let flight_id = prepared.flight_id;
+        let member_name = self.federation.members()[winner].name.clone();
         let (index_candidates, index_total) = self
             .federation
             .capability_index()
@@ -63,7 +101,7 @@ impl Server {
                 let d = idx.candidates(&query);
                 (d.candidates.len(), d.total)
             })
-            .unwrap_or((fp.considered.len(), fp.considered.len()));
+            .unwrap_or((self.federation.members().len(), self.federation.members().len()));
         let mut emitted = 0u64;
         let mut chunk = String::new();
         let mut batch_sink = |batch: csqp_relation::TupleBatch| {
@@ -77,25 +115,29 @@ impl Server {
         let map_err = |obs: &Obs, e: MediatorError| {
             obs.metrics.inc(names::SERVE_ERRORS);
             match e {
-                MediatorError::Plan(e) => format!("planning failed: {e}\n"),
-                e => format!("execution failed: {e}\n"),
+                MediatorError::Plan(e) => {
+                    QueryError::bad_request(format!("planning failed: {e}\n"))
+                }
+                e => QueryError::bad_request(format!("execution failed: {e}\n")),
             }
         };
-        let member_name = fp.source.name.clone();
         let fingerprint = format!("{:032x}", cond_fingerprint(Some(&query.cond)));
         // Adaptive serving: the pipeline may pause at a batch boundary and
         // splice in a re-planned residual when observed cardinalities drift
         // off the estimates; the answer stays set-identical and the splice
-        // count lands in the trailer.
+        // count lands in the trailer. Either way the *prepared* plan is
+        // what executes — the winner's mediator never re-plans up front.
         let run = if self.cfg.adaptive {
             let acfg = AdaptiveConfig { stream: cfg, ..Default::default() };
-            self.mediators[winner].run_adaptive_each(&query, &acfg, &mut batch_sink).map(|out| {
-                let (splices, drift) = (out.splices, out.drift_triggers);
-                (out.outcome, splices, drift)
-            })
+            self.mediators[winner]
+                .run_adaptive_each_planned(&query, prepared.planned, &acfg, &mut batch_sink)
+                .map(|out| {
+                    let (splices, drift) = (out.splices, out.drift_triggers);
+                    (out.outcome, splices, drift)
+                })
         } else {
             self.mediators[winner]
-                .run_streamed_each(&query, &cfg, &mut batch_sink)
+                .run_streamed_each_planned(prepared.planned, &cfg, &mut batch_sink)
                 .map(|out| (out.outcome, 0, 0))
         };
         let (out, replans, drift_triggers) = match run {
@@ -110,7 +152,7 @@ impl Server {
                 }
                 let msg = map_err(&self.obs, e);
                 self.journal_append(&AuditRecord {
-                    id: self.flight.latest().map(|r| r.id).unwrap_or(0),
+                    id: flight_id,
                     fingerprint,
                     query: query.to_string(),
                     scheme: self.cfg.scheme.name().to_string(),
@@ -134,7 +176,6 @@ impl Server {
         if latency_us >= self.slo.latency_objective_us {
             self.obs.metrics.inc(names::SLO_LATENCY_BREACHES);
         }
-        let flight_id = self.flight.latest().map(|r| r.id).unwrap_or(0);
         self.obs.metrics.inc(names::SERVE_QUERIES);
         // The latency observation carries the flight id as an exemplar, so
         // a `/metrics?exemplars=1` scrape can walk from a suspicious bucket
@@ -148,10 +189,11 @@ impl Server {
         let breaker_states = self.federation.breaker_states();
         if latency_us >= self.cfg.slow_ms.saturating_mul(1000) {
             self.obs.metrics.inc(names::SERVE_SLOW_QUERIES);
-            if self.slow_log.len() >= self.cfg.slow_log_capacity.max(1) {
-                self.slow_log.pop_front();
+            let mut slow_log = self.slow_log.lock().expect("slow log lock");
+            if slow_log.len() >= self.cfg.slow_log_capacity.max(1) {
+                slow_log.pop_front();
             }
-            self.slow_log.push_back(SlowQuery {
+            slow_log.push_back(SlowQuery {
                 latency,
                 query: query.to_string(),
                 why: self.federation.explain_why(),
@@ -165,7 +207,7 @@ impl Server {
             + delta.counter(names::BREAKER_CLOSED);
         // Assemble the query's black box and offer it to the worst-N ring.
         self.obs.metrics.inc(names::PROFILE_CAPTURED);
-        self.profiles.push(QueryProfile {
+        self.profiles.lock().expect("profile ring lock").push(QueryProfile {
             id: flight_id,
             query: query.to_string(),
             scheme: "Federation".to_string(),
@@ -175,6 +217,7 @@ impl Server {
             observed_cost: out.measured_cost,
             splices: replans,
             drift_triggers,
+            plan_cache: cache_label.to_string(),
             breakers: breaker_states
                 .iter()
                 .map(|(name, health)| (name.clone(), health.label().to_string()))
@@ -183,7 +226,7 @@ impl Server {
             spans: self.obs.tracer.spans_from(span_mark),
             flight: self
                 .flight
-                .latest()
+                .record(flight_id)
                 .map(|r| r.events.iter().map(|e| e.to_string()).collect())
                 .unwrap_or_default(),
             metrics: delta.clone(),
@@ -228,22 +271,22 @@ impl Server {
             .collect();
         Ok(format!(
             "{} rows (est cost {:.2}, measured cost {:.2}, {} source queries, capindex \
-             {index_candidates}/{index_total} candidates, {replans} replans, breakers [{}], \
-             flight #{})\n",
+             {index_candidates}/{index_total} candidates, {replans} replans, plan cache \
+             {cache_label}, tenant {tenant}, breakers [{}], flight #{flight_id})\n",
             emitted,
             out.planned.est_cost,
             out.measured_cost,
             out.meter.queries,
             breakers.join(" "),
-            self.flight.latest().map(|r| r.id).unwrap_or(0),
         ))
     }
 
     /// Appends one audit record to the journal (when configured), keeping
     /// the `journal.*` counters in step. Append failures are reported on
     /// stderr but never fail the query — the answer already streamed.
-    pub(super) fn journal_append(&mut self, record: &AuditRecord) {
-        let Some(journal) = self.journal.as_mut() else { return };
+    pub(super) fn journal_append(&self, record: &AuditRecord) {
+        let mut journal = self.journal.lock().expect("journal lock");
+        let Some(journal) = journal.as_mut() else { return };
         let rotations_before = journal.rotations;
         match journal.append(record) {
             Ok(()) => {
@@ -260,17 +303,17 @@ impl Server {
     /// Closes the current telemetry window once `window_queries` queries
     /// have completed since the last boundary. Serve is the one wall-clock
     /// place in the stack, so windows carry a wall stamp here.
-    pub(super) fn maybe_roll(&mut self) {
-        self.queries_since_roll += 1;
-        if self.queries_since_roll < self.cfg.window_queries.max(1) {
+    pub(super) fn maybe_roll(&self) {
+        let done = self.queries_done.fetch_add(1, std::sync::atomic::Ordering::AcqRel) + 1;
+        if !done.is_multiple_of(self.cfg.window_queries.max(1)) {
             return;
         }
-        self.queries_since_roll = 0;
         let now = self.federation.metrics_snapshot();
         let ticks = self.obs.tracer.tick();
         let wall_us = self.started.elapsed().as_micros() as u64;
-        self.timeseries.roll(now, ticks, Some(wall_us));
-        self.obs.metrics.gauge_set(names::TIMESERIES_WINDOWS, self.timeseries.len() as f64);
+        let mut timeseries = self.timeseries.lock().expect("timeseries lock");
+        timeseries.roll(now, ticks, Some(wall_us));
+        self.obs.metrics.gauge_set(names::TIMESERIES_WINDOWS, timeseries.len() as f64);
     }
 }
 

@@ -14,6 +14,7 @@
 //!   rules of §5.1 and the distributive-only enumeration of §6.1;
 //! - [`semantics`] — tuple evaluation and propositional-equivalence checking;
 //! - [`normal`] — CNF/DNF conversion for the Garlic/DNF baseline planners;
+//! - [`param`] — constant lifting: parameterized shapes + slot-wise rebind;
 //! - [`parse`] / [`display`] — a round-trippable text syntax;
 //! - [`gen`] — seeded random condition generation for workloads.
 //!
@@ -39,6 +40,7 @@ pub mod display;
 pub mod gen;
 pub mod intern;
 pub mod normal;
+pub mod param;
 pub mod parse;
 pub mod rewrite;
 pub mod semantics;

@@ -1,0 +1,200 @@
+//! Constant lifting — parameterized condition shapes.
+//!
+//! A condition tree canonicalizes into a *shape* (connectors, attribute
+//! names, operators, constant **types**) plus the bound constants in
+//! pre-order. Two user queries that differ only in constants — `make =
+//! "BMW" ^ price < 40000` vs `make = "Audi" ^ price < 25000` — share a
+//! shape, so a plan prepared for one can serve the other by rebinding the
+//! constants into the prepared plan's source queries.
+//!
+//! Rebinding is **slot-wise**: canonicalization
+//! ([`canonicalize`](crate::canonical)) is purely structural (it flattens
+//! same-connector nesting and collapses unary nodes but never reorders or
+//! deduplicates by value), so the i-th atom of the incoming condition in
+//! pre-order corresponds to the i-th atom of the prepared condition. The
+//! one value-sensitive hazard is *aliasing*: if two prepared slots carried
+//! the **same** atom (`make = "BMW"` twice), the planner may have merged
+//! them anywhere downstream, so a rebind that assigns them different
+//! values is rejected ([`RebindError::SlotConflict`]) and the caller falls
+//! back to a cold plan.
+
+use crate::atom::Atom;
+use crate::tree::CondTree;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// The bound constants of a condition, pre-order.
+pub fn constants(cond: &CondTree) -> Vec<Value> {
+    let mut out = Vec::with_capacity(cond.n_atoms());
+    cond.walk(&mut |t| {
+        if let CondTree::Leaf(a) = t {
+            out.push(a.value.clone());
+        }
+    });
+    out
+}
+
+/// Why a slot-wise rebind was refused (the caller cold-plans instead).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RebindError {
+    /// The two conditions do not share a shape (different structure,
+    /// attribute, operator, or constant type at some slot). With
+    /// shape-fingerprint-keyed lookups this indicates a fingerprint
+    /// collision — vanishingly rare, but rebinding must not trust it.
+    ShapeMismatch,
+    /// Two prepared slots hold the same atom but the incoming condition
+    /// binds them to different values; the prepared plan may have merged
+    /// the duplicate slots, so per-slot substitution is unsound.
+    SlotConflict,
+    /// The prepared plan contains an atom the prepared condition never
+    /// held (a planner rewrite synthesized it); substitution cannot map it.
+    UnknownAtom,
+}
+
+impl std::fmt::Display for RebindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebindError::ShapeMismatch => write!(f, "conditions do not share a shape"),
+            RebindError::SlotConflict => {
+                write!(f, "aliased slots rebound to different values")
+            }
+            RebindError::UnknownAtom => write!(f, "plan atom absent from prepared condition"),
+        }
+    }
+}
+
+/// Pairs the prepared condition's atoms with the incoming condition's
+/// values, slot by slot in pre-order, producing the substitution map a
+/// prepared plan is rebound through.
+///
+/// Requires the two conditions to share a shape: same tree structure, same
+/// attribute and operator per slot, same constant *type* per slot (SSDL
+/// placeholders match by type, so a type change can change feasibility).
+/// Slots whose prepared atoms are equal must receive equal incoming values
+/// (see [`RebindError::SlotConflict`]).
+pub fn rebind_map(
+    prepared: &CondTree,
+    incoming: &CondTree,
+) -> Result<HashMap<Atom, Value>, RebindError> {
+    let mut map = HashMap::new();
+    pair_slots(prepared, incoming, &mut map)?;
+    Ok(map)
+}
+
+fn pair_slots(
+    prepared: &CondTree,
+    incoming: &CondTree,
+    map: &mut HashMap<Atom, Value>,
+) -> Result<(), RebindError> {
+    match (prepared, incoming) {
+        (CondTree::Leaf(p), CondTree::Leaf(i)) => {
+            if p.attr != i.attr || p.op != i.op || p.value.value_type() != i.value.value_type() {
+                return Err(RebindError::ShapeMismatch);
+            }
+            match map.insert(p.clone(), i.value.clone()) {
+                Some(prev) if prev != i.value => Err(RebindError::SlotConflict),
+                _ => Ok(()),
+            }
+        }
+        (CondTree::Node(pc, ps), CondTree::Node(ic, is)) => {
+            if pc != ic || ps.len() != is.len() {
+                return Err(RebindError::ShapeMismatch);
+            }
+            for (p, i) in ps.iter().zip(is) {
+                pair_slots(p, i, map)?;
+            }
+            Ok(())
+        }
+        _ => Err(RebindError::ShapeMismatch),
+    }
+}
+
+/// Rewrites a condition (typically a prepared plan's source-query
+/// condition) by substituting each leaf atom's value through `map`.
+pub fn substitute(cond: &CondTree, map: &HashMap<Atom, Value>) -> Result<CondTree, RebindError> {
+    match cond {
+        CondTree::Leaf(a) => match map.get(a) {
+            Some(v) => {
+                Ok(CondTree::Leaf(Atom { attr: a.attr.clone(), op: a.op, value: v.clone() }))
+            }
+            None => Err(RebindError::UnknownAtom),
+        },
+        CondTree::Node(conn, children) => {
+            let subbed: Result<Vec<CondTree>, RebindError> =
+                children.iter().map(|c| substitute(c, map)).collect();
+            Ok(CondTree::Node(*conn, subbed?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_condition;
+
+    fn ct(s: &str) -> CondTree {
+        parse_condition(s).unwrap()
+    }
+
+    #[test]
+    fn constants_in_preorder() {
+        let t = ct("make = \"BMW\" ^ (price < 40000 _ year >= 2020)");
+        assert_eq!(constants(&t), vec![Value::str("BMW"), Value::Int(40000), Value::Int(2020)]);
+    }
+
+    #[test]
+    fn rebind_and_substitute_round_trip() {
+        let prepared = ct("make = \"BMW\" ^ price < 40000");
+        let incoming = ct("make = \"Audi\" ^ price < 25000");
+        let map = rebind_map(&prepared, &incoming).unwrap();
+        assert_eq!(substitute(&prepared, &map).unwrap(), incoming);
+    }
+
+    #[test]
+    fn identical_rebind_is_identity() {
+        let t = ct("a = 1 ^ (b = 2 _ c contains \"x\")");
+        let map = rebind_map(&t, &t).unwrap();
+        assert_eq!(substitute(&t, &map).unwrap(), t);
+    }
+
+    #[test]
+    fn shape_mismatch_on_structure() {
+        assert_eq!(
+            rebind_map(&ct("a = 1 ^ b = 2"), &ct("a = 1 _ b = 2")),
+            Err(RebindError::ShapeMismatch)
+        );
+        assert_eq!(rebind_map(&ct("a = 1"), &ct("a = 1 ^ b = 2")), Err(RebindError::ShapeMismatch));
+    }
+
+    #[test]
+    fn shape_mismatch_on_attr_op_or_type() {
+        assert_eq!(rebind_map(&ct("a = 1"), &ct("b = 1")), Err(RebindError::ShapeMismatch));
+        assert_eq!(rebind_map(&ct("a = 1"), &ct("a < 1")), Err(RebindError::ShapeMismatch));
+        assert_eq!(
+            rebind_map(&ct("a = 1"), &ct("a = \"one\"")),
+            Err(RebindError::ShapeMismatch),
+            "constant type is part of the shape (placeholders match by type)"
+        );
+    }
+
+    #[test]
+    fn aliased_slots_must_agree() {
+        let prepared = ct("a = 1 _ a = 1");
+        assert!(rebind_map(&prepared, &ct("a = 7 _ a = 7")).is_ok());
+        assert_eq!(rebind_map(&prepared, &ct("a = 7 _ a = 8")), Err(RebindError::SlotConflict));
+    }
+
+    #[test]
+    fn distinct_prepared_slots_rebind_independently() {
+        let prepared = ct("a = 1 _ a = 2");
+        let incoming = ct("a = 7 _ a = 8");
+        let map = rebind_map(&prepared, &incoming).unwrap();
+        assert_eq!(substitute(&prepared, &map).unwrap(), incoming);
+    }
+
+    #[test]
+    fn unknown_atom_is_rejected() {
+        let map = rebind_map(&ct("a = 1"), &ct("a = 2")).unwrap();
+        assert_eq!(substitute(&ct("z = 9"), &map), Err(RebindError::UnknownAtom));
+    }
+}

@@ -174,6 +174,42 @@ pub const CAPINDEX_PRUNED: &str = "capindex.pruned_total";
 /// it is safe in goldens; real build latency is measured by the e16 bench).
 pub const CAPINDEX_BUILD_TICKS: &str = "capindex.build_ticks";
 
+// ---- federation prepared-plan cache (parameterized shapes) ----
+
+/// Prepared-plan cache hits: an incoming query's parameterized shape
+/// matched a cached plan and every constant rebound cleanly.
+pub const PLANCACHE_HITS: &str = "plancache.hits";
+/// Prepared-plan cache misses: no entry for the shape (cold planning ran
+/// and the winner was inserted).
+pub const PLANCACHE_MISSES: &str = "plancache.misses";
+/// Cache entries found but rejected at rebind time (aliased-slot constant
+/// conflict, const-literal grammar revalidation failure, or a structural
+/// mismatch behind a fingerprint collision) — the query fell back to cold
+/// planning.
+pub const PLANCACHE_REJECTED: &str = "plancache.rejected";
+/// Entries displaced by capacity-bounded insertion (least-recently-used).
+pub const PLANCACHE_EVICTIONS: &str = "plancache.evictions";
+/// Epoch bumps that wiped the cache: breaker-state transitions and
+/// cost-model recalibration refits.
+pub const PLANCACHE_INVALIDATIONS: &str = "plancache.invalidations";
+/// Live entries resident in the prepared-plan cache (gauge).
+pub const PLANCACHE_ENTRIES: &str = "plancache.entries";
+
+// ---- serve admission control (multi-tenant front door) ----
+
+/// Requests admitted past the tenant-quota and overload gates.
+pub const ADMISSION_ADMITTED: &str = "admission.admitted";
+/// Requests shed because the tenant's token bucket was empty (429).
+pub const ADMISSION_SHED_QUOTA: &str = "admission.shed_quota";
+/// Requests shed because the global in-flight cap was reached (429).
+pub const ADMISSION_SHED_OVERLOAD: &str = "admission.shed_overload";
+/// Requests currently being served across all workers (gauge).
+pub const ADMISSION_INFLIGHT: &str = "admission.inflight";
+/// Queries admitted per tenant: `tenant.queries.<tenant>`.
+pub const TENANT_QUERIES_PREFIX: &str = "tenant.queries.";
+/// Requests shed per tenant (quota or overload): `tenant.shed.<tenant>`.
+pub const TENANT_SHED_PREFIX: &str = "tenant.shed.";
+
 // ---- serve mode (`csqp serve`) ----
 //
 // These are the only wall-clock metrics in the registry. They exist solely
@@ -271,6 +307,10 @@ const fn fam(prefix: &'static str, family: &'static str) -> LabeledFamily {
     LabeledFamily { prefix, family, label: "member" }
 }
 
+const fn tenant_fam(prefix: &'static str, family: &'static str) -> LabeledFamily {
+    LabeledFamily { prefix, family, label: "tenant" }
+}
+
 /// Every suffix-named family the exposition renders with labels. Sorted by
 /// prefix; each prefix also has a `CATALOG` row carrying kind + help.
 pub const LABELED: &[LabeledFamily] = &[
@@ -285,6 +325,8 @@ pub const LABELED: &[LabeledFamily] = &[
     fam(MEMBER_QUERIES_PREFIX, "csqp_member_queries"),
     fam(MEMBER_RETRIES_PREFIX, "csqp_member_retries"),
     fam(MEMBER_SPLICES_PREFIX, "csqp_member_splices"),
+    tenant_fam(TENANT_QUERIES_PREFIX, "csqp_tenant_queries"),
+    tenant_fam(TENANT_SHED_PREFIX, "csqp_tenant_shed"),
 ];
 
 /// The labeled family a registry name belongs to (with the suffix split
@@ -347,6 +389,18 @@ pub const CATALOG: &[MetricMeta] = &[
     meta(CAPINDEX_CANDIDATES, MetricKind::Counter, "members surviving the capability index"),
     meta(CAPINDEX_PRUNED, MetricKind::Counter, "members pruned by the capability index"),
     meta(CAPINDEX_BUILD_TICKS, MetricKind::Counter, "virtual ticks compiling capability facts"),
+    meta(PLANCACHE_HITS, MetricKind::Counter, "prepared-plan cache hits (rebound and served)"),
+    meta(PLANCACHE_MISSES, MetricKind::Counter, "prepared-plan cache misses (cold planned)"),
+    meta(PLANCACHE_REJECTED, MetricKind::Counter, "cache entries rejected at rebind time"),
+    meta(PLANCACHE_EVICTIONS, MetricKind::Counter, "cache entries displaced by capacity"),
+    meta(PLANCACHE_INVALIDATIONS, MetricKind::Counter, "cache wipes from breaker/recalibration"),
+    meta(PLANCACHE_ENTRIES, MetricKind::Gauge, "live prepared-plan cache entries"),
+    meta(ADMISSION_ADMITTED, MetricKind::Counter, "requests admitted past the front-door gates"),
+    meta(ADMISSION_SHED_QUOTA, MetricKind::Counter, "requests shed on an empty tenant bucket"),
+    meta(ADMISSION_SHED_OVERLOAD, MetricKind::Counter, "requests shed at the in-flight cap"),
+    meta(ADMISSION_INFLIGHT, MetricKind::Gauge, "requests currently in flight"),
+    meta(TENANT_QUERIES_PREFIX, MetricKind::Counter, "queries admitted per tenant"),
+    meta(TENANT_SHED_PREFIX, MetricKind::Counter, "requests shed per tenant"),
     meta(SERVE_REQUESTS, MetricKind::Counter, "requests accepted"),
     meta(SERVE_ERRORS, MetricKind::Counter, "error responses produced"),
     meta(SERVE_QUERIES, MetricKind::Counter, "queries answered over the serve surface"),

@@ -70,6 +70,10 @@ pub struct QueryProfile {
     pub splices: u64,
     /// Drift-band replan triggers observed mid-query.
     pub drift_triggers: u64,
+    /// How the prepared-plan cache answered this query: `hit` / `miss` /
+    /// `rejected` / `bypass` (empty for one-shot profiles with no cache in
+    /// the stack).
+    pub plan_cache: String,
     /// Breaker states touching this query, as `(member, state)` pairs.
     pub breakers: Vec<(String, String)>,
     /// Est-vs-observed cardinalities per executed subquery.
@@ -115,6 +119,8 @@ impl QueryProfile {
         render_f64(&mut out, self.observed_cost);
         let _ = write!(out, ",\n  \"splices\": {}", self.splices);
         let _ = write!(out, ",\n  \"drift_triggers\": {}", self.drift_triggers);
+        out.push_str(",\n  \"plan_cache\": ");
+        render_json_string(&mut out, &self.plan_cache);
         out.push_str(",\n  \"breakers\": [");
         for (i, (member, state)) in self.breakers.iter().enumerate() {
             if i > 0 {

@@ -263,6 +263,14 @@ impl Source {
         self.planning.check(cond)
     }
 
+    /// Does either capability view match literal constants? When `true`,
+    /// feasibility depends on constant *values*, so a prepared plan keyed
+    /// on the parameterized shape must re-run `Check` on the rebound
+    /// source conditions before reuse (the plan cache does this).
+    pub fn has_const_literals(&self) -> bool {
+        self.planning.has_const_literals() || self.original.has_const_literals()
+    }
+
     /// Is `SP(C, A, R)` supported (planning view)?
     pub fn supports(&self, cond: Option<&CondTree>, attrs: &BTreeSet<String>) -> bool {
         self.planning.supports(cond, attrs)

@@ -229,6 +229,14 @@ impl CompiledSource {
         &self.interner
     }
 
+    /// Does the grammar match literal constants (see
+    /// [`Grammar::has_const_literals`])? When `true`, `Check` answers are
+    /// constant-value-sensitive and a shape-keyed prepared plan must
+    /// re-validate before rebinding.
+    pub fn has_const_literals(&self) -> bool {
+        self.grammar.has_const_literals()
+    }
+
     fn collect_exports(&self, nts: impl IntoIterator<Item = crate::grammar::NtId>) -> ExportSet {
         let mut out = ExportSet::with_interner(self.interner.clone());
         for nt in nts {

@@ -112,6 +112,15 @@ impl Grammar {
     pub fn n_rules(&self) -> usize {
         self.rules.len()
     }
+
+    /// Does any production match a **literal** constant (`style = "sedan"`
+    /// rather than `style = $str`)? Such grammars make feasibility depend
+    /// on the constant's value, not just its type — a prepared plan keyed
+    /// on the parameterized shape can only be rebound after re-validating
+    /// `Check` on the rebound source conditions.
+    pub fn has_const_literals(&self) -> bool {
+        self.rules.iter().any(|r| r.rhs.iter().any(|s| matches!(s, GSym::T(Term::ConstLit(_)))))
+    }
 }
 
 /// Fixpoint nullable computation: a nonterminal is nullable iff some rule

@@ -178,6 +178,10 @@ const TAG_OR: u8 = 5;
 const TAG_LPAREN: u8 = 6;
 const TAG_RPAREN: u8 = 7;
 const TAG_TRUE: u8 = 8;
+/// Shape fingerprints replace each constant's *value* bytes with this tag
+/// plus the constant's type code — SSDL placeholders (`$str`, `$int`, …)
+/// match by type, so the type is part of the parameterized shape.
+const TAG_PARAM: u8 = 9;
 
 fn op_code(op: CmpOp) -> u8 {
     match op {
@@ -210,6 +214,15 @@ fn fp_value(v: &Value, fp: &mut Fp) {
             fp.byte(3);
             fp.byte(u8::from(*b));
         }
+    }
+}
+
+fn value_type_code(v: &Value) -> u8 {
+    match v {
+        Value::Int(_) => 0,
+        Value::Float(_) => 1,
+        Value::Str(_) => 2,
+        Value::Bool(_) => 3,
     }
 }
 
@@ -257,6 +270,50 @@ pub fn cond_fingerprint(cond: Option<&CondTree>) -> Fingerprint {
     match cond {
         None => fp.byte(TAG_TRUE),
         Some(t) => fp_emit(t, &mut fp, true),
+    }
+    fp.finish()
+}
+
+fn fp_shape_atom(a: &Atom, fp: &mut Fp) {
+    fp.byte(TAG_ATTR);
+    fp.u64(a.attr.len() as u64);
+    fp.bytes(a.attr.as_bytes());
+    fp.byte(TAG_OP);
+    fp.byte(op_code(a.op));
+    fp.byte(TAG_PARAM);
+    fp.byte(value_type_code(&a.value));
+}
+
+/// Mirrors [`fp_emit`] with constants lifted to typed parameters.
+fn fp_shape_emit(t: &CondTree, fp: &mut Fp, is_root: bool) {
+    match t {
+        CondTree::Leaf(a) => fp_shape_atom(a, fp),
+        CondTree::Node(conn, children) => {
+            if !is_root {
+                fp.byte(TAG_LPAREN);
+            }
+            for (i, c) in children.iter().enumerate() {
+                if i > 0 {
+                    fp_connector(*conn, fp);
+                }
+                fp_shape_emit(c, fp, c.is_leaf());
+            }
+            if !is_root {
+                fp.byte(TAG_RPAREN);
+            }
+        }
+    }
+}
+
+/// Fingerprint of the condition's **parameterized shape**: every constant
+/// contributes only its type, so conditions differing solely in bound
+/// constants of matching types hash identically. This keys the prepared
+/// plan cache; `csqp_expr::param` is the lifting/rebinding side.
+pub fn shape_fingerprint(cond: Option<&CondTree>) -> Fingerprint {
+    let mut fp = Fp::new();
+    match cond {
+        None => fp.byte(TAG_TRUE),
+        Some(t) => fp_shape_emit(t, &mut fp, true),
     }
     fp.finish()
 }
@@ -402,6 +459,36 @@ mod tests {
         fps.sort_unstable();
         fps.dedup();
         assert_eq!(fps.len(), n, "corpus conditions must fingerprint uniquely");
+    }
+
+    #[test]
+    fn shape_fingerprint_ignores_constant_values() {
+        let a = parse_condition("make = \"BMW\" ^ price < 40000").unwrap();
+        let b = parse_condition("make = \"Audi\" ^ price < 25000").unwrap();
+        assert_ne!(cond_fingerprint(Some(&a)), cond_fingerprint(Some(&b)));
+        assert_eq!(shape_fingerprint(Some(&a)), shape_fingerprint(Some(&b)));
+    }
+
+    #[test]
+    fn shape_fingerprint_sees_constant_types() {
+        let a = parse_condition("x = 1").unwrap();
+        let b = parse_condition("x = \"1\"").unwrap();
+        let c = parse_condition("x = 1.0").unwrap();
+        assert_ne!(shape_fingerprint(Some(&a)), shape_fingerprint(Some(&b)));
+        assert_ne!(shape_fingerprint(Some(&a)), shape_fingerprint(Some(&c)));
+    }
+
+    #[test]
+    fn shape_fingerprints_distinguish_shapes() {
+        // The corpus shares no two shapes, so shape fingerprints must stay
+        // pairwise distinct too (plus the trivially-true condition).
+        let mut fps: Vec<_> =
+            CORPUS.iter().map(|t| shape_fingerprint(Some(&parse_condition(t).unwrap()))).collect();
+        fps.push(shape_fingerprint(None));
+        let n = fps.len();
+        fps.sort_unstable();
+        fps.dedup();
+        assert_eq!(fps.len(), n, "corpus shapes must fingerprint uniquely");
     }
 
     #[test]

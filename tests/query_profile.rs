@@ -63,6 +63,7 @@ fn synthetic_profile() -> QueryProfile {
         observed_cost: 98.0,
         splices: 1,
         drift_triggers: 1,
+        plan_cache: "hit".to_string(),
         breakers: vec![
             ("car_dealer".to_string(), "open".to_string()),
             ("dump".to_string(), "closed".to_string()),

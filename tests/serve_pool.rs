@@ -1,0 +1,310 @@
+//! The multi-tenant serve front door under concurrency: worker-pool
+//! keep-alive serving, `/shutdown` draining in-flight connections,
+//! per-tenant token-bucket shedding (429), the prepared-plan cache
+//! surfacing in trailers and `/metrics`, and a mixed-tenant hammer whose
+//! audit journal must come out coherent — no lost or duplicated records.
+
+use csqp::serve::{ServeConfig, Server};
+use csqp_relation::datagen;
+use csqp_source::{CostParams, Source};
+use csqp_ssdl::templates;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect to serve");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.set_write_timeout(Some(Duration::from_secs(10))).unwrap();
+    s
+}
+
+/// One-shot HTTP/1.0 request (no keep-alive: the server closes after the
+/// response, so reading to EOF frames it).
+fn http_get(addr: SocketAddr, path: &str) -> String {
+    http_get_with_header(addr, path, None)
+}
+
+fn http_get_with_header(addr: SocketAddr, path: &str, header: Option<&str>) -> String {
+    let mut s = connect(addr);
+    let extra = header.map(|h| format!("{h}\r\n")).unwrap_or_default();
+    write!(s, "GET {path} HTTP/1.0\r\nHost: pool\r\n{extra}\r\n").unwrap();
+    let mut buf = String::new();
+    s.read_to_string(&mut buf).expect("read response");
+    buf
+}
+
+fn dealer() -> Arc<Source> {
+    Arc::new(Source::new(datagen::cars(3, 400), templates::car_dealer(), CostParams::default()))
+}
+
+const BMW: &str = "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year";
+const TOYOTA: &str =
+    "/query?cond=make%20%3D%20%22Toyota%22%20%5E%20price%20%3C%2030000&attrs=model,year";
+
+/// A persistent HTTP/1.1 connection speaking framed (Content-Length)
+/// requests — the keep-alive path the worker pool serves until the client
+/// closes or the server begins draining.
+struct KeepAlive {
+    reader: BufReader<TcpStream>,
+}
+
+impl KeepAlive {
+    fn open(addr: SocketAddr) -> Self {
+        KeepAlive { reader: BufReader::new(connect(addr)) }
+    }
+
+    /// Sends one framed request and returns `(status line, body)`.
+    fn request(&mut self, path: &str) -> (String, String) {
+        write!(self.reader.get_mut(), "GET {path} HTTP/1.1\r\nHost: pool\r\n\r\n").unwrap();
+        let mut status = String::new();
+        self.reader.read_line(&mut status).expect("status line");
+        let mut len = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line).expect("header line");
+            if line.trim().is_empty() {
+                break;
+            }
+            let lower = line.to_ascii_lowercase();
+            if let Some(v) = lower.strip_prefix("content-length:") {
+                len = v.trim().parse().expect("content length");
+            }
+        }
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body).expect("framed body");
+        (status.trim().to_string(), String::from_utf8(body).expect("utf-8 body"))
+    }
+}
+
+/// Keep-alive serving + `/shutdown` drain: a connection opened before the
+/// shutdown request keeps getting answers until it closes, and only then
+/// does the accept loop return.
+#[test]
+fn shutdown_drains_inflight_keepalive_connections() {
+    let server = Server::bind_federation(vec![dealer()], ServeConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.run());
+
+    // A long-lived pipelined connection: several requests on one socket.
+    let mut ka = KeepAlive::open(addr);
+    let (status, body) = ka.request("/healthz");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert_eq!(body, "ok\n");
+    let (status, _) = ka.request("/healthz");
+    assert!(status.starts_with("HTTP/1.1 200"), "keep-alive second request: {status}");
+
+    // Another client asks for shutdown while ka is still connected.
+    let bye = http_get(addr, "/shutdown");
+    assert!(bye.contains("shutting down"), "{bye}");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // The draining server still answers the in-flight connection.
+    let (status, body) = ka.request("/healthz");
+    assert!(status.starts_with("HTTP/1.1 200"), "drained connection still served: {status}");
+    assert_eq!(body, "ok\n");
+
+    // Only once the last connection closes does the accept loop exit.
+    drop(ka);
+    handle.join().expect("server thread").expect("accept loop exits cleanly");
+}
+
+/// Per-tenant token buckets: a tenant that exhausts its burst gets fast
+/// 429s while other tenants keep their full allowance; identity comes from
+/// the `tenant=` query param or the `X-Tenant` header (param wins).
+#[test]
+fn tenant_quota_sheds_with_429() {
+    let cfg = ServeConfig {
+        // Refill is negligible within the test run: the burst is the budget.
+        tenant_rate: 0.001,
+        tenant_burst: 2.0,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_federation(vec![dealer()], cfg).expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.run());
+
+    let noisy = format!("{BMW}&tenant=noisy");
+    for i in 0..2 {
+        let resp = http_get(addr, &noisy);
+        assert!(resp.starts_with("HTTP/1.1 200"), "burst query {i}: {resp}");
+        assert!(resp.contains("tenant noisy"), "trailer names the tenant: {resp}");
+    }
+    let shed = http_get(addr, &noisy);
+    assert!(shed.starts_with("HTTP/1.1 429"), "burst exhausted: {shed}");
+    assert!(shed.contains("over its query rate"), "{shed}");
+
+    // A different tenant still has its own full bucket.
+    let quiet = http_get(addr, &format!("{BMW}&tenant=quiet"));
+    assert!(quiet.starts_with("HTTP/1.1 200"), "tenant isolation: {quiet}");
+
+    // Header-borne identity charges the same bucket as the param form.
+    let via_header = http_get_with_header(addr, BMW, Some("X-Tenant: noisy"));
+    assert!(via_header.starts_with("HTTP/1.1 429"), "X-Tenant shares the bucket: {via_header}");
+    // The param outranks the header when both are present.
+    let both = http_get_with_header(addr, &format!("{BMW}&tenant=fresh"), Some("X-Tenant: noisy"));
+    assert!(both.starts_with("HTTP/1.1 200"), "param wins over header: {both}");
+    assert!(both.contains("tenant fresh"), "{both}");
+
+    // Non-query endpoints are never quota-shed.
+    let health = http_get(addr, "/healthz?tenant=noisy");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+
+    let bye = http_get(addr, "/shutdown");
+    assert!(bye.contains("shutting down"), "{bye}");
+    handle.join().expect("server thread").expect("accept loop exits cleanly");
+}
+
+/// The prepared-plan cache surfaces end to end: the first query of a shape
+/// plans cold ("plan cache miss"), the next query of the same shape with
+/// different constants is served from the cache ("plan cache hit"), and
+/// the counters scrape on `/metrics`.
+#[test]
+fn plan_cache_decisions_surface_in_trailer_and_metrics() {
+    let server = Server::bind_federation(vec![dealer()], ServeConfig::default())
+        .expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let obs_on = server.mediator().obs().enabled();
+    let handle = std::thread::spawn(move || server.run());
+
+    let cold = http_get(addr, BMW);
+    assert!(cold.starts_with("HTTP/1.1 200"), "{cold}");
+    assert!(cold.contains("plan cache miss"), "first query of a shape plans cold: {cold}");
+    let warm = http_get(addr, TOYOTA);
+    assert!(warm.starts_with("HTTP/1.1 200"), "{warm}");
+    assert!(warm.contains("plan cache hit"), "same shape, new constants, cached: {warm}");
+
+    // Identical answers modulo the cache: both queries return every row
+    // their condition selects (the hit rebinds constants, so row *counts*
+    // differ per condition, but the trailer row count matches the body).
+    for resp in [&cold, &warm] {
+        let body = resp.split("\r\n\r\n").nth(1).expect("body");
+        let lines: Vec<&str> = body.lines().collect();
+        let n: usize = lines.last().unwrap().split(' ').next().unwrap().parse().expect("row count");
+        assert_eq!(lines.len() - 1, n, "one line per row plus the trailer: {body}");
+    }
+
+    if obs_on {
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.contains("csqp_plancache_hits_total 1"), "{metrics}");
+        assert!(metrics.contains("csqp_plancache_misses_total 1"), "{metrics}");
+        assert!(metrics.contains("csqp_plancache_entries 1.0"), "{metrics}");
+        assert!(metrics.contains("csqp_admission_admitted_total 2"), "{metrics}");
+    }
+    // The worst-N profile index reports the decision per retained query.
+    let profiles = http_get(addr, "/profile");
+    assert!(
+        profiles.contains("plan cache hit)") || profiles.contains("plan cache miss)"),
+        "profile index carries the cache decision: {profiles}"
+    );
+
+    let bye = http_get(addr, "/shutdown");
+    assert!(bye.contains("shutting down"), "{bye}");
+    handle.join().expect("server thread").expect("accept loop exits cleanly");
+}
+
+/// Mixed-tenant hammer across the worker pool: four client threads, each
+/// its own tenant, each pushing past its quota mid-run. Afterwards the
+/// books must balance exactly — one journal record per 200, none for
+/// sheds, unique flight ids, and per-tenant admission counters matching
+/// what the clients observed.
+#[test]
+fn worker_pool_hammer_keeps_journal_and_counters_coherent() {
+    let journal =
+        std::env::temp_dir().join(format!("csqp-pool-hammer-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let cfg = ServeConfig {
+        journal_path: Some(journal.to_str().unwrap().to_string()),
+        window_queries: 2,
+        workers: 4,
+        tenant_rate: 0.001,
+        tenant_burst: 2.0,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_federation(vec![dealer()], cfg).expect("bind an ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let obs_on = server.mediator().obs().enabled();
+    let handle = std::thread::spawn(move || server.run());
+
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 6;
+    let mut clients = Vec::new();
+    for t in 0..THREADS {
+        clients.push(std::thread::spawn(move || {
+            let (mut ok, mut shed) = (0u64, 0u64);
+            for round in 0..PER_THREAD {
+                let base = if round % 2 == 0 { BMW } else { TOYOTA };
+                let resp = http_get(addr, &format!("{base}&tenant=t{t}"));
+                if resp.starts_with("HTTP/1.1 200") {
+                    ok += 1;
+                } else if resp.starts_with("HTTP/1.1 429") {
+                    shed += 1;
+                } else {
+                    panic!("hammer t{t}/{round}: {resp}");
+                }
+            }
+            (ok, shed)
+        }));
+    }
+    let (mut ok_total, mut shed_total) = (0u64, 0u64);
+    for c in clients {
+        let (ok, shed) = c.join().expect("client thread");
+        // Burst 2 with negligible refill: each tenant lands exactly its
+        // burst, and every query past it sheds.
+        assert_eq!(ok, 2, "each tenant gets exactly its burst");
+        assert_eq!(shed, (PER_THREAD as u64) - 2);
+        ok_total += ok;
+        shed_total += shed;
+    }
+
+    // Admission counters agree with what the clients saw, per tenant.
+    if obs_on {
+        let metrics = http_get(addr, "/metrics");
+        assert!(
+            metrics.contains(&format!("csqp_admission_admitted_total {ok_total}")),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains(&format!("csqp_admission_shed_quota_total {shed_total}")),
+            "{metrics}"
+        );
+        for t in 0..THREADS {
+            assert!(
+                metrics.contains(&format!("csqp_tenant_queries_total{{tenant=\"t{t}\"}} 2")),
+                "{metrics}"
+            );
+            assert!(
+                metrics.contains(&format!(
+                    "csqp_tenant_shed_total{{tenant=\"t{t}\"}} {}",
+                    (PER_THREAD as u64) - 2
+                )),
+                "{metrics}"
+            );
+        }
+    }
+    // The scoreboard stays sane under the mixed 200/429 storm.
+    let status = http_get(addr, "/status");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+    assert!(status.contains("car_dealer"), "{status}");
+
+    let bye = http_get(addr, "/shutdown");
+    assert!(bye.contains("shutting down"), "{bye}");
+    handle.join().expect("server thread").expect("accept loop exits cleanly");
+
+    // The journal balances: exactly one record per admitted query — sheds
+    // never journal — all "ok", and (with the recorder armed) no flight id
+    // is lost or double-spent across workers.
+    let (records, errors) = csqp_obs::audit::read_journal(&journal).expect("journal readable");
+    assert!(errors.is_empty(), "torn/corrupt journal lines: {errors:?}");
+    assert_eq!(records.len() as u64, ok_total, "one audit record per 200, none per 429");
+    assert!(records.iter().all(|r| r.status == "ok"), "{records:?}");
+    if obs_on {
+        let mut ids: Vec<u64> = records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len() as u64, ok_total, "flight ids are unique across workers");
+    }
+    let _ = std::fs::remove_file(&journal);
+}

@@ -37,6 +37,9 @@ fn server_obs_enabled(metrics: &str) -> bool {
 fn line(addr: SocketAddr, cmd: &str) -> String {
     let mut s = connect(addr);
     writeln!(s, "{cmd}").unwrap();
+    // The line protocol is pipelined (the server keeps reading commands),
+    // so signal end-of-input before reading the reply to EOF.
+    s.shutdown(std::net::Shutdown::Write).unwrap();
     let mut buf = String::new();
     s.read_to_string(&mut buf).expect("read reply");
     buf
@@ -49,14 +52,14 @@ fn serve_smoke() {
         templates::car_dealer(),
         CostParams::default(),
     ));
-    let mut server = Server::bind(source, ServeConfig::default()).expect("bind an ephemeral port");
+    let server = Server::bind(source, ServeConfig::default()).expect("bind an ephemeral port");
     let addr = server.local_addr().expect("bound address");
     let obs_on = server.mediator().obs().enabled();
     let handle = std::thread::spawn(move || server.run());
 
     // Health while idle.
     let health = http_get(addr, "/healthz");
-    assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
     assert!(health.ends_with("ok\n"), "{health}");
 
     // A query over HTTP (urlencoded condition).
@@ -64,7 +67,7 @@ fn serve_smoke() {
         addr,
         "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year",
     );
-    assert!(q.starts_with("HTTP/1.0 200"), "{q}");
+    assert!(q.starts_with("HTTP/1.1 200"), "{q}");
     assert!(q.contains("rows (est cost"), "{q}");
 
     // The same query over the line protocol, plus ping and why.
@@ -88,9 +91,11 @@ fn serve_smoke() {
     let trailer = lines.last().unwrap();
     assert!(trailer.contains("rows (est cost"), "summary is the trailer: {body}");
     assert!(trailer.contains("capindex 1/1 candidates"), "index decision in trailer: {trailer}");
-    // Adaptive serve mode reports its splice count and the live breaker
-    // state of every member in the trailer.
-    assert!(trailer.contains(" replans, breakers ["), "adaptive trailer fields: {trailer}");
+    // Adaptive serve mode reports its splice count, the prepared-plan
+    // cache decision, the tenant, and the live breaker state of every
+    // member in the trailer.
+    assert!(trailer.contains(" replans, plan cache "), "adaptive trailer fields: {trailer}");
+    assert!(trailer.contains(", tenant anon, breakers ["), "tenant in trailer: {trailer}");
     assert!(trailer.contains("car_dealer:closed"), "live breaker state in trailer: {trailer}");
     let n: usize = trailer.split(' ').next().unwrap().parse().expect("row count leads the trailer");
     assert_eq!(lines.len() - 1, n, "one line per row plus the trailer: {body}");
@@ -101,7 +106,7 @@ fn serve_smoke() {
         addr,
         "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year&limit=1",
     );
-    assert!(limited.starts_with("HTTP/1.0 200"), "{limited}");
+    assert!(limited.starts_with("HTTP/1.1 200"), "{limited}");
     let body = limited.split("\r\n\r\n").nth(1).expect("limited response has a body");
     let lines: Vec<&str> = body.lines().collect();
     assert_eq!(lines.len(), 2, "one row + one trailer: {body}");
@@ -112,7 +117,7 @@ fn serve_smoke() {
         addr,
         "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year&limit=0",
     );
-    assert!(zero.starts_with("HTTP/1.0 200"), "{zero}");
+    assert!(zero.starts_with("HTTP/1.1 200"), "{zero}");
     assert!(zero.contains("0 rows (est cost"), "{zero}");
 
     // A malformed limit is a 400, not a crash.
@@ -120,18 +125,18 @@ fn serve_smoke() {
         addr,
         "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model&limit=nope",
     );
-    assert!(bad_limit.starts_with("HTTP/1.0 400"), "{bad_limit}");
+    assert!(bad_limit.starts_with("HTTP/1.1 400"), "{bad_limit}");
     assert!(bad_limit.contains("limit must be"), "{bad_limit}");
 
     // A bad query is a 400, not a crash.
     let bad = http_get(addr, "/query?cond=make%20%3D&attrs=model");
-    assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
+    assert!(bad.starts_with("HTTP/1.1 400"), "{bad}");
 
     // /metrics scrapes while the mediator is warm: Prometheus text with the
     // planner counters the acceptance criteria name and the serve-mode
     // wall-clock series.
     let metrics = http_get(addr, "/metrics");
-    assert!(metrics.starts_with("HTTP/1.0 200"), "{metrics}");
+    assert!(metrics.starts_with("HTTP/1.1 200"), "{metrics}");
     if obs_on {
         for series in [
             "csqp_planner_pruned_pr3",
@@ -159,7 +164,7 @@ fn serve_smoke() {
         let replay = http_get(addr, "/flightrecorder?query=0");
         assert!(replay.contains("EXPLAIN WHY — flight #0"), "{replay}");
         let missing = http_get(addr, "/flightrecorder?query=9999");
-        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
     }
 
     // The query black box over HTTP: span tree, worst-N profile ring and
@@ -176,17 +181,17 @@ fn serve_smoke() {
     let profiles = http_get(addr, "/profile");
     assert!(profiles.contains("worst retained profiles"), "{profiles}");
     let profile = http_get(addr, "/profile/0");
-    assert!(profile.starts_with("HTTP/1.0 200"), "{profile}");
+    assert!(profile.starts_with("HTTP/1.1 200"), "{profile}");
     assert!(profile.contains("application/json"), "profiles serve as JSON: {profile}");
     for key in ["\"id\"", "\"latency\"", "\"breakers\"", "\"spans\"", "\"metrics\""] {
         assert!(profile.contains(key), "{key} missing from profile:\n{profile}");
     }
     let missing = http_get(addr, "/profile/9999");
-    assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
     // Demo queries stay under the default slow threshold: the log is
     // reachable and empty.
     let slowlog = http_get(addr, "/slowlog");
-    assert!(slowlog.starts_with("HTTP/1.0 200"), "{slowlog}");
+    assert!(slowlog.starts_with("HTTP/1.1 200"), "{slowlog}");
     assert!(slowlog.contains("no queries slower than"), "{slowlog}");
     // `?exemplars=1` upgrades latency buckets with query-id exemplars that
     // link straight back to `/profile/<id>`.
@@ -199,7 +204,7 @@ fn serve_smoke() {
     // (schema-stable on every build — obs-off just sees empty signals), and
     // /timeseries exposes the windowed deltas of one metric as JSON.
     let status = http_get(addr, "/status");
-    assert!(status.starts_with("HTTP/1.0 200"), "{status}");
+    assert!(status.starts_with("HTTP/1.1 200"), "{status}");
     assert!(status.contains("csqp serve status"), "{status}");
     assert!(status.contains("slo: latency objective"), "{status}");
     assert!(status.contains("car_dealer"), "every member appears on the scoreboard: {status}");
@@ -209,15 +214,15 @@ fn serve_smoke() {
         assert!(status_json.contains(key), "{key} missing from /status json:\n{status_json}");
     }
     let ts = http_get(addr, "/timeseries?metric=serve.queries");
-    assert!(ts.starts_with("HTTP/1.0 200"), "{ts}");
+    assert!(ts.starts_with("HTTP/1.1 200"), "{ts}");
     assert!(ts.contains("\"metric\": \"serve.queries\""), "{ts}");
     assert!(ts.contains("\"windows\""), "{ts}");
     let ts_missing = http_get(addr, "/timeseries");
-    assert!(ts_missing.starts_with("HTTP/1.0 400"), "metric param is required: {ts_missing}");
+    assert!(ts_missing.starts_with("HTTP/1.1 400"), "metric param is required: {ts_missing}");
 
     // Unknown routes 404; unknown line commands error without killing the
     // server.
-    assert!(http_get(addr, "/nope").starts_with("HTTP/1.0 404"));
+    assert!(http_get(addr, "/nope").starts_with("HTTP/1.1 404"));
     assert!(line(addr, "frobnicate").starts_with("ERR"));
 
     // Still healthy after the error traffic, then a clean shutdown.
@@ -247,7 +252,7 @@ fn serve_federation_routes_and_prunes() {
         .expect("colors SSDL parses"),
         CostParams::default(),
     ));
-    let mut server = Server::bind_federation(vec![dealer, colors], ServeConfig::default())
+    let server = Server::bind_federation(vec![dealer, colors], ServeConfig::default())
         .expect("bind an ephemeral port");
     let addr = server.local_addr().expect("bound address");
     let handle = std::thread::spawn(move || server.run());
@@ -256,7 +261,7 @@ fn serve_federation_routes_and_prunes() {
         addr,
         "/query?cond=make%20%3D%20%22BMW%22%20%5E%20price%20%3C%2040000&attrs=model,year",
     );
-    assert!(q.starts_with("HTTP/1.0 200"), "{q}");
+    assert!(q.starts_with("HTTP/1.1 200"), "{q}");
     assert!(q.contains("rows (est cost"), "{q}");
     assert!(q.contains("capindex 1/2 candidates"), "colors member is index-pruned: {q}");
     // No drift on the demo data: the adaptive path serves without a splice,
@@ -296,7 +301,7 @@ fn serve_hammer_keeps_telemetry_coherent() {
         window_queries: 2,
         ..ServeConfig::default()
     };
-    let mut server = Server::bind_federation(vec![dealer], cfg).expect("bind an ephemeral port");
+    let server = Server::bind_federation(vec![dealer], cfg).expect("bind an ephemeral port");
     let addr = server.local_addr().expect("bound address");
     let handle = std::thread::spawn(move || server.run());
 
@@ -315,7 +320,7 @@ fn serve_hammer_keeps_telemetry_coherent() {
             for round in 0..6usize {
                 let path = paths[(t + round) % paths.len()];
                 let resp = http_get(addr, path);
-                assert!(resp.starts_with("HTTP/1.0 200"), "hammer {t}/{round} {path}: {resp}");
+                assert!(resp.starts_with("HTTP/1.1 200"), "hammer {t}/{round} {path}: {resp}");
                 queries += u64::from(path.starts_with("/query"));
             }
             queries
